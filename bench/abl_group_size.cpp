@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Ablation: BBS weight-group size. The paper fixes the group at 32 (§V-A);
+ * this sweep shows the trade-off that choice sits on — smaller groups
+ * carry more metadata overhead but adapt their constants locally (lower
+ * MSE/KL); larger groups amortize metadata but average over more diverse
+ * low bits.
+ */
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/compressed_tensor.hpp"
+#include "metrics/error.hpp"
+#include "metrics/kl_divergence.hpp"
+
+using namespace bbs;
+using namespace bbs::bench;
+
+int
+main()
+{
+    printHeader("Ablation — BBS group size (ResNet-50, 4 columns, "
+                "zero-point shifting)",
+                "Group 32 balances metadata overhead against per-group "
+                "adaptivity (the paper's chosen operating point).");
+
+    const MaterializedModel &mm = cachedModel("ResNet-50", 500000);
+    const Int8Tensor &codes = mm.layers[5].weights.values;
+
+    Table t({"Group size", "Eff. bits/weight", "MSE", "KL"});
+    for (std::int64_t gs : {8, 16, 32, 64}) {
+        CompressedTensor ct = CompressedTensor::compress(
+            codes, gs, 4, PruneStrategy::ZeroPointShifting);
+        Int8Tensor rec = ct.decompress();
+        t.addRow({std::to_string(gs),
+                  formatDouble(ct.effectiveBitsPerWeight(), 3),
+                  formatDouble(mse(codes, rec), 3),
+                  format("%.2e", klDivergence(codes, rec))});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nExpected shape: effective bits fall toward 4.0 as the "
+                 "group grows (metadata amortized: 4 + 8/G), while MSE/KL "
+                 "rise slowly — group 32 (4.25 bits) is the knee.\n";
+    return 0;
+}

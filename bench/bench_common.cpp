@@ -1,0 +1,203 @@
+#include "bench_common.hpp"
+
+#include <iostream>
+#include <memory>
+
+#include "common/logging.hpp"
+
+namespace bbs::bench {
+
+void
+printHeader(const std::string &experiment, const std::string &claim)
+{
+    std::cout << "==========================================================="
+                 "=====================\n"
+              << experiment << "\n"
+              << claim << "\n"
+              << "==========================================================="
+                 "=====================\n";
+}
+
+const MaterializedModel &
+cachedModel(const std::string &name, std::int64_t cap)
+{
+    static std::map<std::string, MaterializedModel> cache;
+    std::string key = name + "/" + std::to_string(cap);
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+    MaterializeOptions opts;
+    opts.maxWeightsPerLayer = cap;
+    auto [pos, inserted] =
+        cache.emplace(key, materializeModel(modelByName(name), opts));
+    return pos->second;
+}
+
+std::map<std::string, ModelSim>
+simulateLineup(const std::string &modelName, const SimConfig &cfg)
+{
+    const MaterializedModel &mm = cachedModel(modelName);
+    GlobalPruneConfig cons = conservativeConfig();
+    GlobalPruneConfig mod = moderateConfig();
+    PreparedModel plain = prepareModel(mm);
+    PreparedModel withCons = prepareModel(mm, &cons);
+    PreparedModel withMod = prepareModel(mm, &mod);
+
+    std::map<std::string, ModelSim> out;
+    for (auto &acc : evaluationLineup()) {
+        const PreparedModel *pm = &plain;
+        if (acc->name() == "BitVert (cons)")
+            pm = &withCons;
+        else if (acc->name() == "BitVert (mod)")
+            pm = &withMod;
+        out.emplace(acc->name(), acc->simulateModel(*pm, cfg));
+    }
+    return out;
+}
+
+namespace {
+
+/** Architecture + dataset family of a stand-in. */
+enum class Family
+{
+    Cnn,
+    Transformer,
+};
+
+Family
+familyOf(const std::string &modelName)
+{
+    if (modelName.rfind("VGG", 0) == 0 || modelName.rfind("Res", 0) == 0)
+        return Family::Cnn;
+    return Family::Transformer;
+}
+
+std::uint64_t
+seedOf(const std::string &modelName)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (char c : modelName) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+Network
+buildArch(Family family, const Dataset &ds, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Network net;
+    if (family == Family::Cnn) {
+        // 12x12 single-channel images.
+        net.add(std::make_unique<Conv2d>(1, 8, 3, 12, 1, rng));
+        net.add(std::make_unique<ReluLayer>());
+        net.add(std::make_unique<Dense>(8 * 12 * 12, 48, rng));
+        net.add(std::make_unique<ReluLayer>());
+        net.add(std::make_unique<Dense>(48, ds.numClasses, rng));
+    } else {
+        net.add(std::make_unique<Dense>(ds.features, 96, rng));
+        net.add(std::make_unique<GeluLayer>());
+        net.add(std::make_unique<Dense>(96, 48, rng));
+        net.add(std::make_unique<GeluLayer>());
+        net.add(std::make_unique<Dense>(48, ds.numClasses, rng));
+    }
+    return net;
+}
+
+Dataset
+buildData(Family family, std::uint64_t seed)
+{
+    if (family == Family::Cnn)
+        return makeShapeDataset(220, 12, seed);
+    return makeClusterDataset(180, 6, 24, seed);
+}
+
+} // namespace
+
+StandIn &
+standInFor(const std::string &modelName)
+{
+    static std::map<std::string, StandIn> cache;
+    auto it = cache.find(modelName);
+    if (it != cache.end())
+        return it->second;
+
+    Family family = familyOf(modelName);
+    std::uint64_t seed = seedOf(modelName);
+    StandIn si;
+    si.data = buildData(family, seed);
+    si.net = buildArch(family, si.data, seed);
+
+    TrainOptions opts;
+    opts.epochs = family == Family::Cnn ? 10 : 18;
+    opts.seed = seed ^ 0xabcdef;
+    trainNetwork(si.net, si.data.trainX, si.data.trainY, opts);
+    si.baselineAccuracy =
+        accuracyPercent(si.net, si.data.testX, si.data.testY);
+
+    // INT8 baseline accuracy (the paper's Table I INT8 column).
+    Network clone = buildArch(family, si.data, seed);
+    {
+        auto src = si.net.weightTensors();
+        auto dst = clone.weightTensors();
+        for (std::size_t i = 0; i < src.size(); ++i)
+            *dst[i] = *src[i];
+        auto srcB = si.net.biasTensors();
+        auto dstB = clone.biasTensors();
+        for (std::size_t i = 0; i < srcB.size(); ++i)
+            *dstB[i] = *srcB[i];
+    }
+    CompressionSpec int8spec;
+    int8spec.method = CompressionMethod::None;
+    compressNetwork(clone, int8spec);
+    si.int8Accuracy =
+        accuracyPercent(clone, si.data.testX, si.data.testY);
+
+    auto [pos, inserted] = cache.emplace(modelName, std::move(si));
+    return pos->second;
+}
+
+Network
+cloneNetwork(const std::string &modelName)
+{
+    StandIn &si = standInFor(modelName);
+    Network clone = buildArch(familyOf(modelName), si.data,
+                              seedOf(modelName));
+    auto src = si.net.weightTensors();
+    auto dst = clone.weightTensors();
+    BBS_ASSERT(src.size() == dst.size());
+    for (std::size_t i = 0; i < src.size(); ++i)
+        *dst[i] = *src[i];
+    auto srcB = si.net.biasTensors();
+    auto dstB = clone.biasTensors();
+    for (std::size_t i = 0; i < srcB.size(); ++i)
+        *dstB[i] = *srcB[i];
+    return clone;
+}
+
+double
+accuracyAfter(const std::string &modelName, const CompressionSpec &spec,
+              CompressionReport *report)
+{
+    StandIn &si = standInFor(modelName);
+    Network clone = cloneNetwork(modelName);
+    CompressionReport rep = compressNetwork(clone, spec);
+    if (report)
+        *report = rep;
+    return accuracyPercent(clone, si.data.testX, si.data.testY);
+}
+
+std::string
+times(double v, int digits)
+{
+    return format("%.*fx", digits, v);
+}
+
+std::string
+deltaPct(double v, int digits)
+{
+    return format("%+.*f", digits, v);
+}
+
+} // namespace bbs::bench

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness: model materialization with a
+ * per-process cache, the standard simulation flow, stand-in network
+ * training for accuracy experiments, and output formatting conventions.
+ *
+ * Every bench binary regenerates one table or figure of the paper and
+ * prints (a) the paper's reference numbers where applicable and (b) the
+ * values measured on this reproduction, so EXPERIMENTS.md can be filled by
+ * running `for b in build/bench/*; do $b; done`.
+ */
+#ifndef BBS_BENCH_COMMON_HPP
+#define BBS_BENCH_COMMON_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "accel/factory.hpp"
+#include "common/table.hpp"
+#include "models/model_zoo.hpp"
+#include "models/workload.hpp"
+#include "nn/compress_net.hpp"
+#include "nn/dataset.hpp"
+#include "nn/evaluate.hpp"
+#include "sim/prepared_model.hpp"
+
+namespace bbs::bench {
+
+/** Standard per-layer weight cap for simulation benches (keeps the whole
+ *  suite laptop-scale; whole channels are kept so statistics are
+ *  unbiased). */
+inline constexpr std::int64_t kSimWeightCap = 2'000'000;
+
+/** Banner printed at the top of every bench binary. */
+void printHeader(const std::string &experiment, const std::string &claim);
+
+/** Materialize a model (cached per process) under the standard cap. */
+const MaterializedModel &cachedModel(const std::string &name,
+                                     std::int64_t cap = kSimWeightCap);
+
+/** Simulate one model on the full lineup; returns name -> result. */
+std::map<std::string, ModelSim>
+simulateLineup(const std::string &modelName, const SimConfig &cfg);
+
+/**
+ * A trained stand-in network for accuracy experiments (see DESIGN.md §1:
+ * real trained weights substitute the paper's ImageNet/GLUE evaluations).
+ */
+struct StandIn
+{
+    Network net;
+    Dataset data;
+    double baselineAccuracy = 0.0; ///< FP32 test accuracy
+    double int8Accuracy = 0.0;     ///< after per-channel INT8 PTQ
+};
+
+/**
+ * Train the stand-in associated with a paper benchmark. CNN-family models
+ * get a conv stand-in on the shape dataset; transformer-family models get
+ * a GELU MLP on the cluster dataset. Cached per process.
+ */
+StandIn &standInFor(const std::string &modelName);
+
+/** Clone the stand-in's trained weights into a fresh network. */
+Network cloneNetwork(const std::string &modelName);
+
+/** Accuracy after applying @p spec to a fresh clone. */
+double accuracyAfter(const std::string &modelName,
+                     const CompressionSpec &spec,
+                     CompressionReport *report = nullptr);
+
+/** Format helper: "1.66x". */
+std::string times(double v, int digits = 2);
+
+/** Format helper: percentage with sign, e.g. "-0.45". */
+std::string deltaPct(double v, int digits = 2);
+
+} // namespace bbs::bench
+
+#endif // BBS_BENCH_COMMON_HPP

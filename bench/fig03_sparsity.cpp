@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 3: inherent weight value sparsity, bit sparsity (2's complement),
+ * bit sparsity (sign-magnitude), and BBS (bit-vector size 8) across six
+ * INT8 DNNs. Paper shape: value < 0.05; 2's comp ~0.5; sign-mag higher;
+ * BBS highest and always >= 0.5.
+ */
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/bbs.hpp"
+#include "tensor/distribution.hpp"
+
+using namespace bbs;
+using namespace bbs::bench;
+
+int
+main()
+{
+    printHeader("Figure 3 — inherent sparsity of INT8 DNN weights",
+                "BBS guarantees >= 50% sparsity and exceeds both value and "
+                "zero-bit sparsity.");
+
+    const char *models[] = {"VGG-16",    "ResNet-34", "ResNet-50",
+                            "ViT-Small", "ViT-Base",  "Bert-MRPC"};
+
+    Table t({"Model", "Value", "Bit (2's Comp)", "Bit (Sign Mag)",
+             "BBS (2's Comp)"});
+    for (const char *name : models) {
+        const MaterializedModel &mm = cachedModel(name);
+        double value = 0.0, twos = 0.0, sm = 0.0, bbsv = 0.0, n = 0.0;
+        for (const auto &l : mm.layers) {
+            const Int8Tensor &codes = l.weights.values;
+            double w = static_cast<double>(codes.numel()) * l.desc.repeat;
+            value += valueSparsity(codes) * w;
+            twos += bitSparsityTwosComplement(codes) * w;
+            sm += bitSparsitySignMagnitude(codes) * w;
+            bbsv += bbsSparsity(codes, 8) * w;
+            n += w;
+        }
+        t.addRow({name, formatDouble(value / n, 3),
+                  formatDouble(twos / n, 3), formatDouble(sm / n, 3),
+                  formatDouble(bbsv / n, 3)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nPaper reference shape: value < 0.05 everywhere; "
+                 "BBS > bit(2's comp) and BBS >= 0.5 for all models.\n";
+    return 0;
+}

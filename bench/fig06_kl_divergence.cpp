@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Figure 6: normalized KL divergence of three bit-level pruning techniques
+ * (sign-magnitude zero-column pruning, rounded averaging, zero-point
+ * shifting) at 2 and 4 pruned columns, weight group 32, on ResNet-34 and
+ * ViT-Base. Values are normalized to the zero-column-pruning result
+ * (lower is better), matching the figure's presentation.
+ */
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/compressed_tensor.hpp"
+#include "metrics/kl_divergence.hpp"
+#include "quant/bitwave.hpp"
+
+using namespace bbs;
+using namespace bbs::bench;
+
+namespace {
+
+struct KlRow
+{
+    double zeroCol = 0.0;
+    double roundedAvg = 0.0;
+    double zeroPoint = 0.0;
+};
+
+KlRow
+measure(const MaterializedModel &mm, int columns)
+{
+    KlRow row;
+    double n = 0.0;
+    for (const auto &l : mm.layers) {
+        const Int8Tensor &codes = l.weights.values;
+        double w = static_cast<double>(codes.numel());
+        row.zeroCol +=
+            klDivergence(codes, bitwavePrune(codes, 32, columns)) * w;
+        row.roundedAvg +=
+            klDivergence(codes,
+                         binaryPruneTensor(
+                             codes, 32, columns,
+                             PruneStrategy::RoundedAveraging)) *
+            w;
+        row.zeroPoint +=
+            klDivergence(codes,
+                         binaryPruneTensor(
+                             codes, 32, columns,
+                             PruneStrategy::ZeroPointShifting)) *
+            w;
+        n += w;
+    }
+    row.zeroCol /= n;
+    row.roundedAvg /= n;
+    row.zeroPoint /= n;
+    return row;
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader(
+        "Figure 6 — normalized KL divergence of bit-level pruning methods",
+        "Binary pruning (both strategies) preserves the weight "
+        "distribution far better than sign-magnitude zero-column pruning; "
+        "zero-point shifting wins at eager (4-column) compression.");
+
+    Table t({"Model", "Columns", "ZeroCol (sign-mag)", "Rounded Avg",
+             "Zero-point Shift"});
+    for (const char *name : {"ResNet-34", "ViT-Base"}) {
+        const MaterializedModel &mm = cachedModel(name, 500000);
+        for (int columns : {2, 4}) {
+            KlRow row = measure(mm, columns);
+            double base = row.zeroCol;
+            t.addRow({name, std::to_string(columns), formatDouble(1.0, 3),
+                      formatDouble(row.roundedAvg / base, 3),
+                      formatDouble(row.zeroPoint / base, 3)});
+        }
+    }
+    t.print(std::cout);
+
+    std::cout
+        << "\nPaper reference shape: both binary-pruning strategies well "
+           "below 1.0;\nzero-point shifting lowest at 4 columns. (On "
+           "i.i.d. synthetic weights zero-point\nshifting also wins at 2 "
+           "columns — see EXPERIMENTS.md, Known deviations.)\n";
+    return 0;
+}

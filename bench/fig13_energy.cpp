@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 13: energy breakdown (off-chip memory vs on-chip compute) of all
+ * eight accelerators across the seven benchmarks, normalized to SparTen.
+ * Paper headline: BitVert (mod) at 0.41x of SparTen's energy (2.44x
+ * saving).
+ */
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+
+using namespace bbs;
+using namespace bbs::bench;
+
+int
+main()
+{
+    printHeader("Figure 13 — energy breakdown normalized to SparTen",
+                "BitVert consumes the least energy; SparTen the most "
+                "(paper: BitVert mod = 0.41x SparTen).");
+
+    std::vector<std::string> accNames;
+    for (auto &a : evaluationLineup())
+        accNames.push_back(a->name());
+
+    Table t({"Model", "Accelerator", "Off-chip", "On-chip", "Total"});
+    std::map<std::string, std::vector<double>> totals;
+    SimConfig cfg;
+    for (const auto &desc : benchmarkModels()) {
+        auto sims = simulateLineup(desc.name, cfg);
+        double sparten = sims.at("SparTen").totalEnergyPj();
+        for (const auto &n : accNames) {
+            const ModelSim &ms = sims.at(n);
+            double off = ms.offChipEnergyPj() / sparten;
+            double on = ms.onChipEnergyPj() / sparten;
+            totals[n].push_back(off + on);
+            t.addRow({desc.name, n, formatDouble(off, 3),
+                      formatDouble(on, 3), formatDouble(off + on, 3)});
+        }
+    }
+    t.print(std::cout);
+
+    Table g({"Accelerator", "Geomean norm. energy"});
+    for (const auto &n : accNames)
+        g.addRow({n, formatDouble(geomean(totals[n]), 3)});
+    std::cout << '\n';
+    g.print(std::cout);
+
+    std::cout << "\nPaper reference geomeans (norm. to SparTen): ANT 0.45x,"
+                 " Stripes 0.57x, Pragmatic 0.59x, Bitlet 0.63x, BitWave "
+                 "0.52x, BitVert 0.47x (cons) / 0.41x (mod).\n";
+    return 0;
+}

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Figure 17 + §V-H: LLM weight compression — BBS (cons/mod, group 32, all
+ * channels) vs OliVe 4-bit on Llama-3-8B.
+ *
+ * Two measurements substitute the paper's WikiText/C4 perplexity runs
+ * (DESIGN.md §1):
+ *  (1) real perplexity of a trained character-LM stand-in compressed
+ *      through the identical code paths, on two synthetic corpora;
+ *  (2) weight-level MSE/KL on full-shape synthetic Llama-3-8B tensors
+ *      (one decoder block, extrapolated x32).
+ */
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "metrics/error.hpp"
+#include "metrics/kl_divergence.hpp"
+#include "nn/dataset.hpp"
+#include "quant/olive.hpp"
+#include "quant/quantizer.hpp"
+
+using namespace bbs;
+using namespace bbs::bench;
+
+namespace {
+
+/** Build the char-LM architecture (fixed seed for cloning). */
+Network
+buildLm(const TextDataset &ds)
+{
+    Rng rng(97);
+    Network lm;
+    lm.add(std::make_unique<Dense>(
+        static_cast<std::int64_t>(ds.context) * ds.alphabet, 96, rng));
+    lm.add(std::make_unique<GeluLayer>());
+    lm.add(std::make_unique<Dense>(96, 64, rng));
+    lm.add(std::make_unique<GeluLayer>());
+    lm.add(std::make_unique<Dense>(64, ds.alphabet, rng));
+    return lm;
+}
+
+/** Clone trained weights, compress with one scheme, return perplexity. */
+double
+compressedPerplexity(Network &trained, const TextDataset &ds,
+                     const CompressionSpec &spec,
+                     double *effBits = nullptr)
+{
+    Network lm = buildLm(ds);
+    auto src = trained.weightTensors();
+    auto dst = lm.weightTensors();
+    for (std::size_t i = 0; i < src.size(); ++i)
+        *dst[i] = *src[i];
+    auto srcB = trained.biasTensors();
+    auto dstB = lm.biasTensors();
+    for (std::size_t i = 0; i < srcB.size(); ++i)
+        *dstB[i] = *srcB[i];
+
+    CompressionReport rep = compressNetwork(lm, spec);
+    if (effBits)
+        *effBits = rep.effectiveBits;
+    return perplexity(lm, ds.testX, ds.testY);
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader(
+        "Figure 17 — Llama-3-8B weight compression: BBS vs OliVe",
+        "Moderate BBS (4.25 bits) beats OliVe 4-bit on perplexity; "
+        "conservative BBS (6.25 bits) is near-lossless vs FP32.");
+
+    // (1) Real perplexity on the char-LM stand-in; two corpora stand in
+    // for WikiText and C4.
+    struct Corpus
+    {
+        const char *name;
+        std::uint64_t seed;
+    };
+    for (Corpus corpus : {Corpus{"WikiText (synthetic)", 1001},
+                          Corpus{"C4 (synthetic)", 2002}}) {
+        TextDataset ds =
+            makeMarkovTextDataset(24000, 6000, 16, 4, corpus.seed);
+
+        Network fp32 = buildLm(ds);
+        TrainOptions opts;
+        opts.epochs = 10;
+        trainNetwork(fp32, ds.trainX, ds.trainY, opts);
+        double fp32Ppl = perplexity(fp32, ds.testX, ds.testY);
+
+        CompressionSpec cons;
+        cons.method = CompressionMethod::BbsPrune;
+        cons.bbs = conservativeConfig();
+        cons.bbs.beta = 0.0; // §V-H: all channels pruned
+        CompressionSpec mod = cons;
+        mod.bbs = moderateConfig();
+        mod.bbs.beta = 0.0;
+        CompressionSpec olive;
+        olive.method = CompressionMethod::OlivePairs;
+        olive.bits = 4;
+
+        double bitsCons = 0, bitsMod = 0, bitsOlive = 0;
+        double pplCons = compressedPerplexity(fp32, ds, cons, &bitsCons);
+        double pplMod = compressedPerplexity(fp32, ds, mod, &bitsMod);
+        double pplOlive =
+            compressedPerplexity(fp32, ds, olive, &bitsOlive);
+
+        Table t({"Corpus", "Method", "Bits", "Perplexity"});
+        t.addRow({corpus.name, "FP32", "32", formatDouble(fp32Ppl, 3)});
+        t.addRow({corpus.name, "BBS (cons)", formatDouble(bitsCons, 2),
+                  formatDouble(pplCons, 3)});
+        t.addRow({corpus.name, "BBS (mod)", formatDouble(bitsMod, 2),
+                  formatDouble(pplMod, 3)});
+        t.addRow({corpus.name, "OliVe 4-bit", formatDouble(bitsOlive, 2),
+                  formatDouble(pplOlive, 3)});
+        t.print(std::cout);
+        std::cout << '\n';
+    }
+
+    // (2) Weight-level distortion on full-shape Llama tensors.
+    std::cout << "Weight distortion on synthetic Llama-3-8B decoder-block "
+                 "tensors (lower is better):\n";
+    const MaterializedModel &llama = cachedModel("Llama-3-8B", 4'000'000);
+    Table w({"Layer", "BBS cons KL", "BBS mod KL", "OliVe KL"});
+    for (const auto &l : llama.layers) {
+        const Int8Tensor &codes = l.weights.values;
+        Int8Tensor cons = binaryPruneTensor(
+            codes, 32, 2, PruneStrategy::RoundedAveraging);
+        Int8Tensor mod = binaryPruneTensor(
+            codes, 32, 4, PruneStrategy::ZeroPointShifting);
+
+        // OliVe on the dequantized weights, re-expressed on the INT8 grid.
+        QuantizedTensor qt;
+        qt.values = codes;
+        qt.scales = l.weights.scales;
+        qt.bits = 8;
+        OliveResult olive = oliveQuantize(qt.dequantize());
+        QuantizedTensor oliveInt8 =
+            quantizePerChannel(olive.dequantized, 8);
+
+        w.addRow({l.desc.name,
+                  format("%.2e", klDivergence(codes, cons)),
+                  format("%.2e", klDivergence(codes, mod)),
+                  format("%.2e", klDivergence(codes, oliveInt8.values))});
+    }
+    w.print(std::cout);
+
+    std::cout << "\nPaper reference shape: BBS (mod, 4.25b) < OliVe (4b) "
+                 "perplexity; BBS (cons, 6.25b) ~ FP32.\n";
+    return 0;
+}

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * bbs_cli — a small command-line front end to the library, the shape of
+ * tool a deployment flow would script against.
+ *
+ *   bbs_cli sparsity  --model ResNet-50
+ *   bbs_cli compress  --model ViT-Base --columns 4 --strategy zp [--beta 0.2]
+ *   bbs_cli simulate  --model Bert-MRPC [--accelerator "BitVert (mod)"]
+ *
+ * All workloads are the synthetic zoo (deterministic per seed); see
+ * DESIGN.md for the substitution rationale.
+ */
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "accel/factory.hpp"
+#include "common/logging.hpp"
+#include "common/table.hpp"
+#include "core/bbs.hpp"
+#include "core/global_pruning.hpp"
+#include "metrics/kl_divergence.hpp"
+#include "models/model_zoo.hpp"
+#include "models/workload.hpp"
+#include "sim/prepared_model.hpp"
+#include "tensor/distribution.hpp"
+
+namespace {
+
+using namespace bbs;
+
+/** Tiny flag parser: --key value pairs after the subcommand. */
+std::map<std::string, std::string>
+parseFlags(int argc, char **argv, int first)
+{
+    std::map<std::string, std::string> flags;
+    for (int i = first; i + 1 < argc; i += 2) {
+        std::string key = argv[i];
+        BBS_REQUIRE(key.rfind("--", 0) == 0, "expected --flag, got ", key);
+        flags[key.substr(2)] = argv[i + 1];
+    }
+    return flags;
+}
+
+std::string
+flagOr(const std::map<std::string, std::string> &flags,
+       const std::string &key, const std::string &fallback)
+{
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+}
+
+MaterializedModel
+load(const std::string &name)
+{
+    MaterializeOptions opts;
+    opts.maxWeightsPerLayer = 1'000'000;
+    return materializeModel(modelByName(name), opts);
+}
+
+int
+cmdSparsity(const std::map<std::string, std::string> &flags)
+{
+    MaterializedModel mm = load(flagOr(flags, "model", "ResNet-50"));
+    Table t({"Layer", "Value", "Bit (2's c)", "Sign-mag", "BBS(8)"});
+    for (const auto &l : mm.layers) {
+        const Int8Tensor &c = l.weights.values;
+        t.addRow({l.desc.name, formatDouble(valueSparsity(c), 3),
+                  formatDouble(bitSparsityTwosComplement(c), 3),
+                  formatDouble(bitSparsitySignMagnitude(c), 3),
+                  formatDouble(bbsSparsity(c, 8), 3)});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdCompress(const std::map<std::string, std::string> &flags)
+{
+    MaterializedModel mm = load(flagOr(flags, "model", "ResNet-50"));
+    GlobalPruneConfig cfg = moderateConfig();
+    cfg.targetColumns = std::stoi(flagOr(flags, "columns", "4"));
+    cfg.beta = std::stod(flagOr(flags, "beta", "0.2"));
+    std::string strategy = flagOr(flags, "strategy", "zp");
+    cfg.strategy = strategy == "ra" ? PruneStrategy::RoundedAveraging
+                                    : PruneStrategy::ZeroPointShifting;
+
+    PrunedModel pruned = globalBinaryPrune(mm.toPrunableLayers(), cfg);
+    Table t({"Layer", "Sensitive", "Eff. bits", "KL"});
+    for (std::size_t i = 0; i < pruned.layers.size(); ++i) {
+        const PrunedLayer &pl = pruned.layers[i];
+        t.addRow({pl.name, std::to_string(pl.numSensitive()),
+                  formatDouble(pl.effectiveBits(), 2),
+                  format("%.2e",
+                         klDivergence(mm.layers[i].weights.values,
+                                      pl.codes))});
+    }
+    t.print(std::cout);
+    std::cout << "model: " << formatDouble(pruned.effectiveBits(), 2)
+              << " bits/weight ("
+              << formatDouble(pruned.compressionRatio(), 2)
+              << "x compression)\n";
+    return 0;
+}
+
+int
+cmdSimulate(const std::map<std::string, std::string> &flags)
+{
+    MaterializedModel mm = load(flagOr(flags, "model", "ResNet-50"));
+    std::string only = flagOr(flags, "accelerator", "");
+
+    GlobalPruneConfig cons = conservativeConfig();
+    GlobalPruneConfig mod = moderateConfig();
+    PreparedModel plain = prepareModel(mm);
+    PreparedModel withCons = prepareModel(mm, &cons);
+    PreparedModel withMod = prepareModel(mm, &mod);
+    SimConfig cfg;
+
+    Table t({"Accelerator", "Cycles (M)", "Energy (uJ)", "EDP (norm)"});
+    double refEdp = 0.0;
+    for (auto &acc : evaluationLineup()) {
+        if (!only.empty() && acc->name() != only)
+            continue;
+        const PreparedModel *pm = &plain;
+        if (acc->name() == "BitVert (cons)")
+            pm = &withCons;
+        else if (acc->name() == "BitVert (mod)")
+            pm = &withMod;
+        ModelSim ms = acc->simulateModel(*pm, cfg);
+        if (refEdp == 0.0)
+            refEdp = ms.edp();
+        t.addRow({acc->name(), format("%.2f", ms.totalCycles() / 1e6),
+                  format("%.1f", ms.totalEnergyPj() / 1e6),
+                  format("%.3f", ms.edp() / refEdp)});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int
+usage()
+{
+    std::cerr << "usage: bbs_cli <sparsity|compress|simulate> "
+                 "[--model NAME] [--columns N] [--strategy zp|ra] "
+                 "[--beta F] [--accelerator NAME]\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string cmd = argv[1];
+    auto flags = parseFlags(argc, argv, 2);
+    if (cmd == "sparsity")
+        return cmdSparsity(flags);
+    if (cmd == "compress")
+        return cmdCompress(flags);
+    if (cmd == "simulate")
+        return cmdSimulate(flags);
+    return usage();
+}

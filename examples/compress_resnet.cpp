@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Compress a full (synthetic) ResNet-50 with hardware-aware global binary
+ * pruning (paper Algorithm 2) at both operating points and report the
+ * per-layer footprint, sensitive-channel counts and distribution
+ * distortion — the workflow a deployment pipeline would run before
+ * shipping weights to BitVert.
+ */
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/global_pruning.hpp"
+#include "metrics/kl_divergence.hpp"
+#include "models/model_zoo.hpp"
+#include "models/workload.hpp"
+
+int
+main()
+{
+    using namespace bbs;
+
+    MaterializeOptions opts;
+    opts.maxWeightsPerLayer = 1'000'000; // sample huge layers (whole
+                                         // channels, statistics unbiased)
+    MaterializedModel resnet = materializeModel(buildResNet50(), opts);
+    std::vector<PrunableLayer> layers = resnet.toPrunableLayers();
+
+    for (bool moderate : {false, true}) {
+        GlobalPruneConfig cfg =
+            moderate ? moderateConfig() : conservativeConfig();
+        PrunedModel pruned = globalBinaryPrune(layers, cfg);
+
+        std::cout << "\n=== " << (moderate ? "Moderate" : "Conservative")
+                  << " pruning: beta=" << cfg.beta << ", "
+                  << cfg.targetColumns << " columns, "
+                  << pruneStrategyName(cfg.strategy) << " ===\n";
+
+        Table t({"Layer", "Channels", "Sensitive", "Eff. bits", "KL"});
+        for (std::size_t i = 0; i < pruned.layers.size(); ++i) {
+            const PrunedLayer &pl = pruned.layers[i];
+            t.addRow({pl.name,
+                      std::to_string(pl.codes.shape().dim(0)),
+                      std::to_string(pl.numSensitive()),
+                      format("%.2f", pl.effectiveBits()),
+                      format("%.2e",
+                             klDivergence(layers[i].codes, pl.codes))});
+        }
+        t.print(std::cout);
+        std::cout << "Model: " << format("%.2f", pruned.effectiveBits())
+                  << " bits/weight, "
+                  << format("%.2fx", pruned.compressionRatio())
+                  << " compression (paper: 1.29x cons / 1.66x mod)\n";
+    }
+    return 0;
+}

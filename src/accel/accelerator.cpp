@@ -1,0 +1,100 @@
+#include "accel/accelerator.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "sim/memory_model.hpp"
+
+namespace bbs {
+
+int
+Accelerator::peColumns(const SimConfig &cfg) const
+{
+    if (cfg.peColumnsOverride > 0)
+        return cfg.peColumnsOverride;
+    int cols = cfg.totalBitSerialMultipliers / (cfg.rows * lanesPerPe());
+    BBS_REQUIRE(cols >= 1, "multiplier budget too small for ", name());
+    return cols;
+}
+
+LayerSim
+Accelerator::simulateLayer(const PreparedLayer &layer,
+                           const SimConfig &cfg) const
+{
+    LayerWork work = buildWork(layer, cfg);
+    int cols = peColumns(cfg);
+    int lanes = lanesPerPe();
+
+    WavefrontAggregate agg =
+        aggregateWavefronts(work.perChannel, cols, lanes);
+
+    // Output-stationary tiling: `rows` output positions per pass; the whole
+    // channel/group schedule repeats once per position tile. Weights are
+    // identical across position tiles, so per-tile latencies are too.
+    double positionTiles = static_cast<double>(
+        ceilDiv(layer.desc.outputPositions, cfg.rows));
+    // Scale for sampled channels and collapsed layer repeats.
+    double scale = layer.channelScale * layer.desc.repeat;
+    double tileScale = positionTiles * scale;
+
+    LayerSim sim;
+    sim.layerName = layer.desc.name;
+    sim.computeCycles = agg.cycles * tileScale;
+    sim.usefulLaneCycles = agg.usefulLaneCycles * tileScale;
+    sim.intraPeStallLaneCycles = agg.intraStallLaneCycles * tileScale;
+    sim.interPeStallLaneCycles = agg.interStallLaneCycles * tileScale;
+
+    // Memory traffic. Weights are fetched from DRAM once per layer (the
+    // position loop reuses them from SRAM); activations stream in/out.
+    MemoryTraffic mem;
+    mem.weightBits = work.weightStorageBits * scale;
+    double actScale = activationBitsScale(layer);
+    // Input footprint ~ C x output positions (stride-1 approximation for
+    // convs; exact for linears).
+    double inputElems =
+        static_cast<double>(layer.desc.weightShape.dim(1)) *
+        static_cast<double>(layer.desc.outputPositions);
+    double outputElems =
+        static_cast<double>(layer.desc.weightShape.dim(0)) *
+        static_cast<double>(layer.desc.outputPositions);
+    mem.inputActBits = inputElems * 8.0 * actScale * layer.desc.repeat;
+    mem.outputActBits = outputElems * 8.0 * actScale * layer.desc.repeat;
+
+    // SRAM: weights re-read once per position tile; activations staged per
+    // channel tile; outputs written once.
+    std::int64_t channels = layer.desc.weightShape.dim(0);
+    double channelTiles = static_cast<double>(ceilDiv(channels, cols));
+    mem.sramBytes = (mem.weightBits / 8.0 * positionTiles +
+                     mem.inputActBits / 8.0 * channelTiles +
+                     mem.outputActBits / 8.0) *
+                    sramBytesScale();
+
+    sim.dramBits = mem.totalDramBits();
+    sim.sramBytes = mem.sramBytes;
+    sim.dramCycles = dramCycles(mem, cfg);
+    sim.totalCycles = std::max(sim.computeCycles, sim.dramCycles);
+
+    sim.dramEnergyPj = dramEnergyPj(mem, cfg);
+    sim.sramEnergyPj = sramEnergyPj(mem, cfg);
+    // Core: PE power at 800 MHz converted to pJ/cycle, over the active
+    // compute cycles of the whole array.
+    double pePjPerCycle =
+        peCost().powerMw * peCostScale() / cfg.frequencyGhz;
+    sim.coreEnergyPj =
+        pePjPerCycle * sim.computeCycles * cfg.rows * peColumns(cfg);
+    return sim;
+}
+
+ModelSim
+Accelerator::simulateModel(const PreparedModel &model,
+                           const SimConfig &cfg) const
+{
+    ModelSim ms;
+    ms.acceleratorName = name();
+    ms.modelName = model.desc.name;
+    for (const auto &layer : model.layers)
+        ms.layers.push_back(simulateLayer(layer, cfg));
+    return ms;
+}
+
+} // namespace bbs

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Abstract accelerator cycle model plus the shared layer-simulation
+ * skeleton (tiling, wavefront aggregation, memory traffic and energy), the
+ * common methodology of §V-A: every accelerator gets the same bit-serial
+ * multiplier budget and the same SRAM/DRAM system.
+ */
+#ifndef BBS_ACCEL_ACCELERATOR_HPP
+#define BBS_ACCEL_ACCELERATOR_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/pe_model.hpp"
+#include "sim/config.hpp"
+#include "sim/dataflow.hpp"
+#include "sim/prepared_model.hpp"
+#include "sim/result.hpp"
+
+namespace bbs {
+
+/**
+ * Base class of all accelerator cycle models.
+ *
+ * A derived class describes its PE shape (lanes, weights covered) and
+ * produces per-group work items from the actual weight bit patterns; the
+ * base class runs the lock-step schedule, sizes memory traffic, and
+ * converts to cycles and energy.
+ */
+class Accelerator
+{
+  public:
+    virtual ~Accelerator() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Bit-serial multiplier lanes per PE. */
+    virtual int lanesPerPe() const = 0;
+
+    /** Weights a PE covers per group (16 for every modeled design). */
+    virtual int weightsPerPe() const { return 16; }
+
+    /** Synthesized PE cost (area/power) for energy accounting. */
+    virtual PeCost peCost() const = 0;
+
+    /**
+     * How many peCost() units one cycle-model PE represents. The Table V
+     * PEs hold 8 bit-serial multipliers, so a 16-lane cycle-model PE is
+     * two of them; designs whose PE cost already covers 16 lane
+     * equivalents (SparTen/ANT bit-parallel multipliers) override to 1.
+     */
+    virtual double
+    peCostScale() const
+    {
+        return static_cast<double>(lanesPerPe()) / 8.0;
+    }
+
+    /** Simulate one prepared layer. */
+    LayerSim simulateLayer(const PreparedLayer &layer,
+                           const SimConfig &cfg) const;
+
+    /** Simulate a whole prepared model. */
+    ModelSim simulateModel(const PreparedModel &model,
+                           const SimConfig &cfg) const;
+
+    /** PE columns: override or derived from the multiplier budget. */
+    int peColumns(const SimConfig &cfg) const;
+
+  protected:
+    /** Per-layer work produced by the derived model. */
+    struct LayerWork
+    {
+        /** [channel][groupIdx] group work items (reordered if desired). */
+        std::vector<std::vector<GroupWork>> perChannel;
+        /** Encoded weight footprint in bits (for DRAM traffic). */
+        double weightStorageBits = 0.0;
+    };
+
+    /** Build the per-group work items for a layer. */
+    virtual LayerWork buildWork(const PreparedLayer &layer,
+                                const SimConfig &cfg) const = 0;
+
+    /** Activation precision scale vs INT8 (ANT quantizes to 6 bits). */
+    virtual double activationBitsScale(const PreparedLayer &) const
+    {
+        return 1.0;
+    }
+
+    /**
+     * Multiplier on SRAM traffic relative to the single-shared-buffer
+     * baseline. SparTen overrides it: its per-PE local buffers are filled
+     * from the shared buffer and re-read per matched pair, multiplying
+     * on-chip data movement.
+     */
+    virtual double sramBytesScale() const { return 1.0; }
+};
+
+} // namespace bbs
+
+#endif // BBS_ACCEL_ACCELERATOR_HPP

@@ -1,0 +1,46 @@
+#include "accel/ant_accel.hpp"
+
+#include "common/bit_utils.hpp"
+#include "sim/dataflow.hpp"
+
+namespace bbs {
+
+Accelerator::LayerWork
+AntAccelerator::buildWork(const PreparedLayer &layer,
+                          const SimConfig &) const
+{
+    LayerWork work;
+    std::int64_t channels = layer.codes.shape().dim(0);
+    std::int64_t cs = layer.codes.shape().channelSize();
+    std::int64_t groupsPerChannel = ceilDiv(cs, weightsPerPe());
+
+    work.perChannel.resize(static_cast<std::size_t>(channels));
+    for (std::int64_t c = 0; c < channels; ++c) {
+        auto &vec = work.perChannel[static_cast<std::size_t>(c)];
+        vec.reserve(static_cast<std::size_t>(groupsPerChannel));
+        for (std::int64_t g = 0; g < groupsPerChannel; ++g) {
+            GroupWork gw;
+            // Bit-parallel at reduced precision: dense latency scales with
+            // the datatype width (6/8 of the 8-bit serial baseline).
+            gw.latency = bits_;
+            gw.usefulLaneCycles = gw.latency * lanesPerPe();
+            gw.intraStallLaneCycles = 0.0;
+            vec.push_back(gw);
+        }
+    }
+
+    // 6-bit weights plus a 4-bit datatype tag per group of 16.
+    work.weightStorageBits =
+        static_cast<double>(layer.codes.numel()) * bits_ +
+        static_cast<double>(layer.codes.numGroups(weightsPerPe())) * 4.0;
+    return work;
+}
+
+double
+AntAccelerator::activationBitsScale(const PreparedLayer &) const
+{
+    // ANT quantizes activations to the same adaptive 6-bit types.
+    return static_cast<double>(bits_) / 8.0;
+}
+
+} // namespace bbs

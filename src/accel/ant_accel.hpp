@@ -1,0 +1,37 @@
+/**
+ * @file
+ * ANT (MICRO'22): adaptive-numerical-datatype acceleration at 6-bit
+ * precision (the configuration the paper evaluates, §V-A). Bit-parallel:
+ * benefits from reduced precision in both compute and memory but exploits
+ * no bit-level sparsity.
+ */
+#ifndef BBS_ACCEL_ANT_HPP
+#define BBS_ACCEL_ANT_HPP
+
+#include "accel/accelerator.hpp"
+
+namespace bbs {
+
+class AntAccelerator : public Accelerator
+{
+  public:
+    explicit AntAccelerator(int bits = 6) : bits_(bits) {}
+
+    std::string name() const override { return "ANT"; }
+    int lanesPerPe() const override { return 16; }
+    PeCost peCost() const override { return antPe(); }
+    /** antPe() already covers the full 16-lane-equivalent PE. */
+    double peCostScale() const override { return 1.0; }
+
+  protected:
+    LayerWork buildWork(const PreparedLayer &layer,
+                        const SimConfig &cfg) const override;
+    double activationBitsScale(const PreparedLayer &layer) const override;
+
+  private:
+    int bits_;
+};
+
+} // namespace bbs
+
+#endif // BBS_ACCEL_ANT_HPP

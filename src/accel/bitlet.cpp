@@ -1,0 +1,77 @@
+#include "accel/bitlet.hpp"
+
+#include <algorithm>
+
+#include "common/bit_utils.hpp"
+#include "common/parallel.hpp"
+#include "sim/dataflow.hpp"
+
+namespace bbs {
+
+Accelerator::LayerWork
+BitletAccelerator::buildWork(const PreparedLayer &layer,
+                             const SimConfig &) const
+{
+    LayerWork work;
+    std::int64_t channels = layer.codes.shape().dim(0);
+    std::int64_t cs = layer.codes.shape().channelSize();
+    std::int64_t groupsPerChannel = ceilDiv(cs, weightsPerPe());
+
+    // Bitlet's "distiller" digests a window of weights per lane, so the
+    // significance lanes synchronize per pair of groups (the sparsity-
+    // parallelism buffering its paper describes), not per group.
+    const std::int64_t window = 2;
+    work.perChannel.resize(static_cast<std::size_t>(channels));
+    parallelFor(channels, [&](std::int64_t c) {
+        auto ch = layer.codes.channel(c);
+        auto &vec = work.perChannel[static_cast<std::size_t>(c)];
+        vec.reserve(static_cast<std::size_t>(groupsPerChannel));
+        for (std::int64_t g0 = 0; g0 < groupsPerChannel; g0 += window) {
+            std::int64_t gEnd =
+                std::min(g0 + window, groupsPerChannel);
+            int colPop[kWeightBits] = {};
+            int sumPop = 0;
+            for (std::int64_t g = g0; g < gEnd; ++g) {
+                std::int64_t begin = g * weightsPerPe();
+                std::int64_t end = std::min<std::int64_t>(
+                    begin + weightsPerPe(), cs);
+                std::span<const std::int8_t> grp(
+                    ch.data() + begin,
+                    static_cast<std::size_t>(end - begin));
+                int n = static_cast<int>(grp.size());
+                // One lane per significance; each absorbs one essential
+                // bit per cycle, so latency is the densest bit column.
+                for (int b = 0; b < kWeightBits; ++b) {
+                    int pop =
+                        columnPopcount(extractColumn(grp, b), n);
+                    colPop[b] += pop;
+                    sumPop += pop;
+                }
+            }
+            int maxColPop = 0;
+            for (int pop : colPop)
+                maxColPop = std::max(maxColPop, pop);
+            double groupsInWindow = static_cast<double>(gEnd - g0);
+            double latency =
+                std::max(1.0, static_cast<double>(maxColPop)) /
+                groupsInWindow;
+            double useful =
+                static_cast<double>(sumPop) / groupsInWindow;
+            for (std::int64_t g = g0; g < gEnd; ++g) {
+                GroupWork gw;
+                gw.latency = latency;
+                gw.usefulLaneCycles = useful;
+                gw.intraStallLaneCycles =
+                    latency * lanesPerPe() - useful;
+                vec.push_back(gw);
+            }
+        }
+    }, /*chunk=*/1);
+
+    // Like Pragmatic, all bits are fetched; skipping is on-chip only.
+    work.weightStorageBits =
+        static_cast<double>(layer.codes.numel()) * kWeightBits;
+    return work;
+}
+
+} // namespace bbs

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Bitlet (MICRO'21): significance-parallel bit skipping. Eight lanes each
+ * own one bit significance of the digested weight window and absorb one
+ * essential bit per cycle; latency is set by the significance with the most
+ * one-bits, the lane crossbar muxes dominate PE area.
+ */
+#ifndef BBS_ACCEL_BITLET_HPP
+#define BBS_ACCEL_BITLET_HPP
+
+#include "accel/accelerator.hpp"
+
+namespace bbs {
+
+class BitletAccelerator : public Accelerator
+{
+  public:
+    std::string name() const override { return "Bitlet"; }
+    int lanesPerPe() const override { return 8; }
+    PeCost peCost() const override { return bitletPe(); }
+
+  protected:
+    LayerWork buildWork(const PreparedLayer &layer,
+                        const SimConfig &cfg) const override;
+};
+
+} // namespace bbs
+
+#endif // BBS_ACCEL_BITLET_HPP

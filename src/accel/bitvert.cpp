@@ -1,0 +1,118 @@
+#include "accel/bitvert.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/bit_utils.hpp"
+#include "common/parallel.hpp"
+#include "core/channel_reorder.hpp"
+#include "sim/dataflow.hpp"
+
+namespace bbs {
+
+namespace {
+
+/** BBS effectual work of a 16-weight slice over @p bits stored columns. */
+double
+sliceUsefulOps(std::span<const std::int8_t> slice, int bits)
+{
+    int n = static_cast<int>(slice.size());
+    double useful = 0.0;
+    for (int b = 0; b < bits; ++b) {
+        BitColumn col = extractColumn(slice, b);
+        useful += bbsEffectualBits(col, n);
+    }
+    return useful;
+}
+
+} // namespace
+
+BitVertAccelerator::BitVertAccelerator(GlobalPruneConfig cfg,
+                                       std::string label)
+    : cfg_(cfg), label_(std::move(label))
+{}
+
+Accelerator::LayerWork
+BitVertAccelerator::buildWork(const PreparedLayer &layer,
+                              const SimConfig &) const
+{
+    LayerWork work;
+    std::int64_t channels = layer.codes.shape().dim(0);
+    std::int64_t cs = layer.codes.shape().channelSize();
+    const int wpp = weightsPerPe(); // 16 weights per PE pass
+
+    // Channel reordering (§IV-C): same-precision channels are stored and
+    // scheduled contiguously, so lock-step tiles are precision-homogeneous.
+    ChannelOrder order = buildChannelOrder(layer.sensitive);
+
+    work.perChannel.resize(static_cast<std::size_t>(channels));
+    std::atomic<std::int64_t> storageBitsTimes16{0};
+
+    parallelFor(channels, [&](std::int64_t pos) {
+        std::int64_t c =
+            order.originalIndex[static_cast<std::size_t>(pos)];
+        bool sens = layer.sensitive[static_cast<std::size_t>(c)];
+        auto ch = layer.codes.channel(c);
+        auto &vec = work.perChannel[static_cast<std::size_t>(pos)];
+        vec.reserve(static_cast<std::size_t>(ceilDiv(cs, wpp)));
+        double localBits = 0.0;
+
+        // Walk compression groups (32 weights) and emit one PE pass per
+        // 16-weight half.
+        for (std::int64_t gBegin = 0; gBegin < cs;
+             gBegin += cfg_.groupSize) {
+            std::int64_t gEnd =
+                std::min<std::int64_t>(gBegin + cfg_.groupSize, cs);
+            std::span<const std::int8_t> grp(
+                ch.data() + gBegin,
+                static_cast<std::size_t>(gEnd - gBegin));
+
+            int storedCols;
+            std::vector<std::int8_t> storedVals;
+            const std::int8_t *passData;
+            if (sens) {
+                // Sensitive channels stay 8-bit; BBS skipping still holds
+                // (>= 50% per column), so one cycle per column.
+                storedCols = kWeightBits;
+                passData = grp.data();
+                localBits +=
+                    static_cast<double>(grp.size()) * kWeightBits;
+            } else {
+                CompressedGroup cg =
+                    compressGroup(grp, cfg_.targetColumns, cfg_.strategy);
+                storedCols = cg.storedBits;
+                storedVals = std::move(cg.stored);
+                passData = storedVals.data();
+                localBits += static_cast<double>(cg.storageBits());
+            }
+
+            for (std::size_t off = 0; off < grp.size();
+                 off += static_cast<std::size_t>(wpp)) {
+                std::size_t len = std::min<std::size_t>(
+                    static_cast<std::size_t>(wpp), grp.size() - off);
+                std::span<const std::int8_t> slice(passData + off, len);
+                GroupWork gw;
+                // One cycle per stored column; the time-multiplexed BBS
+                // multiplier needs >= 2 cycles, always satisfied since at
+                // most 6 columns are pruned.
+                gw.latency = std::max(storedCols, 2);
+                gw.usefulLaneCycles = sliceUsefulOps(slice, storedCols);
+                gw.intraStallLaneCycles =
+                    gw.latency * lanesPerPe() - gw.usefulLaneCycles;
+                vec.push_back(gw);
+            }
+        }
+        storageBitsTimes16.fetch_add(
+            static_cast<std::int64_t>(localBits * 16.0),
+            std::memory_order_relaxed);
+    }, /*chunk=*/1);
+
+    // Add the channel-index buffer for output unshuffling: one 16-bit
+    // original index per channel (trivial, §IV-C).
+    work.weightStorageBits =
+        static_cast<double>(storageBitsTimes16.load()) / 16.0 +
+        static_cast<double>(channels) * 16.0;
+    return work;
+}
+
+} // namespace bbs

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * BitVert (this paper): the BBS bit-serial accelerator. Normal channels are
+ * binary-pruned, so every compressed group takes exactly
+ * (8 - prunedColumns) cycles — one per stored bit column, since BBS bounds
+ * the effectual bits per 8-weight sub-group at 4 and the PE provides 4
+ * staggered 5:1 muxes (Fig 7(b)). The resulting latency is *deterministic*,
+ * which is why BitVert shows near-zero inter-PE stall in Fig 15.
+ */
+#ifndef BBS_ACCEL_BITVERT_HPP
+#define BBS_ACCEL_BITVERT_HPP
+
+#include "accel/accelerator.hpp"
+#include "core/global_pruning.hpp"
+
+namespace bbs {
+
+class BitVertAccelerator : public Accelerator
+{
+  public:
+    /**
+     * @param cfg    binary-pruning operating point. Must match the config
+     *               used in prepareModel() so the sensitive-channel split
+     *               is consistent.
+     * @param label  display name (e.g. "BitVert (mod)")
+     */
+    explicit BitVertAccelerator(GlobalPruneConfig cfg,
+                                std::string label = "BitVert");
+
+    std::string name() const override { return label_; }
+    int lanesPerPe() const override { return 8; }
+    PeCost peCost() const override { return bitvertPe(8, true); }
+
+    const GlobalPruneConfig &config() const { return cfg_; }
+
+  protected:
+    LayerWork buildWork(const PreparedLayer &layer,
+                        const SimConfig &cfg) const override;
+
+  private:
+    GlobalPruneConfig cfg_;
+    std::string label_;
+};
+
+} // namespace bbs
+
+#endif // BBS_ACCEL_BITVERT_HPP

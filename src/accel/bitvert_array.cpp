@@ -1,0 +1,243 @@
+#include "accel/bitvert_array.hpp"
+
+#include <algorithm>
+
+#include "accel/bitvert_pe.hpp"
+#include "common/logging.hpp"
+#include "common/parallel.hpp"
+
+namespace bbs {
+
+Int32Tensor
+gemmReference(const Int8Tensor &weights, const Int8Tensor &activations)
+{
+    std::int64_t k = weights.shape().dim(0);
+    std::int64_t c = weights.shape().dim(1);
+    BBS_REQUIRE(activations.shape().dim(0) == c,
+                "activation rows must equal weight columns");
+    std::int64_t n = activations.shape().dim(1);
+    Int32Tensor out(Shape{k, n});
+    parallelFor(k, [&](std::int64_t row) {
+        for (std::int64_t col = 0; col < n; ++col) {
+            std::int64_t acc = 0;
+            for (std::int64_t i = 0; i < c; ++i)
+                acc += static_cast<std::int64_t>(weights.at(row, i)) *
+                       static_cast<std::int64_t>(activations.at(i, col));
+            out.at(row, col) = static_cast<std::int32_t>(acc);
+        }
+    }, 1);
+    return out;
+}
+
+BitVertArrayResult
+runBitVertArray(const Int8Tensor &weights,
+                const std::vector<float> &scales,
+                const Int8Tensor &activations,
+                const GlobalPruneConfig &cfg)
+{
+    std::int64_t k = weights.shape().dim(0);
+    std::int64_t c = weights.shape().dim(1);
+    std::int64_t n = activations.shape().dim(1);
+    BBS_REQUIRE(activations.shape().dim(0) == c, "shape mismatch");
+
+    // Algorithm 2 on this layer: sensitive split + per-channel pruning.
+    std::vector<PrunableLayer> model(1);
+    model[0].name = "layer";
+    model[0].codes = weights;
+    model[0].scales = scales;
+    auto sensitive =
+        selectSensitiveChannels(model, cfg.beta, cfg.channelsParallel);
+
+    // Channel reordering: same-precision channels contiguous (Fig 9(a)).
+    ChannelOrder order = buildChannelOrder(sensitive[0]);
+
+    BitVertArrayResult res;
+    Int32Tensor reordered(Shape{k, n});
+    std::vector<std::int64_t> channelCycles(static_cast<std::size_t>(k));
+    std::vector<std::int64_t> channelBits(static_cast<std::size_t>(k));
+
+    const int wpp = 16; // weights per PE pass
+
+    parallelFor(k, [&](std::int64_t pos) {
+        std::int64_t ch =
+            order.originalIndex[static_cast<std::size_t>(pos)];
+        bool sens = sensitive[0][static_cast<std::size_t>(ch)];
+        auto wRow = weights.channel(ch);
+        std::int64_t cyc = 0;
+        std::int64_t bits = 0;
+
+        // Accumulators for all N input vectors (output stationary).
+        std::vector<std::int64_t> acc(static_cast<std::size_t>(n), 0);
+        std::vector<std::int8_t> actSlice(static_cast<std::size_t>(wpp));
+
+        for (std::int64_t gBegin = 0; gBegin < c;
+             gBegin += cfg.groupSize) {
+            std::int64_t gEnd =
+                std::min<std::int64_t>(gBegin + cfg.groupSize, c);
+            std::span<const std::int8_t> grp(
+                wRow.data() + gBegin,
+                static_cast<std::size_t>(gEnd - gBegin));
+
+            CompressedGroup cg;
+            if (sens) {
+                // Sensitive channel: uncompressed pass-through group.
+                cg.meta = GroupMetadata{0, 0};
+                cg.prunedColumns = 0;
+                cg.storedBits = 8;
+                cg.stored.assign(grp.begin(), grp.end());
+                bits += static_cast<std::int64_t>(grp.size()) * 8 + 8;
+            } else {
+                cg = compressGroup(grp, cfg.targetColumns, cfg.strategy);
+                bits += cg.storageBits();
+            }
+
+            // Execute the group's 16-weight slices on the functional PE
+            // for every input vector; cycles accrue once per slice (the
+            // 16 array rows process 16 input vectors in parallel, so the
+            // vector loop costs no extra cycles for n <= rows).
+            for (std::size_t off = 0; off < cg.stored.size();
+                 off += static_cast<std::size_t>(wpp)) {
+                std::size_t len = std::min<std::size_t>(
+                    static_cast<std::size_t>(wpp),
+                    cg.stored.size() - off);
+                std::span<const std::int8_t> slice(
+                    cg.stored.data() + off, len);
+                int sliceCycles = 0;
+                for (std::int64_t col = 0; col < n; ++col) {
+                    for (std::size_t i = 0; i < len; ++i)
+                        actSlice[i] = activations.at(
+                            gBegin + static_cast<std::int64_t>(off + i),
+                            col);
+                    PeRunResult pe = runBitVertPe(
+                        slice, cg.storedBits, cg.prunedColumns,
+                        cg.meta.constant,
+                        std::span<const std::int8_t>(actSlice.data(),
+                                                     len));
+                    acc[static_cast<std::size_t>(col)] += pe.value;
+                    sliceCycles = pe.cycles;
+                }
+                cyc += sliceCycles;
+            }
+        }
+        for (std::int64_t col = 0; col < n; ++col)
+            reordered.at(pos, col) = static_cast<std::int32_t>(
+                acc[static_cast<std::size_t>(col)]);
+        channelCycles[static_cast<std::size_t>(pos)] = cyc;
+        channelBits[static_cast<std::size_t>(pos)] = bits;
+    }, 1);
+
+    // Lock-step columns: 32 channels per tile, wavefront = slowest.
+    // Precision-homogeneous tiles (thanks to reordering) make this the
+    // per-channel cycle count of any member.
+    const std::int64_t cols = 32;
+    for (std::int64_t tile = 0; tile < k; tile += cols) {
+        std::int64_t tileEnd = std::min(tile + cols, k);
+        std::int64_t wave = 0;
+        for (std::int64_t p = tile; p < tileEnd; ++p)
+            wave = std::max(wave,
+                            channelCycles[static_cast<std::size_t>(p)]);
+        res.cycles += wave;
+    }
+    for (std::int64_t p = 0; p < k; ++p)
+        res.weightBits += channelBits[static_cast<std::size_t>(p)];
+
+    // Output unshuffle on write-back (Fig 9(c)).
+    res.outputs = unshuffleOutput(reordered, order);
+    return res;
+}
+
+Int8Tensor
+im2colInt8(const Int8Tensor &input, std::int64_t kernel, std::int64_t pad)
+{
+    BBS_REQUIRE(input.shape().rank() == 3, "input must be [C, H, W]");
+    std::int64_t c = input.shape().dim(0);
+    std::int64_t h = input.shape().dim(1);
+    std::int64_t w = input.shape().dim(2);
+    std::int64_t oh = h + 2 * pad - kernel + 1;
+    std::int64_t ow = w + 2 * pad - kernel + 1;
+    BBS_REQUIRE(oh >= 1 && ow >= 1, "conv output collapses");
+
+    // Columns [C*R*S, OH*OW]: patch-major rows, position-major columns.
+    Int8Tensor cols(Shape{c * kernel * kernel, oh * ow});
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+        for (std::int64_t ky = 0; ky < kernel; ++ky) {
+            for (std::int64_t kx = 0; kx < kernel; ++kx) {
+                std::int64_t row = (ch * kernel + ky) * kernel + kx;
+                for (std::int64_t oy = 0; oy < oh; ++oy) {
+                    std::int64_t iy = oy + ky - pad;
+                    for (std::int64_t ox = 0; ox < ow; ++ox) {
+                        std::int64_t ix = ox + kx - pad;
+                        bool inside =
+                            iy >= 0 && iy < h && ix >= 0 && ix < w;
+                        cols.at(row, oy * ow + ox) =
+                            inside ? input.at(ch, iy, ix)
+                                   : static_cast<std::int8_t>(0);
+                    }
+                }
+            }
+        }
+    }
+    return cols;
+}
+
+Int32Tensor
+convReference(const Int8Tensor &weights, const Int8Tensor &input,
+              std::int64_t pad)
+{
+    BBS_REQUIRE(weights.shape().rank() == 4, "weights must be [K,C,R,S]");
+    std::int64_t k = weights.shape().dim(0);
+    std::int64_t c = weights.shape().dim(1);
+    std::int64_t r = weights.shape().dim(2);
+    std::int64_t h = input.shape().dim(1);
+    std::int64_t w = input.shape().dim(2);
+    std::int64_t oh = h + 2 * pad - r + 1;
+    std::int64_t ow = w + 2 * pad - r + 1;
+
+    Int32Tensor out(Shape{k, oh * ow});
+    for (std::int64_t f = 0; f < k; ++f) {
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+            for (std::int64_t ox = 0; ox < ow; ++ox) {
+                std::int64_t acc = 0;
+                for (std::int64_t ch = 0; ch < c; ++ch) {
+                    for (std::int64_t ky = 0; ky < r; ++ky) {
+                        std::int64_t iy = oy + ky - pad;
+                        if (iy < 0 || iy >= h)
+                            continue;
+                        for (std::int64_t kx = 0; kx < r; ++kx) {
+                            std::int64_t ix = ox + kx - pad;
+                            if (ix < 0 || ix >= w)
+                                continue;
+                            acc += static_cast<std::int64_t>(
+                                       weights.at(f, ch, ky, kx)) *
+                                   input.at(ch, iy, ix);
+                        }
+                    }
+                }
+                out.at(f, oy * ow + ox) =
+                    static_cast<std::int32_t>(acc);
+            }
+        }
+    }
+    return out;
+}
+
+BitVertArrayResult
+runBitVertArrayConv(const Int8Tensor &weights,
+                    const std::vector<float> &scales,
+                    const Int8Tensor &input, std::int64_t pad,
+                    const GlobalPruneConfig &cfg)
+{
+    BBS_REQUIRE(weights.shape().rank() == 4, "weights must be [K,C,R,S]");
+    std::int64_t k = weights.shape().dim(0);
+    std::int64_t patch = weights.shape().channelSize();
+
+    // Lower to a GEMM: flatten filters and im2col the input.
+    Int8Tensor wFlat(Shape{k, patch});
+    std::copy(weights.data().begin(), weights.data().end(),
+              wFlat.data().begin());
+    Int8Tensor cols =
+        im2colInt8(input, weights.shape().dim(2), pad);
+    return runBitVertArray(wFlat, scales, cols, cfg);
+}
+
+} // namespace bbs

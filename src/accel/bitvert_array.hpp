@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Functional simulation of the whole BitVert accelerator (Fig 10) on a
+ * linear layer: global binary pruning, channel reordering, group-wise
+ * execution on the cycle-accurate PE (Fig 7(b)/Fig 8), accumulation, and
+ * output unshuffling on write-back (Fig 9(c)).
+ *
+ * Unlike the throughput model in bitvert.hpp, this computes *values*: the
+ * produced outputs are bit-exact against an integer GEMM reference over
+ * the pruned weights, and the cycle count comes from the same PE model the
+ * unit tests validate. It exists to demonstrate end-to-end functional
+ * correctness of the architecture, including the residual-block
+ * unshuffling argument of §IV-C.
+ */
+#ifndef BBS_ACCEL_BITVERT_ARRAY_HPP
+#define BBS_ACCEL_BITVERT_ARRAY_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/channel_reorder.hpp"
+#include "core/global_pruning.hpp"
+#include "tensor/tensor.hpp"
+
+namespace bbs {
+
+/** Result of a functional BitVert layer execution. */
+struct BitVertArrayResult
+{
+    /** Outputs [K, N] in the ORIGINAL channel order (unshuffled). */
+    Int32Tensor outputs;
+    /** Total PE cycles (max over lock-step columns, summed over waves). */
+    std::int64_t cycles = 0;
+    /** Weight storage streamed, in bits (compressed + metadata). */
+    std::int64_t weightBits = 0;
+};
+
+/**
+ * Execute a linear layer on the functional BitVert array.
+ *
+ * @param weights      INT8 weight codes [K, C]
+ * @param scales       per-channel scales (sensitivity proxy)
+ * @param activations  INT8 activations [C, N] (N input vectors)
+ * @param cfg          binary-pruning operating point (Algorithm 2 is run
+ *                     on this single layer with the configured beta/CH)
+ */
+BitVertArrayResult runBitVertArray(const Int8Tensor &weights,
+                                   const std::vector<float> &scales,
+                                   const Int8Tensor &activations,
+                                   const GlobalPruneConfig &cfg);
+
+/**
+ * Reference: integer GEMM outputs [K, N] of codes x activations.
+ */
+Int32Tensor gemmReference(const Int8Tensor &weights,
+                          const Int8Tensor &activations);
+
+/**
+ * Execute a stride-1 conv layer on the functional array via im2col:
+ * weights [K, C, R, S], input [C, H, W] with symmetric zero padding
+ * producing output positions (H+2p-R+1)^2. Internally lowers to the
+ * linear path (the dataflow BitVert uses for convs, §IV-D).
+ *
+ * @return outputs [K, OH*OW] plus cycles/weight bits as for the linear
+ *         path
+ */
+BitVertArrayResult runBitVertArrayConv(const Int8Tensor &weights,
+                                       const std::vector<float> &scales,
+                                       const Int8Tensor &input,
+                                       std::int64_t pad,
+                                       const GlobalPruneConfig &cfg);
+
+/** im2col lowering used by the conv path; exposed for tests. */
+Int8Tensor im2colInt8(const Int8Tensor &input, std::int64_t kernel,
+                      std::int64_t pad);
+
+/** Direct conv reference: outputs [K, OH*OW]. */
+Int32Tensor convReference(const Int8Tensor &weights,
+                          const Int8Tensor &input, std::int64_t pad);
+
+} // namespace bbs
+
+#endif // BBS_ACCEL_BITVERT_ARRAY_HPP

@@ -1,0 +1,124 @@
+#include "accel/bitvert_pe.hpp"
+
+#include <bit>
+
+#include "common/bit_utils.hpp"
+#include "common/logging.hpp"
+
+namespace bbs {
+
+SubGroupSchedule
+scheduleSubGroupColumn(std::uint32_t columnBits, int n)
+{
+    BBS_REQUIRE(n >= 1 && n <= 8, "sub-group size must be 1..8");
+    std::uint32_t mask = (n >= 32) ? ~0u : ((1u << n) - 1u);
+    std::uint32_t col = columnBits & mask;
+
+    SubGroupSchedule sched;
+    // Inversion decision (Fig 8): when ones dominate, the inverted column
+    // is scheduled and the PE subtracts from the sub-group's sum of
+    // activations (Eq. 3).
+    int ones = std::popcount(col);
+    if (ones > n - ones) {
+        sched.inverted = true;
+        col = ~col & mask;
+    }
+
+    // Four masking priority encoders: encoder j sees positions j..j+4 of
+    // the (possibly inverted) column, takes the first un-masked one-bit,
+    // and masks it for the following encoders.
+    std::uint32_t remaining = col;
+    for (int j = 0; j < 4; ++j) {
+        int lo = j;
+        int hi = std::min(j + 4, n - 1);
+        for (int p = lo; p <= hi; ++p) {
+            if ((remaining >> p) & 1u) {
+                sched.lanes[static_cast<std::size_t>(j)].valid = true;
+                sched.lanes[static_cast<std::size_t>(j)].select = p;
+                remaining &= ~(1u << p);
+                break;
+            }
+        }
+    }
+    // BBS guarantees <= n/2 effectual bits, so the staggered windows can
+    // always cover all of them; anything left over is a scheduler bug.
+    BBS_ASSERT(remaining == 0,
+               "scheduler failed to cover all effectual bits");
+    return sched;
+}
+
+PeRunResult
+runBitVertPe(std::span<const std::int8_t> stored, int storedBits,
+             int prunedColumns, std::int32_t constant,
+             std::span<const std::int8_t> activations)
+{
+    BBS_REQUIRE(stored.size() == activations.size(),
+                "operand size mismatch");
+    BBS_REQUIRE(stored.size() <= 16, "PE covers at most 16 weights");
+    const int subGroupSize = 8;
+
+    // Sum of activations per sub-group (the SumA generator feeds these).
+    std::int64_t subSumA[2] = {0, 0};
+    for (std::size_t i = 0; i < activations.size(); ++i)
+        subSumA[i / subGroupSize] += activations[i];
+    std::int64_t sumA = subSumA[0] + subSumA[1];
+
+    PeRunResult res;
+    std::int64_t acc = 0;
+
+    // col_idx starts at the highest stored significance and decrements
+    // every cycle (Fig 8, shift control). Stored bit b of a stored value
+    // contributes at significance b + prunedColumns of the reconstructed
+    // weight; the MSB column carries negative significance.
+    for (int b = storedBits - 1; b >= 0; --b) {
+        std::int64_t colPartial = 0;
+        for (int sg = 0; sg * subGroupSize <
+             static_cast<int>(stored.size()); ++sg) {
+            int base = sg * subGroupSize;
+            int n = std::min<int>(subGroupSize,
+                                  static_cast<int>(stored.size()) - base);
+            std::uint32_t col = 0;
+            for (int i = 0; i < n; ++i)
+                col |= static_cast<std::uint32_t>(
+                           bitOf(stored[static_cast<std::size_t>(
+                               base + i)], b))
+                       << i;
+
+            SubGroupSchedule sched = scheduleSubGroupColumn(col, n);
+            // Step 1/2: term-select muxes feed the 4-leaf adder tree.
+            std::int64_t treeSum = 0;
+            for (const LaneSelect &lane : sched.lanes)
+                if (lane.valid)
+                    treeSum += activations[static_cast<std::size_t>(
+                        base + lane.select)];
+            // psum_sel: Eq. 2 direct, or Eq. 3 subtract-from-sum.
+            std::int64_t psum =
+                sched.inverted ? subSumA[sg] - treeSum : treeSum;
+            colPartial += psum;
+        }
+        // Step 3: single shift by the column index; the MSB stored column
+        // is negative (two's complement).
+        std::int64_t colWeight = 1ll << (b + prunedColumns);
+        if (b == storedBits - 1)
+            colWeight = -colWeight;
+        acc += colWeight * colPartial;
+        ++res.cycles;
+    }
+
+    // Step 4: BBS multiplier, time-multiplexed at 3 bits per cycle over
+    // the (up to) 6-bit constant — fits in the >= 2 column cycles.
+    acc += static_cast<std::int64_t>(constant) * sumA;
+
+    res.value = acc;
+    return res;
+}
+
+PeRunResult
+runBitVertPe(const CompressedGroup &cg,
+             std::span<const std::int8_t> activations)
+{
+    return runBitVertPe(cg.stored, cg.storedBits, cg.prunedColumns,
+                        cg.meta.constant, activations);
+}
+
+} // namespace bbs

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Functional, cycle-accurate model of the BitVert PE and scheduler
+ * (Fig 7(b) and Fig 8): per cycle, the scheduler inverts dominant-ones
+ * sub-group columns, drives four staggered 5:1 term-select muxes per
+ * sub-group through masking priority encoders, and the PE accumulates the
+ * shifted partial sums plus the time-multiplexed BBS-constant product.
+ *
+ * This model computes *values*, not just latencies; tests verify it against
+ * the mathematical dot product bit-for-bit.
+ */
+#ifndef BBS_ACCEL_BITVERT_PE_HPP
+#define BBS_ACCEL_BITVERT_PE_HPP
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/group_compressor.hpp"
+
+namespace bbs {
+
+/** One lane's mux selection for a cycle. */
+struct LaneSelect
+{
+    bool valid = false; ///< val signal: lane has an effectual bit
+    int select = 0;     ///< position within the sub-group (absolute index)
+};
+
+/**
+ * The Fig 8 scheduler for one 8-bit sub-group column: decides inversion,
+ * then assigns up to 4 effectual bits to the staggered 5:1 muxes
+ * (mux j selects among positions {j, ..., j+4}).
+ */
+struct SubGroupSchedule
+{
+    bool inverted = false; ///< ones dominated; Eq. 3 path selected
+    std::array<LaneSelect, 4> lanes{};
+};
+
+/**
+ * Schedule one sub-group bit column.
+ *
+ * @param columnBits  sub-group bit column, bit i = weight i's current bit
+ * @param n           sub-group size (8 in the shipped design)
+ * @return the schedule; guaranteed to cover every effectual bit because
+ *         BBS bounds them at n/2 = 4
+ */
+SubGroupSchedule scheduleSubGroupColumn(std::uint32_t columnBits, int n);
+
+/** Result of a cycle-accurate PE execution. */
+struct PeRunResult
+{
+    std::int64_t value = 0; ///< accumulated dot product
+    int cycles = 0;         ///< cycles consumed (== stored columns)
+};
+
+/**
+ * Cycle-accurate BitVert PE (16 weights, two sub-groups of 8).
+ *
+ * Executes the bit-serial dot product of a compressed 16-weight slice
+ * against 16 activations: one stored column per cycle through the
+ * scheduler/mux/subtract path, the BBS constant through the 3-bit/cycle
+ * multiplier, matching Fig 7(b) steps 1-5.
+ *
+ * @param stored         the 16 stored (high-column) weight values
+ * @param storedBits     bits per stored value
+ * @param prunedColumns  low columns pruned (shift applied in step 3)
+ * @param constant       BBS constant (metadata)
+ * @param activations    16 activation values
+ */
+PeRunResult runBitVertPe(std::span<const std::int8_t> stored,
+                         int storedBits, int prunedColumns,
+                         std::int32_t constant,
+                         std::span<const std::int8_t> activations);
+
+/** Convenience: run the PE on a 16-weight compressed group directly. */
+PeRunResult runBitVertPe(const CompressedGroup &cg,
+                         std::span<const std::int8_t> activations);
+
+} // namespace bbs
+
+#endif // BBS_ACCEL_BITVERT_PE_HPP

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * BitWave (HPCA'24): bit-column-serial over sign-magnitude weights. Bit
+ * columns that are entirely zero across the group are skipped (and not
+ * stored), giving balanced workload but leaving all one-bits inside
+ * surviving columns ineffectual — the gap BBS closes.
+ */
+#ifndef BBS_ACCEL_BITWAVE_HPP
+#define BBS_ACCEL_BITWAVE_HPP
+
+#include "accel/accelerator.hpp"
+
+namespace bbs {
+
+class BitwaveAccelerator : public Accelerator
+{
+  public:
+    /**
+     * @param pruneColumns  bit-flip enhanced zero columns per group. The
+     *        paper notes BitWave must stay at light pruning (moderate
+     *        pruning loses > 1% accuracy on several models), so the
+     *        performance comparison uses 2.
+     */
+    explicit BitwaveAccelerator(int pruneColumns = 2)
+        : pruneColumns_(pruneColumns)
+    {}
+
+    std::string name() const override { return "BitWave"; }
+    int lanesPerPe() const override { return 16; }
+    PeCost peCost() const override { return bitwavePe(); }
+
+  protected:
+    LayerWork buildWork(const PreparedLayer &layer,
+                        const SimConfig &cfg) const override;
+
+  private:
+    int pruneColumns_;
+};
+
+} // namespace bbs
+
+#endif // BBS_ACCEL_BITWAVE_HPP

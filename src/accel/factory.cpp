@@ -1,0 +1,40 @@
+#include "accel/factory.hpp"
+
+#include "accel/ant_accel.hpp"
+#include "accel/bitlet.hpp"
+#include "accel/bitvert.hpp"
+#include "accel/bitwave.hpp"
+#include "accel/pragmatic.hpp"
+#include "accel/sparten.hpp"
+#include "accel/stripes.hpp"
+#include "common/logging.hpp"
+
+namespace bbs {
+
+std::vector<std::unique_ptr<Accelerator>>
+evaluationLineup()
+{
+    std::vector<std::unique_ptr<Accelerator>> v;
+    v.push_back(std::make_unique<SpartenAccelerator>());
+    v.push_back(std::make_unique<AntAccelerator>());
+    v.push_back(std::make_unique<StripesAccelerator>());
+    v.push_back(std::make_unique<PragmaticAccelerator>());
+    v.push_back(std::make_unique<BitletAccelerator>());
+    v.push_back(std::make_unique<BitwaveAccelerator>());
+    v.push_back(std::make_unique<BitVertAccelerator>(
+        conservativeConfig(), "BitVert (cons)"));
+    v.push_back(std::make_unique<BitVertAccelerator>(
+        moderateConfig(), "BitVert (mod)"));
+    return v;
+}
+
+std::unique_ptr<Accelerator>
+makeAccelerator(const std::string &name)
+{
+    for (auto &a : evaluationLineup())
+        if (a->name() == name)
+            return std::move(a);
+    BBS_FATAL("unknown accelerator: ", name);
+}
+
+} // namespace bbs

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Accelerator factory: the line-up of the paper's Fig 12/13 comparison in
+ * presentation order, plus lookup by name.
+ */
+#ifndef BBS_ACCEL_FACTORY_HPP
+#define BBS_ACCEL_FACTORY_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.hpp"
+
+namespace bbs {
+
+/**
+ * The eight accelerators of the main evaluation, in the paper's order:
+ * SparTen, ANT, Stripes, Pragmatic, Bitlet, BitWave, BitVert (cons),
+ * BitVert (mod).
+ */
+std::vector<std::unique_ptr<Accelerator>> evaluationLineup();
+
+/** Construct one accelerator by its display name; fatal on unknown. */
+std::unique_ptr<Accelerator> makeAccelerator(const std::string &name);
+
+} // namespace bbs
+
+#endif // BBS_ACCEL_FACTORY_HPP

@@ -1,0 +1,73 @@
+#include "accel/pragmatic.hpp"
+
+#include <algorithm>
+
+#include "common/bit_utils.hpp"
+#include "common/parallel.hpp"
+#include "sim/dataflow.hpp"
+
+namespace bbs {
+
+Accelerator::LayerWork
+PragmaticAccelerator::buildWork(const PreparedLayer &layer,
+                                const SimConfig &) const
+{
+    LayerWork work;
+    std::int64_t channels = layer.codes.shape().dim(0);
+    std::int64_t cs = layer.codes.shape().channelSize();
+    std::int64_t groupsPerChannel = ceilDiv(cs, weightsPerPe());
+
+    // Pragmatic's dispatcher keeps per-lane essential-bit FIFOs, so a lane
+    // streams into following groups while a slow neighbour finishes: lanes
+    // synchronize once per FIFO window of groups, not per group. The
+    // window latency is the largest per-lane sum of essential bits.
+    const std::int64_t window = 4;
+    work.perChannel.resize(static_cast<std::size_t>(channels));
+    parallelFor(channels, [&](std::int64_t c) {
+        auto ch = layer.codes.channel(c);
+        auto &vec = work.perChannel[static_cast<std::size_t>(c)];
+        vec.reserve(static_cast<std::size_t>(groupsPerChannel));
+        for (std::int64_t g0 = 0; g0 < groupsPerChannel; g0 += window) {
+            std::int64_t gEnd =
+                std::min(g0 + window, groupsPerChannel);
+            int lanePop[16] = {};
+            int sumPop = 0;
+            for (std::int64_t g = g0; g < gEnd; ++g) {
+                std::int64_t begin = g * weightsPerPe();
+                std::int64_t end = std::min<std::int64_t>(
+                    begin + weightsPerPe(), cs);
+                for (std::int64_t i = begin; i < end; ++i) {
+                    int pop =
+                        popcount8(ch[static_cast<std::size_t>(i)]);
+                    lanePop[i - begin] += pop;
+                    sumPop += pop;
+                }
+            }
+            int maxPop = 0;
+            for (int pop : lanePop)
+                maxPop = std::max(maxPop, pop);
+            double groupsInWindow = static_cast<double>(gEnd - g0);
+            double latency =
+                std::max(1.0, static_cast<double>(maxPop)) /
+                groupsInWindow;
+            double useful =
+                static_cast<double>(sumPop) / groupsInWindow;
+            for (std::int64_t g = g0; g < gEnd; ++g) {
+                GroupWork gw;
+                gw.latency = latency;
+                gw.usefulLaneCycles = useful;
+                gw.intraStallLaneCycles =
+                    latency * lanesPerPe() - useful;
+                vec.push_back(gw);
+            }
+        }
+    }, /*chunk=*/1);
+
+    // All weight bits are fetched from DRAM: zero-bit skipping happens
+    // on-chip only (§I drawback 2).
+    work.weightStorageBits =
+        static_cast<double>(layer.codes.numel()) * kWeightBits;
+    return work;
+}
+
+} // namespace bbs

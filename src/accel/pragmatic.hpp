@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Pragmatic (MICRO'17): essential-bit serial. Each lane processes only the
+ * non-zero bits of its weight; lanes within a PE synchronize on the weight
+ * with the most essential bits (intra-PE stall), and columns synchronize on
+ * the slowest PE (inter-PE stall) — the load-imbalance failure mode the
+ * paper's Figs 14/15 quantify.
+ */
+#ifndef BBS_ACCEL_PRAGMATIC_HPP
+#define BBS_ACCEL_PRAGMATIC_HPP
+
+#include "accel/accelerator.hpp"
+
+namespace bbs {
+
+class PragmaticAccelerator : public Accelerator
+{
+  public:
+    std::string name() const override { return "Pragmatic"; }
+    int lanesPerPe() const override { return 16; }
+    PeCost peCost() const override { return pragmaticPe(); }
+
+  protected:
+    LayerWork buildWork(const PreparedLayer &layer,
+                        const SimConfig &cfg) const override;
+};
+
+} // namespace bbs
+
+#endif // BBS_ACCEL_PRAGMATIC_HPP

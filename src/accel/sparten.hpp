@@ -1,0 +1,41 @@
+/**
+ * @file
+ * SparTen (MICRO'19): two-sided *value* sparsity. Effectual work is the
+ * product of non-zero weights and non-zero activations; on 8-bit PTQ models
+ * weight value sparsity is < 5% and transformer activations are dense, so
+ * SparTen degenerates to near-dense with bitmask overhead — the paper's
+ * motivating observation (§II-B).
+ */
+#ifndef BBS_ACCEL_SPARTEN_HPP
+#define BBS_ACCEL_SPARTEN_HPP
+
+#include "accel/accelerator.hpp"
+
+namespace bbs {
+
+class SpartenAccelerator : public Accelerator
+{
+  public:
+    std::string name() const override { return "SparTen"; }
+    /** Two 8-bit multipliers per PE = 16 bit-serial equivalents. */
+    int lanesPerPe() const override { return 16; }
+    PeCost peCost() const override { return spartenPe(); }
+    /** spartenPe() already covers the full 16-lane-equivalent PE. */
+    double peCostScale() const override { return 1.0; }
+    /**
+     * Per-PE local buffers: operands move shared-buffer -> local buffer ->
+     * matched pair, and greedy balancing re-shuffles chunks, multiplying
+     * on-chip traffic (the overhead the paper's Fig 13 attributes to
+     * SparTen's "expensive hardware required to exploit sparsity").
+     */
+    double sramBytesScale() const override { return 6.0; }
+
+  protected:
+    LayerWork buildWork(const PreparedLayer &layer,
+                        const SimConfig &cfg) const override;
+    double activationBitsScale(const PreparedLayer &layer) const override;
+};
+
+} // namespace bbs
+
+#endif // BBS_ACCEL_SPARTEN_HPP

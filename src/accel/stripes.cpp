@@ -1,0 +1,34 @@
+#include "accel/stripes.hpp"
+
+#include "common/bit_utils.hpp"
+#include "sim/dataflow.hpp"
+
+namespace bbs {
+
+Accelerator::LayerWork
+StripesAccelerator::buildWork(const PreparedLayer &layer,
+                              const SimConfig &) const
+{
+    LayerWork work;
+    std::int64_t channels = layer.codes.shape().dim(0);
+    std::int64_t cs = layer.codes.shape().channelSize();
+    std::int64_t groupsPerChannel = ceilDiv(cs, weightsPerPe());
+
+    work.perChannel.resize(static_cast<std::size_t>(channels));
+    for (std::int64_t c = 0; c < channels; ++c) {
+        auto &vec = work.perChannel[static_cast<std::size_t>(c)];
+        vec.reserve(static_cast<std::size_t>(groupsPerChannel));
+        for (std::int64_t g = 0; g < groupsPerChannel; ++g) {
+            GroupWork gw;
+            gw.latency = kWeightBits; // dense: one cycle per bit column
+            gw.usefulLaneCycles = gw.latency * lanesPerPe();
+            gw.intraStallLaneCycles = 0.0;
+            vec.push_back(gw);
+        }
+    }
+    work.weightStorageBits =
+        static_cast<double>(layer.codes.numel()) * kWeightBits;
+    return work;
+}
+
+} // namespace bbs

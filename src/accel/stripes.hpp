@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Stripes (MICRO'16): the dense bit-serial baseline. Every weight's 8 bits
+ * are processed serially with no sparsity exploitation; performance scales
+ * only with precision. All speedups in the paper's Fig 12 are normalized to
+ * this model.
+ */
+#ifndef BBS_ACCEL_STRIPES_HPP
+#define BBS_ACCEL_STRIPES_HPP
+
+#include "accel/accelerator.hpp"
+
+namespace bbs {
+
+class StripesAccelerator : public Accelerator
+{
+  public:
+    std::string name() const override { return "Stripes"; }
+    int lanesPerPe() const override { return 16; }
+    PeCost peCost() const override { return stripesPe(); }
+
+  protected:
+    LayerWork buildWork(const PreparedLayer &layer,
+                        const SimConfig &cfg) const override;
+};
+
+} // namespace bbs
+
+#endif // BBS_ACCEL_STRIPES_HPP

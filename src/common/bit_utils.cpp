@@ -1,0 +1,70 @@
+#include "common/bit_utils.hpp"
+
+#include "common/logging.hpp"
+
+namespace bbs {
+
+std::uint32_t
+toSignMagnitude(std::int32_t v, int bits)
+{
+    BBS_ASSERT(bits >= 2 && bits <= 31);
+    std::uint32_t magMask = (1u << (bits - 1)) - 1u;
+    std::uint32_t sign = v < 0 ? (1u << (bits - 1)) : 0u;
+    std::uint32_t mag = static_cast<std::uint32_t>(v < 0 ? -(v + 0) : v);
+    if (mag > magMask) {
+        // -2^(bits-1) has no sign-magnitude encoding; saturate.
+        mag = magMask;
+    }
+    return sign | mag;
+}
+
+std::int32_t
+fromSignMagnitude(std::uint32_t sm, int bits)
+{
+    BBS_ASSERT(bits >= 2 && bits <= 31);
+    std::uint32_t magMask = (1u << (bits - 1)) - 1u;
+    std::int32_t mag = static_cast<std::int32_t>(sm & magMask);
+    return (sm >> (bits - 1)) & 1u ? -mag : mag;
+}
+
+int
+essentialBitsSignMagnitude(std::int32_t v, int bits)
+{
+    return std::popcount(toSignMagnitude(v, bits));
+}
+
+BitColumn
+extractColumn(std::span<const std::int8_t> group, int b)
+{
+    BBS_ASSERT(group.size() <= 64);
+    BBS_ASSERT(b >= 0 && b < kWeightBits);
+    BitColumn col = 0;
+    for (std::size_t i = 0; i < group.size(); ++i) {
+        col |= static_cast<BitColumn>(bitOf(group[i], b)) << i;
+    }
+    return col;
+}
+
+int
+countRedundantColumns(std::span<const std::int8_t> group, int maxCount)
+{
+    // A column at significance b (b < MSB) is redundant iff for every
+    // member it equals the member's sign bit, and all columns above it
+    // (below the MSB) are also redundant.
+    int count = 0;
+    for (int b = kWeightBits - 2; b >= 0 && count < maxCount; --b) {
+        bool redundant = true;
+        for (std::int8_t w : group) {
+            if (bitOf(w, b) != bitOf(w, kWeightBits - 1)) {
+                redundant = false;
+                break;
+            }
+        }
+        if (!redundant)
+            break;
+        ++count;
+    }
+    return count;
+}
+
+} // namespace bbs

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Bit-manipulation primitives for bit-serial arithmetic.
+ *
+ * DNN weights in this project are 8-bit two's-complement integers. The BBS
+ * algorithm and all bit-serial accelerator models reason about individual
+ * bit significances ("bit columns") of groups of weights, so this header
+ * centralizes the two's-complement / sign-magnitude conversions, bit-column
+ * extraction, and popcount helpers they share.
+ */
+#ifndef BBS_COMMON_BIT_UTILS_HPP
+#define BBS_COMMON_BIT_UTILS_HPP
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bbs {
+
+/** Number of bits in the fixed weight precision used across the project. */
+inline constexpr int kWeightBits = 8;
+
+/** Extract bit @p b (0 = LSB) of the two's-complement encoding of @p v. */
+inline int
+bitOf(std::int32_t v, int b)
+{
+    return (static_cast<std::uint32_t>(v) >> b) & 1u;
+}
+
+/** Population count of an 8-bit two's complement value. */
+inline int
+popcount8(std::int32_t v)
+{
+    return std::popcount(static_cast<std::uint32_t>(v) & 0xffu);
+}
+
+/**
+ * Number of essential (non-zero) bits in the two's-complement encoding of
+ * @p v restricted to @p bits bits.
+ */
+inline int
+essentialBits(std::int32_t v, int bits = kWeightBits)
+{
+    std::uint32_t mask = (bits >= 32) ? 0xffffffffu : ((1u << bits) - 1u);
+    return std::popcount(static_cast<std::uint32_t>(v) & mask);
+}
+
+/**
+ * Sign-magnitude encoding of a value representable in @p bits bits.
+ *
+ * Bit (bits-1) is the sign; the remaining bits hold |v|. The most negative
+ * two's-complement value (e.g. -128 for 8 bits) cannot be represented and is
+ * saturated to the largest representable magnitude, matching how
+ * sign-magnitude accelerators such as BitWave handle quantized weights.
+ */
+std::uint32_t toSignMagnitude(std::int32_t v, int bits = kWeightBits);
+
+/** Inverse of toSignMagnitude. */
+std::int32_t fromSignMagnitude(std::uint32_t sm, int bits = kWeightBits);
+
+/** Essential bits of the sign-magnitude encoding (sign bit included). */
+int essentialBitsSignMagnitude(std::int32_t v, int bits = kWeightBits);
+
+/**
+ * A bit column: the bits at one significance across a group of values,
+ * packed LSB-first into a 64-bit word (group sizes up to 64 supported).
+ */
+using BitColumn = std::uint64_t;
+
+/**
+ * Extract bit column @p b from a group of two's-complement values.
+ *
+ * @param group  the weight group (each value must fit in @p bits bits)
+ * @param b      bit significance, 0 = LSB
+ * @return packed column; bit i of the result is bit b of group[i]
+ */
+BitColumn extractColumn(std::span<const std::int8_t> group, int b);
+
+/** Popcount of a column restricted to a group of @p n values. */
+inline int
+columnPopcount(BitColumn col, int n)
+{
+    std::uint64_t mask =
+        (n >= 64) ? ~0ULL : ((1ULL << n) - 1ULL);
+    return std::popcount(col & mask);
+}
+
+/**
+ * Bi-directional effectual-bit count of a column (the paper's Eq. 2/3):
+ * the scheduler processes whichever of {ones, zeros} is fewer, so the
+ * effectual work is min(popcount, n - popcount). Always <= n/2.
+ */
+inline int
+bbsEffectualBits(BitColumn col, int n)
+{
+    int ones = columnPopcount(col, n);
+    return ones <= n - ones ? ones : n - ones;
+}
+
+/** Sign-extend the low @p bits bits of @p v to a full int32. */
+inline std::int32_t
+signExtend(std::uint32_t v, int bits)
+{
+    std::uint32_t m = 1u << (bits - 1);
+    std::uint32_t x = v & ((bits >= 32) ? 0xffffffffu : ((1u << bits) - 1u));
+    return static_cast<std::int32_t>((x ^ m) - m);
+}
+
+/** Clamp @p v into the representable range of @p bits-bit two's complement. */
+inline std::int32_t
+clampToBits(std::int32_t v, int bits)
+{
+    std::int32_t lo = -(1 << (bits - 1));
+    std::int32_t hi = (1 << (bits - 1)) - 1;
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/**
+ * Number of redundant sign-extension columns of an 8-bit group: the count of
+ * columns directly below the MSB column that are identical to it for every
+ * member (paper Fig. 4 step 1). Removing them keeps all values intact when
+ * the remaining MSB is reinterpreted as the sign.
+ *
+ * @param group  weight group
+ * @param maxCount  cap on the reported count (the BBS encoding stores 2 bits,
+ *                  so at most 3)
+ */
+int countRedundantColumns(std::span<const std::int8_t> group,
+                          int maxCount = 3);
+
+} // namespace bbs
+
+#endif // BBS_COMMON_BIT_UTILS_HPP

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Minimal data-parallel loop used by the compressor and simulators.
+ * Deterministic: iteration i always does the same work regardless of the
+ * thread count; only wall-clock time changes.
+ */
+#ifndef BBS_COMMON_PARALLEL_HPP
+#define BBS_COMMON_PARALLEL_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace bbs {
+
+/**
+ * Run fn(i) for i in [0, n) across hardware threads.
+ *
+ * Work is handed out in chunks via an atomic counter, so uneven iteration
+ * costs (e.g. different layer sizes) still balance.
+ *
+ * @param n      iteration count
+ * @param fn     body; must be safe to run concurrently for distinct i
+ * @param chunk  iterations claimed per atomic fetch
+ */
+inline void
+parallelFor(std::int64_t n, const std::function<void(std::int64_t)> &fn,
+            std::int64_t chunk = 64)
+{
+    if (n <= 0)
+        return;
+    unsigned threads = std::thread::hardware_concurrency();
+    if (threads <= 1 || n <= chunk) {
+        for (std::int64_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::int64_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            std::int64_t begin = next.fetch_add(chunk);
+            if (begin >= n)
+                return;
+            std::int64_t end = std::min(begin + chunk, n);
+            for (std::int64_t i = begin; i < end; ++i)
+                fn(i);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    unsigned count = std::min<unsigned>(
+        threads, static_cast<unsigned>((n + chunk - 1) / chunk));
+    pool.reserve(count);
+    for (unsigned t = 0; t < count; ++t)
+        pool.emplace_back(worker);
+    for (auto &th : pool)
+        th.join();
+}
+
+} // namespace bbs
+
+#endif // BBS_COMMON_PARALLEL_HPP

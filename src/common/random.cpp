@@ -1,0 +1,55 @@
+#include "common/random.hpp"
+
+#include <cmath>
+
+namespace bbs {
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+    return dist(engine_);
+}
+
+double
+Rng::uniformReal(double lo, double hi)
+{
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+}
+
+double
+Rng::laplace(double mu, double b)
+{
+    // Inverse-CDF sampling: u in (-1/2, 1/2).
+    double u = uniformReal(-0.5, 0.5);
+    double sign = (u >= 0.0) ? 1.0 : -1.0;
+    return mu - b * sign * std::log(1.0 - 2.0 * std::abs(u));
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+}
+
+Rng
+Rng::fork()
+{
+    // Mix the next draw so forked streams decorrelate from the parent.
+    std::uint64_t s = engine_();
+    s ^= s >> 33;
+    s *= 0xff51afd7ed558ccdULL;
+    s ^= s >> 33;
+    return Rng(s);
+}
+
+} // namespace bbs

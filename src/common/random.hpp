@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Deterministic random-number generation used throughout the library.
+ *
+ * All synthetic workloads are seeded so every benchmark and test is exactly
+ * reproducible run to run. A light wrapper around std::mt19937_64 exposes
+ * the handful of distributions the project needs.
+ */
+#ifndef BBS_COMMON_RANDOM_HPP
+#define BBS_COMMON_RANDOM_HPP
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace bbs {
+
+/**
+ * Seeded random source. One instance per independent stream; derive
+ * sub-streams with fork() so adding a consumer does not perturb others.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5eedULL) : engine_(seed) {}
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform real in [lo, hi). */
+    double uniformReal(double lo, double hi);
+
+    /** Gaussian with the given mean and standard deviation. */
+    double gaussian(double mean, double stddev);
+
+    /** Laplace(mu, b): heavier tails than Gaussian, common for DNN weights. */
+    double laplace(double mu, double b);
+
+    /** Bernoulli draw with probability p of true. */
+    bool bernoulli(double p);
+
+    /** A fresh generator whose stream is independent of this one. */
+    Rng fork();
+
+    /** Raw 64-bit draw. */
+    std::uint64_t next() { return engine_(); }
+
+    /** Fisher-Yates shuffle of an index vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = static_cast<std::size_t>(
+                uniformInt(0, static_cast<std::int64_t>(i) - 1));
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace bbs
+
+#endif // BBS_COMMON_RANDOM_HPP

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Small statistics helpers shared by metrics, benchmarks and simulators:
+ * mean, geometric mean, standard deviation, percentile, and a running
+ * accumulator.
+ */
+#ifndef BBS_COMMON_STATS_HPP
+#define BBS_COMMON_STATS_HPP
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace bbs {
+
+/** Arithmetic mean; 0 for an empty span. */
+double mean(std::span<const double> xs);
+
+/** Geometric mean; requires strictly positive entries. */
+double geomean(std::span<const double> xs);
+
+/** Population standard deviation. */
+double stddev(std::span<const double> xs);
+
+/** Linear-interpolated percentile, p in [0, 100]. */
+double percentile(std::vector<double> xs, double p);
+
+/**
+ * Streaming accumulator for count/sum/min/max/mean without storing samples.
+ */
+class Accumulator
+{
+  public:
+    void add(double x);
+
+    std::size_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+  private:
+    std::size_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace bbs
+
+#endif // BBS_COMMON_STATS_HPP

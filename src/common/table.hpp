@@ -1,0 +1,54 @@
+/**
+ * @file
+ * ASCII table and CSV emitters used by the benchmark harness to print the
+ * rows/series of every reproduced paper table and figure.
+ */
+#ifndef BBS_COMMON_TABLE_HPP
+#define BBS_COMMON_TABLE_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bbs {
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"Model", "Speedup"});
+ *   t.addRow({"ResNet-50", format("%.2f", 3.03)});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append one row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns and a separator under the header. */
+    void print(std::ostream &os) const;
+
+    /** Render as comma-separated values (header first). */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...);
+
+/** Format a double with @p digits significant decimal places. */
+std::string formatDouble(double v, int digits = 2);
+
+} // namespace bbs
+
+#endif // BBS_COMMON_TABLE_HPP

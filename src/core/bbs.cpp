@@ -1,0 +1,102 @@
+#include "core/bbs.hpp"
+
+#include <algorithm>
+
+#include "common/bit_utils.hpp"
+#include "common/logging.hpp"
+
+namespace bbs {
+
+double
+bitSparsityTwosComplement(const Int8Tensor &codes)
+{
+    if (codes.numel() == 0)
+        return 0.0;
+    std::int64_t ones = 0;
+    for (std::int8_t v : codes.data())
+        ones += popcount8(v);
+    double totalBits =
+        static_cast<double>(codes.numel()) * kWeightBits;
+    return 1.0 - static_cast<double>(ones) / totalBits;
+}
+
+double
+bitSparsitySignMagnitude(const Int8Tensor &codes)
+{
+    if (codes.numel() == 0)
+        return 0.0;
+    std::int64_t ones = 0;
+    for (std::int8_t v : codes.data())
+        ones += essentialBitsSignMagnitude(v);
+    double totalBits =
+        static_cast<double>(codes.numel()) * kWeightBits;
+    return 1.0 - static_cast<double>(ones) / totalBits;
+}
+
+double
+bbsSparsityGroup(std::span<const std::int8_t> group)
+{
+    int n = static_cast<int>(group.size());
+    BBS_REQUIRE(n >= 1 && n <= 64, "group size must be 1..64");
+    double sparse = 0.0;
+    for (int b = 0; b < kWeightBits; ++b) {
+        BitColumn col = extractColumn(group, b);
+        int ones = columnPopcount(col, n);
+        sparse += static_cast<double>(std::max(ones, n - ones));
+    }
+    return sparse / static_cast<double>(kWeightBits * n);
+}
+
+double
+bbsSparsity(const Int8Tensor &codes, std::int64_t vectorSize)
+{
+    std::int64_t groups = codes.numGroups(vectorSize);
+    if (groups == 0)
+        return 0.0;
+    double sparseBits = 0.0;
+    double totalBits = 0.0;
+    for (std::int64_t g = 0; g < groups; ++g) {
+        auto span = codes.group(g, vectorSize);
+        int n = static_cast<int>(span.size());
+        for (int b = 0; b < kWeightBits; ++b) {
+            BitColumn col = extractColumn(span, b);
+            int ones = columnPopcount(col, n);
+            sparseBits += static_cast<double>(std::max(ones, n - ones));
+            totalBits += static_cast<double>(n);
+        }
+    }
+    return sparseBits / totalBits;
+}
+
+EffectualBitStats
+effectualBitStats(const Int8Tensor &codes, std::int64_t vectorSize)
+{
+    EffectualBitStats st;
+    std::int64_t groups = codes.numGroups(vectorSize);
+    if (groups == 0)
+        return st;
+    double sumZero = 0.0, sumBbs = 0.0;
+    double maxZero = 0.0, maxBbs = 0.0;
+    std::int64_t columns = 0;
+    for (std::int64_t g = 0; g < groups; ++g) {
+        auto span = codes.group(g, vectorSize);
+        int n = static_cast<int>(span.size());
+        for (int b = 0; b < kWeightBits; ++b) {
+            BitColumn col = extractColumn(span, b);
+            int ones = columnPopcount(col, n);
+            int bbsWork = std::min(ones, n - ones);
+            sumZero += ones;
+            sumBbs += bbsWork;
+            maxZero = std::max(maxZero, static_cast<double>(ones));
+            maxBbs = std::max(maxBbs, static_cast<double>(bbsWork));
+            ++columns;
+        }
+    }
+    st.meanZeroSkip = sumZero / static_cast<double>(columns);
+    st.meanBbs = sumBbs / static_cast<double>(columns);
+    st.maxZeroSkip = maxZero;
+    st.maxBbs = maxBbs;
+    return st;
+}
+
+} // namespace bbs

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Bi-directional bit-level sparsity (BBS) measurement — the paper's §III-A.
+ *
+ * For a bit vector (one bit significance across a group of weights), BBS
+ * treats whichever of {zeros, ones} occurs more often as the sparse symbol,
+ * so any vector is at least 50 % sparse (Eq. 2/3). These functions measure
+ * the inherent sparsity of quantized weight tensors for the paper's Fig 3.
+ */
+#ifndef BBS_CORE_BBS_HPP
+#define BBS_CORE_BBS_HPP
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace bbs {
+
+/** Fraction of zero bits in the two's-complement encoding of all weights. */
+double bitSparsityTwosComplement(const Int8Tensor &codes);
+
+/** Fraction of zero bits in the sign-magnitude encoding of all weights. */
+double bitSparsitySignMagnitude(const Int8Tensor &codes);
+
+/**
+ * BBS sparsity of a tensor: bit vectors of @p vectorSize weights are formed
+ * per bit significance, and each vector's sparsity is
+ * max(zeros, ones) / vectorSize. Always >= 0.5.
+ */
+double bbsSparsity(const Int8Tensor &codes, std::int64_t vectorSize = 8);
+
+/** BBS sparsity of a single group across all 8 significances. */
+double bbsSparsityGroup(std::span<const std::int8_t> group);
+
+/**
+ * Per-column effectual-bit count distribution of a tensor under plain
+ * zero-bit skipping vs BBS skipping. Used for load-imbalance analysis:
+ * the imbalance of a bit-serial array is driven by the spread of these
+ * counts across concurrently processed vectors.
+ */
+struct EffectualBitStats
+{
+    double meanZeroSkip = 0.0; ///< mean ones per column (zero-skip work)
+    double maxZeroSkip = 0.0;  ///< max ones per column
+    double meanBbs = 0.0;      ///< mean min(ones, zeros) per column
+    double maxBbs = 0.0;       ///< max min(ones, zeros) per column
+};
+
+EffectualBitStats effectualBitStats(const Int8Tensor &codes,
+                                    std::int64_t vectorSize = 8);
+
+} // namespace bbs
+
+#endif // BBS_CORE_BBS_HPP

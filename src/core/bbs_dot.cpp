@@ -1,0 +1,138 @@
+#include "core/bbs_dot.hpp"
+
+#include "common/bit_utils.hpp"
+#include "common/logging.hpp"
+
+namespace bbs {
+
+namespace {
+
+std::int64_t
+sumActivations(std::span<const std::int8_t> activations)
+{
+    std::int64_t s = 0;
+    for (std::int8_t a : activations)
+        s += a;
+    return s;
+}
+
+/** Significance weight of column b in p-bit two's complement. */
+inline std::int64_t
+columnWeight(int b, int bits)
+{
+    std::int64_t w = 1ll << b;
+    return b == bits - 1 ? -w : w;
+}
+
+} // namespace
+
+std::int64_t
+dotReference(std::span<const std::int8_t> weights,
+             std::span<const std::int8_t> activations)
+{
+    BBS_REQUIRE(weights.size() == activations.size(),
+                "dot operand size mismatch");
+    std::int64_t acc = 0;
+    for (std::size_t i = 0; i < weights.size(); ++i)
+        acc += static_cast<std::int64_t>(weights[i]) *
+               static_cast<std::int64_t>(activations[i]);
+    return acc;
+}
+
+std::int64_t
+dotBitSerialZeroSkip(std::span<const std::int8_t> weights,
+                     std::span<const std::int8_t> activations)
+{
+    BBS_REQUIRE(weights.size() == activations.size(),
+                "dot operand size mismatch");
+    std::int64_t acc = 0;
+    for (int b = 0; b < kWeightBits; ++b) {
+        std::int64_t colSum = 0;
+        for (std::size_t i = 0; i < weights.size(); ++i)
+            if (bitOf(weights[i], b))
+                colSum += activations[i];
+        acc += columnWeight(b, kWeightBits) * colSum;
+    }
+    return acc;
+}
+
+BbsDotResult
+dotBitSerialBbs(std::span<const std::int8_t> weights,
+                std::span<const std::int8_t> activations)
+{
+    BBS_REQUIRE(weights.size() == activations.size(),
+                "dot operand size mismatch");
+    BbsDotResult res;
+    int n = static_cast<int>(weights.size());
+    std::int64_t sumA = sumActivations(activations);
+
+    for (int b = 0; b < kWeightBits; ++b) {
+        BitColumn col = extractColumn(weights, b);
+        int ones = columnPopcount(col, n);
+        std::int64_t colSum;
+        if (ones <= n - ones) {
+            // Eq. 2: add activations at one-bits.
+            colSum = 0;
+            for (int i = 0; i < n; ++i)
+                if ((col >> i) & 1ull)
+                    colSum += activations[static_cast<std::size_t>(i)];
+            res.effectualOps += ones;
+        } else {
+            // Eq. 3: invert; subtract activations at zero-bits from sumA.
+            std::int64_t zeroSum = 0;
+            for (int i = 0; i < n; ++i)
+                if (!((col >> i) & 1ull))
+                    zeroSum += activations[static_cast<std::size_t>(i)];
+            colSum = sumA - zeroSum;
+            res.effectualOps += n - ones;
+            ++res.invertedColumns;
+        }
+        res.value += columnWeight(b, kWeightBits) * colSum;
+    }
+    return res;
+}
+
+BbsDotResult
+dotCompressed(const CompressedGroup &cg,
+              std::span<const std::int8_t> activations)
+{
+    BBS_REQUIRE(cg.stored.size() == activations.size(),
+                "dot operand size mismatch");
+    BbsDotResult res;
+    int n = static_cast<int>(cg.stored.size());
+    std::int64_t sumA = sumActivations(activations);
+
+    // Surviving columns, bit-serially with BBS skipping. Stored values are
+    // storedBits-wide two's complement; their LSB sits at significance
+    // prunedColumns of the reconstructed weight.
+    for (int b = 0; b < cg.storedBits; ++b) {
+        BitColumn col = extractColumn(cg.stored, b);
+        int ones = columnPopcount(col, n);
+        std::int64_t colSum;
+        if (ones <= n - ones) {
+            colSum = 0;
+            for (int i = 0; i < n; ++i)
+                if ((col >> i) & 1ull)
+                    colSum += activations[static_cast<std::size_t>(i)];
+            res.effectualOps += ones;
+        } else {
+            std::int64_t zeroSum = 0;
+            for (int i = 0; i < n; ++i)
+                if (!((col >> i) & 1ull))
+                    zeroSum += activations[static_cast<std::size_t>(i)];
+            colSum = sumA - zeroSum;
+            res.effectualOps += n - ones;
+            ++res.invertedColumns;
+        }
+        res.value += columnWeight(b, cg.storedBits) * colSum *
+                     (1ll << cg.prunedColumns);
+    }
+
+    // Pruned columns: the BBS multiplier computes constant * sumA
+    // (PE Fig 7 step 4). The constant already encodes the reconstruction
+    // offset for both strategies.
+    res.value += static_cast<std::int64_t>(cg.meta.constant) * sumA;
+    return res;
+}
+
+} // namespace bbs

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Bit-serial dot products (the paper's Eq. 1-3) in three executable forms:
+ * the dense reference, zero-bit skipping (Eq. 2), bi-directional skipping
+ * (Eq. 2/3 with per-column inversion), and the compressed-domain form the
+ * BitVert PE computes (surviving columns bit-serially, pruned columns via
+ * the BBS-constant x sum-of-activations multiplier).
+ *
+ * All forms must agree exactly; the test suite enforces this.
+ */
+#ifndef BBS_CORE_BBS_DOT_HPP
+#define BBS_CORE_BBS_DOT_HPP
+
+#include <cstdint>
+#include <span>
+
+#include "core/group_compressor.hpp"
+
+namespace bbs {
+
+/** Dense reference: sum of W_i * A_i in full precision. */
+std::int64_t dotReference(std::span<const std::int8_t> weights,
+                          std::span<const std::int8_t> activations);
+
+/**
+ * Bit-serial with zero-bit skipping (Eq. 2): for each significance, add the
+ * activations whose weight bit is one. The MSB column carries negative
+ * significance (two's complement).
+ */
+std::int64_t dotBitSerialZeroSkip(std::span<const std::int8_t> weights,
+                                  std::span<const std::int8_t> activations);
+
+/** Work/result of a BBS bit-serial execution. */
+struct BbsDotResult
+{
+    std::int64_t value = 0;
+    /** Effectual bit operations performed (<= half the total bits). */
+    std::int64_t effectualOps = 0;
+    /** Columns where ones dominated and the vector was inverted (Eq. 3). */
+    int invertedColumns = 0;
+};
+
+/**
+ * Bit-serial with bi-directional skipping: per column, whichever of
+ * {ones, zeros} is fewer is processed; when zeros are processed the column
+ * contribution is sumA minus the partial sum (Eq. 3).
+ */
+BbsDotResult dotBitSerialBbs(std::span<const std::int8_t> weights,
+                             std::span<const std::int8_t> activations);
+
+/**
+ * Compressed-domain dot product against a BBS-compressed group: the stored
+ * columns run bit-serially (with BBS skipping) at significances shifted by
+ * the pruned-column count, and the pruned columns contribute
+ * constant * sumA in one multiplier step (PE Fig 7 step 4).
+ *
+ * Exactly equals dotReference(cg.decompress(), activations).
+ */
+BbsDotResult dotCompressed(const CompressedGroup &cg,
+                           std::span<const std::int8_t> activations);
+
+} // namespace bbs
+
+#endif // BBS_CORE_BBS_DOT_HPP

@@ -1,0 +1,99 @@
+#include "core/bbs_wide.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace bbs {
+
+namespace {
+
+inline int
+bitOfWide(std::int32_t v, int b)
+{
+    return (static_cast<std::uint32_t>(v) >> b) & 1u;
+}
+
+} // namespace
+
+double
+bbsSparsityWide(std::span<const std::int16_t> values, int bits,
+                std::int64_t vectorSize)
+{
+    BBS_REQUIRE(bits >= 2 && bits <= 16, "precision must be 2..16");
+    BBS_REQUIRE(vectorSize >= 1, "vector size must be >= 1");
+    if (values.empty())
+        return 0.0;
+
+    double sparse = 0.0;
+    double total = 0.0;
+    for (std::size_t begin = 0; begin < values.size();
+         begin += static_cast<std::size_t>(vectorSize)) {
+        std::size_t end = std::min(
+            begin + static_cast<std::size_t>(vectorSize), values.size());
+        int n = static_cast<int>(end - begin);
+        for (int b = 0; b < bits; ++b) {
+            int ones = 0;
+            for (std::size_t i = begin; i < end; ++i)
+                ones += bitOfWide(values[i], b);
+            sparse += std::max(ones, n - ones);
+            total += n;
+        }
+    }
+    return sparse / total;
+}
+
+double
+bitSparsityWide(std::span<const std::int16_t> values, int bits)
+{
+    BBS_REQUIRE(bits >= 2 && bits <= 16, "precision must be 2..16");
+    if (values.empty())
+        return 0.0;
+    std::int64_t ones = 0;
+    for (std::int16_t v : values)
+        for (int b = 0; b < bits; ++b)
+            ones += bitOfWide(v, b);
+    return 1.0 - static_cast<double>(ones) /
+                     (static_cast<double>(values.size()) * bits);
+}
+
+std::int64_t
+dotBitSerialBbsWide(std::span<const std::int16_t> weights,
+                    std::span<const std::int32_t> activations, int bits)
+{
+    BBS_REQUIRE(weights.size() == activations.size(), "size mismatch");
+    BBS_REQUIRE(bits >= 2 && bits <= 16, "precision must be 2..16");
+    int n = static_cast<int>(weights.size());
+
+    std::int64_t sumA = 0;
+    for (std::int32_t a : activations)
+        sumA += a;
+
+    std::int64_t acc = 0;
+    for (int b = 0; b < bits; ++b) {
+        int ones = 0;
+        for (int i = 0; i < n; ++i)
+            ones += bitOfWide(weights[static_cast<std::size_t>(i)], b);
+
+        std::int64_t colSum;
+        if (ones <= n - ones) {
+            colSum = 0;
+            for (int i = 0; i < n; ++i)
+                if (bitOfWide(weights[static_cast<std::size_t>(i)], b))
+                    colSum += activations[static_cast<std::size_t>(i)];
+        } else {
+            std::int64_t zeroSum = 0;
+            for (int i = 0; i < n; ++i)
+                if (!bitOfWide(weights[static_cast<std::size_t>(i)], b))
+                    zeroSum += activations[static_cast<std::size_t>(i)];
+            colSum = sumA - zeroSum;
+        }
+        std::int64_t w = 1ll << b;
+        if (b == bits - 1)
+            w = -w; // two's complement sign column
+        acc += w * colSum;
+    }
+    return acc;
+}
+
+} // namespace bbs

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Precision-generalized BBS (the paper's §VI claim: "BBS naturally exists
+ * in a bit-vector with arbitrary length and does not depend on the operand
+ * precision"). These functions operate on 16-bit operands at any declared
+ * precision and carry the same >= 50% guarantee; tests sweep precisions.
+ */
+#ifndef BBS_CORE_BBS_WIDE_HPP
+#define BBS_CORE_BBS_WIDE_HPP
+
+#include <cstdint>
+#include <span>
+
+namespace bbs {
+
+/**
+ * BBS sparsity of @p bits-bit two's-complement values over bit vectors of
+ * @p vectorSize values: mean of max(ones, zeros)/n per column. >= 0.5.
+ */
+double bbsSparsityWide(std::span<const std::int16_t> values, int bits,
+                       std::int64_t vectorSize = 8);
+
+/** Zero-bit (two's complement) sparsity at @p bits precision. */
+double bitSparsityWide(std::span<const std::int16_t> values, int bits);
+
+/**
+ * Bi-directional bit-serial dot product at @p bits precision; exact
+ * against the arithmetic reference for any precision 2..16.
+ */
+std::int64_t dotBitSerialBbsWide(std::span<const std::int16_t> weights,
+                                 std::span<const std::int32_t> activations,
+                                 int bits);
+
+} // namespace bbs
+
+#endif // BBS_CORE_BBS_WIDE_HPP

@@ -1,0 +1,81 @@
+#include "core/channel_reorder.hpp"
+
+#include "common/logging.hpp"
+
+namespace bbs {
+
+ChannelOrder
+buildChannelOrder(const std::vector<bool> &sensitive)
+{
+    ChannelOrder order;
+    std::int64_t n = static_cast<std::int64_t>(sensitive.size());
+    order.originalIndex.reserve(static_cast<std::size_t>(n));
+    // Sensitive (8-bit) chunk first, then the pruned chunk.
+    for (std::int64_t k = 0; k < n; ++k)
+        if (sensitive[static_cast<std::size_t>(k)])
+            order.originalIndex.push_back(k);
+    order.sensitiveCount =
+        static_cast<std::int64_t>(order.originalIndex.size());
+    for (std::int64_t k = 0; k < n; ++k)
+        if (!sensitive[static_cast<std::size_t>(k)])
+            order.originalIndex.push_back(k);
+
+    order.reorderedPosition.resize(static_cast<std::size_t>(n));
+    for (std::int64_t p = 0; p < n; ++p)
+        order.reorderedPosition[static_cast<std::size_t>(
+            order.originalIndex[static_cast<std::size_t>(p)])] = p;
+    return order;
+}
+
+Int8Tensor
+reorderChannels(const Int8Tensor &weights, const ChannelOrder &order)
+{
+    std::int64_t channels = weights.shape().dim(0);
+    BBS_REQUIRE(static_cast<std::int64_t>(order.originalIndex.size()) ==
+                    channels,
+                "order size mismatch");
+    Int8Tensor out(weights.shape());
+    for (std::int64_t p = 0; p < channels; ++p) {
+        auto src = weights.channel(
+            order.originalIndex[static_cast<std::size_t>(p)]);
+        auto dst = out.channel(p);
+        std::copy(src.begin(), src.end(), dst.begin());
+    }
+    return out;
+}
+
+namespace {
+
+template <typename T>
+Tensor<T>
+unshuffleImpl(const Tensor<T> &output, const ChannelOrder &order)
+{
+    std::int64_t channels = output.shape().dim(0);
+    BBS_REQUIRE(static_cast<std::int64_t>(order.originalIndex.size()) ==
+                    channels,
+                "order size mismatch");
+    Tensor<T> out(output.shape());
+    for (std::int64_t p = 0; p < channels; ++p) {
+        auto src = output.channel(p);
+        auto dst = out.channel(
+            order.originalIndex[static_cast<std::size_t>(p)]);
+        std::copy(src.begin(), src.end(), dst.begin());
+    }
+    return out;
+}
+
+} // namespace
+
+FloatTensor
+unshuffleOutput(const FloatTensor &output, const ChannelOrder &order)
+{
+    return unshuffleImpl(output, order);
+}
+
+Int32Tensor
+unshuffleOutput(const Int32Tensor &output, const ChannelOrder &order)
+{
+    return unshuffleImpl(output, order);
+}
+
+} // namespace bbs

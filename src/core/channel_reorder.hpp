@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Channel reordering (the paper's §IV-C, Fig 9).
+ *
+ * Per-channel global pruning leaves channels at different precisions; to
+ * avoid unaligned DRAM access, channels of the same precision are grouped
+ * into contiguous memory chunks. Unlike SparTen's static software
+ * unshuffle of the *next layer's weights* — which breaks when two weight
+ * tensors consume the same input (residual blocks) — BitVert unshuffles the
+ * *outputs* on write-back using a per-channel original-index buffer.
+ */
+#ifndef BBS_CORE_CHANNEL_REORDER_HPP
+#define BBS_CORE_CHANNEL_REORDER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace bbs {
+
+/** A precision-sorted channel order plus the inverse map to undo it. */
+struct ChannelOrder
+{
+    /** reordered position -> original channel index (the index buffer). */
+    std::vector<std::int64_t> originalIndex;
+    /** original channel index -> reordered position. */
+    std::vector<std::int64_t> reorderedPosition;
+    /** Chunk boundaries: [0] sensitive-channel count, [1] normal count. */
+    std::int64_t sensitiveCount = 0;
+};
+
+/**
+ * Build the order that stores all sensitive (8-bit) channels first,
+ * followed by all pruned channels, preserving relative order within each
+ * class (Fig 9(a)).
+ */
+ChannelOrder buildChannelOrder(const std::vector<bool> &sensitive);
+
+/** Permute the channel dimension of @p weights into the given order. */
+Int8Tensor reorderChannels(const Int8Tensor &weights,
+                           const ChannelOrder &order);
+
+/**
+ * Undo the reorder on an *output* tensor whose dim 0 is the channel that
+ * was computed in reordered order (Fig 9(c)): output channel at reordered
+ * position p is written back to originalIndex[p].
+ */
+FloatTensor unshuffleOutput(const FloatTensor &output,
+                            const ChannelOrder &order);
+Int32Tensor unshuffleOutput(const Int32Tensor &output,
+                            const ChannelOrder &order);
+
+} // namespace bbs
+
+#endif // BBS_CORE_CHANNEL_REORDER_HPP

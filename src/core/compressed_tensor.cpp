@@ -1,0 +1,71 @@
+#include "core/compressed_tensor.hpp"
+
+#include "common/logging.hpp"
+#include "common/parallel.hpp"
+
+namespace bbs {
+
+Int8Tensor
+CompressedTensor::decompress() const
+{
+    Int8Tensor out(shape_);
+    for (std::int64_t g = 0; g < static_cast<std::int64_t>(groups_.size());
+         ++g) {
+        std::vector<std::int8_t> vals =
+            groups_[static_cast<std::size_t>(g)].decompress();
+        std::int64_t base = g * groupSize_;
+        for (std::size_t i = 0; i < vals.size(); ++i)
+            out.flat(base + static_cast<std::int64_t>(i)) = vals[i];
+    }
+    return out;
+}
+
+std::int64_t
+CompressedTensor::storageBits() const
+{
+    std::int64_t bits = 0;
+    for (const auto &g : groups_)
+        bits += g.storageBits();
+    return bits;
+}
+
+double
+CompressedTensor::effectiveBitsPerWeight() const
+{
+    std::int64_t n = shape_.numel();
+    if (n == 0)
+        return 0.0;
+    return static_cast<double>(storageBits()) / static_cast<double>(n);
+}
+
+CompressedTensor
+CompressedTensor::compress(const Int8Tensor &codes, std::int64_t groupSize,
+                           int targetColumns, PruneStrategy strategy)
+{
+    BBS_REQUIRE(groupSize >= 1 && groupSize <= 64,
+                "group size must be 1..64, got ", groupSize);
+    CompressedTensor ct;
+    ct.shape_ = codes.shape();
+    ct.groupSize_ = groupSize;
+    ct.strategy_ = strategy;
+    ct.targetColumns_ = targetColumns;
+    std::int64_t groups = codes.numGroups(groupSize);
+    ct.groups_.resize(static_cast<std::size_t>(groups));
+    parallelFor(groups, [&](std::int64_t g) {
+        ct.groups_[static_cast<std::size_t>(g)] =
+            compressGroup(codes.group(g, groupSize), targetColumns,
+                          strategy);
+    });
+    return ct;
+}
+
+Int8Tensor
+binaryPruneTensor(const Int8Tensor &codes, std::int64_t groupSize,
+                  int targetColumns, PruneStrategy strategy)
+{
+    return CompressedTensor::compress(codes, groupSize, targetColumns,
+                                      strategy)
+        .decompress();
+}
+
+} // namespace bbs

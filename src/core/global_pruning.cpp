@@ -1,0 +1,188 @@
+#include "core/global_pruning.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hpp"
+#include "common/parallel.hpp"
+
+namespace bbs {
+
+GlobalPruneConfig
+conservativeConfig()
+{
+    GlobalPruneConfig cfg;
+    cfg.beta = 0.1;
+    cfg.targetColumns = 2;
+    cfg.strategy = PruneStrategy::RoundedAveraging;
+    return cfg;
+}
+
+GlobalPruneConfig
+moderateConfig()
+{
+    GlobalPruneConfig cfg;
+    cfg.beta = 0.2;
+    cfg.targetColumns = 4;
+    cfg.strategy = PruneStrategy::ZeroPointShifting;
+    return cfg;
+}
+
+int
+PrunedLayer::numSensitive() const
+{
+    return static_cast<int>(
+        std::count(sensitive.begin(), sensitive.end(), true));
+}
+
+double
+PrunedLayer::effectiveBits() const
+{
+    std::int64_t n = codes.numel();
+    return n ? static_cast<double>(storageBits) / static_cast<double>(n)
+             : 0.0;
+}
+
+double
+PrunedModel::effectiveBits() const
+{
+    std::int64_t bits = 0;
+    std::int64_t n = 0;
+    for (const auto &l : layers) {
+        bits += l.storageBits;
+        n += l.codes.numel();
+    }
+    return n ? static_cast<double>(bits) / static_cast<double>(n) : 0.0;
+}
+
+double
+PrunedModel::compressionRatio() const
+{
+    double eff = effectiveBits();
+    return eff > 0.0 ? 8.0 / eff : 1.0;
+}
+
+std::vector<std::vector<bool>>
+selectSensitiveChannels(const std::vector<PrunableLayer> &model,
+                        double beta, int channelsParallel)
+{
+    BBS_REQUIRE(beta >= 0.0 && beta <= 1.0, "beta must be in [0, 1]");
+    BBS_REQUIRE(channelsParallel >= 1, "CH must be >= 1");
+
+    // Global channel sorting (Algorithm 2 lines 1-3): rank every channel of
+    // every layer by its scale factor and mark the top beta fraction.
+    struct ChannelRef
+    {
+        std::size_t layer;
+        std::int64_t channel;
+        float scale;
+    };
+    std::vector<ChannelRef> all;
+    for (std::size_t l = 0; l < model.size(); ++l) {
+        const auto &layer = model[l];
+        std::int64_t channels = layer.codes.shape().dim(0);
+        BBS_REQUIRE(static_cast<std::int64_t>(layer.scales.size()) ==
+                        channels,
+                    "layer ", layer.name, ": scales size mismatch");
+        for (std::int64_t k = 0; k < channels; ++k)
+            all.push_back(
+                {l, k, layer.scales[static_cast<std::size_t>(k)]});
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const ChannelRef &a, const ChannelRef &b) {
+                         return a.scale > b.scale;
+                     });
+    std::size_t numGlobal = static_cast<std::size_t>(
+        beta * static_cast<double>(all.size()));
+
+    std::vector<std::vector<bool>> sensitive(model.size());
+    std::vector<std::int64_t> perLayerGlobal(model.size(), 0);
+    for (std::size_t l = 0; l < model.size(); ++l)
+        sensitive[l].assign(
+            static_cast<std::size_t>(model[l].codes.shape().dim(0)),
+            false);
+    for (std::size_t i = 0; i < numGlobal; ++i)
+        ++perLayerGlobal[all[i].layer];
+
+    // Per layer (lines 4-9): round the sensitive-channel count up to a
+    // multiple of CH and take the layer's top channels by scale.
+    for (std::size_t l = 0; l < model.size(); ++l) {
+        const auto &layer = model[l];
+        std::int64_t channels = layer.codes.shape().dim(0);
+        std::int64_t numSens = perLayerGlobal[l];
+        numSens = (numSens + channelsParallel - 1) / channelsParallel *
+                  channelsParallel;
+        numSens = std::min(numSens, channels);
+
+        std::vector<std::int64_t> order(
+            static_cast<std::size_t>(channels));
+        std::iota(order.begin(), order.end(), 0);
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::int64_t a, std::int64_t b) {
+                             return layer.scales[static_cast<std::size_t>(
+                                        a)] >
+                                    layer.scales[static_cast<std::size_t>(
+                                        b)];
+                         });
+        for (std::int64_t i = 0; i < numSens; ++i)
+            sensitive[l][static_cast<std::size_t>(
+                order[static_cast<std::size_t>(i)])] = true;
+    }
+    return sensitive;
+}
+
+PrunedModel
+globalBinaryPrune(const std::vector<PrunableLayer> &model,
+                  const GlobalPruneConfig &cfg)
+{
+    PrunedModel out;
+    out.layers.resize(model.size());
+    auto sensitive =
+        selectSensitiveChannels(model, cfg.beta, cfg.channelsParallel);
+
+    for (std::size_t l = 0; l < model.size(); ++l) {
+        const auto &layer = model[l];
+        PrunedLayer &pl = out.layers[l];
+        pl.name = layer.name;
+        pl.codes = layer.codes;
+        pl.sensitive = sensitive[l];
+
+        std::int64_t channels = layer.codes.shape().dim(0);
+        std::int64_t cs = layer.codes.shape().channelSize();
+        std::vector<std::int64_t> bitsPerChannel(
+            static_cast<std::size_t>(channels), 0);
+
+        parallelFor(channels, [&](std::int64_t k) {
+            if (pl.sensitive[static_cast<std::size_t>(k)]) {
+                // Sensitive channels stay at full 8-bit precision.
+                bitsPerChannel[static_cast<std::size_t>(k)] = cs * 8;
+                return;
+            }
+            auto src = layer.codes.channel(k);
+            auto dst = pl.codes.channel(k);
+            std::int64_t groups =
+                (cs + cfg.groupSize - 1) / cfg.groupSize;
+            std::int64_t bits = 0;
+            for (std::int64_t g = 0; g < groups; ++g) {
+                std::int64_t begin = g * cfg.groupSize;
+                std::int64_t end = std::min(begin + cfg.groupSize, cs);
+                std::span<const std::int8_t> grp(
+                    src.data() + begin,
+                    static_cast<std::size_t>(end - begin));
+                CompressedGroup cg = compressGroup(
+                    grp, cfg.targetColumns, cfg.strategy);
+                bits += cg.storageBits();
+                std::vector<std::int8_t> rec = cg.decompress();
+                std::copy(rec.begin(), rec.end(), dst.begin() + begin);
+            }
+            bitsPerChannel[static_cast<std::size_t>(k)] = bits;
+        }, /*chunk=*/1);
+
+        pl.storageBits = std::accumulate(bitsPerChannel.begin(),
+                                         bitsPerChannel.end(),
+                                         std::int64_t{0});
+    }
+    return out;
+}
+
+} // namespace bbs

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Hardware-aware global binary pruning (the paper's Algorithm 2, §III-C).
+ *
+ * Channels are ranked globally by their per-channel quantization scale
+ * factor (a magnitude proxy for pruning sensitivity); the top beta fraction
+ * stays at full 8-bit precision, rounded up per layer to a multiple of the
+ * number of channels the accelerator processes in parallel (CH = 32 for
+ * BitVert); the remaining channels are binary-pruned.
+ */
+#ifndef BBS_CORE_GLOBAL_PRUNING_HPP
+#define BBS_CORE_GLOBAL_PRUNING_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/compressed_tensor.hpp"
+#include "tensor/tensor.hpp"
+
+namespace bbs {
+
+/** One quantized layer as seen by the pruner. */
+struct PrunableLayer
+{
+    std::string name;
+    Int8Tensor codes;          ///< INT8 codes, dim 0 = output channels
+    std::vector<float> scales; ///< per-channel quantization scales
+};
+
+/** Configuration of Algorithm 2. */
+struct GlobalPruneConfig
+{
+    /** Minimum fraction of sensitive channels kept at 8 bits (beta). */
+    double beta = 0.1;
+    /** Channels processed in parallel by the accelerator (CH). */
+    int channelsParallel = 32;
+    /** BBS weight group size. */
+    std::int64_t groupSize = 32;
+    /** Bit columns pruned per group in normal channels. */
+    int targetColumns = 2;
+    /** Binary-pruning strategy for normal channels. */
+    PruneStrategy strategy = PruneStrategy::RoundedAveraging;
+};
+
+/** The paper's two evaluated operating points (§V-A). */
+GlobalPruneConfig conservativeConfig();
+GlobalPruneConfig moderateConfig();
+
+/** Per-layer result of global pruning. */
+struct PrunedLayer
+{
+    std::string name;
+    Int8Tensor codes;            ///< pruned codes (sensitive untouched)
+    std::vector<bool> sensitive; ///< per-channel sensitivity flags
+    std::int64_t storageBits = 0;
+
+    int numSensitive() const;
+    double effectiveBits() const;
+};
+
+/** Whole-model result. */
+struct PrunedModel
+{
+    std::vector<PrunedLayer> layers;
+
+    /** Memory-footprint reduction vs. 8-bit baseline. */
+    double compressionRatio() const;
+    double effectiveBits() const;
+};
+
+/**
+ * Algorithm 2: global channel sorting, per-layer sensitive-channel rounding
+ * to a multiple of CH, binary pruning of the remaining channels.
+ */
+PrunedModel globalBinaryPrune(const std::vector<PrunableLayer> &model,
+                              const GlobalPruneConfig &cfg);
+
+/**
+ * Select the per-layer sensitive channel sets without modifying weights
+ * (lines 1-9 of Algorithm 2). Exposed for tests and for the simulator,
+ * which needs the precision split but not the pruned codes.
+ */
+std::vector<std::vector<bool>>
+selectSensitiveChannels(const std::vector<PrunableLayer> &model,
+                        double beta, int channelsParallel);
+
+} // namespace bbs
+
+#endif // BBS_CORE_GLOBAL_PRUNING_HPP

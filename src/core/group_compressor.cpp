@@ -1,0 +1,273 @@
+#include "core/group_compressor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/bit_utils.hpp"
+#include "common/logging.hpp"
+
+namespace bbs {
+
+const char *
+pruneStrategyName(PruneStrategy s)
+{
+    switch (s) {
+      case PruneStrategy::RoundedAveraging:
+        return "rounded-averaging";
+      case PruneStrategy::ZeroPointShifting:
+        return "zero-point-shifting";
+    }
+    return "?";
+}
+
+std::uint8_t
+GroupMetadata::pack(PruneStrategy strategy) const
+{
+    BBS_ASSERT(numRedundantColumns >= 0 &&
+               numRedundantColumns <= kMaxRedundantColumns);
+    std::uint32_t c;
+    if (strategy == PruneStrategy::RoundedAveraging) {
+        BBS_ASSERT(constant >= 0 && constant < 64);
+        c = static_cast<std::uint32_t>(constant);
+    } else {
+        BBS_ASSERT(constant >= -32 && constant <= 31);
+        c = static_cast<std::uint32_t>(constant) & 0x3fu;
+    }
+    return static_cast<std::uint8_t>(
+        (static_cast<std::uint32_t>(numRedundantColumns) << 6) | c);
+}
+
+GroupMetadata
+GroupMetadata::unpack(std::uint8_t byte, PruneStrategy strategy)
+{
+    GroupMetadata m;
+    m.numRedundantColumns = (byte >> 6) & 0x3;
+    std::uint32_t c = byte & 0x3fu;
+    if (strategy == PruneStrategy::RoundedAveraging) {
+        m.constant = static_cast<std::int32_t>(c);
+    } else {
+        m.constant = signExtend(c, kConstantBits);
+    }
+    return m;
+}
+
+std::vector<std::int8_t>
+CompressedGroup::decompress() const
+{
+    std::vector<std::int8_t> out(stored.size());
+    for (std::size_t i = 0; i < stored.size(); ++i) {
+        std::int32_t v =
+            (static_cast<std::int32_t>(stored[i]) << prunedColumns) +
+            meta.constant;
+        BBS_ASSERT(v >= -128 && v <= 127,
+                   "decompressed value out of INT8 range: ", v);
+        out[i] = static_cast<std::int8_t>(v);
+    }
+    return out;
+}
+
+std::int64_t
+CompressedGroup::storageBits() const
+{
+    return static_cast<std::int64_t>(stored.size()) * storedBits + 8;
+}
+
+namespace {
+
+/**
+ * Round @p v to the nearest multiple of 2^k such that (a) the stored value
+ * v/2^k fits in @p storedBits signed bits and (b) the reconstructed value
+ * multiple + constant stays within INT8. Returns the chosen multiple.
+ */
+std::int32_t
+roundToStorableMultiple(std::int32_t v, int k, int storedBits,
+                        std::int32_t constant)
+{
+    std::int32_t step = 1 << k;
+    std::int32_t storedLo = -(1 << (storedBits - 1));
+    std::int32_t storedHi = (1 << (storedBits - 1)) - 1;
+
+    auto valid = [&](std::int32_t mult) {
+        std::int32_t s = mult >> k;
+        if (s < storedLo || s > storedHi)
+            return false;
+        std::int32_t rec = mult + constant;
+        return rec >= -128 && rec <= 127;
+    };
+
+    // Floor toward negative infinity so the division matches arithmetic
+    // right shift.
+    std::int32_t fl = (v >> k) << k;
+    std::int32_t ce = fl + step;
+
+    bool flOk = valid(fl);
+    bool ceOk = valid(ce);
+    if (flOk && ceOk)
+        return (v - fl <= ce - v) ? fl : ce;
+    if (flOk)
+        return fl;
+    if (ceOk)
+        return ce;
+
+    // Both candidates invalid (v far outside the storable range): clamp to
+    // the nearest storable multiple that reconstructs in range.
+    for (std::int32_t s = storedHi; s >= storedLo; --s) {
+        std::int32_t mult = s << k;
+        std::int32_t rec = mult + constant;
+        if (rec >= -128 && rec <= 127) {
+            if (mult <= v)
+                return mult;
+            // Keep searching for a closer one below; remember the smallest
+            // valid above.
+        }
+    }
+    // Fall back to the lowest valid multiple.
+    for (std::int32_t s = storedLo; s <= storedHi; ++s) {
+        std::int32_t mult = s << k;
+        std::int32_t rec = mult + constant;
+        if (rec >= -128 && rec <= 127)
+            return mult;
+    }
+    BBS_PANIC("no storable multiple exists (k=", k, ", storedBits=",
+              storedBits, ", constant=", constant, ")");
+}
+
+/** Redundant-column count capped by both the metadata field and target. */
+int
+cappedRedundantColumns(std::span<const std::int8_t> group, int target)
+{
+    int r = countRedundantColumns(group, kMaxRedundantColumns);
+    return std::min(r, target);
+}
+
+} // namespace
+
+CompressedGroup
+compressGroupRoundedAveraging(std::span<const std::int8_t> group,
+                              int targetColumns)
+{
+    BBS_REQUIRE(targetColumns >= 0 && targetColumns <= kMaxPrunedColumns,
+                "target columns must be 0..", kMaxPrunedColumns);
+    BBS_REQUIRE(group.size() >= 1 && group.size() <= 64,
+                "group size must be 1..64");
+
+    CompressedGroup cg;
+    int r = cappedRedundantColumns(group, targetColumns);
+    int k = targetColumns - r;
+    cg.meta.numRedundantColumns = r;
+    cg.prunedColumns = k;
+    cg.storedBits = kWeightBits - r - k;
+
+    // Rounded average of the k low bits across the group (Fig 4 step 2).
+    std::int32_t constant = 0;
+    if (k > 0) {
+        std::int32_t mask = (1 << k) - 1;
+        double sum = 0.0;
+        for (std::int8_t w : group)
+            sum += static_cast<double>(static_cast<std::int32_t>(w) & mask);
+        constant = static_cast<std::int32_t>(
+            std::nearbyint(sum / static_cast<double>(group.size())));
+        constant = std::clamp(constant, 0, mask);
+    }
+    cg.meta.constant = constant;
+
+    cg.stored.resize(group.size());
+    for (std::size_t i = 0; i < group.size(); ++i) {
+        // High bits unchanged (arithmetic shift); low bits become the
+        // constant. Redundancy of the original group guarantees the shifted
+        // value fits in storedBits.
+        std::int32_t s = static_cast<std::int32_t>(group[i]) >> k;
+        cg.stored[i] = static_cast<std::int8_t>(s);
+    }
+    return cg;
+}
+
+CompressedGroup
+compressGroupZeroPointShifting(std::span<const std::int8_t> group,
+                               int targetColumns, int constantBits)
+{
+    BBS_REQUIRE(targetColumns >= 0 && targetColumns <= kMaxPrunedColumns,
+                "target columns must be 0..", kMaxPrunedColumns);
+    BBS_REQUIRE(group.size() >= 1 && group.size() <= 64,
+                "group size must be 1..64");
+    BBS_REQUIRE(constantBits >= 1 && constantBits <= kConstantBits,
+                "constant precision must be 1..", kConstantBits);
+
+    CompressedGroup best;
+    double bestSse = std::numeric_limits<double>::infinity();
+    std::vector<std::int8_t> shifted(group.size());
+
+    // Algorithm 1: exhaustive search over the constant space. We store
+    // the *reconstruction* constant -shift, so the shift range is
+    // [-(2^(p-1) - 1), 2^(p-1)] (the same 2^p-candidate space as the
+    // paper's [-2^(p-1), 2^(p-1) - 1]).
+    std::int32_t half = 1 << (constantBits - 1);
+    for (std::int32_t shift = -(half - 1); shift <= half; ++shift) {
+        std::int32_t constant = -shift;
+
+        // Line 4: add the constant and clip to INT8.
+        for (std::size_t i = 0; i < group.size(); ++i) {
+            std::int32_t v = static_cast<std::int32_t>(group[i]) + shift;
+            shifted[i] = static_cast<std::int8_t>(
+                std::clamp(v, -128, 127));
+        }
+
+        // Lines 5-8: redundant columns, then zero the low columns with
+        // per-weight nearest-multiple rounding.
+        int r = cappedRedundantColumns(shifted, targetColumns);
+        int k = targetColumns - r;
+        int storedBits = kWeightBits - r - k;
+
+        CompressedGroup cand;
+        cand.meta.numRedundantColumns = r;
+        cand.meta.constant = constant;
+        cand.prunedColumns = k;
+        cand.storedBits = storedBits;
+        cand.stored.resize(group.size());
+
+        double sse = 0.0;
+        for (std::size_t i = 0; i < group.size(); ++i) {
+            std::int32_t mult = roundToStorableMultiple(
+                static_cast<std::int32_t>(shifted[i]), k, storedBits,
+                constant);
+            cand.stored[i] = static_cast<std::int8_t>(mult >> k);
+            double err = static_cast<double>(mult + constant) -
+                         static_cast<double>(group[i]);
+            sse += err * err;
+            if (sse >= bestSse)
+                break; // early exit: cannot beat the incumbent
+        }
+
+        if (sse < bestSse) {
+            bestSse = sse;
+            best = std::move(cand);
+        }
+    }
+    return best;
+}
+
+CompressedGroup
+compressGroup(std::span<const std::int8_t> group, int targetColumns,
+              PruneStrategy strategy)
+{
+    return strategy == PruneStrategy::RoundedAveraging
+               ? compressGroupRoundedAveraging(group, targetColumns)
+               : compressGroupZeroPointShifting(group, targetColumns);
+}
+
+double
+groupSse(std::span<const std::int8_t> group, const CompressedGroup &cg)
+{
+    BBS_REQUIRE(group.size() == cg.stored.size(), "group size mismatch");
+    std::vector<std::int8_t> rec = cg.decompress();
+    double sse = 0.0;
+    for (std::size_t i = 0; i < group.size(); ++i) {
+        double d = static_cast<double>(rec[i]) -
+                   static_cast<double>(group[i]);
+        sse += d * d;
+    }
+    return sse;
+}
+
+} // namespace bbs

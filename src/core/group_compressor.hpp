@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Bit-level binary pruning of one weight group (the paper's §III-B):
+ * redundant-column removal, *rounded column averaging* (Fig 4) and
+ * *zero-point shifting* (Fig 5 / Algorithm 1), plus the BBS compression
+ * encoding (one metadata byte per group: 2-bit redundant-column count and
+ * 6-bit BBS constant).
+ */
+#ifndef BBS_CORE_GROUP_COMPRESSOR_HPP
+#define BBS_CORE_GROUP_COMPRESSOR_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bbs {
+
+/** Binary-pruning strategy (paper §III-B). */
+enum class PruneStrategy
+{
+    RoundedAveraging,  ///< replace low columns with the group's rounded mean
+    ZeroPointShifting, ///< shift the zero point, then zero the low columns
+};
+
+const char *pruneStrategyName(PruneStrategy s);
+
+/** Maximum redundant columns the 2-bit metadata field can express. */
+inline constexpr int kMaxRedundantColumns = 3;
+
+/** Width of the BBS-constant metadata field in bits. */
+inline constexpr int kConstantBits = 6;
+
+/** Maximum bit columns binary pruning may remove (§III-B encoding). */
+inline constexpr int kMaxPrunedColumns = 6;
+
+/**
+ * Per-group BBS encoding metadata. The on-disk/on-wire form is one byte:
+ * bits [7:6] hold the redundant-column count, bits [5:0] the constant.
+ *
+ * The constant's interpretation depends on the strategy (a per-tensor, not
+ * per-group, property): for rounded averaging it is the unsigned low-bits
+ * average in [0, 2^k); for zero-point shifting it is the signed negated
+ * shift in [-32, 31]. Reconstruction is identical for both:
+ *   w = (stored << prunedColumns) + constant.
+ */
+struct GroupMetadata
+{
+    int numRedundantColumns = 0; ///< 0..3
+    std::int32_t constant = 0;   ///< see interpretation above
+
+    /** Pack into the 8-bit encoding. */
+    std::uint8_t pack(PruneStrategy strategy) const;
+
+    /** Unpack from the 8-bit encoding. */
+    static GroupMetadata unpack(std::uint8_t byte, PruneStrategy strategy);
+};
+
+/**
+ * One compressed weight group: the metadata plus the surviving high-order
+ * bit columns of every weight (held as sign-extended integers of
+ * @ref storedBits bits each).
+ */
+struct CompressedGroup
+{
+    GroupMetadata meta;
+    int prunedColumns = 0; ///< k: low columns averaged/zeroed
+    int storedBits = 8;    ///< 8 - numRedundantColumns - prunedColumns
+    std::vector<std::int8_t> stored;
+
+    /** Reconstruct the group's INT8 weights. */
+    std::vector<std::int8_t> decompress() const;
+
+    /** Payload bits: storedBits per weight plus the metadata byte. */
+    std::int64_t storageBits() const;
+};
+
+/**
+ * Compress a group with rounded column averaging (Fig 4).
+ *
+ * @param group          weight group (up to 64 values)
+ * @param targetColumns  total columns to prune, 0..6; redundant columns
+ *                       count toward the target for free
+ */
+CompressedGroup
+compressGroupRoundedAveraging(std::span<const std::int8_t> group,
+                              int targetColumns);
+
+/**
+ * Compress a group with zero-point shifting (Algorithm 1): search the
+ * 2^constantBits candidate shifts exhaustively and keep the minimum-MSE
+ * result.
+ *
+ * @param constantBits  precision of the BBS constant (6 in the shipped
+ *                      encoding; exposed for the design-choice ablation)
+ */
+CompressedGroup
+compressGroupZeroPointShifting(std::span<const std::int8_t> group,
+                               int targetColumns,
+                               int constantBits = kConstantBits);
+
+/** Dispatch on strategy. */
+CompressedGroup compressGroup(std::span<const std::int8_t> group,
+                              int targetColumns, PruneStrategy strategy);
+
+/** Sum of squared errors between a group and its compressed form. */
+double groupSse(std::span<const std::int8_t> group,
+                const CompressedGroup &cg);
+
+} // namespace bbs
+
+#endif // BBS_CORE_GROUP_COMPRESSOR_HPP

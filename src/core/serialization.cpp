@@ -1,0 +1,138 @@
+#include "core/serialization.hpp"
+
+#include "common/bit_utils.hpp"
+#include "common/logging.hpp"
+
+namespace bbs {
+
+namespace {
+
+/** Append one bit column (n bits, LSB-first) to a byte stream. */
+void
+appendColumn(std::vector<std::uint8_t> &bytes, std::uint64_t &bitBuf,
+             int &bitCount, BitColumn col, int n)
+{
+    for (int i = 0; i < n; ++i) {
+        bitBuf |= static_cast<std::uint64_t>((col >> i) & 1ull)
+                  << bitCount;
+        if (++bitCount == 8) {
+            bytes.push_back(static_cast<std::uint8_t>(bitBuf));
+            bitBuf = 0;
+            bitCount = 0;
+        }
+    }
+}
+
+void
+flushBits(std::vector<std::uint8_t> &bytes, std::uint64_t &bitBuf,
+          int &bitCount)
+{
+    if (bitCount > 0) {
+        bytes.push_back(static_cast<std::uint8_t>(bitBuf));
+        bitBuf = 0;
+        bitCount = 0;
+    }
+}
+
+} // namespace
+
+SerializedTensor
+serializeCompressed(const CompressedTensor &ct)
+{
+    SerializedTensor out;
+    const auto &groups = ct.groups();
+
+    // Header: group count (4 bytes, little endian).
+    std::uint32_t numGroups = static_cast<std::uint32_t>(groups.size());
+    for (int i = 0; i < 4; ++i)
+        out.bytes.push_back(
+            static_cast<std::uint8_t>((numGroups >> (8 * i)) & 0xff));
+
+    // Metadata region: one packed byte per group.
+    for (const CompressedGroup &g : groups)
+        out.bytes.push_back(g.meta.pack(ct.strategy()));
+
+    // Payload: column-serial bits, most-significant stored column first
+    // (the PE consumes columns from the MSB down), byte-aligned per group.
+    out.groupOffsets.reserve(groups.size());
+    for (const CompressedGroup &g : groups) {
+        out.groupOffsets.push_back(
+            static_cast<std::uint32_t>(out.bytes.size()));
+        std::uint64_t bitBuf = 0;
+        int bitCount = 0;
+        int n = static_cast<int>(g.stored.size());
+        for (int b = g.storedBits - 1; b >= 0; --b) {
+            BitColumn col = extractColumn(g.stored, b);
+            appendColumn(out.bytes, bitBuf, bitCount, col, n);
+        }
+        flushBits(out.bytes, bitBuf, bitCount);
+    }
+    return out;
+}
+
+CompressedTensor
+deserializeCompressed(const SerializedTensor &blob, const Shape &shape,
+                      std::int64_t groupSize, int targetColumns,
+                      PruneStrategy strategy)
+{
+    BBS_REQUIRE(blob.bytes.size() >= 4, "blob too small");
+    std::uint32_t numGroups = 0;
+    for (int i = 0; i < 4; ++i)
+        numGroups |= static_cast<std::uint32_t>(blob.bytes[
+                         static_cast<std::size_t>(i)])
+                     << (8 * i);
+    BBS_REQUIRE(blob.groupOffsets.size() == numGroups,
+                "group offset table size mismatch");
+
+    // Rebuild group by group, then round-trip through an Int8Tensor of
+    // the decompressed codes: since compression of a reconstruction is
+    // lossless (tested), recompressing yields the identical structure.
+    Int8Tensor codes(shape);
+    std::size_t metaBase = 4;
+    for (std::uint32_t g = 0; g < numGroups; ++g) {
+        GroupMetadata meta = GroupMetadata::unpack(
+            blob.bytes[metaBase + g], strategy);
+        std::int64_t begin = static_cast<std::int64_t>(g) * groupSize;
+        std::int64_t end =
+            std::min<std::int64_t>(begin + groupSize, shape.numel());
+        int n = static_cast<int>(end - begin);
+        int prunedColumns = targetColumns - meta.numRedundantColumns;
+        int storedBits = kWeightBits - targetColumns;
+
+        // Read column-serial bits back (MSB column first).
+        std::size_t byteOff = blob.groupOffsets[g];
+        int bitOff = 0;
+        std::vector<std::uint32_t> stored(static_cast<std::size_t>(n), 0);
+        for (int b = storedBits - 1; b >= 0; --b) {
+            for (int i = 0; i < n; ++i) {
+                std::uint32_t bit =
+                    (blob.bytes[byteOff] >> bitOff) & 1u;
+                stored[static_cast<std::size_t>(i)] |= bit << b;
+                if (++bitOff == 8) {
+                    bitOff = 0;
+                    ++byteOff;
+                }
+            }
+        }
+
+        for (int i = 0; i < n; ++i) {
+            std::int32_t s = signExtend(
+                stored[static_cast<std::size_t>(i)], storedBits);
+            std::int32_t v = (s << prunedColumns) + meta.constant;
+            BBS_REQUIRE(v >= -128 && v <= 127,
+                        "corrupt blob: value out of range");
+            codes.flat(begin + i) = static_cast<std::int8_t>(v);
+        }
+    }
+    return CompressedTensor::compress(codes, groupSize, targetColumns,
+                                      strategy);
+}
+
+std::int64_t
+serializedBytes(const CompressedTensor &ct)
+{
+    SerializedTensor s = serializeCompressed(ct);
+    return static_cast<std::int64_t>(s.bytes.size());
+}
+
+} // namespace bbs

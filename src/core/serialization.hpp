@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Bit-exact serialization of BBS-compressed tensors into the memory layout
+ * the BitVert accelerator streams from DRAM (§IV, Fig 9(a)):
+ *
+ *   [header][metadata bytes, one per group][column-serial payload]
+ *
+ * The payload stores each group's surviving bit columns *column-serial*
+ * (all weights' bit b, then bit b-1, ...), because that is the order the
+ * PE consumes them in — one column per cycle. Groups are byte-aligned so
+ * the scheduler can index them without carrying bit offsets across groups.
+ */
+#ifndef BBS_CORE_SERIALIZATION_HPP
+#define BBS_CORE_SERIALIZATION_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/compressed_tensor.hpp"
+
+namespace bbs {
+
+/** Serialized blob plus layout info. */
+struct SerializedTensor
+{
+    std::vector<std::uint8_t> bytes;
+
+    /** Offset of each group's payload within bytes (for random access). */
+    std::vector<std::uint32_t> groupOffsets;
+};
+
+/** Serialize a compressed tensor into the BitVert memory layout. */
+SerializedTensor serializeCompressed(const CompressedTensor &ct);
+
+/**
+ * Deserialize back. The shape/group-size/strategy/target are external
+ * parameters (they live in the layer descriptor, not the weight stream,
+ * exactly as in the hardware).
+ */
+CompressedTensor deserializeCompressed(const SerializedTensor &blob,
+                                       const Shape &shape,
+                                       std::int64_t groupSize,
+                                       int targetColumns,
+                                       PruneStrategy strategy);
+
+/** Serialized size in bytes (header + metadata + payload). */
+std::int64_t serializedBytes(const CompressedTensor &ct);
+
+} // namespace bbs
+
+#endif // BBS_CORE_SERIALIZATION_HPP

@@ -1,0 +1,134 @@
+#include "hw/gates.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace bbs {
+
+namespace {
+
+/** ceil(log2(n)) for n >= 1. */
+int
+clog2(int n)
+{
+    int b = 0;
+    while ((1 << b) < n)
+        ++b;
+    return b;
+}
+
+/** Typical switching activity factors by component class. */
+constexpr double kActArith = 0.45;  ///< adders/subtractors/multipliers
+constexpr double kActMux = 0.25;    ///< multiplexers (selects mostly stable)
+constexpr double kActReg = 0.35;    ///< registers incl. clock load
+constexpr double kActCtrl = 0.30;   ///< encoders and control logic
+
+} // namespace
+
+HwCost
+adder(int bits)
+{
+    BBS_ASSERT(bits >= 1);
+    // Full adder ~= 6.5 GE/bit plus lookahead overhead ~0.8 GE/bit.
+    double ge = bits * 7.3;
+    return {ge, ge * kActArith};
+}
+
+HwCost
+subtractor(int bits)
+{
+    // Adder + per-bit XOR inversion (~1.2 GE/bit).
+    double ge = bits * (7.3 + 1.2);
+    return {ge, ge * kActArith};
+}
+
+HwCost
+mux(int inputs, int bits)
+{
+    BBS_ASSERT(inputs >= 1);
+    if (inputs <= 1)
+        return {};
+    // (inputs - 1) 2:1 muxes per bit; ~1.1 GE per transmission-gate 2:1.
+    double ge = static_cast<double>(inputs - 1) * 1.1 * bits;
+    return {ge, ge * kActMux};
+}
+
+HwCost
+reg(int bits)
+{
+    double ge = bits * 4.5;
+    return {ge, ge * kActReg};
+}
+
+HwCost
+variableShifter(int bits, int positions)
+{
+    if (positions <= 1)
+        return {};
+    // log2(positions) levels of 2:1 muxes across the (widening) word.
+    int levels = clog2(positions);
+    double ge = static_cast<double>(levels) * 1.1 *
+                (bits + positions / 2.0);
+    return {ge, ge * kActMux};
+}
+
+HwCost
+priorityEncoder(int width)
+{
+    // Find-first-one with mask feedback: ~2.6 GE per input.
+    double ge = width * 2.6;
+    return {ge, ge * kActCtrl};
+}
+
+HwCost
+twosComplementer(int bits)
+{
+    // Inverters + increment (half-adder chain).
+    double ge = bits * (1.0 + 4.4);
+    return {ge, ge * kActArith};
+}
+
+HwCost
+andArray(int n)
+{
+    // AND2 ~= 1.2 GE.
+    double ge = n * 1.2;
+    return {ge, ge * kActArith};
+}
+
+HwCost
+multiplier(int aBits, int bBits)
+{
+    // Array multiplier: aBits x bBits partial-product AND matrix plus a
+    // carry-save reduction of ~(aBits * bBits) full adders equivalent.
+    double ge = static_cast<double>(aBits) * bBits * (1.2 + 5.2);
+    return {ge, ge * kActArith};
+}
+
+HwCost
+popcounter(int width)
+{
+    // Tree of small adders, ~3.4 GE per input bit.
+    double ge = width * 3.4;
+    return {ge, ge * kActCtrl};
+}
+
+HwCost
+adderTree(int leaves, int bits)
+{
+    BBS_ASSERT(leaves >= 1);
+    HwCost total{};
+    int level = 0;
+    int nodes = leaves / 2;
+    while (nodes >= 1) {
+        total += adder(bits + level) * static_cast<double>(nodes);
+        if (nodes == 1)
+            break;
+        nodes /= 2;
+        ++level;
+    }
+    return total;
+}
+
+} // namespace bbs

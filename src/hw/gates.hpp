@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Analytical 28 nm gate-cost library.
+ *
+ * Substitutes the paper's Synopsys DC synthesis (§V-A "Implementation"):
+ * every datapath component is expressed in NAND2 gate equivalents (GE) with
+ * a switching-activity weight, and converted to um^2 / mW with constants
+ * representative of a 28 nm standard-cell library at 800 MHz. The PE
+ * comparisons of Tables IV-VI depend only on the *component composition*
+ * of each design, which this model captures structurally.
+ */
+#ifndef BBS_HW_GATES_HPP
+#define BBS_HW_GATES_HPP
+
+namespace bbs {
+
+/** Area/power conversion constants (28 nm, 800 MHz). */
+inline constexpr double kAreaPerGe = 0.49;    ///< um^2 per NAND2 equivalent
+inline constexpr double kPowerPerGe = 0.80e-3; ///< mW per switching GE
+
+/**
+ * Cost of a hardware component: raw gate equivalents for area, and
+ * activity-weighted gate equivalents for dynamic power.
+ */
+struct HwCost
+{
+    double ge = 0.0;          ///< NAND2 equivalents (area)
+    double switchingGe = 0.0; ///< activity-weighted GE (power)
+
+    HwCost operator+(const HwCost &o) const
+    {
+        return {ge + o.ge, switchingGe + o.switchingGe};
+    }
+    HwCost &operator+=(const HwCost &o)
+    {
+        ge += o.ge;
+        switchingGe += o.switchingGe;
+        return *this;
+    }
+    HwCost operator*(double n) const { return {ge * n, switchingGe * n}; }
+
+    /** Same area, reduced toggle rate (operand/clock gating). */
+    HwCost
+    derated(double activityScale) const
+    {
+        return {ge, switchingGe * activityScale};
+    }
+
+    double areaUm2() const { return ge * kAreaPerGe; }
+    double powerMw() const { return switchingGe * kPowerPerGe; }
+};
+
+/** Ripple-free (carry-lookahead) adder of @p bits bits. */
+HwCost adder(int bits);
+
+/** Subtractor: adder plus operand inversion. */
+HwCost subtractor(int bits);
+
+/** N:1 multiplexer of @p bits-bit words (tree of 2:1 muxes). */
+HwCost mux(int inputs, int bits);
+
+/** D flip-flop register of @p bits bits. */
+HwCost reg(int bits);
+
+/**
+ * Barrel shifter: @p bits-bit word shifted by up to @p positions
+ * (log2(positions) mux levels).
+ */
+HwCost variableShifter(int bits, int positions);
+
+/** Priority encoder over @p width inputs (with mask feedback). */
+HwCost priorityEncoder(int width);
+
+/** Two's complementer (inverter + increment). */
+HwCost twosComplementer(int bits);
+
+/** Array of @p n AND gates (bit-serial multiply). */
+HwCost andArray(int n);
+
+/** Array-style multiplier of aBits x bBits. */
+HwCost multiplier(int aBits, int bBits);
+
+/** Population counter over @p width bits. */
+HwCost popcounter(int width);
+
+/**
+ * Balanced adder tree summing @p leaves words of @p bits bits
+ * (widths grow one bit per level).
+ */
+HwCost adderTree(int leaves, int bits);
+
+} // namespace bbs
+
+#endif // BBS_HW_GATES_HPP

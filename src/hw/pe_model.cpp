@@ -1,0 +1,191 @@
+#include "hw/pe_model.hpp"
+
+#include "common/logging.hpp"
+
+namespace bbs {
+
+namespace {
+
+/** Shared accumulation stage: 24-bit accumulate adder + output register. */
+HwCost
+accumulationStage()
+{
+    return adder(24) + reg(24);
+}
+
+/** Input operand registers shared by all bit-serial PEs. */
+HwCost
+operandRegisters()
+{
+    // Staged activations (8 x 8b, double-buffered at half rate) plus the
+    // current weight bit column.
+    return reg(32) + reg(8);
+}
+
+PeCost
+makeCost(std::string name, const HwCost &mult, const HwCost &others)
+{
+    PeCost pe;
+    pe.name = std::move(name);
+    pe.multiplierArea = mult.areaUm2();
+    pe.othersArea = others.areaUm2();
+    pe.powerMw = (mult + others).powerMw();
+    return pe;
+}
+
+} // namespace
+
+PeCost
+stripesPe()
+{
+    // 8 lanes of (8-bit activation x 1 weight bit) + 8-leaf adder tree.
+    HwCost mult = andArray(8) * 8.0 + adderTree(8, 8);
+    HwCost others = accumulationStage() + operandRegisters() +
+                    variableShifter(20, 8); // serial significance shift
+    return makeCost("Stripes", mult, others);
+}
+
+PeCost
+pragmaticPe()
+{
+    // Essential-bit serial: every lane shifts its product by the bit's
+    // significance before the (wider) adder tree.
+    HwCost mult = andArray(8) * 8.0 + adderTree(8, 12);
+    HwCost others = accumulationStage() + operandRegisters() +
+                    variableShifter(12, 8) * 8.0 + // per-lane synchronizers
+                    reg(4) * 8.0 +                 // per-lane offsets
+                    priorityEncoder(8) * 8.0;      // essential-bit select
+    return makeCost("Pragmatic", mult, others);
+}
+
+PeCost
+bitletPe()
+{
+    // Significance-parallel: each of the 8 lanes absorbs an essential bit
+    // from an arbitrary weight of the digested window through a wide
+    // activation mux (the dominant cost Bitlet's own breakdown reports as
+    // ~36% of PE area).
+    HwCost mult = andArray(8) * 8.0 + adderTree(8, 10);
+    // The crossbar reach is calibrated to Bitlet's published breakdown
+    // (muxes ~36% of PE area): a banked version of its 64:1 selector.
+    // The crossbar is large but its data path is operand-gated: only the
+    // selected input toggles through, so switching is well below the
+    // structural activity.
+    HwCost others = accumulationStage() + operandRegisters() +
+                    (mux(32, 8) * 8.0).derated(0.3) + // act crossbar
+                    priorityEncoder(16) * 8.0 +       // per-lane arbiters
+                    popcounter(16) +                  // sparsity distiller
+                    reg(16) * 2.0;                    // window staging
+    return makeCost("Bitlet", mult, others);
+}
+
+PeCost
+bitwavePe()
+{
+    // Bit-column serial over sign-magnitude: Stripes-like datapath plus a
+    // two's complementer per bit-serial multiplier for partial-sum sign
+    // handling ("every bit-serial multiplier requires a 2's complementer",
+    // §II-B) — the 1.32x area overhead of Table V.
+    HwCost mult = andArray(8) * 8.0 + adderTree(8, 8);
+    HwCost others = accumulationStage() + operandRegisters() +
+                    variableShifter(20, 8) +
+                    twosComplementer(10) * 8.0 + // per-lane sign handling
+                    reg(8);                      // column index / sign regs
+    return makeCost("BitWave", mult, others);
+}
+
+PeCost
+bitvertPe(int subGroup, bool optimized)
+{
+    BBS_REQUIRE(subGroup == 4 || subGroup == 8 || subGroup == 16,
+                "sub-group must be 4, 8 or 16");
+    int numSubGroups = 16 / subGroup;
+    int lanesPerSub = 8 / numSubGroups; // 8 bit-serial lanes total
+
+    // Term-select muxes: BBS guarantees at most subGroup/2 effectual bits
+    // per sub-group, so the optimized design needs only
+    // (subGroup/2 + 1):1 muxes (Fig 7(b)); the baseline uses full
+    // subGroup:1 muxes (Fig 7(a)).
+    int muxInputs = optimized ? subGroup / 2 + 1 : subGroup;
+    // Term-select muxes toggle only when the scheduler changes selections;
+    // operand gating keeps their switching low. The optimized staggered
+    // muxes share all but one input with their neighbour, so their select
+    // trees fold (~40% logic sharing for the narrow 5:1/3:1 windows; wide
+    // 9:1 windows are wiring-dominated and fold far less).
+    HwCost muxes = (mux(muxInputs, 8) * 8.0).derated(0.5);
+    if (optimized)
+        muxes = muxes * (subGroup >= 16 ? 0.85 : 0.6);
+
+    // Bit-serial multiplier: per-sub-group adder tree, subtractor for the
+    // Eq. 3 inversion path, and the psum select.
+    HwCost mult{};
+    for (int s = 0; s < numSubGroups; ++s) {
+        mult += adderTree(lanesPerSub, 8);
+        mult += subtractor(11);
+        mult += mux(2, 11);
+    }
+    if (numSubGroups > 1)
+        mult += adderTree(numSubGroups, 11); // combine sub-group psums
+
+    // BBS-constant multiplier (Fig 7 step 4): 6x12 full multiplier in the
+    // baseline; time-multiplexed 3x12 plus an alignment shifter when
+    // optimized (§IV-A). It fires once per weight group (not per cycle),
+    // so its switching is heavily gated.
+    HwCost bbsMult =
+        optimized
+            // Time-multiplexed 3 bits/cycle: booth-style add-shift over
+            // two stages plus the alignment shifter.
+            ? adder(12) * 2.0 + variableShifter(15, 8)
+            : multiplier(6, 12) + reg(18);
+    bbsMult = bbsMult.derated(0.3);
+
+    HwCost others = muxes + bbsMult + accumulationStage() +
+                    operandRegisters() +
+                    variableShifter(16, 8); // single shift (step 3)
+    return makeCost(optimized ? "BitVert" : "BitVert-unopt", mult, others);
+}
+
+PeCost
+olivePe()
+{
+    // Bit-parallel 4-bit weight x 8-bit activation MAC; the outlier-victim
+    // datatype needs a wider product path and an outlier decoder.
+    HwCost mult = multiplier(6, 8); // extended range to absorb outliers
+    HwCost others = accumulationStage() + reg(16) +
+                    mux(4, 8) +       // outlier decode select
+                    priorityEncoder(4);
+    return makeCost("Olive", mult, others);
+}
+
+PeCost
+spartenPe()
+{
+    // Two 8x8 multipliers consuming matched sparse pairs; the front end
+    // computes prefix sums over 128-wide weight/activation bitmask chunks
+    // to pair non-zeros, with local operand buffers per PE — SparTen's
+    // dominant cost and the source of its poor energy efficiency on
+    // near-dense 8-bit models (paper Fig 13).
+    HwCost mult = multiplier(8, 8) * 2.0;
+    // The prefix-sum front end scans full bitmask chunks every cycle
+    // regardless of sparsity, so it runs at high activity on near-dense
+    // 8-bit models.
+    HwCost frontEnd = (popcounter(64) * 2.0 + priorityEncoder(64) * 2.0)
+                          .derated(2.0);
+    HwCost others = accumulationStage() + reg(128) + // local buffers
+                    frontEnd +
+                    mux(16, 8) * 2.0; // operand gather
+    return makeCost("SparTen", mult, others);
+}
+
+PeCost
+antPe()
+{
+    // Two 6-bit adaptive-datatype multipliers with per-operand decoders.
+    HwCost mult = multiplier(6, 6) * 2.0;
+    HwCost others = accumulationStage() + reg(24) +
+                    mux(4, 8) * 2.0 +          // datatype decode
+                    variableShifter(12, 4) * 2.0; // po2/flint alignment
+    return makeCost("ANT", mult, others);
+}
+
+} // namespace bbs

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Processing-element area/power compositions for BitVert and every baseline
+ * accelerator (Tables IV, V and VI of the paper).
+ *
+ * Each PE is built from the gate library in gates.hpp following the
+ * datapath structure its paper describes; all bit-serial PEs contain 8
+ * bit-serial multiplier lanes at 800 MHz, matching the paper's comparison
+ * setup (§V-F).
+ */
+#ifndef BBS_HW_PE_MODEL_HPP
+#define BBS_HW_PE_MODEL_HPP
+
+#include <string>
+
+#include "hw/gates.hpp"
+
+namespace bbs {
+
+/** Synthesized-PE summary mirroring the paper's Table V columns. */
+struct PeCost
+{
+    std::string name;
+    double multiplierArea = 0.0; ///< um^2, multiplier/datapath portion
+    double othersArea = 0.0;     ///< um^2, muxes/shifters/control portion
+    double powerMw = 0.0;
+
+    double totalArea() const { return multiplierArea + othersArea; }
+};
+
+/** Dense bit-serial PE (Stripes): AND array + adder tree + accumulator. */
+PeCost stripesPe();
+
+/**
+ * Pragmatic PE: essential-bit serial; adds per-lane variable shifters and
+ * offset registers to synchronize bit significance.
+ */
+PeCost pragmaticPe();
+
+/**
+ * Bitlet PE: significance-parallel; each lane absorbs an essential bit from
+ * an arbitrary weight through a wide activation crossbar mux.
+ */
+PeCost bitletPe();
+
+/**
+ * BitWave PE: bit-column serial over sign-magnitude weights; adds two's
+ * complementers for partial-sum sign handling.
+ */
+PeCost bitwavePe();
+
+/**
+ * BitVert PE (Fig 7): term-select muxes sized by the sub-group, per
+ * sub-group subtractor for Eq. 3, single shifter, BBS-constant multiplier
+ * and accumulation.
+ *
+ * @param subGroup   sub-group size (16, 8 or 4; Table IV)
+ * @param optimized  apply the paper's circuit optimizations: compact
+ *                   (N/2+1):1 muxes and a time-multiplexed 3-bit BBS
+ *                   multiplier
+ */
+PeCost bitvertPe(int subGroup = 8, bool optimized = true);
+
+/** OliVe PE: one 4-bit x 8-bit bit-parallel MAC with outlier decoder. */
+PeCost olivePe();
+
+/**
+ * SparTen PE: two 8-bit multipliers plus the sparse-pair front end
+ * (prefix sums over bitmasks). Used for energy accounting only.
+ */
+PeCost spartenPe();
+
+/** ANT PE: two 6-bit x 6-bit multipliers plus datatype decoders. */
+PeCost antPe();
+
+} // namespace bbs
+
+#endif // BBS_HW_PE_MODEL_HPP

@@ -1,0 +1,71 @@
+#include "metrics/error.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace bbs {
+
+namespace {
+
+template <typename T>
+double
+mseImpl(const Tensor<T> &a, const Tensor<T> &b)
+{
+    BBS_REQUIRE(a.shape() == b.shape(), "mse: shape mismatch ",
+                a.shape().toString(), " vs ", b.shape().toString());
+    if (a.numel() == 0)
+        return 0.0;
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < a.numel(); ++i) {
+        double d = static_cast<double>(a.flat(i)) -
+                   static_cast<double>(b.flat(i));
+        acc += d * d;
+    }
+    return acc / static_cast<double>(a.numel());
+}
+
+} // namespace
+
+double
+mse(const Int8Tensor &a, const Int8Tensor &b)
+{
+    return mseImpl(a, b);
+}
+
+double
+mse(const FloatTensor &a, const FloatTensor &b)
+{
+    return mseImpl(a, b);
+}
+
+double
+maxAbsError(const Int8Tensor &a, const Int8Tensor &b)
+{
+    BBS_REQUIRE(a.shape() == b.shape(), "maxAbsError: shape mismatch");
+    double m = 0.0;
+    for (std::int64_t i = 0; i < a.numel(); ++i) {
+        double d = std::abs(static_cast<double>(a.flat(i)) -
+                            static_cast<double>(b.flat(i)));
+        m = std::max(m, d);
+    }
+    return m;
+}
+
+double
+cosineSimilarity(const FloatTensor &a, const FloatTensor &b)
+{
+    BBS_REQUIRE(a.shape() == b.shape(), "cosineSimilarity: shape mismatch");
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (std::int64_t i = 0; i < a.numel(); ++i) {
+        double x = a.flat(i), y = b.flat(i);
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if (na == 0.0 || nb == 0.0)
+        return na == nb ? 1.0 : 0.0;
+    return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+} // namespace bbs

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Element-wise error metrics between tensors: MSE (the binary-pruning
+ * objective in Figs 4/5 and Algorithm 1), max absolute error, and cosine
+ * similarity.
+ */
+#ifndef BBS_METRICS_ERROR_HPP
+#define BBS_METRICS_ERROR_HPP
+
+#include "tensor/tensor.hpp"
+
+namespace bbs {
+
+/** Mean squared error between same-shape tensors. */
+double mse(const Int8Tensor &a, const Int8Tensor &b);
+double mse(const FloatTensor &a, const FloatTensor &b);
+
+/** Maximum absolute element-wise error. */
+double maxAbsError(const Int8Tensor &a, const Int8Tensor &b);
+
+/** Cosine similarity of flattened tensors; 1.0 for identical directions. */
+double cosineSimilarity(const FloatTensor &a, const FloatTensor &b);
+
+} // namespace bbs
+
+#endif // BBS_METRICS_ERROR_HPP

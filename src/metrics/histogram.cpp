@@ -1,0 +1,55 @@
+#include "metrics/histogram.hpp"
+
+#include "common/logging.hpp"
+
+namespace bbs {
+
+Histogram::Histogram(std::int32_t lo, std::int32_t hi)
+    : lo_(lo), hi_(hi),
+      bins_(static_cast<std::size_t>(hi - lo + 1), 0)
+{
+    BBS_REQUIRE(hi >= lo, "histogram range inverted: [", lo, ", ", hi, "]");
+}
+
+void
+Histogram::add(std::int32_t v)
+{
+    BBS_REQUIRE(v >= lo_ && v <= hi_, "value ", v, " outside histogram [",
+                lo_, ", ", hi_, "]");
+    ++bins_[static_cast<std::size_t>(v - lo_)];
+    ++total_;
+}
+
+void
+Histogram::addAll(std::span<const std::int8_t> vs)
+{
+    for (std::int8_t v : vs)
+        add(v);
+}
+
+std::int64_t
+Histogram::count(std::int32_t v) const
+{
+    if (v < lo_ || v > hi_)
+        return 0;
+    return bins_[static_cast<std::size_t>(v - lo_)];
+}
+
+double
+Histogram::probability(std::int32_t v) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(count(v)) / static_cast<double>(total_);
+}
+
+int
+Histogram::levelsUsed() const
+{
+    int used = 0;
+    for (std::int64_t c : bins_)
+        used += (c > 0);
+    return used;
+}
+
+} // namespace bbs

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Discrete histograms over integer-valued tensors, the substrate of the
+ * paper's KL-divergence comparisons (Fig 1, Fig 6).
+ */
+#ifndef BBS_METRICS_HISTOGRAM_HPP
+#define BBS_METRICS_HISTOGRAM_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bbs {
+
+/**
+ * Histogram over the integer range [lo, hi] with one bin per integer.
+ *
+ * Quantized INT8 weights take at most 256 distinct values, so an exact
+ * per-level histogram (rather than a binned approximation) is both cheap
+ * and what the paper's "quantization levels" discussion is about.
+ */
+class Histogram
+{
+  public:
+    Histogram(std::int32_t lo, std::int32_t hi);
+
+    void add(std::int32_t v);
+    void addAll(std::span<const std::int8_t> vs);
+
+    std::int64_t count(std::int32_t v) const;
+    std::int64_t total() const { return total_; }
+
+    /** Probability of level @p v (count/total). */
+    double probability(std::int32_t v) const;
+
+    /** Number of levels with a non-zero count ("quantization levels used"). */
+    int levelsUsed() const;
+
+    std::int32_t lo() const { return lo_; }
+    std::int32_t hi() const { return hi_; }
+
+  private:
+    std::int32_t lo_;
+    std::int32_t hi_;
+    std::vector<std::int64_t> bins_;
+    std::int64_t total_ = 0;
+};
+
+} // namespace bbs
+
+#endif // BBS_METRICS_HISTOGRAM_HPP

@@ -1,0 +1,42 @@
+#include "metrics/kl_divergence.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace bbs {
+
+double
+klDivergence(const Histogram &p, const Histogram &q, double epsilon)
+{
+    BBS_REQUIRE(p.lo() == q.lo() && p.hi() == q.hi(),
+                "histogram ranges differ");
+    BBS_REQUIRE(p.total() > 0 && q.total() > 0, "empty histogram");
+
+    // Normalize with smoothing mass so both are proper distributions.
+    int levels = p.hi() - p.lo() + 1;
+    double zP = 1.0 + epsilon * levels;
+    double zQ = 1.0 + epsilon * levels;
+
+    double kl = 0.0;
+    for (std::int32_t v = p.lo(); v <= p.hi(); ++v) {
+        double pp = (p.probability(v) + epsilon) / zP;
+        double qq = (q.probability(v) + epsilon) / zQ;
+        if (pp > 0.0)
+            kl += pp * std::log(pp / qq);
+    }
+    return kl;
+}
+
+double
+klDivergence(const Int8Tensor &original, const Int8Tensor &compressed,
+             double epsilon)
+{
+    Histogram p(-128, 127);
+    Histogram q(-128, 127);
+    p.addAll(original.data());
+    q.addAll(compressed.data());
+    return klDivergence(p, q, epsilon);
+}
+
+} // namespace bbs

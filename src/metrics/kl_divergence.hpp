@@ -1,0 +1,36 @@
+/**
+ * @file
+ * KL divergence between weight distributions, the paper's metric for how
+ * well a compression scheme preserves the original tensor statistics
+ * (Fig 1, Fig 6).
+ */
+#ifndef BBS_METRICS_KL_DIVERGENCE_HPP
+#define BBS_METRICS_KL_DIVERGENCE_HPP
+
+#include "metrics/histogram.hpp"
+#include "tensor/tensor.hpp"
+
+namespace bbs {
+
+/**
+ * KL(P || Q) over discrete per-level histograms with additive smoothing.
+ *
+ * Zero bins in Q would make the divergence infinite whenever compression
+ * eliminates a quantization level P still uses — exactly the phenomenon the
+ * paper highlights for zero-bit-only pruning — so a small epsilon keeps the
+ * value finite while still heavily penalizing lost levels.
+ *
+ * @param p  reference distribution (original weights)
+ * @param q  approximating distribution (compressed weights)
+ * @param epsilon  smoothing probability mass per level
+ */
+double klDivergence(const Histogram &p, const Histogram &q,
+                    double epsilon = 1e-10);
+
+/** Convenience: histogram both INT8 tensors over [-128, 127] and compare. */
+double klDivergence(const Int8Tensor &original,
+                    const Int8Tensor &compressed, double epsilon = 1e-10);
+
+} // namespace bbs
+
+#endif // BBS_METRICS_KL_DIVERGENCE_HPP

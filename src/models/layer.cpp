@@ -1,0 +1,23 @@
+#include "models/layer.hpp"
+
+namespace bbs {
+
+std::int64_t
+ModelDesc::totalWeights() const
+{
+    std::int64_t n = 0;
+    for (const auto &l : layers)
+        n += l.weightCount() * l.repeat;
+    return n;
+}
+
+std::int64_t
+ModelDesc::totalMacs() const
+{
+    std::int64_t n = 0;
+    for (const auto &l : layers)
+        n += l.macs() * l.repeat;
+    return n;
+}
+
+} // namespace bbs

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Layer and model descriptors for the seven DNN benchmarks of the paper's
+ * evaluation (Table I) plus Llama-3-8B (§V-H).
+ */
+#ifndef BBS_MODELS_LAYER_HPP
+#define BBS_MODELS_LAYER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/distribution.hpp"
+#include "tensor/shape.hpp"
+
+namespace bbs {
+
+/** Kind of weight layer (only layers with weights are simulated). */
+enum class LayerKind
+{
+    Conv,   ///< 2-D convolution, weight shape [K, C, R, S]
+    Linear, ///< matrix multiply, weight shape [K, C]
+};
+
+/** One weight layer of a DNN benchmark. */
+struct LayerDesc
+{
+    std::string name;
+    LayerKind kind = LayerKind::Linear;
+    Shape weightShape;
+    /**
+     * Output positions each weight is reused across: OH*OW for a conv,
+     * token count for a transformer linear, 1 for a classifier head.
+     */
+    std::int64_t outputPositions = 1;
+    /** True when the layer's *input* activations are post-ReLU (sparse). */
+    bool reluActivations = false;
+    /** Identical repetitions of this layer in the network. */
+    int repeat = 1;
+    /** Weight distribution family used by the synthetic materializer. */
+    WeightFamily family = WeightFamily::Gaussian;
+
+    /** Output channels. */
+    std::int64_t channels() const { return weightShape.dim(0); }
+    /** Weights in one instance. */
+    std::int64_t weightCount() const { return weightShape.numel(); }
+    /** MACs of one instance: every weight fires once per output position. */
+    std::int64_t macs() const
+    {
+        return weightShape.numel() * outputPositions;
+    }
+};
+
+/** A DNN benchmark: a list of weight layers plus reference metadata. */
+struct ModelDesc
+{
+    std::string name;
+    std::string dataset;
+    std::vector<LayerDesc> layers;
+    /** Paper Table I reference accuracies (FP32 / INT8), for reporting. */
+    double fp32Accuracy = 0.0;
+    double int8Accuracy = 0.0;
+
+    std::int64_t totalWeights() const;
+    std::int64_t totalMacs() const;
+};
+
+} // namespace bbs
+
+#endif // BBS_MODELS_LAYER_HPP

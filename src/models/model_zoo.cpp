@@ -1,0 +1,254 @@
+#include "models/model_zoo.hpp"
+
+#include "common/logging.hpp"
+
+namespace bbs {
+
+namespace {
+
+/** Shorthand conv layer. */
+LayerDesc
+conv(std::string name, std::int64_t k, std::int64_t c, std::int64_t r,
+     std::int64_t s, std::int64_t outHw, bool relu, int repeat = 1)
+{
+    LayerDesc l;
+    l.name = std::move(name);
+    l.kind = LayerKind::Conv;
+    l.weightShape = Shape{k, c, r, s};
+    l.outputPositions = outHw * outHw;
+    l.reluActivations = relu;
+    l.repeat = repeat;
+    l.family = WeightFamily::Gaussian;
+    return l;
+}
+
+/** Shorthand linear layer. */
+LayerDesc
+linear(std::string name, std::int64_t k, std::int64_t c,
+       std::int64_t positions, bool relu, int repeat = 1,
+       WeightFamily family = WeightFamily::Gaussian)
+{
+    LayerDesc l;
+    l.name = std::move(name);
+    l.kind = LayerKind::Linear;
+    l.weightShape = Shape{k, c};
+    l.outputPositions = positions;
+    l.reluActivations = relu;
+    l.repeat = repeat;
+    l.family = family;
+    return l;
+}
+
+/** Append one transformer encoder block (pre-norm ViT/BERT style). */
+void
+addTransformerBlock(std::vector<LayerDesc> &layers, const std::string &pfx,
+                    std::int64_t dim, std::int64_t mlpDim,
+                    std::int64_t tokens, int repeat, bool fusedQkv)
+{
+    if (fusedQkv) {
+        layers.push_back(linear(pfx + ".qkv", 3 * dim, dim, tokens, false,
+                                repeat, WeightFamily::Laplace));
+    } else {
+        layers.push_back(linear(pfx + ".q", dim, dim, tokens, false,
+                                repeat, WeightFamily::Laplace));
+        layers.push_back(linear(pfx + ".k", dim, dim, tokens, false,
+                                repeat, WeightFamily::Laplace));
+        layers.push_back(linear(pfx + ".v", dim, dim, tokens, false,
+                                repeat, WeightFamily::Laplace));
+    }
+    layers.push_back(linear(pfx + ".proj", dim, dim, tokens, false, repeat,
+                            WeightFamily::Laplace));
+    layers.push_back(linear(pfx + ".mlp.fc1", mlpDim, dim, tokens, false,
+                            repeat));
+    layers.push_back(linear(pfx + ".mlp.fc2", dim, mlpDim, tokens, false,
+                            repeat));
+}
+
+ModelDesc
+buildBert(const std::string &task, double fp32Acc, double int8Acc)
+{
+    ModelDesc m;
+    m.name = "Bert-" + task;
+    m.dataset = task;
+    m.fp32Accuracy = fp32Acc;
+    m.int8Accuracy = int8Acc;
+    // BERT-base: 12 encoder blocks, hidden 768, FFN 3072, sequence 128.
+    // Separate Q/K/V projections (HuggingFace layout); embeddings and the
+    // tiny task head are lookup/VP-bound and excluded from acceleration,
+    // as in prior bit-serial evaluations.
+    addTransformerBlock(m.layers, "encoder", 768, 3072, 128, 12, false);
+    m.layers.push_back(linear("pooler", 768, 768, 1, false));
+    return m;
+}
+
+} // namespace
+
+ModelDesc
+buildVgg16()
+{
+    ModelDesc m;
+    m.name = "VGG-16";
+    m.dataset = "ImageNet";
+    m.fp32Accuracy = 73.36;
+    m.int8Accuracy = 73.35;
+    auto &L = m.layers;
+    L.push_back(conv("conv1_1", 64, 3, 3, 3, 224, false));
+    L.push_back(conv("conv1_2", 64, 64, 3, 3, 224, true));
+    L.push_back(conv("conv2_1", 128, 64, 3, 3, 112, true));
+    L.push_back(conv("conv2_2", 128, 128, 3, 3, 112, true));
+    L.push_back(conv("conv3_1", 256, 128, 3, 3, 56, true));
+    L.push_back(conv("conv3_x", 256, 256, 3, 3, 56, true, 2));
+    L.push_back(conv("conv4_1", 512, 256, 3, 3, 28, true));
+    L.push_back(conv("conv4_x", 512, 512, 3, 3, 28, true, 2));
+    L.push_back(conv("conv5_x", 512, 512, 3, 3, 14, true, 3));
+    L.push_back(linear("fc6", 4096, 25088, 1, true));
+    L.push_back(linear("fc7", 4096, 4096, 1, true));
+    L.push_back(linear("fc8", 1000, 4096, 1, true));
+    return m;
+}
+
+ModelDesc
+buildResNet34()
+{
+    ModelDesc m;
+    m.name = "ResNet-34";
+    m.dataset = "ImageNet";
+    m.fp32Accuracy = 73.31;
+    m.int8Accuracy = 73.39;
+    auto &L = m.layers;
+    L.push_back(conv("conv1", 64, 3, 7, 7, 112, false));
+    // Basic blocks: two 3x3 convs each; stage-entry blocks also have a
+    // 1x1 downsample projection.
+    L.push_back(conv("layer1.x", 64, 64, 3, 3, 56, true, 6));
+    L.push_back(conv("layer2.0.conv1", 128, 64, 3, 3, 28, true));
+    L.push_back(conv("layer2.0.down", 128, 64, 1, 1, 28, true));
+    L.push_back(conv("layer2.x", 128, 128, 3, 3, 28, true, 7));
+    L.push_back(conv("layer3.0.conv1", 256, 128, 3, 3, 14, true));
+    L.push_back(conv("layer3.0.down", 256, 128, 1, 1, 14, true));
+    L.push_back(conv("layer3.x", 256, 256, 3, 3, 14, true, 11));
+    L.push_back(conv("layer4.0.conv1", 512, 256, 3, 3, 7, true));
+    L.push_back(conv("layer4.0.down", 512, 256, 1, 1, 7, true));
+    L.push_back(conv("layer4.x", 512, 512, 3, 3, 7, true, 5));
+    L.push_back(linear("fc", 1000, 512, 1, true));
+    return m;
+}
+
+ModelDesc
+buildResNet50()
+{
+    ModelDesc m;
+    m.name = "ResNet-50";
+    m.dataset = "ImageNet";
+    m.fp32Accuracy = 76.13;
+    m.int8Accuracy = 76.17;
+    auto &L = m.layers;
+    L.push_back(conv("conv1", 64, 3, 7, 7, 112, false));
+    // Bottleneck blocks: 1x1 reduce, 3x3, 1x1 expand.
+    L.push_back(conv("layer1.0.conv1", 64, 64, 1, 1, 56, true));
+    L.push_back(conv("layer1.0.down", 256, 64, 1, 1, 56, true));
+    L.push_back(conv("layer1.x.conv1", 64, 256, 1, 1, 56, true, 2));
+    L.push_back(conv("layer1.conv2", 64, 64, 3, 3, 56, true, 3));
+    L.push_back(conv("layer1.conv3", 256, 64, 1, 1, 56, true, 3));
+    L.push_back(conv("layer2.0.conv1", 128, 256, 1, 1, 28, true));
+    L.push_back(conv("layer2.0.down", 512, 256, 1, 1, 28, true));
+    L.push_back(conv("layer2.x.conv1", 128, 512, 1, 1, 28, true, 3));
+    L.push_back(conv("layer2.conv2", 128, 128, 3, 3, 28, true, 4));
+    L.push_back(conv("layer2.conv3", 512, 128, 1, 1, 28, true, 4));
+    L.push_back(conv("layer3.0.conv1", 256, 512, 1, 1, 14, true));
+    L.push_back(conv("layer3.0.down", 1024, 512, 1, 1, 14, true));
+    L.push_back(conv("layer3.x.conv1", 256, 1024, 1, 1, 14, true, 5));
+    L.push_back(conv("layer3.conv2", 256, 256, 3, 3, 14, true, 6));
+    L.push_back(conv("layer3.conv3", 1024, 256, 1, 1, 14, true, 6));
+    L.push_back(conv("layer4.0.conv1", 512, 1024, 1, 1, 7, true));
+    L.push_back(conv("layer4.0.down", 2048, 1024, 1, 1, 7, true));
+    L.push_back(conv("layer4.x.conv1", 512, 2048, 1, 1, 7, true, 2));
+    L.push_back(conv("layer4.conv2", 512, 512, 3, 3, 7, true, 3));
+    L.push_back(conv("layer4.conv3", 2048, 512, 1, 1, 7, true, 3));
+    L.push_back(linear("fc", 1000, 2048, 1, true));
+    return m;
+}
+
+ModelDesc
+buildViTSmall()
+{
+    ModelDesc m;
+    m.name = "ViT-Small";
+    m.dataset = "ImageNet";
+    m.fp32Accuracy = 80.16;
+    m.int8Accuracy = 80.05;
+    m.layers.push_back(conv("patch_embed", 384, 3, 16, 16, 14, false));
+    addTransformerBlock(m.layers, "blocks", 384, 1536, 197, 12, true);
+    m.layers.push_back(linear("head", 1000, 384, 1, false));
+    return m;
+}
+
+ModelDesc
+buildViTBase()
+{
+    ModelDesc m;
+    m.name = "ViT-Base";
+    m.dataset = "ImageNet";
+    m.fp32Accuracy = 84.54;
+    m.int8Accuracy = 84.52;
+    m.layers.push_back(conv("patch_embed", 768, 3, 16, 16, 14, false));
+    addTransformerBlock(m.layers, "blocks", 768, 3072, 197, 12, true);
+    m.layers.push_back(linear("head", 1000, 768, 1, false));
+    return m;
+}
+
+ModelDesc
+buildBertMrpc()
+{
+    return buildBert("MRPC", 90.7, 90.4);
+}
+
+ModelDesc
+buildBertSst2()
+{
+    return buildBert("SST2", 91.8, 91.63);
+}
+
+ModelDesc
+buildLlama3_8B()
+{
+    ModelDesc m;
+    m.name = "Llama-3-8B";
+    m.dataset = "WikiText/C4";
+    auto &L = m.layers;
+    // 32 decoder blocks, hidden 4096, FFN 14336, grouped-query attention
+    // with 8 KV heads (KV projections to 1024). Sequence length 2048.
+    const std::int64_t d = 4096, ffn = 14336, kv = 1024, seq = 2048;
+    L.push_back(linear("q_proj", d, d, seq, false, 32,
+                       WeightFamily::Laplace));
+    L.push_back(linear("k_proj", kv, d, seq, false, 32,
+                       WeightFamily::Laplace));
+    L.push_back(linear("v_proj", kv, d, seq, false, 32,
+                       WeightFamily::Laplace));
+    L.push_back(linear("o_proj", d, d, seq, false, 32,
+                       WeightFamily::Laplace));
+    L.push_back(linear("gate_proj", ffn, d, seq, false, 32));
+    L.push_back(linear("up_proj", ffn, d, seq, false, 32));
+    L.push_back(linear("down_proj", d, ffn, seq, false, 32));
+    return m;
+}
+
+std::vector<ModelDesc>
+benchmarkModels()
+{
+    return {buildVgg16(),   buildResNet34(), buildResNet50(),
+            buildViTSmall(), buildViTBase(),  buildBertMrpc(),
+            buildBertSst2()};
+}
+
+ModelDesc
+modelByName(const std::string &name)
+{
+    for (auto &m : benchmarkModels())
+        if (m.name == name)
+            return m;
+    if (name == "Llama-3-8B")
+        return buildLlama3_8B();
+    BBS_FATAL("unknown model: ", name);
+}
+
+} // namespace bbs

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The model zoo: exact layer shapes of the paper's seven DNN benchmarks
+ * (VGG-16, ResNet-34, ResNet-50 on ImageNet; ViT-Small, ViT-Base; BERT-base
+ * on MRPC and SST2) plus Llama-3-8B for the LLM study (§V-H).
+ *
+ * Shapes follow the torchvision / HuggingFace reference implementations the
+ * paper obtained its pre-trained models from. Identical repeated blocks are
+ * collapsed via LayerDesc::repeat so simulation cost stays laptop-scale
+ * while aggregate statistics (weights, MACs) are exact.
+ */
+#ifndef BBS_MODELS_MODEL_ZOO_HPP
+#define BBS_MODELS_MODEL_ZOO_HPP
+
+#include "models/layer.hpp"
+
+namespace bbs {
+
+ModelDesc buildVgg16();
+ModelDesc buildResNet34();
+ModelDesc buildResNet50();
+ModelDesc buildViTSmall();
+ModelDesc buildViTBase();
+ModelDesc buildBertMrpc();
+ModelDesc buildBertSst2();
+ModelDesc buildLlama3_8B();
+
+/** The seven benchmarks of the paper's main evaluation, in figure order. */
+std::vector<ModelDesc> benchmarkModels();
+
+/** Look a model up by name; fatal on unknown name. */
+ModelDesc modelByName(const std::string &name);
+
+} // namespace bbs
+
+#endif // BBS_MODELS_MODEL_ZOO_HPP

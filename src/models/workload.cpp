@@ -1,0 +1,74 @@
+#include "models/workload.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "tensor/distribution.hpp"
+
+namespace bbs {
+
+double
+layerBaseStddev(const LayerDesc &layer)
+{
+    double fanIn = static_cast<double>(layer.weightShape.numel()) /
+                   static_cast<double>(layer.weightShape.dim(0));
+    return std::sqrt(2.0 / fanIn);
+}
+
+std::vector<PrunableLayer>
+MaterializedModel::toPrunableLayers() const
+{
+    std::vector<PrunableLayer> out;
+    out.reserve(layers.size());
+    for (const auto &l : layers) {
+        PrunableLayer pl;
+        pl.name = l.desc.name;
+        pl.codes = l.weights.values;
+        pl.scales = l.weights.scales;
+        out.push_back(std::move(pl));
+    }
+    return out;
+}
+
+MaterializedModel
+materializeModel(const ModelDesc &model, const MaterializeOptions &opts)
+{
+    MaterializedModel out;
+    out.desc = model;
+    Rng rng(opts.seed);
+
+    for (const auto &layer : model.layers) {
+        // Fork before any capping decision so the stream layout is stable.
+        Rng lrng = rng.fork();
+
+        Shape shape = layer.weightShape;
+        if (opts.maxWeightsPerLayer > 0 &&
+            shape.numel() > opts.maxWeightsPerLayer) {
+            // Keep whole channels: reduce the output-channel dimension.
+            std::int64_t cs = shape.channelSize();
+            std::int64_t keep =
+                std::max<std::int64_t>(1, opts.maxWeightsPerLayer / cs);
+            keep = std::min(keep, shape.dim(0));
+            if (shape.rank() == 2) {
+                shape = Shape{keep, shape.dim(1)};
+            } else {
+                BBS_ASSERT(shape.rank() == 4);
+                shape = Shape{keep, shape.dim(1), shape.dim(2),
+                              shape.dim(3)};
+            }
+        }
+
+        WeightDistribution dist;
+        dist.family = layer.family;
+        dist.baseStddev = layerBaseStddev(layer);
+        FloatTensor fp32 = generateWeights(shape, dist, lrng);
+
+        MaterializedLayer ml;
+        ml.desc = layer;
+        ml.weights = quantizePerChannel(fp32, 8);
+        out.layers.push_back(std::move(ml));
+    }
+    return out;
+}
+
+} // namespace bbs

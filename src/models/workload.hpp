@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Workload materialization: turn a ModelDesc into quantized INT8 weight
+ * tensors (the paper's baseline 8-bit models) via synthetic FP32 weights +
+ * per-channel PTQ. Deterministic per (model, seed).
+ */
+#ifndef BBS_MODELS_WORKLOAD_HPP
+#define BBS_MODELS_WORKLOAD_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/global_pruning.hpp"
+#include "models/layer.hpp"
+#include "quant/quantizer.hpp"
+
+namespace bbs {
+
+/** One materialized layer: descriptor + INT8 codes + scales. */
+struct MaterializedLayer
+{
+    LayerDesc desc;
+    QuantizedTensor weights;
+};
+
+/** A fully materialized benchmark model. */
+struct MaterializedModel
+{
+    ModelDesc desc;
+    std::vector<MaterializedLayer> layers;
+
+    /** Adapt to the global-pruning input format. */
+    std::vector<PrunableLayer> toPrunableLayers() const;
+};
+
+/**
+ * Options controlling materialization cost.
+ */
+struct MaterializeOptions
+{
+    std::uint64_t seed = 42;
+    /**
+     * Cap on weights generated per distinct layer; larger layers are
+     * represented by their first maxWeightsPerLayer weights (whole
+     * channels). Bit statistics are i.i.d. per group, so sampling whole
+     * channels preserves every distribution this project measures.
+     * 0 = no cap.
+     */
+    std::int64_t maxWeightsPerLayer = 0;
+};
+
+/** Materialize every distinct layer of @p model. */
+MaterializedModel materializeModel(const ModelDesc &model,
+                                   const MaterializeOptions &opts = {});
+
+/**
+ * He-style fan-in standard deviation for a layer, used as the synthetic
+ * distribution's base scale.
+ */
+double layerBaseStddev(const LayerDesc &layer);
+
+} // namespace bbs
+
+#endif // BBS_MODELS_WORKLOAD_HPP

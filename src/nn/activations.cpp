@@ -1,0 +1,41 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+
+namespace bbs {
+
+float
+relu(float x)
+{
+    return x > 0.0f ? x : 0.0f;
+}
+
+float
+reluGrad(float x)
+{
+    return x > 0.0f ? 1.0f : 0.0f;
+}
+
+namespace {
+
+constexpr float kSqrt2OverPi = 0.7978845608028654f;
+
+} // namespace
+
+float
+gelu(float x)
+{
+    float inner = kSqrt2OverPi * (x + 0.044715f * x * x * x);
+    return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+float
+geluGrad(float x)
+{
+    float inner = kSqrt2OverPi * (x + 0.044715f * x * x * x);
+    float t = std::tanh(inner);
+    float dInner = kSqrt2OverPi * (1.0f + 3.0f * 0.044715f * x * x);
+    return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * dInner;
+}
+
+} // namespace bbs

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Scalar activation functions and their derivatives for the small NN stack
+ * used by the accuracy experiments (ReLU for CNN-style nets, GELU for
+ * transformer-style nets — the distinction the paper draws for activation
+ * sparsity, §I).
+ */
+#ifndef BBS_NN_ACTIVATIONS_HPP
+#define BBS_NN_ACTIVATIONS_HPP
+
+namespace bbs {
+
+float relu(float x);
+float reluGrad(float x);
+
+/** tanh-approximation GELU (the form used by BERT/ViT). */
+float gelu(float x);
+float geluGrad(float x);
+
+} // namespace bbs
+
+#endif // BBS_NN_ACTIVATIONS_HPP

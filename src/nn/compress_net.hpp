@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Apply a weight-compression method to a trained network, in place.
+ *
+ * This is where every scheme the paper compares (naive PTQ, NoisyQuant,
+ * Microscaling, ANT, OliVe, BitWave bit-flip, BBS binary pruning) meets
+ * real trained weights: each method transforms the per-channel-quantized
+ * INT8 codes (or the FP32 weights, for the float-format schemes) and the
+ * dequantized result is written back for accuracy re-measurement.
+ */
+#ifndef BBS_NN_COMPRESS_NET_HPP
+#define BBS_NN_COMPRESS_NET_HPP
+
+#include <string>
+
+#include "core/global_pruning.hpp"
+#include "nn/network.hpp"
+
+namespace bbs {
+
+/** Weight-compression methods the accuracy experiments compare. */
+enum class CompressionMethod
+{
+    None,         ///< baseline INT8 (per-channel PTQ only)
+    PtqClip,      ///< naive PTQ to `bits` with MSE-optimal clipping
+    NoisyPtq,     ///< NoisyQuant-style dithered PTQ
+    Microscaling, ///< MX block format
+    AntAdaptive,  ///< ANT adaptive datatypes
+    OlivePairs,   ///< OliVe outlier-victim pairs
+    BitwaveFlip,  ///< sign-magnitude zero-column bit-flip
+    BbsPrune,     ///< BBS binary pruning (Algorithm 2 on the network)
+};
+
+const char *compressionMethodName(CompressionMethod m);
+
+/** Full specification of one compression run. */
+struct CompressionSpec
+{
+    CompressionMethod method = CompressionMethod::None;
+    /** Target precision for the PTQ-family methods. */
+    int bits = 8;
+    /** BBS configuration (also supplies beta/columns for BitWave/PTQ so
+     *  all methods share the same sensitive-channel setting, §V-B). */
+    GlobalPruneConfig bbs = conservativeConfig();
+    /** Group size for group-wise schemes. */
+    std::int64_t groupSize = 32;
+};
+
+/** What a compression run did to the weights. */
+struct CompressionReport
+{
+    double effectiveBits = 8.0; ///< mean storage bits per weight
+    double weightMse = 0.0;     ///< INT8-grid MSE vs baseline codes
+    double weightKl = 0.0;      ///< INT8-grid KL vs baseline codes
+};
+
+/**
+ * Compress all weight layers of @p net in place and report the distortion.
+ * The network must already be trained; weights are replaced by their
+ * compressed-then-dequantized values ("fake quantization").
+ */
+CompressionReport compressNetwork(Network &net,
+                                  const CompressionSpec &spec);
+
+} // namespace bbs
+
+#endif // BBS_NN_COMPRESS_NET_HPP

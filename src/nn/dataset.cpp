@@ -1,0 +1,234 @@
+#include "nn/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace bbs {
+
+namespace {
+
+/** Split shuffled rows into train/test halves. */
+Dataset
+splitDataset(FloatTensor x, std::vector<int> y, std::int64_t numClasses,
+             Rng &rng)
+{
+    std::int64_t n = x.shape().dim(0);
+    std::int64_t f = x.shape().dim(1);
+    std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i)
+        order[static_cast<std::size_t>(i)] = i;
+    rng.shuffle(order);
+
+    std::int64_t trainN = n * 3 / 4;
+    Dataset ds;
+    ds.numClasses = numClasses;
+    ds.features = f;
+    ds.trainX = FloatTensor(Shape{trainN, f});
+    ds.testX = FloatTensor(Shape{n - trainN, f});
+    ds.trainY.resize(static_cast<std::size_t>(trainN));
+    ds.testY.resize(static_cast<std::size_t>(n - trainN));
+    for (std::int64_t i = 0; i < n; ++i) {
+        std::int64_t src = order[static_cast<std::size_t>(i)];
+        bool isTrain = i < trainN;
+        std::int64_t dst = isTrain ? i : i - trainN;
+        auto &dstX = isTrain ? ds.trainX : ds.testX;
+        for (std::int64_t j = 0; j < f; ++j)
+            dstX.at(dst, j) = x.at(src, j);
+        (isTrain ? ds.trainY : ds.testY)[static_cast<std::size_t>(dst)] =
+            y[static_cast<std::size_t>(src)];
+    }
+    return ds;
+}
+
+} // namespace
+
+Dataset
+makeClusterDataset(std::int64_t samplesPerClass, std::int64_t numClasses,
+                   std::int64_t features, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::int64_t n = samplesPerClass * numClasses;
+    std::int64_t latent = features / 2;
+
+    // Class means on a sphere in latent space.
+    std::vector<std::vector<double>> means(
+        static_cast<std::size_t>(numClasses));
+    for (auto &m : means) {
+        m.resize(static_cast<std::size_t>(latent));
+        double norm = 0.0;
+        for (auto &v : m) {
+            v = rng.gaussian(0.0, 1.0);
+            norm += v * v;
+        }
+        norm = std::sqrt(norm);
+        for (auto &v : m)
+            v = v / norm * 3.0;
+    }
+
+    // Fixed random warp matrix latent -> features.
+    std::vector<double> warp(
+        static_cast<std::size_t>(latent * features));
+    for (auto &v : warp)
+        v = rng.gaussian(0.0, 1.0 / std::sqrt(
+            static_cast<double>(latent)));
+
+    FloatTensor x(Shape{n, features});
+    std::vector<int> y(static_cast<std::size_t>(n));
+    std::vector<double> z(static_cast<std::size_t>(latent));
+    for (std::int64_t i = 0; i < n; ++i) {
+        int cls = static_cast<int>(i % numClasses);
+        y[static_cast<std::size_t>(i)] = cls;
+        for (std::int64_t l = 0; l < latent; ++l)
+            z[static_cast<std::size_t>(l)] =
+                means[static_cast<std::size_t>(cls)]
+                     [static_cast<std::size_t>(l)] +
+                rng.gaussian(0.0, 1.0);
+        // Nonlinear warp: tanh of a random projection + quadratic cross
+        // terms so a linear model cannot solve the task.
+        for (std::int64_t f = 0; f < features; ++f) {
+            double acc = 0.0;
+            for (std::int64_t l = 0; l < latent; ++l)
+                acc += z[static_cast<std::size_t>(l)] *
+                       warp[static_cast<std::size_t>(l * features + f)];
+            double quad =
+                z[static_cast<std::size_t>(f % latent)] *
+                z[static_cast<std::size_t>((f + 1) % latent)] * 0.15;
+            x.at(i, f) = static_cast<float>(std::tanh(acc) + quad);
+        }
+    }
+    return splitDataset(std::move(x), std::move(y), numClasses, rng);
+}
+
+Dataset
+makeShapeDataset(std::int64_t samplesPerClass, std::int64_t hw,
+                 std::uint64_t seed)
+{
+    Rng rng(seed);
+    const std::int64_t numClasses = 4;
+    std::int64_t n = samplesPerClass * numClasses;
+    FloatTensor x(Shape{n, hw * hw});
+    std::vector<int> y(static_cast<std::size_t>(n));
+
+    for (std::int64_t i = 0; i < n; ++i) {
+        int cls = static_cast<int>(i % numClasses);
+        y[static_cast<std::size_t>(i)] = cls;
+        // Noisy background.
+        for (std::int64_t p = 0; p < hw * hw; ++p)
+            x.at(i, p) = static_cast<float>(rng.gaussian(0.0, 0.25));
+
+        std::int64_t cx = rng.uniformInt(hw / 4, 3 * hw / 4);
+        std::int64_t cy = rng.uniformInt(hw / 4, 3 * hw / 4);
+        std::int64_t r = rng.uniformInt(2, hw / 4);
+        auto paint = [&](std::int64_t px, std::int64_t py) {
+            if (px >= 0 && px < hw && py >= 0 && py < hw)
+                x.at(i, py * hw + px) += 1.0f;
+        };
+        switch (cls) {
+          case 0: // filled rectangle
+            for (std::int64_t dy = -r; dy <= r; ++dy)
+                for (std::int64_t dx = -r; dx <= r; ++dx)
+                    paint(cx + dx, cy + dy);
+            break;
+          case 1: // cross
+            for (std::int64_t d = -r; d <= r; ++d) {
+                paint(cx + d, cy);
+                paint(cx, cy + d);
+            }
+            break;
+          case 2: // circle outline
+            for (int a = 0; a < 64; ++a) {
+                double ang = a * 2.0 * 3.14159265 / 64.0;
+                paint(cx + static_cast<std::int64_t>(
+                          std::lround(r * std::cos(ang))),
+                      cy + static_cast<std::int64_t>(
+                          std::lround(r * std::sin(ang))));
+            }
+            break;
+          default: // diagonal stripe
+            for (std::int64_t d = -r; d <= r; ++d)
+                paint(cx + d, cy + d);
+            break;
+        }
+    }
+    return splitDataset(std::move(x), std::move(y), numClasses, rng);
+}
+
+TextDataset
+makeMarkovTextDataset(std::int64_t trainChars, std::int64_t testChars,
+                      int alphabet, int context, std::uint64_t seed)
+{
+    BBS_REQUIRE(alphabet >= 2 && context >= 1, "bad LM dataset parameters");
+    Rng rng(seed);
+
+    // Order-2 transition table with skewed (Zipf-ish) probabilities.
+    std::int64_t states = static_cast<std::int64_t>(alphabet) * alphabet;
+    std::vector<std::vector<double>> table(
+        static_cast<std::size_t>(states));
+    for (auto &row : table) {
+        row.resize(static_cast<std::size_t>(alphabet));
+        double sum = 0.0;
+        for (auto &p : row) {
+            p = std::pow(rng.uniformReal(0.0, 1.0), 3.0);
+            sum += p;
+        }
+        for (auto &p : row)
+            p /= sum;
+    }
+
+    auto sampleNext = [&](int a, int b) {
+        const auto &row =
+            table[static_cast<std::size_t>(a * alphabet + b)];
+        double u = rng.uniformReal(0.0, 1.0);
+        double acc = 0.0;
+        for (int c = 0; c < alphabet; ++c) {
+            acc += row[static_cast<std::size_t>(c)];
+            if (u <= acc)
+                return c;
+        }
+        return alphabet - 1;
+    };
+
+    auto generate = [&](std::int64_t chars) {
+        std::vector<int> text(static_cast<std::size_t>(chars));
+        int a = 0, b = 1;
+        for (std::int64_t i = 0; i < chars; ++i) {
+            int c = sampleNext(a, b);
+            text[static_cast<std::size_t>(i)] = c;
+            a = b;
+            b = c;
+        }
+        return text;
+    };
+
+    auto windows = [&](const std::vector<int> &text, FloatTensor &x,
+                       std::vector<int> &y) {
+        std::int64_t count =
+            static_cast<std::int64_t>(text.size()) - context;
+        x = FloatTensor(Shape{count,
+                              static_cast<std::int64_t>(context) *
+                                  alphabet});
+        y.resize(static_cast<std::size_t>(count));
+        for (std::int64_t i = 0; i < count; ++i) {
+            for (int k = 0; k < context; ++k) {
+                int ch = text[static_cast<std::size_t>(i + k)];
+                x.at(i, static_cast<std::int64_t>(k) * alphabet + ch) =
+                    1.0f;
+            }
+            y[static_cast<std::size_t>(i)] =
+                text[static_cast<std::size_t>(i + context)];
+        }
+    };
+
+    TextDataset ds;
+    ds.alphabet = alphabet;
+    ds.context = context;
+    std::vector<int> trainText = generate(trainChars);
+    std::vector<int> testText = generate(testChars);
+    windows(trainText, ds.trainX, ds.trainY);
+    windows(testText, ds.testX, ds.testY);
+    return ds;
+}
+
+} // namespace bbs

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Procedurally generated datasets: a nonlinearly-warped Gaussian-cluster
+ * classification task (MLP stand-in), a synthetic shape-image task (CNN
+ * stand-in), and Markov-chain character text (LM stand-in for the Llama
+ * perplexity study, §V-H). All deterministic per seed.
+ */
+#ifndef BBS_NN_DATASET_HPP
+#define BBS_NN_DATASET_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+#include "tensor/tensor.hpp"
+
+namespace bbs {
+
+/** A labelled classification dataset split into train/test halves. */
+struct Dataset
+{
+    FloatTensor trainX; ///< [N, features]
+    std::vector<int> trainY;
+    FloatTensor testX;
+    std::vector<int> testY;
+    std::int64_t numClasses = 0;
+    std::int64_t features = 0;
+};
+
+/**
+ * Warped Gaussian clusters: class means on a hypersphere, per-class
+ * covariance, then a fixed random nonlinear feature warp so the task
+ * actually requires the hidden layers.
+ */
+Dataset makeClusterDataset(std::int64_t samplesPerClass,
+                           std::int64_t numClasses, std::int64_t features,
+                           std::uint64_t seed);
+
+/**
+ * Shape images: filled rectangles, crosses, circles and diagonal stripes
+ * on a noisy background; channels-first [1, hw, hw] flattened.
+ */
+Dataset makeShapeDataset(std::int64_t samplesPerClass, std::int64_t hw,
+                         std::uint64_t seed);
+
+/** Character LM data: next-char prediction over Markov-chain text. */
+struct TextDataset
+{
+    /** Context windows, one-hot-concatenated: [N, context * alphabet]. */
+    FloatTensor trainX;
+    std::vector<int> trainY; ///< next character index
+    FloatTensor testX;
+    std::vector<int> testY;
+    int alphabet = 0;
+    int context = 0;
+};
+
+/**
+ * Markov text: a random order-2 transition table with skewed probabilities
+ * produces text with learnable structure; windows of @p context chars
+ * predict the next.
+ */
+TextDataset makeMarkovTextDataset(std::int64_t trainChars,
+                                  std::int64_t testChars, int alphabet,
+                                  int context, std::uint64_t seed);
+
+} // namespace bbs
+
+#endif // BBS_NN_DATASET_HPP

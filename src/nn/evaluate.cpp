@@ -1,0 +1,70 @@
+#include "nn/evaluate.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace bbs {
+
+double
+accuracyPercent(Network &net, const FloatTensor &x,
+                const std::vector<int> &y)
+{
+    std::vector<int> pred = net.predict(x);
+    BBS_REQUIRE(pred.size() == y.size(), "label size mismatch");
+    std::int64_t hits = 0;
+    for (std::size_t i = 0; i < y.size(); ++i)
+        hits += (pred[i] == y[i]);
+    return 100.0 * static_cast<double>(hits) /
+           static_cast<double>(y.size());
+}
+
+double
+perplexity(Network &net, const FloatTensor &x, const std::vector<int> &y)
+{
+    return std::exp(net.evalLoss(x, y));
+}
+
+double
+trainNetwork(Network &net, const FloatTensor &x, const std::vector<int> &y,
+             const TrainOptions &opts)
+{
+    std::int64_t n = x.shape().dim(0);
+    std::int64_t f = x.shape().dim(1);
+    Rng rng(opts.seed);
+    std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i)
+        order[static_cast<std::size_t>(i)] = i;
+
+    double lastLoss = 0.0;
+    for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+        rng.shuffle(order);
+        double epochLoss = 0.0;
+        std::int64_t batches = 0;
+        for (std::int64_t begin = 0; begin < n;
+             begin += opts.batchSize) {
+            std::int64_t end =
+                std::min<std::int64_t>(begin + opts.batchSize, n);
+            std::int64_t bs = end - begin;
+            Batch bx(Shape{bs, f});
+            std::vector<int> by(static_cast<std::size_t>(bs));
+            for (std::int64_t i = 0; i < bs; ++i) {
+                std::int64_t src =
+                    order[static_cast<std::size_t>(begin + i)];
+                for (std::int64_t j = 0; j < f; ++j)
+                    bx.at(i, j) = x.at(src, j);
+                by[static_cast<std::size_t>(i)] =
+                    y[static_cast<std::size_t>(src)];
+            }
+            // Cosine-free simple decay keeps the loop dependency-light.
+            float lr = opts.lr /
+                       (1.0f + 0.15f * static_cast<float>(epoch));
+            epochLoss += net.trainBatch(bx, by, lr, opts.momentum);
+            ++batches;
+        }
+        lastLoss = epochLoss / static_cast<double>(batches);
+    }
+    return lastLoss;
+}
+
+} // namespace bbs

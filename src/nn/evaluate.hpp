@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Accuracy and perplexity evaluation of (possibly compressed) networks.
+ */
+#ifndef BBS_NN_EVALUATE_HPP
+#define BBS_NN_EVALUATE_HPP
+
+#include "nn/dataset.hpp"
+#include "nn/network.hpp"
+
+namespace bbs {
+
+/** Top-1 accuracy in percent. */
+double accuracyPercent(Network &net, const FloatTensor &x,
+                       const std::vector<int> &y);
+
+/** Perplexity = exp(mean cross-entropy), the LM metric of Fig 17. */
+double perplexity(Network &net, const FloatTensor &x,
+                  const std::vector<int> &y);
+
+/** Standard training loop: epochs of shuffled mini-batches. */
+struct TrainOptions
+{
+    int epochs = 12;
+    std::int64_t batchSize = 64;
+    float lr = 0.05f;
+    float momentum = 0.9f;
+    std::uint64_t seed = 11;
+};
+
+/** Train @p net on the given data; returns the final epoch's mean loss. */
+double trainNetwork(Network &net, const FloatTensor &x,
+                    const std::vector<int> &y, const TrainOptions &opts);
+
+} // namespace bbs
+
+#endif // BBS_NN_EVALUATE_HPP

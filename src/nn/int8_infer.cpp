@@ -1,0 +1,149 @@
+#include "nn/int8_infer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/parallel.hpp"
+#include "core/bbs_dot.hpp"
+#include "nn/activations.hpp"
+#include "quant/quantizer.hpp"
+
+namespace bbs {
+
+Int8Network
+Int8Network::fromNetwork(Network &net, std::int64_t groupSize,
+                         int targetColumns, PruneStrategy strategy)
+{
+    Int8Network out;
+    auto &layers = net.layers();
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        if (layers[i]->kind() != "dense")
+            continue;
+        FloatTensor *w = layers[i]->weights();
+        FloatTensor *b = layers[i]->bias();
+        BBS_ASSERT(w && b);
+
+        Int8LinearLayer layer;
+        QuantizedTensor q = quantizePerChannel(*w, 8);
+        layer.inFeatures = q.values.shape().dim(1);
+        layer.groupSize = groupSize;
+        std::int64_t channels = q.values.shape().dim(0);
+        layer.rowGroups.resize(static_cast<std::size_t>(channels));
+        for (std::int64_t k = 0; k < channels; ++k) {
+            auto row = q.values.channel(k);
+            auto &groups =
+                layer.rowGroups[static_cast<std::size_t>(k)];
+            for (std::size_t begin = 0; begin < row.size();
+                 begin += static_cast<std::size_t>(groupSize)) {
+                std::size_t len = std::min<std::size_t>(
+                    static_cast<std::size_t>(groupSize),
+                    row.size() - begin);
+                groups.push_back(compressGroup(
+                    std::span<const std::int8_t>(row.data() + begin,
+                                                 len),
+                    targetColumns, strategy));
+            }
+        }
+        layer.wScales = q.scales;
+        layer.bias = *b;
+        // Fuse the following activation, if any.
+        if (i + 1 < layers.size()) {
+            layer.reluAfter = layers[i + 1]->kind() == "relu";
+            layer.geluAfter = layers[i + 1]->kind() == "gelu";
+        }
+        out.layers_.push_back(std::move(layer));
+    }
+    BBS_REQUIRE(!out.layers_.empty(),
+                "network has no dense layers to quantize");
+    return out;
+}
+
+Batch
+Int8Network::forward(const Batch &x) const
+{
+    Batch cur = x;
+    for (const Int8LinearLayer &layer : layers_) {
+        std::int64_t n = cur.shape().dim(0);
+        std::int64_t in = cur.shape().dim(1);
+        std::int64_t out =
+            static_cast<std::int64_t>(layer.rowGroups.size());
+        BBS_REQUIRE(layer.inFeatures == in,
+                    "activation width mismatch");
+
+        // Per-batch symmetric activation quantization (max calibration).
+        float amax = 0.0f;
+        for (std::int64_t i = 0; i < cur.numel(); ++i)
+            amax = std::max(amax, std::abs(cur.flat(i)));
+        float sA = amax > 0.0f ? amax / 127.0f : 1.0f;
+        Int8Tensor qx(Shape{n, in});
+        for (std::int64_t i = 0; i < cur.numel(); ++i) {
+            float q = std::nearbyint(cur.flat(i) / sA);
+            qx.flat(i) = static_cast<std::int8_t>(
+                std::clamp(q, -128.0f, 127.0f));
+        }
+
+        // Integer GEMM: each (row, out-channel) dot runs group by group
+        // through the compressed-domain kernel.
+        Batch next(Shape{n, out});
+        parallelFor(out, [&](std::int64_t o) {
+            float scale = layer.wScales[static_cast<std::size_t>(o)];
+            const auto &groups =
+                layer.rowGroups[static_cast<std::size_t>(o)];
+            for (std::int64_t row = 0; row < n; ++row) {
+                std::int64_t acc = 0;
+                std::int64_t begin = 0;
+                for (const CompressedGroup &cg : groups) {
+                    std::span<const std::int8_t> acts(
+                        &qx.at(row, begin), cg.stored.size());
+                    acc += dotCompressed(cg, acts).value;
+                    begin += static_cast<std::int64_t>(
+                        cg.stored.size());
+                }
+                float v = static_cast<float>(acc) * scale * sA +
+                          layer.bias.flat(o);
+                if (layer.reluAfter)
+                    v = relu(v);
+                else if (layer.geluAfter)
+                    v = gelu(v);
+                next.at(row, o) = v;
+            }
+        }, 2);
+        cur = std::move(next);
+    }
+    return cur;
+}
+
+std::vector<int>
+Int8Network::predict(const Batch &x) const
+{
+    Batch logits = forward(x);
+    std::int64_t n = logits.shape().dim(0);
+    std::int64_t c = logits.shape().dim(1);
+    std::vector<int> out(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+        int best = 0;
+        for (std::int64_t j = 1; j < c; ++j)
+            if (logits.at(i, j) > logits.at(i, best))
+                best = static_cast<int>(j);
+        out[static_cast<std::size_t>(i)] = best;
+    }
+    return out;
+}
+
+double
+Int8Network::effectiveBits() const
+{
+    double bits = 0.0, weights = 0.0;
+    for (const auto &l : layers_) {
+        for (const auto &row : l.rowGroups) {
+            for (const CompressedGroup &g : row) {
+                bits += static_cast<double>(g.storageBits());
+                weights += static_cast<double>(g.stored.size());
+            }
+        }
+    }
+    return bits / weights;
+}
+
+} // namespace bbs

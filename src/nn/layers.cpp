@@ -1,0 +1,296 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/parallel.hpp"
+#include "nn/activations.hpp"
+
+namespace bbs {
+
+namespace {
+
+/** y[N, out] = x[N, in] * wT[in, out] given w[out, in]. */
+Batch
+matmulXWt(const Batch &x, const FloatTensor &w)
+{
+    std::int64_t n = x.shape().dim(0);
+    std::int64_t in = x.shape().dim(1);
+    std::int64_t out = w.shape().dim(0);
+    BBS_ASSERT(w.shape().dim(1) == in);
+    Batch y(Shape{n, out});
+    parallelFor(n, [&](std::int64_t i) {
+        for (std::int64_t o = 0; o < out; ++o) {
+            float acc = 0.0f;
+            const float *xr = &x.at(i, 0);
+            const float *wr = &w.at(o, 0);
+            for (std::int64_t k = 0; k < in; ++k)
+                acc += xr[k] * wr[k];
+            y.at(i, o) = acc;
+        }
+    }, 128);
+    return y;
+}
+
+float
+heInit(Rng &rng, std::int64_t fanIn)
+{
+    return static_cast<float>(
+        rng.gaussian(0.0, std::sqrt(2.0 / static_cast<double>(fanIn))));
+}
+
+void
+sgdUpdate(FloatTensor &param, FloatTensor &grad, FloatTensor &vel, float lr,
+          float momentum)
+{
+    for (std::int64_t i = 0; i < param.numel(); ++i) {
+        vel.flat(i) = momentum * vel.flat(i) - lr * grad.flat(i);
+        param.flat(i) += vel.flat(i);
+        grad.flat(i) = 0.0f;
+    }
+}
+
+} // namespace
+
+Dense::Dense(std::int64_t inFeatures, std::int64_t outFeatures, Rng &rng)
+    : w_(Shape{outFeatures, inFeatures}),
+      b_(Shape{outFeatures}),
+      gradW_(Shape{outFeatures, inFeatures}),
+      gradB_(Shape{outFeatures}),
+      velW_(Shape{outFeatures, inFeatures}),
+      velB_(Shape{outFeatures})
+{
+    for (std::int64_t i = 0; i < w_.numel(); ++i)
+        w_.flat(i) = heInit(rng, inFeatures);
+}
+
+Batch
+Dense::forward(const Batch &x, bool train)
+{
+    if (train)
+        cachedInput_ = x;
+    Batch y = matmulXWt(x, w_);
+    std::int64_t n = y.shape().dim(0);
+    std::int64_t out = y.shape().dim(1);
+    for (std::int64_t i = 0; i < n; ++i)
+        for (std::int64_t o = 0; o < out; ++o)
+            y.at(i, o) += b_.flat(o);
+    return y;
+}
+
+Batch
+Dense::backward(const Batch &gradOut)
+{
+    std::int64_t n = gradOut.shape().dim(0);
+    std::int64_t out = w_.shape().dim(0);
+    std::int64_t in = w_.shape().dim(1);
+
+    // dW[o, k] += sum_i g[i, o] * x[i, k]; dB[o] += sum_i g[i, o]
+    parallelFor(out, [&](std::int64_t o) {
+        for (std::int64_t i = 0; i < n; ++i) {
+            float g = gradOut.at(i, o);
+            gradB_.flat(o) += g;
+            const float *xr = &cachedInput_.at(i, 0);
+            float *gw = &gradW_.at(o, 0);
+            for (std::int64_t k = 0; k < in; ++k)
+                gw[k] += g * xr[k];
+        }
+    }, 128);
+
+    // dX[i, k] = sum_o g[i, o] * w[o, k]
+    Batch gradIn(Shape{n, in});
+    parallelFor(n, [&](std::int64_t i) {
+        for (std::int64_t o = 0; o < out; ++o) {
+            float g = gradOut.at(i, o);
+            const float *wr = &w_.at(o, 0);
+            float *gi = &gradIn.at(i, 0);
+            for (std::int64_t k = 0; k < in; ++k)
+                gi[k] += g * wr[k];
+        }
+    }, 128);
+    return gradIn;
+}
+
+void
+Dense::step(float lr, float momentum)
+{
+    sgdUpdate(w_, gradW_, velW_, lr, momentum);
+    sgdUpdate(b_, gradB_, velB_, lr, momentum);
+}
+
+Conv2d::Conv2d(std::int64_t inChannels, std::int64_t outChannels,
+               std::int64_t kernel, std::int64_t imageHw, std::int64_t pad,
+               Rng &rng)
+    : w_(Shape{outChannels, inChannels, kernel, kernel}),
+      b_(Shape{outChannels}),
+      gradW_(Shape{outChannels, inChannels, kernel, kernel}),
+      gradB_(Shape{outChannels}),
+      velW_(Shape{outChannels, inChannels, kernel, kernel}),
+      velB_(Shape{outChannels}),
+      inChannels_(inChannels), kernel_(kernel), imageHw_(imageHw),
+      pad_(pad), outHw_(imageHw + 2 * pad - kernel + 1)
+{
+    BBS_REQUIRE(outHw_ >= 1, "conv output collapses to nothing");
+    std::int64_t fanIn = inChannels * kernel * kernel;
+    for (std::int64_t i = 0; i < w_.numel(); ++i)
+        w_.flat(i) = heInit(rng, fanIn);
+}
+
+Batch
+Conv2d::forward(const Batch &x, bool train)
+{
+    std::int64_t n = x.shape().dim(0);
+    std::int64_t patch = inChannels_ * kernel_ * kernel_;
+    std::int64_t positions = outHw_ * outHw_;
+
+    // im2col: [N * positions, patch]
+    Batch cols(Shape{n * positions, patch});
+    parallelFor(n, [&](std::int64_t img) {
+        const float *src = &x.at(img, 0);
+        for (std::int64_t oy = 0; oy < outHw_; ++oy) {
+            for (std::int64_t ox = 0; ox < outHw_; ++ox) {
+                float *dst = &cols.at(img * positions + oy * outHw_ + ox, 0);
+                std::int64_t p = 0;
+                for (std::int64_t c = 0; c < inChannels_; ++c) {
+                    for (std::int64_t ky = 0; ky < kernel_; ++ky) {
+                        std::int64_t iy = oy + ky - pad_;
+                        for (std::int64_t kx = 0; kx < kernel_; ++kx) {
+                            std::int64_t ix = ox + kx - pad_;
+                            bool inside = iy >= 0 && iy < imageHw_ &&
+                                          ix >= 0 && ix < imageHw_;
+                            dst[p++] = inside
+                                ? src[(c * imageHw_ + iy) * imageHw_ + ix]
+                                : 0.0f;
+                        }
+                    }
+                }
+            }
+        }
+    }, 1);
+
+    if (train) {
+        cachedCols_ = cols;
+        cachedBatch_ = n;
+    }
+
+    // Weights as a [K, patch] matrix (same memory layout).
+    std::int64_t k = w_.shape().dim(0);
+    Batch y(Shape{n, k * positions});
+    parallelFor(n * positions, [&](std::int64_t rc) {
+        std::int64_t img = rc / positions;
+        std::int64_t pos = rc % positions;
+        const float *col = &cols.at(rc, 0);
+        for (std::int64_t o = 0; o < k; ++o) {
+            const float *wr = &w_.flat(o * patch);
+            float acc = b_.flat(o);
+            for (std::int64_t q = 0; q < patch; ++q)
+                acc += wr[q] * col[q];
+            y.at(img, o * positions + pos) = acc;
+        }
+    }, 64);
+    return y;
+}
+
+Batch
+Conv2d::backward(const Batch &gradOut)
+{
+    std::int64_t n = cachedBatch_;
+    std::int64_t k = w_.shape().dim(0);
+    std::int64_t patch = inChannels_ * kernel_ * kernel_;
+    std::int64_t positions = outHw_ * outHw_;
+
+    // dW[o, q] = sum over (img, pos) g[img, o, pos] * col[img*pos, q]
+    parallelFor(k, [&](std::int64_t o) {
+        float *gw = &gradW_.flat(o * patch);
+        for (std::int64_t img = 0; img < n; ++img) {
+            for (std::int64_t pos = 0; pos < positions; ++pos) {
+                float g = gradOut.at(img, o * positions + pos);
+                gradB_.flat(o) += g;
+                const float *col = &cachedCols_.at(img * positions + pos, 0);
+                for (std::int64_t q = 0; q < patch; ++q)
+                    gw[q] += g * col[q];
+            }
+        }
+    }, 1);
+
+    // dX via col2im of (g^T W).
+    Batch gradIn(Shape{n, inChannels_ * imageHw_ * imageHw_});
+    parallelFor(n, [&](std::int64_t img) {
+        float *gx = &gradIn.at(img, 0);
+        for (std::int64_t pos = 0; pos < positions; ++pos) {
+            std::int64_t oy = pos / outHw_;
+            std::int64_t ox = pos % outHw_;
+            for (std::int64_t o = 0; o < k; ++o) {
+                float g = gradOut.at(img, o * positions + pos);
+                if (g == 0.0f)
+                    continue;
+                const float *wr = &w_.flat(o * patch);
+                std::int64_t q = 0;
+                for (std::int64_t c = 0; c < inChannels_; ++c) {
+                    for (std::int64_t ky = 0; ky < kernel_; ++ky) {
+                        std::int64_t iy = oy + ky - pad_;
+                        for (std::int64_t kx = 0; kx < kernel_; ++kx) {
+                            std::int64_t ix = ox + kx - pad_;
+                            if (iy >= 0 && iy < imageHw_ && ix >= 0 &&
+                                ix < imageHw_) {
+                                gx[(c * imageHw_ + iy) * imageHw_ + ix] +=
+                                    g * wr[q];
+                            }
+                            ++q;
+                        }
+                    }
+                }
+            }
+        }
+    }, 1);
+    return gradIn;
+}
+
+void
+Conv2d::step(float lr, float momentum)
+{
+    sgdUpdate(w_, gradW_, velW_, lr, momentum);
+    sgdUpdate(b_, gradB_, velB_, lr, momentum);
+}
+
+Batch
+ReluLayer::forward(const Batch &x, bool train)
+{
+    if (train)
+        cachedInput_ = x;
+    Batch y = x;
+    for (std::int64_t i = 0; i < y.numel(); ++i)
+        y.flat(i) = relu(y.flat(i));
+    return y;
+}
+
+Batch
+ReluLayer::backward(const Batch &gradOut)
+{
+    Batch g = gradOut;
+    for (std::int64_t i = 0; i < g.numel(); ++i)
+        g.flat(i) *= reluGrad(cachedInput_.flat(i));
+    return g;
+}
+
+Batch
+GeluLayer::forward(const Batch &x, bool train)
+{
+    if (train)
+        cachedInput_ = x;
+    Batch y = x;
+    for (std::int64_t i = 0; i < y.numel(); ++i)
+        y.flat(i) = gelu(y.flat(i));
+    return y;
+}
+
+Batch
+GeluLayer::backward(const Batch &gradOut)
+{
+    Batch g = gradOut;
+    for (std::int64_t i = 0; i < g.numel(); ++i)
+        g.flat(i) *= geluGrad(cachedInput_.flat(i));
+    return g;
+}
+
+} // namespace bbs

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Trainable layers of the small NN stack: dense, 2-D convolution (im2col)
+ * and element-wise activations, each with forward/backward/SGD-step. This
+ * substrate exists so compression accuracy is measured on *real trained
+ * weights* through the identical BBS/PTQ/BitWave code paths (DESIGN.md §1).
+ */
+#ifndef BBS_NN_LAYERS_HPP
+#define BBS_NN_LAYERS_HPP
+
+#include <memory>
+#include <string>
+
+#include "common/random.hpp"
+#include "tensor/tensor.hpp"
+
+namespace bbs {
+
+/** Batch-first 2-D data: [batch, features]. */
+using Batch = FloatTensor;
+
+/** Abstract trainable layer. */
+class NnLayer
+{
+  public:
+    virtual ~NnLayer() = default;
+
+    virtual std::string kind() const = 0;
+
+    /** Forward pass; caches what backward needs. */
+    virtual Batch forward(const Batch &x, bool train) = 0;
+
+    /** Backward pass: input = dL/dout, returns dL/din, accumulates grads. */
+    virtual Batch backward(const Batch &gradOut) = 0;
+
+    /** SGD with momentum parameter update; no-op for stateless layers. */
+    virtual void step(float lr, float momentum) { (void)lr; (void)momentum; }
+
+    /** Weight matrix access for compression (nullptr if stateless). */
+    virtual FloatTensor *weights() { return nullptr; }
+
+    /** Bias vector access (nullptr if stateless); never compressed. */
+    virtual FloatTensor *bias() { return nullptr; }
+};
+
+/** Fully connected layer: y = x W^T + b, W is [out, in]. */
+class Dense : public NnLayer
+{
+  public:
+    Dense(std::int64_t inFeatures, std::int64_t outFeatures, Rng &rng);
+
+    std::string kind() const override { return "dense"; }
+    Batch forward(const Batch &x, bool train) override;
+    Batch backward(const Batch &gradOut) override;
+    void step(float lr, float momentum) override;
+    FloatTensor *weights() override { return &w_; }
+    FloatTensor *bias() override { return &b_; }
+
+    std::int64_t inFeatures() const { return w_.shape().dim(1); }
+    std::int64_t outFeatures() const { return w_.shape().dim(0); }
+
+  private:
+    FloatTensor w_;     ///< [out, in]
+    FloatTensor b_;     ///< [out]
+    FloatTensor gradW_;
+    FloatTensor gradB_;
+    FloatTensor velW_;
+    FloatTensor velB_;
+    Batch cachedInput_;
+};
+
+/**
+ * 2-D convolution via im2col. Input batches are flattened [N, C*H*W];
+ * geometry is fixed at construction. Stride 1, symmetric zero padding.
+ */
+class Conv2d : public NnLayer
+{
+  public:
+    Conv2d(std::int64_t inChannels, std::int64_t outChannels,
+           std::int64_t kernel, std::int64_t imageHw, std::int64_t pad,
+           Rng &rng);
+
+    std::string kind() const override { return "conv2d"; }
+    Batch forward(const Batch &x, bool train) override;
+    Batch backward(const Batch &gradOut) override;
+    void step(float lr, float momentum) override;
+    FloatTensor *weights() override { return &w_; }
+    FloatTensor *bias() override { return &b_; }
+
+    std::int64_t outHw() const { return outHw_; }
+    std::int64_t outChannels() const { return w_.shape().dim(0); }
+
+  private:
+    FloatTensor w_; ///< [K, C, R, R]
+    FloatTensor b_; ///< [K]
+    FloatTensor gradW_;
+    FloatTensor gradB_;
+    FloatTensor velW_;
+    FloatTensor velB_;
+    std::int64_t inChannels_, kernel_, imageHw_, pad_, outHw_;
+    Batch cachedCols_; ///< im2col matrix of the last forward
+    std::int64_t cachedBatch_ = 0;
+};
+
+/** Element-wise ReLU. */
+class ReluLayer : public NnLayer
+{
+  public:
+    std::string kind() const override { return "relu"; }
+    Batch forward(const Batch &x, bool train) override;
+    Batch backward(const Batch &gradOut) override;
+
+  private:
+    Batch cachedInput_;
+};
+
+/** Element-wise GELU. */
+class GeluLayer : public NnLayer
+{
+  public:
+    std::string kind() const override { return "gelu"; }
+    Batch forward(const Batch &x, bool train) override;
+    Batch backward(const Batch &gradOut) override;
+
+  private:
+    Batch cachedInput_;
+};
+
+} // namespace bbs
+
+#endif // BBS_NN_LAYERS_HPP

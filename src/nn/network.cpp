@@ -1,0 +1,133 @@
+#include "nn/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace bbs {
+
+void
+Network::add(std::unique_ptr<NnLayer> layer)
+{
+    layers_.push_back(std::move(layer));
+}
+
+Batch
+Network::forward(const Batch &x, bool train)
+{
+    Batch cur = x;
+    for (auto &layer : layers_)
+        cur = layer->forward(cur, train);
+    return cur;
+}
+
+Batch
+softmaxRows(const Batch &logits)
+{
+    std::int64_t n = logits.shape().dim(0);
+    std::int64_t c = logits.shape().dim(1);
+    Batch out(logits.shape());
+    for (std::int64_t i = 0; i < n; ++i) {
+        float maxv = logits.at(i, 0);
+        for (std::int64_t j = 1; j < c; ++j)
+            maxv = std::max(maxv, logits.at(i, j));
+        double sum = 0.0;
+        for (std::int64_t j = 0; j < c; ++j) {
+            float e = std::exp(logits.at(i, j) - maxv);
+            out.at(i, j) = e;
+            sum += e;
+        }
+        for (std::int64_t j = 0; j < c; ++j)
+            out.at(i, j) = static_cast<float>(out.at(i, j) / sum);
+    }
+    return out;
+}
+
+namespace {
+
+double
+crossEntropy(const Batch &probs, const std::vector<int> &labels)
+{
+    double loss = 0.0;
+    std::int64_t n = probs.shape().dim(0);
+    for (std::int64_t i = 0; i < n; ++i) {
+        float p = probs.at(i, labels[static_cast<std::size_t>(i)]);
+        loss += -std::log(std::max(p, 1e-12f));
+    }
+    return loss / static_cast<double>(n);
+}
+
+} // namespace
+
+double
+Network::trainBatch(const Batch &x, const std::vector<int> &labels,
+                    float lr, float momentum)
+{
+    BBS_REQUIRE(static_cast<std::int64_t>(labels.size()) ==
+                    x.shape().dim(0),
+                "label count != batch size");
+    Batch logits = forward(x, /*train=*/true);
+    Batch probs = softmaxRows(logits);
+    double loss = crossEntropy(probs, labels);
+
+    // dL/dlogits = (softmax - onehot) / N
+    Batch grad = probs;
+    std::int64_t n = grad.shape().dim(0);
+    for (std::int64_t i = 0; i < n; ++i)
+        grad.at(i, labels[static_cast<std::size_t>(i)]) -= 1.0f;
+    for (std::int64_t i = 0; i < grad.numel(); ++i)
+        grad.flat(i) /= static_cast<float>(n);
+
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+        grad = (*it)->backward(grad);
+    for (auto &layer : layers_)
+        layer->step(lr, momentum);
+    return loss;
+}
+
+std::vector<int>
+Network::predict(const Batch &x)
+{
+    Batch logits = forward(x, /*train=*/false);
+    std::int64_t n = logits.shape().dim(0);
+    std::int64_t c = logits.shape().dim(1);
+    std::vector<int> out(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+        int best = 0;
+        for (std::int64_t j = 1; j < c; ++j)
+            if (logits.at(i, j) > logits.at(i, best))
+                best = static_cast<int>(j);
+        out[static_cast<std::size_t>(i)] = best;
+    }
+    return out;
+}
+
+double
+Network::evalLoss(const Batch &x, const std::vector<int> &labels)
+{
+    Batch probs = softmaxRows(forward(x, /*train=*/false));
+    return crossEntropy(probs, labels);
+}
+
+std::vector<FloatTensor *>
+Network::weightTensors()
+{
+    std::vector<FloatTensor *> out;
+    for (auto &layer : layers_)
+        if (FloatTensor *w = layer->weights())
+            out.push_back(w);
+    return out;
+}
+
+std::vector<FloatTensor *>
+Network::biasTensors()
+{
+    std::vector<FloatTensor *> out;
+    for (auto &layer : layers_)
+        if (FloatTensor *b = layer->bias())
+            out.push_back(b);
+    return out;
+}
+
+} // namespace bbs

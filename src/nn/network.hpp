@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Sequential network container with softmax cross-entropy training. Enough
+ * to train the small classifier/LM stand-ins the accuracy experiments
+ * compress (DESIGN.md §1).
+ */
+#ifndef BBS_NN_NETWORK_HPP
+#define BBS_NN_NETWORK_HPP
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace bbs {
+
+/** A sequential feed-forward network ending in logits. */
+class Network
+{
+  public:
+    Network() = default;
+
+    void add(std::unique_ptr<NnLayer> layer);
+
+    /** Forward to logits. */
+    Batch forward(const Batch &x, bool train = false);
+
+    /**
+     * One SGD step on a batch with softmax cross-entropy.
+     * @return mean loss over the batch
+     */
+    double trainBatch(const Batch &x, const std::vector<int> &labels,
+                      float lr, float momentum = 0.9f);
+
+    /** Argmax class predictions. */
+    std::vector<int> predict(const Batch &x);
+
+    /** Mean softmax cross-entropy without updating (for perplexity). */
+    double evalLoss(const Batch &x, const std::vector<int> &labels);
+
+    /** All trainable weight tensors, network order. */
+    std::vector<FloatTensor *> weightTensors();
+
+    /** All bias tensors, network order. */
+    std::vector<FloatTensor *> biasTensors();
+
+    std::vector<std::unique_ptr<NnLayer>> &layers() { return layers_; }
+
+  private:
+    std::vector<std::unique_ptr<NnLayer>> layers_;
+};
+
+/** Softmax over the last dimension, row-wise, numerically stable. */
+Batch softmaxRows(const Batch &logits);
+
+} // namespace bbs
+
+#endif // BBS_NN_NETWORK_HPP

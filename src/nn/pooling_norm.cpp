@@ -1,0 +1,168 @@
+#include "nn/pooling_norm.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace bbs {
+
+MaxPool2d::MaxPool2d(std::int64_t channels, std::int64_t imageHw)
+    : channels_(channels), imageHw_(imageHw)
+{
+    BBS_REQUIRE(imageHw % 2 == 0, "max pool needs even image size");
+}
+
+Batch
+MaxPool2d::forward(const Batch &x, bool train)
+{
+    std::int64_t n = x.shape().dim(0);
+    BBS_REQUIRE(x.shape().dim(1) == channels_ * imageHw_ * imageHw_,
+                "maxpool input size mismatch");
+    std::int64_t oh = imageHw_ / 2;
+    Batch y(Shape{n, channels_ * oh * oh});
+    if (train) {
+        argmax_.assign(static_cast<std::size_t>(y.numel()), 0);
+        cachedBatch_ = n;
+    }
+
+    for (std::int64_t img = 0; img < n; ++img) {
+        const float *src = &x.at(img, 0);
+        float *dst = &y.at(img, 0);
+        for (std::int64_t c = 0; c < channels_; ++c) {
+            for (std::int64_t oy = 0; oy < oh; ++oy) {
+                for (std::int64_t ox = 0; ox < oh; ++ox) {
+                    std::int64_t best = -1;
+                    float bestV = 0.0f;
+                    for (int dy = 0; dy < 2; ++dy) {
+                        for (int dx = 0; dx < 2; ++dx) {
+                            std::int64_t idx =
+                                (c * imageHw_ + oy * 2 + dy) * imageHw_ +
+                                ox * 2 + dx;
+                            if (best < 0 || src[idx] > bestV) {
+                                best = idx;
+                                bestV = src[idx];
+                            }
+                        }
+                    }
+                    std::int64_t o = (c * oh + oy) * oh + ox;
+                    dst[o] = bestV;
+                    if (train)
+                        argmax_[static_cast<std::size_t>(
+                            img * channels_ * oh * oh + o)] = best;
+                }
+            }
+        }
+    }
+    return y;
+}
+
+Batch
+MaxPool2d::backward(const Batch &gradOut)
+{
+    std::int64_t n = cachedBatch_;
+    Batch gradIn(Shape{n, channels_ * imageHw_ * imageHw_});
+    std::int64_t outPerImg = gradOut.shape().dim(1);
+    for (std::int64_t img = 0; img < n; ++img) {
+        for (std::int64_t o = 0; o < outPerImg; ++o) {
+            std::int64_t src = argmax_[static_cast<std::size_t>(
+                img * outPerImg + o)];
+            gradIn.at(img, src) += gradOut.at(img, o);
+        }
+    }
+    return gradIn;
+}
+
+LayerNorm::LayerNorm(std::int64_t features, float epsilon)
+    : features_(features), epsilon_(epsilon),
+      gamma_(Shape{features}), beta_(Shape{features}),
+      gradGamma_(Shape{features}), gradBeta_(Shape{features}),
+      velGamma_(Shape{features}), velBeta_(Shape{features})
+{
+    for (std::int64_t i = 0; i < features; ++i)
+        gamma_.flat(i) = 1.0f;
+}
+
+Batch
+LayerNorm::forward(const Batch &x, bool train)
+{
+    std::int64_t n = x.shape().dim(0);
+    BBS_REQUIRE(x.shape().dim(1) == features_, "layernorm size mismatch");
+    Batch y(x.shape());
+    if (train) {
+        cachedNorm_ = Batch(x.shape());
+        cachedInvStd_.assign(static_cast<std::size_t>(n), 0.0f);
+    }
+
+    for (std::int64_t i = 0; i < n; ++i) {
+        double mean = 0.0;
+        for (std::int64_t j = 0; j < features_; ++j)
+            mean += x.at(i, j);
+        mean /= static_cast<double>(features_);
+        double var = 0.0;
+        for (std::int64_t j = 0; j < features_; ++j) {
+            double d = x.at(i, j) - mean;
+            var += d * d;
+        }
+        var /= static_cast<double>(features_);
+        float invStd =
+            static_cast<float>(1.0 / std::sqrt(var + epsilon_));
+        for (std::int64_t j = 0; j < features_; ++j) {
+            float norm = (x.at(i, j) - static_cast<float>(mean)) * invStd;
+            y.at(i, j) = norm * gamma_.flat(j) + beta_.flat(j);
+            if (train)
+                cachedNorm_.at(i, j) = norm;
+        }
+        if (train)
+            cachedInvStd_[static_cast<std::size_t>(i)] = invStd;
+    }
+    return y;
+}
+
+Batch
+LayerNorm::backward(const Batch &gradOut)
+{
+    std::int64_t n = gradOut.shape().dim(0);
+    Batch gradIn(gradOut.shape());
+    double f = static_cast<double>(features_);
+
+    for (std::int64_t i = 0; i < n; ++i) {
+        // dGamma/dBeta.
+        for (std::int64_t j = 0; j < features_; ++j) {
+            gradGamma_.flat(j) +=
+                gradOut.at(i, j) * cachedNorm_.at(i, j);
+            gradBeta_.flat(j) += gradOut.at(i, j);
+        }
+        // dX via the standard layer-norm backward identity.
+        double sumG = 0.0, sumGN = 0.0;
+        for (std::int64_t j = 0; j < features_; ++j) {
+            double g = gradOut.at(i, j) * gamma_.flat(j);
+            sumG += g;
+            sumGN += g * cachedNorm_.at(i, j);
+        }
+        float invStd = cachedInvStd_[static_cast<std::size_t>(i)];
+        for (std::int64_t j = 0; j < features_; ++j) {
+            double g = gradOut.at(i, j) * gamma_.flat(j);
+            gradIn.at(i, j) = static_cast<float>(
+                invStd * (g - sumG / f -
+                          cachedNorm_.at(i, j) * sumGN / f));
+        }
+    }
+    return gradIn;
+}
+
+void
+LayerNorm::step(float lr, float momentum)
+{
+    for (std::int64_t j = 0; j < features_; ++j) {
+        velGamma_.flat(j) =
+            momentum * velGamma_.flat(j) - lr * gradGamma_.flat(j);
+        gamma_.flat(j) += velGamma_.flat(j);
+        gradGamma_.flat(j) = 0.0f;
+        velBeta_.flat(j) =
+            momentum * velBeta_.flat(j) - lr * gradBeta_.flat(j);
+        beta_.flat(j) += velBeta_.flat(j);
+        gradBeta_.flat(j) = 0.0f;
+    }
+}
+
+} // namespace bbs

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Pooling and normalization layers completing the small NN stack: 2x2 max
+ * pooling (CNN stand-ins) and layer normalization (transformer
+ * stand-ins). Both with exact backward passes.
+ */
+#ifndef BBS_NN_POOLING_NORM_HPP
+#define BBS_NN_POOLING_NORM_HPP
+
+#include "nn/layers.hpp"
+
+namespace bbs {
+
+/**
+ * 2x2 max pooling with stride 2 over channels-first [C, H, W] images
+ * flattened into batch rows. H and W must be even.
+ */
+class MaxPool2d : public NnLayer
+{
+  public:
+    MaxPool2d(std::int64_t channels, std::int64_t imageHw);
+
+    std::string kind() const override { return "maxpool"; }
+    Batch forward(const Batch &x, bool train) override;
+    Batch backward(const Batch &gradOut) override;
+
+    std::int64_t outHw() const { return imageHw_ / 2; }
+
+  private:
+    std::int64_t channels_, imageHw_;
+    /** argmax input index per output element of the last forward. */
+    std::vector<std::int64_t> argmax_;
+    std::int64_t cachedBatch_ = 0;
+};
+
+/**
+ * Layer normalization over the feature dimension with learned gain/bias.
+ */
+class LayerNorm : public NnLayer
+{
+  public:
+    explicit LayerNorm(std::int64_t features, float epsilon = 1e-5f);
+
+    std::string kind() const override { return "layernorm"; }
+    Batch forward(const Batch &x, bool train) override;
+    Batch backward(const Batch &gradOut) override;
+    void step(float lr, float momentum) override;
+
+    /** Gain (gamma); exposed like a weight but never compressed. */
+    FloatTensor *bias() override { return &beta_; }
+
+  private:
+    std::int64_t features_;
+    float epsilon_;
+    FloatTensor gamma_, beta_;
+    FloatTensor gradGamma_, gradBeta_;
+    FloatTensor velGamma_, velBeta_;
+    Batch cachedNorm_;    ///< normalized activations of the last forward
+    std::vector<float> cachedInvStd_;
+};
+
+} // namespace bbs
+
+#endif // BBS_NN_POOLING_NORM_HPP

@@ -1,0 +1,139 @@
+#include "quant/ant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace bbs {
+
+const char *
+antTypeName(AntType t)
+{
+    switch (t) {
+      case AntType::Int:
+        return "int";
+      case AntType::Po2:
+        return "po2";
+      case AntType::Flint:
+        return "flint";
+    }
+    return "?";
+}
+
+std::vector<double>
+antCodebook(AntType t, int bits)
+{
+    BBS_REQUIRE(bits >= 3 && bits <= 8, "ANT bits must be in [3, 8]");
+    // One bit is the sign; the rest encode magnitude.
+    int magBits = bits - 1;
+    int levels = 1 << magBits;
+    std::vector<double> cb;
+    cb.reserve(static_cast<std::size_t>(levels));
+
+    switch (t) {
+      case AntType::Int:
+        for (int i = 0; i < levels; ++i)
+            cb.push_back(static_cast<double>(i));
+        break;
+      case AntType::Po2:
+        cb.push_back(0.0);
+        for (int i = 0; i < levels - 1; ++i)
+            cb.push_back(std::ldexp(1.0, i));
+        break;
+      case AntType::Flint: {
+        // Flint: split the code space between an exponent part and a
+        // mantissa part; small codes behave like ints (dense), large codes
+        // like floats (exponentially spaced). We follow ANT's published
+        // flint construction: for each exponent e, 2^(magBits - 1 - e')
+        // mantissa steps, approximated here with a 1-mantissa-bit float
+        // beyond the dense region.
+        int dense = levels / 2;
+        for (int i = 0; i < dense; ++i)
+            cb.push_back(static_cast<double>(i));
+        double v = static_cast<double>(dense);
+        for (int i = dense; i < levels; ++i) {
+            cb.push_back(v);
+            // Exponential spacing with one mantissa bit: x, 1.5x, 2x, 3x...
+            double exp2 = std::ldexp(1.0, static_cast<int>(
+                std::floor(std::log2(v))));
+            v += exp2 / 2.0;
+        }
+        break;
+      }
+    }
+    return cb;
+}
+
+namespace {
+
+/** Quantize one channel to the nearest codebook entry under scale s. */
+double
+quantizeChannelToCodebook(std::span<const float> ch,
+                          const std::vector<double> &cb, double s,
+                          std::span<float> out)
+{
+    double err = 0.0;
+    for (std::size_t i = 0; i < ch.size(); ++i) {
+        double mag = std::abs(static_cast<double>(ch[i])) / s;
+        // Binary search the nearest entry (codebook sorted ascending).
+        auto it = std::lower_bound(cb.begin(), cb.end(), mag);
+        double best;
+        if (it == cb.begin()) {
+            best = *it;
+        } else if (it == cb.end()) {
+            best = cb.back();
+        } else {
+            double hi = *it, lo = *(it - 1);
+            best = (mag - lo <= hi - mag) ? lo : hi;
+        }
+        double q = (ch[i] < 0 ? -best : best) * s;
+        out[i] = static_cast<float>(q);
+        err += (q - ch[i]) * (q - ch[i]);
+    }
+    return err;
+}
+
+} // namespace
+
+AntResult
+antQuantize(const FloatTensor &weights, int bits)
+{
+    AntResult res;
+    res.bits = bits;
+    res.dequantized = FloatTensor(weights.shape());
+    std::int64_t channels = weights.shape().dim(0);
+    res.perChannel.resize(static_cast<std::size_t>(channels), AntType::Int);
+
+    const AntType types[] = {AntType::Int, AntType::Po2, AntType::Flint};
+    std::vector<std::vector<double>> codebooks;
+    for (AntType t : types)
+        codebooks.push_back(antCodebook(t, bits));
+
+    std::vector<float> scratch;
+    for (std::int64_t k = 0; k < channels; ++k) {
+        auto ch = weights.channel(k);
+        float amax = 0.0f;
+        for (float v : ch)
+            amax = std::max(amax, std::abs(v));
+        if (amax == 0.0f)
+            continue;
+
+        scratch.resize(ch.size());
+        double bestErr = 1e300;
+        for (std::size_t t = 0; t < 3; ++t) {
+            const auto &cb = codebooks[t];
+            double s = static_cast<double>(amax) / cb.back();
+            double err = quantizeChannelToCodebook(ch, cb, s, scratch);
+            if (err < bestErr) {
+                bestErr = err;
+                res.perChannel[static_cast<std::size_t>(k)] = types[t];
+                auto dst = res.dequantized.channel(k);
+                std::copy(scratch.begin(), scratch.end(), dst.begin());
+            }
+        }
+    }
+    return res;
+}
+
+} // namespace bbs

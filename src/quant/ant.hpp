@@ -1,0 +1,55 @@
+/**
+ * @file
+ * ANT-style adaptive-datatype quantization (MICRO'22), the paper's
+ * value-precision baseline (Table II, Figs 12/13/16).
+ *
+ * ANT picks, per tensor region, the best of several low-bit datatypes:
+ * plain integer, power-of-two ("po2") and "flint" (a float-int hybrid whose
+ * precision is dense near zero and sparse at large magnitudes). This
+ * implementation selects the MSE-best datatype per channel at a fixed bit
+ * width — the granularity the paper's comparison (6-bit ANT, no retraining)
+ * exercises.
+ */
+#ifndef BBS_QUANT_ANT_HPP
+#define BBS_QUANT_ANT_HPP
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace bbs {
+
+/** Datatypes ANT adaptively selects between. */
+enum class AntType
+{
+    Int,    ///< uniform integer
+    Po2,    ///< power-of-two (log) levels
+    Flint,  ///< float-int hybrid: exponent bits grow with magnitude
+};
+
+const char *antTypeName(AntType t);
+
+/** Result of ANT quantization. */
+struct AntResult
+{
+    FloatTensor dequantized;        ///< fake-quantized weights
+    std::vector<AntType> perChannel; ///< selected datatype per channel
+    int bits = 6;
+};
+
+/**
+ * Quantize with the per-channel MSE-best ANT datatype at @p bits precision
+ * and dequantize back to FP32.
+ */
+AntResult antQuantize(const FloatTensor &weights, int bits = 6);
+
+/**
+ * The codebook (representable magnitudes, positive half) of an ANT datatype
+ * at @p bits precision on a unit scale. Exposed for tests.
+ */
+std::vector<double> antCodebook(AntType t, int bits);
+
+} // namespace bbs
+
+#endif // BBS_QUANT_ANT_HPP

@@ -1,0 +1,105 @@
+#include "quant/bitwave.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "common/bit_utils.hpp"
+#include "common/logging.hpp"
+
+namespace bbs {
+
+namespace {
+
+/** Magnitude-column occupancy of a sign-magnitude encoded group. */
+std::array<bool, 7>
+zeroMagnitudeColumns(std::span<const std::uint32_t> sm)
+{
+    std::array<bool, 7> zero{};
+    for (int b = 0; b < 7; ++b) {
+        zero[static_cast<std::size_t>(b)] = true;
+        for (std::uint32_t v : sm) {
+            if ((v >> b) & 1u) {
+                zero[static_cast<std::size_t>(b)] = false;
+                break;
+            }
+        }
+    }
+    return zero;
+}
+
+} // namespace
+
+BitwaveGroupResult
+bitwavePruneGroup(std::span<const std::int8_t> group, int targetColumns,
+                  bool inherentCountsTowardTarget)
+{
+    BBS_REQUIRE(targetColumns >= 0 && targetColumns <= 7,
+                "can prune 0..7 magnitude columns, got ", targetColumns);
+
+    std::vector<std::uint32_t> sm(group.size());
+    for (std::size_t i = 0; i < group.size(); ++i)
+        sm[i] = toSignMagnitude(group[i]);
+
+    auto zero = zeroMagnitudeColumns(sm);
+    BitwaveGroupResult res;
+    res.inherentZeroColumns =
+        static_cast<int>(std::count(zero.begin(), zero.end(), true));
+
+    // Flip columns from the LSB upward until the target is met.
+    int pruned = inherentCountsTowardTarget ? res.inherentZeroColumns : 0;
+    int flipped = 0;
+    for (int b = 0; b < 7 && pruned < targetColumns; ++b) {
+        if (zero[static_cast<std::size_t>(b)])
+            continue;
+        for (std::uint32_t &v : sm)
+            v &= ~(1u << b);
+        zero[static_cast<std::size_t>(b)] = true;
+        ++pruned;
+        ++flipped;
+    }
+
+    res.zeroColumns =
+        std::min(res.inherentZeroColumns + flipped, 7);
+    res.values.resize(group.size());
+    for (std::size_t i = 0; i < group.size(); ++i)
+        res.values[i] =
+            static_cast<std::int8_t>(fromSignMagnitude(sm[i]));
+    return res;
+}
+
+Int8Tensor
+bitwavePrune(const Int8Tensor &codes, std::int64_t groupSize,
+             int pruneColumns)
+{
+    Int8Tensor out(codes.shape());
+    std::int64_t groups = codes.numGroups(groupSize);
+    for (std::int64_t g = 0; g < groups; ++g) {
+        auto span = codes.group(g, groupSize);
+        BitwaveGroupResult r = bitwavePruneGroup(span, pruneColumns);
+        std::int64_t base = g * groupSize;
+        for (std::size_t i = 0; i < r.values.size(); ++i)
+            out.flat(base + static_cast<std::int64_t>(i)) = r.values[i];
+    }
+    return out;
+}
+
+double
+bitwaveInherentZeroColumns(const Int8Tensor &codes, std::int64_t groupSize)
+{
+    std::int64_t groups = codes.numGroups(groupSize);
+    if (groups == 0)
+        return 0.0;
+    double total = 0.0;
+    for (std::int64_t g = 0; g < groups; ++g) {
+        auto span = codes.group(g, groupSize);
+        std::vector<std::uint32_t> sm(span.size());
+        for (std::size_t i = 0; i < span.size(); ++i)
+            sm[i] = toSignMagnitude(span[i]);
+        auto zero = zeroMagnitudeColumns(sm);
+        total += static_cast<double>(
+            std::count(zero.begin(), zero.end(), true));
+    }
+    return total / static_cast<double>(groups);
+}
+
+} // namespace bbs

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * BitWave-style sign-magnitude zero-bit-column pruning (the paper's main
+ * bit-sparsity baseline, Figs 1(b), 2(d), 6, 11, 12).
+ *
+ * BitWave stores weights in sign-magnitude format, skips bit columns that
+ * are entirely zero across a group, and enhances sparsity by flipping the
+ * remaining one-bits of selected low-significance columns to zero until the
+ * target number of pruned columns is reached.
+ */
+#ifndef BBS_QUANT_BITWAVE_HPP
+#define BBS_QUANT_BITWAVE_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace bbs {
+
+/** Outcome of pruning one sign-magnitude weight group. */
+struct BitwaveGroupResult
+{
+    /** Modified weights (decoded back to two's complement INT8). */
+    std::vector<std::int8_t> values;
+    /** Columns (significances) that are zero after pruning, sign excluded. */
+    int zeroColumns = 0;
+    /** Columns that were already zero before any flip. */
+    int inherentZeroColumns = 0;
+};
+
+/**
+ * Prune @p targetColumns bit columns of a group in sign-magnitude format.
+ *
+ * With @p inherentCountsTowardTarget (the memory-budget interpretation used
+ * by the accuracy comparisons), magnitude columns that are already all-zero
+ * count toward the target for free. Without it (BitWave's
+ * performance-oriented schedule), @p targetColumns additional columns are
+ * flipped beyond the inherent zeros. Flips proceed from the lowest
+ * significance upward (flipping high columns would change values by more,
+ * see paper Fig 1(b)).
+ */
+BitwaveGroupResult bitwavePruneGroup(std::span<const std::int8_t> group,
+                                     int targetColumns,
+                                     bool inherentCountsTowardTarget = true);
+
+/**
+ * Apply BitWave pruning to a whole tensor with contiguous groups.
+ *
+ * @param codes        INT8 weight codes
+ * @param groupSize    weights per group (32 in the paper's evaluation)
+ * @param pruneColumns bit columns to prune per group
+ * @return tensor with flipped bits (still INT8 two's complement)
+ */
+Int8Tensor bitwavePrune(const Int8Tensor &codes, std::int64_t groupSize,
+                        int pruneColumns);
+
+/**
+ * Average number of zero magnitude bit-columns per group in sign-magnitude
+ * format (no modification), used to size BitWave's memory savings.
+ */
+double bitwaveInherentZeroColumns(const Int8Tensor &codes,
+                                  std::int64_t groupSize);
+
+} // namespace bbs
+
+#endif // BBS_QUANT_BITWAVE_HPP

@@ -1,0 +1,79 @@
+#include "quant/microscaling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bit_utils.hpp"
+#include "common/logging.hpp"
+
+namespace bbs {
+
+namespace {
+
+/**
+ * Shared scale of one group: 2^e with e chosen so the max magnitude fits in
+ * the element mantissa range.
+ */
+double
+groupScale(std::span<const float> group, int elementBits)
+{
+    float amax = 0.0f;
+    for (float v : group)
+        amax = std::max(amax, std::abs(v));
+    if (amax == 0.0f)
+        return 0.0;
+    // Largest representable mantissa magnitude.
+    double qmax = static_cast<double>((1 << (elementBits - 1)) - 1);
+    int e = static_cast<int>(
+        std::ceil(std::log2(static_cast<double>(amax) / qmax)));
+    return std::ldexp(1.0, e);
+}
+
+} // namespace
+
+FloatTensor
+mxQuantizeDequantize(const FloatTensor &weights, const MxConfig &cfg)
+{
+    BBS_REQUIRE(cfg.elementBits >= 2 && cfg.elementBits <= 8,
+                "MX element bits must be in [2, 8]");
+    FloatTensor out(weights.shape());
+    std::int64_t groups = weights.numGroups(cfg.groupSize);
+    std::int32_t qmax = (1 << (cfg.elementBits - 1)) - 1;
+
+    for (std::int64_t g = 0; g < groups; ++g) {
+        auto span = weights.group(g, cfg.groupSize);
+        double scale = groupScale(span, cfg.elementBits);
+        std::int64_t base = g * cfg.groupSize;
+        for (std::size_t i = 0; i < span.size(); ++i) {
+            double q = 0.0;
+            if (scale > 0.0) {
+                q = std::nearbyint(static_cast<double>(span[i]) / scale);
+                q = std::clamp(q, static_cast<double>(-qmax - 1),
+                               static_cast<double>(qmax));
+            }
+            out.flat(base + static_cast<std::int64_t>(i)) =
+                static_cast<float>(q * scale);
+        }
+    }
+    return out;
+}
+
+double
+mxUnderflowFraction(const FloatTensor &weights, const MxConfig &cfg)
+{
+    FloatTensor deq = mxQuantizeDequantize(weights, cfg);
+    std::int64_t zeroed = 0;
+    std::int64_t nonzero = 0;
+    for (std::int64_t i = 0; i < weights.numel(); ++i) {
+        if (weights.flat(i) != 0.0f) {
+            ++nonzero;
+            if (deq.flat(i) == 0.0f)
+                ++zeroed;
+        }
+    }
+    return nonzero ? static_cast<double>(zeroed) /
+                         static_cast<double>(nonzero)
+                   : 0.0;
+}
+
+} // namespace bbs

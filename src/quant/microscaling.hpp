@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Microscaling (MX) block data format (Table III comparison).
+ *
+ * A group of 32 elements shares one 8-bit power-of-two exponent derived from
+ * the group's maximum magnitude; each element stores a low-precision
+ * two's-complement mantissa. Small values aligned against a large shared
+ * exponent underflow to zero — the failure mode the paper contrasts BBS
+ * against (§V-B).
+ */
+#ifndef BBS_QUANT_MICROSCALING_HPP
+#define BBS_QUANT_MICROSCALING_HPP
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace bbs {
+
+/** Configuration of an MX block format. */
+struct MxConfig
+{
+    int elementBits = 6;        ///< per-element mantissa precision (incl. sign)
+    std::int64_t groupSize = 32;
+
+    /** Effective bits per weight including the shared exponent. */
+    double
+    effectiveBits() const
+    {
+        return elementBits + 8.0 / static_cast<double>(groupSize);
+    }
+};
+
+/**
+ * Quantize to MX and dequantize back to FP32 ("fake quantization"), so the
+ * distortion can be compared against other schemes.
+ */
+FloatTensor mxQuantizeDequantize(const FloatTensor &weights,
+                                 const MxConfig &cfg);
+
+/** Fraction of elements that underflow to zero under the MX format. */
+double mxUnderflowFraction(const FloatTensor &weights, const MxConfig &cfg);
+
+} // namespace bbs
+
+#endif // BBS_QUANT_MICROSCALING_HPP

@@ -1,0 +1,90 @@
+#include "quant/olive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace bbs {
+
+OliveResult
+oliveQuantize(const FloatTensor &weights, const OliveConfig &cfg)
+{
+    BBS_REQUIRE(cfg.bits >= 3 && cfg.bits <= 8, "OliVe bits out of range");
+    OliveResult res;
+    res.dequantized = FloatTensor(weights.shape());
+    res.effectiveBits = cfg.bits;
+
+    // Global sigma for outlier detection.
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < weights.numel(); ++i)
+        acc += static_cast<double>(weights.flat(i)) * weights.flat(i);
+    double sigma = std::sqrt(acc / std::max<std::int64_t>(1,
+                                                          weights.numel()));
+    double outlierThresh = cfg.outlierThresholdSigma * sigma;
+
+    std::int32_t qmax = (1 << (cfg.bits - 1)) - 1;
+    std::int64_t outliers = 0;
+    std::int64_t victims = 0;
+    std::int64_t groups = weights.numGroups(cfg.groupSize);
+
+    for (std::int64_t g = 0; g < groups; ++g) {
+        auto span = weights.group(g, cfg.groupSize);
+        std::int64_t base = g * cfg.groupSize;
+
+        // Per-group scale from non-outlier values only: outliers do not
+        // stretch the normal grid (that is the whole point of OliVe).
+        float amaxNormal = 0.0f;
+        for (float v : span)
+            if (std::abs(v) <= outlierThresh)
+                amaxNormal = std::max(amaxNormal, std::abs(v));
+        double s = amaxNormal > 0.0f
+                       ? static_cast<double>(amaxNormal) / qmax
+                       : 1.0;
+
+        for (std::size_t i = 0; i < span.size(); ++i) {
+            double v = span[i];
+            std::int64_t idx = base + static_cast<std::int64_t>(i);
+            if (std::abs(v) > outlierThresh) {
+                // Outlier: power-of-two magnitude (adaptive exponent code),
+                // victimizing the pair neighbour.
+                ++outliers;
+                double mag = std::abs(v);
+                double q = std::ldexp(
+                    1.0, static_cast<int>(std::nearbyint(std::log2(mag))));
+                res.dequantized.flat(idx) =
+                    static_cast<float>(v < 0 ? -q : q);
+                // Victim: the even/odd partner within the pair is zeroed
+                // (unless it is itself an outlier, handled when visited).
+                std::size_t pi = (i % 2 == 0) ? i + 1 : i - 1;
+                if (pi < span.size() &&
+                    std::abs(span[pi]) <= outlierThresh) {
+                    std::int64_t vidx =
+                        base + static_cast<std::int64_t>(pi);
+                    res.dequantized.flat(vidx) = 0.0f;
+                    ++victims;
+                }
+            } else {
+                // Normal value: uniform grid (skip if already victimized
+                // by a preceding outlier partner).
+                std::size_t pi = (i % 2 == 0) ? i + 1 : i - 1;
+                bool victimized =
+                    pi < span.size() && std::abs(span[pi]) > outlierThresh;
+                if (victimized)
+                    continue; // stays zero
+                double q = std::nearbyint(v / s);
+                q = std::clamp(q, static_cast<double>(-qmax - 1),
+                               static_cast<double>(qmax));
+                res.dequantized.flat(idx) = static_cast<float>(q * s);
+            }
+        }
+    }
+
+    double n = static_cast<double>(std::max<std::int64_t>(1,
+                                                          weights.numel()));
+    res.outlierFraction = static_cast<double>(outliers) / n;
+    res.victimFraction = static_cast<double>(victims) / n;
+    return res;
+}
+
+} // namespace bbs

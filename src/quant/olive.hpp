@@ -1,0 +1,45 @@
+/**
+ * @file
+ * OliVe-style outlier-victim pair quantization (ISCA'23), the paper's LLM
+ * compression baseline (Fig 17, Table VI).
+ *
+ * OliVe quantizes to a low uniform precision (4-bit in the paper's
+ * comparison) but gives outliers an extended power-of-two range by
+ * sacrificing ("victimizing") the adjacent element: the victim is forced to
+ * zero and its code space re-used to mark and extend the outlier.
+ */
+#ifndef BBS_QUANT_OLIVE_HPP
+#define BBS_QUANT_OLIVE_HPP
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace bbs {
+
+/** Configuration of OliVe quantization. */
+struct OliveConfig
+{
+    int bits = 4;                 ///< uniform precision of normal values
+    double outlierThresholdSigma = 3.0; ///< |w| > k*sigma marks an outlier
+    std::int64_t groupSize = 32;  ///< per-group scale granularity
+};
+
+/** Result of OliVe quantization. */
+struct OliveResult
+{
+    FloatTensor dequantized; ///< fake-quantized weights
+    double outlierFraction = 0.0;
+    double victimFraction = 0.0;
+
+    /** Bits per weight (uniform; outlier marking reuses victim codes). */
+    double effectiveBits = 4.0;
+};
+
+/** Quantize with outlier-victim pairing and dequantize back to FP32. */
+OliveResult oliveQuantize(const FloatTensor &weights,
+                          const OliveConfig &cfg = {});
+
+} // namespace bbs
+
+#endif // BBS_QUANT_OLIVE_HPP

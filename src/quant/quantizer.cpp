@@ -1,0 +1,213 @@
+#include "quant/quantizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bit_utils.hpp"
+#include "common/logging.hpp"
+#include "common/random.hpp"
+
+namespace bbs {
+
+namespace {
+
+/** Round-to-nearest-even quantization of one value with a given scale. */
+inline std::int32_t
+quantizeValue(float v, float scale, int bits)
+{
+    if (scale <= 0.0f)
+        return 0;
+    std::int32_t q = static_cast<std::int32_t>(
+        std::nearbyint(static_cast<double>(v) / scale));
+    return clampToBits(q, bits);
+}
+
+/** Quantization MSE of one channel with a given scale. */
+double
+channelMse(std::span<const float> ch, float scale, int bits)
+{
+    double acc = 0.0;
+    for (float v : ch) {
+        std::int32_t q = quantizeValue(v, scale, bits);
+        double r = static_cast<double>(q) * scale;
+        acc += (r - v) * (r - v);
+    }
+    return acc;
+}
+
+float
+channelAbsMax(std::span<const float> ch)
+{
+    float m = 0.0f;
+    for (float v : ch)
+        m = std::max(m, std::abs(v));
+    return m;
+}
+
+} // namespace
+
+FloatTensor
+QuantizedTensor::dequantize() const
+{
+    FloatTensor out(values.shape());
+    std::int64_t channels = values.shape().dim(0);
+    std::int64_t cs = values.shape().channelSize();
+    for (std::int64_t k = 0; k < channels; ++k) {
+        float s = scales[static_cast<std::size_t>(k)];
+        auto src = values.channel(k);
+        auto dst = out.channel(k);
+        for (std::int64_t i = 0; i < cs; ++i)
+            dst[static_cast<std::size_t>(i)] =
+                static_cast<float>(src[static_cast<std::size_t>(i)]) * s;
+    }
+    return out;
+}
+
+QuantizedTensor
+quantizePerChannel(const FloatTensor &weights, int bits)
+{
+    BBS_REQUIRE(bits >= 2 && bits <= 8, "bits must be in [2, 8], got ",
+                bits);
+    QuantizedTensor out;
+    out.bits = bits;
+    out.values = Int8Tensor(weights.shape());
+    std::int64_t channels = weights.shape().dim(0);
+    out.scales.resize(static_cast<std::size_t>(channels));
+
+    std::int32_t qmax = (1 << (bits - 1)) - 1;
+    for (std::int64_t k = 0; k < channels; ++k) {
+        auto ch = weights.channel(k);
+        float s = channelAbsMax(ch) / static_cast<float>(qmax);
+        if (s == 0.0f)
+            s = 1.0f;
+        out.scales[static_cast<std::size_t>(k)] = s;
+        auto dst = out.values.channel(k);
+        for (std::size_t i = 0; i < ch.size(); ++i)
+            dst[i] = static_cast<std::int8_t>(
+                quantizeValue(ch[i], s, bits));
+    }
+    return out;
+}
+
+QuantizedTensor
+quantizePerChannelMseClip(const FloatTensor &weights, int bits)
+{
+    BBS_REQUIRE(bits >= 2 && bits <= 8, "bits must be in [2, 8], got ",
+                bits);
+    QuantizedTensor out;
+    out.bits = bits;
+    out.values = Int8Tensor(weights.shape());
+    std::int64_t channels = weights.shape().dim(0);
+    out.scales.resize(static_cast<std::size_t>(channels));
+
+    std::int32_t qmax = (1 << (bits - 1)) - 1;
+    for (std::int64_t k = 0; k < channels; ++k) {
+        auto ch = weights.channel(k);
+        float amax = channelAbsMax(ch);
+        if (amax == 0.0f) {
+            out.scales[static_cast<std::size_t>(k)] = 1.0f;
+            continue;
+        }
+        // Search clip ratios; finer precision benefits from tighter clips.
+        float bestScale = amax / static_cast<float>(qmax);
+        double bestMse = channelMse(ch, bestScale, bits);
+        for (double ratio = 0.40; ratio < 1.0; ratio += 0.05) {
+            float s = static_cast<float>(ratio) * amax /
+                      static_cast<float>(qmax);
+            double e = channelMse(ch, s, bits);
+            if (e < bestMse) {
+                bestMse = e;
+                bestScale = s;
+            }
+        }
+        out.scales[static_cast<std::size_t>(k)] = bestScale;
+        auto dst = out.values.channel(k);
+        for (std::size_t i = 0; i < ch.size(); ++i)
+            dst[i] = static_cast<std::int8_t>(
+                quantizeValue(ch[i], bestScale, bits));
+    }
+    return out;
+}
+
+Int8Tensor
+requantizeInt8(const Int8Tensor &codes, int bits)
+{
+    BBS_REQUIRE(bits >= 2 && bits < 8, "requantize bits must be in [2, 8)");
+    Int8Tensor out(codes.shape());
+    std::int64_t channels = codes.shape().dim(0);
+    std::int32_t qmax = (1 << (bits - 1)) - 1;
+
+    for (std::int64_t k = 0; k < channels; ++k) {
+        auto ch = codes.channel(k);
+        std::int32_t amax = 0;
+        for (std::int8_t v : ch)
+            amax = std::max(amax, std::abs(static_cast<std::int32_t>(v)));
+        if (amax == 0)
+            continue;
+
+        // Search clipping on the integer grid: step = clip / qmax.
+        double bestErr = 1e300;
+        double bestStep = static_cast<double>(amax) / qmax;
+        for (double ratio = 0.40; ratio <= 1.0001; ratio += 0.05) {
+            double step = ratio * static_cast<double>(amax) / qmax;
+            if (step < 1.0)
+                step = 1.0; // never below the INT8 grid itself
+            double err = 0.0;
+            for (std::int8_t v : ch) {
+                double q = std::nearbyint(static_cast<double>(v) / step);
+                q = std::clamp(q, static_cast<double>(-qmax - 1),
+                               static_cast<double>(qmax));
+                double r = q * step;
+                err += (r - v) * (r - v);
+            }
+            if (err < bestErr) {
+                bestErr = err;
+                bestStep = step;
+            }
+        }
+
+        auto dst = out.channel(k);
+        for (std::size_t i = 0; i < ch.size(); ++i) {
+            double q = std::nearbyint(
+                static_cast<double>(ch[i]) / bestStep);
+            q = std::clamp(q, static_cast<double>(-qmax - 1),
+                           static_cast<double>(qmax));
+            double r = std::nearbyint(q * bestStep);
+            r = std::clamp(r, -128.0, 127.0);
+            dst[i] = static_cast<std::int8_t>(r);
+        }
+    }
+    return out;
+}
+
+QuantizedTensor
+quantizeNoisy(const FloatTensor &weights, int bits, std::uint64_t seed)
+{
+    // NoisyQuant adds a fixed uniform dither before rounding; the dither
+    // spreads rounding error across levels. We reuse the MSE-clipped search
+    // for the scale, then quantize with dither.
+    QuantizedTensor base = quantizePerChannelMseClip(weights, bits);
+    Rng rng(seed);
+    QuantizedTensor out;
+    out.bits = bits;
+    out.scales = base.scales;
+    out.values = Int8Tensor(weights.shape());
+    std::int64_t channels = weights.shape().dim(0);
+    std::int32_t qmax = (1 << (bits - 1)) - 1;
+
+    for (std::int64_t k = 0; k < channels; ++k) {
+        auto ch = weights.channel(k);
+        float s = out.scales[static_cast<std::size_t>(k)];
+        auto dst = out.values.channel(k);
+        for (std::size_t i = 0; i < ch.size(); ++i) {
+            double noise = rng.uniformReal(-0.5, 0.5) * 0.5 * s;
+            std::int32_t q = static_cast<std::int32_t>(std::nearbyint(
+                (static_cast<double>(ch[i]) + noise) / s));
+            q = std::clamp(q, -qmax - 1, qmax);
+            dst[i] = static_cast<std::int8_t>(q);
+        }
+    }
+    return out;
+}
+
+} // namespace bbs

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Post-training quantization (PTQ).
+ *
+ * The baseline for every experiment in the paper is a per-channel
+ * symmetrically quantized INT8 model (§III-C); lower-precision PTQ with
+ * MSE-optimal clipping is the "naive PTQ" comparison of Figs 1 and 11.
+ */
+#ifndef BBS_QUANT_QUANTIZER_HPP
+#define BBS_QUANT_QUANTIZER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace bbs {
+
+/** Result of per-channel quantization: codes plus per-channel scales. */
+struct QuantizedTensor
+{
+    Int8Tensor values;           ///< quantized codes
+    std::vector<float> scales;   ///< per-output-channel scale factors
+    int bits = 8;                ///< precision of the codes
+
+    /** Dequantize back to FP32 (per-channel scale multiply). */
+    FloatTensor dequantize() const;
+};
+
+/**
+ * Per-channel symmetric quantization to @p bits bits.
+ *
+ * The scale of channel k is max|W_k| / (2^(bits-1) - 1), the standard
+ * TensorRT-style symmetric per-channel scheme the paper builds on.
+ */
+QuantizedTensor quantizePerChannel(const FloatTensor &weights, int bits = 8);
+
+/**
+ * Per-channel PTQ with MSE-optimal clipping.
+ *
+ * For each channel a grid of clipping ratios is searched and the one
+ * minimizing quantization MSE is kept — the paper's "naive PTQ" comparison
+ * point for sub-8-bit compression. Returns codes in @p bits bits.
+ */
+QuantizedTensor quantizePerChannelMseClip(const FloatTensor &weights,
+                                          int bits);
+
+/**
+ * Requantize already-INT8 codes to fewer bits with MSE-optimal clipping,
+ * then express the result back on the INT8 grid (so it can be compared
+ * level-for-level against the original, as the paper's Fig 1 does).
+ *
+ * The result has at most 2^bits distinct levels.
+ */
+Int8Tensor requantizeInt8(const Int8Tensor &codes, int bits);
+
+/**
+ * NoisyQuant-style PTQ (Table III comparison): uniform quantization with an
+ * additive pre-quantization noise bias that linearizes the rounding error.
+ * Implemented as MSE-clipped PTQ with a fixed uniform noise dither.
+ */
+QuantizedTensor quantizeNoisy(const FloatTensor &weights, int bits,
+                              std::uint64_t seed = 7);
+
+} // namespace bbs
+
+#endif // BBS_QUANT_QUANTIZER_HPP

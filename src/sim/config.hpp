@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Simulation configuration shared by every accelerator model, mirroring the
+ * paper's methodology (§V-A): all accelerators are scaled to the same
+ * number of bit-serial multiplier equivalents (one 8-bit multiplier = eight
+ * bit-serial multipliers), with 256 KB + 256 KB on-chip SRAM and a DDR3
+ * external memory.
+ */
+#ifndef BBS_SIM_CONFIG_HPP
+#define BBS_SIM_CONFIG_HPP
+
+#include <cstdint>
+
+namespace bbs {
+
+/** Array geometry and memory parameters. */
+struct SimConfig
+{
+    /** Input windows processed in parallel (PE rows). */
+    int rows = 16;
+    /**
+     * Total bit-serial multiplier budget. BitVert's 16x32 PE array with 8
+     * lanes per PE = 4096; every baseline gets the same budget and derives
+     * its own column count from its lanes-per-PE.
+     */
+    int totalBitSerialMultipliers = 4096;
+    /**
+     * Explicit PE-column override for the load-imbalance study (Fig 14/15);
+     * 0 = derive from the multiplier budget.
+     */
+    int peColumnsOverride = 0;
+
+    double frequencyGhz = 0.8;
+
+    /** DDR3: ~12.8 GB/s at 800 MHz core clock. */
+    double dramBytesPerCycle = 16.0;
+    double dramPjPerBit = 20.0;
+
+    /** 256 KB activation + 256 KB weight buffers (CACTI-7 class energy). */
+    double sramPjPerByte = 1.2;
+
+    std::int64_t weightBufferBytes = 256 * 1024;
+    std::int64_t actBufferBytes = 256 * 1024;
+};
+
+} // namespace bbs
+
+#endif // BBS_SIM_CONFIG_HPP

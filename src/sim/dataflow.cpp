@@ -1,0 +1,59 @@
+#include "sim/dataflow.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace bbs {
+
+WavefrontAggregate
+aggregateWavefronts(
+    const std::vector<std::vector<GroupWork>> &workPerChannel, int columns,
+    int lanes)
+{
+    BBS_REQUIRE(columns >= 1, "need at least one PE column");
+    WavefrontAggregate agg;
+    std::int64_t channels =
+        static_cast<std::int64_t>(workPerChannel.size());
+
+    for (std::int64_t tileBase = 0; tileBase < channels;
+         tileBase += columns) {
+        std::int64_t tileEnd =
+            std::min<std::int64_t>(tileBase + columns, channels);
+
+        // Longest group sequence in this channel tile.
+        std::size_t maxGroups = 0;
+        for (std::int64_t c = tileBase; c < tileEnd; ++c)
+            maxGroups = std::max(
+                maxGroups,
+                workPerChannel[static_cast<std::size_t>(c)].size());
+
+        for (std::size_t g = 0; g < maxGroups; ++g) {
+            // Wavefront latency = slowest column in the tile.
+            double wave = 0.0;
+            for (std::int64_t c = tileBase; c < tileEnd; ++c) {
+                const auto &wc =
+                    workPerChannel[static_cast<std::size_t>(c)];
+                if (g < wc.size())
+                    wave = std::max(wave, wc[g].latency);
+            }
+            agg.cycles += wave;
+            for (std::int64_t c = tileBase; c < tileEnd; ++c) {
+                const auto &wc =
+                    workPerChannel[static_cast<std::size_t>(c)];
+                if (g < wc.size()) {
+                    const GroupWork &w = wc[g];
+                    agg.usefulLaneCycles += w.usefulLaneCycles;
+                    agg.intraStallLaneCycles += w.intraStallLaneCycles;
+                    agg.interStallLaneCycles +=
+                        (wave - w.latency) * lanes;
+                } else {
+                    agg.interStallLaneCycles += wave * lanes;
+                }
+            }
+        }
+    }
+    return agg;
+}
+
+} // namespace bbs

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Dataflow helpers shared by all accelerator cycle models: lock-step
+ * wavefront aggregation across PE columns (the source of inter-PE stalls)
+ * and tiling arithmetic for the output-stationary array (§IV-D).
+ */
+#ifndef BBS_SIM_DATAFLOW_HPP
+#define BBS_SIM_DATAFLOW_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace bbs {
+
+/** Latency and lane activity of one PE processing one weight group. */
+struct GroupWork
+{
+    double latency = 0.0;          ///< cycles the PE occupies
+    double usefulLaneCycles = 0.0; ///< effectual bit/value operations
+    /** idle lane-cycles while the PE itself is busy. */
+    double intraStallLaneCycles = 0.0;
+};
+
+/** Aggregate of the lock-step execution of a whole layer. */
+struct WavefrontAggregate
+{
+    double cycles = 0.0;
+    double usefulLaneCycles = 0.0;
+    double intraStallLaneCycles = 0.0;
+    double interStallLaneCycles = 0.0;
+};
+
+/**
+ * Run the lock-step wavefront schedule: channel c is assigned to PE column
+ * (c % columns); at each step every active column processes its next
+ * group, and the array advances when the slowest column finishes.
+ *
+ * @param workPerChannel  [channel][groupIdx] per-group work items
+ * @param columns         PE columns operating in lock-step
+ * @param lanes           bit-serial lanes per PE (for stall accounting)
+ */
+WavefrontAggregate
+aggregateWavefronts(const std::vector<std::vector<GroupWork>> &workPerChannel,
+                    int columns, int lanes);
+
+/** ceil(a / b) for positive integers. */
+inline std::int64_t
+ceilDiv(std::int64_t a, std::int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace bbs
+
+#endif // BBS_SIM_DATAFLOW_HPP

@@ -1,0 +1,23 @@
+#include "sim/memory_model.hpp"
+
+namespace bbs {
+
+double
+dramCycles(const MemoryTraffic &t, const SimConfig &cfg)
+{
+    return t.totalDramBits() / 8.0 / cfg.dramBytesPerCycle;
+}
+
+double
+dramEnergyPj(const MemoryTraffic &t, const SimConfig &cfg)
+{
+    return t.totalDramBits() * cfg.dramPjPerBit;
+}
+
+double
+sramEnergyPj(const MemoryTraffic &t, const SimConfig &cfg)
+{
+    return t.sramBytes * cfg.sramPjPerByte;
+}
+
+} // namespace bbs

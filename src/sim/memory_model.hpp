@@ -1,0 +1,40 @@
+/**
+ * @file
+ * External-DRAM and on-chip-SRAM cost models. Parameterized by the
+ * constants in SimConfig (DDR3 energy per bit, CACTI-class SRAM energy per
+ * byte); consumed by every accelerator's layer simulation.
+ */
+#ifndef BBS_SIM_MEMORY_MODEL_HPP
+#define BBS_SIM_MEMORY_MODEL_HPP
+
+#include "sim/config.hpp"
+
+namespace bbs {
+
+/** Memory traffic of one simulated layer. */
+struct MemoryTraffic
+{
+    double weightBits = 0.0; ///< encoded weight footprint fetched from DRAM
+    double inputActBits = 0.0;
+    double outputActBits = 0.0;
+    /** SRAM bytes moved (weight re-reads per tile + activation staging). */
+    double sramBytes = 0.0;
+
+    double totalDramBits() const
+    {
+        return weightBits + inputActBits + outputActBits;
+    }
+};
+
+/** DRAM transfer latency in core cycles for the given traffic. */
+double dramCycles(const MemoryTraffic &t, const SimConfig &cfg);
+
+/** DRAM energy in pJ. */
+double dramEnergyPj(const MemoryTraffic &t, const SimConfig &cfg);
+
+/** SRAM energy in pJ. */
+double sramEnergyPj(const MemoryTraffic &t, const SimConfig &cfg);
+
+} // namespace bbs
+
+#endif // BBS_SIM_MEMORY_MODEL_HPP

@@ -1,0 +1,51 @@
+#include "sim/prepared_model.hpp"
+
+namespace bbs {
+
+PreparedModel
+prepareModel(const MaterializedModel &model, const GlobalPruneConfig *bbsCfg)
+{
+    PreparedModel out;
+    out.desc = model.desc;
+    if (bbsCfg)
+        out.bbsConfig = *bbsCfg;
+
+    std::vector<std::vector<bool>> sensitive;
+    if (bbsCfg) {
+        sensitive = selectSensitiveChannels(
+            [&] {
+                std::vector<PrunableLayer> pls;
+                for (const auto &l : model.layers) {
+                    PrunableLayer pl;
+                    pl.name = l.desc.name;
+                    pl.codes = l.weights.values;
+                    pl.scales = l.weights.scales;
+                    pls.push_back(std::move(pl));
+                }
+                return pls;
+            }(),
+            bbsCfg->beta, bbsCfg->channelsParallel);
+    }
+
+    for (std::size_t i = 0; i < model.layers.size(); ++i) {
+        const auto &ml = model.layers[i];
+        PreparedLayer pl;
+        pl.desc = ml.desc;
+        pl.codes = ml.weights.values;
+        pl.scales = ml.weights.scales;
+        pl.sensitive =
+            bbsCfg ? sensitive[i]
+                   : std::vector<bool>(
+                         static_cast<std::size_t>(
+                             ml.weights.values.shape().dim(0)),
+                         false);
+        pl.activationDensity = ml.desc.reluActivations ? 0.5 : 1.0;
+        pl.channelScale =
+            static_cast<double>(ml.desc.weightShape.dim(0)) /
+            static_cast<double>(ml.weights.values.shape().dim(0));
+        out.layers.push_back(std::move(pl));
+    }
+    return out;
+}
+
+} // namespace bbs

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Prepared workloads: the bridge from a materialized model (INT8 codes and
+ * scales) to what the accelerator cycle models consume — including the
+ * per-channel sensitivity split BitVert's global binary pruning produces.
+ */
+#ifndef BBS_SIM_PREPARED_MODEL_HPP
+#define BBS_SIM_PREPARED_MODEL_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/global_pruning.hpp"
+#include "models/workload.hpp"
+
+namespace bbs {
+
+/** One layer as consumed by accelerator cycle models. */
+struct PreparedLayer
+{
+    LayerDesc desc;
+    Int8Tensor codes;            ///< baseline INT8 codes (full precision)
+    std::vector<float> scales;   ///< per-channel quantization scales
+    std::vector<bool> sensitive; ///< BitVert sensitivity split (may be all
+                                 ///< false when no pruning config given)
+    /** Input-activation density (1 - sparsity); 0.5 post-ReLU, 1 else. */
+    double activationDensity = 1.0;
+    /**
+     * Scale factor accounting for channel sampling (desc channels /
+     * materialized channels) so cycle totals reflect the full layer.
+     */
+    double channelScale = 1.0;
+};
+
+/** A prepared model plus the BBS pruning configuration to apply. */
+struct PreparedModel
+{
+    ModelDesc desc;
+    std::vector<PreparedLayer> layers;
+    GlobalPruneConfig bbsConfig; ///< used by the BitVert model
+};
+
+/**
+ * Prepare a materialized model: computes activation densities, channel
+ * scaling, and (when @p bbsCfg is non-null) the sensitive-channel split of
+ * Algorithm 2.
+ */
+PreparedModel prepareModel(const MaterializedModel &model,
+                           const GlobalPruneConfig *bbsCfg = nullptr);
+
+} // namespace bbs
+
+#endif // BBS_SIM_PREPARED_MODEL_HPP

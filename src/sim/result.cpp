@@ -1,0 +1,69 @@
+#include "sim/result.hpp"
+
+namespace bbs {
+
+namespace {
+
+template <typename F>
+double
+sumOver(const std::vector<LayerSim> &layers, F f)
+{
+    double acc = 0.0;
+    for (const auto &l : layers)
+        acc += f(l);
+    return acc;
+}
+
+} // namespace
+
+double
+ModelSim::totalCycles() const
+{
+    return sumOver(layers, [](const LayerSim &l) { return l.totalCycles; });
+}
+
+double
+ModelSim::totalEnergyPj() const
+{
+    return sumOver(layers,
+                   [](const LayerSim &l) { return l.totalEnergyPj(); });
+}
+
+double
+ModelSim::offChipEnergyPj() const
+{
+    return sumOver(layers,
+                   [](const LayerSim &l) { return l.offChipEnergyPj(); });
+}
+
+double
+ModelSim::onChipEnergyPj() const
+{
+    return sumOver(layers,
+                   [](const LayerSim &l) { return l.onChipEnergyPj(); });
+}
+
+double
+ModelSim::usefulLaneCycles() const
+{
+    return sumOver(layers,
+                   [](const LayerSim &l) { return l.usefulLaneCycles; });
+}
+
+double
+ModelSim::intraPeStallLaneCycles() const
+{
+    return sumOver(layers, [](const LayerSim &l) {
+        return l.intraPeStallLaneCycles;
+    });
+}
+
+double
+ModelSim::interPeStallLaneCycles() const
+{
+    return sumOver(layers, [](const LayerSim &l) {
+        return l.interPeStallLaneCycles;
+    });
+}
+
+} // namespace bbs

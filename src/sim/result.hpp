@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Simulation results: per-layer and whole-model cycle/energy/stall
+ * accounting, the common output format of every accelerator model.
+ */
+#ifndef BBS_SIM_RESULT_HPP
+#define BBS_SIM_RESULT_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bbs {
+
+/** Result of simulating one layer (already scaled by layer repeat). */
+struct LayerSim
+{
+    std::string layerName;
+
+    double computeCycles = 0.0;
+    double dramCycles = 0.0;
+    /** max(compute, dram) — double-buffered overlap. */
+    double totalCycles = 0.0;
+
+    double dramBits = 0.0;
+    double sramBytes = 0.0;
+
+    /** Energy in pJ. */
+    double dramEnergyPj = 0.0;
+    double sramEnergyPj = 0.0;
+    double coreEnergyPj = 0.0;
+
+    /** Lane-cycle accounting for the Fig 15 breakdown. */
+    double usefulLaneCycles = 0.0;
+    double intraPeStallLaneCycles = 0.0;
+    double interPeStallLaneCycles = 0.0;
+
+    double offChipEnergyPj() const { return dramEnergyPj; }
+    double onChipEnergyPj() const { return sramEnergyPj + coreEnergyPj; }
+    double totalEnergyPj() const
+    {
+        return dramEnergyPj + sramEnergyPj + coreEnergyPj;
+    }
+};
+
+/** Result of simulating a whole model on one accelerator. */
+struct ModelSim
+{
+    std::string acceleratorName;
+    std::string modelName;
+    std::vector<LayerSim> layers;
+
+    double totalCycles() const;
+    double totalEnergyPj() const;
+    double offChipEnergyPj() const;
+    double onChipEnergyPj() const;
+    double usefulLaneCycles() const;
+    double intraPeStallLaneCycles() const;
+    double interPeStallLaneCycles() const;
+
+    /** Energy-delay product (pJ * cycles). */
+    double edp() const { return totalEnergyPj() * totalCycles(); }
+};
+
+} // namespace bbs
+
+#endif // BBS_SIM_RESULT_HPP

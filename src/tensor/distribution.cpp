@@ -1,0 +1,97 @@
+#include "tensor/distribution.hpp"
+
+#include <cmath>
+
+#include "common/parallel.hpp"
+
+namespace bbs {
+
+FloatTensor
+generateWeights(const Shape &shape, const WeightDistribution &dist, Rng &rng)
+{
+    FloatTensor t(shape);
+    std::int64_t channels = shape.dim(0);
+    std::int64_t cs = shape.channelSize();
+
+    // Derive per-channel parameters sequentially (deterministic), then fill
+    // channels in parallel with independent forked streams.
+    struct ChannelParams
+    {
+        double scale;
+        Rng rng{0};
+    };
+    std::vector<ChannelParams> params(static_cast<std::size_t>(channels));
+    for (std::int64_t k = 0; k < channels; ++k) {
+        // Log-normal per-channel scale spread; a minority of channels are
+        // outlier channels with much larger magnitude (paper §III-C).
+        double scale =
+            dist.baseStddev *
+            std::exp(rng.gaussian(0.0, dist.channelScaleSigma));
+        if (rng.bernoulli(dist.outlierChannelFraction))
+            scale *= dist.outlierScale;
+        params[static_cast<std::size_t>(k)] = {scale, rng.fork()};
+    }
+
+    parallelFor(channels, [&](std::int64_t k) {
+        auto &[scale, crng] = params[static_cast<std::size_t>(k)];
+        auto ch = t.channel(k);
+        double blockScale = 1.0;
+        for (std::int64_t i = 0; i < cs; ++i) {
+            if (dist.blockSize > 0 && i % dist.blockSize == 0 &&
+                dist.blockScaleSigma > 0.0) {
+                blockScale = std::exp(
+                    crng.gaussian(0.0, dist.blockScaleSigma));
+            }
+            if (dist.valueSparsity > 0.0 &&
+                crng.bernoulli(dist.valueSparsity)) {
+                ch[static_cast<std::size_t>(i)] = 0.0f;
+                continue;
+            }
+            double s = scale * blockScale;
+            double v = dist.family == WeightFamily::Gaussian
+                           ? crng.gaussian(0.0, s)
+                           : crng.laplace(0.0, s / std::sqrt(2.0));
+            ch[static_cast<std::size_t>(i)] = static_cast<float>(v);
+        }
+    }, /*chunk=*/1);
+    return t;
+}
+
+FloatTensor
+generateActivations(const Shape &shape, const ActivationDistribution &dist,
+                    Rng &rng)
+{
+    FloatTensor t(shape);
+    auto data = t.data();
+    for (auto &x : data) {
+        double v = rng.gaussian(0.0, dist.stddev);
+        if (dist.relu)
+            v = v > 0.0 ? v : 0.0;
+        x = static_cast<float>(v);
+    }
+    return t;
+}
+
+double
+valueSparsity(const Int8Tensor &t)
+{
+    if (t.numel() == 0)
+        return 0.0;
+    std::int64_t zeros = 0;
+    for (std::int8_t v : t.data())
+        zeros += (v == 0);
+    return static_cast<double>(zeros) / static_cast<double>(t.numel());
+}
+
+double
+valueSparsity(const FloatTensor &t)
+{
+    if (t.numel() == 0)
+        return 0.0;
+    std::int64_t zeros = 0;
+    for (float v : t.data())
+        zeros += (v == 0.0f);
+    return static_cast<double>(zeros) / static_cast<double>(t.numel());
+}
+
+} // namespace bbs

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Synthetic weight and activation generators.
+ *
+ * The paper's pre-trained FP32 models are substituted by tensors drawn from
+ * the distribution family DNN weights are known (and assumed by the paper,
+ * §II-B) to follow: per-channel Gaussian/Laplace with small means, a spread
+ * of per-channel scales, and a minority of outlier channels with much larger
+ * magnitude (§III-C). Every bit-level statistic the paper measures is a
+ * function of these distributions.
+ */
+#ifndef BBS_TENSOR_DISTRIBUTION_HPP
+#define BBS_TENSOR_DISTRIBUTION_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hpp"
+#include "tensor/tensor.hpp"
+
+namespace bbs {
+
+/** Family of the per-channel weight distribution. */
+enum class WeightFamily
+{
+    Gaussian,  ///< typical convolutional / linear layers
+    Laplace,   ///< heavier-tailed attention projections
+};
+
+/** Parameters of a synthetic weight tensor. */
+struct WeightDistribution
+{
+    WeightFamily family = WeightFamily::Gaussian;
+    /** Base standard deviation of a channel before per-channel scaling. */
+    double baseStddev = 0.02;
+    /** Log-normal sigma of the per-channel scale spread. */
+    double channelScaleSigma = 0.35;
+    /** Fraction of channels that are outlier (sensitive) channels. */
+    double outlierChannelFraction = 0.05;
+    /** Magnitude multiplier of outlier channels. */
+    double outlierScale = 4.0;
+    /** Fraction of exactly-zero weights (value sparsity; tiny post-PTQ). */
+    double valueSparsity = 0.01;
+    /**
+     * Log-normal sigma of the *within-channel block* magnitude spread
+     * (blocks of blockSize contiguous weights). Real DNN filters have
+     * strong local magnitude structure — whole kernel regions are small —
+     * which is what gives sign-magnitude formats their inherent zero bit
+     * columns (paper §II-B); i.i.d. weights would underestimate it.
+     */
+    double blockScaleSigma = 0.6;
+    std::int64_t blockSize = 32;
+};
+
+/**
+ * Generate an FP32 weight tensor with per-channel statistics.
+ *
+ * @param shape  weight shape; dim 0 is the output-channel dimension
+ * @param dist   distribution parameters
+ * @param rng    seeded random source
+ */
+FloatTensor generateWeights(const Shape &shape,
+                            const WeightDistribution &dist, Rng &rng);
+
+/** Parameters of a synthetic activation tensor. */
+struct ActivationDistribution
+{
+    /** True for post-ReLU activations (half-normal, ~50 % zeros). */
+    bool relu = false;
+    double stddev = 1.0;
+};
+
+/**
+ * Generate an FP32 activation tensor.
+ *
+ * ReLU activations are half-normal with the configured zero fraction
+ * (CNN-style); non-ReLU (GELU/softmax transformer-style) activations are
+ * dense Gaussians, matching the paper's observation that transformers show
+ * "limited or no activation sparsity".
+ */
+FloatTensor generateActivations(const Shape &shape,
+                                const ActivationDistribution &dist,
+                                Rng &rng);
+
+/** Fraction of exactly-zero elements. */
+double valueSparsity(const Int8Tensor &t);
+double valueSparsity(const FloatTensor &t);
+
+} // namespace bbs
+
+#endif // BBS_TENSOR_DISTRIBUTION_HPP

@@ -1,0 +1,84 @@
+#include "tensor/shape.hpp"
+
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace bbs {
+
+Shape::Shape(std::initializer_list<std::int64_t> dims)
+{
+    BBS_REQUIRE(dims.size() >= 1 && dims.size() <= 4,
+                "shape rank must be 1..4, got ", dims.size());
+    rank_ = static_cast<int>(dims.size());
+    int i = 0;
+    for (std::int64_t d : dims) {
+        BBS_REQUIRE(d > 0, "shape dimensions must be positive, got ", d);
+        dims_[i++] = d;
+    }
+}
+
+std::int64_t
+Shape::dim(int i) const
+{
+    BBS_ASSERT(i >= 0 && i < rank_);
+    return dims_[i];
+}
+
+std::int64_t
+Shape::numel() const
+{
+    std::int64_t n = 1;
+    for (int i = 0; i < rank_; ++i)
+        n *= dims_[i];
+    return rank_ == 0 ? 0 : n;
+}
+
+std::int64_t
+Shape::channelSize() const
+{
+    BBS_ASSERT(rank_ >= 1);
+    return numel() / dims_[0];
+}
+
+std::int64_t
+Shape::index(std::int64_t i0, std::int64_t i1, std::int64_t i2,
+             std::int64_t i3) const
+{
+    // Unused trailing coordinates must be zero.
+    std::int64_t idx = i0;
+    if (rank_ > 1)
+        idx = idx * dims_[1] + i1;
+    if (rank_ > 2)
+        idx = idx * dims_[2] + i2;
+    if (rank_ > 3)
+        idx = idx * dims_[3] + i3;
+    return idx;
+}
+
+bool
+Shape::operator==(const Shape &other) const
+{
+    if (rank_ != other.rank_)
+        return false;
+    for (int i = 0; i < rank_; ++i)
+        if (dims_[i] != other.dims_[i])
+            return false;
+    return true;
+}
+
+std::string
+Shape::toString() const
+{
+    std::ostringstream oss;
+    oss << '[';
+    for (int i = 0; i < rank_; ++i) {
+        if (i)
+            oss << ", ";
+        oss << dims_[i];
+    }
+    oss << ']';
+    return oss.str();
+}
+
+} // namespace bbs

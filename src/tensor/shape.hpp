@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Tensor shape: a small value type holding up to 4 dimensions with
+ * row-major stride computation.
+ */
+#ifndef BBS_TENSOR_SHAPE_HPP
+#define BBS_TENSOR_SHAPE_HPP
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+namespace bbs {
+
+/**
+ * Row-major tensor shape of rank 1..4.
+ *
+ * Convolution weights use [K, C, R, S] (output channels, input channels,
+ * kernel height, kernel width); linear weights use [K, C]. The first
+ * dimension is always the output-channel dimension the paper's per-channel
+ * machinery (quantization scales, global pruning, channel reordering)
+ * operates on.
+ */
+class Shape
+{
+  public:
+    Shape() = default;
+    Shape(std::initializer_list<std::int64_t> dims);
+
+    int rank() const { return rank_; }
+    std::int64_t dim(int i) const;
+    std::int64_t operator[](int i) const { return dim(i); }
+
+    /** Total element count. */
+    std::int64_t numel() const;
+
+    /** Elements per output channel (numel / dim(0)). */
+    std::int64_t channelSize() const;
+
+    /** Row-major linear index of up to 4 coordinates. */
+    std::int64_t index(std::int64_t i0, std::int64_t i1 = 0,
+                       std::int64_t i2 = 0, std::int64_t i3 = 0) const;
+
+    bool operator==(const Shape &other) const;
+
+    std::string toString() const;
+
+  private:
+    std::array<std::int64_t, 4> dims_{1, 1, 1, 1};
+    int rank_ = 0;
+};
+
+} // namespace bbs
+
+#endif // BBS_TENSOR_SHAPE_HPP

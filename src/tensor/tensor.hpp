@@ -1,0 +1,120 @@
+/**
+ * @file
+ * A minimal row-major dense tensor. Header-only template; the project only
+ * instantiates Tensor<float>, Tensor<std::int8_t> and Tensor<std::int32_t>.
+ */
+#ifndef BBS_TENSOR_TENSOR_HPP
+#define BBS_TENSOR_TENSOR_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "tensor/shape.hpp"
+
+namespace bbs {
+
+/**
+ * Dense row-major tensor owning its storage.
+ *
+ * The API is intentionally small: indexed access, flat access, per-channel
+ * spans (the unit the paper's per-channel quantization and pruning work on),
+ * and group spans (the unit BBS compression works on).
+ */
+template <typename T>
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    explicit Tensor(Shape shape)
+        : shape_(shape),
+          data_(static_cast<std::size_t>(shape.numel()), T{})
+    {}
+
+    Tensor(Shape shape, std::vector<T> data)
+        : shape_(shape), data_(std::move(data))
+    {
+        BBS_REQUIRE(static_cast<std::int64_t>(data_.size()) ==
+                        shape_.numel(),
+                    "data size ", data_.size(), " != shape numel ",
+                    shape_.numel());
+    }
+
+    const Shape &shape() const { return shape_; }
+    std::int64_t numel() const { return shape_.numel(); }
+
+    T &at(std::int64_t i0, std::int64_t i1 = 0, std::int64_t i2 = 0,
+          std::int64_t i3 = 0)
+    {
+        return data_[static_cast<std::size_t>(
+            shape_.index(i0, i1, i2, i3))];
+    }
+
+    const T &at(std::int64_t i0, std::int64_t i1 = 0, std::int64_t i2 = 0,
+                std::int64_t i3 = 0) const
+    {
+        return data_[static_cast<std::size_t>(
+            shape_.index(i0, i1, i2, i3))];
+    }
+
+    T &flat(std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+    const T &flat(std::int64_t i) const
+    {
+        return data_[static_cast<std::size_t>(i)];
+    }
+
+    std::span<T> data() { return data_; }
+    std::span<const T> data() const { return data_; }
+
+    /** Mutable view of output channel @p k (row-major slice). */
+    std::span<T>
+    channel(std::int64_t k)
+    {
+        std::int64_t cs = shape_.channelSize();
+        return std::span<T>(data_.data() + k * cs,
+                            static_cast<std::size_t>(cs));
+    }
+
+    std::span<const T>
+    channel(std::int64_t k) const
+    {
+        std::int64_t cs = shape_.channelSize();
+        return std::span<const T>(data_.data() + k * cs,
+                                  static_cast<std::size_t>(cs));
+    }
+
+    /**
+     * View of the @p g-th contiguous group of @p groupSize elements.
+     * The final group may be shorter when numel is not a multiple.
+     */
+    std::span<const T>
+    group(std::int64_t g, std::int64_t groupSize) const
+    {
+        std::int64_t begin = g * groupSize;
+        std::int64_t end = std::min(begin + groupSize, numel());
+        BBS_ASSERT(begin < numel());
+        return std::span<const T>(data_.data() + begin,
+                                  static_cast<std::size_t>(end - begin));
+    }
+
+    /** Number of groups of @p groupSize covering the tensor. */
+    std::int64_t
+    numGroups(std::int64_t groupSize) const
+    {
+        return (numel() + groupSize - 1) / groupSize;
+    }
+
+  private:
+    Shape shape_;
+    std::vector<T> data_;
+};
+
+using FloatTensor = Tensor<float>;
+using Int8Tensor = Tensor<std::int8_t>;
+using Int32Tensor = Tensor<std::int32_t>;
+
+} // namespace bbs
+
+#endif // BBS_TENSOR_TENSOR_HPP

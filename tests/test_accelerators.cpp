@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Tests for the accelerator cycle models: closed-form checks against the
+ * dense baseline, the paper's qualitative orderings (BitVert fastest,
+ * balanced BBS => near-zero inter-PE stall), and memory-footprint
+ * relations.
+ */
+#include <gtest/gtest.h>
+
+#include "accel/ant_accel.hpp"
+#include "accel/bitlet.hpp"
+#include "accel/bitvert.hpp"
+#include "accel/bitwave.hpp"
+#include "accel/factory.hpp"
+#include "accel/pragmatic.hpp"
+#include "accel/sparten.hpp"
+#include "accel/stripes.hpp"
+#include "models/workload.hpp"
+#include "sim/prepared_model.hpp"
+
+namespace bbs {
+namespace {
+
+/** Small synthetic 2-layer model for fast accelerator tests. */
+PreparedModel
+smallModel(const GlobalPruneConfig *bbs = nullptr, std::uint64_t seed = 5)
+{
+    ModelDesc desc;
+    desc.name = "tiny";
+    desc.dataset = "synthetic";
+    LayerDesc l1;
+    l1.name = "conv";
+    l1.kind = LayerKind::Conv;
+    l1.weightShape = Shape{64, 32, 3, 3};
+    l1.outputPositions = 16 * 16;
+    l1.reluActivations = true;
+    LayerDesc l2;
+    l2.name = "linear";
+    l2.kind = LayerKind::Linear;
+    l2.weightShape = Shape{64, 576};
+    l2.outputPositions = 64;
+    desc.layers = {l1, l2};
+
+    MaterializeOptions opts;
+    opts.seed = seed;
+    MaterializedModel mm = materializeModel(desc, opts);
+    return prepareModel(mm, bbs);
+}
+
+TEST(Stripes, DenseCyclesMatchClosedForm)
+{
+    PreparedModel pm = smallModel();
+    SimConfig cfg;
+    StripesAccelerator stripes;
+    LayerSim sim = stripes.simulateLayer(pm.layers[0], cfg);
+
+    // Closed form: channels=64 -> 4 tiles of 16 columns; groups/channel =
+    // ceil(288/16) = 18; 8 cycles each; position tiles = ceil(256/16)=16.
+    double expected = 4.0 * 18.0 * 8.0 * 16.0;
+    EXPECT_DOUBLE_EQ(sim.computeCycles, expected);
+    EXPECT_DOUBLE_EQ(sim.interPeStallLaneCycles, 0.0);
+}
+
+TEST(Accelerators, EqualMultiplierBudgetScalesColumns)
+{
+    SimConfig cfg;
+    // 4096 multipliers, 16 rows: 16-lane PEs get 16 columns, 8-lane get 32.
+    EXPECT_EQ(StripesAccelerator().peColumns(cfg), 16);
+    EXPECT_EQ(PragmaticAccelerator().peColumns(cfg), 16);
+    EXPECT_EQ(BitletAccelerator().peColumns(cfg), 32);
+    EXPECT_EQ(BitVertAccelerator(moderateConfig()).peColumns(cfg), 32);
+    cfg.peColumnsOverride = 4;
+    EXPECT_EQ(StripesAccelerator().peColumns(cfg), 4);
+    EXPECT_EQ(BitletAccelerator().peColumns(cfg), 4);
+}
+
+TEST(Accelerators, EverySparsityAwareModelBeatsStripes)
+{
+    GlobalPruneConfig mod = moderateConfig();
+    PreparedModel pm = smallModel(&mod);
+    SimConfig cfg;
+
+    double stripes =
+        StripesAccelerator().simulateModel(pm, cfg).totalCycles();
+    EXPECT_GT(stripes, 0.0);
+
+    for (const char *name :
+         {"Pragmatic", "Bitlet", "BitWave", "BitVert (mod)"}) {
+        double cycles =
+            makeAccelerator(name)->simulateModel(pm, cfg).totalCycles();
+        EXPECT_LT(cycles, stripes) << name;
+    }
+}
+
+TEST(BitVert, ModeratePruningIsFasterThanConservative)
+{
+    GlobalPruneConfig cons = conservativeConfig();
+    GlobalPruneConfig mod = moderateConfig();
+    PreparedModel pmCons = smallModel(&cons);
+    PreparedModel pmMod = smallModel(&mod);
+    SimConfig cfg;
+    double cCons = BitVertAccelerator(cons, "cons")
+                       .simulateModel(pmCons, cfg)
+                       .totalCycles();
+    double cMod = BitVertAccelerator(mod, "mod")
+                      .simulateModel(pmMod, cfg)
+                      .totalCycles();
+    EXPECT_LT(cMod, cCons);
+}
+
+TEST(BitVert, DeterministicLatencyMeansMinimalInterPeStall)
+{
+    // The paper's Fig 15 claim: structured BBS balances PE columns.
+    GlobalPruneConfig mod = moderateConfig();
+    PreparedModel pm = smallModel(&mod);
+    SimConfig cfg;
+
+    ModelSim bv =
+        BitVertAccelerator(mod, "BitVert").simulateModel(pm, cfg);
+    ModelSim prag = PragmaticAccelerator().simulateModel(pm, cfg);
+
+    double bvTotal = bv.usefulLaneCycles() +
+                     bv.intraPeStallLaneCycles() +
+                     bv.interPeStallLaneCycles();
+    double pragTotal = prag.usefulLaneCycles() +
+                       prag.intraPeStallLaneCycles() +
+                       prag.interPeStallLaneCycles();
+    double bvInterFrac = bv.interPeStallLaneCycles() / bvTotal;
+    double pragInterFrac = prag.interPeStallLaneCycles() / pragTotal;
+    EXPECT_LT(bvInterFrac, 0.05);
+    EXPECT_LT(bvInterFrac, pragInterFrac);
+}
+
+TEST(BitVert, CompressedWeightsShrinkDramTraffic)
+{
+    GlobalPruneConfig mod = moderateConfig();
+    PreparedModel pm = smallModel(&mod);
+    SimConfig cfg;
+    LayerSim bv = BitVertAccelerator(mod, "BitVert")
+                      .simulateLayer(pm.layers[0], cfg);
+    LayerSim st = StripesAccelerator().simulateLayer(pm.layers[0], cfg);
+    EXPECT_LT(bv.dramBits, st.dramBits);
+}
+
+TEST(Pragmatic, LoadImbalanceGrowsWithColumns)
+{
+    PreparedModel pm = smallModel();
+    PragmaticAccelerator prag;
+    StripesAccelerator stripes;
+
+    auto speedupAt = [&](int cols) {
+        SimConfig cfg;
+        cfg.peColumnsOverride = cols;
+        double s = stripes.simulateModel(pm, cfg).totalCycles();
+        double p = prag.simulateModel(pm, cfg).totalCycles();
+        return s / p;
+    };
+    // The paper's Fig 14: speedup over Stripes decays as more weight
+    // groups run in lock-step.
+    EXPECT_GT(speedupAt(2), speedupAt(32));
+}
+
+TEST(BitVert, SpeedupStableAcrossColumns)
+{
+    GlobalPruneConfig mod = moderateConfig();
+    PreparedModel pm = smallModel(&mod);
+    BitVertAccelerator bv(mod, "BitVert");
+    StripesAccelerator stripes;
+
+    auto speedupAt = [&](int cols) {
+        SimConfig cfg;
+        cfg.peColumnsOverride = cols;
+        double s = stripes.simulateModel(pm, cfg).totalCycles();
+        double b = bv.simulateModel(pm, cfg).totalCycles();
+        return s / b;
+    };
+    double s2 = speedupAt(2);
+    double s32 = speedupAt(32);
+    EXPECT_NEAR(s32 / s2, 1.0, 0.10); // nearly constant (Fig 14)
+}
+
+TEST(Sparten, TransformerActivationsGiveNoBenefit)
+{
+    // Dense activations (transformers): SparTen ~ dense + overhead.
+    PreparedModel pm = smallModel();
+    SimConfig cfg;
+    // Force dense activations on both layers.
+    for (auto &l : pm.layers)
+        l.activationDensity = 1.0;
+    double sp =
+        SpartenAccelerator().simulateModel(pm, cfg).totalCycles();
+    double st =
+        StripesAccelerator().simulateModel(pm, cfg).totalCycles();
+    // Near-dense 8-bit values: SparTen cannot beat the dense bit-serial
+    // baseline by much, if at all (paper Fig 12 transformer bars).
+    EXPECT_GT(sp, 0.85 * st);
+}
+
+TEST(Sparten, ReluActivationsHelp)
+{
+    PreparedModel pm = smallModel();
+    SimConfig cfg;
+    PreparedModel dense = pm;
+    for (auto &l : dense.layers)
+        l.activationDensity = 1.0;
+    double withRelu =
+        SpartenAccelerator().simulateModel(pm, cfg).totalCycles();
+    double withoutRelu =
+        SpartenAccelerator().simulateModel(dense, cfg).totalCycles();
+    EXPECT_LT(withRelu, withoutRelu);
+}
+
+TEST(Factory, LineupMatchesPaperOrder)
+{
+    auto lineup = evaluationLineup();
+    ASSERT_EQ(lineup.size(), 8u);
+    EXPECT_EQ(lineup[0]->name(), "SparTen");
+    EXPECT_EQ(lineup[2]->name(), "Stripes");
+    EXPECT_EQ(lineup[7]->name(), "BitVert (mod)");
+}
+
+TEST(Accelerators, EnergyBreakdownIsPopulated)
+{
+    GlobalPruneConfig mod = moderateConfig();
+    PreparedModel pm = smallModel(&mod);
+    SimConfig cfg;
+    for (auto &acc : evaluationLineup()) {
+        ModelSim ms = acc->simulateModel(pm, cfg);
+        EXPECT_GT(ms.totalEnergyPj(), 0.0) << acc->name();
+        EXPECT_GT(ms.offChipEnergyPj(), 0.0) << acc->name();
+        EXPECT_GT(ms.onChipEnergyPj(), 0.0) << acc->name();
+        EXPECT_GT(ms.totalCycles(), 0.0) << acc->name();
+    }
+}
+
+
+TEST(Accelerators, WeightStorageReflectsEachEncoding)
+{
+    GlobalPruneConfig mod = moderateConfig();
+    PreparedModel pm = smallModel(&mod);
+    SimConfig cfg;
+    double dense = 0.0, bitwave = 0.0, ant = 0.0, bitvert = 0.0;
+    for (auto &acc : evaluationLineup()) {
+        LayerSim sim = acc->simulateLayer(pm.layers[0], cfg);
+        // dramBits = weights + activations; isolate weights by comparing
+        // totals (activation terms are equal for 8-bit-act designs).
+        if (acc->name() == "Stripes")
+            dense = sim.dramBits;
+        else if (acc->name() == "BitWave")
+            bitwave = sim.dramBits;
+        else if (acc->name() == "ANT")
+            ant = sim.dramBits;
+        else if (acc->name() == "BitVert (mod)")
+            bitvert = sim.dramBits;
+    }
+    // BitWave stores only surviving columns; ANT 6-bit everything;
+    // BitVert (mod) ~4.25 bits on 80% of channels. All below dense.
+    EXPECT_LT(bitwave, dense);
+    EXPECT_LT(ant, dense);
+    EXPECT_LT(bitvert, dense);
+    EXPECT_LT(bitvert, bitwave);
+}
+
+TEST(Accelerators, FcLayersAreMemoryBound)
+{
+    // A classifier head reuses each weight once: DRAM dominates and
+    // totalCycles == dramCycles for every design.
+    ModelDesc desc;
+    desc.name = "fc-only";
+    LayerDesc l;
+    l.name = "fc";
+    l.kind = LayerKind::Linear;
+    l.weightShape = Shape{256, 4096};
+    l.outputPositions = 1;
+    desc.layers = {l};
+    MaterializeOptions opts;
+    MaterializedModel mm = materializeModel(desc, opts);
+    GlobalPruneConfig mod = moderateConfig();
+    PreparedModel pm = prepareModel(mm, &mod);
+    SimConfig cfg;
+    for (auto &acc : evaluationLineup()) {
+        LayerSim sim = acc->simulateLayer(pm.layers[0], cfg);
+        EXPECT_DOUBLE_EQ(sim.totalCycles, sim.dramCycles) << acc->name();
+    }
+}
+
+TEST(BitVert, BbsAloneDoublesThroughputWithoutPruning)
+{
+    // beta = 1: every channel stays 8-bit — no binary pruning at all.
+    // BBS's guaranteed <= 50% effectual bits still lets each 8-lane PE
+    // cover 16 weights in 8 cycles, i.e. up to 2x Stripes throughput per
+    // multiplier before memory effects (the paper's §III-A argument that
+    // balanced BBS alone accelerates bit-serial computing).
+    GlobalPruneConfig all = moderateConfig();
+    all.beta = 1.0;
+    PreparedModel pm = smallModel(&all);
+    SimConfig cfg;
+    BitVertAccelerator bv(all, "BitVert");
+    StripesAccelerator stripes;
+    double bvCycles = bv.simulateModel(pm, cfg).totalCycles();
+    double stCycles = stripes.simulateModel(pm, cfg).totalCycles();
+    EXPECT_LT(bvCycles, stCycles);            // BBS alone helps
+    EXPECT_GE(bvCycles, stCycles * 0.5 - 1.0); // bounded by 2x compute
+}
+} // namespace
+} // namespace bbs

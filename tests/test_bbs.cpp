@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for BBS sparsity measurement (paper §III-A, Fig 3).
+ */
+#include <gtest/gtest.h>
+
+#include "core/bbs.hpp"
+#include "quant/quantizer.hpp"
+#include "tensor/distribution.hpp"
+
+namespace bbs {
+namespace {
+
+Int8Tensor
+randomCodes(Shape shape, std::uint64_t seed)
+{
+    Rng rng(seed);
+    WeightDistribution dist;
+    FloatTensor w = generateWeights(shape, dist, rng);
+    return quantizePerChannel(w, 8).values;
+}
+
+class BbsSparsityProperty : public ::testing::TestWithParam<std::int64_t>
+{
+};
+
+TEST_P(BbsSparsityProperty, AtLeastHalfForAnyVectorSize)
+{
+    std::int64_t vs = GetParam();
+    Int8Tensor codes = randomCodes(Shape{32, 256}, 17);
+    EXPECT_GE(bbsSparsity(codes, vs), 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(VectorSizes, BbsSparsityProperty,
+                         ::testing::Values(2, 4, 8, 16, 32, 64));
+
+TEST(BbsSparsity, ExceedsZeroBitSparsityOfBothFormats)
+{
+    // The paper's Fig 3 ordering on quantized DNN weights:
+    // value << bit(2's comp) < BBS, and BBS >= sign-magnitude bit sparsity
+    // is typical for Gaussian weights at vector size 8.
+    Int8Tensor codes = randomCodes(Shape{64, 512}, 23);
+    double value = valueSparsity(codes);
+    double twos = bitSparsityTwosComplement(codes);
+    double bbs = bbsSparsity(codes, 8);
+    EXPECT_LT(value, 0.10);
+    EXPECT_GT(twos, 0.40);
+    EXPECT_GT(bbs, twos);
+    EXPECT_GE(bbs, 0.5);
+}
+
+TEST(BbsSparsity, SignMagnitudeBeatsTwosComplementOnSmallWeights)
+{
+    // Gaussian-like weights are mostly small; sign-magnitude zeroes the
+    // high columns of negative values too (paper §II-B).
+    Int8Tensor codes = randomCodes(Shape{64, 512}, 29);
+    EXPECT_GT(bitSparsitySignMagnitude(codes),
+              bitSparsityTwosComplement(codes));
+}
+
+TEST(BbsSparsity, AllZerosAndAllOnesAreFullySparse)
+{
+    Int8Tensor zeros(Shape{64});
+    EXPECT_DOUBLE_EQ(bbsSparsity(zeros, 8), 1.0);
+    EXPECT_DOUBLE_EQ(bitSparsityTwosComplement(zeros), 1.0);
+
+    Int8Tensor minusOnes(Shape{64});
+    for (std::int64_t i = 0; i < 64; ++i)
+        minusOnes.flat(i) = -1;
+    // All bits are one: zero-bit sparsity collapses, BBS stays perfect.
+    EXPECT_DOUBLE_EQ(bitSparsityTwosComplement(minusOnes), 0.0);
+    EXPECT_DOUBLE_EQ(bbsSparsity(minusOnes, 8), 1.0);
+}
+
+TEST(BbsSparsity, GroupHelperAgreesWithTensorVersion)
+{
+    Int8Tensor codes = randomCodes(Shape{1, 8}, 31);
+    std::vector<std::int8_t> group(codes.data().begin(),
+                                   codes.data().end());
+    EXPECT_DOUBLE_EQ(bbsSparsityGroup(group), bbsSparsity(codes, 8));
+}
+
+TEST(EffectualBits, BbsWorkBoundedByZeroSkipWork)
+{
+    Int8Tensor codes = randomCodes(Shape{32, 128}, 37);
+    EffectualBitStats st = effectualBitStats(codes, 8);
+    EXPECT_LE(st.meanBbs, st.meanZeroSkip + 1e-12);
+    EXPECT_LE(st.maxBbs, 4.0);      // never more than half of 8
+    EXPECT_LE(st.maxZeroSkip, 8.0); // can be the full column
+    EXPECT_GT(st.meanBbs, 0.0);
+}
+
+TEST(EffectualBits, BbsTightensTheWorstCase)
+{
+    // Adversarial all-ones columns: zero-skip max work is the whole
+    // column, BBS max work is zero.
+    Int8Tensor minusOnes(Shape{64});
+    for (std::int64_t i = 0; i < 64; ++i)
+        minusOnes.flat(i) = -1;
+    EffectualBitStats st = effectualBitStats(minusOnes, 8);
+    EXPECT_DOUBLE_EQ(st.maxZeroSkip, 8.0);
+    EXPECT_DOUBLE_EQ(st.maxBbs, 0.0);
+}
+
+} // namespace
+} // namespace bbs

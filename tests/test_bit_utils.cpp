@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit and property tests for the bit-manipulation primitives everything
+ * else builds on.
+ */
+#include <gtest/gtest.h>
+
+#include "common/bit_utils.hpp"
+
+namespace bbs {
+namespace {
+
+TEST(BitUtils, BitOfExtractsTwosComplementBits)
+{
+    // -11 = 1111'0101b
+    EXPECT_EQ(bitOf(-11, 0), 1);
+    EXPECT_EQ(bitOf(-11, 1), 0);
+    EXPECT_EQ(bitOf(-11, 2), 1);
+    EXPECT_EQ(bitOf(-11, 3), 0);
+    EXPECT_EQ(bitOf(-11, 4), 1);
+    EXPECT_EQ(bitOf(-11, 5), 1);
+    EXPECT_EQ(bitOf(-11, 6), 1);
+    EXPECT_EQ(bitOf(-11, 7), 1);
+}
+
+TEST(BitUtils, Popcount8CountsLowByte)
+{
+    EXPECT_EQ(popcount8(0), 0);
+    EXPECT_EQ(popcount8(-1), 8);
+    EXPECT_EQ(popcount8(0x55), 4);
+    EXPECT_EQ(popcount8(-128), 1);
+}
+
+class SignMagnitudeRoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SignMagnitudeRoundTrip, AllValuesRoundTripExceptMin)
+{
+    int bits = GetParam();
+    std::int32_t lo = -(1 << (bits - 1));
+    std::int32_t hi = (1 << (bits - 1)) - 1;
+    for (std::int32_t v = lo; v <= hi; ++v) {
+        std::uint32_t sm = toSignMagnitude(v, bits);
+        std::int32_t back = fromSignMagnitude(sm, bits);
+        if (v == lo) {
+            // The most negative value saturates to -(2^(bits-1) - 1).
+            EXPECT_EQ(back, -hi);
+        } else {
+            EXPECT_EQ(back, v) << "v=" << v << " bits=" << bits;
+        }
+        // Encoding stays within the declared width.
+        EXPECT_LT(sm, 1u << bits);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SignMagnitudeRoundTrip,
+                         ::testing::Values(2, 4, 6, 8));
+
+TEST(BitUtils, SignMagnitudeKnownEncodings)
+{
+    EXPECT_EQ(toSignMagnitude(5, 8), 0x05u);
+    EXPECT_EQ(toSignMagnitude(-5, 8), 0x85u);
+    EXPECT_EQ(toSignMagnitude(0, 8), 0x00u);
+    EXPECT_EQ(toSignMagnitude(127, 8), 0x7fu);
+    EXPECT_EQ(toSignMagnitude(-127, 8), 0xffu);
+}
+
+TEST(BitUtils, EssentialBitsSignMagnitudeSmallNegativesAreSparse)
+{
+    // -1 in two's complement is all ones (8 essential bits); in
+    // sign-magnitude it is sign + 1 bit = 2 essential bits. This asymmetry
+    // is why BitWave uses sign-magnitude (paper II-B).
+    EXPECT_EQ(popcount8(-1), 8);
+    EXPECT_EQ(essentialBitsSignMagnitude(-1), 2);
+}
+
+TEST(BitUtils, ExtractColumnPacksGroupBits)
+{
+    std::vector<std::int8_t> group = {1, 0, 3, -1};
+    // Bit 0: 1,0,1,1 -> 0b1101
+    EXPECT_EQ(extractColumn(group, 0), 0b1101ull);
+    // Bit 1: 0,0,1,1 -> 0b1100
+    EXPECT_EQ(extractColumn(group, 1), 0b1100ull);
+    // Bit 7: 0,0,0,1 -> 0b1000
+    EXPECT_EQ(extractColumn(group, 7), 0b1000ull);
+}
+
+TEST(BitUtils, ColumnPopcountRespectsGroupSize)
+{
+    BitColumn col = 0xffull;
+    EXPECT_EQ(columnPopcount(col, 4), 4);
+    EXPECT_EQ(columnPopcount(col, 8), 8);
+    EXPECT_EQ(columnPopcount(col, 64), 8);
+}
+
+class BbsEffectualProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BbsEffectualProperty, NeverExceedsHalfTheVector)
+{
+    int n = GetParam();
+    // Exhaustive for n <= 12: every possible column.
+    for (std::uint64_t col = 0; col < (1ull << n); ++col) {
+        int eff = bbsEffectualBits(col, n);
+        EXPECT_LE(eff, n / 2) << "col=" << col << " n=" << n;
+        EXPECT_GE(eff, 0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(VectorSizes, BbsEffectualProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 12));
+
+TEST(BitUtils, SignExtend)
+{
+    EXPECT_EQ(signExtend(0b111, 3), -1);
+    EXPECT_EQ(signExtend(0b011, 3), 3);
+    EXPECT_EQ(signExtend(0b100, 3), -4);
+    EXPECT_EQ(signExtend(0xff, 8), -1);
+    EXPECT_EQ(signExtend(0x7f, 8), 127);
+}
+
+TEST(BitUtils, ClampToBits)
+{
+    EXPECT_EQ(clampToBits(200, 8), 127);
+    EXPECT_EQ(clampToBits(-200, 8), -128);
+    EXPECT_EQ(clampToBits(5, 8), 5);
+    EXPECT_EQ(clampToBits(8, 4), 7);
+    EXPECT_EQ(clampToBits(-9, 4), -8);
+}
+
+TEST(BitUtils, RedundantColumnsOfSmallValues)
+{
+    // All small positive values: bits 6..4 all zero like the sign -> 3
+    // redundant columns (capped).
+    std::vector<std::int8_t> small = {1, 2, 3, 4};
+    EXPECT_EQ(countRedundantColumns(small), 3);
+
+    // Mixed small values around zero still share sign-extension columns.
+    std::vector<std::int8_t> mixed = {-3, 2, -1, 3};
+    EXPECT_EQ(countRedundantColumns(mixed), 3);
+
+    // A large positive breaks redundancy immediately.
+    std::vector<std::int8_t> large = {100, 2, 3, 4};
+    EXPECT_EQ(countRedundantColumns(large), 0);
+}
+
+TEST(BitUtils, RedundantColumnsMatchPaperFig4)
+{
+    // Fig 4: group {-11, 20, -57, 13} has exactly 1 redundant column.
+    std::vector<std::int8_t> group = {-11, 20, -57, 13};
+    EXPECT_EQ(countRedundantColumns(group), 1);
+}
+
+TEST(BitUtils, RedundantColumnRemovalPreservesValue)
+{
+    // Removing r redundant columns means the value fits in (8 - r) bits.
+    std::vector<std::int8_t> group = {-11, 20, -57, 13};
+    int r = countRedundantColumns(group);
+    for (std::int8_t w : group) {
+        std::int32_t reduced = signExtend(
+            static_cast<std::uint32_t>(static_cast<std::uint8_t>(w)),
+            8 - r);
+        EXPECT_EQ(reduced, w);
+    }
+}
+
+} // namespace
+} // namespace bbs

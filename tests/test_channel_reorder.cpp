@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for channel reordering (paper §IV-C, Fig 9) including the
+ * residual-block correctness scenario that motivates output unshuffling.
+ */
+#include <gtest/gtest.h>
+
+#include "core/channel_reorder.hpp"
+#include "common/random.hpp"
+
+namespace bbs {
+namespace {
+
+TEST(ChannelOrder, SensitiveChannelsComeFirst)
+{
+    std::vector<bool> sens = {false, true, false, true, false, false};
+    ChannelOrder order = buildChannelOrder(sens);
+    EXPECT_EQ(order.sensitiveCount, 2);
+    EXPECT_EQ(order.originalIndex[0], 1);
+    EXPECT_EQ(order.originalIndex[1], 3);
+    EXPECT_EQ(order.originalIndex[2], 0);
+    EXPECT_EQ(order.originalIndex[5], 5);
+}
+
+TEST(ChannelOrder, ForwardAndInverseAreConsistent)
+{
+    std::vector<bool> sens = {true, false, true, false};
+    ChannelOrder order = buildChannelOrder(sens);
+    for (std::int64_t p = 0;
+         p < static_cast<std::int64_t>(order.originalIndex.size()); ++p) {
+        std::int64_t orig = order.originalIndex[static_cast<std::size_t>(p)];
+        EXPECT_EQ(order.reorderedPosition[static_cast<std::size_t>(orig)],
+                  p);
+    }
+}
+
+TEST(ChannelReorder, ReorderThenUnshuffleIsIdentity)
+{
+    Rng rng(1);
+    Int8Tensor w(Shape{8, 16});
+    for (std::int64_t i = 0; i < w.numel(); ++i)
+        w.flat(i) = static_cast<std::int8_t>(rng.uniformInt(-128, 127));
+    std::vector<bool> sens = {false, true, true, false,
+                              false, true, false, false};
+    ChannelOrder order = buildChannelOrder(sens);
+    Int8Tensor reordered = reorderChannels(w, order);
+
+    // Treat the reordered tensor as "outputs computed in reordered order"
+    // and restore: must equal the original.
+    Int32Tensor asOutput(Shape{8, 16});
+    for (std::int64_t i = 0; i < w.numel(); ++i)
+        asOutput.flat(i) = reordered.flat(i);
+    Int32Tensor restored = unshuffleOutput(asOutput, order);
+    for (std::int64_t i = 0; i < w.numel(); ++i)
+        EXPECT_EQ(restored.flat(i), w.flat(i));
+}
+
+/**
+ * The Fig 9(b)/(c) scenario: two weight tensors with different reorders
+ * multiply the same input; a residual add of the raw (shuffled) outputs is
+ * wrong, but adding the unshuffled outputs matches the reference.
+ */
+TEST(ChannelReorder, ResidualAddCorrectnessAfterUnshuffle)
+{
+    const std::int64_t K = 6, C = 4, N = 3;
+    Rng rng(7);
+
+    FloatTensor w1(Shape{K, C}), w2(Shape{K, C});
+    FloatTensor x(Shape{N, C});
+    for (std::int64_t i = 0; i < w1.numel(); ++i) {
+        w1.flat(i) = static_cast<float>(rng.uniformInt(-5, 5));
+        w2.flat(i) = static_cast<float>(rng.uniformInt(-5, 5));
+    }
+    for (std::int64_t i = 0; i < x.numel(); ++i)
+        x.flat(i) = static_cast<float>(rng.uniformInt(-5, 5));
+
+    auto matmulKxN = [&](const FloatTensor &w) {
+        FloatTensor y(Shape{K, N}); // output channel-major like hardware
+        for (std::int64_t k = 0; k < K; ++k)
+            for (std::int64_t n = 0; n < N; ++n) {
+                float acc = 0.0f;
+                for (std::int64_t c = 0; c < C; ++c)
+                    acc += w.at(k, c) * x.at(n, c);
+                y.at(k, n) = acc;
+            }
+        return y;
+    };
+
+    // Reference residual sum in original channel order.
+    FloatTensor ref1 = matmulKxN(w1), ref2 = matmulKxN(w2);
+
+    // Different sensitivity patterns -> different channel orders.
+    std::vector<bool> sens1 = {true, false, false, true, false, false};
+    std::vector<bool> sens2 = {false, false, true, false, true, true};
+    ChannelOrder o1 = buildChannelOrder(sens1);
+    ChannelOrder o2 = buildChannelOrder(sens2);
+
+    auto reorderW = [&](const FloatTensor &w, const ChannelOrder &o) {
+        FloatTensor out(w.shape());
+        for (std::int64_t p = 0; p < K; ++p)
+            for (std::int64_t c = 0; c < C; ++c)
+                out.at(p, c) =
+                    w.at(o.originalIndex[static_cast<std::size_t>(p)], c);
+        return out;
+    };
+
+    FloatTensor y1 = matmulKxN(reorderW(w1, o1));
+    FloatTensor y2 = matmulKxN(reorderW(w2, o2));
+
+    // Naive SparTen-style same-position add is wrong whenever the two
+    // orders differ.
+    bool naiveWrong = false;
+    FloatTensor naive(Shape{K, N});
+    for (std::int64_t i = 0; i < naive.numel(); ++i)
+        naive.flat(i) = y1.flat(i) + y2.flat(i);
+    for (std::int64_t k = 0; k < K && !naiveWrong; ++k)
+        for (std::int64_t n = 0; n < N && !naiveWrong; ++n)
+            naiveWrong = naive.at(k, n) != ref1.at(k, n) + ref2.at(k, n);
+    EXPECT_TRUE(naiveWrong);
+
+    // BitVert: unshuffle each output on write-back, then add.
+    FloatTensor u1 = unshuffleOutput(y1, o1);
+    FloatTensor u2 = unshuffleOutput(y2, o2);
+    for (std::int64_t k = 0; k < K; ++k)
+        for (std::int64_t n = 0; n < N; ++n)
+            EXPECT_FLOAT_EQ(u1.at(k, n) + u2.at(k, n),
+                            ref1.at(k, n) + ref2.at(k, n));
+}
+
+} // namespace
+} // namespace bbs

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for hardware-aware global binary pruning (paper Algorithm 2).
+ */
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/global_pruning.hpp"
+#include "quant/quantizer.hpp"
+#include "tensor/distribution.hpp"
+
+namespace bbs {
+namespace {
+
+std::vector<PrunableLayer>
+makeModel(std::uint64_t seed, int layers = 3, std::int64_t channels = 256,
+          std::int64_t cs = 128)
+{
+    Rng rng(seed);
+    std::vector<PrunableLayer> model;
+    for (int l = 0; l < layers; ++l) {
+        WeightDistribution dist;
+        dist.outlierChannelFraction = 0.1;
+        FloatTensor w = generateWeights(Shape{channels, cs}, dist, rng);
+        QuantizedTensor q = quantizePerChannel(w, 8);
+        PrunableLayer pl;
+        pl.name = "layer" + std::to_string(l);
+        pl.codes = q.values;
+        pl.scales = q.scales;
+        model.push_back(std::move(pl));
+    }
+    return model;
+}
+
+TEST(GlobalPruning, SensitiveCountIsMultipleOfCh)
+{
+    auto model = makeModel(1);
+    auto sens = selectSensitiveChannels(model, 0.1, 32);
+    for (const auto &layer : sens) {
+        auto count = std::count(layer.begin(), layer.end(), true);
+        EXPECT_EQ(count % 32, 0) << "not a multiple of CH";
+    }
+}
+
+TEST(GlobalPruning, BetaIsALowerBoundOnSensitiveFraction)
+{
+    auto model = makeModel(2);
+    auto sens = selectSensitiveChannels(model, 0.2, 32);
+    std::int64_t total = 0, sensitive = 0;
+    for (const auto &layer : sens) {
+        total += static_cast<std::int64_t>(layer.size());
+        sensitive += std::count(layer.begin(), layer.end(), true);
+    }
+    EXPECT_GE(static_cast<double>(sensitive) /
+                  static_cast<double>(total),
+              0.2 - 1e-9);
+}
+
+TEST(GlobalPruning, SensitiveChannelsHaveHighestScales)
+{
+    auto model = makeModel(3, 1);
+    auto sens = selectSensitiveChannels(model, 0.25, 16);
+    const auto &layer = model[0];
+    float minSensitive = 1e30f;
+    float maxNormal = -1e30f;
+    for (std::size_t k = 0; k < sens[0].size(); ++k) {
+        if (sens[0][k])
+            minSensitive = std::min(minSensitive, layer.scales[k]);
+        else
+            maxNormal = std::max(maxNormal, layer.scales[k]);
+    }
+    EXPECT_GE(minSensitive, maxNormal);
+}
+
+TEST(GlobalPruning, SensitiveChannelsKeptBitExact)
+{
+    auto model = makeModel(4);
+    GlobalPruneConfig cfg = moderateConfig();
+    PrunedModel pm = globalBinaryPrune(model, cfg);
+    ASSERT_EQ(pm.layers.size(), model.size());
+    for (std::size_t l = 0; l < model.size(); ++l) {
+        const auto &orig = model[l].codes;
+        const auto &pruned = pm.layers[l].codes;
+        for (std::int64_t k = 0; k < orig.shape().dim(0); ++k) {
+            if (!pm.layers[l].sensitive[static_cast<std::size_t>(k)])
+                continue;
+            auto a = orig.channel(k);
+            auto b = pruned.channel(k);
+            for (std::size_t i = 0; i < a.size(); ++i)
+                EXPECT_EQ(a[i], b[i]);
+        }
+    }
+}
+
+TEST(GlobalPruning, EffectiveBitsBetweenPrunedAndFullPrecision)
+{
+    auto model = makeModel(5);
+    GlobalPruneConfig cfg = moderateConfig(); // 4 columns -> 4.25 bits
+    PrunedModel pm = globalBinaryPrune(model, cfg);
+    double eff = pm.effectiveBits();
+    EXPECT_GT(eff, 4.25);
+    EXPECT_LT(eff, 8.0);
+    EXPECT_GT(pm.compressionRatio(), 1.0);
+}
+
+TEST(GlobalPruning, ConservativeAndModerateMatchPaperConfigs)
+{
+    GlobalPruneConfig cons = conservativeConfig();
+    EXPECT_DOUBLE_EQ(cons.beta, 0.1);
+    EXPECT_EQ(cons.targetColumns, 2);
+    EXPECT_EQ(cons.strategy, PruneStrategy::RoundedAveraging);
+
+    GlobalPruneConfig mod = moderateConfig();
+    EXPECT_DOUBLE_EQ(mod.beta, 0.2);
+    EXPECT_EQ(mod.targetColumns, 4);
+    EXPECT_EQ(mod.strategy, PruneStrategy::ZeroPointShifting);
+}
+
+TEST(GlobalPruning, ModerateCompressesMoreThanConservative)
+{
+    auto model = makeModel(6);
+    PrunedModel cons = globalBinaryPrune(model, conservativeConfig());
+    PrunedModel mod = globalBinaryPrune(model, moderateConfig());
+    EXPECT_GT(mod.compressionRatio(), cons.compressionRatio());
+    // The paper reports ~1.29x (cons) and ~1.66x (mod) on full models;
+    // require the same ballpark ordering with slack for synthetic data.
+    EXPECT_GT(cons.compressionRatio(), 1.1);
+    EXPECT_GT(mod.compressionRatio(), 1.4);
+}
+
+TEST(GlobalPruning, BetaOneKeepsEverythingLossless)
+{
+    auto model = makeModel(7, 1, 32, 64);
+    GlobalPruneConfig cfg = conservativeConfig();
+    cfg.beta = 1.0;
+    PrunedModel pm = globalBinaryPrune(model, cfg);
+    for (std::int64_t i = 0; i < model[0].codes.numel(); ++i)
+        EXPECT_EQ(pm.layers[0].codes.flat(i), model[0].codes.flat(i));
+    EXPECT_NEAR(pm.effectiveBits(), 8.0, 1e-9);
+}
+
+} // namespace
+} // namespace bbs

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Tests for bit-level binary pruning: rounded column averaging (paper
+ * Fig 4), zero-point shifting (Fig 5 / Algorithm 1) and the BBS encoding.
+ */
+#include <gtest/gtest.h>
+
+#include "common/bit_utils.hpp"
+#include "common/random.hpp"
+#include "core/group_compressor.hpp"
+
+namespace bbs {
+namespace {
+
+std::vector<std::int8_t>
+randomGroup(Rng &rng, std::size_t n)
+{
+    std::vector<std::int8_t> g(n);
+    for (auto &v : g)
+        v = static_cast<std::int8_t>(rng.uniformInt(-128, 127));
+    return g;
+}
+
+double
+groupSseAgainst(std::span<const std::int8_t> group,
+                const std::vector<std::int8_t> &rec)
+{
+    double sse = 0.0;
+    for (std::size_t i = 0; i < group.size(); ++i) {
+        double d = static_cast<double>(rec[i]) -
+                   static_cast<double>(group[i]);
+        sse += d * d;
+    }
+    return sse;
+}
+
+TEST(RoundedAveraging, ReproducesPaperFig4)
+{
+    // Fig 4: group {-11, 20, -57, 13}, 4 sparse columns total:
+    // 1 redundant column + 3 averaged low columns, constant 5, and the
+    // compressed values decode to {-11, 21, -59, 13}.
+    std::vector<std::int8_t> group = {-11, 20, -57, 13};
+    CompressedGroup cg = compressGroupRoundedAveraging(group, 4);
+    EXPECT_EQ(cg.meta.numRedundantColumns, 1);
+    EXPECT_EQ(cg.prunedColumns, 3);
+    EXPECT_EQ(cg.storedBits, 4);
+    EXPECT_EQ(cg.meta.constant, 5);
+
+    std::vector<std::int8_t> rec = cg.decompress();
+    EXPECT_EQ(rec[0], -11);
+    EXPECT_EQ(rec[1], 21);
+    EXPECT_EQ(rec[2], -59);
+    EXPECT_EQ(rec[3], 13);
+}
+
+TEST(ZeroPointShifting, MatchesPaperFig5Quality)
+{
+    // Fig 5: group {-7, 1, -20, 81}, 4 sparse columns via zero-point
+    // shifting. The paper's example uses shift -14 giving values
+    // {-2, -2, -18, 78}; the optimal search must do at least as well.
+    std::vector<std::int8_t> group = {-7, 1, -20, 81};
+    std::vector<std::int8_t> paperResult = {-2, -2, -18, 78};
+    double paperSse = groupSseAgainst(group, paperResult);
+
+    CompressedGroup cg = compressGroupZeroPointShifting(group, 4);
+    std::vector<std::int8_t> rec = cg.decompress();
+    EXPECT_LE(groupSseAgainst(group, rec), paperSse + 1e-9);
+    EXPECT_EQ(cg.storedBits, 4);
+    EXPECT_EQ(cg.meta.numRedundantColumns + cg.prunedColumns, 4);
+}
+
+TEST(Metadata, PackUnpackRoundTrip)
+{
+    for (int r = 0; r <= 3; ++r) {
+        for (std::int32_t c = 0; c < 64; ++c) {
+            GroupMetadata m{r, c};
+            GroupMetadata back = GroupMetadata::unpack(
+                m.pack(PruneStrategy::RoundedAveraging),
+                PruneStrategy::RoundedAveraging);
+            EXPECT_EQ(back.numRedundantColumns, r);
+            EXPECT_EQ(back.constant, c);
+        }
+        for (std::int32_t c = -32; c < 32; ++c) {
+            GroupMetadata m{r, c};
+            GroupMetadata back = GroupMetadata::unpack(
+                m.pack(PruneStrategy::ZeroPointShifting),
+                PruneStrategy::ZeroPointShifting);
+            EXPECT_EQ(back.numRedundantColumns, r);
+            EXPECT_EQ(back.constant, c);
+        }
+    }
+}
+
+struct CompressorParam
+{
+    PruneStrategy strategy;
+    int targetColumns;
+    std::size_t groupSize;
+};
+
+class CompressorProperty
+    : public ::testing::TestWithParam<CompressorParam>
+{
+};
+
+TEST_P(CompressorProperty, DecompressionIsConsistentAndEncodable)
+{
+    auto [strategy, target, n] = GetParam();
+    Rng rng(0xabc + target + n);
+    for (int iter = 0; iter < 200; ++iter) {
+        std::vector<std::int8_t> group = randomGroup(rng, n);
+        CompressedGroup cg = compressGroup(group, target, strategy);
+
+        // Invariant: pruned + redundant = target; storedBits consistent.
+        EXPECT_EQ(cg.meta.numRedundantColumns + cg.prunedColumns, target);
+        EXPECT_EQ(cg.storedBits, kWeightBits - target);
+        EXPECT_LE(cg.meta.numRedundantColumns, kMaxRedundantColumns);
+
+        // Stored values fit in storedBits.
+        for (std::int8_t s : cg.stored) {
+            EXPECT_GE(s, -(1 << (cg.storedBits - 1)));
+            EXPECT_LE(s, (1 << (cg.storedBits - 1)) - 1);
+        }
+
+        // Metadata survives the 8-bit encoding.
+        GroupMetadata back =
+            GroupMetadata::unpack(cg.meta.pack(strategy), strategy);
+        EXPECT_EQ(back.numRedundantColumns, cg.meta.numRedundantColumns);
+        EXPECT_EQ(back.constant, cg.meta.constant);
+
+        // Decompression stays in INT8 and is idempotent: re-compressing
+        // the reconstruction must be lossless.
+        std::vector<std::int8_t> rec = cg.decompress();
+        ASSERT_EQ(rec.size(), group.size());
+        CompressedGroup cg2 = compressGroup(rec, target, strategy);
+        std::vector<std::int8_t> rec2 = cg2.decompress();
+        EXPECT_EQ(rec2, rec);
+
+        // Error bound: each weight moves at most the span of the pruned
+        // low columns plus clipping slack at the extremes.
+        double sse = groupSseAgainst(group, rec);
+        double maxPerWeight = (1 << target) * (1 << target);
+        EXPECT_LE(sse, maxPerWeight * static_cast<double>(n) * 4.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StrategiesAndTargets, CompressorProperty,
+    ::testing::Values(
+        CompressorParam{PruneStrategy::RoundedAveraging, 0, 32},
+        CompressorParam{PruneStrategy::RoundedAveraging, 2, 32},
+        CompressorParam{PruneStrategy::RoundedAveraging, 4, 32},
+        CompressorParam{PruneStrategy::RoundedAveraging, 6, 32},
+        CompressorParam{PruneStrategy::RoundedAveraging, 2, 16},
+        CompressorParam{PruneStrategy::RoundedAveraging, 3, 7},
+        CompressorParam{PruneStrategy::ZeroPointShifting, 0, 32},
+        CompressorParam{PruneStrategy::ZeroPointShifting, 2, 32},
+        CompressorParam{PruneStrategy::ZeroPointShifting, 4, 32},
+        CompressorParam{PruneStrategy::ZeroPointShifting, 6, 32},
+        CompressorParam{PruneStrategy::ZeroPointShifting, 4, 16},
+        CompressorParam{PruneStrategy::ZeroPointShifting, 3, 7}));
+
+TEST(ZeroPointShifting, NeverWorseThanPlainTruncation)
+{
+    // Shift 0 (constant 0) with plain low-column zeroing is inside the
+    // search space, so the optimum can never lose to it.
+    Rng rng(77);
+    for (int iter = 0; iter < 100; ++iter) {
+        std::vector<std::int8_t> group = randomGroup(rng, 32);
+        int target = 4;
+        CompressedGroup cg = compressGroupZeroPointShifting(group, target);
+
+        // Plain truncation baseline.
+        double truncSse = 0.0;
+        for (std::int8_t w : group) {
+            std::int32_t t = (static_cast<std::int32_t>(w) >> target)
+                             << target;
+            truncSse += static_cast<double>(w - t) *
+                        static_cast<double>(w - t);
+        }
+        EXPECT_LE(groupSse(group, cg), truncSse + 1e-9);
+    }
+}
+
+TEST(ZeroPointShifting, BeatsRoundedAveragingAtEagerCompression)
+{
+    // The paper's Fig 6 claim: for 4 pruned columns, zero-point shifting
+    // achieves lower error than rounded averaging on realistic groups.
+    Rng rng(99);
+    double sseZp = 0.0, sseRa = 0.0;
+    for (int iter = 0; iter < 300; ++iter) {
+        std::vector<std::int8_t> group(32);
+        for (auto &v : group)
+            v = static_cast<std::int8_t>(
+                clampToBits(static_cast<std::int32_t>(
+                    std::lround(rng.gaussian(0.0, 25.0))), 8));
+        sseZp += groupSse(group, compressGroupZeroPointShifting(group, 4));
+        sseRa += groupSse(group, compressGroupRoundedAveraging(group, 4));
+    }
+    EXPECT_LT(sseZp, sseRa);
+}
+
+TEST(RoundedAveraging, ConstantIsRoundedMeanOfLowBits)
+{
+    std::vector<std::int8_t> group = {7, 6, 5, 4}; // low 2 bits: 3,2,1,0
+    CompressedGroup cg = compressGroupRoundedAveraging(group, 2);
+    // No redundant pruning is possible against 2-bit target? Small values
+    // have 3 redundant columns, capped by the target to 2 -> k = 0.
+    // Force averaging with a large member instead.
+    std::vector<std::int8_t> g2 = {127, 126, 125, 124};
+    CompressedGroup cg2 = compressGroupRoundedAveraging(g2, 2);
+    EXPECT_EQ(cg2.meta.numRedundantColumns, 0);
+    EXPECT_EQ(cg2.prunedColumns, 2);
+    // Low bits 3,2,1,0 -> mean 1.5 -> rounds to 2.
+    EXPECT_EQ(cg2.meta.constant, 2);
+    (void)cg;
+}
+
+TEST(Compressor, TargetZeroIsLossless)
+{
+    Rng rng(5);
+    for (int iter = 0; iter < 50; ++iter) {
+        std::vector<std::int8_t> group = randomGroup(rng, 32);
+        for (auto strategy : {PruneStrategy::RoundedAveraging,
+                              PruneStrategy::ZeroPointShifting}) {
+            CompressedGroup cg = compressGroup(group, 0, strategy);
+            std::vector<std::int8_t> rec = cg.decompress();
+            for (std::size_t i = 0; i < group.size(); ++i)
+                EXPECT_EQ(rec[i], group[i]);
+        }
+    }
+}
+
+TEST(Compressor, StorageBitsAccounting)
+{
+    std::vector<std::int8_t> group(32, 1);
+    CompressedGroup cg = compressGroupRoundedAveraging(group, 4);
+    // 32 weights x 4 stored bits + 8 metadata bits.
+    EXPECT_EQ(cg.storageBits(), 32 * 4 + 8);
+}
+
+} // namespace
+} // namespace bbs

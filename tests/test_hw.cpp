@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the analytical gate/PE area-power model (Tables IV-VI).
+ */
+#include <gtest/gtest.h>
+
+#include "hw/gates.hpp"
+#include "hw/pe_model.hpp"
+
+namespace bbs {
+namespace {
+
+TEST(Gates, CostsScaleWithSize)
+{
+    EXPECT_GT(adder(16).ge, adder(8).ge);
+    EXPECT_GT(subtractor(8).ge, adder(8).ge);
+    EXPECT_GT(mux(16, 8).ge, mux(5, 8).ge);
+    EXPECT_GT(mux(8, 16).ge, mux(8, 8).ge);
+    EXPECT_GT(multiplier(8, 8).ge, multiplier(4, 8).ge);
+    EXPECT_GT(variableShifter(16, 16).ge, variableShifter(16, 4).ge);
+    EXPECT_EQ(mux(1, 8).ge, 0.0);
+}
+
+TEST(Gates, AdderTreeSumsLevels)
+{
+    // 8-leaf tree: 4 + 2 + 1 adders of widths 8, 9, 10.
+    HwCost tree = adderTree(8, 8);
+    HwCost manual = adder(8) * 4.0 + adder(9) * 2.0 + adder(10);
+    EXPECT_DOUBLE_EQ(tree.ge, manual.ge);
+}
+
+TEST(Gates, AreaPowerConversion)
+{
+    HwCost c{100.0, 50.0};
+    EXPECT_DOUBLE_EQ(c.areaUm2(), 100.0 * kAreaPerGe);
+    EXPECT_DOUBLE_EQ(c.powerMw(), 50.0 * kPowerPerGe);
+}
+
+TEST(PeModel, StripesIsTheLeanestBitSerialPe)
+{
+    double stripes = stripesPe().totalArea();
+    EXPECT_LT(stripes, pragmaticPe().totalArea());
+    EXPECT_LT(stripes, bitletPe().totalArea());
+    EXPECT_LT(stripes, bitwavePe().totalArea());
+    EXPECT_LT(stripes, bitvertPe().totalArea());
+}
+
+TEST(PeModel, BitletMuxOverheadDominates)
+{
+    // Table V: Bitlet is by far the largest PE, with "others" (muxes)
+    // dominating its area.
+    PeCost bitlet = bitletPe();
+    EXPECT_GT(bitlet.totalArea(), pragmaticPe().totalArea());
+    EXPECT_GT(bitlet.totalArea(), bitvertPe().totalArea());
+    EXPECT_GT(bitlet.othersArea, bitlet.multiplierArea);
+}
+
+TEST(PeModel, PaperTable5Orderings)
+{
+    // Area ordering: Stripes < BitWave < BitVert < Pragmatic < Bitlet.
+    double s = stripesPe().totalArea();
+    double w = bitwavePe().totalArea();
+    double v = bitvertPe().totalArea();
+    double p = pragmaticPe().totalArea();
+    double b = bitletPe().totalArea();
+    EXPECT_LT(s, w);
+    EXPECT_LT(w, v);
+    EXPECT_LT(v, p);
+    EXPECT_LT(p, b);
+    // BitVert power is below Pragmatic/Bitlet/BitWave (Table V).
+    EXPECT_LT(bitvertPe().powerMw, pragmaticPe().powerMw);
+    EXPECT_LT(bitvertPe().powerMw, bitletPe().powerMw);
+    EXPECT_LT(bitvertPe().powerMw, bitwavePe().powerMw);
+}
+
+TEST(PeModel, OptimizationShrinksEverySubGroupSize)
+{
+    for (int sg : {4, 8, 16}) {
+        PeCost base = bitvertPe(sg, false);
+        PeCost opt = bitvertPe(sg, true);
+        EXPECT_LT(opt.totalArea(), base.totalArea()) << "sg=" << sg;
+        EXPECT_LE(opt.powerMw, base.powerMw) << "sg=" << sg;
+    }
+}
+
+TEST(PeModel, SubGroup8IsTheSweetSpot)
+{
+    // Table IV: sub-group 16 unoptimized is much larger; optimized 8 has
+    // the best area x power.
+    PeCost sg16 = bitvertPe(16, true);
+    PeCost sg8 = bitvertPe(8, true);
+    EXPECT_LT(sg8.totalArea(), sg16.totalArea());
+
+    double edp8 = sg8.totalArea() * sg8.powerMw;
+    double edp16 = bitvertPe(16, true).totalArea() *
+                   bitvertPe(16, true).powerMw;
+    double edp4 = bitvertPe(4, true).totalArea() *
+                  bitvertPe(4, true).powerMw;
+    EXPECT_LE(edp8, edp16);
+    EXPECT_LE(edp8, edp4 * 1.05); // allow a hair of slack vs sg4
+}
+
+TEST(PeModel, OlivePeIsSmallButSlowPerMultiply)
+{
+    // Table VI: Olive's PE is smaller than BitVert's but computes only one
+    // multiplication per cycle; BitVert wins performance per area.
+    PeCost olive = olivePe();
+    PeCost bv = bitvertPe();
+    EXPECT_LT(olive.totalArea(), bv.totalArea());
+    // Perf: BitVert computes 16 MACs in 4 cycles (moderate pruning) = 4
+    // MACs/cycle vs Olive's 1.
+    double perfPerAreaRatio =
+        (4.0 / bv.totalArea()) / (1.0 / olive.totalArea());
+    EXPECT_GT(perfPerAreaRatio, 1.0);
+}
+
+} // namespace
+} // namespace bbs

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * End-to-end integration tests: materialize -> prune -> simulate across
+ * the full accelerator lineup, and the cross-module claims the paper's
+ * headline numbers rest on.
+ */
+#include <gtest/gtest.h>
+
+#include "accel/factory.hpp"
+#include "core/bbs.hpp"
+#include "metrics/kl_divergence.hpp"
+#include "models/model_zoo.hpp"
+#include "models/workload.hpp"
+#include "quant/quantizer.hpp"
+#include "sim/prepared_model.hpp"
+
+namespace bbs {
+namespace {
+
+TEST(Integration, ResNet34EndToEndPipeline)
+{
+    MaterializeOptions opts;
+    opts.maxWeightsPerLayer = 60000;
+    MaterializedModel mm = materializeModel(buildResNet34(), opts);
+
+    // Inherent sparsity has the Fig 3 shape.
+    double bbsTotal = 0.0, twosTotal = 0.0;
+    std::int64_t n = 0;
+    for (const auto &l : mm.layers) {
+        bbsTotal += bbsSparsity(l.weights.values, 8) *
+                    static_cast<double>(l.weights.values.numel());
+        twosTotal += bitSparsityTwosComplement(l.weights.values) *
+                     static_cast<double>(l.weights.values.numel());
+        n += l.weights.values.numel();
+    }
+    EXPECT_GE(bbsTotal / n, 0.5);
+    EXPECT_GT(bbsTotal / n, twosTotal / n);
+
+    // Global pruning compresses and keeps KL small. (The channel-sampled
+    // layers inflate the CH-rounded sensitive fraction relative to the
+    // full model, so the ratio bound here is looser than the paper's
+    // full-model 1.66x.)
+    GlobalPruneConfig mod = moderateConfig();
+    PrunedModel pruned = globalBinaryPrune(mm.toPrunableLayers(), mod);
+    EXPECT_GT(pruned.compressionRatio(), 1.25);
+    for (std::size_t i = 0; i < mm.layers.size(); ++i) {
+        double kl = klDivergence(mm.layers[i].weights.values,
+                                 pruned.layers[i].codes);
+        EXPECT_LT(kl, 0.1) << mm.layers[i].desc.name;
+    }
+
+    // Whole-lineup simulation: BitVert (mod) is the fastest bit-serial
+    // design, and everything beats nothing.
+    PreparedModel pm = prepareModel(mm, &mod);
+    SimConfig cfg;
+    double stripes = 0.0, bitvertMod = 0.0;
+    for (auto &acc : evaluationLineup()) {
+        ModelSim ms = acc->simulateModel(pm, cfg);
+        EXPECT_GT(ms.totalCycles(), 0.0) << acc->name();
+        if (acc->name() == "Stripes")
+            stripes = ms.totalCycles();
+        if (acc->name() == "BitVert (mod)")
+            bitvertMod = ms.totalCycles();
+    }
+    double speedup = stripes / bitvertMod;
+    // The paper reports 1.83x-3.03x across models; require the right
+    // ballpark on the sampled ResNet-34.
+    EXPECT_GT(speedup, 1.5);
+    EXPECT_LT(speedup, 5.0);
+}
+
+TEST(Integration, KlOrderingAcrossCompressionSchemes)
+{
+    // Fig 6's ordering at 4 pruned columns: zero-point shifting < rounded
+    // averaging < sign-magnitude zero-column pruning (KL, lower=better),
+    // evaluated on a full synthetic ViT-Base layer.
+    MaterializeOptions opts;
+    opts.maxWeightsPerLayer = 300000;
+    MaterializedModel vit = materializeModel(buildViTBase(), opts);
+    const Int8Tensor &codes = vit.layers[2].weights.values; // a qkv layer
+
+    Int8Tensor zp = binaryPruneTensor(codes, 32, 4,
+                                      PruneStrategy::ZeroPointShifting);
+    Int8Tensor ra = binaryPruneTensor(codes, 32, 4,
+                                      PruneStrategy::RoundedAveraging);
+    double klZp = klDivergence(codes, zp);
+    double klRa = klDivergence(codes, ra);
+    EXPECT_LT(klZp, klRa);
+
+    // At 2 columns both strategies must stay low-distortion. (On real
+    // DNN weights the paper's Fig 6 shows rounded averaging winning at 2
+    // columns because within-group low bits are similar; i.i.d. synthetic
+    // weights lack that similarity, so here zero-point shifting — whose
+    // search mathematically dominates floor-rounding — wins at both
+    // operating points. See EXPERIMENTS.md, "Known deviations".)
+    Int8Tensor zp2 = binaryPruneTensor(codes, 32, 2,
+                                       PruneStrategy::ZeroPointShifting);
+    Int8Tensor ra2 = binaryPruneTensor(codes, 32, 2,
+                                       PruneStrategy::RoundedAveraging);
+    EXPECT_LT(klDivergence(codes, zp2), klDivergence(codes, zp) + 1e-9);
+    EXPECT_LT(klDivergence(codes, ra2), klDivergence(codes, ra) + 1e-9);
+}
+
+TEST(Integration, EnergyOrderingMatchesPaperHeadline)
+{
+    // Fig 13: SparTen worst, BitVert (mod) best.
+    MaterializeOptions opts;
+    opts.maxWeightsPerLayer = 60000;
+    MaterializedModel mm = materializeModel(buildBertMrpc(), opts);
+    GlobalPruneConfig mod = moderateConfig();
+    PreparedModel pm = prepareModel(mm, &mod);
+    SimConfig cfg;
+
+    double sparten = 0.0, bitvertMod = 0.0;
+    for (auto &acc : evaluationLineup()) {
+        ModelSim ms = acc->simulateModel(pm, cfg);
+        if (acc->name() == "SparTen")
+            sparten = ms.totalEnergyPj();
+        if (acc->name() == "BitVert (mod)")
+            bitvertMod = ms.totalEnergyPj();
+    }
+    EXPECT_GT(sparten / bitvertMod, 1.5);
+}
+
+TEST(Integration, CompressionThroughputIsPractical)
+{
+    // §III-B: compressing a layer takes milliseconds-to-seconds. Verify a
+    // 1M-weight layer compresses with zero-point shifting in < 30 s even
+    // in debug-ish builds (it should be far faster).
+    MaterializeOptions opts;
+    opts.maxWeightsPerLayer = 1000000;
+    ModelDesc desc;
+    desc.name = "one-layer";
+    LayerDesc l;
+    l.name = "big";
+    l.kind = LayerKind::Linear;
+    l.weightShape = Shape{512, 2048};
+    l.outputPositions = 1;
+    desc.layers = {l};
+    MaterializedModel mm = materializeModel(desc, opts);
+
+    auto t0 = std::chrono::steady_clock::now();
+    CompressedTensor ct = CompressedTensor::compress(
+        mm.layers[0].weights.values, 32, 4,
+        PruneStrategy::ZeroPointShifting);
+    auto t1 = std::chrono::steady_clock::now();
+    double seconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    EXPECT_LT(seconds, 30.0);
+    EXPECT_NEAR(ct.effectiveBitsPerWeight(), 4.25, 1e-9);
+}
+
+} // namespace
+} // namespace bbs

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for histograms, KL divergence and error metrics.
+ */
+#include <gtest/gtest.h>
+
+#include "metrics/error.hpp"
+#include "metrics/histogram.hpp"
+#include "metrics/kl_divergence.hpp"
+
+namespace bbs {
+namespace {
+
+TEST(Histogram, CountsAndLevels)
+{
+    Histogram h(-4, 3);
+    h.add(0);
+    h.add(0);
+    h.add(-4);
+    h.add(3);
+    EXPECT_EQ(h.total(), 4);
+    EXPECT_EQ(h.count(0), 2);
+    EXPECT_EQ(h.count(2), 0);
+    EXPECT_EQ(h.levelsUsed(), 3);
+    EXPECT_DOUBLE_EQ(h.probability(0), 0.5);
+}
+
+TEST(KlDivergence, ZeroForIdenticalDistributions)
+{
+    Histogram p(-2, 2), q(-2, 2);
+    for (int i = 0; i < 100; ++i) {
+        p.add(i % 5 - 2);
+        q.add(i % 5 - 2);
+    }
+    EXPECT_NEAR(klDivergence(p, q), 0.0, 1e-9);
+}
+
+TEST(KlDivergence, NonNegativeAndAsymmetric)
+{
+    Histogram p(-2, 2), q(-2, 2);
+    for (int i = 0; i < 90; ++i)
+        p.add(0);
+    for (int i = 0; i < 10; ++i)
+        p.add(1);
+    for (int i = 0; i < 50; ++i)
+        q.add(0);
+    for (int i = 0; i < 50; ++i)
+        q.add(1);
+    double pq = klDivergence(p, q);
+    double qp = klDivergence(q, p);
+    EXPECT_GT(pq, 0.0);
+    EXPECT_GT(qp, 0.0);
+    EXPECT_NE(pq, qp);
+}
+
+TEST(KlDivergence, LostQuantizationLevelsArePenalized)
+{
+    // q1 keeps all of p's levels; q2 collapses half of them. The paper's
+    // core argument (Fig 1): level-destroying compression has much higher
+    // KL than level-preserving compression.
+    Int8Tensor p(Shape{256});
+    Int8Tensor qKeep(Shape{256});
+    Int8Tensor qCollapse(Shape{256});
+    for (std::int64_t i = 0; i < 256; ++i) {
+        auto v = static_cast<std::int8_t>(i - 128);
+        p.flat(i) = v;
+        qKeep.flat(i) = v;
+        qCollapse.flat(i) = static_cast<std::int8_t>((v / 2) * 2);
+    }
+    double klKeep = klDivergence(p, qKeep);
+    double klCollapse = klDivergence(p, qCollapse);
+    EXPECT_LT(klKeep, 1e-9);
+    EXPECT_GT(klCollapse, 100.0 * (klKeep + 1e-12));
+}
+
+TEST(ErrorMetrics, MseBasics)
+{
+    Int8Tensor a(Shape{4}), b(Shape{4});
+    for (std::int64_t i = 0; i < 4; ++i) {
+        a.flat(i) = static_cast<std::int8_t>(i);
+        b.flat(i) = static_cast<std::int8_t>(i + 2);
+    }
+    EXPECT_DOUBLE_EQ(mse(a, b), 4.0);
+    EXPECT_DOUBLE_EQ(maxAbsError(a, b), 2.0);
+    EXPECT_DOUBLE_EQ(mse(a, a), 0.0);
+}
+
+TEST(ErrorMetrics, CosineSimilarity)
+{
+    FloatTensor a(Shape{3}), b(Shape{3}), c(Shape{3});
+    a.flat(0) = 1.0f;
+    b.flat(0) = 2.0f; // same direction
+    c.flat(1) = 1.0f; // orthogonal
+    EXPECT_NEAR(cosineSimilarity(a, b), 1.0, 1e-6);
+    EXPECT_NEAR(cosineSimilarity(a, c), 0.0, 1e-6);
+}
+
+} // namespace
+} // namespace bbs

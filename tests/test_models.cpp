@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the model zoo (layer shapes must aggregate to the published
+ * parameter counts) and workload materialization.
+ */
+#include <gtest/gtest.h>
+
+#include "models/model_zoo.hpp"
+#include "models/workload.hpp"
+
+namespace bbs {
+namespace {
+
+double
+millions(std::int64_t n)
+{
+    return static_cast<double>(n) / 1e6;
+}
+
+TEST(ModelZoo, Vgg16WeightCountMatchesPublished)
+{
+    // VGG-16 has ~138.3M weights (conv + fc, biases excluded).
+    EXPECT_NEAR(millions(buildVgg16().totalWeights()), 138.3, 2.0);
+}
+
+TEST(ModelZoo, ResNet34WeightCountMatchesPublished)
+{
+    EXPECT_NEAR(millions(buildResNet34().totalWeights()), 21.8, 1.0);
+}
+
+TEST(ModelZoo, ResNet50WeightCountMatchesPublished)
+{
+    EXPECT_NEAR(millions(buildResNet50().totalWeights()), 25.5, 1.5);
+}
+
+TEST(ModelZoo, ViTWeightCountsMatchPublished)
+{
+    // Encoder + patch embed + head (no class token / position embeddings).
+    EXPECT_NEAR(millions(buildViTSmall().totalWeights()), 21.7, 1.5);
+    EXPECT_NEAR(millions(buildViTBase().totalWeights()), 85.8, 4.0);
+}
+
+TEST(ModelZoo, BertEncoderWeightCountMatchesPublished)
+{
+    // 12 encoder blocks of BERT-base: ~85M weights (embeddings excluded).
+    EXPECT_NEAR(millions(buildBertMrpc().totalWeights()), 85.6, 3.0);
+}
+
+TEST(ModelZoo, LlamaWeightCountMatchesPublished)
+{
+    // Llama-3-8B decoder blocks: ~7.0B (embeddings/head excluded).
+    EXPECT_NEAR(millions(buildLlama3_8B().totalWeights()) / 1000.0, 6.98,
+                0.3);
+}
+
+TEST(ModelZoo, BenchmarkLineupMatchesPaperTable1)
+{
+    auto models = benchmarkModels();
+    ASSERT_EQ(models.size(), 7u);
+    EXPECT_EQ(models[0].name, "VGG-16");
+    EXPECT_EQ(models[6].name, "Bert-SST2");
+    for (const auto &m : models) {
+        EXPECT_GT(m.fp32Accuracy, 70.0);
+        EXPECT_GT(m.totalMacs(), 0);
+    }
+}
+
+TEST(ModelZoo, MacsAreWeightTimesPositions)
+{
+    LayerDesc l;
+    l.kind = LayerKind::Conv;
+    l.weightShape = Shape{64, 3, 3, 3};
+    l.outputPositions = 224 * 224;
+    EXPECT_EQ(l.macs(), 64 * 3 * 3 * 3 * 224 * 224);
+}
+
+TEST(Workload, MaterializationIsDeterministic)
+{
+    ModelDesc m = buildResNet34();
+    MaterializeOptions opts;
+    opts.maxWeightsPerLayer = 50000;
+    MaterializedModel a = materializeModel(m, opts);
+    MaterializedModel b = materializeModel(m, opts);
+    ASSERT_EQ(a.layers.size(), b.layers.size());
+    for (std::size_t i = 0; i < a.layers.size(); ++i) {
+        const auto &ta = a.layers[i].weights.values;
+        const auto &tb = b.layers[i].weights.values;
+        ASSERT_EQ(ta.numel(), tb.numel());
+        for (std::int64_t j = 0; j < ta.numel(); ++j)
+            EXPECT_EQ(ta.flat(j), tb.flat(j));
+    }
+}
+
+TEST(Workload, ChannelCapKeepsWholeChannels)
+{
+    ModelDesc m = buildVgg16();
+    MaterializeOptions opts;
+    opts.maxWeightsPerLayer = 100000;
+    MaterializedModel mm = materializeModel(m, opts);
+    for (const auto &l : mm.layers) {
+        EXPECT_LE(l.weights.values.numel(),
+                  opts.maxWeightsPerLayer +
+                      l.desc.weightShape.channelSize());
+        // Channel size preserved (whole channels kept).
+        EXPECT_EQ(l.weights.values.shape().channelSize(),
+                  l.desc.weightShape.channelSize());
+    }
+}
+
+TEST(Workload, ScalesArePerChannel)
+{
+    ModelDesc m = buildResNet50();
+    MaterializeOptions opts;
+    opts.maxWeightsPerLayer = 30000;
+    MaterializedModel mm = materializeModel(m, opts);
+    for (const auto &l : mm.layers)
+        EXPECT_EQ(static_cast<std::int64_t>(l.weights.scales.size()),
+                  l.weights.values.shape().dim(0));
+}
+
+TEST(ModelZoo, LookupByName)
+{
+    EXPECT_EQ(modelByName("ResNet-50").name, "ResNet-50");
+    EXPECT_EQ(modelByName("Llama-3-8B").layers.size(), 7u);
+}
+
+} // namespace
+} // namespace bbs

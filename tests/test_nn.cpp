@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Tests for the NN substrate: gradient checks, training convergence, and
+ * the compression-accuracy pipeline.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.hpp"
+#include "nn/compress_net.hpp"
+#include "nn/dataset.hpp"
+#include "nn/evaluate.hpp"
+#include "nn/network.hpp"
+
+namespace bbs {
+namespace {
+
+TEST(Activations, GradientsMatchFiniteDifferences)
+{
+    const float eps = 1e-3f;
+    for (float x : {-2.0f, -0.5f, 0.3f, 1.7f}) {
+        float numGelu = (gelu(x + eps) - gelu(x - eps)) / (2 * eps);
+        EXPECT_NEAR(geluGrad(x), numGelu, 1e-2);
+        if (std::abs(x) > 2 * eps) {
+            float numRelu = (relu(x + eps) - relu(x - eps)) / (2 * eps);
+            EXPECT_NEAR(reluGrad(x), numRelu, 1e-4);
+        }
+    }
+}
+
+TEST(Dense, GradientCheck)
+{
+    Rng rng(2);
+    Dense dense(3, 2, rng);
+    Batch x(Shape{2, 3});
+    for (std::int64_t i = 0; i < x.numel(); ++i)
+        x.flat(i) = static_cast<float>(rng.gaussian(0.0, 1.0));
+
+    // Loss = sum of outputs; analytic dX = column sums of W.
+    Batch y = dense.forward(x, /*train=*/true);
+    Batch gradOut(y.shape());
+    for (std::int64_t i = 0; i < gradOut.numel(); ++i)
+        gradOut.flat(i) = 1.0f;
+    Batch gradIn = dense.backward(gradOut);
+
+    const float eps = 1e-3f;
+    for (std::int64_t i = 0; i < 2; ++i) {
+        for (std::int64_t j = 0; j < 3; ++j) {
+            Batch xp = x, xm = x;
+            xp.at(i, j) += eps;
+            xm.at(i, j) -= eps;
+            double lp = 0.0, lm = 0.0;
+            Batch yp = dense.forward(xp, false);
+            Batch ym = dense.forward(xm, false);
+            for (std::int64_t k = 0; k < yp.numel(); ++k) {
+                lp += yp.flat(k);
+                lm += ym.flat(k);
+            }
+            double numeric = (lp - lm) / (2 * eps);
+            EXPECT_NEAR(gradIn.at(i, j), numeric, 1e-2);
+        }
+    }
+}
+
+TEST(Conv2d, ForwardMatchesDirectConvolution)
+{
+    Rng rng(3);
+    Conv2d conv(1, 1, 3, 5, 1, rng);
+    Batch x(Shape{1, 25});
+    for (std::int64_t i = 0; i < 25; ++i)
+        x.flat(i) = static_cast<float>(i % 4 - 1);
+    Batch y = conv.forward(x, false);
+    ASSERT_EQ(y.shape().dim(1), 25); // 5x5 out with padding 1
+
+    // Direct check of one interior output position (2, 2).
+    const FloatTensor &w = *conv.weights();
+    float expected = 0.0f;
+    for (int ky = 0; ky < 3; ++ky)
+        for (int kx = 0; kx < 3; ++kx)
+            expected += w.at(0, 0, ky, kx) *
+                        x.flat((2 + ky - 1) * 5 + (2 + kx - 1));
+    EXPECT_NEAR(y.flat(2 * 5 + 2), expected, 1e-5);
+}
+
+TEST(Network, TrainingReducesLossOnClusters)
+{
+    Dataset ds = makeClusterDataset(80, 4, 16, 42);
+    Rng rng(7);
+    Network net;
+    net.add(std::make_unique<Dense>(ds.features, 32, rng));
+    net.add(std::make_unique<ReluLayer>());
+    net.add(std::make_unique<Dense>(32, ds.numClasses, rng));
+
+    double first = net.evalLoss(ds.trainX, ds.trainY);
+    TrainOptions opts;
+    opts.epochs = 10;
+    trainNetwork(net, ds.trainX, ds.trainY, opts);
+    double last = net.evalLoss(ds.trainX, ds.trainY);
+    EXPECT_LT(last, first * 0.7);
+}
+
+TEST(Network, BeatsChanceOnHeldOutData)
+{
+    Dataset ds = makeClusterDataset(150, 4, 16, 43);
+    Rng rng(9);
+    Network net;
+    net.add(std::make_unique<Dense>(ds.features, 48, rng));
+    net.add(std::make_unique<ReluLayer>());
+    net.add(std::make_unique<Dense>(48, ds.numClasses, rng));
+    TrainOptions opts;
+    opts.epochs = 15;
+    trainNetwork(net, ds.trainX, ds.trainY, opts);
+    EXPECT_GT(accuracyPercent(net, ds.testX, ds.testY), 60.0);
+}
+
+TEST(Dataset, ShapesAndDeterminism)
+{
+    Dataset a = makeClusterDataset(50, 3, 8, 1);
+    Dataset b = makeClusterDataset(50, 3, 8, 1);
+    EXPECT_EQ(a.trainX.numel(), b.trainX.numel());
+    for (std::int64_t i = 0; i < a.trainX.numel(); ++i)
+        EXPECT_EQ(a.trainX.flat(i), b.trainX.flat(i));
+    EXPECT_EQ(a.trainY.size() + a.testY.size(), 150u);
+}
+
+TEST(Dataset, MarkovTextIsLearnable)
+{
+    TextDataset ds = makeMarkovTextDataset(4000, 1000, 8, 3, 5);
+    EXPECT_EQ(ds.trainX.shape().dim(1), 24);
+    Rng rng(5);
+    Network lm;
+    lm.add(std::make_unique<Dense>(24, 32, rng));
+    lm.add(std::make_unique<ReluLayer>());
+    lm.add(std::make_unique<Dense>(32, 8, rng));
+    double before = perplexity(lm, ds.testX, ds.testY);
+    TrainOptions opts;
+    opts.epochs = 8;
+    trainNetwork(lm, ds.trainX, ds.trainY, opts);
+    double after = perplexity(lm, ds.testX, ds.testY);
+    // Markov text with skewed transitions: well below uniform (8).
+    EXPECT_LT(after, before);
+    EXPECT_LT(after, 7.0);
+}
+
+class CompressionAccuracy : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ds_ = makeClusterDataset(120, 4, 16, 77);
+        Rng rng(21);
+        net_.add(std::make_unique<Dense>(ds_.features, 64, rng));
+        net_.add(std::make_unique<ReluLayer>());
+        net_.add(std::make_unique<Dense>(64, 32, rng));
+        net_.add(std::make_unique<ReluLayer>());
+        net_.add(std::make_unique<Dense>(32, ds_.numClasses, rng));
+        TrainOptions opts;
+        opts.epochs = 15;
+        trainNetwork(net_, ds_.trainX, ds_.trainY, opts);
+        baseAcc_ = accuracyPercent(net_, ds_.testX, ds_.testY);
+    }
+
+    double
+    accuracyAfter(const CompressionSpec &spec, CompressionReport *rep =
+                                                   nullptr)
+    {
+        // Work on a fresh copy of the trained weights each time.
+        Network copy;
+        Rng rng(21);
+        copy.add(std::make_unique<Dense>(ds_.features, 64, rng));
+        copy.add(std::make_unique<ReluLayer>());
+        copy.add(std::make_unique<Dense>(64, 32, rng));
+        copy.add(std::make_unique<ReluLayer>());
+        copy.add(std::make_unique<Dense>(32, ds_.numClasses, rng));
+        auto src = net_.weightTensors();
+        auto dst = copy.weightTensors();
+        for (std::size_t i = 0; i < src.size(); ++i)
+            *dst[i] = *src[i];
+        CompressionReport r = compressNetwork(copy, spec);
+        if (rep)
+            *rep = r;
+        return accuracyPercent(copy, ds_.testX, ds_.testY);
+    }
+
+    Dataset ds_;
+    Network net_;
+    double baseAcc_ = 0.0;
+};
+
+TEST_F(CompressionAccuracy, Int8BaselineIsNearLossless)
+{
+    CompressionSpec spec;
+    spec.method = CompressionMethod::None;
+    double acc = accuracyAfter(spec);
+    EXPECT_NEAR(acc, baseAcc_, 3.0);
+}
+
+TEST_F(CompressionAccuracy, BbsConservativeLosesLittle)
+{
+    CompressionSpec spec;
+    spec.method = CompressionMethod::BbsPrune;
+    spec.bbs = conservativeConfig();
+    CompressionReport rep;
+    double acc = accuracyAfter(spec, &rep);
+    EXPECT_GT(acc, baseAcc_ - 5.0);
+    EXPECT_LT(rep.effectiveBits, 8.0);
+    EXPECT_GT(rep.effectiveBits, 6.0);
+}
+
+TEST_F(CompressionAccuracy, BbsBeatsNaivePtqAtEqualBudget)
+{
+    // The paper's central accuracy claim (Fig 11): at matched memory
+    // budget, binary pruning preserves accuracy better than naive PTQ.
+    CompressionSpec bbs;
+    bbs.method = CompressionMethod::BbsPrune;
+    bbs.bbs = moderateConfig();
+    CompressionReport bbsRep;
+    double bbsAcc = accuracyAfter(bbs, &bbsRep);
+
+    CompressionSpec ptq;
+    ptq.method = CompressionMethod::PtqClip;
+    ptq.bits = 4; // same non-sensitive precision as moderate pruning
+    ptq.bbs = moderateConfig();
+    CompressionReport ptqRep;
+    double ptqAcc = accuracyAfter(ptq, &ptqRep);
+
+    // The KL ordering must hold (it is the mechanism behind Fig 6).
+    EXPECT_LT(bbsRep.weightKl, ptqRep.weightKl);
+    // Accuracy ordering with a small tolerance for run-to-run noise.
+    EXPECT_GE(bbsAcc, ptqAcc - 2.0);
+}
+
+TEST_F(CompressionAccuracy, BbsBeatsBitwaveOnKl)
+{
+    CompressionSpec bbs;
+    bbs.method = CompressionMethod::BbsPrune;
+    bbs.bbs = moderateConfig();
+    CompressionReport bbsRep;
+    accuracyAfter(bbs, &bbsRep);
+
+    CompressionSpec bw;
+    bw.method = CompressionMethod::BitwaveFlip;
+    bw.bbs = moderateConfig();
+    CompressionReport bwRep;
+    accuracyAfter(bw, &bwRep);
+
+    EXPECT_LT(bbsRep.weightKl, bwRep.weightKl);
+}
+
+TEST_F(CompressionAccuracy, AllMethodsRunAndReport)
+{
+    for (CompressionMethod m :
+         {CompressionMethod::PtqClip, CompressionMethod::NoisyPtq,
+          CompressionMethod::Microscaling, CompressionMethod::AntAdaptive,
+          CompressionMethod::OlivePairs, CompressionMethod::BitwaveFlip,
+          CompressionMethod::BbsPrune}) {
+        CompressionSpec spec;
+        spec.method = m;
+        spec.bits = 6;
+        CompressionReport rep;
+        double acc = accuracyAfter(spec, &rep);
+        EXPECT_GE(acc, 0.0) << compressionMethodName(m);
+        EXPECT_GT(rep.effectiveBits, 0.0) << compressionMethodName(m);
+    }
+}
+
+} // namespace
+} // namespace bbs

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for max pooling and layer normalization, including finite-
+ * difference gradient checks and end-to-end training through them.
+ */
+#include <gtest/gtest.h>
+
+#include "nn/dataset.hpp"
+#include "nn/evaluate.hpp"
+#include "nn/pooling_norm.hpp"
+
+namespace bbs {
+namespace {
+
+TEST(MaxPool, ForwardPicksWindowMaxima)
+{
+    MaxPool2d pool(1, 4);
+    Batch x(Shape{1, 16});
+    for (std::int64_t i = 0; i < 16; ++i)
+        x.flat(i) = static_cast<float>(i);
+    Batch y = pool.forward(x, false);
+    ASSERT_EQ(y.shape().dim(1), 4);
+    // Row-major 4x4 ramp: window maxima are 5, 7, 13, 15.
+    EXPECT_FLOAT_EQ(y.flat(0), 5.0f);
+    EXPECT_FLOAT_EQ(y.flat(1), 7.0f);
+    EXPECT_FLOAT_EQ(y.flat(2), 13.0f);
+    EXPECT_FLOAT_EQ(y.flat(3), 15.0f);
+}
+
+TEST(MaxPool, BackwardRoutesGradToArgmax)
+{
+    MaxPool2d pool(1, 4);
+    Batch x(Shape{1, 16});
+    for (std::int64_t i = 0; i < 16; ++i)
+        x.flat(i) = static_cast<float>(i);
+    pool.forward(x, /*train=*/true);
+    Batch g(Shape{1, 4});
+    for (std::int64_t i = 0; i < 4; ++i)
+        g.flat(i) = static_cast<float>(i + 1);
+    Batch gi = pool.backward(g);
+    EXPECT_FLOAT_EQ(gi.flat(5), 1.0f);
+    EXPECT_FLOAT_EQ(gi.flat(7), 2.0f);
+    EXPECT_FLOAT_EQ(gi.flat(13), 3.0f);
+    EXPECT_FLOAT_EQ(gi.flat(15), 4.0f);
+    // Everything else zero.
+    EXPECT_FLOAT_EQ(gi.flat(0), 0.0f);
+    EXPECT_FLOAT_EQ(gi.flat(6), 0.0f);
+}
+
+TEST(LayerNorm, NormalizesPerRow)
+{
+    LayerNorm ln(8);
+    Rng rng(3);
+    Batch x(Shape{4, 8});
+    for (std::int64_t i = 0; i < x.numel(); ++i)
+        x.flat(i) = static_cast<float>(rng.gaussian(3.0, 2.0));
+    Batch y = ln.forward(x, false);
+    for (std::int64_t i = 0; i < 4; ++i) {
+        double mean = 0.0, var = 0.0;
+        for (std::int64_t j = 0; j < 8; ++j)
+            mean += y.at(i, j);
+        mean /= 8.0;
+        for (std::int64_t j = 0; j < 8; ++j)
+            var += (y.at(i, j) - mean) * (y.at(i, j) - mean);
+        var /= 8.0;
+        EXPECT_NEAR(mean, 0.0, 1e-5);
+        EXPECT_NEAR(var, 1.0, 1e-3);
+    }
+}
+
+TEST(LayerNorm, GradientMatchesFiniteDifferences)
+{
+    LayerNorm ln(6);
+    Rng rng(5);
+    Batch x(Shape{2, 6});
+    for (std::int64_t i = 0; i < x.numel(); ++i)
+        x.flat(i) = static_cast<float>(rng.gaussian(0.0, 1.0));
+
+    // Loss = sum of squares of outputs.
+    Batch y = ln.forward(x, /*train=*/true);
+    Batch g(y.shape());
+    for (std::int64_t i = 0; i < y.numel(); ++i)
+        g.flat(i) = 2.0f * y.flat(i);
+    Batch gi = ln.backward(g);
+
+    const float eps = 1e-3f;
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+        Batch xp = x, xm = x;
+        xp.flat(i) += eps;
+        xm.flat(i) -= eps;
+        double lp = 0.0, lm = 0.0;
+        Batch yp = ln.forward(xp, false);
+        Batch ym = ln.forward(xm, false);
+        for (std::int64_t k = 0; k < yp.numel(); ++k) {
+            lp += yp.flat(k) * yp.flat(k);
+            lm += ym.flat(k) * ym.flat(k);
+        }
+        double numeric = (lp - lm) / (2 * eps);
+        EXPECT_NEAR(gi.flat(i), numeric, 5e-2) << "i=" << i;
+    }
+}
+
+TEST(PoolingNorm, CnnWithPoolingTrains)
+{
+    Dataset ds = makeShapeDataset(100, 12, 404);
+    Rng rng(6);
+    Network net;
+    net.add(std::make_unique<Conv2d>(1, 6, 3, 12, 1, rng));
+    net.add(std::make_unique<ReluLayer>());
+    net.add(std::make_unique<MaxPool2d>(6, 12));
+    net.add(std::make_unique<Dense>(6 * 6 * 6, 32, rng));
+    net.add(std::make_unique<ReluLayer>());
+    net.add(std::make_unique<Dense>(32, ds.numClasses, rng));
+
+    double before = net.evalLoss(ds.trainX, ds.trainY);
+    TrainOptions opts;
+    opts.epochs = 8;
+    trainNetwork(net, ds.trainX, ds.trainY, opts);
+    EXPECT_LT(net.evalLoss(ds.trainX, ds.trainY), before * 0.8);
+    EXPECT_GT(accuracyPercent(net, ds.testX, ds.testY), 40.0);
+}
+
+TEST(PoolingNorm, MlpWithLayerNormTrains)
+{
+    Dataset ds = makeClusterDataset(120, 4, 16, 505);
+    Rng rng(7);
+    Network net;
+    net.add(std::make_unique<Dense>(ds.features, 48, rng));
+    net.add(std::make_unique<LayerNorm>(48));
+    net.add(std::make_unique<GeluLayer>());
+    net.add(std::make_unique<Dense>(48, ds.numClasses, rng));
+
+    TrainOptions opts;
+    opts.epochs = 12;
+    trainNetwork(net, ds.trainX, ds.trainY, opts);
+    EXPECT_GT(accuracyPercent(net, ds.testX, ds.testY), 55.0);
+}
+
+} // namespace
+} // namespace bbs

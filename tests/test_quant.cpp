@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Tests for the quantization substrate: per-channel PTQ, requantization,
+ * BitWave bit-flip pruning, Microscaling, ANT and OliVe.
+ */
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/bit_utils.hpp"
+#include "metrics/error.hpp"
+#include "quant/ant.hpp"
+#include "quant/bitwave.hpp"
+#include "quant/microscaling.hpp"
+#include "quant/olive.hpp"
+#include "quant/quantizer.hpp"
+#include "tensor/distribution.hpp"
+
+namespace bbs {
+namespace {
+
+FloatTensor
+randomWeights(Shape shape, std::uint64_t seed = 1)
+{
+    Rng rng(seed);
+    WeightDistribution dist;
+    return generateWeights(shape, dist, rng);
+}
+
+TEST(Quantizer, PerChannelErrorBoundedByHalfScale)
+{
+    FloatTensor w = randomWeights(Shape{8, 128});
+    QuantizedTensor q = quantizePerChannel(w, 8);
+    FloatTensor deq = q.dequantize();
+    for (std::int64_t k = 0; k < 8; ++k) {
+        float s = q.scales[static_cast<std::size_t>(k)];
+        auto orig = w.channel(k);
+        auto rec = deq.channel(k);
+        for (std::size_t i = 0; i < orig.size(); ++i)
+            EXPECT_LE(std::abs(orig[i] - rec[i]), 0.5f * s + 1e-6f);
+    }
+}
+
+TEST(Quantizer, ScalesTrackChannelMagnitude)
+{
+    FloatTensor w(Shape{2, 16});
+    for (std::int64_t i = 0; i < 16; ++i) {
+        w.at(0, i) = 0.01f;
+        w.at(1, i) = 1.0f;
+    }
+    QuantizedTensor q = quantizePerChannel(w, 8);
+    EXPECT_LT(q.scales[0], q.scales[1]);
+    // Max magnitude maps to the max code.
+    EXPECT_EQ(q.values.at(1, 0), 127);
+}
+
+TEST(Quantizer, MseClipNeverWorseThanMinMaxAtLowBits)
+{
+    FloatTensor w = randomWeights(Shape{16, 256}, 3);
+    QuantizedTensor minmax = quantizePerChannel(w, 4);
+    QuantizedTensor clipped = quantizePerChannelMseClip(w, 4);
+    double eMinmax = mse(w, minmax.dequantize());
+    double eClip = mse(w, clipped.dequantize());
+    EXPECT_LE(eClip, eMinmax * 1.0001);
+}
+
+TEST(Quantizer, RequantizeReducesLevelCount)
+{
+    FloatTensor w = randomWeights(Shape{4, 512}, 5);
+    QuantizedTensor q = quantizePerChannel(w, 8);
+    Int8Tensor r = requantizeInt8(q.values, 4);
+    // Each channel must use at most 2^4 distinct levels.
+    for (std::int64_t k = 0; k < 4; ++k) {
+        std::set<int> levels;
+        for (std::int8_t v : r.channel(k))
+            levels.insert(v);
+        EXPECT_LE(levels.size(), 16u);
+    }
+}
+
+TEST(Bitwave, InherentZeroColumnsCountedForFree)
+{
+    // All values small: sign-magnitude high columns are inherently zero.
+    std::vector<std::int8_t> group = {1, 2, 3, -2, 1, 0, -3, 2};
+    BitwaveGroupResult r = bitwavePruneGroup(group, 3);
+    EXPECT_GE(r.inherentZeroColumns, 3);
+    // Values unchanged when the target is covered by inherent columns.
+    for (std::size_t i = 0; i < group.size(); ++i)
+        EXPECT_EQ(r.values[i], group[i]);
+}
+
+TEST(Bitwave, FlipsLowColumnsFirst)
+{
+    std::vector<std::int8_t> group = {127, -127, 85, -85};
+    BitwaveGroupResult r = bitwavePruneGroup(group, 2);
+    EXPECT_EQ(r.zeroColumns, 2);
+    // Flipping magnitude bits only reduces |value| (toward zero).
+    for (std::size_t i = 0; i < group.size(); ++i) {
+        EXPECT_LE(std::abs(r.values[i]), std::abs(group[i]));
+        // Sign preserved.
+        if (group[i] != 0)
+            EXPECT_EQ(r.values[i] < 0, group[i] < 0);
+    }
+}
+
+TEST(Bitwave, PruneTensorMatchesGroupResults)
+{
+    Rng rng(2);
+    Int8Tensor t(Shape{64});
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+        t.flat(i) = static_cast<std::int8_t>(rng.uniformInt(-128, 127));
+    Int8Tensor pruned = bitwavePrune(t, 32, 4);
+    for (std::int64_t g = 0; g < 2; ++g) {
+        auto grp = t.group(g, 32);
+        BitwaveGroupResult r = bitwavePruneGroup(grp, 4);
+        for (std::size_t i = 0; i < 32; ++i)
+            EXPECT_EQ(pruned.flat(g * 32 + static_cast<std::int64_t>(i)),
+                      r.values[i]);
+    }
+}
+
+TEST(Microscaling, SharedExponentUnderflowsSmallValues)
+{
+    // One huge value per group forces small ones to underflow — the
+    // failure mode the paper contrasts with BBS (§V-B).
+    FloatTensor w(Shape{1, 32});
+    w.at(0, 0) = 100.0f;
+    for (std::int64_t i = 1; i < 32; ++i)
+        w.at(0, i) = 0.01f;
+    MxConfig cfg;
+    cfg.elementBits = 6;
+    double uf = mxUnderflowFraction(w, cfg);
+    EXPECT_GT(uf, 0.9);
+}
+
+TEST(Microscaling, RoundTripErrorBounded)
+{
+    FloatTensor w = randomWeights(Shape{8, 64}, 9);
+    MxConfig cfg;
+    FloatTensor deq = mxQuantizeDequantize(w, cfg);
+    EXPECT_LT(mse(w, deq), mse(w, FloatTensor(w.shape())));
+    EXPECT_NEAR(cfg.effectiveBits(), 6.25, 1e-9);
+}
+
+TEST(Ant, CodebooksAreSortedAndDistinct)
+{
+    for (AntType t : {AntType::Int, AntType::Po2, AntType::Flint}) {
+        auto cb = antCodebook(t, 6);
+        EXPECT_EQ(cb.size(), 32u);
+        for (std::size_t i = 1; i < cb.size(); ++i)
+            EXPECT_GT(cb[i], cb[i - 1]) << antTypeName(t) << " @ " << i;
+    }
+}
+
+TEST(Ant, Po2ReachesLargerRangeThanInt)
+{
+    auto po2 = antCodebook(AntType::Po2, 6);
+    auto in = antCodebook(AntType::Int, 6);
+    EXPECT_GT(po2.back(), in.back());
+}
+
+TEST(Ant, PicksBestTypePerChannel)
+{
+    // Channel 0: uniform ramp (int-friendly); channel 1: a mass of small
+    // values plus one large outlier — the shape flint's dense-near-zero /
+    // sparse-at-magnitude levels are built for.
+    FloatTensor w(Shape{2, 32});
+    for (std::int64_t i = 0; i < 32; ++i) {
+        w.at(0, i) = static_cast<float>(i) / 31.0f;
+        w.at(1, i) = 0.02f * static_cast<float>(i % 8);
+    }
+    w.at(1, 31) = 128.0f;
+    AntResult r = antQuantize(w, 6);
+    EXPECT_EQ(r.perChannel[0], AntType::Int);
+    EXPECT_NE(r.perChannel[1], AntType::Int);
+    EXPECT_LT(mse(w, r.dequantized), 1.0);
+}
+
+TEST(Olive, OutliersKeepMagnitudeVictimsGoToZero)
+{
+    Rng rng(4);
+    FloatTensor w(Shape{1, 64});
+    for (std::int64_t i = 0; i < 64; ++i)
+        w.flat(i) = static_cast<float>(rng.gaussian(0.0, 0.1));
+    w.flat(10) = 5.0f; // clear outlier
+
+    OliveResult r = oliveQuantize(w);
+    EXPECT_GT(r.outlierFraction, 0.0);
+    // The outlier survives with power-of-two magnitude (4 or 8 around 5).
+    float rec = r.dequantized.flat(10);
+    EXPECT_NEAR(std::log2(rec), std::round(std::log2(5.0f)), 1e-6);
+    // Its victim pair neighbour is zeroed.
+    EXPECT_EQ(r.dequantized.flat(11), 0.0f);
+}
+
+TEST(Olive, NoOutliersMeansPlainUniformQuant)
+{
+    FloatTensor w(Shape{1, 32});
+    for (std::int64_t i = 0; i < 32; ++i)
+        w.flat(i) = 0.1f * static_cast<float>(i % 5 - 2);
+    OliveResult r = oliveQuantize(w);
+    EXPECT_DOUBLE_EQ(r.outlierFraction, 0.0);
+    EXPECT_DOUBLE_EQ(r.victimFraction, 0.0);
+    EXPECT_LT(mse(w, r.dequantized), 0.01);
+}
+
+
+TEST(Quantizer, RequantizeMseMonotoneInBits)
+{
+    FloatTensor w = randomWeights(Shape{8, 512}, 21);
+    QuantizedTensor q = quantizePerChannel(w, 8);
+    double prev = 1e300;
+    for (int bits : {3, 4, 5, 6, 7}) {
+        Int8Tensor r = requantizeInt8(q.values, bits);
+        double e = mse(q.values, r);
+        EXPECT_LE(e, prev * 1.05) << "bits=" << bits;
+        prev = e;
+    }
+}
+
+TEST(Quantizer, DeterministicPerInput)
+{
+    FloatTensor w = randomWeights(Shape{4, 64}, 33);
+    QuantizedTensor a = quantizePerChannel(w, 8);
+    QuantizedTensor b = quantizePerChannel(w, 8);
+    for (std::int64_t i = 0; i < a.values.numel(); ++i)
+        EXPECT_EQ(a.values.flat(i), b.values.flat(i));
+    EXPECT_EQ(a.scales, b.scales);
+}
+
+TEST(Quantizer, ScalesAreStrictlyPositive)
+{
+    FloatTensor w(Shape{3, 8}); // includes an all-zero channel
+    for (std::int64_t i = 0; i < 8; ++i)
+        w.at(1, i) = 0.5f;
+    QuantizedTensor q = quantizePerChannel(w, 8);
+    for (float s : q.scales)
+        EXPECT_GT(s, 0.0f);
+}
+
+TEST(Bitwave, AdditionalFlipSemanticsFlipBeyondInherent)
+{
+    // Small values: 3+ inherent zero magnitude columns. With the
+    // performance semantics, 2 *additional* columns get flipped.
+    std::vector<std::int8_t> group = {1, 2, 3, -2, 1, 0, -3, 2};
+    BitwaveGroupResult budget = bitwavePruneGroup(group, 2, true);
+    BitwaveGroupResult extra = bitwavePruneGroup(group, 2, false);
+    EXPECT_GT(extra.zeroColumns, budget.zeroColumns);
+    // Flipping low columns only shrinks magnitudes.
+    for (std::size_t i = 0; i < group.size(); ++i)
+        EXPECT_LE(std::abs(extra.values[i]), std::abs(group[i]));
+}
+
+TEST(Microscaling, LargerGroupsUnderflowMore)
+{
+    FloatTensor w = randomWeights(Shape{16, 512}, 55);
+    MxConfig small;
+    small.groupSize = 8;
+    MxConfig large;
+    large.groupSize = 128;
+    // Bigger groups share one exponent across more diverse magnitudes.
+    EXPECT_LE(mse(w, mxQuantizeDequantize(w, small)),
+              mse(w, mxQuantizeDequantize(w, large)) * 1.05);
+}
+} // namespace
+} // namespace bbs

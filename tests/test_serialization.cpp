@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the bit-packed BBS memory layout: serialize/deserialize
+ * round-trips must preserve the decompressed weights exactly, and the
+ * serialized size must match the effective-bits accounting.
+ */
+#include <gtest/gtest.h>
+
+#include "core/serialization.hpp"
+#include "quant/quantizer.hpp"
+#include "tensor/distribution.hpp"
+
+namespace bbs {
+namespace {
+
+Int8Tensor
+randomCodes(Shape shape, std::uint64_t seed)
+{
+    Rng rng(seed);
+    WeightDistribution dist;
+    FloatTensor w = generateWeights(shape, dist, rng);
+    return quantizePerChannel(w, 8).values;
+}
+
+struct SerParam
+{
+    PruneStrategy strategy;
+    int targetColumns;
+    std::int64_t numel;
+};
+
+class SerializationRoundTrip : public ::testing::TestWithParam<SerParam>
+{
+};
+
+TEST_P(SerializationRoundTrip, PreservesDecompressedValues)
+{
+    auto [strategy, target, numel] = GetParam();
+    Int8Tensor codes = randomCodes(Shape{numel}, 17 + numel);
+    CompressedTensor ct =
+        CompressedTensor::compress(codes, 32, target, strategy);
+    Int8Tensor expected = ct.decompress();
+
+    SerializedTensor blob = serializeCompressed(ct);
+    CompressedTensor back = deserializeCompressed(
+        blob, codes.shape(), 32, target, strategy);
+    Int8Tensor actual = back.decompress();
+
+    ASSERT_EQ(actual.numel(), expected.numel());
+    for (std::int64_t i = 0; i < expected.numel(); ++i)
+        EXPECT_EQ(actual.flat(i), expected.flat(i)) << "i=" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SerializationRoundTrip,
+    ::testing::Values(
+        SerParam{PruneStrategy::RoundedAveraging, 2, 256},
+        SerParam{PruneStrategy::RoundedAveraging, 4, 1024},
+        SerParam{PruneStrategy::ZeroPointShifting, 4, 256},
+        SerParam{PruneStrategy::ZeroPointShifting, 6, 1024},
+        SerParam{PruneStrategy::ZeroPointShifting, 4, 40})); // short tail
+
+TEST(Serialization, SizeMatchesEffectiveBits)
+{
+    Int8Tensor codes = randomCodes(Shape{32 * 64}, 5);
+    CompressedTensor ct = CompressedTensor::compress(
+        codes, 32, 4, PruneStrategy::ZeroPointShifting);
+    SerializedTensor blob = serializeCompressed(ct);
+    // 4 header bytes + 64 metadata bytes + 64 groups x 32 weights x 4
+    // bits (= 16 bytes, byte-aligned exactly).
+    EXPECT_EQ(blob.bytes.size(), 4u + 64u + 64u * 16u);
+    EXPECT_EQ(serializedBytes(ct),
+              static_cast<std::int64_t>(blob.bytes.size()));
+}
+
+TEST(Serialization, GroupOffsetsAreMonotone)
+{
+    Int8Tensor codes = randomCodes(Shape{32 * 8}, 7);
+    CompressedTensor ct = CompressedTensor::compress(
+        codes, 32, 2, PruneStrategy::RoundedAveraging);
+    SerializedTensor blob = serializeCompressed(ct);
+    ASSERT_EQ(blob.groupOffsets.size(), 8u);
+    for (std::size_t i = 1; i < blob.groupOffsets.size(); ++i)
+        EXPECT_GT(blob.groupOffsets[i], blob.groupOffsets[i - 1]);
+}
+
+} // namespace
+} // namespace bbs

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the simulator framework: wavefront aggregation, memory model,
+ * result aggregation and model preparation.
+ */
+#include <gtest/gtest.h>
+
+#include "models/model_zoo.hpp"
+#include "models/workload.hpp"
+#include "sim/dataflow.hpp"
+#include "sim/memory_model.hpp"
+#include "sim/prepared_model.hpp"
+#include "sim/result.hpp"
+
+namespace bbs {
+namespace {
+
+TEST(Dataflow, SingleColumnSumsLatencies)
+{
+    std::vector<std::vector<GroupWork>> work(1);
+    work[0] = {{3.0, 10.0, 2.0}, {5.0, 20.0, 0.0}};
+    WavefrontAggregate agg = aggregateWavefronts(work, 1, 4);
+    EXPECT_DOUBLE_EQ(agg.cycles, 8.0);
+    EXPECT_DOUBLE_EQ(agg.usefulLaneCycles, 30.0);
+    EXPECT_DOUBLE_EQ(agg.intraStallLaneCycles, 2.0);
+    EXPECT_DOUBLE_EQ(agg.interStallLaneCycles, 0.0);
+}
+
+TEST(Dataflow, LockStepTakesTheMaxAcrossColumns)
+{
+    // Two channels in one tile: wavefront latency is the max; the faster
+    // channel accrues inter-PE stall.
+    std::vector<std::vector<GroupWork>> work(2);
+    work[0] = {{8.0, 0.0, 0.0}};
+    work[1] = {{2.0, 0.0, 0.0}};
+    WavefrontAggregate agg = aggregateWavefronts(work, 2, 4);
+    EXPECT_DOUBLE_EQ(agg.cycles, 8.0);
+    EXPECT_DOUBLE_EQ(agg.interStallLaneCycles, (8.0 - 2.0) * 4);
+}
+
+TEST(Dataflow, ChannelsBeyondColumnsFormNewTiles)
+{
+    std::vector<std::vector<GroupWork>> work(4);
+    for (auto &w : work)
+        w = {{4.0, 0.0, 0.0}};
+    // 2 columns -> 2 tiles, each 4 cycles.
+    WavefrontAggregate agg = aggregateWavefronts(work, 2, 4);
+    EXPECT_DOUBLE_EQ(agg.cycles, 8.0);
+}
+
+TEST(Dataflow, MissingGroupsCountAsFullStall)
+{
+    std::vector<std::vector<GroupWork>> work(2);
+    work[0] = {{4.0, 0.0, 0.0}, {4.0, 0.0, 0.0}};
+    work[1] = {{4.0, 0.0, 0.0}}; // one group fewer
+    WavefrontAggregate agg = aggregateWavefronts(work, 2, 4);
+    EXPECT_DOUBLE_EQ(agg.cycles, 8.0);
+    EXPECT_DOUBLE_EQ(agg.interStallLaneCycles, 4.0 * 4);
+}
+
+TEST(MemoryModel, CyclesAndEnergyScaleWithTraffic)
+{
+    SimConfig cfg;
+    MemoryTraffic t;
+    t.weightBits = 8000.0;
+    t.inputActBits = 1000.0;
+    t.outputActBits = 1000.0;
+    t.sramBytes = 500.0;
+    EXPECT_DOUBLE_EQ(dramCycles(t, cfg),
+                     10000.0 / 8.0 / cfg.dramBytesPerCycle);
+    EXPECT_DOUBLE_EQ(dramEnergyPj(t, cfg), 10000.0 * cfg.dramPjPerBit);
+    EXPECT_DOUBLE_EQ(sramEnergyPj(t, cfg), 500.0 * cfg.sramPjPerByte);
+}
+
+TEST(Result, ModelSimAggregatesLayers)
+{
+    ModelSim ms;
+    LayerSim a;
+    a.totalCycles = 10.0;
+    a.dramEnergyPj = 5.0;
+    a.coreEnergyPj = 2.0;
+    LayerSim b;
+    b.totalCycles = 20.0;
+    b.sramEnergyPj = 3.0;
+    ms.layers = {a, b};
+    EXPECT_DOUBLE_EQ(ms.totalCycles(), 30.0);
+    EXPECT_DOUBLE_EQ(ms.totalEnergyPj(), 10.0);
+    EXPECT_DOUBLE_EQ(ms.offChipEnergyPj(), 5.0);
+    EXPECT_DOUBLE_EQ(ms.onChipEnergyPj(), 5.0);
+    EXPECT_DOUBLE_EQ(ms.edp(), 300.0);
+}
+
+TEST(PreparedModel, ActivationDensityFollowsLayerKind)
+{
+    MaterializeOptions opts;
+    opts.maxWeightsPerLayer = 20000;
+    MaterializedModel vgg = materializeModel(buildVgg16(), opts);
+    PreparedModel pm = prepareModel(vgg);
+    // conv1_1 takes the dense image; later convs take post-ReLU inputs.
+    EXPECT_DOUBLE_EQ(pm.layers[0].activationDensity, 1.0);
+    EXPECT_DOUBLE_EQ(pm.layers[1].activationDensity, 0.5);
+}
+
+TEST(PreparedModel, ChannelScaleReflectsSampling)
+{
+    MaterializeOptions opts;
+    opts.maxWeightsPerLayer = 20000;
+    MaterializedModel vgg = materializeModel(buildVgg16(), opts);
+    PreparedModel pm = prepareModel(vgg);
+    // fc6 (4096 x 25088) is heavily sampled; scale > 1 compensates.
+    bool foundSampled = false;
+    for (const auto &l : pm.layers)
+        if (l.channelScale > 1.0)
+            foundSampled = true;
+    EXPECT_TRUE(foundSampled);
+}
+
+TEST(PreparedModel, SensitiveSplitOnlyWithConfig)
+{
+    MaterializeOptions opts;
+    opts.maxWeightsPerLayer = 20000;
+    MaterializedModel m = materializeModel(buildResNet34(), opts);
+    PreparedModel noBbs = prepareModel(m);
+    for (const auto &l : noBbs.layers)
+        for (bool s : l.sensitive)
+            EXPECT_FALSE(s);
+
+    GlobalPruneConfig cfg = moderateConfig();
+    PreparedModel withBbs = prepareModel(m, &cfg);
+    std::int64_t sens = 0;
+    for (const auto &l : withBbs.layers)
+        for (bool s : l.sensitive)
+            sens += s;
+    EXPECT_GT(sens, 0);
+}
+
+} // namespace
+} // namespace bbs

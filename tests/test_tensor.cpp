@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for shapes, tensors and the synthetic distribution generators.
+ */
+#include <gtest/gtest.h>
+
+#include "tensor/distribution.hpp"
+#include "tensor/tensor.hpp"
+
+namespace bbs {
+namespace {
+
+TEST(Shape, RankAndNumel)
+{
+    Shape s{4, 3, 2, 2};
+    EXPECT_EQ(s.rank(), 4);
+    EXPECT_EQ(s.numel(), 48);
+    EXPECT_EQ(s.channelSize(), 12);
+    EXPECT_EQ(s.dim(0), 4);
+}
+
+TEST(Shape, RowMajorIndexing)
+{
+    Shape s{2, 3, 4};
+    EXPECT_EQ(s.index(0, 0, 0), 0);
+    EXPECT_EQ(s.index(0, 0, 3), 3);
+    EXPECT_EQ(s.index(0, 1, 0), 4);
+    EXPECT_EQ(s.index(1, 0, 0), 12);
+    EXPECT_EQ(s.index(1, 2, 3), 23);
+}
+
+TEST(Shape, Equality)
+{
+    EXPECT_TRUE((Shape{2, 3}) == (Shape{2, 3}));
+    EXPECT_FALSE((Shape{2, 3}) == (Shape{3, 2}));
+    EXPECT_FALSE((Shape{2, 3}) == (Shape{2, 3, 1}));
+}
+
+TEST(Tensor, ChannelViewsAreContiguousSlices)
+{
+    Int8Tensor t(Shape{3, 4});
+    for (std::int64_t i = 0; i < 12; ++i)
+        t.flat(i) = static_cast<std::int8_t>(i);
+    auto ch1 = t.channel(1);
+    ASSERT_EQ(ch1.size(), 4u);
+    EXPECT_EQ(ch1[0], 4);
+    EXPECT_EQ(ch1[3], 7);
+}
+
+TEST(Tensor, GroupViewsCoverTensorWithShortTail)
+{
+    Int8Tensor t(Shape{10});
+    EXPECT_EQ(t.numGroups(4), 3);
+    EXPECT_EQ(t.group(0, 4).size(), 4u);
+    EXPECT_EQ(t.group(2, 4).size(), 2u);
+}
+
+TEST(Distribution, WeightsAreZeroMeanWithOutlierChannels)
+{
+    Rng rng(3);
+    WeightDistribution dist;
+    dist.outlierChannelFraction = 0.1;
+    FloatTensor w = generateWeights(Shape{64, 256}, dist, rng);
+    double sum = 0.0;
+    for (std::int64_t i = 0; i < w.numel(); ++i)
+        sum += w.flat(i);
+    EXPECT_NEAR(sum / static_cast<double>(w.numel()), 0.0, 0.01);
+
+    // Per-channel scales must differ (log-normal spread).
+    double amax0 = 0.0, amax1 = 0.0;
+    for (float v : w.channel(0))
+        amax0 = std::max(amax0, static_cast<double>(std::abs(v)));
+    for (float v : w.channel(1))
+        amax1 = std::max(amax1, static_cast<double>(std::abs(v)));
+    EXPECT_NE(amax0, amax1);
+}
+
+TEST(Distribution, DeterministicPerSeed)
+{
+    Rng r1(5), r2(5);
+    WeightDistribution dist;
+    FloatTensor a = generateWeights(Shape{8, 32}, dist, r1);
+    FloatTensor b = generateWeights(Shape{8, 32}, dist, r2);
+    for (std::int64_t i = 0; i < a.numel(); ++i)
+        EXPECT_EQ(a.flat(i), b.flat(i));
+}
+
+TEST(Distribution, ReluActivationsAreHalfSparse)
+{
+    Rng rng(11);
+    ActivationDistribution dist;
+    dist.relu = true;
+    FloatTensor a = generateActivations(Shape{1, 20000}, dist, rng);
+    EXPECT_NEAR(valueSparsity(a), 0.5, 0.03);
+
+    dist.relu = false;
+    FloatTensor d = generateActivations(Shape{1, 20000}, dist, rng);
+    EXPECT_LT(valueSparsity(d), 0.01);
+}
+
+TEST(Distribution, ValueSparsityKnob)
+{
+    Rng rng(13);
+    WeightDistribution dist;
+    dist.valueSparsity = 0.2;
+    FloatTensor w = generateWeights(Shape{16, 1024}, dist, rng);
+    EXPECT_NEAR(valueSparsity(w), 0.2, 0.03);
+}
+
+} // namespace
+} // namespace bbs
