@@ -9,9 +9,11 @@
 #define BBS_ACCEL_ACCELERATOR_HPP
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "core/bitplane.hpp"
 #include "hw/pe_model.hpp"
 #include "sim/config.hpp"
 #include "sim/dataflow.hpp"
@@ -80,6 +82,32 @@ class Accelerator
     /** Build the per-group work items for a layer. */
     virtual LayerWork buildWork(const PreparedLayer &layer,
                                 const SimConfig &cfg) const = 0;
+
+    /**
+     * The layer's packed bit planes at this PE's group size — packed once
+     * per layer and shared across all accelerator models (the substrate
+     * every buildWork consumes instead of re-extracting columns).
+     */
+    const BitPlaneTensor &
+    layerPlanes(const PreparedLayer &layer) const
+    {
+        return layer.packedPlanes(weightsPerPe());
+    }
+
+    /** Dense encoded weight footprint: every bit is fetched from DRAM. */
+    static double
+    denseWeightStorageBits(const PreparedLayer &layer)
+    {
+        return static_cast<double>(layer.codes.numel()) * kWeightBits;
+    }
+
+    /** BBS effectual lane-ops of a weight slice over @p bits columns. */
+    static double
+    sliceEffectualOps(std::span<const std::int8_t> slice, int bits)
+    {
+        return static_cast<double>(
+            packedEffectualOps(packGroup(slice, bits)));
+    }
 
     /** Activation precision scale vs INT8 (ANT quantizes to 6 bits). */
     virtual double activationBitsScale(const PreparedLayer &) const

@@ -10,9 +10,9 @@ AntAccelerator::buildWork(const PreparedLayer &layer,
                           const SimConfig &) const
 {
     LayerWork work;
-    std::int64_t channels = layer.codes.shape().dim(0);
-    std::int64_t cs = layer.codes.shape().channelSize();
-    std::int64_t groupsPerChannel = ceilDiv(cs, weightsPerPe());
+    const BitPlaneTensor &planes = layerPlanes(layer);
+    std::int64_t channels = planes.numChannels();
+    std::int64_t groupsPerChannel = planes.groupsPerChannel();
 
     work.perChannel.resize(static_cast<std::size_t>(channels));
     for (std::int64_t c = 0; c < channels; ++c) {
@@ -29,7 +29,9 @@ AntAccelerator::buildWork(const PreparedLayer &layer,
         }
     }
 
-    // 6-bit weights plus a 4-bit datatype tag per group of 16.
+    // 6-bit weights plus a 4-bit datatype tag per group of 16. Tags are
+    // counted over flat storage groups (which may span channels),
+    // matching the encoded stream rather than the per-channel schedule.
     work.weightStorageBits =
         static_cast<double>(layer.codes.numel()) * bits_ +
         static_cast<double>(layer.codes.numGroups(weightsPerPe())) * 4.0;

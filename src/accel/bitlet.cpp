@@ -13,9 +13,9 @@ BitletAccelerator::buildWork(const PreparedLayer &layer,
                              const SimConfig &) const
 {
     LayerWork work;
-    std::int64_t channels = layer.codes.shape().dim(0);
-    std::int64_t cs = layer.codes.shape().channelSize();
-    std::int64_t groupsPerChannel = ceilDiv(cs, weightsPerPe());
+    const BitPlaneTensor &planes = layerPlanes(layer);
+    std::int64_t channels = planes.numChannels();
+    std::int64_t groupsPerChannel = planes.groupsPerChannel();
 
     // Bitlet's "distiller" digests a window of weights per lane, so the
     // significance lanes synchronize per pair of groups (the sparsity-
@@ -23,7 +23,6 @@ BitletAccelerator::buildWork(const PreparedLayer &layer,
     const std::int64_t window = 2;
     work.perChannel.resize(static_cast<std::size_t>(channels));
     parallelFor(channels, [&](std::int64_t c) {
-        auto ch = layer.codes.channel(c);
         auto &vec = work.perChannel[static_cast<std::size_t>(c)];
         vec.reserve(static_cast<std::size_t>(groupsPerChannel));
         for (std::int64_t g0 = 0; g0 < groupsPerChannel; g0 += window) {
@@ -32,18 +31,11 @@ BitletAccelerator::buildWork(const PreparedLayer &layer,
             int colPop[kWeightBits] = {};
             int sumPop = 0;
             for (std::int64_t g = g0; g < gEnd; ++g) {
-                std::int64_t begin = g * weightsPerPe();
-                std::int64_t end = std::min<std::int64_t>(
-                    begin + weightsPerPe(), cs);
-                std::span<const std::int8_t> grp(
-                    ch.data() + begin,
-                    static_cast<std::size_t>(end - begin));
-                int n = static_cast<int>(grp.size());
+                PackedGroup pg = planes.group(planes.groupIndex(c, g));
                 // One lane per significance; each absorbs one essential
                 // bit per cycle, so latency is the densest bit column.
                 for (int b = 0; b < kWeightBits; ++b) {
-                    int pop =
-                        columnPopcount(extractColumn(grp, b), n);
+                    int pop = packedColumnOnes(pg, b);
                     colPop[b] += pop;
                     sumPop += pop;
                 }
@@ -69,8 +61,7 @@ BitletAccelerator::buildWork(const PreparedLayer &layer,
     }, /*chunk=*/1);
 
     // Like Pragmatic, all bits are fetched; skipping is on-chip only.
-    work.weightStorageBits =
-        static_cast<double>(layer.codes.numel()) * kWeightBits;
+    work.weightStorageBits = denseWeightStorageBits(layer);
     return work;
 }
 

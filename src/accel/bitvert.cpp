@@ -10,23 +10,6 @@
 
 namespace bbs {
 
-namespace {
-
-/** BBS effectual work of a 16-weight slice over @p bits stored columns. */
-double
-sliceUsefulOps(std::span<const std::int8_t> slice, int bits)
-{
-    int n = static_cast<int>(slice.size());
-    double useful = 0.0;
-    for (int b = 0; b < bits; ++b) {
-        BitColumn col = extractColumn(slice, b);
-        useful += bbsEffectualBits(col, n);
-    }
-    return useful;
-}
-
-} // namespace
-
 BitVertAccelerator::BitVertAccelerator(GlobalPruneConfig cfg,
                                        std::string label)
     : cfg_(cfg), label_(std::move(label))
@@ -96,7 +79,7 @@ BitVertAccelerator::buildWork(const PreparedLayer &layer,
                 // multiplier needs >= 2 cycles, always satisfied since at
                 // most 6 columns are pruned.
                 gw.latency = std::max(storedCols, 2);
-                gw.usefulLaneCycles = sliceUsefulOps(slice, storedCols);
+                gw.usefulLaneCycles = sliceEffectualOps(slice, storedCols);
                 gw.intraStallLaneCycles =
                     gw.latency * lanesPerPe() - gw.usefulLaneCycles;
                 vec.push_back(gw);

@@ -4,6 +4,7 @@
 
 #include "common/bit_utils.hpp"
 #include "common/logging.hpp"
+#include "core/bitplane.hpp"
 
 namespace bbs {
 
@@ -66,6 +67,10 @@ runBitVertPe(std::span<const std::int8_t> stored, int storedBits,
     PeRunResult res;
     std::int64_t acc = 0;
 
+    // The slice's bit planes are packed once; each cycle's sub-group
+    // column is a plane segment instead of a per-member re-extraction.
+    PackedGroup pg = packGroup(stored, storedBits);
+
     // col_idx starts at the highest stored significance and decrements
     // every cycle (Fig 8, shift control). Stored bit b of a stored value
     // contributes at significance b + prunedColumns of the reconstructed
@@ -77,12 +82,9 @@ runBitVertPe(std::span<const std::int8_t> stored, int storedBits,
             int base = sg * subGroupSize;
             int n = std::min<int>(subGroupSize,
                                   static_cast<int>(stored.size()) - base);
-            std::uint32_t col = 0;
-            for (int i = 0; i < n; ++i)
-                col |= static_cast<std::uint32_t>(
-                           bitOf(stored[static_cast<std::size_t>(
-                               base + i)], b))
-                       << i;
+            std::uint32_t col = static_cast<std::uint32_t>(
+                (pg.planes[static_cast<std::size_t>(b)] >> base) &
+                0xffull);
 
             SubGroupSchedule sched = scheduleSubGroupColumn(col, n);
             // Step 1/2: term-select muxes feed the 4-leaf adder tree.

@@ -15,9 +15,10 @@ BitwaveAccelerator::buildWork(const PreparedLayer &layer,
                               const SimConfig &) const
 {
     LayerWork work;
-    std::int64_t channels = layer.codes.shape().dim(0);
+    const BitPlaneTensor &planes = layerPlanes(layer);
+    std::int64_t channels = planes.numChannels();
     std::int64_t cs = layer.codes.shape().channelSize();
-    std::int64_t groupsPerChannel = ceilDiv(cs, weightsPerPe());
+    std::int64_t groupsPerChannel = planes.groupsPerChannel();
 
     work.perChannel.resize(static_cast<std::size_t>(channels));
     std::atomic<std::int64_t> storageBits{0};
@@ -50,26 +51,17 @@ BitwaveAccelerator::buildWork(const PreparedLayer &layer,
             // Apply BitWave's bit-flip pruning at the processing-group
             // granularity against the uniform per-layer budget, then
             // count surviving non-zero sign-magnitude columns (sign
-            // column included).
+            // column included) from the packed planes.
             BitwaveGroupResult pr = bitwavePruneGroup(grp, columnBudget);
+            PackedGroup sm = packGroupSignMagnitude(pr.values);
             int nonZeroCols = 0;
             int ones = 0;
-            bool anySign = false;
-            for (std::int8_t v : pr.values)
-                anySign |= (v < 0);
-            for (int b = 0; b < 7; ++b) {
-                int pop = 0;
-                for (std::int8_t v : pr.values)
-                    pop += (toSignMagnitude(v) >> b) & 1u;
+            for (int b = 0; b < kWeightBits; ++b) {
+                int pop = packedColumnOnes(sm, b);
                 if (pop > 0) {
                     ++nonZeroCols;
                     ones += pop;
                 }
-            }
-            if (anySign) {
-                ++nonZeroCols;
-                for (std::int8_t v : pr.values)
-                    ones += (v < 0);
             }
 
             GroupWork gw;

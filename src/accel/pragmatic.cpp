@@ -13,9 +13,9 @@ PragmaticAccelerator::buildWork(const PreparedLayer &layer,
                                 const SimConfig &) const
 {
     LayerWork work;
-    std::int64_t channels = layer.codes.shape().dim(0);
-    std::int64_t cs = layer.codes.shape().channelSize();
-    std::int64_t groupsPerChannel = ceilDiv(cs, weightsPerPe());
+    const BitPlaneTensor &planes = layerPlanes(layer);
+    std::int64_t channels = planes.numChannels();
+    std::int64_t groupsPerChannel = planes.groupsPerChannel();
 
     // Pragmatic's dispatcher keeps per-lane essential-bit FIFOs, so a lane
     // streams into following groups while a slow neighbour finishes: lanes
@@ -24,7 +24,6 @@ PragmaticAccelerator::buildWork(const PreparedLayer &layer,
     const std::int64_t window = 4;
     work.perChannel.resize(static_cast<std::size_t>(channels));
     parallelFor(channels, [&](std::int64_t c) {
-        auto ch = layer.codes.channel(c);
         auto &vec = work.perChannel[static_cast<std::size_t>(c)];
         vec.reserve(static_cast<std::size_t>(groupsPerChannel));
         for (std::int64_t g0 = 0; g0 < groupsPerChannel; g0 += window) {
@@ -33,14 +32,20 @@ PragmaticAccelerator::buildWork(const PreparedLayer &layer,
             int lanePop[16] = {};
             int sumPop = 0;
             for (std::int64_t g = g0; g < gEnd; ++g) {
-                std::int64_t begin = g * weightsPerPe();
-                std::int64_t end = std::min<std::int64_t>(
-                    begin + weightsPerPe(), cs);
-                for (std::int64_t i = begin; i < end; ++i) {
-                    int pop =
-                        popcount8(ch[static_cast<std::size_t>(i)]);
-                    lanePop[i - begin] += pop;
-                    sumPop += pop;
+                // A lane's essential bits are its member's one-bits across
+                // the planes; iterating set plane bits touches only the
+                // essential ones.
+                PackedGroup pg = planes.group(planes.groupIndex(c, g));
+                BitColumn m = pg.mask();
+                for (int b = 0; b < kWeightBits; ++b) {
+                    BitColumn word = pg.planes[
+                        static_cast<std::size_t>(b)] & m;
+                    sumPop += std::popcount(word);
+                    while (word != 0) {
+                        int i = std::countr_zero(word);
+                        word &= word - 1;
+                        ++lanePop[i];
+                    }
                 }
             }
             int maxPop = 0;
@@ -65,8 +70,7 @@ PragmaticAccelerator::buildWork(const PreparedLayer &layer,
 
     // All weight bits are fetched from DRAM: zero-bit skipping happens
     // on-chip only (§I drawback 2).
-    work.weightStorageBits =
-        static_cast<double>(layer.codes.numel()) * kWeightBits;
+    work.weightStorageBits = denseWeightStorageBits(layer);
     return work;
 }
 

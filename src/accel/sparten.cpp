@@ -14,26 +14,22 @@ SpartenAccelerator::buildWork(const PreparedLayer &layer,
                               const SimConfig &) const
 {
     LayerWork work;
-    std::int64_t channels = layer.codes.shape().dim(0);
-    std::int64_t cs = layer.codes.shape().channelSize();
-    std::int64_t groupsPerChannel = ceilDiv(cs, weightsPerPe());
+    const BitPlaneTensor &planes = layerPlanes(layer);
+    std::int64_t channels = planes.numChannels();
+    std::int64_t groupsPerChannel = planes.groupsPerChannel();
     double actDensity = layer.activationDensity;
 
     work.perChannel.resize(static_cast<std::size_t>(channels));
     std::atomic<std::int64_t> nnzTotal{0};
 
     parallelFor(channels, [&](std::int64_t c) {
-        auto ch = layer.codes.channel(c);
         auto &vec = work.perChannel[static_cast<std::size_t>(c)];
         vec.reserve(static_cast<std::size_t>(groupsPerChannel));
         std::int64_t localNnz = 0;
         for (std::int64_t g = 0; g < groupsPerChannel; ++g) {
-            std::int64_t begin = g * weightsPerPe();
-            std::int64_t end = std::min<std::int64_t>(
-                begin + weightsPerPe(), cs);
-            int nnz = 0;
-            for (std::int64_t i = begin; i < end; ++i)
-                nnz += (ch[static_cast<std::size_t>(i)] != 0);
+            // A weight is non-zero iff any of its plane bits is set.
+            int nnz = packedNonZeroValues(
+                planes.group(planes.groupIndex(c, g)));
             localNnz += nnz;
 
             // Two 8-bit multipliers per PE consume the effectual

@@ -10,9 +10,9 @@ StripesAccelerator::buildWork(const PreparedLayer &layer,
                               const SimConfig &) const
 {
     LayerWork work;
-    std::int64_t channels = layer.codes.shape().dim(0);
-    std::int64_t cs = layer.codes.shape().channelSize();
-    std::int64_t groupsPerChannel = ceilDiv(cs, weightsPerPe());
+    const BitPlaneTensor &planes = layerPlanes(layer);
+    std::int64_t channels = planes.numChannels();
+    std::int64_t groupsPerChannel = planes.groupsPerChannel();
 
     work.perChannel.resize(static_cast<std::size_t>(channels));
     for (std::int64_t c = 0; c < channels; ++c) {
@@ -26,8 +26,7 @@ StripesAccelerator::buildWork(const PreparedLayer &layer,
             vec.push_back(gw);
         }
     }
-    work.weightStorageBits =
-        static_cast<double>(layer.codes.numel()) * kWeightBits;
+    work.weightStorageBits = denseWeightStorageBits(layer);
     return work;
 }
 

@@ -25,6 +25,18 @@ namespace bbs {
  * @param fn     body; must be safe to run concurrently for distinct i
  * @param chunk  iterations claimed per atomic fetch
  */
+namespace detail {
+
+/** True while the current thread is a parallelFor worker. */
+inline bool &
+insideParallelWorker()
+{
+    thread_local bool inside = false;
+    return inside;
+}
+
+} // namespace detail
+
 inline void
 parallelFor(std::int64_t n, const std::function<void(std::int64_t)> &fn,
             std::int64_t chunk = 64)
@@ -32,7 +44,10 @@ parallelFor(std::int64_t n, const std::function<void(std::int64_t)> &fn,
     if (n <= 0)
         return;
     unsigned threads = std::thread::hardware_concurrency();
-    if (threads <= 1 || n <= chunk) {
+    // Nested calls (a parallel loop body invoking another parallel
+    // primitive) run serially: spawning a thread team per inner call
+    // would oversubscribe quadratically.
+    if (threads <= 1 || n <= chunk || detail::insideParallelWorker()) {
         for (std::int64_t i = 0; i < n; ++i)
             fn(i);
         return;
@@ -40,6 +55,7 @@ parallelFor(std::int64_t n, const std::function<void(std::int64_t)> &fn,
 
     std::atomic<std::int64_t> next{0};
     auto worker = [&]() {
+        detail::insideParallelWorker() = true;
         for (;;) {
             std::int64_t begin = next.fetch_add(chunk);
             if (begin >= n)
@@ -58,6 +74,37 @@ parallelFor(std::int64_t n, const std::function<void(std::int64_t)> &fn,
         pool.emplace_back(worker);
     for (auto &th : pool)
         th.join();
+}
+
+/**
+ * Deterministic parallel reduction over [0, n).
+ *
+ * The range is split into fixed chunks of @p chunk iterations;
+ * chunkFn(begin, end) computes each chunk's partial, and partials are
+ * combined **in chunk order**, so the result is bitwise identical for any
+ * thread count (unlike a naive atomic-accumulate of floating point).
+ *
+ * @param chunkFn  partial over [begin, end); safe to run concurrently
+ * @param combine  associative combine of two partials
+ */
+template <typename T, typename ChunkFn, typename Combine>
+T
+parallelReduce(std::int64_t n, std::int64_t chunk, T init,
+               const ChunkFn &chunkFn, const Combine &combine)
+{
+    if (n <= 0)
+        return init;
+    std::int64_t numChunks = (n + chunk - 1) / chunk;
+    std::vector<T> partials(static_cast<std::size_t>(numChunks), init);
+    parallelFor(numChunks, [&](std::int64_t ci) {
+        std::int64_t begin = ci * chunk;
+        std::int64_t end = std::min(begin + chunk, n);
+        partials[static_cast<std::size_t>(ci)] = chunkFn(begin, end);
+    }, /*chunk=*/1);
+    T acc = init;
+    for (const T &p : partials)
+        acc = combine(acc, p);
+    return acc;
 }
 
 } // namespace bbs

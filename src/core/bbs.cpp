@@ -1,9 +1,11 @@
 #include "core/bbs.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/bit_utils.hpp"
 #include "common/logging.hpp"
+#include "core/bitplane.hpp"
 
 namespace bbs {
 
@@ -12,9 +14,18 @@ bitSparsityTwosComplement(const Int8Tensor &codes)
 {
     if (codes.numel() == 0)
         return 0.0;
+    // Word-level: popcount eight values per step; the encoding's one-bits
+    // are position-independent, so no unpacking is needed.
+    std::span<const std::int8_t> data = codes.data();
     std::int64_t ones = 0;
-    for (std::int8_t v : codes.data())
-        ones += popcount8(v);
+    std::size_t i = 0;
+    for (; i + 8 <= data.size(); i += 8) {
+        std::uint64_t word;
+        std::memcpy(&word, data.data() + i, 8);
+        ones += std::popcount(word);
+    }
+    for (; i < data.size(); ++i)
+        ones += popcount8(data[i]);
     double totalBits =
         static_cast<double>(codes.numel()) * kWeightBits;
     return 1.0 - static_cast<double>(ones) / totalBits;
@@ -38,17 +49,31 @@ bbsSparsityGroup(std::span<const std::int8_t> group)
 {
     int n = static_cast<int>(group.size());
     BBS_REQUIRE(n >= 1 && n <= 64, "group size must be 1..64");
-    double sparse = 0.0;
-    for (int b = 0; b < kWeightBits; ++b) {
-        BitColumn col = extractColumn(group, b);
-        int ones = columnPopcount(col, n);
-        sparse += static_cast<double>(std::max(ones, n - ones));
-    }
-    return sparse / static_cast<double>(kWeightBits * n);
+    return packedBbsSparsity(packGroup(group));
 }
 
 double
 bbsSparsity(const Int8Tensor &codes, std::int64_t vectorSize)
+{
+    std::int64_t groups = codes.numGroups(vectorSize);
+    if (groups == 0)
+        return 0.0;
+    // Groups are formed over the flat order (matching codes.group());
+    // each group is packed in registers and reduced with plane popcounts.
+    std::int64_t sparseBits = 0;
+    for (std::int64_t g = 0; g < groups; ++g) {
+        PackedGroup pg = packGroup(codes.group(g, vectorSize));
+        for (int b = 0; b < kWeightBits; ++b) {
+            int ones = packedColumnOnes(pg, b);
+            sparseBits += std::max(ones, pg.size - ones);
+        }
+    }
+    return static_cast<double>(sparseBits) /
+           static_cast<double>(codes.numel() * kWeightBits);
+}
+
+double
+bbsSparsityScalar(const Int8Tensor &codes, std::int64_t vectorSize)
 {
     std::int64_t groups = codes.numGroups(vectorSize);
     if (groups == 0)
@@ -75,27 +100,27 @@ effectualBitStats(const Int8Tensor &codes, std::int64_t vectorSize)
     std::int64_t groups = codes.numGroups(vectorSize);
     if (groups == 0)
         return st;
-    double sumZero = 0.0, sumBbs = 0.0;
-    double maxZero = 0.0, maxBbs = 0.0;
+    std::int64_t sumZero = 0, sumBbs = 0;
+    int maxZero = 0, maxBbs = 0;
     std::int64_t columns = 0;
     for (std::int64_t g = 0; g < groups; ++g) {
-        auto span = codes.group(g, vectorSize);
-        int n = static_cast<int>(span.size());
+        PackedGroup pg = packGroup(codes.group(g, vectorSize));
         for (int b = 0; b < kWeightBits; ++b) {
-            BitColumn col = extractColumn(span, b);
-            int ones = columnPopcount(col, n);
-            int bbsWork = std::min(ones, n - ones);
+            int ones = packedColumnOnes(pg, b);
+            int bbsWork = std::min(ones, pg.size - ones);
             sumZero += ones;
             sumBbs += bbsWork;
-            maxZero = std::max(maxZero, static_cast<double>(ones));
-            maxBbs = std::max(maxBbs, static_cast<double>(bbsWork));
+            maxZero = std::max(maxZero, ones);
+            maxBbs = std::max(maxBbs, bbsWork);
             ++columns;
         }
     }
-    st.meanZeroSkip = sumZero / static_cast<double>(columns);
-    st.meanBbs = sumBbs / static_cast<double>(columns);
-    st.maxZeroSkip = maxZero;
-    st.maxBbs = maxBbs;
+    st.meanZeroSkip =
+        static_cast<double>(sumZero) / static_cast<double>(columns);
+    st.meanBbs =
+        static_cast<double>(sumBbs) / static_cast<double>(columns);
+    st.maxZeroSkip = static_cast<double>(maxZero);
+    st.maxBbs = static_cast<double>(maxBbs);
     return st;
 }
 

@@ -27,8 +27,16 @@ double bitSparsitySignMagnitude(const Int8Tensor &codes);
  * BBS sparsity of a tensor: bit vectors of @p vectorSize weights are formed
  * per bit significance, and each vector's sparsity is
  * max(zeros, ones) / vectorSize. Always >= 0.5.
+ *
+ * Implemented over packed bit planes (core/bitplane.hpp); the per-element
+ * scalar form is kept as @ref bbsSparsityScalar, and the test suite pins
+ * the two to the same result.
  */
 double bbsSparsity(const Int8Tensor &codes, std::int64_t vectorSize = 8);
+
+/** Per-element reference implementation of bbsSparsity (for tests/bench). */
+double bbsSparsityScalar(const Int8Tensor &codes,
+                         std::int64_t vectorSize = 8);
 
 /** BBS sparsity of a single group across all 8 significances. */
 double bbsSparsityGroup(std::span<const std::int8_t> group);

@@ -2,6 +2,7 @@
 
 #include "common/bit_utils.hpp"
 #include "common/logging.hpp"
+#include "core/bitplane.hpp"
 
 namespace bbs {
 
@@ -22,6 +23,38 @@ columnWeight(int b, int bits)
 {
     std::int64_t w = 1ll << b;
     return b == bits - 1 ? -w : w;
+}
+
+/**
+ * BBS bit-serial dot over packed planes: per column, gather whichever of
+ * {ones, zeros} is fewer (Eq. 2/3). Gathering iterates set bits only, so a
+ * column costs its effectual bits instead of the full group size.
+ */
+BbsDotResult
+dotPackedPlanes(const PackedGroup &pg,
+                std::span<const std::int8_t> activations,
+                std::int64_t sumA)
+{
+    BbsDotResult res;
+    int n = pg.size;
+    BitColumn m = pg.mask();
+    for (int b = 0; b < pg.bits; ++b) {
+        BitColumn col = pg.planes[static_cast<std::size_t>(b)];
+        int ones = std::popcount(col);
+        std::int64_t colSum;
+        if (ones <= n - ones) {
+            // Eq. 2: add activations at one-bits.
+            colSum = gatherSum(col, activations);
+            res.effectualOps += ones;
+        } else {
+            // Eq. 3: invert; subtract activations at zero-bits from sumA.
+            colSum = sumA - gatherSum(~col & m, activations);
+            res.effectualOps += n - ones;
+            ++res.invertedColumns;
+        }
+        res.value += columnWeight(b, pg.bits) * colSum;
+    }
+    return res;
 }
 
 } // namespace
@@ -45,6 +78,21 @@ dotBitSerialZeroSkip(std::span<const std::int8_t> weights,
 {
     BBS_REQUIRE(weights.size() == activations.size(),
                 "dot operand size mismatch");
+    PackedGroup pg = packGroup(weights);
+    std::int64_t acc = 0;
+    for (int b = 0; b < kWeightBits; ++b) {
+        BitColumn col = pg.planes[static_cast<std::size_t>(b)];
+        acc += columnWeight(b, kWeightBits) * gatherSum(col, activations);
+    }
+    return acc;
+}
+
+std::int64_t
+dotBitSerialZeroSkipScalar(std::span<const std::int8_t> weights,
+                           std::span<const std::int8_t> activations)
+{
+    BBS_REQUIRE(weights.size() == activations.size(),
+                "dot operand size mismatch");
     std::int64_t acc = 0;
     for (int b = 0; b < kWeightBits; ++b) {
         std::int64_t colSum = 0;
@@ -62,6 +110,16 @@ dotBitSerialBbs(std::span<const std::int8_t> weights,
 {
     BBS_REQUIRE(weights.size() == activations.size(),
                 "dot operand size mismatch");
+    return dotPackedPlanes(packGroup(weights), activations,
+                           sumActivations(activations));
+}
+
+BbsDotResult
+dotBitSerialBbsScalar(std::span<const std::int8_t> weights,
+                      std::span<const std::int8_t> activations)
+{
+    BBS_REQUIRE(weights.size() == activations.size(),
+                "dot operand size mismatch");
     BbsDotResult res;
     int n = static_cast<int>(weights.size());
     std::int64_t sumA = sumActivations(activations);
@@ -71,14 +129,12 @@ dotBitSerialBbs(std::span<const std::int8_t> weights,
         int ones = columnPopcount(col, n);
         std::int64_t colSum;
         if (ones <= n - ones) {
-            // Eq. 2: add activations at one-bits.
             colSum = 0;
             for (int i = 0; i < n; ++i)
                 if ((col >> i) & 1ull)
                     colSum += activations[static_cast<std::size_t>(i)];
             res.effectualOps += ones;
         } else {
-            // Eq. 3: invert; subtract activations at zero-bits from sumA.
             std::int64_t zeroSum = 0;
             for (int i = 0; i < n; ++i)
                 if (!((col >> i) & 1ull))
@@ -98,13 +154,31 @@ dotCompressed(const CompressedGroup &cg,
 {
     BBS_REQUIRE(cg.stored.size() == activations.size(),
                 "dot operand size mismatch");
+    std::int64_t sumA = sumActivations(activations);
+
+    // Surviving columns bit-serially with BBS skipping; their LSB sits at
+    // significance prunedColumns of the reconstructed weight.
+    BbsDotResult res = dotPackedPlanes(
+        packGroup(cg.stored, cg.storedBits), activations, sumA);
+    res.value <<= cg.prunedColumns;
+
+    // Pruned columns: the BBS multiplier computes constant * sumA
+    // (PE Fig 7 step 4). The constant already encodes the reconstruction
+    // offset for both strategies.
+    res.value += static_cast<std::int64_t>(cg.meta.constant) * sumA;
+    return res;
+}
+
+BbsDotResult
+dotCompressedScalar(const CompressedGroup &cg,
+                    std::span<const std::int8_t> activations)
+{
+    BBS_REQUIRE(cg.stored.size() == activations.size(),
+                "dot operand size mismatch");
     BbsDotResult res;
     int n = static_cast<int>(cg.stored.size());
     std::int64_t sumA = sumActivations(activations);
 
-    // Surviving columns, bit-serially with BBS skipping. Stored values are
-    // storedBits-wide two's complement; their LSB sits at significance
-    // prunedColumns of the reconstructed weight.
     for (int b = 0; b < cg.storedBits; ++b) {
         BitColumn col = extractColumn(cg.stored, b);
         int ones = columnPopcount(col, n);
@@ -127,10 +201,6 @@ dotCompressed(const CompressedGroup &cg,
         res.value += columnWeight(b, cg.storedBits) * colSum *
                      (1ll << cg.prunedColumns);
     }
-
-    // Pruned columns: the BBS multiplier computes constant * sumA
-    // (PE Fig 7 step 4). The constant already encodes the reconstruction
-    // offset for both strategies.
     res.value += static_cast<std::int64_t>(cg.meta.constant) * sumA;
     return res;
 }

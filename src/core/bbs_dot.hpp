@@ -59,6 +59,21 @@ BbsDotResult dotBitSerialBbs(std::span<const std::int8_t> weights,
 BbsDotResult dotCompressed(const CompressedGroup &cg,
                            std::span<const std::int8_t> activations);
 
+/**
+ * Per-element reference implementations of the packed kernels above.
+ * The default entry points pack the weight group into bit planes
+ * (core/bitplane.hpp) and gather only effectual members; these scalar
+ * forms preserve the original element-wise loops, and the test suite pins
+ * value, effectualOps and invertedColumns of both paths to be identical.
+ */
+std::int64_t
+dotBitSerialZeroSkipScalar(std::span<const std::int8_t> weights,
+                           std::span<const std::int8_t> activations);
+BbsDotResult dotBitSerialBbsScalar(std::span<const std::int8_t> weights,
+                                   std::span<const std::int8_t> activations);
+BbsDotResult dotCompressedScalar(const CompressedGroup &cg,
+                                 std::span<const std::int8_t> activations);
+
 } // namespace bbs
 
 #endif // BBS_CORE_BBS_DOT_HPP

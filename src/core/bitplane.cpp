@@ -1,0 +1,161 @@
+#include "core/bitplane.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "common/logging.hpp"
+#include "common/parallel.hpp"
+
+namespace bbs {
+
+PackedGroup
+packGroupSignMagnitude(std::span<const std::int8_t> group)
+{
+    BBS_ASSERT(group.size() <= 64);
+    PackedGroup pg;
+    pg.size = static_cast<int>(group.size());
+    pg.bits = kWeightBits;
+    for (std::size_t i = 0; i < group.size(); ++i) {
+        std::uint32_t sm = toSignMagnitude(group[i]);
+        for (int b = 0; b < kWeightBits; ++b)
+            pg.planes[static_cast<std::size_t>(b)] |=
+                static_cast<BitColumn>((sm >> b) & 1u) << i;
+    }
+    return pg;
+}
+
+void
+unpackGroup(const PackedGroup &pg, std::span<std::int8_t> out)
+{
+    BBS_REQUIRE(static_cast<int>(out.size()) == pg.size,
+                "unpack size mismatch");
+    for (int i = 0; i < pg.size; ++i) {
+        std::uint32_t v = 0;
+        for (int b = 0; b < pg.bits; ++b)
+            v |= static_cast<std::uint32_t>(
+                     (pg.planes[static_cast<std::size_t>(b)] >> i) & 1ull)
+                 << b;
+        out[static_cast<std::size_t>(i)] =
+            static_cast<std::int8_t>(signExtend(v, pg.bits));
+    }
+}
+
+std::vector<std::int8_t>
+unpackGroup(const PackedGroup &pg)
+{
+    std::vector<std::int8_t> out(static_cast<std::size_t>(pg.size));
+    unpackGroup(pg, out);
+    return out;
+}
+
+BitPlaneTensor
+BitPlaneTensor::packImpl(std::span<const std::int8_t> values,
+                         std::int64_t channels, std::int64_t groupSize)
+{
+    BBS_REQUIRE(groupSize >= 1 && groupSize <= 64,
+                "group size must be 1..64, got ", groupSize);
+    BitPlaneTensor t;
+    t.groupSize_ = groupSize;
+    t.channels_ = channels;
+    t.channelSize_ =
+        channels > 0 ? static_cast<std::int64_t>(values.size()) / channels
+                     : 0;
+    if (values.empty() || channels == 0)
+        return t;
+    t.groupsPerChannel_ = (t.channelSize_ + groupSize - 1) / groupSize;
+    t.numGroups_ = t.channels_ * t.groupsPerChannel_;
+    std::int64_t tail =
+        t.channelSize_ - (t.groupsPerChannel_ - 1) * groupSize;
+    t.tailSize_ = static_cast<int>(tail);
+    t.words_.assign(static_cast<std::size_t>(kWeightBits * t.numGroups_),
+                    0ull);
+
+    std::uint64_t *words = t.words_.data();
+    std::int64_t numGroups = t.numGroups_;
+    std::int64_t gpc = t.groupsPerChannel_;
+    std::int64_t cs = t.channelSize_;
+    const std::int8_t *data = values.data();
+    parallelFor(t.channels_, [&](std::int64_t c) {
+        const std::int8_t *ch = data + c * cs;
+        for (std::int64_t i = 0; i < gpc; ++i) {
+            std::int64_t begin = i * groupSize;
+            std::int64_t len =
+                std::min<std::int64_t>(groupSize, cs - begin);
+            PackedGroup pg = packGroup(
+                std::span<const std::int8_t>(
+                    ch + begin, static_cast<std::size_t>(len)));
+            std::int64_t g = c * gpc + i;
+            for (int b = 0; b < kWeightBits; ++b)
+                words[b * numGroups + g] =
+                    pg.planes[static_cast<std::size_t>(b)];
+        }
+    });
+    return t;
+}
+
+BitPlaneTensor
+BitPlaneTensor::pack(const Int8Tensor &codes, std::int64_t groupSize)
+{
+    std::int64_t channels =
+        codes.shape().rank() >= 2 ? codes.shape().dim(0) : 1;
+    return packImpl(codes.data(), channels, groupSize);
+}
+
+BitPlaneTensor
+BitPlaneTensor::pack(std::span<const std::int8_t> values,
+                     std::int64_t groupSize)
+{
+    return packImpl(values, 1, groupSize);
+}
+
+PackedGroup
+BitPlaneTensor::group(std::int64_t g) const
+{
+    BBS_ASSERT(g >= 0 && g < numGroups_);
+    PackedGroup pg;
+    pg.size = groupMembers(g);
+    pg.bits = kWeightBits;
+    for (int b = 0; b < kWeightBits; ++b)
+        pg.planes[static_cast<std::size_t>(b)] =
+            words_[static_cast<std::size_t>(b * numGroups_ + g)];
+    return pg;
+}
+
+std::int64_t
+packedEffectualOpsTotal(const BitPlaneTensor &planes)
+{
+    if (planes.empty())
+        return 0;
+    std::int64_t ops = 0;
+    std::int64_t groups = planes.numGroups();
+    std::int64_t gpc = planes.groupsPerChannel();
+    int full = static_cast<int>(planes.groupSize());
+    int tail = planes.groupMembers(gpc - 1);
+    for (int b = 0; b < kWeightBits; ++b) {
+        auto pl = planes.plane(b);
+        if (tail == full) {
+            // Uniform group size: the hot loop is popcount + min only.
+            for (std::int64_t g = 0; g < groups; ++g) {
+                int ones = std::popcount(pl[static_cast<std::size_t>(g)]);
+                ops += std::min(ones, full - ones);
+            }
+        } else {
+            // Channel-tail groups sit at a fixed stride.
+            for (std::int64_t c = 0; c < planes.numChannels(); ++c) {
+                std::int64_t base = c * gpc;
+                for (std::int64_t i = 0; i < gpc - 1; ++i) {
+                    int ones = std::popcount(
+                        pl[static_cast<std::size_t>(base + i)]);
+                    ops += std::min(ones, full - ones);
+                }
+                int ones = std::popcount(
+                    pl[static_cast<std::size_t>(base + gpc - 1)]);
+                ops += std::min(ones, tail - ones);
+            }
+        }
+    }
+    return ops;
+}
+
+} // namespace bbs

@@ -9,14 +9,14 @@ Int8Tensor
 CompressedTensor::decompress() const
 {
     Int8Tensor out(shape_);
-    for (std::int64_t g = 0; g < static_cast<std::int64_t>(groups_.size());
-         ++g) {
-        std::vector<std::int8_t> vals =
-            groups_[static_cast<std::size_t>(g)].decompress();
-        std::int64_t base = g * groupSize_;
-        for (std::size_t i = 0; i < vals.size(); ++i)
-            out.flat(base + static_cast<std::int64_t>(i)) = vals[i];
-    }
+    parallelFor(
+        static_cast<std::int64_t>(groups_.size()), [&](std::int64_t g) {
+            std::vector<std::int8_t> vals =
+                groups_[static_cast<std::size_t>(g)].decompress();
+            std::int64_t base = g * groupSize_;
+            for (std::size_t i = 0; i < vals.size(); ++i)
+                out.flat(base + static_cast<std::int64_t>(i)) = vals[i];
+        });
     return out;
 }
 
@@ -51,10 +51,13 @@ CompressedTensor::compress(const Int8Tensor &codes, std::int64_t groupSize,
     ct.targetColumns_ = targetColumns;
     std::int64_t groups = codes.numGroups(groupSize);
     ct.groups_.resize(static_cast<std::size_t>(groups));
+    ct.packed_.resize(static_cast<std::size_t>(groups));
     parallelFor(groups, [&](std::int64_t g) {
-        ct.groups_[static_cast<std::size_t>(g)] =
-            compressGroup(codes.group(g, groupSize), targetColumns,
-                          strategy);
+        CompressedGroup cg = compressGroup(codes.group(g, groupSize),
+                                           targetColumns, strategy);
+        ct.packed_[static_cast<std::size_t>(g)] =
+            packGroup(cg.stored, cg.storedBits);
+        ct.groups_[static_cast<std::size_t>(g)] = std::move(cg);
     });
     return ct;
 }

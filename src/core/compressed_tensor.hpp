@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/bitplane.hpp"
 #include "core/group_compressor.hpp"
 #include "tensor/tensor.hpp"
 
@@ -36,6 +37,17 @@ class CompressedTensor
     const CompressedGroup &group(std::int64_t g) const
     {
         return groups_[static_cast<std::size_t>(g)];
+    }
+
+    /**
+     * Packed bit planes of each group's stored values (built once at
+     * compress time). Plane b of entry g is stored column b of group g —
+     * the layout the serializer and the compressed-domain dot consume.
+     */
+    const std::vector<PackedGroup> &packedGroups() const { return packed_; }
+    const PackedGroup &packedGroup(std::int64_t g) const
+    {
+        return packed_[static_cast<std::size_t>(g)];
     }
 
     /** Reconstruct the full INT8 tensor. */
@@ -65,6 +77,7 @@ class CompressedTensor
     PruneStrategy strategy_ = PruneStrategy::RoundedAveraging;
     int targetColumns_ = 0;
     std::vector<CompressedGroup> groups_;
+    std::vector<PackedGroup> packed_;
 };
 
 /**

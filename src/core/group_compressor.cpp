@@ -6,6 +6,7 @@
 
 #include "common/bit_utils.hpp"
 #include "common/logging.hpp"
+#include "core/bitplane.hpp"
 
 namespace bbs {
 
@@ -135,9 +136,9 @@ roundToStorableMultiple(std::int32_t v, int k, int storedBits,
 
 /** Redundant-column count capped by both the metadata field and target. */
 int
-cappedRedundantColumns(std::span<const std::int8_t> group, int target)
+cappedRedundantColumns(const PackedGroup &pg, int target)
 {
-    int r = countRedundantColumns(group, kMaxRedundantColumns);
+    int r = countRedundantColumnsPacked(pg, kMaxRedundantColumns);
     return std::min(r, target);
 }
 
@@ -153,21 +154,24 @@ compressGroupRoundedAveraging(std::span<const std::int8_t> group,
                 "group size must be 1..64");
 
     CompressedGroup cg;
-    int r = cappedRedundantColumns(group, targetColumns);
+    PackedGroup pg = packGroup(group);
+    int r = cappedRedundantColumns(pg, targetColumns);
     int k = targetColumns - r;
     cg.meta.numRedundantColumns = r;
     cg.prunedColumns = k;
     cg.storedBits = kWeightBits - r - k;
 
-    // Rounded average of the k low bits across the group (Fig 4 step 2).
+    // Rounded average of the k low bits across the group (Fig 4 step 2),
+    // from per-plane popcounts: sum_i (w_i & mask) = sum_b 2^b * ones_b.
     std::int32_t constant = 0;
     if (k > 0) {
         std::int32_t mask = (1 << k) - 1;
-        double sum = 0.0;
-        for (std::int8_t w : group)
-            sum += static_cast<double>(static_cast<std::int32_t>(w) & mask);
-        constant = static_cast<std::int32_t>(
-            std::nearbyint(sum / static_cast<double>(group.size())));
+        std::int64_t sum = 0;
+        for (int b = 0; b < k; ++b)
+            sum += static_cast<std::int64_t>(packedColumnOnes(pg, b)) << b;
+        constant = static_cast<std::int32_t>(std::nearbyint(
+            static_cast<double>(sum) /
+            static_cast<double>(group.size())));
         constant = std::clamp(constant, 0, mask);
     }
     cg.meta.constant = constant;
@@ -215,7 +219,7 @@ compressGroupZeroPointShifting(std::span<const std::int8_t> group,
 
         // Lines 5-8: redundant columns, then zero the low columns with
         // per-weight nearest-multiple rounding.
-        int r = cappedRedundantColumns(shifted, targetColumns);
+        int r = cappedRedundantColumns(packGroup(shifted), targetColumns);
         int k = targetColumns - r;
         int storedBits = kWeightBits - r - k;
 

@@ -2,6 +2,7 @@
 
 #include "common/bit_utils.hpp"
 #include "common/logging.hpp"
+#include "core/bitplane.hpp"
 
 namespace bbs {
 
@@ -54,16 +55,20 @@ serializeCompressed(const CompressedTensor &ct)
 
     // Payload: column-serial bits, most-significant stored column first
     // (the PE consumes columns from the MSB down), byte-aligned per group.
+    // Columns come straight from the tensor's packed bit planes.
+    const auto &packed = ct.packedGroups();
     out.groupOffsets.reserve(groups.size());
-    for (const CompressedGroup &g : groups) {
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+        const CompressedGroup &g = groups[gi];
+        const PackedGroup &pg = packed[gi];
         out.groupOffsets.push_back(
             static_cast<std::uint32_t>(out.bytes.size()));
         std::uint64_t bitBuf = 0;
         int bitCount = 0;
         int n = static_cast<int>(g.stored.size());
         for (int b = g.storedBits - 1; b >= 0; --b) {
-            BitColumn col = extractColumn(g.stored, b);
-            appendColumn(out.bytes, bitBuf, bitCount, col, n);
+            appendColumn(out.bytes, bitBuf, bitCount,
+                         pg.planes[static_cast<std::size_t>(b)], n);
         }
         flushBits(out.bytes, bitBuf, bitCount);
     }

@@ -1,12 +1,17 @@
 #include "metrics/error.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.hpp"
+#include "common/parallel.hpp"
 
 namespace bbs {
 
 namespace {
+
+/** Elements per reduction chunk (big enough to amortize thread hand-off). */
+constexpr std::int64_t kReduceChunk = 1 << 16;
 
 template <typename T>
 double
@@ -16,12 +21,18 @@ mseImpl(const Tensor<T> &a, const Tensor<T> &b)
                 a.shape().toString(), " vs ", b.shape().toString());
     if (a.numel() == 0)
         return 0.0;
-    double acc = 0.0;
-    for (std::int64_t i = 0; i < a.numel(); ++i) {
-        double d = static_cast<double>(a.flat(i)) -
-                   static_cast<double>(b.flat(i));
-        acc += d * d;
-    }
+    double acc = parallelReduce<double>(
+        a.numel(), kReduceChunk, 0.0,
+        [&](std::int64_t begin, std::int64_t end) {
+            double s = 0.0;
+            for (std::int64_t i = begin; i < end; ++i) {
+                double d = static_cast<double>(a.flat(i)) -
+                           static_cast<double>(b.flat(i));
+                s += d * d;
+            }
+            return s;
+        },
+        [](double x, double y) { return x + y; });
     return acc / static_cast<double>(a.numel());
 }
 
@@ -43,29 +54,46 @@ double
 maxAbsError(const Int8Tensor &a, const Int8Tensor &b)
 {
     BBS_REQUIRE(a.shape() == b.shape(), "maxAbsError: shape mismatch");
-    double m = 0.0;
-    for (std::int64_t i = 0; i < a.numel(); ++i) {
-        double d = std::abs(static_cast<double>(a.flat(i)) -
-                            static_cast<double>(b.flat(i)));
-        m = std::max(m, d);
-    }
-    return m;
+    return parallelReduce<double>(
+        a.numel(), kReduceChunk, 0.0,
+        [&](std::int64_t begin, std::int64_t end) {
+            double m = 0.0;
+            for (std::int64_t i = begin; i < end; ++i) {
+                double d = std::abs(static_cast<double>(a.flat(i)) -
+                                    static_cast<double>(b.flat(i)));
+                m = std::max(m, d);
+            }
+            return m;
+        },
+        [](double x, double y) { return std::max(x, y); });
 }
 
 double
 cosineSimilarity(const FloatTensor &a, const FloatTensor &b)
 {
     BBS_REQUIRE(a.shape() == b.shape(), "cosineSimilarity: shape mismatch");
-    double dot = 0.0, na = 0.0, nb = 0.0;
-    for (std::int64_t i = 0; i < a.numel(); ++i) {
-        double x = a.flat(i), y = b.flat(i);
-        dot += x * y;
-        na += x * x;
-        nb += y * y;
-    }
-    if (na == 0.0 || nb == 0.0)
-        return na == nb ? 1.0 : 0.0;
-    return dot / (std::sqrt(na) * std::sqrt(nb));
+    struct Sums
+    {
+        double dot = 0.0, na = 0.0, nb = 0.0;
+    };
+    Sums s = parallelReduce<Sums>(
+        a.numel(), kReduceChunk, Sums{},
+        [&](std::int64_t begin, std::int64_t end) {
+            Sums p;
+            for (std::int64_t i = begin; i < end; ++i) {
+                double x = a.flat(i), y = b.flat(i);
+                p.dot += x * y;
+                p.na += x * x;
+                p.nb += y * y;
+            }
+            return p;
+        },
+        [](Sums x, Sums y) {
+            return Sums{x.dot + y.dot, x.na + y.na, x.nb + y.nb};
+        });
+    if (s.na == 0.0 || s.nb == 0.0)
+        return s.na == s.nb ? 1.0 : 0.0;
+    return s.dot / (std::sqrt(s.na) * std::sqrt(s.nb));
 }
 
 } // namespace bbs

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hpp"
+#include "common/parallel.hpp"
 #include "metrics/error.hpp"
 #include "metrics/kl_divergence.hpp"
 #include "quant/ant.hpp"
@@ -88,12 +89,18 @@ compressNetwork(Network &net, const CompressionSpec &spec)
     auto sensitive =
         selectSensitiveChannels(prunable, spec.bbs.beta, ch);
 
-    double totalBits = 0.0;
-    double totalWeights = 0.0;
-    double mseAcc = 0.0;
-    double klAcc = 0.0;
+    // Layers are independent: each iteration touches only weights[i] and
+    // its per-layer accumulators, so the model-level loop fans out across
+    // threads; partials are reduced in layer order afterwards.
+    struct LayerOutcome
+    {
+        double bits = 0.0, weights = 0.0, mse = 0.0, kl = 0.0;
+    };
+    std::vector<LayerOutcome> outcomes(weights.size());
 
-    for (std::size_t i = 0; i < weights.size(); ++i) {
+    parallelFor(static_cast<std::int64_t>(weights.size()),
+                [&](std::int64_t li) {
+        std::size_t i = static_cast<std::size_t>(li);
         FloatTensor &w = *weights[i];
         const QuantizedTensor &base = baseline[i];
         std::int64_t channels = w.shape().dim(0);
@@ -215,22 +222,34 @@ compressNetwork(Network &net, const CompressionSpec &spec)
           }
         }
 
+        LayerOutcome &out = outcomes[i];
         if (codesLevel) {
-            mseAcc += mse(base.values, newCodes) * static_cast<double>(n);
-            klAcc += klDivergence(base.values, newCodes) *
+            out.mse = mse(base.values, newCodes) * static_cast<double>(n);
+            out.kl = klDivergence(base.values, newCodes) *
                      static_cast<double>(n);
             writeBack(w, newCodes, base.scales);
         } else {
             // Float-format methods: re-express on the INT8 grid for a
             // comparable KL (the paper's Fig 1 methodology).
             QuantizedTensor requant = quantizePerChannel(w, 8);
-            mseAcc += mse(base.values, requant.values) *
+            out.mse = mse(base.values, requant.values) *
                       static_cast<double>(n);
-            klAcc += klDivergence(base.values, requant.values) *
+            out.kl = klDivergence(base.values, requant.values) *
                      static_cast<double>(n);
         }
-        totalBits += layerBits;
-        totalWeights += static_cast<double>(n);
+        out.bits = layerBits;
+        out.weights = static_cast<double>(n);
+    }, /*chunk=*/1);
+
+    double totalBits = 0.0;
+    double totalWeights = 0.0;
+    double mseAcc = 0.0;
+    double klAcc = 0.0;
+    for (const LayerOutcome &out : outcomes) {
+        totalBits += out.bits;
+        totalWeights += out.weights;
+        mseAcc += out.mse;
+        klAcc += out.kl;
     }
 
     report.effectiveBits = totalBits / totalWeights;

@@ -1,6 +1,22 @@
 #include "sim/prepared_model.hpp"
 
+#include "common/logging.hpp"
+
 namespace bbs {
+
+const BitPlaneTensor &
+PlaneCache::get(const Int8Tensor &codes, std::int64_t groupSize) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!filled_) {
+        planes_ = BitPlaneTensor::pack(codes, groupSize);
+        filled_ = true;
+    }
+    BBS_REQUIRE(planes_.groupSize() == groupSize,
+                "plane cache requested at group size ", groupSize,
+                " but packed at ", planes_.groupSize());
+    return planes_;
+}
 
 PreparedModel
 prepareModel(const MaterializedModel &model, const GlobalPruneConfig *bbsCfg)

@@ -8,12 +8,63 @@
 #define BBS_SIM_PREPARED_MODEL_HPP
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
+#include "core/bitplane.hpp"
 #include "core/global_pruning.hpp"
 #include "models/workload.hpp"
 
 namespace bbs {
+
+/**
+ * Thread-safe, lazily filled cache of a layer's packed bit planes.
+ *
+ * Packing a layer costs one pass over its codes; the seven accelerator
+ * cycle models all ask the same per-column questions, so the planes are
+ * packed once per layer and shared. Copies and moves (construction *and*
+ * assignment) reset the cache — the planes are re-derived from the new
+ * owner's codes on demand — which keeps the surrounding structs freely
+ * copyable without ever serving planes of stale weights. Concurrent
+ * get() calls are safe; mutating the owning layer concurrently with
+ * get() is not (as with any container).
+ */
+class PlaneCache
+{
+  public:
+    PlaneCache() = default;
+    PlaneCache(const PlaneCache &) noexcept {}
+    PlaneCache(PlaneCache &&) noexcept {}
+    PlaneCache &
+    operator=(const PlaneCache &) noexcept
+    {
+        reset();
+        return *this;
+    }
+    PlaneCache &
+    operator=(PlaneCache &&) noexcept
+    {
+        reset();
+        return *this;
+    }
+
+    /** Planes of @p codes at @p groupSize; packed on first call. */
+    const BitPlaneTensor &get(const Int8Tensor &codes,
+                              std::int64_t groupSize) const;
+
+  private:
+    void
+    reset() noexcept
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        filled_ = false;
+        planes_ = BitPlaneTensor();
+    }
+
+    mutable std::mutex mutex_;
+    mutable bool filled_ = false;
+    mutable BitPlaneTensor planes_;
+};
 
 /** One layer as consumed by accelerator cycle models. */
 struct PreparedLayer
@@ -30,6 +81,20 @@ struct PreparedLayer
      * materialized channels) so cycle totals reflect the full layer.
      */
     double channelScale = 1.0;
+
+    /**
+     * Packed per-channel bit planes of @ref codes at the PE group size
+     * (16 weights for every modeled design). Packed once, shared by all
+     * accelerator models instead of per-model re-extraction.
+     */
+    const BitPlaneTensor &
+    packedPlanes(std::int64_t groupSize = 16) const
+    {
+        return planeCache_.get(codes, groupSize);
+    }
+
+  private:
+    PlaneCache planeCache_;
 };
 
 /** A prepared model plus the BBS pruning configuration to apply. */

@@ -6,6 +6,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "accel/factory.hpp"
 #include "core/bbs.hpp"
 #include "metrics/kl_divergence.hpp"
