@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Batched GEMM engine vs. the per-sample compressed-dot loop.
+ *
+ * The same BBS-compressed layer (K=256 channels, C=512 features, group
+ * 32, 4 pruned columns) is executed over batches of {1, 16, 64, 256}
+ * samples two ways:
+ *
+ *  - per-dot: the pre-PR2 inference inner loop — one dotCompressed() per
+ *    (sample, output channel), repacking each group's planes per call;
+ *  - GEMM: BitSerialMatrix::pack once per batch + gemmCompressed()
+ *    (packing time included — this is the end-to-end serving cost).
+ *
+ * Outputs are checked for exact equality, a throughput table is printed,
+ * and the run fails unless the GEMM engine is >= 4x faster at every
+ * batch size >= 64 (the CI Release gate).
+ */
+#include <chrono>
+#include <functional>
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "common/logging.hpp"
+#include "common/parallel.hpp"
+#include "common/random.hpp"
+#include "common/table.hpp"
+#include "core/bbs_dot.hpp"
+#include "gemm/compressed_gemm.hpp"
+#include "gemm/gemm.hpp"
+
+namespace {
+
+using namespace bbs;
+
+double
+secondsOf(const std::function<void()> &fn, int reps)
+{
+    // One warm-up, then the best of `reps` (least-noise estimator).
+    fn();
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+        auto t0 = std::chrono::steady_clock::now();
+        fn();
+        auto t1 = std::chrono::steady_clock::now();
+        best = std::min(best,
+                        std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best;
+}
+
+Int8Tensor
+randomCodes(std::int64_t rows, std::int64_t cols, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Int8Tensor t(Shape{rows, cols});
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+        t.flat(i) = static_cast<std::int8_t>(rng.uniformInt(-128, 127));
+    return t;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "micro_gemm",
+        "the batched compressed-domain GEMM engine is >= 4x faster than "
+        "the per-sample dotCompressed loop at batch >= 64");
+
+    const std::int64_t k = 256;        // output channels
+    const std::int64_t c = 512;        // input features
+    const std::int64_t groupSize = 32;
+    const int targetColumns = 4;
+
+    Int8Tensor codes = randomCodes(k, c, 0x9e3779b9);
+    CompressedTensor ct = CompressedTensor::compress(
+        codes, groupSize, targetColumns, PruneStrategy::ZeroPointShifting);
+    CompressedRowPlanes planes = CompressedRowPlanes::prepare(ct);
+    const std::vector<CompressedGroup> &groups = ct.groups();
+    const std::int64_t groupsPerRow = c / groupSize;
+
+    // The pre-PR2 inference inner loop, preserved verbatim as baseline.
+    auto perDotLoop = [&](const Int8Tensor &acts, Int32Tensor &out) {
+        std::int64_t n = acts.shape().dim(0);
+        parallelFor(k, [&](std::int64_t o) {
+            for (std::int64_t row = 0; row < n; ++row) {
+                std::int64_t acc = 0;
+                std::int64_t begin = 0;
+                for (std::int64_t g = 0; g < groupsPerRow; ++g) {
+                    const CompressedGroup &cg =
+                        groups[static_cast<std::size_t>(
+                            o * groupsPerRow + g)];
+                    std::span<const std::int8_t> a(&acts.at(row, begin),
+                                                   cg.stored.size());
+                    acc += dotCompressed(cg, a).value;
+                    begin += static_cast<std::int64_t>(cg.stored.size());
+                }
+                out.at(row, o) = static_cast<std::int32_t>(acc);
+            }
+        }, 2);
+    };
+
+    Table table({"batch", "per-dot", "GEMM", "speedup"});
+    bool gatePassed = true;
+    for (std::int64_t batch : {1, 16, 64, 256}) {
+        Int8Tensor acts = randomCodes(batch, c, 0xabcd00 + batch);
+        const double macs =
+            static_cast<double>(batch) * static_cast<double>(k) *
+            static_cast<double>(c);
+
+        Int32Tensor refOut(Shape{batch, k});
+        double dotS = secondsOf([&] { perDotLoop(acts, refOut); }, 5);
+
+        Int32Tensor gemmOut;
+        double gemmS = secondsOf(
+            [&] {
+                gemmOut =
+                    gemmCompressed(planes, BitSerialMatrix::pack(acts));
+            },
+            5);
+
+        for (std::int64_t i = 0; i < refOut.numel(); ++i)
+            if (gemmOut.flat(i) != refOut.flat(i))
+                BBS_PANIC("GEMM/per-dot mismatch at batch ", batch,
+                          ", i=", i);
+
+        double speedup = dotS / gemmS;
+        if (batch >= 64 && speedup < 4.0)
+            gatePassed = false;
+        table.addRow({format("%lld", static_cast<long long>(batch)),
+                      format("%.1f MMAC/s", macs / dotS / 1e6),
+                      format("%.1f MMAC/s", macs / gemmS / 1e6),
+                      bench::times(speedup)});
+    }
+    table.print(std::cout);
+
+    // Context row: the dense bit-serial kernel vs the naive int8 GEMM.
+    {
+        const std::int64_t batch = 64;
+        Int8Tensor acts = randomCodes(batch, c, 0xd1ce);
+        BitSerialMatrix wp = BitSerialMatrix::pack(codes);
+        Int32Tensor bsOut, refOut;
+        double bsS = secondsOf(
+            [&] {
+                bsOut = gemmBitSerial(BitSerialMatrix::pack(acts), wp);
+            },
+            5);
+        double refS = secondsOf(
+            [&] { refOut = gemmReferenceBatch(acts, codes); }, 5);
+        for (std::int64_t i = 0; i < refOut.numel(); ++i)
+            if (bsOut.flat(i) != refOut.flat(i))
+                BBS_PANIC("dense bit-serial GEMM mismatch at i=", i);
+        std::cout << "\ndense gemmBitSerial vs naive reference at batch "
+                  << batch << ": " << bench::times(refS / bsS) << "\n";
+    }
+
+    std::cout << (gatePassed
+                      ? "\nGEMM speedup target (>= 4x at batch >= 64) met\n"
+                      : "\nGEMM speedup BELOW the 4x target at batch >= "
+                        "64!\n");
+    return gatePassed ? 0 : 1;
+}

@@ -8,27 +8,6 @@
 
 namespace bbs {
 
-Int32Tensor
-gemmReference(const Int8Tensor &weights, const Int8Tensor &activations)
-{
-    std::int64_t k = weights.shape().dim(0);
-    std::int64_t c = weights.shape().dim(1);
-    BBS_REQUIRE(activations.shape().dim(0) == c,
-                "activation rows must equal weight columns");
-    std::int64_t n = activations.shape().dim(1);
-    Int32Tensor out(Shape{k, n});
-    parallelFor(k, [&](std::int64_t row) {
-        for (std::int64_t col = 0; col < n; ++col) {
-            std::int64_t acc = 0;
-            for (std::int64_t i = 0; i < c; ++i)
-                acc += static_cast<std::int64_t>(weights.at(row, i)) *
-                       static_cast<std::int64_t>(activations.at(i, col));
-            out.at(row, col) = static_cast<std::int32_t>(acc);
-        }
-    }, 1);
-    return out;
-}
-
 BitVertArrayResult
 runBitVertArray(const Int8Tensor &weights,
                 const std::vector<float> &scales,

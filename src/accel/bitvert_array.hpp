@@ -20,6 +20,7 @@
 
 #include "core/channel_reorder.hpp"
 #include "core/global_pruning.hpp"
+#include "gemm/gemm.hpp"
 #include "tensor/tensor.hpp"
 
 namespace bbs {
@@ -48,12 +49,6 @@ BitVertArrayResult runBitVertArray(const Int8Tensor &weights,
                                    const std::vector<float> &scales,
                                    const Int8Tensor &activations,
                                    const GlobalPruneConfig &cfg);
-
-/**
- * Reference: integer GEMM outputs [K, N] of codes x activations.
- */
-Int32Tensor gemmReference(const Int8Tensor &weights,
-                          const Int8Tensor &activations);
 
 /**
  * Execute a stride-1 conv layer on the functional array via im2col:

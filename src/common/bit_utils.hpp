@@ -98,6 +98,19 @@ bbsEffectualBits(BitColumn col, int n)
     return ones <= n - ones ? ones : n - ones;
 }
 
+/**
+ * Significance weight of bit column @p b in @p bits-bit two's complement:
+ * 2^b, except the MSB column which carries -2^(bits-1). Shared by every
+ * bit-serial kernel (dots and the GEMM engine) so sign handling cannot
+ * drift between them.
+ */
+inline std::int64_t
+columnWeight(int b, int bits)
+{
+    std::int64_t w = 1ll << b;
+    return b == bits - 1 ? -w : w;
+}
+
 /** Sign-extend the low @p bits bits of @p v to a full int32. */
 inline std::int32_t
 signExtend(std::uint32_t v, int bits)

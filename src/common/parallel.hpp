@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
 #include <thread>
 #include <vector>
@@ -37,13 +38,36 @@ insideParallelWorker()
 
 } // namespace detail
 
+/**
+ * Worker-count cap for every parallel primitive: hardware concurrency,
+ * clamped by the BBS_THREADS environment variable when set to a positive
+ * integer. BBS_THREADS is the deployment knob for co-located serving —
+ * it is re-read on every call, so it can be flipped between requests
+ * (e.g. by a test) without restarting the process.
+ */
+inline unsigned
+maxWorkerThreads()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    if (const char *env = std::getenv("BBS_THREADS")) {
+        char *end = nullptr;
+        long cap = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && cap > 0 &&
+            cap < static_cast<long>(hw))
+            return static_cast<unsigned>(cap);
+    }
+    return hw;
+}
+
 inline void
 parallelFor(std::int64_t n, const std::function<void(std::int64_t)> &fn,
             std::int64_t chunk = 64)
 {
     if (n <= 0)
         return;
-    unsigned threads = std::thread::hardware_concurrency();
+    unsigned threads = maxWorkerThreads();
     // Nested calls (a parallel loop body invoking another parallel
     // primitive) run serially: spawning a thread team per inner call
     // would oversubscribe quadratically.

@@ -17,14 +17,6 @@ sumActivations(std::span<const std::int8_t> activations)
     return s;
 }
 
-/** Significance weight of column b in p-bit two's complement. */
-inline std::int64_t
-columnWeight(int b, int bits)
-{
-    std::int64_t w = 1ll << b;
-    return b == bits - 1 ? -w : w;
-}
-
 /**
  * BBS bit-serial dot over packed planes: per column, gather whichever of
  * {ones, zeros} is fewer (Eq. 2/3). Gathering iterates set bits only, so a

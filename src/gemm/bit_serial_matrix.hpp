@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Bit-serial activation matrix: a whole INT8 matrix packed once into
+ * `[bit][row][col-word]` uint64 planes (gemmbitserial-style layout).
+ *
+ * `BitPlaneTensor` (core/bitplane.hpp) packs *weights* group-wise for the
+ * compressor and the accelerator models; `BitSerialMatrix` is its
+ * activation-side counterpart for the GEMM engine: rows are matrix rows
+ * (batch samples), columns are the shared GEMM depth, and each bit plane
+ * of a row is a contiguous run of 64-column words. Packing happens once
+ * per batch, after which every AND+popcount kernel — the dense 2x1x2 tile
+ * and the compressed-domain GEMM — streams the planes cache-linearly.
+ *
+ * Columns are padded up to a multiple of 64 with zero bits; zero bits
+ * contribute nothing to any popcount, so the padding never affects
+ * results.
+ */
+#ifndef BBS_GEMM_BIT_SERIAL_MATRIX_HPP
+#define BBS_GEMM_BIT_SERIAL_MATRIX_HPP
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bit_utils.hpp"
+#include "tensor/tensor.hpp"
+
+namespace bbs {
+
+/**
+ * Value sum encoded by eight aligned window planes (plane c's popcount
+ * weighs columnWeight(c)). The one expression both rangeSum and the
+ * compressed GEMM's sum-of-activations stage compute, kept shared so the
+ * sign-plane handling cannot drift between them.
+ */
+inline std::int64_t
+planeWindowSum(const std::uint64_t *planes)
+{
+    std::int64_t s = 0;
+    for (int b = 0; b < kWeightBits; ++b)
+        s += columnWeight(b, kWeightBits) * std::popcount(planes[b]);
+    return s;
+}
+
+/**
+ * An INT8 matrix packed into two's-complement bit planes, one uint64 word
+ * per 64 columns, layout `[bit][row][col-word]` with 64-column alignment.
+ */
+class BitSerialMatrix
+{
+  public:
+    BitSerialMatrix() = default;
+
+    /** Pack a rank-2 tensor [rows, cols]. */
+    static BitSerialMatrix pack(const Int8Tensor &m);
+
+    /** Pack a flat row-major value sequence of @p rows x @p cols. */
+    static BitSerialMatrix pack(std::span<const std::int8_t> values,
+                                std::int64_t rows, std::int64_t cols);
+
+    bool empty() const { return rows_ == 0 || cols_ == 0; }
+    std::int64_t rows() const { return rows_; }
+    std::int64_t cols() const { return cols_; }
+    /** Words per row plane (cols rounded up to a multiple of 64). */
+    std::int64_t colWords() const { return colWords_; }
+    int bits() const { return kWeightBits; }
+
+    /**
+     * Plane @p b of row @p r: @ref colWords words, column c at word c/64,
+     * bit c%64. Contiguous — the GEMM kernels walk it with a raw pointer.
+     */
+    const std::uint64_t *
+    rowPlane(int b, std::int64_t r) const
+    {
+        return words_.data() +
+               static_cast<std::size_t>(
+                   (static_cast<std::int64_t>(b) * rows_ + r) * colWords_);
+    }
+
+    /**
+     * 64-bit window of plane @p b, row @p r, columns [begin, begin+len):
+     * column begin+i at bit i, bits at and above @p len zero. Handles
+     * windows that straddle a word boundary; @p len must be 1..64 and the
+     * window must lie inside the padded column range.
+     */
+    std::uint64_t
+    window(int b, std::int64_t r, std::int64_t begin, int len) const
+    {
+        const std::uint64_t *plane = rowPlane(b, r);
+        std::int64_t word = begin >> 6;
+        int off = static_cast<int>(begin & 63);
+        std::uint64_t w = plane[word] >> off;
+        if (off + len > 64)
+            w |= plane[word + 1] << (64 - off);
+        if (len < 64)
+            w &= (1ull << len) - 1ull;
+        return w;
+    }
+
+    /**
+     * Sum of row @p r's values over columns [begin, begin+len), computed
+     * from the planes (8 popcounts). This is the sum-of-activations term
+     * the compressed-domain GEMM feeds the BBS-constant multiplier.
+     */
+    std::int64_t
+    rangeSum(std::int64_t r, std::int64_t begin, int len) const
+    {
+        std::uint64_t planes[kWeightBits];
+        for (int b = 0; b < kWeightBits; ++b)
+            planes[b] = window(b, r, begin, len);
+        return planeWindowSum(planes);
+    }
+
+    /** Reconstruct the INT8 matrix (exact inverse of pack). */
+    Int8Tensor unpack() const;
+
+  private:
+    std::int64_t rows_ = 0;
+    std::int64_t cols_ = 0;
+    std::int64_t colWords_ = 0;
+    /** Plane-major storage: word [(b * rows + r) * colWords + w]. */
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace bbs
+
+#endif // BBS_GEMM_BIT_SERIAL_MATRIX_HPP

@@ -1,0 +1,174 @@
+#include "gemm/compressed_gemm.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.hpp"
+#include "common/parallel.hpp"
+#include "gemm/gemm.hpp"
+
+namespace bbs {
+
+CompressedRowPlanes
+CompressedRowPlanes::prepare(std::span<const CompressedGroup> groups,
+                             std::span<const std::int64_t> rowOffsets,
+                             std::int64_t cols, std::int64_t groupSize)
+{
+    BBS_REQUIRE(!rowOffsets.empty(), "rowOffsets must have rows+1 entries");
+    BBS_REQUIRE(groupSize >= 1 && groupSize <= 64,
+                "group size must be 1..64, got ", groupSize);
+    CompressedRowPlanes out;
+    out.rows_ = static_cast<std::int64_t>(rowOffsets.size()) - 1;
+    out.cols_ = cols;
+    out.groupSize_ = groupSize;
+    out.groupsPerRow_ = (cols + groupSize - 1) / groupSize;
+    std::size_t total = static_cast<std::size_t>(out.rows_ *
+                                                 out.groupsPerRow_);
+    out.packed_.resize(total);
+    out.shifts_.resize(total);
+    out.constants_.resize(total);
+    for (std::int64_t o = 0; o < out.rows_; ++o) {
+        std::int64_t begin = rowOffsets[static_cast<std::size_t>(o)];
+        std::int64_t end = rowOffsets[static_cast<std::size_t>(o) + 1];
+        BBS_REQUIRE(end - begin == out.groupsPerRow_, "row ", o, " has ",
+                    end - begin, " groups, expected ", out.groupsPerRow_);
+        for (std::int64_t g = 0; g < out.groupsPerRow_; ++g) {
+            const CompressedGroup &cg =
+                groups[static_cast<std::size_t>(begin + g)];
+            BBS_REQUIRE(static_cast<int>(cg.stored.size()) ==
+                            out.groupMembers(g),
+                        "row ", o, " group ", g, " holds ",
+                        cg.stored.size(), " weights, expected ",
+                        out.groupMembers(g));
+            std::size_t idx =
+                static_cast<std::size_t>(o * out.groupsPerRow_ + g);
+            out.packed_[idx] = packGroup(cg.stored, cg.storedBits);
+            out.shifts_[idx] =
+                static_cast<std::int8_t>(cg.prunedColumns);
+            out.constants_[idx] = cg.meta.constant;
+        }
+    }
+    return out;
+}
+
+CompressedRowPlanes
+CompressedRowPlanes::prepare(const CompressedTensor &ct)
+{
+    std::int64_t rows = ct.shape().dim(0);
+    std::int64_t cols = ct.shape().channelSize();
+    BBS_REQUIRE(cols % ct.groupSize() == 0,
+                "channel size ", cols, " not a multiple of group size ",
+                ct.groupSize(), "; groups would span rows");
+    std::vector<std::int64_t> offsets(static_cast<std::size_t>(rows) + 1);
+    std::int64_t groupsPerRow = cols / ct.groupSize();
+    for (std::int64_t o = 0; o <= rows; ++o)
+        offsets[static_cast<std::size_t>(o)] = o * groupsPerRow;
+    return prepare(ct.groups(), offsets, cols, ct.groupSize());
+}
+
+namespace {
+
+/**
+ * Sum over set bits of @p wb of the activation value encoded by the eight
+ * group-window planes at @p aw: for each activation bit plane c,
+ * popcount(wb AND aw[c]) weighs 2^c (negative for the sign plane).
+ */
+inline std::int64_t
+planeDot(std::uint64_t wb, const std::uint64_t *aw)
+{
+    std::int64_t s = static_cast<std::int64_t>(std::popcount(wb & aw[0]));
+    s += static_cast<std::int64_t>(std::popcount(wb & aw[1])) << 1;
+    s += static_cast<std::int64_t>(std::popcount(wb & aw[2])) << 2;
+    s += static_cast<std::int64_t>(std::popcount(wb & aw[3])) << 3;
+    s += static_cast<std::int64_t>(std::popcount(wb & aw[4])) << 4;
+    s += static_cast<std::int64_t>(std::popcount(wb & aw[5])) << 5;
+    s += static_cast<std::int64_t>(std::popcount(wb & aw[6])) << 6;
+    s -= static_cast<std::int64_t>(std::popcount(wb & aw[7])) << 7;
+    return s;
+}
+
+/** Stored-column contribution of one group to one sample. */
+inline std::int64_t
+groupDot(const PackedGroup &pg, const std::uint64_t *aw)
+{
+    std::int64_t v = 0;
+    for (int b = 0; b < pg.bits; ++b) {
+        std::uint64_t wb = pg.planes[static_cast<std::size_t>(b)];
+        if (wb == 0)
+            continue; // binary pruning leaves many empty planes
+        v += columnWeight(b, pg.bits) * planeDot(wb, aw);
+    }
+    return v;
+}
+
+} // namespace
+
+Int32Tensor
+gemmCompressed(const CompressedRowPlanes &weights,
+               const BitSerialMatrix &activations)
+{
+    BBS_REQUIRE(activations.cols() == weights.cols(),
+                "GEMM depth mismatch: ", activations.cols(), " vs ",
+                weights.cols());
+    BBS_REQUIRE(activations.cols() <= kMaxGemmDepth,
+                "GEMM depth ", activations.cols(),
+                " can overflow the INT32 outputs (max ", kMaxGemmDepth,
+                ")");
+    std::int64_t n = activations.rows();
+    std::int64_t k = weights.rows();
+    std::int64_t numGroups = weights.groupsPerRow();
+    Int32Tensor out(Shape{n, k}); // Shape enforces n, k >= 1
+
+    // Stage 1: extract each group's activation window planes and sum of
+    // activations once per (sample, group); every weight row reuses them.
+    std::vector<std::uint64_t> windows(
+        static_cast<std::size_t>(n * numGroups * kWeightBits));
+    std::vector<std::int64_t> sums(static_cast<std::size_t>(n * numGroups));
+    parallelFor(n, [&](std::int64_t r) {
+        for (std::int64_t g = 0; g < numGroups; ++g) {
+            std::int64_t begin = weights.groupBegin(g);
+            int len = weights.groupMembers(g);
+            std::uint64_t *aw =
+                windows.data() + (r * numGroups + g) * kWeightBits;
+            for (int c = 0; c < kWeightBits; ++c)
+                aw[c] = activations.window(c, r, begin, len);
+            sums[static_cast<std::size_t>(r * numGroups + g)] =
+                planeWindowSum(aw);
+        }
+    }, 4);
+
+    // Stage 2: weight-row tiles of two, each streaming the whole grouped
+    // batch; the two rows share every activation window load.
+    std::int64_t rowTiles = (k + 1) / 2;
+    parallelFor(rowTiles, [&](std::int64_t t) {
+        std::int64_t o0 = 2 * t;
+        std::int64_t o1 = std::min(o0 + 1, k - 1); // degenerate last tile
+        for (std::int64_t r = 0; r < n; ++r) {
+            const std::uint64_t *aw =
+                windows.data() + r * numGroups * kWeightBits;
+            const std::int64_t *sumA =
+                sums.data() + r * numGroups;
+            std::int64_t acc0 = 0, acc1 = 0;
+            for (std::int64_t g = 0; g < numGroups;
+                 ++g, aw += kWeightBits) {
+                acc0 += (groupDot(weights.packedGroup(o0, g), aw)
+                         << weights.shift(o0, g)) +
+                        static_cast<std::int64_t>(weights.constant(o0, g)) *
+                            sumA[g];
+                if (o1 != o0)
+                    acc1 +=
+                        (groupDot(weights.packedGroup(o1, g), aw)
+                         << weights.shift(o1, g)) +
+                        static_cast<std::int64_t>(
+                            weights.constant(o1, g)) *
+                            sumA[g];
+            }
+            out.at(r, o0) = static_cast<std::int32_t>(acc0);
+            if (o1 != o0)
+                out.at(r, o1) = static_cast<std::int32_t>(acc1);
+        }
+    }, 1);
+    return out;
+}
+
+} // namespace bbs

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Compressed-domain GEMM: whole BBS-compressed weight rows executed
+ * against a packed activation batch.
+ *
+ * `CompressedRowPlanes` prepares a matrix of BBS-compressed weight rows
+ * once — every group's surviving bit columns as packed planes
+ * (core/bitplane.hpp PackedGroup) stored row-contiguously together with
+ * its pruned-column shift and BBS constant. `gemmCompressed` then computes
+ * activations [N, C] x weights [K, C] -> [N, K] exactly as the BitVert PE
+ * would, but batched:
+ *
+ *  - the activation batch is packed once (`BitSerialMatrix`), and each
+ *    group's column window plus sum-of-activations is extracted once per
+ *    (sample, group) and reused by every weight row;
+ *  - surviving columns run bit-serially as AND+popcount products between
+ *    weight planes and activation planes, shifted by the pruned-column
+ *    count;
+ *  - pruned columns contribute through the BBS-constant x
+ *    sum-of-activations multiplier term (PE Fig 7 step 4) — an all-pruned
+ *    group costs exactly one multiply per sample.
+ *
+ * The kernel parallelizes over weight-row tiles with parallelFor and
+ * matches dotCompressed()'s value bit-for-bit; the test suite pins it
+ * against dotReference on the decompressed weights.
+ */
+#ifndef BBS_GEMM_COMPRESSED_GEMM_HPP
+#define BBS_GEMM_COMPRESSED_GEMM_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/bitplane.hpp"
+#include "core/compressed_tensor.hpp"
+#include "gemm/bit_serial_matrix.hpp"
+#include "tensor/tensor.hpp"
+
+namespace bbs {
+
+/**
+ * BBS-compressed weight rows prepared once for the batched GEMM engine:
+ * packed stored-column planes, shift and constant per group, groups laid
+ * out row-major so row tiles stream cache-linearly.
+ *
+ * Every row covers the same column range with the same group structure:
+ * ceil(cols / groupSize) groups, the last possibly short.
+ */
+class CompressedRowPlanes
+{
+  public:
+    CompressedRowPlanes() = default;
+
+    /**
+     * Prepare from flat row-major groups with row offsets (the layout
+     * Int8LinearLayer stores): row o's groups are
+     * groups[rowOffsets[o] .. rowOffsets[o+1]). Each row's group sizes
+     * must tile [0, cols) with @p groupSize (short tail allowed).
+     */
+    static CompressedRowPlanes
+    prepare(std::span<const CompressedGroup> groups,
+            std::span<const std::int64_t> rowOffsets, std::int64_t cols,
+            std::int64_t groupSize);
+
+    /**
+     * Prepare from a whole-tensor compression (requires the channel size
+     * to be a multiple of the group size, so no group spans two rows).
+     */
+    static CompressedRowPlanes prepare(const CompressedTensor &ct);
+
+    bool empty() const { return rows_ == 0; }
+    std::int64_t rows() const { return rows_; }
+    std::int64_t cols() const { return cols_; }
+    std::int64_t groupSize() const { return groupSize_; }
+    std::int64_t groupsPerRow() const { return groupsPerRow_; }
+
+    /** Packed stored-column planes of row @p o, group @p g. */
+    const PackedGroup &
+    packedGroup(std::int64_t o, std::int64_t g) const
+    {
+        return packed_[static_cast<std::size_t>(o * groupsPerRow_ + g)];
+    }
+
+    /** Pruned-column shift of row @p o, group @p g. */
+    int
+    shift(std::int64_t o, std::int64_t g) const
+    {
+        return shifts_[static_cast<std::size_t>(o * groupsPerRow_ + g)];
+    }
+
+    /** BBS constant of row @p o, group @p g. */
+    std::int32_t
+    constant(std::int64_t o, std::int64_t g) const
+    {
+        return constants_[static_cast<std::size_t>(o * groupsPerRow_ + g)];
+    }
+
+    /** First column of group @p g (same for every row). */
+    std::int64_t groupBegin(std::int64_t g) const { return g * groupSize_; }
+
+    /** Member count of group @p g (short for the column tail). */
+    int
+    groupMembers(std::int64_t g) const
+    {
+        return static_cast<int>(
+            std::min(groupSize_, cols_ - groupBegin(g)));
+    }
+
+  private:
+    std::int64_t rows_ = 0;
+    std::int64_t cols_ = 0;
+    std::int64_t groupSize_ = 0;
+    std::int64_t groupsPerRow_ = 0;
+    std::vector<PackedGroup> packed_;      ///< [row * groupsPerRow + g]
+    std::vector<std::int8_t> shifts_;      ///< prunedColumns, same index
+    std::vector<std::int32_t> constants_;  ///< BBS constants, same index
+};
+
+/**
+ * Compressed-domain GEMM: activations [N, C] (packed) x compressed weight
+ * rows [K, C] -> outputs [N, K]. Bit-exact against dotReference over the
+ * decompressed weights.
+ */
+Int32Tensor gemmCompressed(const CompressedRowPlanes &weights,
+                           const BitSerialMatrix &activations);
+
+} // namespace bbs
+
+#endif // BBS_GEMM_COMPRESSED_GEMM_HPP

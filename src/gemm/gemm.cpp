@@ -1,0 +1,136 @@
+#include "gemm/gemm.hpp"
+
+#include <bit>
+
+#include "common/logging.hpp"
+#include "common/parallel.hpp"
+
+namespace bbs {
+
+namespace {
+
+/**
+ * Depth words per cache block. Four plane rows (2 activation + 2 weight)
+ * are re-streamed 64 times (8x8 bit-plane pairs) per block, so the block
+ * is sized to keep them resident in L1: 4 rows x 512 words x 8 B = 16 KiB.
+ */
+constexpr std::int64_t kDepthBlockWords = 512;
+
+} // namespace
+
+Int32Tensor
+gemmReference(const Int8Tensor &weights, const Int8Tensor &activations)
+{
+    std::int64_t k = weights.shape().dim(0);
+    std::int64_t c = weights.shape().dim(1);
+    BBS_REQUIRE(activations.shape().dim(0) == c,
+                "activation rows must equal weight columns");
+    std::int64_t n = activations.shape().dim(1);
+    Int32Tensor out(Shape{k, n});
+    parallelFor(k, [&](std::int64_t row) {
+        for (std::int64_t col = 0; col < n; ++col) {
+            std::int64_t acc = 0;
+            for (std::int64_t i = 0; i < c; ++i)
+                acc += static_cast<std::int64_t>(weights.at(row, i)) *
+                       static_cast<std::int64_t>(activations.at(i, col));
+            out.at(row, col) = static_cast<std::int32_t>(acc);
+        }
+    }, 1);
+    return out;
+}
+
+Int32Tensor
+gemmReferenceBatch(const Int8Tensor &activations, const Int8Tensor &weights)
+{
+    std::int64_t n = activations.shape().dim(0);
+    std::int64_t c = activations.shape().dim(1);
+    BBS_REQUIRE(weights.shape().dim(1) == c,
+                "weight depth must equal activation depth");
+    std::int64_t k = weights.shape().dim(0);
+    Int32Tensor out(Shape{n, k});
+    parallelFor(n, [&](std::int64_t row) {
+        for (std::int64_t o = 0; o < k; ++o) {
+            std::int64_t acc = 0;
+            for (std::int64_t i = 0; i < c; ++i)
+                acc += static_cast<std::int64_t>(activations.at(row, i)) *
+                       static_cast<std::int64_t>(weights.at(o, i));
+            out.at(row, o) = static_cast<std::int32_t>(acc);
+        }
+    }, 1);
+    return out;
+}
+
+Int32Tensor
+gemmBitSerial(const BitSerialMatrix &activations,
+              const BitSerialMatrix &weights)
+{
+    BBS_REQUIRE(activations.cols() == weights.cols(),
+                "GEMM depth mismatch: ", activations.cols(), " vs ",
+                weights.cols());
+    BBS_REQUIRE(activations.cols() <= kMaxGemmDepth,
+                "GEMM depth ", activations.cols(),
+                " can overflow the INT32 outputs (max ", kMaxGemmDepth,
+                ")");
+    std::int64_t n = activations.rows();
+    std::int64_t k = weights.rows();
+    std::int64_t depthWords = activations.colWords();
+    Int32Tensor out(Shape{n, k}); // Shape enforces n, k >= 1
+
+    // Row tiles of two samples; each tile walks every weight-row pair so
+    // output rows are written by exactly one task.
+    std::int64_t rowTiles = (n + 1) / 2;
+    parallelFor(rowTiles, [&](std::int64_t t) {
+        std::int64_t r0 = 2 * t;
+        std::int64_t r1 = std::min(r0 + 1, n - 1); // degenerate last tile
+        for (std::int64_t o0 = 0; o0 < k; o0 += 2) {
+            std::int64_t o1 = std::min(o0 + 1, k - 1);
+            std::int64_t acc00 = 0, acc01 = 0, acc10 = 0, acc11 = 0;
+            for (std::int64_t d0 = 0; d0 < depthWords;
+                 d0 += kDepthBlockWords) {
+                std::int64_t len = std::min(kDepthBlockWords,
+                                            depthWords - d0);
+                for (int ba = 0; ba < kWeightBits; ++ba) {
+                    const std::uint64_t *a0 =
+                        activations.rowPlane(ba, r0) + d0;
+                    const std::uint64_t *a1 =
+                        activations.rowPlane(ba, r1) + d0;
+                    std::int64_t sa = columnWeight(ba, kWeightBits);
+                    for (int bw = 0; bw < kWeightBits; ++bw) {
+                        const std::uint64_t *w0 =
+                            weights.rowPlane(bw, o0) + d0;
+                        const std::uint64_t *w1 =
+                            weights.rowPlane(bw, o1) + d0;
+                        // 2x1x2 micro-kernel: one depth word per step,
+                        // four AND+popcounts sharing the four loads.
+                        std::int64_t p00 = 0, p01 = 0, p10 = 0, p11 = 0;
+                        for (std::int64_t d = 0; d < len; ++d) {
+                            std::uint64_t av0 = a0[d], av1 = a1[d];
+                            std::uint64_t wv0 = w0[d], wv1 = w1[d];
+                            p00 += std::popcount(av0 & wv0);
+                            p01 += std::popcount(av0 & wv1);
+                            p10 += std::popcount(av1 & wv0);
+                            p11 += std::popcount(av1 & wv1);
+                        }
+                        std::int64_t sig =
+                            sa * columnWeight(bw, kWeightBits);
+                        acc00 += sig * p00;
+                        acc01 += sig * p01;
+                        acc10 += sig * p10;
+                        acc11 += sig * p11;
+                    }
+                }
+            }
+            out.at(r0, o0) = static_cast<std::int32_t>(acc00);
+            if (o1 != o0)
+                out.at(r0, o1) = static_cast<std::int32_t>(acc01);
+            if (r1 != r0) {
+                out.at(r1, o0) = static_cast<std::int32_t>(acc10);
+                if (o1 != o0)
+                    out.at(r1, o1) = static_cast<std::int32_t>(acc11);
+            }
+        }
+    }, 1);
+    return out;
+}
+
+} // namespace bbs

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Dense bit-serial GEMM over packed bit planes.
+ *
+ * Both operands are `BitSerialMatrix` packings sharing the depth
+ * dimension (weights [K, C], activations [N, C]); the product is computed
+ * entirely in the bit domain: for every pair of bit planes (b, c),
+ * AND+popcount over the 64-column words contributes
+ * columnWeight(b) * columnWeight(c) * popcount to the accumulator
+ * (gemmbitserial's algorithm). The kernel is cache-blocked over depth
+ * words and register-tiled 2x1x2 — two activation rows x one depth word x
+ * two weight rows share four plane loads per step — and parallelized over
+ * activation-row tiles with parallelFor.
+ *
+ * `gemmReferenceBatch` is the naive per-element loop the test suite pins
+ * the kernel against, exactly; `gemmReference` is the [C, N]-orientation
+ * form the functional BitVert array simulation checks against (moved here
+ * from accel/ so every GEMM reference lives beside the engine).
+ */
+#ifndef BBS_GEMM_GEMM_HPP
+#define BBS_GEMM_GEMM_HPP
+
+#include "gemm/bit_serial_matrix.hpp"
+#include "tensor/tensor.hpp"
+
+namespace bbs {
+
+/**
+ * Maximum GEMM depth the INT32 output tensor supports without overflow:
+ * the worst-case |dot| is depth * 128 * 128, so depth must stay below
+ * 2^17 for the accumulator to fit (the engine kernels enforce this
+ * rather than truncate silently — it also keeps the GEMM forward path
+ * provably bit-identical to the int64 per-dot reference).
+ */
+inline constexpr std::int64_t kMaxGemmDepth = (1ll << 17) - 1;
+
+/**
+ * Naive integer GEMM reference: outputs [K, N] of
+ * weights [K, C] x activations [C, N] (column-vector orientation used by
+ * the functional accelerator simulations).
+ */
+Int32Tensor gemmReference(const Int8Tensor &weights,
+                          const Int8Tensor &activations);
+
+/**
+ * Naive batched reference in the inference orientation: activations
+ * [N, C] (one sample per row) x weights [K, C] -> outputs [N, K].
+ */
+Int32Tensor gemmReferenceBatch(const Int8Tensor &activations,
+                               const Int8Tensor &weights);
+
+/**
+ * Bit-serial AND+popcount GEMM: activations [N, C] x weights [K, C],
+ * both packed, -> outputs [N, K]. Exactly equals gemmReferenceBatch on
+ * the unpacked operands.
+ */
+Int32Tensor gemmBitSerial(const BitSerialMatrix &activations,
+                          const BitSerialMatrix &weights);
+
+} // namespace bbs
+
+#endif // BBS_GEMM_GEMM_HPP

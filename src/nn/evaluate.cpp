@@ -1,5 +1,6 @@
 #include "nn/evaluate.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.hpp"
@@ -23,6 +24,76 @@ double
 perplexity(Network &net, const FloatTensor &x, const std::vector<int> &y)
 {
     return std::exp(net.evalLoss(x, y));
+}
+
+namespace {
+
+/** Copy rows [begin, end) of @p x into a fresh batch. */
+Batch
+sliceRows(const FloatTensor &x, std::int64_t begin, std::int64_t end)
+{
+    std::int64_t f = x.shape().dim(1);
+    Batch b(Shape{end - begin, f});
+    for (std::int64_t i = begin; i < end; ++i)
+        for (std::int64_t j = 0; j < f; ++j)
+            b.at(i - begin, j) = x.at(i, j);
+    return b;
+}
+
+/**
+ * Run @p x through the engine in mini-batches and fold each batch's
+ * logits with @p fold(batchLogits, firstRowIndex).
+ */
+template <typename Fold>
+void
+forEachBatchLogits(const Int8Network &engine, const FloatTensor &x,
+                   std::int64_t batchSize, const Fold &fold)
+{
+    BBS_REQUIRE(batchSize > 0, "batch size must be positive");
+    std::int64_t n = x.shape().dim(0);
+    for (std::int64_t begin = 0; begin < n; begin += batchSize) {
+        std::int64_t end = std::min(begin + batchSize, n);
+        fold(engine.forward(sliceRows(x, begin, end)), begin);
+    }
+}
+
+} // namespace
+
+double
+accuracyPercent(const Int8Network &engine, const FloatTensor &x,
+                const std::vector<int> &y, std::int64_t batchSize)
+{
+    BBS_REQUIRE(static_cast<std::size_t>(x.shape().dim(0)) == y.size(),
+                "label size mismatch");
+    std::int64_t hits = 0;
+    forEachBatchLogits(engine, x, batchSize,
+                       [&](const Batch &logits, std::int64_t first) {
+        std::vector<int> pred = argmaxRows(logits);
+        for (std::size_t i = 0; i < pred.size(); ++i)
+            hits += (pred[i] ==
+                     y[static_cast<std::size_t>(first) + i]);
+    });
+    return 100.0 * static_cast<double>(hits) /
+           static_cast<double>(y.size());
+}
+
+double
+perplexity(const Int8Network &engine, const FloatTensor &x,
+           const std::vector<int> &y, std::int64_t batchSize)
+{
+    BBS_REQUIRE(static_cast<std::size_t>(x.shape().dim(0)) == y.size(),
+                "label size mismatch");
+    double lossSum = 0.0;
+    forEachBatchLogits(engine, x, batchSize,
+                       [&](const Batch &logits, std::int64_t first) {
+        Batch probs = softmaxRows(logits);
+        for (std::int64_t i = 0; i < probs.shape().dim(0); ++i) {
+            float p = probs.at(
+                i, y[static_cast<std::size_t>(first + i)]);
+            lossSum -= std::log(std::max(p, 1e-12f));
+        }
+    });
+    return std::exp(lossSum / static_cast<double>(y.size()));
 }
 
 double

@@ -1,11 +1,13 @@
 /**
  * @file
- * Accuracy and perplexity evaluation of (possibly compressed) networks.
+ * Accuracy and perplexity evaluation of (possibly compressed) networks —
+ * float networks and the integer GEMM engine alike.
  */
 #ifndef BBS_NN_EVALUATE_HPP
 #define BBS_NN_EVALUATE_HPP
 
 #include "nn/dataset.hpp"
+#include "nn/int8_infer.hpp"
 #include "nn/network.hpp"
 
 namespace bbs {
@@ -17,6 +19,21 @@ double accuracyPercent(Network &net, const FloatTensor &x,
 /** Perplexity = exp(mean cross-entropy), the LM metric of Fig 17. */
 double perplexity(Network &net, const FloatTensor &x,
                   const std::vector<int> &y);
+
+/**
+ * Top-1 accuracy of the integer engine, evaluated in mini-batches so
+ * every batch flows through the batched compressed-domain GEMM (and
+ * activation calibration sees serving-sized batches, as deployment
+ * would).
+ */
+double accuracyPercent(const Int8Network &engine, const FloatTensor &x,
+                       const std::vector<int> &y,
+                       std::int64_t batchSize = 256);
+
+/** Perplexity of the integer engine over mini-batched GEMM logits. */
+double perplexity(const Int8Network &engine, const FloatTensor &x,
+                  const std::vector<int> &y,
+                  std::int64_t batchSize = 256);
 
 /** Standard training loop: epochs of shuffled mini-batches. */
 struct TrainOptions

@@ -11,6 +11,43 @@
 
 namespace bbs {
 
+namespace {
+
+/** Per-batch symmetric activation quantization (max calibration). */
+float
+quantizeActivations(const Batch &cur, Int8Tensor &qx)
+{
+    float amax = 0.0f;
+    for (std::int64_t i = 0; i < cur.numel(); ++i)
+        amax = std::max(amax, std::abs(cur.flat(i)));
+    float sA = amax > 0.0f ? amax / 127.0f : 1.0f;
+    for (std::int64_t i = 0; i < cur.numel(); ++i) {
+        float q = std::nearbyint(cur.flat(i) / sA);
+        qx.flat(i) =
+            static_cast<std::int8_t>(std::clamp(q, -128.0f, 127.0f));
+    }
+    return sA;
+}
+
+/**
+ * Dequantize one INT32 accumulator and apply the fused nonlinearity.
+ * Both forward paths funnel through this exact expression, which is what
+ * keeps their logits bit-identical.
+ */
+inline float
+dequantize(std::int64_t acc, float scale, float sA, float bias,
+           bool reluAfter, bool geluAfter)
+{
+    float v = static_cast<float>(acc) * scale * sA + bias;
+    if (reluAfter)
+        return relu(v);
+    if (geluAfter)
+        return gelu(v);
+    return v;
+}
+
+} // namespace
+
 Int8Network
 Int8Network::fromNetwork(Network &net, std::int64_t groupSize,
                          int targetColumns, PruneStrategy strategy)
@@ -29,22 +66,29 @@ Int8Network::fromNetwork(Network &net, std::int64_t groupSize,
         layer.inFeatures = q.values.shape().dim(1);
         layer.groupSize = groupSize;
         std::int64_t channels = q.values.shape().dim(0);
-        layer.rowGroups.resize(static_cast<std::size_t>(channels));
+        std::int64_t groupsPerRow =
+            (layer.inFeatures + groupSize - 1) / groupSize;
+        layer.groups.reserve(
+            static_cast<std::size_t>(channels * groupsPerRow));
+        layer.rowOffsets.reserve(static_cast<std::size_t>(channels) + 1);
+        layer.rowOffsets.push_back(0);
         for (std::int64_t k = 0; k < channels; ++k) {
             auto row = q.values.channel(k);
-            auto &groups =
-                layer.rowGroups[static_cast<std::size_t>(k)];
             for (std::size_t begin = 0; begin < row.size();
                  begin += static_cast<std::size_t>(groupSize)) {
                 std::size_t len = std::min<std::size_t>(
                     static_cast<std::size_t>(groupSize),
                     row.size() - begin);
-                groups.push_back(compressGroup(
+                layer.groups.push_back(compressGroup(
                     std::span<const std::int8_t>(row.data() + begin,
                                                  len),
                     targetColumns, strategy));
             }
+            layer.rowOffsets.push_back(
+                static_cast<std::int64_t>(layer.groups.size()));
         }
+        layer.planes = CompressedRowPlanes::prepare(
+            layer.groups, layer.rowOffsets, layer.inFeatures, groupSize);
         layer.wScales = q.scales;
         layer.bias = *b;
         // Fuse the following activation, if any.
@@ -66,30 +110,52 @@ Int8Network::forward(const Batch &x) const
     for (const Int8LinearLayer &layer : layers_) {
         std::int64_t n = cur.shape().dim(0);
         std::int64_t in = cur.shape().dim(1);
-        std::int64_t out =
-            static_cast<std::int64_t>(layer.rowGroups.size());
+        std::int64_t out = layer.outFeatures();
         BBS_REQUIRE(layer.inFeatures == in,
                     "activation width mismatch");
 
-        // Per-batch symmetric activation quantization (max calibration).
-        float amax = 0.0f;
-        for (std::int64_t i = 0; i < cur.numel(); ++i)
-            amax = std::max(amax, std::abs(cur.flat(i)));
-        float sA = amax > 0.0f ? amax / 127.0f : 1.0f;
         Int8Tensor qx(Shape{n, in});
-        for (std::int64_t i = 0; i < cur.numel(); ++i) {
-            float q = std::nearbyint(cur.flat(i) / sA);
-            qx.flat(i) = static_cast<std::int8_t>(
-                std::clamp(q, -128.0f, 127.0f));
-        }
+        float sA = quantizeActivations(cur, qx);
 
-        // Integer GEMM: each (row, out-channel) dot runs group by group
-        // through the compressed-domain kernel.
+        // Batched compressed-domain GEMM: pack the batch once, execute
+        // every compressed weight row against it.
+        BitSerialMatrix acts = BitSerialMatrix::pack(qx);
+        Int32Tensor prod = gemmCompressed(layer.planes, acts);
+
+        Batch next(Shape{n, out});
+        parallelFor(n, [&](std::int64_t row) {
+            for (std::int64_t o = 0; o < out; ++o)
+                next.at(row, o) = dequantize(
+                    prod.at(row, o),
+                    layer.wScales[static_cast<std::size_t>(o)], sA,
+                    layer.bias.flat(o), layer.reluAfter,
+                    layer.geluAfter);
+        }, 16);
+        cur = std::move(next);
+    }
+    return cur;
+}
+
+Batch
+Int8Network::forwardPerDot(const Batch &x) const
+{
+    Batch cur = x;
+    for (const Int8LinearLayer &layer : layers_) {
+        std::int64_t n = cur.shape().dim(0);
+        std::int64_t in = cur.shape().dim(1);
+        std::int64_t out = layer.outFeatures();
+        BBS_REQUIRE(layer.inFeatures == in,
+                    "activation width mismatch");
+
+        Int8Tensor qx(Shape{n, in});
+        float sA = quantizeActivations(cur, qx);
+
+        // The original engine: each (sample, channel) dot runs group by
+        // group through the compressed-domain kernel.
         Batch next(Shape{n, out});
         parallelFor(out, [&](std::int64_t o) {
             float scale = layer.wScales[static_cast<std::size_t>(o)];
-            const auto &groups =
-                layer.rowGroups[static_cast<std::size_t>(o)];
+            auto groups = layer.rowGroups(o);
             for (std::int64_t row = 0; row < n; ++row) {
                 std::int64_t acc = 0;
                 std::int64_t begin = 0;
@@ -100,13 +166,9 @@ Int8Network::forward(const Batch &x) const
                     begin += static_cast<std::int64_t>(
                         cg.stored.size());
                 }
-                float v = static_cast<float>(acc) * scale * sA +
-                          layer.bias.flat(o);
-                if (layer.reluAfter)
-                    v = relu(v);
-                else if (layer.geluAfter)
-                    v = gelu(v);
-                next.at(row, o) = v;
+                next.at(row, o) = dequantize(
+                    acc, scale, sA, layer.bias.flat(o),
+                    layer.reluAfter, layer.geluAfter);
             }
         }, 2);
         cur = std::move(next);
@@ -117,18 +179,7 @@ Int8Network::forward(const Batch &x) const
 std::vector<int>
 Int8Network::predict(const Batch &x) const
 {
-    Batch logits = forward(x);
-    std::int64_t n = logits.shape().dim(0);
-    std::int64_t c = logits.shape().dim(1);
-    std::vector<int> out(static_cast<std::size_t>(n));
-    for (std::int64_t i = 0; i < n; ++i) {
-        int best = 0;
-        for (std::int64_t j = 1; j < c; ++j)
-            if (logits.at(i, j) > logits.at(i, best))
-                best = static_cast<int>(j);
-        out[static_cast<std::size_t>(i)] = best;
-    }
-    return out;
+    return argmaxRows(forward(x));
 }
 
 double
@@ -136,11 +187,9 @@ Int8Network::effectiveBits() const
 {
     double bits = 0.0, weights = 0.0;
     for (const auto &l : layers_) {
-        for (const auto &row : l.rowGroups) {
-            for (const CompressedGroup &g : row) {
-                bits += static_cast<double>(g.storageBits());
-                weights += static_cast<double>(g.stored.size());
-            }
+        for (const CompressedGroup &g : l.groups) {
+            bits += static_cast<double>(g.storageBits());
+            weights += static_cast<double>(g.stored.size());
         }
     }
     return bits / weights;

@@ -4,10 +4,16 @@
  *
  * compress_net.hpp measures accuracy with fake quantization (dequantized
  * weights, float compute). This engine instead executes every dense layer
- * with INT8 operands and the exact compressed-domain dot product
- * (core/bbs_dot) BitVert computes — integer accumulation, per-channel
- * weight scales, per-layer activation scales — demonstrating that the
- * hardware path itself preserves accuracy, not just the weight transform.
+ * with INT8 operands and the exact compressed-domain arithmetic BitVert
+ * computes — integer accumulation, per-channel weight scales, per-layer
+ * activation scales — demonstrating that the hardware path itself
+ * preserves accuracy, not just the weight transform.
+ *
+ * Batches run through the bit-serial GEMM engine (gemm/compressed_gemm):
+ * activations are packed once per layer and every compressed weight row
+ * executes against the whole batch. The original per-sample
+ * dotCompressed() loop is preserved as forwardPerDot(), the pinned
+ * reference the tests hold the GEMM path bit-identical to.
  */
 #ifndef BBS_NN_INT8_INFER_HPP
 #define BBS_NN_INT8_INFER_HPP
@@ -16,6 +22,7 @@
 #include <vector>
 
 #include "core/compressed_tensor.hpp"
+#include "gemm/compressed_gemm.hpp"
 #include "nn/network.hpp"
 
 namespace bbs {
@@ -23,14 +30,39 @@ namespace bbs {
 /** One dense layer prepared for integer execution. */
 struct Int8LinearLayer
 {
-    /** Per output channel: the row's BBS-compressed weight groups. */
-    std::vector<std::vector<CompressedGroup>> rowGroups;
+    /**
+     * All output channels' BBS-compressed weight groups, row-major flat:
+     * channel o's groups are groups[rowOffsets[o] .. rowOffsets[o+1]).
+     * Flat storage keeps row tiles cache-linear for the GEMM engine.
+     */
+    std::vector<CompressedGroup> groups;
+    std::vector<std::int64_t> rowOffsets; ///< outFeatures()+1 entries
+    /** The same rows prepacked for gemmCompressed (planes + metadata). */
+    CompressedRowPlanes planes;
     std::int64_t inFeatures = 0;
     std::int64_t groupSize = 32;
     std::vector<float> wScales; ///< per-output-channel weight scales
     FloatTensor bias;           ///< float bias (applied post-dequant)
     bool geluAfter = false;
     bool reluAfter = false;
+
+    std::int64_t
+    outFeatures() const
+    {
+        return static_cast<std::int64_t>(rowOffsets.size()) - 1;
+    }
+
+    /** Channel @p o's compressed groups. */
+    std::span<const CompressedGroup>
+    rowGroups(std::int64_t o) const
+    {
+        std::size_t begin =
+            static_cast<std::size_t>(rowOffsets[static_cast<std::size_t>(o)]);
+        std::size_t end = static_cast<std::size_t>(
+            rowOffsets[static_cast<std::size_t>(o) + 1]);
+        return std::span<const CompressedGroup>(groups.data() + begin,
+                                                end - begin);
+    }
 };
 
 /** An integer inference engine mirroring a trained dense Network. */
@@ -50,18 +82,27 @@ class Int8Network
                                    PruneStrategy strategy);
 
     /**
-     * Integer forward pass: activations are quantized per layer to INT8
-     * (symmetric, max-calibrated per batch), each dot product runs through
-     * dotCompressed(), and the INT32 accumulators are rescaled to float
-     * for the next layer's nonlinearity.
+     * Integer forward pass through the batched GEMM engine: activations
+     * are quantized per layer to INT8 (symmetric, max-calibrated per
+     * batch) and packed once, every layer runs gemmCompressed(), and the
+     * INT32 accumulators are rescaled to float for the next layer's
+     * nonlinearity. Bit-identical to forwardPerDot().
      */
     Batch forward(const Batch &x) const;
 
-    /** Argmax predictions. */
+    /**
+     * Pinned reference: the original per-(sample, channel) loop over
+     * dotCompressed(). Kept for tests and the micro_gemm baseline.
+     */
+    Batch forwardPerDot(const Batch &x) const;
+
+    /** Argmax predictions (through the GEMM path). */
     std::vector<int> predict(const Batch &x) const;
 
     /** Mean effective weight bits across layers. */
     double effectiveBits() const;
+
+    const std::vector<Int8LinearLayer> &layers() const { return layers_; }
 
   private:
     std::vector<Int8LinearLayer> layers_;

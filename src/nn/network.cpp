@@ -89,7 +89,12 @@ Network::trainBatch(const Batch &x, const std::vector<int> &labels,
 std::vector<int>
 Network::predict(const Batch &x)
 {
-    Batch logits = forward(x, /*train=*/false);
+    return argmaxRows(forward(x, /*train=*/false));
+}
+
+std::vector<int>
+argmaxRows(const Batch &logits)
+{
     std::int64_t n = logits.shape().dim(0);
     std::int64_t c = logits.shape().dim(1);
     std::vector<int> out(static_cast<std::size_t>(n));

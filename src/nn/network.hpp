@@ -53,6 +53,12 @@ class Network
 /** Softmax over the last dimension, row-wise, numerically stable. */
 Batch softmaxRows(const Batch &logits);
 
+/**
+ * Row-wise argmax of a logits batch (first maximum wins). The single
+ * prediction rule every engine and evaluator shares.
+ */
+std::vector<int> argmaxRows(const Batch &logits);
+
 } // namespace bbs
 
 #endif // BBS_NN_NETWORK_HPP

@@ -96,6 +96,51 @@ TEST_F(Int8InferTest, BbsCompressionInsideIntegerPathKeepsAccuracy)
     EXPECT_NEAR(mod.effectiveBits(), 4.25, 0.3);
 }
 
+TEST_F(Int8InferTest, GemmForwardBitIdenticalToPerDotReference)
+{
+    // The batched GEMM path and the per-sample dotCompressed loop are
+    // the same integer arithmetic followed by the same float rescale, so
+    // logits must be bit-identical — across compression operating points
+    // and batch sizes (including one straddling 64-column words).
+    for (int target : {0, 3}) {
+        Int8Network engine = Int8Network::fromNetwork(
+            net_, 32, target, PruneStrategy::ZeroPointShifting);
+        for (std::int64_t rows : {std::int64_t{1}, std::int64_t{7},
+                                  ds_.testX.shape().dim(0)}) {
+            Batch x(Shape{rows, ds_.testX.shape().dim(1)});
+            for (std::int64_t i = 0; i < x.numel(); ++i)
+                x.flat(i) = ds_.testX.flat(i);
+            Batch gemm = engine.forward(x);
+            Batch perDot = engine.forwardPerDot(x);
+            ASSERT_TRUE(gemm.shape() == perDot.shape());
+            for (std::int64_t i = 0; i < gemm.numel(); ++i)
+                ASSERT_EQ(gemm.flat(i), perDot.flat(i))
+                    << "target=" << target << " rows=" << rows
+                    << " i=" << i;
+        }
+    }
+}
+
+TEST_F(Int8InferTest, BatchedEvaluationMatchesWholeSetEvaluation)
+{
+    Int8Network engine = Int8Network::fromNetwork(
+        net_, 32, 0, PruneStrategy::RoundedAveraging);
+
+    // Mini-batched accuracy through the GEMM engine must track the
+    // float network like the whole-set path does (activation scales are
+    // calibrated per batch, so tiny deviations are expected, not drift).
+    double whole = accuracyPercent(engine, ds_.testX, ds_.testY,
+                                   ds_.testX.shape().dim(0));
+    double batched = accuracyPercent(engine, ds_.testX, ds_.testY, 16);
+    EXPECT_NEAR(batched, whole, 8.0);
+    EXPECT_NEAR(whole, floatAcc_, 4.0);
+
+    // Perplexity over the integer logits is finite and sane.
+    double ppl = perplexity(engine, ds_.testX, ds_.testY, 32);
+    EXPECT_GT(ppl, 1.0);
+    EXPECT_LT(ppl, static_cast<double>(ds_.numClasses) * 2.0);
+}
+
 TEST(BitVertArrayConv, ConvViaIm2colMatchesDirectReference)
 {
     Rng rng(77);
