@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Serving throughput vs. offered concurrency: the dynamic micro-batching
+ * runtime against the per-request baseline.
+ *
+ * For each client count M in {1, 8, 64, 256}, M closed-loop client
+ * threads issue single-sample requests (a fixed total across all
+ * clients) two ways:
+ *
+ *  - per-request: each client executes its own sample directly through
+ *    Int8Network::forwardPerDot() — the pre-serving deployment shape,
+ *    one compressed-dot pass per request, request-level parallelism
+ *    only (the worker cap is pinned to 1 during this phase so a naive
+ *    per-request server's intra-op behaviour is modeled, not an
+ *    oversubscribed thread explosion);
+ *  - batched runtime: clients submit to the InferenceServer, whose
+ *    batcher coalesces up to maxBatch requests into one
+ *    BitSerialMatrix pack + gemmCompressed call (full intra-GEMM
+ *    parallelism).
+ *
+ * Every server response is checked bit-identical to the per-request
+ * oracle. The run exits non-zero unless the batching runtime reaches
+ * >= 3x the per-request throughput at every M >= 64 (the CI Release
+ * gate).
+ */
+#include <chrono>
+#include <iostream>
+#include <thread>
+
+#include "bench/bench_common.hpp"
+#include "common/logging.hpp"
+#include "common/parallel.hpp"
+#include "common/random.hpp"
+#include "common/table.hpp"
+#include "nn/layers.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace bbs;
+
+constexpr std::int64_t kInputDim = 512;
+constexpr std::int64_t kHidden = 256;
+constexpr std::int64_t kClasses = 64;
+constexpr std::int64_t kTotalRequests = 1024;
+constexpr std::size_t kPoolSize = 64;
+
+std::vector<std::vector<float>>
+makePool(std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<float>> pool(kPoolSize);
+    for (auto &sample : pool) {
+        sample.resize(static_cast<std::size_t>(kInputDim));
+        for (float &v : sample)
+            v = static_cast<float>(rng.uniformReal(-1.0, 1.0));
+    }
+    return pool;
+}
+
+double
+wallSecondsOf(const std::function<void()> &fn)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "micro_serve",
+        "the micro-batching serving runtime reaches >= 3x the "
+        "per-request forwardPerDot throughput at >= 64 concurrent "
+        "clients");
+
+    Rng wrng(0xbeef);
+    Network net;
+    net.add(std::make_unique<Dense>(kInputDim, kHidden, wrng));
+    net.add(std::make_unique<ReluLayer>());
+    net.add(std::make_unique<Dense>(kHidden, kClasses, wrng));
+    auto registry = std::make_shared<ModelRegistry>();
+    registry->add("clf", Int8Network::fromNetwork(
+                             net, 32, 4, PruneStrategy::ZeroPointShifting));
+    std::shared_ptr<const Int8Network> engine = registry->find("clf");
+
+    auto pool = makePool(0xf00d);
+    // Per-sample oracle (also the correctness pin for every response).
+    std::vector<std::vector<float>> oracle(kPoolSize);
+    for (std::size_t i = 0; i < kPoolSize; ++i) {
+        Batch x(Shape{1, kInputDim});
+        for (std::int64_t c = 0; c < kInputDim; ++c)
+            x.at(0, c) = pool[i][static_cast<std::size_t>(c)];
+        Batch y = engine->forwardPerDot(x);
+        oracle[i].resize(static_cast<std::size_t>(kClasses));
+        for (std::int64_t c = 0; c < kClasses; ++c)
+            oracle[i][static_cast<std::size_t>(c)] = y.at(0, c);
+    }
+
+    Table table({"clients", "per-request", "batched runtime", "speedup",
+                 "p50", "p99", "mean batch"});
+    bool gatePassed = true;
+
+    for (int clients : {1, 8, 64, 256}) {
+        const std::int64_t perClient = kTotalRequests / clients;
+        const std::int64_t total =
+            perClient * static_cast<std::int64_t>(clients);
+
+        // ---- per-request baseline: forwardPerDot per sample, request-
+        // level concurrency only.
+        setWorkerThreadCap(1);
+        double baseS = wallSecondsOf([&] {
+            std::vector<std::thread> threads;
+            for (int t = 0; t < clients; ++t) {
+                threads.emplace_back([&, t] {
+                    for (std::int64_t i = 0; i < perClient; ++i) {
+                        std::size_t idx = static_cast<std::size_t>(
+                            (static_cast<std::int64_t>(t) * perClient +
+                             i) %
+                            kPoolSize);
+                        Batch x(Shape{1, kInputDim});
+                        for (std::int64_t c = 0; c < kInputDim; ++c)
+                            x.at(0, c) =
+                                pool[idx][static_cast<std::size_t>(c)];
+                        Batch y = engine->forwardPerDot(x);
+                        if (y.at(0, 0) != oracle[idx][0])
+                            BBS_PANIC("baseline mismatch");
+                    }
+                });
+            }
+            for (auto &th : threads)
+                th.join();
+        });
+        setWorkerThreadCap(0);
+
+        // ---- batched runtime: same offered load through the server.
+        ServerConfig cfg;
+        cfg.maxBatch = 64;
+        cfg.maxDelayUs = 1000;
+        cfg.workers = 1;
+        InferenceServer server(registry, cfg);
+        std::atomic<std::int64_t> mismatches{0};
+        double serveS = wallSecondsOf([&] {
+            std::vector<std::thread> threads;
+            for (int t = 0; t < clients; ++t) {
+                threads.emplace_back([&, t] {
+                    for (std::int64_t i = 0; i < perClient; ++i) {
+                        std::size_t idx = static_cast<std::size_t>(
+                            (static_cast<std::int64_t>(t) * perClient +
+                             i) %
+                            kPoolSize);
+                        InferenceResponse resp =
+                            server.submit("clf", pool[idx]).get();
+                        if (resp.status != ServeStatus::Ok ||
+                            resp.logits != oracle[idx])
+                            mismatches.fetch_add(1);
+                    }
+                });
+            }
+            for (auto &th : threads)
+                th.join();
+        });
+        StatsSnapshot s = server.stats();
+        server.stop();
+        if (mismatches.load() != 0)
+            BBS_PANIC(mismatches.load(),
+                      " responses deviated from the per-request oracle "
+                      "at clients=", clients);
+
+        double baseRps = static_cast<double>(total) / baseS;
+        double serveRps = static_cast<double>(total) / serveS;
+        double speedup = serveRps / baseRps;
+        if (clients >= 64 && speedup < 3.0)
+            gatePassed = false;
+        table.addRow(
+            {format("%d", clients), format("%.0f req/s", baseRps),
+             format("%.0f req/s", serveRps), bench::times(speedup),
+             format("%.2f ms", s.p50Us / 1e3),
+             format("%.2f ms", s.p99Us / 1e3),
+             format("%.1f", s.meanBatchRows)});
+    }
+    table.print(std::cout);
+
+    std::cout << (gatePassed
+                      ? "\nserving speedup target (>= 3x at >= 64 "
+                        "clients) met\n"
+                      : "\nserving speedup BELOW the 3x target at >= 64 "
+                        "clients!\n");
+    return gatePassed ? 0 : 1;
+}

@@ -5,16 +5,19 @@
  *
  *   train -> per-channel INT8 PTQ -> BBS binary pruning -> bit-packed
  *   serialization (the DRAM image) -> deserialization -> batched integer
- *   inference through the bit-serial GEMM engine -> accuracy check.
+ *   inference through the bit-serial GEMM engine -> accuracy check ->
+ *   the serving runtime hosting every operating point behind one queue.
  *
  * Everything downstream of training operates on the serialized bytes, so
  * this example also demonstrates that the wire format is self-sufficient.
- * Inference runs in serving-sized mini-batches: activations are packed
- * once per batch and every compressed weight row executes against the
- * whole batch (gemm/compressed_gemm), which is how a deployment would
- * amortize packing under load.
+ * Offline evaluation runs in serving-sized mini-batches (activations are
+ * packed once per batch, every compressed weight row executes against
+ * the whole batch); the final stage then serves live single-sample
+ * traffic through src/serve — request coalescing into the same GEMM
+ * engine, with per-row calibration so batching never changes a logit.
  */
 #include <iostream>
+#include <thread>
 
 #include "common/table.hpp"
 #include "core/serialization.hpp"
@@ -22,6 +25,7 @@
 #include "nn/evaluate.hpp"
 #include "nn/int8_infer.hpp"
 #include "quant/quantizer.hpp"
+#include "serve/server.hpp"
 
 int
 main()
@@ -73,7 +77,9 @@ main()
               << " smaller)\n";
 
     // 4. Batched integer inference through the GEMM engine, evaluated
-    // in serving-sized mini-batches of 64.
+    // in serving-sized mini-batches of 64; every operating point goes
+    // into the serving registry for step 5.
+    auto registry = std::make_shared<ModelRegistry>();
     Table t({"Engine", "Eff. bits", "Accuracy %"});
     for (int target : {0, 2, 4}) {
         Int8Network engine = Int8Network::fromNetwork(
@@ -87,11 +93,76 @@ main()
                         : format("BBS %d columns", target);
         t.addRow({label, format("%.2f", engine.effectiveBits()),
                   format("%.2f", acc)});
+        registry->add(target == 0 ? "int8" : format("bbs%d", target),
+                      std::move(engine));
     }
     t.print(std::cout);
     std::cout << "\nAll inference above ran integer-only through "
                  "gemmCompressed() — the exact arithmetic the BitVert "
                  "PE performs, batched across each mini-batch (and "
                  "bit-identical to the per-sample dotCompressed loop).\n";
+
+    // 5. Live serving: one InferenceServer hosts all three engines; a
+    // few clients submit the test set as single-sample requests, which
+    // the batcher coalesces back into GEMM batches.
+    ServerConfig cfg;
+    cfg.maxBatch = 32;
+    cfg.maxDelayUs = 500;
+    cfg.workers = 1;
+    InferenceServer server(registry, cfg);
+
+    const std::int64_t n = ds.testX.shape().dim(0);
+    const std::int64_t features = ds.testX.shape().dim(1);
+    std::vector<std::string> models = registry->names();
+    std::vector<std::int64_t> hits(models.size(), 0);
+    std::vector<std::int64_t> served(models.size(), 0);
+    std::mutex tallyMutex;
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 4; ++c) {
+        clients.emplace_back([&, c] {
+            for (std::int64_t i = c; i < n; i += 4) {
+                std::vector<float> input(
+                    static_cast<std::size_t>(features));
+                for (std::int64_t f = 0; f < features; ++f)
+                    input[static_cast<std::size_t>(f)] =
+                        ds.testX.at(i, f);
+                for (std::size_t m = 0; m < models.size(); ++m) {
+                    InferenceResponse resp =
+                        server.submit(models[m], input).get();
+                    if (resp.status != ServeStatus::Ok)
+                        continue;
+                    std::lock_guard<std::mutex> lock(tallyMutex);
+                    ++served[m];
+                    hits[m] +=
+                        resp.predicted ==
+                        ds.testY[static_cast<std::size_t>(i)];
+                }
+            }
+        });
+    }
+    for (auto &c : clients)
+        c.join();
+    StatsSnapshot s = server.stats();
+    server.stop();
+
+    std::cout << "\nServing the test set as concurrent single-sample "
+                 "requests (4 clients, maxBatch=32, maxDelayUs=500):\n";
+    Table st({"Model", "Served", "Accuracy %"});
+    for (std::size_t m = 0; m < models.size(); ++m)
+        st.addRow({models[m],
+                   format("%lld", static_cast<long long>(served[m])),
+                   format("%.2f", 100.0 * static_cast<double>(hits[m]) /
+                                      static_cast<double>(served[m]))});
+    st.print(std::cout);
+    std::cout << "batches " << s.batches << ", mean batch "
+              << format("%.1f", s.meanBatchRows) << " rows, p50 "
+              << format("%.2f", s.p50Us / 1e3) << " ms, p99 "
+              << format("%.2f", s.p99Us / 1e3) << " ms, "
+              << format("%.0f", s.throughputRps) << " req/s\n";
+    if (s.completed != static_cast<std::uint64_t>(3 * n)) {
+        std::cerr << "serving lost requests: " << s.completed << " != "
+                  << 3 * n << "\n";
+        return 1;
+    }
     return 0;
 }

@@ -36,29 +36,72 @@ insideParallelWorker()
     return inside;
 }
 
+/**
+ * Parse a BBS_THREADS-style cap: a positive integer below @p hw clamps
+ * the worker count; anything else (null, malformed, zero, negative, or
+ * >= hw) leaves it at @p hw.
+ */
+inline unsigned
+parseThreadCap(const char *env, unsigned hw)
+{
+    if (env == nullptr)
+        return hw;
+    char *end = nullptr;
+    long cap = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && cap > 0 && cap < static_cast<long>(hw))
+        return static_cast<unsigned>(cap);
+    return hw;
+}
+
+/** Runtime worker-cap override slot; 0 means "no override". */
+inline std::atomic<unsigned> &
+workerThreadCapOverride()
+{
+    static std::atomic<unsigned> cap{0};
+    return cap;
+}
+
 } // namespace detail
 
 /**
  * Worker-count cap for every parallel primitive: hardware concurrency,
  * clamped by the BBS_THREADS environment variable when set to a positive
- * integer. BBS_THREADS is the deployment knob for co-located serving —
- * it is re-read on every call, so it can be flipped between requests
- * (e.g. by a test) without restarting the process.
+ * integer. BBS_THREADS is the deployment knob for co-located serving.
+ *
+ * The environment is read ONCE, on the first call (a thread-safe magic
+ * static): the serving runtime hits this per batch, and getenv on that
+ * hot path is both a needless syscall-ish cost and unsafe against
+ * concurrent environment mutation. Runtime changes go through
+ * setWorkerThreadCap() instead of the environment.
  */
 inline unsigned
 maxWorkerThreads()
 {
-    unsigned hw = std::thread::hardware_concurrency();
-    if (hw == 0)
-        hw = 1;
-    if (const char *env = std::getenv("BBS_THREADS")) {
-        char *end = nullptr;
-        long cap = std::strtol(env, &end, 10);
-        if (end != env && *end == '\0' && cap > 0 &&
-            cap < static_cast<long>(hw))
-            return static_cast<unsigned>(cap);
-    }
-    return hw;
+    static const unsigned fromEnv = [] {
+        unsigned hw = std::thread::hardware_concurrency();
+        if (hw == 0)
+            hw = 1;
+        return detail::parseThreadCap(std::getenv("BBS_THREADS"), hw);
+    }();
+    unsigned cap =
+        detail::workerThreadCapOverride().load(std::memory_order_relaxed);
+    if (cap > 0 && cap < fromEnv)
+        return cap;
+    return fromEnv;
+}
+
+/**
+ * Cap the worker count at runtime (0 restores the cached BBS_THREADS /
+ * hardware default). This replaces the old "flip BBS_THREADS between
+ * calls" affordance the per-call getenv provided: tests and benchmarks
+ * that want a temporary cap (e.g. a per-request baseline with intra-op
+ * parallelism off) set it here, thread-safely, without touching the
+ * environment.
+ */
+inline void
+setWorkerThreadCap(unsigned cap)
+{
+    detail::workerThreadCapOverride().store(cap, std::memory_order_relaxed);
 }
 
 inline void

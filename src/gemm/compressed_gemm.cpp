@@ -103,9 +103,9 @@ groupDot(const PackedGroup &pg, const std::uint64_t *aw)
 
 } // namespace
 
-Int32Tensor
-gemmCompressed(const CompressedRowPlanes &weights,
-               const BitSerialMatrix &activations)
+void
+gemmCompressedInto(const CompressedRowPlanes &weights,
+                   const BitSerialMatrix &activations, Int32Tensor &out)
 {
     BBS_REQUIRE(activations.cols() == weights.cols(),
                 "GEMM depth mismatch: ", activations.cols(), " vs ",
@@ -117,23 +117,34 @@ gemmCompressed(const CompressedRowPlanes &weights,
     std::int64_t n = activations.rows();
     std::int64_t k = weights.rows();
     std::int64_t numGroups = weights.groupsPerRow();
-    Int32Tensor out(Shape{n, k}); // Shape enforces n, k >= 1
+    if (out.shape().rank() != 2 || out.shape().dim(0) != n ||
+        out.shape().dim(1) != k)
+        out = Int32Tensor(Shape{n, k}); // Shape enforces n, k >= 1
 
     // Stage 1: extract each group's activation window planes and sum of
     // activations once per (sample, group); every weight row reuses them.
-    std::vector<std::uint64_t> windows(
+    // The scratch is thread_local so a serving worker draining batch
+    // after batch reuses its high-water allocation instead of paying an
+    // allocate/free per batch. CRITICAL: parallelFor workers are fresh
+    // threads, and a lambda body naming a thread_local resolves to the
+    // *worker's own* (empty) instance — so hand the workers raw pointers
+    // into THIS thread's buffers; they touch only disjoint slices.
+    static thread_local std::vector<std::uint64_t> windowScratch;
+    static thread_local std::vector<std::int64_t> sumScratch;
+    windowScratch.resize(
         static_cast<std::size_t>(n * numGroups * kWeightBits));
-    std::vector<std::int64_t> sums(static_cast<std::size_t>(n * numGroups));
+    sumScratch.resize(static_cast<std::size_t>(n * numGroups));
+    std::uint64_t *const windows = windowScratch.data();
+    std::int64_t *const sums = sumScratch.data();
     parallelFor(n, [&](std::int64_t r) {
         for (std::int64_t g = 0; g < numGroups; ++g) {
             std::int64_t begin = weights.groupBegin(g);
             int len = weights.groupMembers(g);
             std::uint64_t *aw =
-                windows.data() + (r * numGroups + g) * kWeightBits;
+                windows + (r * numGroups + g) * kWeightBits;
             for (int c = 0; c < kWeightBits; ++c)
                 aw[c] = activations.window(c, r, begin, len);
-            sums[static_cast<std::size_t>(r * numGroups + g)] =
-                planeWindowSum(aw);
+            sums[r * numGroups + g] = planeWindowSum(aw);
         }
     }, 4);
 
@@ -145,9 +156,8 @@ gemmCompressed(const CompressedRowPlanes &weights,
         std::int64_t o1 = std::min(o0 + 1, k - 1); // degenerate last tile
         for (std::int64_t r = 0; r < n; ++r) {
             const std::uint64_t *aw =
-                windows.data() + r * numGroups * kWeightBits;
-            const std::int64_t *sumA =
-                sums.data() + r * numGroups;
+                windows + r * numGroups * kWeightBits;
+            const std::int64_t *sumA = sums + r * numGroups;
             std::int64_t acc0 = 0, acc1 = 0;
             for (std::int64_t g = 0; g < numGroups;
                  ++g, aw += kWeightBits) {
@@ -168,6 +178,14 @@ gemmCompressed(const CompressedRowPlanes &weights,
                 out.at(r, o1) = static_cast<std::int32_t>(acc1);
         }
     }, 1);
+}
+
+Int32Tensor
+gemmCompressed(const CompressedRowPlanes &weights,
+               const BitSerialMatrix &activations)
+{
+    Int32Tensor out;
+    gemmCompressedInto(weights, activations, out);
     return out;
 }
 

@@ -124,6 +124,16 @@ class CompressedRowPlanes
 Int32Tensor gemmCompressed(const CompressedRowPlanes &weights,
                            const BitSerialMatrix &activations);
 
+/**
+ * Same GEMM into a caller-owned output buffer: @p out is reshaped only
+ * when its shape differs from [N, K], so a serving loop that executes the
+ * same model batch after batch skips the per-call allocate + zero-fill
+ * (every output element is overwritten unconditionally).
+ */
+void gemmCompressedInto(const CompressedRowPlanes &weights,
+                        const BitSerialMatrix &activations,
+                        Int32Tensor &out);
+
 } // namespace bbs
 
 #endif // BBS_GEMM_COMPRESSED_GEMM_HPP

@@ -30,6 +30,28 @@ quantizeActivations(const Batch &cur, Int8Tensor &qx)
 }
 
 /**
+ * Symmetric max-calibrated quantization of one row of @p cur, scale from
+ * that row alone. On a one-row batch this is exactly quantizeActivations,
+ * which is what makes the row-calibrated forward bit-identical to a
+ * single-sample pass.
+ */
+float
+quantizeRow(const Batch &cur, std::int64_t row, Int8Tensor &qx)
+{
+    std::int64_t in = cur.shape().dim(1);
+    float amax = 0.0f;
+    for (std::int64_t c = 0; c < in; ++c)
+        amax = std::max(amax, std::abs(cur.at(row, c)));
+    float sA = amax > 0.0f ? amax / 127.0f : 1.0f;
+    for (std::int64_t c = 0; c < in; ++c) {
+        float q = std::nearbyint(cur.at(row, c) / sA);
+        qx.at(row, c) =
+            static_cast<std::int8_t>(std::clamp(q, -128.0f, 127.0f));
+    }
+    return sA;
+}
+
+/**
  * Dequantize one INT32 accumulator and apply the fused nonlinearity.
  * Both forward paths funnel through this exact expression, which is what
  * keeps their logits bit-identical.
@@ -128,6 +150,44 @@ Int8Network::forward(const Batch &x) const
                 next.at(row, o) = dequantize(
                     prod.at(row, o),
                     layer.wScales[static_cast<std::size_t>(o)], sA,
+                    layer.bias.flat(o), layer.reluAfter,
+                    layer.geluAfter);
+        }, 16);
+        cur = std::move(next);
+    }
+    return cur;
+}
+
+Batch
+Int8Network::forwardRowCalibrated(const Batch &x) const
+{
+    Batch cur = x;
+    Int32Tensor prod; // reused across layers (gemmCompressedInto)
+    for (const Int8LinearLayer &layer : layers_) {
+        std::int64_t n = cur.shape().dim(0);
+        std::int64_t in = cur.shape().dim(1);
+        std::int64_t out = layer.outFeatures();
+        BBS_REQUIRE(layer.inFeatures == in,
+                    "activation width mismatch");
+
+        // Per-row scales: each sample quantizes against its own max, so
+        // batch composition cannot perturb any sample's arithmetic.
+        Int8Tensor qx(Shape{n, in});
+        std::vector<float> sA(static_cast<std::size_t>(n));
+        parallelFor(n, [&](std::int64_t row) {
+            sA[static_cast<std::size_t>(row)] = quantizeRow(cur, row, qx);
+        }, 8);
+
+        BitSerialMatrix acts = BitSerialMatrix::pack(qx);
+        gemmCompressedInto(layer.planes, acts, prod);
+
+        Batch next(Shape{n, out});
+        parallelFor(n, [&](std::int64_t row) {
+            for (std::int64_t o = 0; o < out; ++o)
+                next.at(row, o) = dequantize(
+                    prod.at(row, o),
+                    layer.wScales[static_cast<std::size_t>(o)],
+                    sA[static_cast<std::size_t>(row)],
                     layer.bias.flat(o), layer.reluAfter,
                     layer.geluAfter);
         }, 16);

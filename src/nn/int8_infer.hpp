@@ -96,11 +96,38 @@ class Int8Network
      */
     Batch forwardPerDot(const Batch &x) const;
 
+    /**
+     * Batched forward with PER-ROW activation calibration: each sample's
+     * activation scale is its own row max at every layer, so a row's
+     * logits depend only on that row — never on which other requests the
+     * serving batcher happened to coalesce with it. Row r of the result
+     * is bit-identical to forwardPerDot() (equivalently forward()) on a
+     * one-row batch holding row r alone; the serving runtime relies on
+     * this to stay bit-exact against its single-request oracle. forward()
+     * keeps per-batch calibration: one shared scale is the right
+     * semantics when the batch is one logical workload (evaluation).
+     */
+    Batch forwardRowCalibrated(const Batch &x) const;
+
     /** Argmax predictions (through the GEMM path). */
     std::vector<int> predict(const Batch &x) const;
 
     /** Mean effective weight bits across layers. */
     double effectiveBits() const;
+
+    /** Feature width the first layer expects (serving input validation). */
+    std::int64_t
+    inputFeatures() const
+    {
+        return layers_.front().inFeatures;
+    }
+
+    /** Logit width the last layer produces. */
+    std::int64_t
+    outputFeatures() const
+    {
+        return layers_.back().outFeatures();
+    }
 
     const std::vector<Int8LinearLayer> &layers() const { return layers_; }
 

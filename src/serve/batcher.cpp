@@ -1,0 +1,47 @@
+#include "serve/batcher.hpp"
+
+#include "common/logging.hpp"
+
+namespace bbs {
+
+Batcher::Batcher(RequestQueue &queue, BatcherConfig config)
+    : queue_(queue), config_(config)
+{
+    BBS_REQUIRE(config_.maxBatch >= 1, "maxBatch must be >= 1, got ",
+                config_.maxBatch);
+    BBS_REQUIRE(config_.maxDelayUs >= 0, "maxDelayUs must be >= 0, got ",
+                config_.maxDelayUs);
+}
+
+std::vector<InferenceRequest>
+Batcher::nextBatch()
+{
+    std::vector<InferenceRequest> batch;
+    std::optional<InferenceRequest> first = queue_.waitFront();
+    if (!first)
+        return batch; // shut down and drained
+    batch.reserve(static_cast<std::size_t>(config_.maxBatch));
+    batch.push_back(std::move(*first));
+
+    auto flushAt = std::chrono::steady_clock::now() +
+                   std::chrono::microseconds(config_.maxDelayUs);
+    while (static_cast<std::int64_t>(batch.size()) < config_.maxBatch) {
+        std::uint64_t version = 0;
+        std::vector<InferenceRequest> more = queue_.popModel(
+            batch.front().model,
+            config_.maxBatch - static_cast<std::int64_t>(batch.size()),
+            version);
+        for (InferenceRequest &r : more)
+            batch.push_back(std::move(r));
+        if (static_cast<std::int64_t>(batch.size()) >= config_.maxBatch)
+            break;
+        // Nothing more to claim right now: sleep until a push, the
+        // flush deadline, or shutdown. Timeout/shutdown => flush what we
+        // have — claimed requests are served even mid-shutdown.
+        if (!queue_.waitArrival(version, flushAt))
+            break;
+    }
+    return batch;
+}
+
+} // namespace bbs

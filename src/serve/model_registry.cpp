@@ -1,0 +1,45 @@
+#include "serve/model_registry.hpp"
+
+namespace bbs {
+
+void
+ModelRegistry::add(const std::string &name, Int8Network engine)
+{
+    add(name, std::make_shared<const Int8Network>(std::move(engine)));
+}
+
+void
+ModelRegistry::add(const std::string &name,
+                   std::shared_ptr<const Int8Network> engine)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    models_[name] = std::move(engine);
+}
+
+std::shared_ptr<const Int8Network>
+ModelRegistry::find(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = models_.find(name);
+    return it == models_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string>
+ModelRegistry::names() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(models_.size());
+    for (const auto &[name, engine] : models_)
+        out.push_back(name);
+    return out;
+}
+
+std::size_t
+ModelRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return models_.size();
+}
+
+} // namespace bbs

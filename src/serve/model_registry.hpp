@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Named collection of prepacked Int8Networks so one server hosts several
+ * compressed models (operating points, different architectures) behind
+ * one queue. Engines are shared immutably: a lookup hands out a
+ * shared_ptr<const>, so replacing a model mid-flight never invalidates
+ * requests already resolved against the old engine.
+ */
+#ifndef BBS_SERVE_MODEL_REGISTRY_HPP
+#define BBS_SERVE_MODEL_REGISTRY_HPP
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "nn/int8_infer.hpp"
+
+namespace bbs {
+
+class ModelRegistry
+{
+  public:
+    /** Register (or replace) @p name. The engine is moved into shared
+     *  immutable ownership. */
+    void add(const std::string &name, Int8Network engine);
+    void add(const std::string &name,
+             std::shared_ptr<const Int8Network> engine);
+
+    /** nullptr when @p name is not registered. */
+    std::shared_ptr<const Int8Network> find(const std::string &name) const;
+
+    /** Registered names, sorted. */
+    std::vector<std::string> names() const;
+
+    std::size_t size() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::shared_ptr<const Int8Network>> models_;
+};
+
+} // namespace bbs
+
+#endif // BBS_SERVE_MODEL_REGISTRY_HPP

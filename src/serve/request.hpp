@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Request/response types of the serving runtime.
+ *
+ * A request is one sample for one named model, with an optional absolute
+ * deadline. The runtime coalesces concurrent requests into GEMM batches
+ * (serve/batcher.hpp), but every response is computed with per-row
+ * activation calibration (Int8Network::forwardRowCalibrated), so a
+ * request's logits are bit-identical to running it alone through
+ * forwardPerDot() — batching is invisible except in latency/throughput.
+ */
+#ifndef BBS_SERVE_REQUEST_HPP
+#define BBS_SERVE_REQUEST_HPP
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/int8_infer.hpp"
+
+namespace bbs {
+
+/** Terminal state of a request. */
+enum class ServeStatus
+{
+    Ok,              ///< executed; logits/predicted are valid
+    DeadlineExpired, ///< still queued past its deadline; never executed
+    ShutDown,        ///< server stopped before the request was scheduled
+    UnknownModel,    ///< no registered model under that name
+    BadInput,        ///< input width != the model's inputFeatures()
+};
+
+/** Human-readable status name (logs, test failure messages). */
+const char *serveStatusName(ServeStatus s);
+
+/** Microseconds between two steady_clock readings (latency fields). */
+inline double
+microsBetween(std::chrono::steady_clock::time_point from,
+              std::chrono::steady_clock::time_point to)
+{
+    return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+/** What the submitter's future resolves to. */
+struct InferenceResponse
+{
+    ServeStatus status = ServeStatus::Ok;
+    std::vector<float> logits; ///< empty unless status == Ok
+    int predicted = -1;        ///< argmax over logits (first max wins)
+    std::int64_t batchRows = 0; ///< size of the batch this request rode in
+    double queueUs = 0.0;  ///< submit -> batch execution start
+    double totalUs = 0.0;  ///< submit -> response completion
+};
+
+/**
+ * A queued request (internal to the runtime; submitters only see the
+ * future). The engine pointer is resolved from the ModelRegistry at
+ * submit time so a batch never needs the registry lock, and so a model
+ * replaced mid-flight keeps serving in-queue requests consistently.
+ */
+struct InferenceRequest
+{
+    std::string model;
+    std::vector<float> input;
+    std::shared_ptr<const Int8Network> engine;
+    std::chrono::steady_clock::time_point enqueued;
+    /** steady_clock::time_point::max() means "no deadline". */
+    std::chrono::steady_clock::time_point deadline;
+    std::promise<InferenceResponse> promise;
+};
+
+} // namespace bbs
+
+#endif // BBS_SERVE_REQUEST_HPP

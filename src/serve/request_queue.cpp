@@ -1,0 +1,137 @@
+#include "serve/request_queue.hpp"
+
+#include <algorithm>
+
+namespace bbs {
+
+void
+RequestQueue::reject(InferenceRequest &r, ServeStatus status)
+{
+    InferenceResponse resp;
+    resp.status = status;
+    auto now = std::chrono::steady_clock::now();
+    resp.queueUs = microsBetween(r.enqueued, now);
+    resp.totalUs = resp.queueUs;
+    r.promise.set_value(std::move(resp));
+}
+
+bool
+RequestQueue::push(InferenceRequest r)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (shutdown_) {
+            ++shutdownRejected_;
+            reject(r, ServeStatus::ShutDown);
+            return false;
+        }
+        queue_.push_back(std::move(r));
+        ++arrivals_;
+    }
+    cv_.notify_all();
+    return true;
+}
+
+std::optional<InferenceRequest>
+RequestQueue::waitFront()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+        auto now = std::chrono::steady_clock::now();
+        while (!queue_.empty() && queue_.front().deadline <= now) {
+            ++expired_;
+            reject(queue_.front(), ServeStatus::DeadlineExpired);
+            queue_.pop_front();
+        }
+        if (!queue_.empty()) {
+            InferenceRequest r = std::move(queue_.front());
+            queue_.pop_front();
+            return r;
+        }
+        if (shutdown_)
+            return std::nullopt;
+        // Everything queued had expired; wait for fresh work.
+    }
+}
+
+std::vector<InferenceRequest>
+RequestQueue::popModel(const std::string &model, std::int64_t maxCount,
+                       std::uint64_t &version)
+{
+    std::vector<InferenceRequest> out;
+    std::lock_guard<std::mutex> lock(mutex_);
+    version = arrivals_;
+    if (maxCount <= 0)
+        return out;
+    auto now = std::chrono::steady_clock::now();
+    for (auto it = queue_.begin();
+         it != queue_.end() &&
+         static_cast<std::int64_t>(out.size()) < maxCount;) {
+        if (it->deadline <= now) {
+            ++expired_;
+            reject(*it, ServeStatus::DeadlineExpired);
+            it = queue_.erase(it);
+        } else if (it->model == model) {
+            out.push_back(std::move(*it));
+            it = queue_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    return out;
+}
+
+bool
+RequestQueue::waitArrival(std::uint64_t version,
+                          std::chrono::steady_clock::time_point until)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait_until(lock, until,
+                   [&] { return shutdown_ || arrivals_ > version; });
+    return !shutdown_ && arrivals_ > version;
+}
+
+void
+RequestQueue::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+        shutdownRejected_ += queue_.size();
+        for (InferenceRequest &r : queue_)
+            reject(r, ServeStatus::ShutDown);
+        queue_.clear();
+    }
+    cv_.notify_all();
+}
+
+bool
+RequestQueue::isShutdown() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return shutdown_;
+}
+
+std::size_t
+RequestQueue::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+std::uint64_t
+RequestQueue::expiredCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return expired_;
+}
+
+std::uint64_t
+RequestQueue::shutdownCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return shutdownRejected_;
+}
+
+} // namespace bbs

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Lock + condition-variable request queue feeding the batcher.
+ *
+ * Single FIFO shared by every model: arrival order is preserved per
+ * model, and the batcher pops same-model runs without disturbing other
+ * models' ordering. Deadline-expired requests are rejected (future
+ * completed with DeadlineExpired) whenever a pop scan encounters them, so
+ * an expired request never consumes GEMM work. shutdown() completes every
+ * still-queued future with ShutDown — no submitter is ever left hanging.
+ */
+#ifndef BBS_SERVE_REQUEST_QUEUE_HPP
+#define BBS_SERVE_REQUEST_QUEUE_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace bbs {
+
+class RequestQueue
+{
+  public:
+    /**
+     * Enqueue. Returns false — completing the promise with ShutDown —
+     * when the queue is already shut down.
+     */
+    bool push(InferenceRequest r);
+
+    /**
+     * Block until a request is available (or shutdown), then pop the
+     * oldest live one. Expired requests skipped over are rejected.
+     * nullopt means shut down: no more work will ever arrive.
+     */
+    std::optional<InferenceRequest> waitFront();
+
+    /**
+     * Non-blocking: pop up to @p maxCount oldest live requests for
+     * @p model, leaving other models' requests untouched (in order).
+     * Expired requests of ANY model encountered during the scan are
+     * rejected. @p version receives the queue's arrival counter observed
+     * under the same lock — pass it to waitArrival so a push racing with
+     * this scan cannot be missed.
+     */
+    std::vector<InferenceRequest> popModel(const std::string &model,
+                                           std::int64_t maxCount,
+                                           std::uint64_t &version);
+
+    /**
+     * Block until a push lands after the scan that observed @p version,
+     * the deadline @p until passes, or shutdown. True means "new arrivals
+     * exist — scan again"; false means flush what you have.
+     */
+    bool waitArrival(std::uint64_t version,
+                     std::chrono::steady_clock::time_point until);
+
+    /**
+     * Reject every queued request with ShutDown and refuse future pushes.
+     * Idempotent; wakes all waiters.
+     */
+    void shutdown();
+
+    bool isShutdown() const;
+    std::size_t size() const;
+
+    /** Requests rejected because their deadline expired while queued. */
+    std::uint64_t expiredCount() const;
+    /** Requests rejected by shutdown() (or pushed after it). */
+    std::uint64_t shutdownCount() const;
+
+  private:
+    /** Complete @p r's future with a non-Ok terminal status. */
+    static void reject(InferenceRequest &r, ServeStatus status);
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<InferenceRequest> queue_;
+    std::uint64_t arrivals_ = 0; ///< total pushes (the waitArrival clock)
+    std::uint64_t expired_ = 0;
+    std::uint64_t shutdownRejected_ = 0;
+    bool shutdown_ = false;
+};
+
+} // namespace bbs
+
+#endif // BBS_SERVE_REQUEST_QUEUE_HPP

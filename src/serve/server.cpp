@@ -1,0 +1,183 @@
+#include "serve/server.hpp"
+
+#include "common/logging.hpp"
+#include "nn/network.hpp"
+
+namespace bbs {
+
+InferenceServer::InferenceServer(std::shared_ptr<ModelRegistry> registry,
+                                 ServerConfig config)
+    : registry_(std::move(registry)),
+      config_(config),
+      batcher_(queue_, BatcherConfig{config.maxBatch, config.maxDelayUs}),
+      stats_(config.maxBatch)
+{
+    BBS_REQUIRE(registry_ != nullptr, "server needs a model registry");
+    BBS_REQUIRE(config_.workers >= 0, "workers must be >= 0, got ",
+                config_.workers);
+    workers_.reserve(static_cast<std::size_t>(config_.workers));
+    for (int w = 0; w < config_.workers; ++w)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+InferenceServer::~InferenceServer()
+{
+    stop();
+}
+
+std::future<InferenceResponse>
+InferenceServer::submit(const std::string &model, std::vector<float> input,
+                        std::int64_t deadlineUs)
+{
+    InferenceRequest r;
+    r.model = model;
+    r.input = std::move(input);
+    r.enqueued = std::chrono::steady_clock::now();
+    r.deadline = deadlineUs > 0
+                     ? r.enqueued + std::chrono::microseconds(deadlineUs)
+                     : std::chrono::steady_clock::time_point::max();
+    std::future<InferenceResponse> fut = r.promise.get_future();
+
+    r.engine = registry_->find(model);
+    ServeStatus bad = ServeStatus::Ok;
+    if (!r.engine)
+        bad = ServeStatus::UnknownModel;
+    else if (static_cast<std::int64_t>(r.input.size()) !=
+             r.engine->inputFeatures())
+        bad = ServeStatus::BadInput;
+    if (bad != ServeStatus::Ok) {
+        stats_.recordRejection(bad);
+        InferenceResponse resp;
+        resp.status = bad;
+        r.promise.set_value(std::move(resp));
+        return fut;
+    }
+
+    queue_.push(std::move(r)); // completes with ShutDown if stopped
+    return fut;
+}
+
+std::int64_t
+InferenceServer::drainOnce()
+{
+    std::vector<InferenceRequest> batch = batcher_.nextBatch();
+    std::int64_t rows = static_cast<std::int64_t>(batch.size());
+    if (rows > 0)
+        execute(std::move(batch));
+    return rows;
+}
+
+void
+InferenceServer::workerLoop()
+{
+    while (drainOnce() > 0) {
+    }
+}
+
+void
+InferenceServer::execute(std::vector<InferenceRequest> batch)
+{
+    // Deadlines re-checked at flush time: a request claimed as batch
+    // leader may have sat out the whole maxDelayUs wait, and the
+    // contract is "expired requests are rejected, never executed".
+    {
+        auto now = std::chrono::steady_clock::now();
+        std::vector<InferenceRequest> live;
+        live.reserve(batch.size());
+        for (InferenceRequest &r : batch) {
+            if (r.deadline <= now) {
+                stats_.recordRejection(ServeStatus::DeadlineExpired);
+                InferenceResponse resp;
+                resp.status = ServeStatus::DeadlineExpired;
+                resp.queueUs = microsBetween(r.enqueued, now);
+                resp.totalUs = resp.queueUs;
+                r.promise.set_value(std::move(resp));
+            } else {
+                live.push_back(std::move(r));
+            }
+        }
+        batch = std::move(live);
+    }
+
+    // The batcher keys on the model NAME; if the registry replaced a
+    // model while requests were queued, two engine instances can share a
+    // name. Split into per-engine runs so each GEMM stays homogeneous.
+    while (!batch.empty()) {
+        std::vector<InferenceRequest> run, rest;
+        const Int8Network *engine = batch.front().engine.get();
+        for (InferenceRequest &r : batch)
+            (r.engine.get() == engine ? run : rest).push_back(std::move(r));
+        batch = std::move(rest);
+
+        std::int64_t n = static_cast<std::int64_t>(run.size());
+        std::int64_t in = engine->inputFeatures();
+        auto execStart = std::chrono::steady_clock::now();
+
+        Batch x(Shape{n, in});
+        for (std::int64_t r = 0; r < n; ++r)
+            for (std::int64_t c = 0; c < in; ++c)
+                x.at(r, c) =
+                    run[static_cast<std::size_t>(r)]
+                        .input[static_cast<std::size_t>(c)];
+
+        // One pack + gemmCompressed per layer for the whole run; per-row
+        // calibration keeps each response independent of its co-riders.
+        Batch logits = engine->forwardRowCalibrated(x);
+        std::vector<int> predicted = argmaxRows(logits);
+
+        auto done = std::chrono::steady_clock::now();
+        std::int64_t width = logits.shape().dim(1);
+        stats_.recordBatch(n);
+        for (std::int64_t r = 0; r < n; ++r) {
+            InferenceRequest &req = run[static_cast<std::size_t>(r)];
+            InferenceResponse resp;
+            resp.status = ServeStatus::Ok;
+            resp.logits.resize(static_cast<std::size_t>(width));
+            for (std::int64_t c = 0; c < width; ++c)
+                resp.logits[static_cast<std::size_t>(c)] = logits.at(r, c);
+            resp.predicted = predicted[static_cast<std::size_t>(r)];
+            resp.batchRows = n;
+            resp.queueUs = microsBetween(req.enqueued, execStart);
+            resp.totalUs = microsBetween(req.enqueued, done);
+            stats_.recordCompletion(resp.queueUs, resp.totalUs);
+            req.promise.set_value(std::move(resp));
+        }
+    }
+}
+
+void
+InferenceServer::stop()
+{
+    queue_.shutdown();
+    for (std::thread &w : workers_)
+        if (w.joinable())
+            w.join();
+    workers_.clear();
+}
+
+StatsSnapshot
+InferenceServer::stats() const
+{
+    // Rejections happen on both sides: in the queue (expiry noticed at
+    // pop, shutdown) and in the server (expiry noticed at flush, bad
+    // submissions) — merge additively.
+    StatsSnapshot s = stats_.snapshot();
+    s.expired += queue_.expiredCount();
+    s.shutdownRejected += queue_.shutdownCount();
+    return s;
+}
+
+const char *
+serveStatusName(ServeStatus s)
+{
+    switch (s) {
+    case ServeStatus::Ok: return "Ok";
+    case ServeStatus::DeadlineExpired: return "DeadlineExpired";
+    case ServeStatus::ShutDown: return "ShutDown";
+    case ServeStatus::UnknownModel: return "UnknownModel";
+    case ServeStatus::BadInput: return "BadInput";
+    }
+    return "?";
+}
+
+} // namespace bbs

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The concurrent inference runtime tying the serving layer together:
+ *
+ *   submit() -> RequestQueue -> Batcher (coalesce <= maxBatch, flush
+ *   after maxDelayUs) -> worker pool -> one BitSerialMatrix pack +
+ *   gemmCompressed call per batch -> per-request futures.
+ *
+ * Execution uses Int8Network::forwardRowCalibrated, so every response is
+ * bit-identical to running that request alone through forwardPerDot():
+ * batching changes latency and throughput, never a single logit. Workers
+ * are plain threads; the GEMM inside each batch additionally uses
+ * parallelFor, whose worker count honours BBS_THREADS (read once at
+ * startup) / setWorkerThreadCap — with one server worker (the default),
+ * batches execute sequentially with full intra-GEMM parallelism, which is
+ * the throughput-optimal shape on a dedicated box.
+ */
+#ifndef BBS_SERVE_SERVER_HPP
+#define BBS_SERVE_SERVER_HPP
+
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "serve/batcher.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/server_stats.hpp"
+
+namespace bbs {
+
+struct ServerConfig
+{
+    std::int64_t maxBatch = 32;   ///< requests per gemmCompressed call
+    std::int64_t maxDelayUs = 2000; ///< flush-on-timeout bound
+    /** Serving threads. 0 = none: drive manually with drainOnce()
+     *  (deterministic tests). */
+    int workers = 1;
+};
+
+class InferenceServer
+{
+  public:
+    /** Workers (if any) start immediately; the registry is shared so
+     *  models can be added while serving. */
+    explicit InferenceServer(std::shared_ptr<ModelRegistry> registry,
+                             ServerConfig config = {});
+    ~InferenceServer(); ///< stop()s
+
+    InferenceServer(const InferenceServer &) = delete;
+    InferenceServer &operator=(const InferenceServer &) = delete;
+
+    /**
+     * Submit one sample for @p model. UnknownModel/BadInput resolve the
+     * future immediately; otherwise it resolves when the request is
+     * served, expires past @p deadlineUs (relative, <= 0 = none), or the
+     * server stops.
+     */
+    std::future<InferenceResponse> submit(const std::string &model,
+                                          std::vector<float> input,
+                                          std::int64_t deadlineUs = 0);
+
+    /**
+     * Serve one batch synchronously on the calling thread (blocks for
+     * the first request; honours the batching knobs). Returns rows
+     * served — 0 means the queue shut down. Test/embedding hook; safe
+     * alongside running workers, though normally used with workers == 0.
+     */
+    std::int64_t drainOnce();
+
+    /**
+     * Shut down: pending (unclaimed) requests are rejected with
+     * ShutDown, in-flight batches complete normally, workers join.
+     * Idempotent. Submissions after stop() resolve with ShutDown.
+     */
+    void stop();
+
+    /** Execution stats merged with the queue's rejection counters. */
+    StatsSnapshot stats() const;
+    const ServerConfig &config() const { return config_; }
+    const ModelRegistry &registry() const { return *registry_; }
+
+  private:
+    void workerLoop();
+    /** Execute one formed batch and complete its futures. */
+    void execute(std::vector<InferenceRequest> batch);
+
+    std::shared_ptr<ModelRegistry> registry_;
+    ServerConfig config_;
+    RequestQueue queue_;
+    Batcher batcher_;
+    ServerStats stats_;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace bbs
+
+#endif // BBS_SERVE_SERVER_HPP

@@ -1,0 +1,99 @@
+#include "serve/server_stats.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+
+namespace bbs {
+
+ServerStats::ServerStats(std::int64_t maxBatch)
+    : start_(std::chrono::steady_clock::now()),
+      batchHist_(static_cast<std::size_t>(maxBatch) + 1, 0)
+{
+    BBS_REQUIRE(maxBatch >= 1, "maxBatch must be >= 1, got ", maxBatch);
+}
+
+void
+ServerStats::recordCompletion(double queueUs, double totalUs)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t pos = static_cast<std::size_t>(completed_) %
+                      kLatencyWindow;
+    ++completed_;
+    if (pos < latenciesUs_.size()) { // window full: overwrite oldest
+        latenciesUs_[pos] = totalUs;
+        queueUs_[pos] = queueUs;
+    } else {
+        latenciesUs_.push_back(totalUs);
+        queueUs_.push_back(queueUs);
+    }
+}
+
+void
+ServerStats::recordBatch(std::int64_t rows)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++batches_;
+    batchRowsTotal_ += static_cast<std::uint64_t>(rows);
+    std::size_t bucket =
+        std::min(static_cast<std::size_t>(rows), batchHist_.size() - 1);
+    ++batchHist_[bucket];
+}
+
+void
+ServerStats::recordRejection(ServeStatus status)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    switch (status) {
+    case ServeStatus::DeadlineExpired: ++expired_; break;
+    case ServeStatus::ShutDown: ++shutdownRejected_; break;
+    case ServeStatus::UnknownModel:
+    case ServeStatus::BadInput: ++badRequests_; break;
+    case ServeStatus::Ok: break; // not a rejection; ignore
+    }
+}
+
+StatsSnapshot
+ServerStats::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    StatsSnapshot s;
+    s.completed = completed_;
+    s.expired = expired_;
+    s.shutdownRejected = shutdownRejected_;
+    s.badRequests = badRequests_;
+    s.batches = batches_;
+    s.batchHist = batchHist_;
+    if (!latenciesUs_.empty()) {
+        s.p50Us = percentile(latenciesUs_, 50.0);
+        s.p99Us = percentile(latenciesUs_, 99.0);
+        s.meanUs = mean(latenciesUs_);
+        s.maxUs = *std::max_element(latenciesUs_.begin(),
+                                    latenciesUs_.end());
+        s.meanQueueUs = mean(queueUs_);
+    }
+    if (batches_ > 0)
+        s.meanBatchRows = static_cast<double>(batchRowsTotal_) /
+                          static_cast<double>(batches_);
+    s.elapsedS = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start_)
+                     .count();
+    if (s.elapsedS > 0.0)
+        s.throughputRps = static_cast<double>(completed_) / s.elapsedS;
+    return s;
+}
+
+void
+ServerStats::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    start_ = std::chrono::steady_clock::now();
+    latenciesUs_.clear();
+    queueUs_.clear();
+    std::fill(batchHist_.begin(), batchHist_.end(), 0);
+    completed_ = expired_ = shutdownRejected_ = badRequests_ = 0;
+    batches_ = batchRowsTotal_ = 0;
+}
+
+} // namespace bbs

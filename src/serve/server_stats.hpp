@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Serving telemetry: per-request latency percentiles, the batch-size
+ * histogram (did batching actually happen?), rejection counters, and
+ * sustained throughput. Percentiles/means come from common/stats.hpp so
+ * the serving numbers use the same estimators as every benchmark table.
+ */
+#ifndef BBS_SERVE_SERVER_STATS_HPP
+#define BBS_SERVE_SERVER_STATS_HPP
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace bbs {
+
+/** One consistent reading of the counters (taken under the lock). */
+struct StatsSnapshot
+{
+    std::uint64_t completed = 0;        ///< requests served Ok
+    std::uint64_t expired = 0;          ///< DeadlineExpired rejections
+    std::uint64_t shutdownRejected = 0; ///< ShutDown rejections
+    std::uint64_t badRequests = 0;      ///< UnknownModel + BadInput
+    std::uint64_t batches = 0;          ///< gemmCompressed calls
+
+    /** Latency estimators cover a sliding window of the most recent
+     *  completions (kLatencyWindow); the counters above are exact. */
+    double p50Us = 0.0; ///< median submit->completion latency
+    double p99Us = 0.0;
+    double meanUs = 0.0;
+    double maxUs = 0.0;
+    double meanQueueUs = 0.0;
+
+    /** batchHist[n] = how many batches held exactly n requests
+     *  (index 0 unused; size maxBatch + 1). */
+    std::vector<std::uint64_t> batchHist;
+    double meanBatchRows = 0.0;
+
+    double elapsedS = 0.0;       ///< since construction / reset()
+    double throughputRps = 0.0;  ///< completed / elapsedS
+};
+
+class ServerStats
+{
+  public:
+    /** Latency samples kept for the percentile estimators: a ring over
+     *  the most recent completions, so a long-lived server's memory and
+     *  snapshot cost stay bounded no matter how many requests it has
+     *  served. */
+    static constexpr std::size_t kLatencyWindow = 1 << 16;
+
+    explicit ServerStats(std::int64_t maxBatch);
+
+    /** Record one Ok completion. */
+    void recordCompletion(double queueUs, double totalUs);
+    /** Record one executed batch of @p rows requests. */
+    void recordBatch(std::int64_t rows);
+    /** Record a rejection (terminal non-Ok status). */
+    void recordRejection(ServeStatus status);
+
+    StatsSnapshot snapshot() const;
+
+    /** Zero everything and restart the throughput clock. */
+    void reset();
+
+  private:
+    mutable std::mutex mutex_;
+    std::chrono::steady_clock::time_point start_;
+    /** Ring buffers over the last kLatencyWindow Ok completions; the
+     *  write position is completed_ % kLatencyWindow. */
+    std::vector<double> latenciesUs_;
+    std::vector<double> queueUs_;
+    std::vector<std::uint64_t> batchHist_;
+    std::uint64_t completed_ = 0;
+    std::uint64_t expired_ = 0;
+    std::uint64_t shutdownRejected_ = 0;
+    std::uint64_t badRequests_ = 0;
+    std::uint64_t batches_ = 0;
+    std::uint64_t batchRowsTotal_ = 0;
+};
+
+} // namespace bbs
+
+#endif // BBS_SERVE_SERVER_STATS_HPP

@@ -6,11 +6,15 @@
  */
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "accel/bitvert_array.hpp"
 #include "accel/factory.hpp"
 #include "core/bbs_dot.hpp"
 #include "core/serialization.hpp"
+#include "nn/layers.hpp"
 #include "quant/quantizer.hpp"
+#include "serve/server.hpp"
 #include "sim/prepared_model.hpp"
 #include "tensor/distribution.hpp"
 
@@ -154,6 +158,96 @@ TEST_P(PipelineFuzz, SimulatorsProduceFiniteConsistentResults)
         EXPECT_GE(ms.usefulLaneCycles(), 0.0) << acc->name();
         EXPECT_GE(ms.intraPeStallLaneCycles(), -1e-6) << acc->name();
         EXPECT_GE(ms.interPeStallLaneCycles(), -1e-6) << acc->name();
+    }
+}
+
+TEST_P(PipelineFuzz, BatcherNeverDropsOrDuplicatesRequests)
+{
+    // Batcher-shape fuzzer: random (numRequests, inputDim, maxBatch,
+    // flushDelay) tuples against the serving runtime. Invariants: every
+    // request resolves exactly once with Ok, its logits bit-match its
+    // own single-sample forwardPerDot oracle (a dropped, duplicated or
+    // row-swapped request cannot pass), and the batch-size histogram
+    // accounts for every request exactly once.
+    Rng rng(GetParam() ^ 0xba7c);
+    for (int iter = 0; iter < 3; ++iter) {
+        std::int64_t numRequests = rng.uniformInt(1, 80);
+        std::int64_t inputDim = rng.uniformInt(4, 48);
+        std::int64_t hidden = rng.uniformInt(4, 40);
+        std::int64_t classes = rng.uniformInt(2, 10);
+        std::int64_t groupSize = rng.uniformInt(4, 64);
+        int target = static_cast<int>(rng.uniformInt(0, 4));
+
+        Network net;
+        Rng wrng(rng.next());
+        net.add(std::make_unique<Dense>(inputDim, hidden, wrng));
+        net.add(std::make_unique<ReluLayer>());
+        net.add(std::make_unique<Dense>(hidden, classes, wrng));
+        auto registry = std::make_shared<ModelRegistry>();
+        registry->add("m", Int8Network::fromNetwork(
+                               net, groupSize, target,
+                               rng.bernoulli(0.5)
+                                   ? PruneStrategy::RoundedAveraging
+                                   : PruneStrategy::ZeroPointShifting));
+        auto engine = registry->find("m");
+
+        // Distinct random inputs and their serial oracles.
+        std::vector<std::vector<float>> inputs(
+            static_cast<std::size_t>(numRequests));
+        std::vector<std::vector<float>> oracle(inputs.size());
+        for (std::size_t j = 0; j < inputs.size(); ++j) {
+            inputs[j].resize(static_cast<std::size_t>(inputDim));
+            for (float &v : inputs[j])
+                v = static_cast<float>(rng.uniformReal(-2.0, 2.0));
+            Batch x(Shape{1, inputDim});
+            for (std::int64_t c = 0; c < inputDim; ++c)
+                x.at(0, c) = inputs[j][static_cast<std::size_t>(c)];
+            Batch y = engine->forwardPerDot(x);
+            oracle[j].resize(static_cast<std::size_t>(classes));
+            for (std::int64_t c = 0; c < classes; ++c)
+                oracle[j][static_cast<std::size_t>(c)] = y.at(0, c);
+        }
+
+        ServerConfig cfg;
+        cfg.maxBatch = rng.uniformInt(1, 16);
+        cfg.maxDelayUs = rng.uniformInt(0, 2000);
+        cfg.workers = 1;
+        InferenceServer server(registry, cfg);
+
+        // A few producers interleave the submissions.
+        constexpr int kThreads = 4;
+        std::vector<std::future<InferenceResponse>> futs(inputs.size());
+        std::vector<std::thread> producers;
+        for (int t = 0; t < kThreads; ++t) {
+            producers.emplace_back([&, t] {
+                for (std::size_t j = static_cast<std::size_t>(t);
+                     j < inputs.size(); j += kThreads)
+                    futs[j] = server.submit("m", inputs[j]);
+            });
+        }
+        for (auto &p : producers)
+            p.join();
+
+        for (std::size_t j = 0; j < futs.size(); ++j) {
+            InferenceResponse resp = futs[j].get();
+            ASSERT_EQ(resp.status, ServeStatus::Ok)
+                << serveStatusName(resp.status) << " j=" << j;
+            ASSERT_EQ(resp.logits, oracle[j])
+                << "j=" << j << " maxBatch=" << cfg.maxBatch
+                << " delay=" << cfg.maxDelayUs;
+            ASSERT_GE(resp.batchRows, 1);
+            ASSERT_LE(resp.batchRows, cfg.maxBatch);
+        }
+        server.stop();
+
+        StatsSnapshot s = server.stats();
+        EXPECT_EQ(s.completed,
+                  static_cast<std::uint64_t>(numRequests));
+        EXPECT_EQ(s.expired + s.shutdownRejected + s.badRequests, 0u);
+        std::uint64_t histRows = 0;
+        for (std::size_t n = 0; n < s.batchHist.size(); ++n)
+            histRows += s.batchHist[n] * n;
+        EXPECT_EQ(histRows, s.completed);
     }
 }
 

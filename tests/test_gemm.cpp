@@ -252,28 +252,47 @@ TEST(GemmCompressedTest, PrepareFromCompressedTensor)
         EXPECT_EQ(got.flat(i), ref.flat(i)) << "i=" << i;
 }
 
-TEST(ParallelTest, BbsThreadsCapRespectedAndHarmless)
+TEST(ParallelTest, ThreadCapParsing)
 {
-    // The env knob must cap workers without changing results; with the
-    // deterministic primitives, capping is observationally equivalent.
+    // The pure parser behind the cached BBS_THREADS read: only a positive
+    // integer strictly below the hardware count clamps.
+    EXPECT_EQ(detail::parseThreadCap(nullptr, 8), 8u);
+    EXPECT_EQ(detail::parseThreadCap("1", 8), 1u);
+    EXPECT_EQ(detail::parseThreadCap("7", 8), 7u);
+    EXPECT_EQ(detail::parseThreadCap("8", 8), 8u);
+    EXPECT_EQ(detail::parseThreadCap("99", 8), 8u);
+    EXPECT_EQ(detail::parseThreadCap("0", 8), 8u);
+    EXPECT_EQ(detail::parseThreadCap("-3", 8), 8u);
+    EXPECT_EQ(detail::parseThreadCap("not-a-number", 8), 8u);
+    EXPECT_EQ(detail::parseThreadCap("4x", 8), 8u);
+}
+
+TEST(ParallelTest, EnvReadOnceAndOverrideRespectedAndHarmless)
+{
+    // BBS_THREADS is cached on the first maxWorkerThreads() call, so
+    // mutating the environment afterwards must be invisible...
+    unsigned cached = maxWorkerThreads();
+    ASSERT_EQ(setenv("BBS_THREADS", "1", 1), 0);
+    EXPECT_EQ(maxWorkerThreads(), cached);
+    ASSERT_EQ(unsetenv("BBS_THREADS"), 0);
+    EXPECT_EQ(maxWorkerThreads(), cached);
+
+    // ...while the runtime override caps workers without changing
+    // results (the primitives are deterministic under any thread count).
     Rng rng(909);
     Int8Tensor w = randomMatrix(5, 128, rng);
     Int8Tensor a = randomMatrix(9, 128, rng);
     Int32Tensor ref = gemmReferenceBatch(a, w);
 
-    ASSERT_EQ(setenv("BBS_THREADS", "1", 1), 0);
+    setWorkerThreadCap(1);
     EXPECT_EQ(maxWorkerThreads(), 1u);
     Int32Tensor capped = gemmBitSerial(BitSerialMatrix::pack(a),
                                        BitSerialMatrix::pack(w));
-    ASSERT_EQ(unsetenv("BBS_THREADS"), 0);
+    setWorkerThreadCap(0);
+    EXPECT_EQ(maxWorkerThreads(), cached);
 
     for (std::int64_t i = 0; i < ref.numel(); ++i)
         ASSERT_EQ(capped.flat(i), ref.flat(i)) << "i=" << i;
-
-    // Malformed values fall back to hardware concurrency.
-    ASSERT_EQ(setenv("BBS_THREADS", "not-a-number", 1), 0);
-    EXPECT_GE(maxWorkerThreads(), 1u);
-    ASSERT_EQ(unsetenv("BBS_THREADS"), 0);
 }
 
 } // namespace

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "core/serialization.hpp"
+#include "gemm/compressed_gemm.hpp"
 #include "quant/quantizer.hpp"
 #include "tensor/distribution.hpp"
 
@@ -59,6 +60,69 @@ INSTANTIATE_TEST_SUITE_P(
         SerParam{PruneStrategy::ZeroPointShifting, 4, 256},
         SerParam{PruneStrategy::ZeroPointShifting, 6, 1024},
         SerParam{PruneStrategy::ZeroPointShifting, 4, 40})); // short tail
+
+/**
+ * Golden end-to-end round trip through the GEMM path: the serializer's
+ * only real consumer is a deployment that reloads the DRAM image and
+ * *executes* it, so pin gemmCompressed outputs bit-identical between the
+ * freshly-compressed weights and the serialize->deserialize copy (and
+ * both against the dense reference on the decompressed weights).
+ */
+class SerializationGemmRoundTrip : public ::testing::TestWithParam<SerParam>
+{
+};
+
+TEST_P(SerializationGemmRoundTrip, GemmCompressedBitIdenticalAfterReload)
+{
+    auto [strategy, target, numel] = GetParam();
+    const std::int64_t rows = 8;
+    ASSERT_EQ(numel % (rows * 32), 0) << "pick numel = rows * k * 32";
+    Shape shape{rows, numel / rows};
+    Int8Tensor codes = randomCodes(shape, 91 + numel);
+    CompressedTensor ct =
+        CompressedTensor::compress(codes, 32, target, strategy);
+
+    SerializedTensor blob = serializeCompressed(ct);
+    CompressedTensor back =
+        deserializeCompressed(blob, shape, 32, target, strategy);
+
+    CompressedRowPlanes pre = CompressedRowPlanes::prepare(ct);
+    CompressedRowPlanes post = CompressedRowPlanes::prepare(back);
+
+    Rng rng(7 + static_cast<std::uint64_t>(target));
+    Int8Tensor acts(Shape{5, shape.channelSize()});
+    for (std::int64_t i = 0; i < acts.numel(); ++i)
+        acts.flat(i) =
+            static_cast<std::int8_t>(rng.uniformInt(-128, 127));
+    BitSerialMatrix packed = BitSerialMatrix::pack(acts);
+
+    Int32Tensor before = gemmCompressed(pre, packed);
+    Int32Tensor after = gemmCompressed(post, packed);
+    ASSERT_TRUE(before.shape() == after.shape());
+    for (std::int64_t i = 0; i < before.numel(); ++i)
+        ASSERT_EQ(before.flat(i), after.flat(i)) << "i=" << i;
+
+    // Both must also equal the dense reference over the reloaded
+    // weights — reload-then-execute is the deployment path.
+    Int8Tensor dec = back.decompress();
+    for (std::int64_t r = 0; r < acts.shape().dim(0); ++r)
+        for (std::int64_t k = 0; k < rows; ++k) {
+            std::int64_t ref = 0;
+            for (std::int64_t c = 0; c < shape.channelSize(); ++c)
+                ref += static_cast<std::int64_t>(acts.at(r, c)) *
+                       static_cast<std::int64_t>(dec.at(k, c));
+            ASSERT_EQ(static_cast<std::int64_t>(after.at(r, k)), ref)
+                << "r=" << r << " k=" << k;
+        }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SerializationGemmRoundTrip,
+    ::testing::Values(
+        SerParam{PruneStrategy::RoundedAveraging, 0, 8 * 2 * 32},
+        SerParam{PruneStrategy::RoundedAveraging, 3, 8 * 4 * 32},
+        SerParam{PruneStrategy::ZeroPointShifting, 4, 8 * 4 * 32},
+        SerParam{PruneStrategy::ZeroPointShifting, 6, 8 * 8 * 32}));
 
 TEST(Serialization, SizeMatchesEffectiveBits)
 {

@@ -1,0 +1,418 @@
+/**
+ * @file
+ * Concurrency and correctness tests for the serving runtime. The load-
+ * bearing invariant: a request's response is bit-identical to running
+ * that sample alone through Int8Network::forwardPerDot() — the serial
+ * oracle — no matter which co-riders the batcher coalesced it with, how
+ * many producer threads raced, or which worker drained the batch. Also
+ * covered: flush-on-timeout, shutdown with pending requests, deadline
+ * expiry, submit-time rejection, and multi-model batching hygiene.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/random.hpp"
+#include "nn/layers.hpp"
+#include "nn/network.hpp"
+#include "serve/batcher.hpp"
+#include "serve/server.hpp"
+
+namespace bbs {
+namespace {
+
+/** Random (untrained) dense->relu->dense engine; weights are whatever
+ *  init drew, which is all the bit-exactness tests need. */
+Int8Network
+makeEngine(std::int64_t in, std::int64_t hidden, std::int64_t out,
+           int targetColumns, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Network net;
+    net.add(std::make_unique<Dense>(in, hidden, rng));
+    net.add(std::make_unique<ReluLayer>());
+    net.add(std::make_unique<Dense>(hidden, out, rng));
+    return Int8Network::fromNetwork(net, 32, targetColumns,
+                                    PruneStrategy::ZeroPointShifting);
+}
+
+/** Pool of distinct random samples, as flat vectors. */
+std::vector<std::vector<float>>
+makePool(std::size_t count, std::int64_t features, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<float>> pool(count);
+    for (auto &sample : pool) {
+        sample.resize(static_cast<std::size_t>(features));
+        for (float &v : sample)
+            v = static_cast<float>(rng.uniformReal(-1.0, 1.0));
+    }
+    return pool;
+}
+
+/** Serial single-sample oracle: forwardPerDot on a one-row batch. */
+std::vector<std::vector<float>>
+oracleLogits(const Int8Network &engine,
+             const std::vector<std::vector<float>> &pool)
+{
+    std::vector<std::vector<float>> out(pool.size());
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+        Batch x(Shape{1, engine.inputFeatures()});
+        for (std::int64_t c = 0; c < engine.inputFeatures(); ++c)
+            x.at(0, c) = pool[i][static_cast<std::size_t>(c)];
+        Batch y = engine.forwardPerDot(x);
+        out[i].resize(static_cast<std::size_t>(y.shape().dim(1)));
+        for (std::int64_t c = 0; c < y.shape().dim(1); ++c)
+            out[i][static_cast<std::size_t>(c)] = y.at(0, c);
+    }
+    return out;
+}
+
+int
+argmaxOf(const std::vector<float> &logits)
+{
+    int best = 0;
+    for (std::size_t i = 1; i < logits.size(); ++i)
+        if (logits[i] > logits[static_cast<std::size_t>(best)])
+            best = static_cast<int>(i);
+    return best;
+}
+
+TEST(RowCalibratedForward, BitIdenticalToSingleSampleOracle)
+{
+    // The serving math itself, before any threading: row r of a
+    // row-calibrated batch == that sample alone through forwardPerDot.
+    Int8Network engine = makeEngine(24, 32, 8, 3, 0xc0de);
+    auto pool = makePool(9, 24, 0x5eed);
+    auto oracle = oracleLogits(engine, pool);
+
+    Batch x(Shape{9, 24});
+    for (std::int64_t r = 0; r < 9; ++r)
+        for (std::int64_t c = 0; c < 24; ++c)
+            x.at(r, c) = pool[static_cast<std::size_t>(r)]
+                             [static_cast<std::size_t>(c)];
+    Batch y = engine.forwardRowCalibrated(x);
+    ASSERT_EQ(y.shape().dim(1), 8);
+    for (std::int64_t r = 0; r < 9; ++r)
+        for (std::int64_t c = 0; c < 8; ++c)
+            ASSERT_EQ(y.at(r, c),
+                      oracle[static_cast<std::size_t>(r)]
+                            [static_cast<std::size_t>(c)])
+                << "r=" << r << " c=" << c;
+}
+
+TEST(ServeStress, ConcurrentProducersGetBitIdenticalResponses)
+{
+    constexpr int kProducers = 6;
+    constexpr int kPerProducer = 40;
+    auto registry = std::make_shared<ModelRegistry>();
+    registry->add("clf", makeEngine(24, 32, 8, 3, 0xc0de));
+    auto pool = makePool(16, 24, 0xfeed);
+    auto oracle = oracleLogits(*registry->find("clf"), pool);
+
+    ServerConfig cfg;
+    cfg.maxBatch = 8;
+    cfg.maxDelayUs = 500;
+    cfg.workers = 2;
+    InferenceServer server(registry, cfg);
+
+    struct Pending
+    {
+        std::size_t poolIdx;
+        std::future<InferenceResponse> fut;
+    };
+    std::vector<std::vector<Pending>> perThread(kProducers);
+    std::vector<std::thread> producers;
+    for (int t = 0; t < kProducers; ++t) {
+        producers.emplace_back([&, t] {
+            Rng rng(0xabba + static_cast<std::uint64_t>(t));
+            for (int i = 0; i < kPerProducer; ++i) {
+                std::size_t idx = static_cast<std::size_t>(
+                    rng.uniformInt(0, static_cast<std::int64_t>(
+                                          pool.size()) - 1));
+                perThread[static_cast<std::size_t>(t)].push_back(
+                    {idx, server.submit("clf", pool[idx])});
+            }
+        });
+    }
+    for (auto &p : producers)
+        p.join();
+
+    std::int64_t completed = 0;
+    for (auto &thread : perThread) {
+        for (Pending &p : thread) {
+            InferenceResponse resp = p.fut.get();
+            ASSERT_EQ(resp.status, ServeStatus::Ok)
+                << serveStatusName(resp.status);
+            ASSERT_EQ(resp.logits, oracle[p.poolIdx]);
+            EXPECT_EQ(resp.predicted, argmaxOf(oracle[p.poolIdx]));
+            EXPECT_GE(resp.batchRows, 1);
+            EXPECT_LE(resp.batchRows, cfg.maxBatch);
+            EXPECT_GE(resp.totalUs, resp.queueUs);
+            ++completed;
+        }
+    }
+    server.stop();
+
+    StatsSnapshot s = server.stats();
+    EXPECT_EQ(s.completed,
+              static_cast<std::uint64_t>(kProducers * kPerProducer));
+    EXPECT_EQ(completed, kProducers * kPerProducer);
+    std::uint64_t histRows = 0;
+    for (std::size_t n = 0; n < s.batchHist.size(); ++n)
+        histRows += s.batchHist[n] * n;
+    EXPECT_EQ(histRows, s.completed); // every request in exactly one batch
+    EXPECT_LE(s.p50Us, s.p99Us);
+    EXPECT_GE(s.meanBatchRows, 1.0);
+    EXPECT_EQ(s.expired, 0u);
+    EXPECT_EQ(s.shutdownRejected, 0u);
+}
+
+TEST(Serve, FlushOnTimeoutServesPartialBatch)
+{
+    auto registry = std::make_shared<ModelRegistry>();
+    registry->add("clf", makeEngine(16, 24, 4, 2, 0xd00d));
+    auto pool = makePool(3, 16, 0x1234);
+    auto oracle = oracleLogits(*registry->find("clf"), pool);
+
+    ServerConfig cfg;
+    cfg.maxBatch = 64; // far more than we will ever submit
+    cfg.maxDelayUs = 3000;
+    cfg.workers = 1;
+    InferenceServer server(registry, cfg);
+
+    std::vector<std::future<InferenceResponse>> futs;
+    for (std::size_t i = 0; i < pool.size(); ++i)
+        futs.push_back(server.submit("clf", pool[i]));
+    for (std::size_t i = 0; i < futs.size(); ++i) {
+        // get() returning at all proves the flush timer fired: the batch
+        // can never fill to maxBatch.
+        InferenceResponse resp = futs[i].get();
+        ASSERT_EQ(resp.status, ServeStatus::Ok);
+        EXPECT_EQ(resp.logits, oracle[i]);
+        EXPECT_GE(resp.batchRows, 1);
+        EXPECT_LE(resp.batchRows, 3);
+    }
+}
+
+TEST(Serve, ShutdownCompletesEveryPendingFuture)
+{
+    auto registry = std::make_shared<ModelRegistry>();
+    registry->add("clf", makeEngine(16, 24, 4, 2, 0xd00d));
+    auto pool = makePool(5, 16, 0x4321);
+
+    ServerConfig cfg;
+    cfg.workers = 0; // nobody drains: submissions stay pending
+    InferenceServer server(registry, cfg);
+
+    std::vector<std::future<InferenceResponse>> futs;
+    for (const auto &sample : pool)
+        futs.push_back(server.submit("clf", sample));
+    server.stop();
+
+    for (auto &f : futs) {
+        ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+                  std::future_status::ready);
+        EXPECT_EQ(f.get().status, ServeStatus::ShutDown);
+    }
+    EXPECT_EQ(server.stats().shutdownRejected, 5u);
+
+    // Submissions after stop() resolve immediately with ShutDown too.
+    auto late = server.submit("clf", pool[0]);
+    EXPECT_EQ(late.get().status, ServeStatus::ShutDown);
+}
+
+TEST(Serve, DeadlineExpiredRequestsAreRejectedNotExecuted)
+{
+    auto registry = std::make_shared<ModelRegistry>();
+    registry->add("clf", makeEngine(16, 24, 4, 2, 0xd00d));
+    auto pool = makePool(2, 16, 0x9999);
+    auto oracle = oracleLogits(*registry->find("clf"), pool);
+
+    ServerConfig cfg;
+    cfg.maxBatch = 8;
+    cfg.maxDelayUs = 0; // serve exactly what is queued
+    cfg.workers = 0;    // manual drain => deterministic expiry
+    InferenceServer server(registry, cfg);
+
+    auto doomed = server.submit("clf", pool[0], /*deadlineUs=*/1000);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    auto live = server.submit("clf", pool[1]);
+
+    EXPECT_EQ(server.drainOnce(), 1); // only the live request executes
+    EXPECT_EQ(doomed.get().status, ServeStatus::DeadlineExpired);
+    InferenceResponse ok = live.get();
+    ASSERT_EQ(ok.status, ServeStatus::Ok);
+    EXPECT_EQ(ok.logits, oracle[1]);
+
+    StatsSnapshot s = server.stats();
+    EXPECT_EQ(s.expired, 1u);
+    EXPECT_EQ(s.completed, 1u);
+}
+
+TEST(Serve, DeadlineExpiryDuringBatchWaitIsRejectedAtFlush)
+{
+    auto registry = std::make_shared<ModelRegistry>();
+    registry->add("clf", makeEngine(16, 24, 4, 2, 0xd00d));
+    auto pool = makePool(1, 16, 0x7777);
+
+    ServerConfig cfg;
+    cfg.maxBatch = 64;
+    cfg.maxDelayUs = 30'000; // far longer than the request's deadline
+    cfg.workers = 1;
+    InferenceServer server(registry, cfg);
+
+    // The lone request is claimed as batch leader almost immediately
+    // (so queue-pop sees it live), then the batcher waits the full
+    // 30 ms for co-riders; the 2 ms deadline passes during that wait,
+    // and the flush-time re-check must reject instead of executing.
+    // (If the worker is ever slow enough to pop after 2 ms, the queue
+    // rejects instead — same observable outcome.)
+    auto fut = server.submit("clf", pool[0], /*deadlineUs=*/2000);
+    EXPECT_EQ(fut.get().status, ServeStatus::DeadlineExpired);
+
+    StatsSnapshot s = server.stats();
+    EXPECT_EQ(s.expired, 1u);
+    EXPECT_EQ(s.completed, 0u);
+}
+
+TEST(Serve, UnknownModelAndBadInputRejectedAtSubmit)
+{
+    auto registry = std::make_shared<ModelRegistry>();
+    registry->add("clf", makeEngine(16, 24, 4, 2, 0xd00d));
+    InferenceServer server(registry, ServerConfig{.workers = 0});
+
+    auto unknown = server.submit("not-registered",
+                                 std::vector<float>(16, 0.5f));
+    EXPECT_EQ(unknown.get().status, ServeStatus::UnknownModel);
+
+    auto narrow = server.submit("clf", std::vector<float>(7, 0.5f));
+    EXPECT_EQ(narrow.get().status, ServeStatus::BadInput);
+
+    EXPECT_EQ(server.stats().badRequests, 2u);
+    EXPECT_EQ(server.stats().completed, 0u);
+}
+
+TEST(Serve, TwoHostedModelsNeverShareABatch)
+{
+    auto registry = std::make_shared<ModelRegistry>();
+    registry->add("small", makeEngine(16, 24, 4, 2, 0xaaaa));
+    registry->add("wide", makeEngine(24, 32, 8, 4, 0xbbbb));
+    auto poolSmall = makePool(8, 16, 0x1111);
+    auto poolWide = makePool(8, 24, 0x2222);
+    auto oracleSmall = oracleLogits(*registry->find("small"), poolSmall);
+    auto oracleWide = oracleLogits(*registry->find("wide"), poolWide);
+
+    ServerConfig cfg;
+    cfg.maxBatch = 8;
+    cfg.maxDelayUs = 300;
+    cfg.workers = 2;
+    InferenceServer server(registry, cfg);
+
+    constexpr int kThreads = 4, kPer = 30;
+    struct Pending
+    {
+        bool wide;
+        std::size_t idx;
+        std::future<InferenceResponse> fut;
+    };
+    std::vector<std::vector<Pending>> perThread(kThreads);
+    std::vector<std::thread> producers;
+    for (int t = 0; t < kThreads; ++t) {
+        producers.emplace_back([&, t] {
+            Rng rng(0xcafe + static_cast<std::uint64_t>(t));
+            for (int i = 0; i < kPer; ++i) {
+                bool wide = rng.bernoulli(0.5);
+                const auto &pool = wide ? poolWide : poolSmall;
+                std::size_t idx = static_cast<std::size_t>(
+                    rng.uniformInt(0, static_cast<std::int64_t>(
+                                          pool.size()) - 1));
+                perThread[static_cast<std::size_t>(t)].push_back(
+                    {wide, idx,
+                     server.submit(wide ? "wide" : "small", pool[idx])});
+            }
+        });
+    }
+    for (auto &p : producers)
+        p.join();
+
+    for (auto &thread : perThread) {
+        for (Pending &p : thread) {
+            InferenceResponse resp = p.fut.get();
+            ASSERT_EQ(resp.status, ServeStatus::Ok);
+            // Logit width and exact values prove the request ran on its
+            // own model: a cross-model batch would misshape or corrupt.
+            const auto &oracle = p.wide ? oracleWide : oracleSmall;
+            ASSERT_EQ(resp.logits, oracle[p.idx]);
+        }
+    }
+    server.stop();
+    EXPECT_EQ(server.stats().completed,
+              static_cast<std::uint64_t>(kThreads * kPer));
+}
+
+TEST(BatcherDirect, GroupsSameModelRunsAndPreservesOthers)
+{
+    RequestQueue queue;
+    auto pushNamed = [&](const char *model) {
+        InferenceRequest r;
+        r.model = model;
+        r.enqueued = std::chrono::steady_clock::now();
+        r.deadline = std::chrono::steady_clock::time_point::max();
+        queue.push(std::move(r));
+    };
+    pushNamed("a");
+    pushNamed("b");
+    pushNamed("a");
+    pushNamed("a");
+    pushNamed("b");
+
+    Batcher batcher(queue, BatcherConfig{8, 0});
+    std::vector<InferenceRequest> first = batcher.nextBatch();
+    ASSERT_EQ(first.size(), 3u); // all the a's, skipping the b's
+    for (const auto &r : first)
+        EXPECT_EQ(r.model, "a");
+
+    std::vector<InferenceRequest> second = batcher.nextBatch();
+    ASSERT_EQ(second.size(), 2u);
+    for (const auto &r : second)
+        EXPECT_EQ(r.model, "b");
+
+    queue.shutdown();
+    EXPECT_TRUE(batcher.nextBatch().empty());
+    // Unset promises above: futures were never taken, so dropping the
+    // requests is fine — this test only exercises batch formation.
+}
+
+TEST(RequestQueueDirect, ShutdownRejectsPendingAndRefusesPushes)
+{
+    RequestQueue queue;
+    std::vector<std::future<InferenceResponse>> futs;
+    for (int i = 0; i < 3; ++i) {
+        InferenceRequest r;
+        r.model = "m";
+        r.enqueued = std::chrono::steady_clock::now();
+        r.deadline = std::chrono::steady_clock::time_point::max();
+        futs.push_back(r.promise.get_future());
+        EXPECT_TRUE(queue.push(std::move(r)));
+    }
+    EXPECT_EQ(queue.size(), 3u);
+    queue.shutdown();
+    EXPECT_EQ(queue.size(), 0u);
+    for (auto &f : futs)
+        EXPECT_EQ(f.get().status, ServeStatus::ShutDown);
+
+    InferenceRequest late;
+    late.model = "m";
+    late.enqueued = std::chrono::steady_clock::now();
+    late.deadline = std::chrono::steady_clock::time_point::max();
+    auto lateFut = late.promise.get_future();
+    EXPECT_FALSE(queue.push(std::move(late)));
+    EXPECT_EQ(lateFut.get().status, ServeStatus::ShutDown);
+    EXPECT_EQ(queue.shutdownCount(), 4u);
+    EXPECT_FALSE(queue.waitFront().has_value());
+}
+
+} // namespace
+} // namespace bbs
