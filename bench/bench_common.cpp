@@ -1,11 +1,94 @@
 #include "bench_common.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 
 #include "common/logging.hpp"
+#include "simd/simd.hpp"
 
 namespace bbs::bench {
+
+namespace {
+
+/** --json state; plain statics — benches are single-main binaries. */
+struct JsonState
+{
+    std::string bench;
+    std::string path; ///< empty = reporting disabled
+    std::vector<std::string> records;
+};
+
+JsonState &
+jsonState()
+{
+    static JsonState s;
+    return s;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+void
+jsonInit(const std::string &bench, int argc, char **argv)
+{
+    JsonState &s = jsonState();
+    s.bench = bench;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) == "--json") {
+            s.path = argv[i + 1];
+            return;
+        }
+    }
+}
+
+void
+jsonAdd(const std::string &kernel, const std::string &config,
+        std::initializer_list<std::pair<const char *, double>> metrics)
+{
+    JsonState &s = jsonState();
+    if (s.path.empty())
+        return;
+    std::ostringstream rec;
+    rec << "{\"kernel\": \"" << jsonEscape(kernel) << "\", \"config\": \""
+        << jsonEscape(config) << "\"";
+    for (const auto &[name, value] : metrics)
+        rec << ", \"" << jsonEscape(name) << "\": " << value;
+    rec << "}";
+    s.records.push_back(rec.str());
+}
+
+void
+jsonFlush()
+{
+    JsonState &s = jsonState();
+    if (s.path.empty())
+        return;
+    std::ofstream out(s.path);
+    BBS_REQUIRE(out.good(), "cannot open --json path ", s.path);
+    out << "{\"bench\": \"" << jsonEscape(s.bench) << "\", \"simd\": \""
+        << simdLevelName(activeSimdLevel()) << "\", \"records\": [";
+    for (std::size_t i = 0; i < s.records.size(); ++i)
+        out << (i ? ",\n  " : "\n  ") << s.records[i];
+    out << "\n]}\n";
+    BBS_REQUIRE(out.good(), "failed writing --json path ", s.path);
+}
 
 void
 printHeader(const std::string &experiment, const std::string &claim)
@@ -198,6 +281,131 @@ std::string
 deltaPct(double v, int digits)
 {
     return format("%+.*f", digits, v);
+}
+
+double
+simdGateTarget()
+{
+    switch (activeSimdLevel()) {
+    case SimdLevel::Scalar: return 0.0;
+    case SimdLevel::Avx2: return 1.5;
+    case SimdLevel::Avx512: return 3.0;
+    }
+    return 0.0;
+}
+
+namespace {
+
+/** One warm-up, then the best of @p reps (least-noise estimator). */
+double
+bestSeconds(const std::function<void()> &fn, int reps)
+{
+    fn();
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+        auto t0 = std::chrono::steady_clock::now();
+        fn();
+        auto t1 = std::chrono::steady_clock::now();
+        best = std::min(best,
+                        std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best;
+}
+
+/** Ungated rows must never dispatch a real pessimization; the slack
+ *  below 1.0 absorbs shared-runner timing noise. */
+constexpr double kSimdFloor = 0.75;
+
+} // namespace
+
+void
+SimdDispatchBench::row(const std::string &name, bool gated,
+                       const std::function<std::int64_t()> &scalarFn,
+                       const std::function<std::int64_t()> &activeFn,
+                       double wordsPerCall)
+{
+    std::int64_t ref = scalarFn();
+    std::int64_t got = activeFn();
+    if (ref != got)
+        BBS_PANIC("SIMD kernel ", name, " deviates from scalar: ", got,
+                  " vs ", ref);
+    volatile std::int64_t sink = 0;
+    double scalarS = bestSeconds(
+        [&] {
+            std::int64_t s = 0;
+            for (int r = 0; r < reps_; ++r)
+                s += scalarFn();
+            sink = s;
+        },
+        5);
+    double activeS = bestSeconds(
+        [&] {
+            std::int64_t s = 0;
+            for (int r = 0; r < reps_; ++r)
+                s += activeFn();
+            sink = s;
+        },
+        5);
+    (void)sink;
+    double perCall = wordsPerCall * reps_;
+    Row r;
+    r.name = name;
+    r.gated = gated;
+    r.scalarMws = perCall / scalarS / 1e6;
+    r.dispatchedMws = perCall / activeS / 1e6;
+    r.speedup = scalarS / activeS;
+    rows_.push_back(r);
+    jsonAdd(name, "dispatch-vs-scalar",
+            {{"scalar_mws", r.scalarMws},
+             {"dispatched_mws", r.dispatchedMws},
+             {"speedup", r.speedup},
+             {"gated", gated ? 1.0 : 0.0}});
+}
+
+bool
+SimdDispatchBench::finish(std::ostream &os, const std::string &caption)
+{
+    double target = simdGateTarget();
+    if (rows_.empty() || target == 0.0) {
+        os << "\n" << caption
+           << ":\nscalar dispatch active - nothing to gate\n";
+        return true;
+    }
+    os << "\n" << caption << ":\n";
+    Table table({"kernel", "scalar", "dispatched", "speedup"});
+    double logSum = 0.0;
+    int gatedCount = 0;
+    bool floorOk = true;
+    bool anyUngated = false;
+    for (const Row &r : rows_) {
+        if (r.gated) {
+            logSum += std::log(r.speedup);
+            ++gatedCount;
+        } else {
+            anyUngated = true;
+            if (r.speedup < kSimdFloor)
+                floorOk = false;
+        }
+        table.addRow({r.gated ? r.name : (r.name + " *"),
+                      format("%.1f Mw/s", r.scalarMws),
+                      format("%.1f Mw/s", r.dispatchedMws),
+                      times(r.speedup)});
+    }
+    table.print(os);
+    if (anyUngated)
+        os << "(* window/group kernels: reported and checked, floor "
+           << format("%.2f", kSimdFloor)
+           << "x, outside the stream-kernel gate)\n";
+    double geomean =
+        gatedCount > 0 ? std::exp(logSum / gatedCount) : 1.0;
+    bool ok = (gatedCount == 0 || geomean >= target) && floorOk;
+    os << "\ngeomean dispatched stream-kernel speedup: " << times(geomean)
+       << "  (target >= " << times(target, 1) << " for "
+       << simdLevelName(activeSimdLevel()) << ": "
+       << (ok ? "met" : "MISSED") << ")\n";
+    jsonAdd("simd_geomean", "dispatch-vs-scalar",
+            {{"speedup", geomean}, {"target", target}});
+    return ok;
 }
 
 } // namespace bbs::bench

@@ -12,8 +12,13 @@
 #ifndef BBS_BENCH_COMMON_HPP
 #define BBS_BENCH_COMMON_HPP
 
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <iosfwd>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "accel/factory.hpp"
@@ -75,6 +80,87 @@ std::string times(double v, int digits = 2);
 
 /** Format helper: percentage with sign, e.g. "-0.45". */
 std::string deltaPct(double v, int digits = 2);
+
+// -------------------------------------------------------- JSON reporting
+//
+// Every bench accepts `--json <path>`: alongside the human tables it then
+// writes machine-readable records, so CI can archive BENCH_*.json
+// artifacts and the perf trajectory is queryable instead of living in
+// log scrollback. With no --json flag the calls below are no-ops.
+//
+//   {"bench": "micro_gemm", "simd": "avx512", "records": [
+//     {"kernel": "gemmCompressed", "config": "batch=64",
+//      "mmacs": 2081.7, "speedup": 5.4}, ...]}
+
+/**
+ * Parse --json from @p argv (call once at the top of main). @p bench
+ * names the experiment in the emitted document.
+ */
+void jsonInit(const std::string &bench, int argc, char **argv);
+
+/** Append one record: a kernel/config label plus numeric metrics. */
+void jsonAdd(
+    const std::string &kernel, const std::string &config,
+    std::initializer_list<std::pair<const char *, double>> metrics);
+
+/** Write the document to the --json path (no-op when absent). */
+void jsonFlush();
+
+/**
+ * Kernel-speedup gate target for the active SIMD dispatch level (see
+ * README "Performance"): 3x where VPOPCNTDQ dispatches (avx512), 1.5x
+ * on AVX2-max hosts — without a vector popcount instruction, a scalar
+ * POPCNT loop already retires ~1 word/cycle, which physically caps
+ * AND+popcount streams near 2.2x there, and the gate leaves headroom
+ * for noisy shared runners. 0 when the dispatch is scalar: nothing to
+ * gate against.
+ */
+double simdGateTarget();
+
+/**
+ * Shared scaffold for the micro benches' dispatch-vs-scalar sections
+ * (micro_bitplane scans, micro_gemm streams): each row verifies the
+ * dispatched kernel bit-identical to the scalar table on the same data,
+ * times both, and lands in one table + the JSON report. `gated` rows —
+ * the stream kernels whose throughput the SIMD layer targets — enter a
+ * geomean gate at simdGateTarget(); ungated window/group rows (one
+ * 8-word window per logical op, horizontal-reduce-bound) are instead
+ * held to a no-pessimization floor of 0.75x. finish() prints the
+ * verdict and returns whether every gate passed (vacuously true under
+ * scalar dispatch).
+ */
+class SimdDispatchBench
+{
+  public:
+    /** @p reps kernel calls per timing sample (best of 5 samples). */
+    explicit SimdDispatchBench(int reps = 200) : reps_(reps) {}
+
+    /**
+     * Add one kernel row. The callables run the kernel once through the
+     * scalar / active table respectively and return a checksum for the
+     * bit-identical pin; @p wordsPerCall scales the reported Mw/s.
+     * Panics when the two checksums differ.
+     */
+    void row(const std::string &name, bool gated,
+             const std::function<std::int64_t()> &scalarFn,
+             const std::function<std::int64_t()> &activeFn,
+             double wordsPerCall);
+
+    /** Print table + verdict under @p caption; false = a gate failed. */
+    bool finish(std::ostream &os, const std::string &caption);
+
+  private:
+    struct Row
+    {
+        std::string name;
+        bool gated = false;
+        double scalarMws = 0.0;
+        double dispatchedMws = 0.0;
+        double speedup = 0.0;
+    };
+    int reps_;
+    std::vector<Row> rows_;
+};
 
 } // namespace bbs::bench
 

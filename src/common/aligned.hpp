@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Cache-line-aligned allocation for the plane containers.
+ *
+ * The SIMD kernel layer streams bit planes with 256/512-bit loads; a
+ * 64-byte-aligned base (plus 64-byte-padded row strides where the
+ * container guarantees them) means a vector load never straddles two
+ * cache lines. Alignment is a performance guarantee only — the kernels
+ * use unaligned loads and stay correct for any pointer.
+ */
+#ifndef BBS_COMMON_ALIGNED_HPP
+#define BBS_COMMON_ALIGNED_HPP
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace bbs {
+
+/** Cache line / widest vector register width in bytes. */
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/**
+ * Minimal std::allocator drop-in returning @p Align-aligned storage via
+ * C++17 aligned operator new. Interoperates with std::vector; two
+ * instances always compare equal.
+ */
+template <typename T, std::size_t Align = kCacheLineBytes>
+struct AlignedAllocator
+{
+    static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                  "alignment must be a power of two covering alignof(T)");
+
+    using value_type = T;
+
+    AlignedAllocator() noexcept = default;
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U, Align> &) noexcept
+    {
+    }
+
+    template <typename U>
+    struct rebind
+    {
+        using other = AlignedAllocator<U, Align>;
+    };
+
+    T *
+    allocate(std::size_t n)
+    {
+        return static_cast<T *>(::operator new(
+            n * sizeof(T), std::align_val_t{Align}));
+    }
+
+    void
+    deallocate(T *p, std::size_t) noexcept
+    {
+        ::operator delete(p, std::align_val_t{Align});
+    }
+
+    friend bool
+    operator==(const AlignedAllocator &, const AlignedAllocator &) noexcept
+    {
+        return true;
+    }
+};
+
+/** std::vector whose data() is 64-byte aligned. */
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+} // namespace bbs
+
+#endif // BBS_COMMON_ALIGNED_HPP

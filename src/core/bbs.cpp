@@ -6,6 +6,7 @@
 #include "common/bit_utils.hpp"
 #include "common/logging.hpp"
 #include "core/bitplane.hpp"
+#include "simd/simd.hpp"
 
 namespace bbs {
 
@@ -14,18 +15,11 @@ bitSparsityTwosComplement(const Int8Tensor &codes)
 {
     if (codes.numel() == 0)
         return 0.0;
-    // Word-level: popcount eight values per step; the encoding's one-bits
-    // are position-independent, so no unpacking is needed.
+    // The encoding's one-bits are position-independent, so no unpacking
+    // is needed: one vectorized popcount scan over the raw bytes.
     std::span<const std::int8_t> data = codes.data();
-    std::int64_t ones = 0;
-    std::size_t i = 0;
-    for (; i + 8 <= data.size(); i += 8) {
-        std::uint64_t word;
-        std::memcpy(&word, data.data() + i, 8);
-        ones += std::popcount(word);
-    }
-    for (; i < data.size(); ++i)
-        ones += popcount8(data[i]);
+    std::int64_t ones = simdKernels().popcountSumBytes(
+        data.data(), static_cast<std::int64_t>(data.size()));
     double totalBits =
         static_cast<double>(codes.numel()) * kWeightBits;
     return 1.0 - static_cast<double>(ones) / totalBits;
@@ -58,14 +52,37 @@ bbsSparsity(const Int8Tensor &codes, std::int64_t vectorSize)
     std::int64_t groups = codes.numGroups(vectorSize);
     if (groups == 0)
         return 0.0;
-    // Groups are formed over the flat order (matching codes.group());
-    // each group is packed in registers and reduced with plane popcounts.
+    // Groups are formed over the flat order (matching codes.group()).
+    // Blocks of groups are packed plane-major into an L1-resident buffer
+    // (no heap traffic), then each plane reduces with one vectorized
+    // max(ones, n - ones) scan. Only the flat tail group can be short;
+    // its plane bits above the member count are zero, so it is folded in
+    // with its own member count.
+    constexpr std::int64_t kBlock = 256; // 8 planes x 256 words = 16 KiB
+    alignas(kCacheLineBytes) std::uint64_t block[kWeightBits][kBlock];
+    const SimdKernels &simd = simdKernels();
+    int full = static_cast<int>(vectorSize);
     std::int64_t sparseBits = 0;
-    for (std::int64_t g = 0; g < groups; ++g) {
-        PackedGroup pg = packGroup(codes.group(g, vectorSize));
-        for (int b = 0; b < kWeightBits; ++b) {
-            int ones = packedColumnOnes(pg, b);
-            sparseBits += std::max(ones, pg.size - ones);
+    for (std::int64_t g0 = 0; g0 < groups; g0 += kBlock) {
+        std::int64_t len = std::min(kBlock, groups - g0);
+        bool shortTail = false;
+        for (std::int64_t j = 0; j < len; ++j) {
+            PackedGroup pg = packGroup(codes.group(g0 + j, vectorSize));
+            for (int b = 0; b < kWeightBits; ++b)
+                block[b][j] = pg.planes[static_cast<std::size_t>(b)];
+            shortTail = pg.size != full; // only ever the last group
+        }
+        std::int64_t scanLen = shortTail ? len - 1 : len;
+        for (int b = 0; b < kWeightBits; ++b)
+            sparseBits += simd.sparseBitsSum(block[b], scanLen, full);
+        if (shortTail) {
+            int tail = static_cast<int>(
+                codes.group(g0 + len - 1, vectorSize).size());
+            for (int b = 0; b < kWeightBits; ++b) {
+                int ones = std::popcount(
+                    block[b][static_cast<std::size_t>(len - 1)]);
+                sparseBits += std::max(ones, tail - ones);
+            }
         }
     }
     return static_cast<double>(sparseBits) /

@@ -3,6 +3,7 @@
 #include "common/bit_utils.hpp"
 #include "common/logging.hpp"
 #include "core/bitplane.hpp"
+#include "simd/simd.hpp"
 
 namespace bbs {
 
@@ -11,10 +12,9 @@ namespace {
 std::int64_t
 sumActivations(std::span<const std::int8_t> activations)
 {
-    std::int64_t s = 0;
-    for (std::int8_t a : activations)
-        s += a;
-    return s;
+    return simdKernels().byteSum(
+        activations.data(),
+        static_cast<std::int64_t>(activations.size()));
 }
 
 /**

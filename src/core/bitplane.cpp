@@ -6,6 +6,7 @@
 
 #include "common/logging.hpp"
 #include "common/parallel.hpp"
+#include "simd/simd.hpp"
 
 namespace bbs {
 
@@ -49,20 +50,25 @@ unpackGroup(const PackedGroup &pg)
     return out;
 }
 
-BitPlaneTensor
-BitPlaneTensor::packImpl(std::span<const std::int8_t> values,
-                         std::int64_t channels, std::int64_t groupSize)
+void
+BitPlaneTensor::repack(std::span<const std::int8_t> values,
+                       std::int64_t channels, std::int64_t groupSize)
 {
     BBS_REQUIRE(groupSize >= 1 && groupSize <= 64,
                 "group size must be 1..64, got ", groupSize);
-    BitPlaneTensor t;
+    BitPlaneTensor &t = *this;
     t.groupSize_ = groupSize;
     t.channels_ = channels;
     t.channelSize_ =
         channels > 0 ? static_cast<std::int64_t>(values.size()) / channels
                      : 0;
-    if (values.empty() || channels == 0)
-        return t;
+    if (values.empty() || channels == 0) {
+        t.numGroups_ = 0;
+        t.groupsPerChannel_ = 0;
+        t.tailSize_ = 0;
+        t.words_.clear();
+        return;
+    }
     t.groupsPerChannel_ = (t.channelSize_ + groupSize - 1) / groupSize;
     t.numGroups_ = t.channels_ * t.groupsPerChannel_;
     std::int64_t tail =
@@ -91,7 +97,6 @@ BitPlaneTensor::packImpl(std::span<const std::int8_t> values,
                     pg.planes[static_cast<std::size_t>(b)];
         }
     });
-    return t;
 }
 
 BitPlaneTensor
@@ -99,14 +104,18 @@ BitPlaneTensor::pack(const Int8Tensor &codes, std::int64_t groupSize)
 {
     std::int64_t channels =
         codes.shape().rank() >= 2 ? codes.shape().dim(0) : 1;
-    return packImpl(codes.data(), channels, groupSize);
+    BitPlaneTensor t;
+    t.repack(codes.data(), channels, groupSize);
+    return t;
 }
 
 BitPlaneTensor
 BitPlaneTensor::pack(std::span<const std::int8_t> values,
                      std::int64_t groupSize)
 {
-    return packImpl(values, 1, groupSize);
+    BitPlaneTensor t;
+    t.repack(values, 1, groupSize);
+    return t;
 }
 
 PackedGroup
@@ -132,23 +141,19 @@ packedEffectualOpsTotal(const BitPlaneTensor &planes)
     std::int64_t gpc = planes.groupsPerChannel();
     int full = static_cast<int>(planes.groupSize());
     int tail = planes.groupMembers(gpc - 1);
+    const SimdKernels &simd = simdKernels();
     for (int b = 0; b < kWeightBits; ++b) {
         auto pl = planes.plane(b);
         if (tail == full) {
-            // Uniform group size: the hot loop is popcount + min only.
-            for (std::int64_t g = 0; g < groups; ++g) {
-                int ones = std::popcount(pl[static_cast<std::size_t>(g)]);
-                ops += std::min(ones, full - ones);
-            }
+            // Uniform group size: one vectorized popcount+min scan.
+            ops += simd.effectualOpsSum(pl.data(), groups, full);
         } else {
-            // Channel-tail groups sit at a fixed stride.
+            // Channel-tail groups sit at a fixed stride: scan each
+            // channel's full-size prefix, handle its tail word alone.
             for (std::int64_t c = 0; c < planes.numChannels(); ++c) {
                 std::int64_t base = c * gpc;
-                for (std::int64_t i = 0; i < gpc - 1; ++i) {
-                    int ones = std::popcount(
-                        pl[static_cast<std::size_t>(base + i)]);
-                    ops += std::min(ones, full - ones);
-                }
+                ops += simd.effectualOpsSum(pl.data() + base, gpc - 1,
+                                            full);
                 int ones = std::popcount(
                     pl[static_cast<std::size_t>(base + gpc - 1)]);
                 ops += std::min(ones, tail - ones);

@@ -27,6 +27,7 @@
 #include <span>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "common/bit_utils.hpp"
 #include "tensor/tensor.hpp"
 
@@ -40,8 +41,13 @@ namespace bbs {
  * bits at positions >= @ref size are zero, and planes at significances >=
  * @ref bits are zero. Two's-complement packing keeps the raw encoding
  * bits, so the MSB plane is the sign plane.
+ *
+ * The struct is cache-line aligned: the eight planes are exactly 64
+ * bytes, so the compressed GEMM's one-vector load of a group's planes
+ * never straddles two lines (rows of PackedGroup therefore cost a full
+ * two lines each — the deliberate space-for-bandwidth trade).
  */
-struct PackedGroup
+struct alignas(kCacheLineBytes) PackedGroup
 {
     std::array<BitColumn, kWeightBits> planes{};
     int size = 0;          ///< members n, 0..64
@@ -261,6 +267,16 @@ class BitPlaneTensor
     static BitPlaneTensor pack(std::span<const std::int8_t> values,
                                std::int64_t groupSize);
 
+    /**
+     * Re-pack in place. When the shape matches the previous packing the
+     * plane store is reused instead of reallocated — repacking loops
+     * (benchmark reps, cache refills) stay free of per-call heap
+     * traffic, whose mmap churn otherwise dominates the packing cost for
+     * megabyte-scale tensors.
+     */
+    void repack(std::span<const std::int8_t> values, std::int64_t channels,
+                std::int64_t groupSize);
+
     bool empty() const { return numGroups_ == 0; }
     std::int64_t numGroups() const { return numGroups_; }
     std::int64_t numChannels() const { return channels_; }
@@ -298,18 +314,18 @@ class BitPlaneTensor
     }
 
   private:
-    static BitPlaneTensor packImpl(std::span<const std::int8_t> values,
-                                   std::int64_t channels,
-                                   std::int64_t groupSize);
-
     std::int64_t groupSize_ = 0;
     std::int64_t numGroups_ = 0;
     std::int64_t channels_ = 0;
     std::int64_t channelSize_ = 0;
     std::int64_t groupsPerChannel_ = 0;
     int tailSize_ = 0; ///< members of each channel's last group
-    /** Plane-major storage: word [b * numGroups + g]. */
-    std::vector<std::uint64_t> words_;
+    /** Plane-major storage: word [b * numGroups + g]. The base is
+     *  64-byte aligned, so plane 0 starts on a cache line; planes b > 0
+     *  start at word b * numGroups and are only line-aligned when
+     *  numGroups is a multiple of 8 (the SIMD scans use unaligned
+     *  loads, so this is a perf nuance, not a contract). */
+    AlignedVector<std::uint64_t> words_;
 };
 
 /**

@@ -27,7 +27,11 @@ BitSerialMatrix::pack(std::span<const std::int8_t> values, std::int64_t rows,
     BitSerialMatrix bsm;
     bsm.rows_ = rows;
     bsm.cols_ = cols;
-    bsm.colWords_ = (cols + 63) / 64;
+    // Pad row planes to whole cache lines: the tail words stay zero, so
+    // every kernel result is unchanged while vector loads stay aligned.
+    std::int64_t usedWords = bsm.usedColWords();
+    bsm.colWords_ = (usedWords + kRowPlaneWordAlign - 1) /
+                    kRowPlaneWordAlign * kRowPlaneWordAlign;
     bsm.words_.assign(static_cast<std::size_t>(kWeightBits * rows *
                                                bsm.colWords_),
                       0);
@@ -38,7 +42,7 @@ BitSerialMatrix::pack(std::span<const std::int8_t> values, std::int64_t rows,
     std::uint64_t *words = bsm.words_.data();
     parallelFor(rows, [&](std::int64_t r) {
         const std::int8_t *row = values.data() + r * cols;
-        for (std::int64_t w = 0; w < colWords; ++w) {
+        for (std::int64_t w = 0; w < usedWords; ++w) {
             std::int64_t begin = w * 64;
             std::size_t len = static_cast<std::size_t>(
                 std::min<std::int64_t>(64, cols - begin));
@@ -56,8 +60,9 @@ Int8Tensor
 BitSerialMatrix::unpack() const
 {
     Int8Tensor out(Shape{rows_, cols_});
+    std::int64_t usedWords = usedColWords();
     for (std::int64_t r = 0; r < rows_; ++r) {
-        for (std::int64_t w = 0; w < colWords_; ++w) {
+        for (std::int64_t w = 0; w < usedWords; ++w) {
             std::int64_t begin = w * 64;
             int len = static_cast<int>(
                 std::min<std::int64_t>(64, cols_ - begin));

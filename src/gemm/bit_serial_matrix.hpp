@@ -13,7 +13,11 @@
  *
  * Columns are padded up to a multiple of 64 with zero bits; zero bits
  * contribute nothing to any popcount, so the padding never affects
- * results.
+ * results. Row planes are additionally padded to a whole number of cache
+ * lines (colWords is a multiple of @ref kRowPlaneWordAlign) and the
+ * backing store is 64-byte aligned, so every rowPlane() pointer is
+ * 64-byte aligned and the SIMD kernels' vector loads never straddle a
+ * cache line.
  */
 #ifndef BBS_GEMM_BIT_SERIAL_MATRIX_HPP
 #define BBS_GEMM_BIT_SERIAL_MATRIX_HPP
@@ -23,24 +27,29 @@
 #include <span>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "common/bit_utils.hpp"
+#include "simd/simd.hpp"
 #include "tensor/tensor.hpp"
 
 namespace bbs {
+
+/** Words per row plane are padded to this multiple (64 B = one cache
+ *  line), so row-plane starts stay 64-byte aligned. */
+inline constexpr std::int64_t kRowPlaneWordAlign =
+    static_cast<std::int64_t>(kCacheLineBytes / sizeof(std::uint64_t));
 
 /**
  * Value sum encoded by eight aligned window planes (plane c's popcount
  * weighs columnWeight(c)). The one expression both rangeSum and the
  * compressed GEMM's sum-of-activations stage compute, kept shared so the
- * sign-plane handling cannot drift between them.
+ * sign-plane handling cannot drift between them. Dispatches to the SIMD
+ * kernel layer (exact at every level).
  */
 inline std::int64_t
 planeWindowSum(const std::uint64_t *planes)
 {
-    std::int64_t s = 0;
-    for (int b = 0; b < kWeightBits; ++b)
-        s += columnWeight(b, kWeightBits) * std::popcount(planes[b]);
-    return s;
+    return simdKernels().weightedPlaneSum(planes);
 }
 
 /**
@@ -62,13 +71,26 @@ class BitSerialMatrix
     bool empty() const { return rows_ == 0 || cols_ == 0; }
     std::int64_t rows() const { return rows_; }
     std::int64_t cols() const { return cols_; }
-    /** Words per row plane (cols rounded up to a multiple of 64). */
+    /**
+     * Words per row plane: cols rounded up to a multiple of 64, then up
+     * to a multiple of kRowPlaneWordAlign (the extra words hold zero
+     * bits, which no popcount can observe). Being a cache-line multiple
+     * over a 64-byte-aligned base keeps every rowPlane() aligned.
+     */
     std::int64_t colWords() const { return colWords_; }
+    /**
+     * Words actually holding columns (cols rounded up to a multiple of
+     * 64, without the cache-line padding). Compute loops bound by this;
+     * the padded tail words are zero and would only add wasted
+     * AND+popcount work.
+     */
+    std::int64_t usedColWords() const { return (cols_ + 63) / 64; }
     int bits() const { return kWeightBits; }
 
     /**
      * Plane @p b of row @p r: @ref colWords words, column c at word c/64,
-     * bit c%64. Contiguous — the GEMM kernels walk it with a raw pointer.
+     * bit c%64. Contiguous and 64-byte aligned — the GEMM kernels walk it
+     * with a raw pointer.
      */
     const std::uint64_t *
     rowPlane(int b, std::int64_t r) const
@@ -119,8 +141,9 @@ class BitSerialMatrix
     std::int64_t rows_ = 0;
     std::int64_t cols_ = 0;
     std::int64_t colWords_ = 0;
-    /** Plane-major storage: word [(b * rows + r) * colWords + w]. */
-    std::vector<std::uint64_t> words_;
+    /** Plane-major storage: word [(b * rows + r) * colWords + w];
+     *  64-byte-aligned base. */
+    AlignedVector<std::uint64_t> words_;
 };
 
 } // namespace bbs

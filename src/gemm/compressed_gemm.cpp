@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <bit>
 
+#include "common/aligned.hpp"
 #include "common/logging.hpp"
 #include "common/parallel.hpp"
 #include "gemm/gemm.hpp"
+#include "simd/simd.hpp"
 
 namespace bbs {
 
@@ -69,36 +71,17 @@ CompressedRowPlanes::prepare(const CompressedTensor &ct)
 namespace {
 
 /**
- * Sum over set bits of @p wb of the activation value encoded by the eight
- * group-window planes at @p aw: for each activation bit plane c,
- * popcount(wb AND aw[c]) weighs 2^c (negative for the sign plane).
+ * Stored-column contribution of one group to one sample: the whole-group
+ * 8-plane weighted window reduction, dispatched (for each stored weight
+ * plane b and activation bit plane c, popcount(planes[b] AND aw[c])
+ * weighs columnWeight(b, bits) * 2^c, the activation sign plane
+ * negative).
  */
 inline std::int64_t
-planeDot(std::uint64_t wb, const std::uint64_t *aw)
+groupDot(const SimdKernels &simd, const PackedGroup &pg,
+         const std::uint64_t *aw)
 {
-    std::int64_t s = static_cast<std::int64_t>(std::popcount(wb & aw[0]));
-    s += static_cast<std::int64_t>(std::popcount(wb & aw[1])) << 1;
-    s += static_cast<std::int64_t>(std::popcount(wb & aw[2])) << 2;
-    s += static_cast<std::int64_t>(std::popcount(wb & aw[3])) << 3;
-    s += static_cast<std::int64_t>(std::popcount(wb & aw[4])) << 4;
-    s += static_cast<std::int64_t>(std::popcount(wb & aw[5])) << 5;
-    s += static_cast<std::int64_t>(std::popcount(wb & aw[6])) << 6;
-    s -= static_cast<std::int64_t>(std::popcount(wb & aw[7])) << 7;
-    return s;
-}
-
-/** Stored-column contribution of one group to one sample. */
-inline std::int64_t
-groupDot(const PackedGroup &pg, const std::uint64_t *aw)
-{
-    std::int64_t v = 0;
-    for (int b = 0; b < pg.bits; ++b) {
-        std::uint64_t wb = pg.planes[static_cast<std::size_t>(b)];
-        if (wb == 0)
-            continue; // binary pruning leaves many empty planes
-        v += columnWeight(b, pg.bits) * planeDot(wb, aw);
-    }
-    return v;
+    return simd.compressedGroupDot(pg.planes.data(), pg.bits, aw);
 }
 
 } // namespace
@@ -125,27 +108,34 @@ gemmCompressedInto(const CompressedRowPlanes &weights,
     // activations once per (sample, group); every weight row reuses them.
     // The scratch is thread_local so a serving worker draining batch
     // after batch reuses its high-water allocation instead of paying an
-    // allocate/free per batch. CRITICAL: parallelFor workers are fresh
-    // threads, and a lambda body naming a thread_local resolves to the
-    // *worker's own* (empty) instance — so hand the workers raw pointers
-    // into THIS thread's buffers; they touch only disjoint slices.
-    static thread_local std::vector<std::uint64_t> windowScratch;
+    // allocate/free per batch, and 64-byte aligned so each group's
+    // 8-plane window (exactly one cache line) is loaded by the SIMD
+    // kernels without straddling lines. CRITICAL: parallelFor workers are
+    // fresh threads, and a lambda body naming a thread_local resolves to
+    // the *worker's own* (empty) instance — so hand the workers raw
+    // pointers into THIS thread's buffers; they touch only disjoint
+    // slices.
+    static thread_local AlignedVector<std::uint64_t> windowScratch;
     static thread_local std::vector<std::int64_t> sumScratch;
     windowScratch.resize(
         static_cast<std::size_t>(n * numGroups * kWeightBits));
     sumScratch.resize(static_cast<std::size_t>(n * numGroups));
     std::uint64_t *const windows = windowScratch.data();
     std::int64_t *const sums = sumScratch.data();
+    const SimdKernels &simd = simdKernels(); // resolved once per GEMM
     parallelFor(n, [&](std::int64_t r) {
+        std::uint64_t *awRow = windows + r * numGroups * kWeightBits;
         for (std::int64_t g = 0; g < numGroups; ++g) {
             std::int64_t begin = weights.groupBegin(g);
             int len = weights.groupMembers(g);
-            std::uint64_t *aw =
-                windows + (r * numGroups + g) * kWeightBits;
+            std::uint64_t *aw = awRow + g * kWeightBits;
             for (int c = 0; c < kWeightBits; ++c)
                 aw[c] = activations.window(c, r, begin, len);
-            sums[r * numGroups + g] = planeWindowSum(aw);
         }
+        // One batched 8-plane weighted reduction over the whole row of
+        // windows — the per-window call would be latency-bound.
+        simd.weightedPlaneSumBatch(awRow, numGroups,
+                                   sums + r * numGroups);
     }, 4);
 
     // Stage 2: weight-row tiles of two, each streaming the whole grouped
@@ -161,13 +151,13 @@ gemmCompressedInto(const CompressedRowPlanes &weights,
             std::int64_t acc0 = 0, acc1 = 0;
             for (std::int64_t g = 0; g < numGroups;
                  ++g, aw += kWeightBits) {
-                acc0 += (groupDot(weights.packedGroup(o0, g), aw)
+                acc0 += (groupDot(simd, weights.packedGroup(o0, g), aw)
                          << weights.shift(o0, g)) +
                         static_cast<std::int64_t>(weights.constant(o0, g)) *
                             sumA[g];
                 if (o1 != o0)
                     acc1 +=
-                        (groupDot(weights.packedGroup(o1, g), aw)
+                        (groupDot(simd, weights.packedGroup(o1, g), aw)
                          << weights.shift(o1, g)) +
                         static_cast<std::int64_t>(
                             weights.constant(o1, g)) *

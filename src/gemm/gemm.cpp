@@ -4,6 +4,7 @@
 
 #include "common/logging.hpp"
 #include "common/parallel.hpp"
+#include "simd/simd.hpp"
 
 namespace bbs {
 
@@ -73,11 +74,16 @@ gemmBitSerial(const BitSerialMatrix &activations,
                 ")");
     std::int64_t n = activations.rows();
     std::int64_t k = weights.rows();
-    std::int64_t depthWords = activations.colWords();
+    // Bound compute by the words that hold columns: the cache-line
+    // padding beyond them is all zero bits (up to 7 wasted words per
+    // row plane for narrow matrices).
+    std::int64_t depthWords = activations.usedColWords();
     Int32Tensor out(Shape{n, k}); // Shape enforces n, k >= 1
 
     // Row tiles of two samples; each tile walks every weight-row pair so
-    // output rows are written by exactly one task.
+    // output rows are written by exactly one task. The kernel table is
+    // resolved once out here, not per tile.
+    const SimdKernels &simd = simdKernels();
     std::int64_t rowTiles = (n + 1) / 2;
     parallelFor(rowTiles, [&](std::int64_t t) {
         std::int64_t r0 = 2 * t;
@@ -100,23 +106,17 @@ gemmBitSerial(const BitSerialMatrix &activations,
                             weights.rowPlane(bw, o0) + d0;
                         const std::uint64_t *w1 =
                             weights.rowPlane(bw, o1) + d0;
-                        // 2x1x2 micro-kernel: one depth word per step,
-                        // four AND+popcounts sharing the four loads.
-                        std::int64_t p00 = 0, p01 = 0, p10 = 0, p11 = 0;
-                        for (std::int64_t d = 0; d < len; ++d) {
-                            std::uint64_t av0 = a0[d], av1 = a1[d];
-                            std::uint64_t wv0 = w0[d], wv1 = w1[d];
-                            p00 += std::popcount(av0 & wv0);
-                            p01 += std::popcount(av0 & wv1);
-                            p10 += std::popcount(av1 & wv0);
-                            p11 += std::popcount(av1 & wv1);
-                        }
+                        // 2x1x2 micro-kernel: four AND+popcount streams
+                        // sharing the four plane loads, dispatched to
+                        // the active SIMD level.
+                        std::int64_t p[4];
+                        simd.andPopcountTile(a0, a1, w0, w1, len, p);
                         std::int64_t sig =
                             sa * columnWeight(bw, kWeightBits);
-                        acc00 += sig * p00;
-                        acc01 += sig * p01;
-                        acc10 += sig * p10;
-                        acc11 += sig * p11;
+                        acc00 += sig * p[0];
+                        acc01 += sig * p[1];
+                        acc10 += sig * p[2];
+                        acc11 += sig * p[3];
                     }
                 }
             }

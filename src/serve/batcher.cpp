@@ -35,6 +35,17 @@ Batcher::nextBatch()
             batch.push_back(std::move(r));
         if (static_cast<std::int64_t>(batch.size()) >= config_.maxBatch)
             break;
+        // All-aboard flush: when this batch already holds every live
+        // request for ITS model, any client able to submit a co-rider
+        // is blocked on us and no co-rider can arrive — waiting out
+        // maxDelayUs would buy pure latency. Counted per model: other
+        // models' requests can never join this batch, so they must not
+        // hold it open. This is what keeps low-concurrency closed-loop
+        // clients near the per-request baseline instead of paying the
+        // flush delay on every request.
+        if (static_cast<std::int64_t>(batch.size()) >=
+            queue_.liveCount(batch.front().model))
+            break;
         // Nothing more to claim right now: sleep until a push, the
         // flush deadline, or shutdown. Timeout/shutdown => flush what we
         // have — claimed requests are served even mid-shutdown.

@@ -4,11 +4,13 @@
  * for one model into a GEMM-sized batch.
  *
  * A batch opens when the oldest live request is popped, and closes when
- * either (a) it holds maxBatch requests, or (b) maxDelayUs microseconds
- * have passed since it opened — the flush-on-timeout bound on the latency
- * cost any request pays for riding a batch. Requests for other models
- * stay queued, in order, for subsequent batches; a GEMM batch never mixes
- * models.
+ * (a) it holds maxBatch requests, (b) it holds every request currently
+ * live in the system (the "all-aboard" flush: every client is blocked on
+ * this batch, so waiting longer can only add latency), or (c) maxDelayUs
+ * microseconds have passed since it opened — the flush-on-timeout bound
+ * on the latency cost any request pays for riding a batch. Requests for
+ * other models stay queued, in order, for subsequent batches; a GEMM
+ * batch never mixes models.
  */
 #ifndef BBS_SERVE_BATCHER_HPP
 #define BBS_SERVE_BATCHER_HPP

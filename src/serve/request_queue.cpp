@@ -5,6 +5,17 @@
 namespace bbs {
 
 void
+RequestQueue::decrementLive(const std::string &model, std::int64_t n)
+{
+    auto it = liveByModel_.find(model);
+    if (it == liveByModel_.end())
+        return; // markCompleted for a request this queue never counted
+    it->second -= n;
+    if (it->second <= 0)
+        liveByModel_.erase(it);
+}
+
+void
 RequestQueue::reject(InferenceRequest &r, ServeStatus status)
 {
     InferenceResponse resp;
@@ -25,6 +36,7 @@ RequestQueue::push(InferenceRequest r)
             reject(r, ServeStatus::ShutDown);
             return false;
         }
+        ++liveByModel_[r.model];
         queue_.push_back(std::move(r));
         ++arrivals_;
     }
@@ -41,6 +53,7 @@ RequestQueue::waitFront()
         auto now = std::chrono::steady_clock::now();
         while (!queue_.empty() && queue_.front().deadline <= now) {
             ++expired_;
+            decrementLive(queue_.front().model, 1);
             reject(queue_.front(), ServeStatus::DeadlineExpired);
             queue_.pop_front();
         }
@@ -70,6 +83,7 @@ RequestQueue::popModel(const std::string &model, std::int64_t maxCount,
          static_cast<std::int64_t>(out.size()) < maxCount;) {
         if (it->deadline <= now) {
             ++expired_;
+            decrementLive(it->model, 1);
             reject(*it, ServeStatus::DeadlineExpired);
             it = queue_.erase(it);
         } else if (it->model == model) {
@@ -99,11 +113,28 @@ RequestQueue::shutdown()
         std::lock_guard<std::mutex> lock(mutex_);
         shutdown_ = true;
         shutdownRejected_ += queue_.size();
-        for (InferenceRequest &r : queue_)
+        for (InferenceRequest &r : queue_) {
+            decrementLive(r.model, 1);
             reject(r, ServeStatus::ShutDown);
+        }
         queue_.clear();
     }
     cv_.notify_all();
+}
+
+std::int64_t
+RequestQueue::liveCount(const std::string &model) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = liveByModel_.find(model);
+    return it == liveByModel_.end() ? 0 : it->second;
+}
+
+void
+RequestQueue::markCompleted(const std::string &model, std::int64_t n)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    decrementLive(model, n);
 }
 
 bool

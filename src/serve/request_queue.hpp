@@ -17,6 +17,8 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "serve/request.hpp"
@@ -68,6 +70,26 @@ class RequestQueue
     bool isShutdown() const;
     std::size_t size() const;
 
+    /**
+     * Requests for @p model alive anywhere in the system: accepted by
+     * push() and not yet answered — still queued, claimed into a batch,
+     * or executing. The batcher's all-aboard flush compares its batch
+     * size against this: when the batch already holds every live
+     * same-model request, no co-rider can possibly arrive from the
+     * current clients (any client able to submit one is blocked on us),
+     * so waiting out maxDelayUs would buy pure latency. Counted per
+     * model — other models' requests can never join this batch, so they
+     * must not hold it open. (Same-model requests executing on another
+     * worker still count: their clients might resubmit, and holding the
+     * batch open for them preserves the pre-all-aboard behavior.)
+     * Executors must call markCompleted() once per promise they fulfil.
+     */
+    std::int64_t liveCount(const std::string &model) const;
+
+    /** Record @p n claimed @p model requests whose promises are now
+     *  fulfilled. */
+    void markCompleted(const std::string &model, std::int64_t n);
+
     /** Requests rejected because their deadline expired while queued. */
     std::uint64_t expiredCount() const;
     /** Requests rejected by shutdown() (or pushed after it). */
@@ -77,6 +99,9 @@ class RequestQueue
     /** Complete @p r's future with a non-Ok terminal status. */
     static void reject(InferenceRequest &r, ServeStatus status);
 
+    /** Drop @p n from @p model's live count; requires mutex_ held. */
+    void decrementLive(const std::string &model, std::int64_t n);
+
     mutable std::mutex mutex_;
     std::condition_variable cv_;
     std::deque<InferenceRequest> queue_;
@@ -84,6 +109,10 @@ class RequestQueue
     std::uint64_t expired_ = 0;
     std::uint64_t shutdownRejected_ = 0;
     bool shutdown_ = false;
+    /** Accepted minus answered per model (queue-side rejects and
+     *  markCompleted); entries are erased at zero so retired model
+     *  names do not accumulate. */
+    std::unordered_map<std::string, std::int64_t> liveByModel_;
 };
 
 } // namespace bbs

@@ -91,7 +91,9 @@ InferenceServer::execute(std::vector<InferenceRequest> batch)
                 resp.status = ServeStatus::DeadlineExpired;
                 resp.queueUs = microsBetween(r.enqueued, now);
                 resp.totalUs = resp.queueUs;
+                std::string model = r.model;
                 r.promise.set_value(std::move(resp));
+                queue_.markCompleted(model, 1);
             } else {
                 live.push_back(std::move(r));
             }
@@ -111,6 +113,7 @@ InferenceServer::execute(std::vector<InferenceRequest> batch)
 
         std::int64_t n = static_cast<std::int64_t>(run.size());
         std::int64_t in = engine->inputFeatures();
+        std::string runModel = run.front().model; // shared by the run
         auto execStart = std::chrono::steady_clock::now();
 
         Batch x(Shape{n, in});
@@ -122,7 +125,13 @@ InferenceServer::execute(std::vector<InferenceRequest> batch)
 
         // One pack + gemmCompressed per layer for the whole run; per-row
         // calibration keeps each response independent of its co-riders.
-        Batch logits = engine->forwardRowCalibrated(x);
+        // A batch of one skips the GEMM staging (BitSerialMatrix pack +
+        // window extraction) and runs the per-dot path directly — by the
+        // forwardRowCalibrated contract the two are bit-identical on a
+        // one-row batch, and per-dot is cheaper when there is nothing to
+        // amortize the staging across.
+        Batch logits = n == 1 ? engine->forwardPerDot(x)
+                              : engine->forwardRowCalibrated(x);
         std::vector<int> predicted = argmaxRows(logits);
 
         auto done = std::chrono::steady_clock::now();
@@ -142,6 +151,7 @@ InferenceServer::execute(std::vector<InferenceRequest> batch)
             stats_.recordCompletion(resp.queueUs, resp.totalUs);
             req.promise.set_value(std::move(resp));
         }
+        queue_.markCompleted(runModel, n);
     }
 }
 

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * SIMD dispatch: CPUID detection, BBS_SIMD env override, runtime level
+ * switching. The environment is read once (thread-safe magic static);
+ * runtime changes go through setSimdLevel().
+ */
+#include "simd/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.hpp"
+
+namespace bbs {
+
+namespace detail {
+
+// Defined in simd_scalar.cpp / simd_x86.cpp.
+const SimdKernels &scalarKernels();
+const SimdKernels *avx2KernelsOrNull();
+const SimdKernels *avx512KernelsOrNull();
+bool cpuHasAvx2();
+bool cpuHasAvx512();
+
+namespace {
+
+/** Parse a BBS_SIMD value; nullopt-like -1 for "not set / unknown". */
+int
+parseLevel(const char *env)
+{
+    if (env == nullptr)
+        return -1;
+    std::string v(env);
+    if (v == "scalar")
+        return static_cast<int>(SimdLevel::Scalar);
+    if (v == "avx2")
+        return static_cast<int>(SimdLevel::Avx2);
+    if (v == "avx512")
+        return static_cast<int>(SimdLevel::Avx512);
+    warn("BBS_SIMD=", v, " is not one of scalar|avx2|avx512; using the "
+         "detected default");
+    return -1;
+}
+
+/** Table for a supported level (never null for supported levels). */
+const SimdKernels *
+tableFor(SimdLevel level)
+{
+    switch (level) {
+    case SimdLevel::Scalar: return &scalarKernels();
+    case SimdLevel::Avx2: return avx2KernelsOrNull();
+    case SimdLevel::Avx512: return avx512KernelsOrNull();
+    }
+    return nullptr;
+}
+
+/**
+ * Startup resolution: highest CPU-supported level, lowered (never
+ * raised) by BBS_SIMD. A request above what the CPU supports degrades
+ * to the best supported level with a warning so CI matrices that pin
+ * BBS_SIMD=avx2 still pass on runners without the ISA.
+ */
+SimdLevel
+resolveStartupLevel()
+{
+    SimdLevel best = maxSupportedSimdLevel();
+    int requested = parseLevel(std::getenv("BBS_SIMD"));
+    if (requested < 0)
+        return best;
+    auto level = static_cast<SimdLevel>(requested);
+    if (!simdLevelSupported(level)) {
+        warn("BBS_SIMD=", simdLevelName(level),
+             " is not supported by this CPU; falling back to ",
+             simdLevelName(best));
+        return best;
+    }
+    return level;
+}
+
+std::atomic<const SimdKernels *> &
+activeTable()
+{
+    static std::atomic<const SimdKernels *> table{
+        tableFor(resolveStartupLevel())};
+    return table;
+}
+
+} // namespace
+} // namespace detail
+
+const char *
+simdLevelName(SimdLevel level)
+{
+    switch (level) {
+    case SimdLevel::Scalar: return "scalar";
+    case SimdLevel::Avx2: return "avx2";
+    case SimdLevel::Avx512: return "avx512";
+    }
+    return "?";
+}
+
+SimdLevel
+maxSupportedSimdLevel()
+{
+    static const SimdLevel best = [] {
+        if (detail::cpuHasAvx512() &&
+            detail::avx512KernelsOrNull() != nullptr)
+            return SimdLevel::Avx512;
+        if (detail::cpuHasAvx2() && detail::avx2KernelsOrNull() != nullptr)
+            return SimdLevel::Avx2;
+        return SimdLevel::Scalar;
+    }();
+    return best;
+}
+
+bool
+simdLevelSupported(SimdLevel level)
+{
+    return static_cast<int>(level) <=
+           static_cast<int>(maxSupportedSimdLevel());
+}
+
+SimdLevel
+activeSimdLevel()
+{
+    return detail::activeTable().load(std::memory_order_relaxed)->level;
+}
+
+void
+setSimdLevel(SimdLevel level)
+{
+    BBS_REQUIRE(simdLevelSupported(level), "SIMD level ",
+                simdLevelName(level), " is not supported by this CPU "
+                "(max: ", simdLevelName(maxSupportedSimdLevel()), ")");
+    detail::activeTable().store(detail::tableFor(level),
+                                std::memory_order_relaxed);
+}
+
+const SimdKernels &
+simdKernels()
+{
+    return *detail::activeTable().load(std::memory_order_relaxed);
+}
+
+const SimdKernels &
+simdKernelsFor(SimdLevel level)
+{
+    BBS_REQUIRE(simdLevelSupported(level), "SIMD level ",
+                simdLevelName(level), " is not supported by this CPU "
+                "(max: ", simdLevelName(maxSupportedSimdLevel()), ")");
+    return *detail::tableFor(level);
+}
+
+} // namespace bbs

@@ -251,30 +251,78 @@ TEST(Serve, DeadlineExpiredRequestsAreRejectedNotExecuted)
     EXPECT_EQ(s.completed, 1u);
 }
 
-TEST(Serve, DeadlineExpiryDuringBatchWaitIsRejectedAtFlush)
+TEST(BatcherDirect, SameModelRequestInFlightHoldsTheBatchToTimeout)
+{
+    // A claimed-but-uncompleted request (a request executing on another
+    // worker: popped, promise pending, markCompleted not yet called)
+    // keeps its model's live count up, so the next same-model batch must
+    // wait out maxDelayUs for co-riders — the leader's deadline can
+    // expire during that wait, which is what the server's flush-time
+    // re-check guards (claimed requests are returned, never dropped).
+    RequestQueue queue;
+    auto pushNamed = [&](const char *model, std::int64_t deadlineUs) {
+        InferenceRequest r;
+        r.model = model;
+        r.enqueued = std::chrono::steady_clock::now();
+        r.deadline = deadlineUs > 0
+                         ? r.enqueued + std::chrono::microseconds(
+                                            deadlineUs)
+                         : std::chrono::steady_clock::time_point::max();
+        queue.push(std::move(r));
+    };
+    Batcher batcher(queue, BatcherConfig{64, 20'000});
+
+    pushNamed("m", 0);
+    std::vector<InferenceRequest> held = batcher.nextBatch();
+    ASSERT_EQ(held.size(), 1u); // claimed, never completed: stays live
+    EXPECT_EQ(queue.liveCount("m"), 1);
+
+    pushNamed("m", 3000);
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<InferenceRequest> batch = batcher.nextBatch();
+    double waitedUs = microsBetween(t0, std::chrono::steady_clock::now());
+    ASSERT_EQ(batch.size(), 1u);
+    // The in-flight same-model request blocked the all-aboard flush, so
+    // the batch waited for the flush timeout and the claimed leader is
+    // now past its 3 ms deadline (the server-side flush re-check would
+    // reject it instead of executing).
+    EXPECT_GE(waitedUs, 15'000.0);
+    EXPECT_LE(batch.front().deadline, std::chrono::steady_clock::now());
+
+    // Completion releases the live count.
+    queue.markCompleted("m", 2);
+    EXPECT_EQ(queue.liveCount("m"), 0);
+    // Unset promises above: futures were never taken, so dropping the
+    // requests is fine — this test only exercises batch formation.
+}
+
+TEST(Serve, OtherModelRequestsDoNotHoldABatchOpen)
 {
     auto registry = std::make_shared<ModelRegistry>();
     registry->add("clf", makeEngine(16, 24, 4, 2, 0xd00d));
+    registry->add("other", makeEngine(16, 24, 4, 2, 0xeeee));
     auto pool = makePool(1, 16, 0x7777);
 
     ServerConfig cfg;
     cfg.maxBatch = 64;
-    cfg.maxDelayUs = 30'000; // far longer than the request's deadline
-    cfg.workers = 1;
+    cfg.maxDelayUs = 30'000; // would dwarf the deadline if waited out
+    cfg.workers = 0;         // drive the drain by hand: no pop-time race
     InferenceServer server(registry, cfg);
 
-    // The lone request is claimed as batch leader almost immediately
-    // (so queue-pop sees it live), then the batcher waits the full
-    // 30 ms for co-riders; the 2 ms deadline passes during that wait,
-    // and the flush-time re-check must reject instead of executing.
-    // (If the worker is ever slow enough to pop after 2 ms, the queue
-    // rejects instead — same observable outcome.)
-    auto fut = server.submit("clf", pool[0], /*deadlineUs=*/2000);
-    EXPECT_EQ(fut.get().status, ServeStatus::DeadlineExpired);
+    // The queued other-model request can never join a clf batch, so the
+    // per-model all-aboard flush must fire immediately: the clf request
+    // executes well inside its 5 ms deadline instead of expiring during
+    // a 30 ms co-rider wait.
+    auto fut = server.submit("clf", pool[0], /*deadlineUs=*/5000);
+    auto other = server.submit("other", pool[0]);
+    EXPECT_EQ(server.drainOnce(), 1);
+    EXPECT_EQ(fut.get().status, ServeStatus::Ok);
 
+    EXPECT_EQ(server.drainOnce(), 1);
+    EXPECT_EQ(other.get().status, ServeStatus::Ok);
     StatsSnapshot s = server.stats();
-    EXPECT_EQ(s.expired, 1u);
-    EXPECT_EQ(s.completed, 0u);
+    EXPECT_EQ(s.expired, 0u);
+    EXPECT_EQ(s.completed, 2u);
 }
 
 TEST(Serve, UnknownModelAndBadInputRejectedAtSubmit)
