@@ -8,6 +8,7 @@
 
 #include "accel/factory.hpp"
 #include "common/table.hpp"
+#include "engine/engine.hpp"
 #include "models/model_zoo.hpp"
 #include "models/workload.hpp"
 #include "sim/prepared_model.hpp"
@@ -16,6 +17,8 @@ int
 main()
 {
     using namespace bbs;
+
+    std::cout << engine::runtimeSummary() << "\n\n";
 
     MaterializeOptions opts;
     opts.maxWeightsPerLayer = 1'000'000;

@@ -3,22 +3,27 @@
  * bbs_cli — a small command-line front end to the library, the shape of
  * tool a deployment flow would script against.
  *
- *   bbs_cli sparsity  --model ResNet-50
- *   bbs_cli compress  --model ViT-Base --columns 4 --strategy zp [--beta 0.2]
- *   bbs_cli simulate  --model Bert-MRPC [--accelerator "BitVert (mod)"]
+ *   bbs_cli sparsity    --model ResNet-50
+ *   bbs_cli compress    --model ViT-Base --columns 4 --strategy zp [--beta 0.2]
+ *   bbs_cli simulate    --model Bert-MRPC [--accelerator "BitVert (mod)"]
+ *   bbs_cli engine-info [--rows K --cols C --batch N --columns T]
  *
  * All workloads are the synthetic zoo (deterministic per seed); see
  * DESIGN.md for the substitution rationale.
  */
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
 #include <string>
 
 #include "accel/factory.hpp"
+#include "common/aligned.hpp"
 #include "common/logging.hpp"
+#include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "core/bbs.hpp"
+#include "engine/engine.hpp"
 #include "core/global_pruning.hpp"
 #include "metrics/kl_divergence.hpp"
 #include "models/model_zoo.hpp"
@@ -138,12 +143,70 @@ cmdSimulate(const std::map<std::string, std::string> &flags)
     return 0;
 }
 
+/**
+ * engine-info: what the engine facade resolved on this host — detected
+ * SIMD level, worker-thread cap, the alignment guarantees the kernels
+ * rely on — and which plan kind a given (rows, cols, batch) shape would
+ * select at a compression operating point.
+ */
+int
+cmdEngineInfo(const std::map<std::string, std::string> &flags)
+{
+    std::int64_t rows = std::stoll(flagOr(flags, "rows", "64"));
+    std::int64_t cols = std::stoll(flagOr(flags, "cols", "256"));
+    std::int64_t batch = std::stoll(flagOr(flags, "batch", "8"));
+    int columns = std::stoi(flagOr(flags, "columns", "4"));
+    BBS_REQUIRE(rows > 0 && cols > 0 && batch > 0,
+                "--rows/--cols/--batch must be positive");
+    BBS_REQUIRE(columns >= 0 && columns <= kMaxPrunedColumns,
+                "--columns must be 0..", kMaxPrunedColumns);
+
+    // Show the raw environment values (an operator debugging a cap that
+    // "isn't taking effect" needs to see a set-but-not-clamping value,
+    // not "(unset)"); the resolved rows above them show the effect.
+    const char *envThreads = std::getenv("BBS_THREADS");
+    const char *envSimd = std::getenv("BBS_SIMD");
+    Table rt({"engine runtime", "value"});
+    rt.addRow({"active SIMD level", simdLevelName(activeSimdLevel())});
+    rt.addRow({"max supported SIMD", simdLevelName(maxSupportedSimdLevel())});
+    rt.addRow({"BBS_SIMD", envSimd ? envSimd : "(unset)"});
+    rt.addRow({"worker-thread cap", std::to_string(maxWorkerThreads())});
+    rt.addRow({"BBS_THREADS",
+               envThreads ? envThreads : "(unset)"});
+    rt.addRow({"plane alignment",
+               std::to_string(kCacheLineBytes) + " B (64-byte bases)"});
+    rt.addRow({"row-plane padding",
+               std::to_string(kRowPlaneWordAlign) +
+                   " words (whole cache lines)"});
+    rt.print(std::cout);
+
+    // Plan selection for the requested shape: the stored-bit sparsity a
+    // compressed operand would report is roughly 8 - targetColumns (the
+    // compressor may do better via redundant columns).
+    double storedBits = 8.0 - static_cast<double>(columns);
+    Table plan({"operand", "batch", "plan kind"});
+    for (std::int64_t b : {std::int64_t{1}, std::int64_t{2}, batch}) {
+        plan.addRow({"dense", std::to_string(b),
+                     planKindName(engine::MatmulPlan::selectKind(
+                         rows, cols, b, false, 8.0))});
+        plan.addRow({format("compressed (%d cols pruned)", columns),
+                     std::to_string(b),
+                     planKindName(engine::MatmulPlan::selectKind(
+                         rows, cols, b, true, storedBits))});
+    }
+    plan.print(std::cout);
+    std::cout << "shape: weights [" << rows << ", " << cols
+              << "], activations [" << batch << ", " << cols << "]\n";
+    return 0;
+}
+
 int
 usage()
 {
-    std::cerr << "usage: bbs_cli <sparsity|compress|simulate> "
+    std::cerr << "usage: bbs_cli <sparsity|compress|simulate|engine-info> "
                  "[--model NAME] [--columns N] [--strategy zp|ra] "
-                 "[--beta F] [--accelerator NAME]\n";
+                 "[--beta F] [--accelerator NAME] [--rows K] [--cols C] "
+                 "[--batch N]\n";
     return 2;
 }
 
@@ -162,5 +225,7 @@ main(int argc, char **argv)
         return cmdCompress(flags);
     if (cmd == "simulate")
         return cmdSimulate(flags);
+    if (cmd == "engine-info")
+        return cmdEngineInfo(flags);
     return usage();
 }

@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "common/table.hpp"
+#include "engine/engine.hpp"
 #include "core/global_pruning.hpp"
 #include "metrics/kl_divergence.hpp"
 #include "models/model_zoo.hpp"
@@ -18,6 +19,8 @@ int
 main()
 {
     using namespace bbs;
+
+    std::cout << engine::runtimeSummary() << "\n\n";
 
     MaterializeOptions opts;
     opts.maxWeightsPerLayer = 1'000'000; // sample huge layers (whole

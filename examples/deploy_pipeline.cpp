@@ -3,24 +3,25 @@
  * End-to-end deployment pipeline, the full path weights travel in a real
  * BitVert deployment:
  *
- *   train -> per-channel INT8 PTQ -> BBS binary pruning -> bit-packed
- *   serialization (the DRAM image) -> deserialization -> batched integer
- *   inference through the bit-serial GEMM engine -> accuracy check ->
- *   the serving runtime hosting every operating point behind one queue.
+ *   train -> per-channel INT8 PTQ -> engine Session::pack at a BBS
+ *   operating point -> PackedOperand::serialize (the DRAM image) ->
+ *   deserialize -> plan.run bit-identity check -> batched integer
+ *   inference -> accuracy check -> the serving runtime hosting every
+ *   operating point behind one queue.
  *
  * Everything downstream of training operates on the serialized bytes, so
- * this example also demonstrates that the wire format is self-sufficient.
- * Offline evaluation runs in serving-sized mini-batches (activations are
- * packed once per batch, every compressed weight row executes against
- * the whole batch); the final stage then serves live single-sample
- * traffic through src/serve — request coalescing into the same GEMM
- * engine, with per-row calibration so batching never changes a logit.
+ * this example also demonstrates that the wire format is self-sufficient:
+ * the reloaded operand's plan replays the original bit-exactly. Offline
+ * evaluation runs in serving-sized mini-batches; the final stage serves
+ * live single-sample traffic through src/serve — request coalescing into
+ * the same per-layer plans, with per-row calibration so batching never
+ * changes a logit.
  */
 #include <iostream>
 #include <thread>
 
 #include "common/table.hpp"
-#include "core/serialization.hpp"
+#include "engine/engine.hpp"
 #include "nn/dataset.hpp"
 #include "nn/evaluate.hpp"
 #include "nn/int8_infer.hpp"
@@ -31,6 +32,9 @@ int
 main()
 {
     using namespace bbs;
+
+    engine::Session session;
+    std::cout << engine::runtimeSummary() << "\n\n";
 
     // 1. Train a classifier.
     Dataset ds = makeClusterDataset(160, 5, 20, 271828);
@@ -47,28 +51,54 @@ main()
     double fp32Acc = accuracyPercent(net, ds.testX, ds.testY);
     std::cout << "FP32 accuracy: " << format("%.2f", fp32Acc) << "%\n\n";
 
-    // 2. Quantize + compress + serialize each dense layer; count bytes.
+    // 2. Quantize + pack + serialize each dense layer; count bytes.
+    // Whole-tensor packing needs the group size to divide the channel
+    // width (groups must not span output channels); pick the largest
+    // divisor <= 32 per layer.
+    auto groupSizeFor = [](std::int64_t cols) {
+        for (std::int64_t g = std::min<std::int64_t>(32, cols); g > 1; --g)
+            if (cols % g == 0)
+                return g;
+        return std::int64_t{1};
+    };
     std::int64_t rawBytes = 0, packedBytes = 0;
     for (FloatTensor *w : net.weightTensors()) {
         QuantizedTensor q = quantizePerChannel(*w, 8);
-        CompressedTensor ct = CompressedTensor::compress(
-            q.values, 32, 4, PruneStrategy::ZeroPointShifting);
-        SerializedTensor blob = serializeCompressed(ct);
+        engine::PackOptions packOpts;
+        packOpts.groupSize = groupSizeFor(q.values.shape().dim(1));
+        packOpts.targetColumns = 4;
+        packOpts.strategy = PruneStrategy::ZeroPointShifting;
+        engine::PackedOperand packed = session.pack(q.values, packOpts);
+        std::vector<std::uint8_t> blob = packed.serialize();
 
-        // 3. Deserialize and verify the DRAM image is self-sufficient.
-        CompressedTensor back = deserializeCompressed(
-            blob, q.values.shape(), 32, 4,
-            PruneStrategy::ZeroPointShifting);
-        Int8Tensor a = ct.decompress();
-        Int8Tensor b = back.decompress();
+        // 3. Deserialize and verify the DRAM image is self-sufficient:
+        // the reloaded operand reconstructs the same weights and its
+        // plan replays the original bit-exactly.
+        engine::PackedOperand back =
+            engine::PackedOperand::deserialize(blob);
+        Int8Tensor a = packed.unpack();
+        Int8Tensor b = back.unpack();
         for (std::int64_t i = 0; i < a.numel(); ++i) {
             if (a.flat(i) != b.flat(i)) {
                 std::cerr << "serialization mismatch!\n";
                 return 1;
             }
         }
+        Int8Tensor probe(Shape{4, a.shape().dim(1)});
+        Rng prng(a.numel());
+        for (std::int64_t i = 0; i < probe.numel(); ++i)
+            probe.flat(i) =
+                static_cast<std::int8_t>(prng.uniformInt(-128, 127));
+        Int32Tensor y0 = session.plan(packed).run(probe);
+        Int32Tensor y1 = session.plan(back).run(probe);
+        for (std::int64_t i = 0; i < y0.numel(); ++i) {
+            if (y0.flat(i) != y1.flat(i)) {
+                std::cerr << "reloaded plan deviated!\n";
+                return 1;
+            }
+        }
         rawBytes += q.values.numel();
-        packedBytes += static_cast<std::int64_t>(blob.bytes.size());
+        packedBytes += static_cast<std::int64_t>(blob.size());
     }
     std::cout << "Weight image: " << rawBytes << " B (INT8) -> "
               << packedBytes << " B (BBS packed, "
@@ -97,10 +127,10 @@ main()
                       std::move(engine));
     }
     t.print(std::cout);
-    std::cout << "\nAll inference above ran integer-only through "
-                 "gemmCompressed() — the exact arithmetic the BitVert "
-                 "PE performs, batched across each mini-batch (and "
-                 "bit-identical to the per-sample dotCompressed loop).\n";
+    std::cout << "\nAll inference above ran integer-only through each "
+                 "layer's engine::MatmulPlan — the exact arithmetic the "
+                 "BitVert PE performs, batched across each mini-batch "
+                 "(and bit-identical to the per-dot plan kind).\n";
 
     // 5. Live serving: one InferenceServer hosts all three engines; a
     // few clients submit the test set as single-sample requests, which

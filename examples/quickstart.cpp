@@ -1,23 +1,22 @@
 /**
  * @file
- * Quickstart: the BBS public API in one file.
+ * Quickstart: the BBS engine API in one file.
  *
  * 1. Quantize a synthetic weight tensor to per-channel INT8.
  * 2. Measure its bi-directional bit sparsity.
- * 3. Binary-prune it with the BBS encoding (4 columns, zero-point
- *    shifting), inspect the footprint, and verify the compressed-domain
- *    dot product is exact.
- * 4. Execute the whole compressed layer against an activation batch
- *    through the bit-serial GEMM engine and verify it against the naive
- *    integer GEMM.
+ * 3. Open an engine Session, pack the layer at a BBS operating point
+ *    (4 columns pruned, zero-point shifting), inspect the footprint, and
+ *    verify the compressed-domain dot product is exact.
+ * 4. Create a MatmulPlan for the packed weights and execute a whole
+ *    activation batch, verified against the naive integer GEMM — then
+ *    round-trip the operand through bytes and show the reloaded plan is
+ *    bit-identical.
  */
 #include <iostream>
 
 #include "core/bbs.hpp"
-#include "core/bbs_dot.hpp"
-#include "core/compressed_tensor.hpp"
 #include "common/random.hpp"
-#include "gemm/compressed_gemm.hpp"
+#include "engine/engine.hpp"
 #include "gemm/gemm.hpp"
 #include "quant/quantizer.hpp"
 #include "tensor/distribution.hpp"
@@ -26,6 +25,9 @@ int
 main()
 {
     using namespace bbs;
+
+    engine::Session session; // the engine facade's root object
+    std::cout << engine::runtimeSummary() << "\n";
 
     // 1. A synthetic layer: 64 output channels x 288 weights each.
     Rng rng(2024);
@@ -43,13 +45,18 @@ main()
               << "  BBS (vector size 8):       "
               << bbsSparsity(q.values, 8) << "  (always >= 0.5)\n";
 
-    // 3. Binary pruning with the BBS encoding.
+    // 3. Pack at a BBS operating point: the Session chooses the
+    // compressed row-plane representation and reports the footprint.
+    // (Compress once; the pack(CompressedTensor) overload wraps an
+    // existing compression, and pack(tensor, PackOptions) would do both
+    // steps in one call.)
     CompressedTensor ct = CompressedTensor::compress(
         q.values, /*groupSize=*/32, /*targetColumns=*/4,
         PruneStrategy::ZeroPointShifting);
-    std::cout << "Compressed to " << ct.effectiveBitsPerWeight()
-              << " bits/weight (8.0 before), "
-              << ct.storageBits() / 8 / 1024 << " KiB total\n";
+    engine::PackedOperand weights = session.pack(ct);
+    std::cout << "Packed as " << packKindName(weights.kind()) << ": "
+              << weights.meanStoredBits()
+              << " stored bits/weight (8.0 before)\n";
 
     // The compressed form executes directly: stored columns bit-serially,
     // pruned columns via the BBS-constant x sum-of-activations term.
@@ -57,26 +64,30 @@ main()
     for (auto &a : activations)
         a = static_cast<std::int8_t>(rng.uniformInt(-128, 127));
     const CompressedGroup &g = ct.group(0);
-    BbsDotResult compressed = dotCompressed(g, activations);
-    std::int64_t reference = dotReference(g.decompress(), activations);
+    BbsDotResult compressed = session.dotCompressed(g, activations);
+    std::int64_t reference =
+        session.dot(g.decompress(), activations,
+                    engine::DotMethod::Reference)
+            .value;
     std::cout << "Compressed-domain dot product: " << compressed.value
               << " (reference " << reference << ", "
               << (compressed.value == reference ? "exact" : "MISMATCH")
               << "), effectual bit-ops: " << compressed.effectualOps
               << "\n";
 
-    // 4. Batched inference: the compressed rows execute against a whole
-    // activation batch at once. Weights are prepacked once
-    // (CompressedRowPlanes), the batch is packed once (BitSerialMatrix),
-    // and gemmCompressed runs surviving columns as AND+popcount products
-    // and pruned columns through the constant x sum-of-activations term.
+    // 4. Batched inference through a plan: created once from the packed
+    // weights, it picks the execution kind per batch — per-dot at one
+    // row, the batched compressed-domain GEMM here.
     Int8Tensor batch(Shape{16, 288});
     for (std::int64_t i = 0; i < batch.numel(); ++i)
         batch.flat(i) = static_cast<std::int8_t>(rng.uniformInt(-128, 127));
-    CompressedRowPlanes rows = CompressedRowPlanes::prepare(ct);
-    Int32Tensor product =
-        gemmCompressed(rows, BitSerialMatrix::pack(batch));
-    Int32Tensor naive = gemmReferenceBatch(batch, ct.decompress());
+    engine::MatmulPlan plan =
+        session.plan(weights, engine::ShapeHints{16});
+    std::cout << "Plan kind at batch 16: "
+              << planKindName(plan.kindForBatch(16)) << " (batch 1: "
+              << planKindName(plan.kindForBatch(1)) << ")\n";
+    Int32Tensor product = plan.run(batch);
+    Int32Tensor naive = gemmReferenceBatch(batch, weights.unpack());
     std::int64_t mismatches = 0;
     for (std::int64_t i = 0; i < product.numel(); ++i)
         mismatches += (product.flat(i) != naive.flat(i));
@@ -88,8 +99,23 @@ main()
     if (mismatches != 0)
         return 1; // let the CI smoke step gate the exactness claim
 
+    // Serialize -> reload -> run: the operand's byte image (the DRAM
+    // layout the accelerator streams) reproduces the plan bit-exactly.
+    std::vector<std::uint8_t> bytes = weights.serialize();
+    engine::PackedOperand reloaded =
+        engine::PackedOperand::deserialize(bytes);
+    Int32Tensor replay = session.plan(reloaded).run(batch);
+    std::int64_t drift = 0;
+    for (std::int64_t i = 0; i < product.numel(); ++i)
+        drift += (replay.flat(i) != product.flat(i));
+    std::cout << "Operand round-trip: " << bytes.size() << " B image, "
+              << (drift == 0 ? "bit-identical replay" : "MISMATCH")
+              << "\n";
+    if (drift != 0)
+        return 1;
+
     // Reconstruction error of the whole tensor.
-    Int8Tensor rec = ct.decompress();
+    Int8Tensor rec = weights.unpack();
     double sse = 0.0;
     for (std::int64_t i = 0; i < rec.numel(); ++i) {
         double d = static_cast<double>(rec.flat(i)) - q.values.flat(i);

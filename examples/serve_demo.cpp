@@ -4,15 +4,17 @@
  * one InferenceServer, concurrent clients with mixed traffic and
  * deadlines, and the ServerStats block a deployment would scrape.
  *
- * Every response is produced by the batched compressed-domain GEMM
- * engine with per-row activation calibration, so each client gets logits
- * bit-identical to running its request alone — the demo verifies that
- * against the forwardPerDot oracle while the server is under load.
+ * Every response is produced through each model's per-layer
+ * engine::MatmulPlan with per-row activation calibration, so each client
+ * gets logits bit-identical to running its request alone — the demo
+ * verifies that against the single-request per-dot-policy oracle while
+ * the server is under load.
  */
 #include <iostream>
 #include <thread>
 
 #include "common/table.hpp"
+#include "engine/engine.hpp"
 #include "nn/dataset.hpp"
 #include "nn/evaluate.hpp"
 #include "serve/server.hpp"
@@ -21,6 +23,8 @@ int
 main()
 {
     using namespace bbs;
+
+    std::cout << bbs::engine::runtimeSummary() << "\n";
 
     // Train two small classifiers and compress them at different
     // operating points: one conservative, one aggressive.
@@ -85,11 +89,15 @@ main()
                 if (resp.status != ServeStatus::Ok)
                     continue;
                 ++tally.ok;
-                // Oracle check under load: one-sample forwardPerDot.
+                // Oracle check under load: one sample through the
+                // per-dot plan kind.
                 Batch x(Shape{1, features});
                 for (std::int64_t c = 0; c < features; ++c)
                     x.at(0, c) = ds.testX.at(i, c);
-                Batch y = registry->find(model)->forwardPerDot(x);
+                Batch y = registry->find(model)->forward(
+                    x, InferencePolicy{
+                           bbs::engine::Calibration::PerBatch,
+                           bbs::engine::PlanKind::PerDot});
                 for (std::int64_t c = 0; c < y.shape().dim(1); ++c)
                     if (resp.logits[static_cast<std::size_t>(c)] !=
                         y.at(0, c))

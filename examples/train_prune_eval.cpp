@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "common/table.hpp"
+#include "engine/engine.hpp"
 #include "nn/compress_net.hpp"
 #include "nn/dataset.hpp"
 #include "nn/evaluate.hpp"
@@ -15,6 +16,8 @@ int
 main()
 {
     using namespace bbs;
+
+    std::cout << engine::runtimeSummary() << "\n\n";
 
     // Train.
     Dataset ds = makeClusterDataset(200, 6, 24, 314159);

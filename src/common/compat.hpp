@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Compatibility-layer switch.
+ *
+ * `BBS_LEGACY_WRAPPERS` gates the pre-engine free-function entry points
+ * (`dot*`, `gemm*`, `Int8Network::forward*` variants). Since the engine
+ * facade (engine/engine.hpp: Session / PackedOperand / MatmulPlan) became
+ * the library's compute API, those functions are thin header-level
+ * wrappers delegating to the internal default Session — kept bit-identical
+ * to their pre-redesign behavior by the test suite.
+ *
+ * Build with CMake `-DBBS_LEGACY_WRAPPERS=OFF` to compile the library,
+ * tests and examples against the engine API alone (the CI `legacy-off`
+ * job proves this configuration). Without CMake the wrappers default ON.
+ */
+#ifndef BBS_COMMON_COMPAT_HPP
+#define BBS_COMMON_COMPAT_HPP
+
+#ifndef BBS_LEGACY_WRAPPERS
+#define BBS_LEGACY_WRAPPERS 1
+#endif
+
+#endif // BBS_COMMON_COMPAT_HPP

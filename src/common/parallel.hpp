@@ -9,7 +9,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <cstdlib>
 #include <functional>
 #include <thread>
 #include <vector>
@@ -37,21 +36,12 @@ insideParallelWorker()
 }
 
 /**
- * Parse a BBS_THREADS-style cap: a positive integer below @p hw clamps
- * the worker count; anything else (null, malformed, zero, negative, or
- * >= hw) leaves it at @p hw.
+ * The startup worker cap (hardware concurrency clamped by BBS_THREADS),
+ * resolved through the engine's single env parse path
+ * (engine::EngineConfig::threadCapFromEnv, engine/engine_config.cpp).
+ * This header no longer reads the environment itself.
  */
-inline unsigned
-parseThreadCap(const char *env, unsigned hw)
-{
-    if (env == nullptr)
-        return hw;
-    char *end = nullptr;
-    long cap = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && cap > 0 && cap < static_cast<long>(hw))
-        return static_cast<unsigned>(cap);
-    return hw;
-}
+unsigned resolvedEnvThreadCap();
 
 /** Runtime worker-cap override slot; 0 means "no override". */
 inline std::atomic<unsigned> &
@@ -72,17 +62,13 @@ workerThreadCapOverride()
  * static): the serving runtime hits this per batch, and getenv on that
  * hot path is both a needless syscall-ish cost and unsafe against
  * concurrent environment mutation. Runtime changes go through
- * setWorkerThreadCap() instead of the environment.
+ * setWorkerThreadCap() instead of the environment; scoped changes go
+ * through an engine::Session's EngineConfig.
  */
 inline unsigned
 maxWorkerThreads()
 {
-    static const unsigned fromEnv = [] {
-        unsigned hw = std::thread::hardware_concurrency();
-        if (hw == 0)
-            hw = 1;
-        return detail::parseThreadCap(std::getenv("BBS_THREADS"), hw);
-    }();
+    static const unsigned fromEnv = detail::resolvedEnvThreadCap();
     unsigned cap =
         detail::workerThreadCapOverride().load(std::memory_order_relaxed);
     if (cap > 0 && cap < fromEnv)

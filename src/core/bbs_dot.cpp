@@ -1,4 +1,11 @@
-#include "core/bbs_dot.hpp"
+/**
+ * @file
+ * Kernel implementations of the bit-serial dot forms declared in
+ * core/dot_kernels.hpp. The engine facade (engine/session.cpp) is the
+ * public route into these; the legacy free functions in bbs_dot.hpp are
+ * compatibility wrappers over it.
+ */
+#include "core/dot_kernels.hpp"
 
 #include "common/bit_utils.hpp"
 #include "common/logging.hpp"
@@ -51,9 +58,11 @@ dotPackedPlanes(const PackedGroup &pg,
 
 } // namespace
 
+namespace detail {
+
 std::int64_t
-dotReference(std::span<const std::int8_t> weights,
-             std::span<const std::int8_t> activations)
+dotReferenceKernel(std::span<const std::int8_t> weights,
+                   std::span<const std::int8_t> activations)
 {
     BBS_REQUIRE(weights.size() == activations.size(),
                 "dot operand size mismatch");
@@ -65,8 +74,8 @@ dotReference(std::span<const std::int8_t> weights,
 }
 
 std::int64_t
-dotBitSerialZeroSkip(std::span<const std::int8_t> weights,
-                     std::span<const std::int8_t> activations)
+dotZeroSkipKernel(std::span<const std::int8_t> weights,
+                  std::span<const std::int8_t> activations)
 {
     BBS_REQUIRE(weights.size() == activations.size(),
                 "dot operand size mismatch");
@@ -80,8 +89,8 @@ dotBitSerialZeroSkip(std::span<const std::int8_t> weights,
 }
 
 std::int64_t
-dotBitSerialZeroSkipScalar(std::span<const std::int8_t> weights,
-                           std::span<const std::int8_t> activations)
+dotZeroSkipScalarKernel(std::span<const std::int8_t> weights,
+                        std::span<const std::int8_t> activations)
 {
     BBS_REQUIRE(weights.size() == activations.size(),
                 "dot operand size mismatch");
@@ -97,8 +106,8 @@ dotBitSerialZeroSkipScalar(std::span<const std::int8_t> weights,
 }
 
 BbsDotResult
-dotBitSerialBbs(std::span<const std::int8_t> weights,
-                std::span<const std::int8_t> activations)
+dotBbsKernel(std::span<const std::int8_t> weights,
+             std::span<const std::int8_t> activations)
 {
     BBS_REQUIRE(weights.size() == activations.size(),
                 "dot operand size mismatch");
@@ -107,8 +116,8 @@ dotBitSerialBbs(std::span<const std::int8_t> weights,
 }
 
 BbsDotResult
-dotBitSerialBbsScalar(std::span<const std::int8_t> weights,
-                      std::span<const std::int8_t> activations)
+dotBbsScalarKernel(std::span<const std::int8_t> weights,
+                   std::span<const std::int8_t> activations)
 {
     BBS_REQUIRE(weights.size() == activations.size(),
                 "dot operand size mismatch");
@@ -141,29 +150,38 @@ dotBitSerialBbsScalar(std::span<const std::int8_t> weights,
 }
 
 BbsDotResult
-dotCompressed(const CompressedGroup &cg,
-              std::span<const std::int8_t> activations)
+dotCompressedPacked(const PackedGroup &pg, int prunedColumns,
+                    std::int32_t constant,
+                    std::span<const std::int8_t> activations)
 {
-    BBS_REQUIRE(cg.stored.size() == activations.size(),
-                "dot operand size mismatch");
     std::int64_t sumA = sumActivations(activations);
 
     // Surviving columns bit-serially with BBS skipping; their LSB sits at
     // significance prunedColumns of the reconstructed weight.
-    BbsDotResult res = dotPackedPlanes(
-        packGroup(cg.stored, cg.storedBits), activations, sumA);
-    res.value <<= cg.prunedColumns;
+    BbsDotResult res = dotPackedPlanes(pg, activations, sumA);
+    res.value <<= prunedColumns;
 
     // Pruned columns: the BBS multiplier computes constant * sumA
     // (PE Fig 7 step 4). The constant already encodes the reconstruction
     // offset for both strategies.
-    res.value += static_cast<std::int64_t>(cg.meta.constant) * sumA;
+    res.value += static_cast<std::int64_t>(constant) * sumA;
     return res;
 }
 
 BbsDotResult
-dotCompressedScalar(const CompressedGroup &cg,
+dotCompressedKernel(const CompressedGroup &cg,
                     std::span<const std::int8_t> activations)
+{
+    BBS_REQUIRE(cg.stored.size() == activations.size(),
+                "dot operand size mismatch");
+    return dotCompressedPacked(packGroup(cg.stored, cg.storedBits),
+                               cg.prunedColumns, cg.meta.constant,
+                               activations);
+}
+
+BbsDotResult
+dotCompressedScalarKernel(const CompressedGroup &cg,
+                          std::span<const std::int8_t> activations)
 {
     BBS_REQUIRE(cg.stored.size() == activations.size(),
                 "dot operand size mismatch");
@@ -197,4 +215,5 @@ dotCompressedScalar(const CompressedGroup &cg,
     return res;
 }
 
+} // namespace detail
 } // namespace bbs

@@ -1,12 +1,22 @@
 /**
  * @file
- * Bit-serial dot products (the paper's Eq. 1-3) in three executable forms:
- * the dense reference, zero-bit skipping (Eq. 2), bi-directional skipping
- * (Eq. 2/3 with per-column inversion), and the compressed-domain form the
- * BitVert PE computes (surviving columns bit-serially, pruned columns via
- * the BBS-constant x sum-of-activations multiplier).
+ * COMPATIBILITY WRAPPERS for the bit-serial dot products (the paper's
+ * Eq. 1-3).
  *
- * All forms must agree exactly; the test suite enforces this.
+ * Since the engine facade landed (engine/engine.hpp), the canonical way
+ * to run a dot product is `engine::Session::dot()` /
+ * `engine::Session::dotCompressed()` (or the `engine::dot*` free-function
+ * conveniences over the default Session). The free functions below are
+ * the pre-engine entry points, kept as thin header-level wrappers that
+ * delegate to the internal default Session — the test suite pins them
+ * bit-identical to their pre-redesign outputs. New code should target the
+ * engine API; build with -DBBS_LEGACY_WRAPPERS=OFF to compile without
+ * this layer entirely.
+ *
+ * The executable forms themselves (dense reference, zero-bit skipping,
+ * bi-directional BBS skipping, compressed-domain, and their per-element
+ * scalar twins) live in core/dot_kernels.hpp / bbs_dot.cpp. All forms
+ * agree exactly; the test suite enforces this.
  */
 #ifndef BBS_CORE_BBS_DOT_HPP
 #define BBS_CORE_BBS_DOT_HPP
@@ -14,65 +24,83 @@
 #include <cstdint>
 #include <span>
 
+#include "common/compat.hpp"
+#include "core/dot_kernels.hpp"
 #include "core/group_compressor.hpp"
+#include "engine/forwarding.hpp"
 
 namespace bbs {
 
-/** Dense reference: sum of W_i * A_i in full precision. */
-std::int64_t dotReference(std::span<const std::int8_t> weights,
-                          std::span<const std::int8_t> activations);
+#if BBS_LEGACY_WRAPPERS
 
-/**
- * Bit-serial with zero-bit skipping (Eq. 2): for each significance, add the
- * activations whose weight bit is one. The MSB column carries negative
- * significance (two's complement).
- */
-std::int64_t dotBitSerialZeroSkip(std::span<const std::int8_t> weights,
-                                  std::span<const std::int8_t> activations);
-
-/** Work/result of a BBS bit-serial execution. */
-struct BbsDotResult
+/** @deprecated Compatibility wrapper over
+ *  engine::dot(.., DotMethod::Reference). */
+inline std::int64_t
+dotReference(std::span<const std::int8_t> weights,
+             std::span<const std::int8_t> activations)
 {
-    std::int64_t value = 0;
-    /** Effectual bit operations performed (<= half the total bits). */
-    std::int64_t effectualOps = 0;
-    /** Columns where ones dominated and the vector was inverted (Eq. 3). */
-    int invertedColumns = 0;
-};
+    return engine::dot(weights, activations, engine::DotMethod::Reference)
+        .value;
+}
 
-/**
- * Bit-serial with bi-directional skipping: per column, whichever of
- * {ones, zeros} is fewer is processed; when zeros are processed the column
- * contribution is sumA minus the partial sum (Eq. 3).
- */
-BbsDotResult dotBitSerialBbs(std::span<const std::int8_t> weights,
-                             std::span<const std::int8_t> activations);
+/** @deprecated Compatibility wrapper over
+ *  engine::dot(.., DotMethod::ZeroSkip). */
+inline std::int64_t
+dotBitSerialZeroSkip(std::span<const std::int8_t> weights,
+                     std::span<const std::int8_t> activations)
+{
+    return engine::dot(weights, activations, engine::DotMethod::ZeroSkip)
+        .value;
+}
 
-/**
- * Compressed-domain dot product against a BBS-compressed group: the stored
- * columns run bit-serially (with BBS skipping) at significances shifted by
- * the pruned-column count, and the pruned columns contribute
- * constant * sumA in one multiplier step (PE Fig 7 step 4).
- *
- * Exactly equals dotReference(cg.decompress(), activations).
- */
-BbsDotResult dotCompressed(const CompressedGroup &cg,
-                           std::span<const std::int8_t> activations);
+/** @deprecated Compatibility wrapper over
+ *  engine::dot(.., DotMethod::Bbs). */
+inline BbsDotResult
+dotBitSerialBbs(std::span<const std::int8_t> weights,
+                std::span<const std::int8_t> activations)
+{
+    return engine::dot(weights, activations, engine::DotMethod::Bbs);
+}
 
-/**
- * Per-element reference implementations of the packed kernels above.
- * The default entry points pack the weight group into bit planes
- * (core/bitplane.hpp) and gather only effectual members; these scalar
- * forms preserve the original element-wise loops, and the test suite pins
- * value, effectualOps and invertedColumns of both paths to be identical.
- */
-std::int64_t
+/** @deprecated Compatibility wrapper over engine::dotCompressed(). */
+inline BbsDotResult
+dotCompressed(const CompressedGroup &cg,
+              std::span<const std::int8_t> activations)
+{
+    return engine::dotCompressed(cg, activations);
+}
+
+/** @deprecated Compatibility wrapper over
+ *  engine::dot(.., DotMethod::ZeroSkipScalar). */
+inline std::int64_t
 dotBitSerialZeroSkipScalar(std::span<const std::int8_t> weights,
-                           std::span<const std::int8_t> activations);
-BbsDotResult dotBitSerialBbsScalar(std::span<const std::int8_t> weights,
-                                   std::span<const std::int8_t> activations);
-BbsDotResult dotCompressedScalar(const CompressedGroup &cg,
-                                 std::span<const std::int8_t> activations);
+                           std::span<const std::int8_t> activations)
+{
+    return engine::dot(weights, activations,
+                       engine::DotMethod::ZeroSkipScalar)
+        .value;
+}
+
+/** @deprecated Compatibility wrapper over
+ *  engine::dot(.., DotMethod::BbsScalar). */
+inline BbsDotResult
+dotBitSerialBbsScalar(std::span<const std::int8_t> weights,
+                      std::span<const std::int8_t> activations)
+{
+    return engine::dot(weights, activations, engine::DotMethod::BbsScalar);
+}
+
+/** @deprecated Compatibility wrapper over
+ *  engine::dotCompressed(.., scalarReference=true). */
+inline BbsDotResult
+dotCompressedScalar(const CompressedGroup &cg,
+                    std::span<const std::int8_t> activations)
+{
+    return engine::dotCompressed(cg, activations,
+                                 /*scalarReference=*/true);
+}
+
+#endif // BBS_LEGACY_WRAPPERS
 
 } // namespace bbs
 

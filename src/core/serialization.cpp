@@ -92,6 +92,21 @@ deserializeCompressed(const SerializedTensor &blob, const Shape &shape,
     // Rebuild group by group, then round-trip through an Int8Tensor of
     // the decompressed codes: since compression of a reconstruction is
     // lossless (tested), recompressing yields the identical structure.
+    // The blob is untrusted (it is the deployment wire format): pin the
+    // group count to the shape, the metadata table to the byte range,
+    // and the encoding fields to their legal ranges before any indexing.
+    BBS_REQUIRE(groupSize >= 1 && groupSize <= 64,
+                "corrupt blob: bad group size");
+    BBS_REQUIRE(targetColumns >= 0 && targetColumns <= kMaxPrunedColumns,
+                "corrupt blob: bad target columns");
+    std::int64_t expectGroups =
+        (shape.numel() + groupSize - 1) / groupSize;
+    BBS_REQUIRE(static_cast<std::int64_t>(numGroups) == expectGroups,
+                "corrupt blob: ", numGroups, " groups, shape needs ",
+                expectGroups);
+    BBS_REQUIRE(4 + static_cast<std::size_t>(numGroups) <=
+                    blob.bytes.size(),
+                "corrupt blob: metadata table truncated");
     Int8Tensor codes(shape);
     std::size_t metaBase = 4;
     for (std::uint32_t g = 0; g < numGroups; ++g) {
@@ -102,10 +117,23 @@ deserializeCompressed(const SerializedTensor &blob, const Shape &shape,
             std::min<std::int64_t>(begin + groupSize, shape.numel());
         int n = static_cast<int>(end - begin);
         int prunedColumns = targetColumns - meta.numRedundantColumns;
+        // Genuine encodings never claim more redundant columns than the
+        // pruning target absorbed; a negative shift would be UB below.
+        BBS_REQUIRE(prunedColumns >= 0,
+                    "corrupt blob: group ", g, " metadata inconsistent");
         int storedBits = kWeightBits - targetColumns;
 
-        // Read column-serial bits back (MSB column first).
+        // Read column-serial bits back (MSB column first). The blob is
+        // untrusted: bound the group's payload before indexing into it.
         std::size_t byteOff = blob.groupOffsets[g];
+        std::size_t needed =
+            (static_cast<std::size_t>(storedBits) *
+                 static_cast<std::size_t>(n) +
+             7) /
+            8;
+        BBS_REQUIRE(byteOff <= blob.bytes.size() &&
+                        needed <= blob.bytes.size() - byteOff,
+                    "corrupt blob: group ", g, " payload truncated");
         int bitOff = 0;
         std::vector<std::uint32_t> stored(static_cast<std::size_t>(n), 0);
         for (int b = storedBits - 1; b >= 0; --b) {

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The bbs engine — the library's unified compute API.
+ *
+ * One facade over the bit-serial compute zoo that grew across the first
+ * four PRs (four dot forms plus scalar twins, two GEMM engines, three
+ * forward variants, and three packing types, each with its own ad-hoc
+ * config channel):
+ *
+ *  - **Session** (engine/session.hpp): owns an EngineConfig — thread
+ *    cap, SIMD level, scratch-arena reservation — and is the single
+ *    source of truth replacing scattered env reads and global setters.
+ *  - **PackedOperand** (engine/packed_operand.hpp): one value type for a
+ *    packed INT8 matrix, produced by `Session::pack()`, which chooses
+ *    the representation (dense bit planes vs BBS-compressed row planes)
+ *    and round-trips through bytes bit-exactly.
+ *  - **MatmulPlan** (engine/plan.hpp): created once via
+ *    `Session::plan(weights, hints)`, executed with `plan.run(acts)`;
+ *    picks per-dot vs tiled bit-serial vs compressed-batched execution
+ *    from batch size and sparsity, with an explicit-override escape
+ *    hatch.
+ *
+ * Backends (sharding, caching, new accelerators) mount behind plans;
+ * callers target this header. The pre-engine free functions (dot*,
+ * gemm*, Int8Network::forward* variants) remain as compatibility
+ * wrappers delegating to the default Session — see common/compat.hpp.
+ */
+#ifndef BBS_ENGINE_ENGINE_HPP
+#define BBS_ENGINE_ENGINE_HPP
+
+#include "engine/engine_config.hpp"
+#include "engine/packed_operand.hpp"
+#include "engine/plan.hpp"
+#include "engine/scratch.hpp"
+#include "engine/session.hpp"
+
+#endif // BBS_ENGINE_ENGINE_HPP

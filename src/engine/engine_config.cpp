@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The library's only readers of BBS_THREADS and BBS_SIMD. parallel.hpp
+ * and simd.cpp call the *FromEnv resolvers exactly once each (thread-safe
+ * magic statics on their side); everything else goes through EngineConfig
+ * values or the runtime setters.
+ */
+#include "engine/engine_config.hpp"
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "common/logging.hpp"
+#include "common/parallel.hpp"
+
+namespace bbs {
+
+namespace detail {
+
+// Consumed by common/parallel.hpp (declared there): the resolved startup
+// worker cap, routed through the engine's single parse path.
+unsigned
+resolvedEnvThreadCap()
+{
+    return engine::EngineConfig::threadCapFromEnv();
+}
+
+} // namespace detail
+
+namespace engine {
+
+unsigned
+EngineConfig::parseThreadCap(const char *env, unsigned hw)
+{
+    if (env == nullptr)
+        return hw;
+    char *end = nullptr;
+    long cap = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && cap > 0 && cap < static_cast<long>(hw))
+        return static_cast<unsigned>(cap);
+    return hw;
+}
+
+int
+EngineConfig::parseSimdLevel(const char *env)
+{
+    if (env == nullptr)
+        return -1;
+    std::string v(env);
+    if (v == "scalar")
+        return static_cast<int>(SimdLevel::Scalar);
+    if (v == "avx2")
+        return static_cast<int>(SimdLevel::Avx2);
+    if (v == "avx512")
+        return static_cast<int>(SimdLevel::Avx512);
+    warn("BBS_SIMD=", v, " is not one of scalar|avx2|avx512; using the "
+         "detected default");
+    return -1;
+}
+
+namespace {
+
+unsigned
+hardwareThreads()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+} // namespace
+
+unsigned
+EngineConfig::threadCapFromEnv()
+{
+    return parseThreadCap(std::getenv("BBS_THREADS"), hardwareThreads());
+}
+
+SimdLevel
+EngineConfig::simdLevelFromEnv()
+{
+    SimdLevel best = maxSupportedSimdLevel();
+    int requested = parseSimdLevel(std::getenv("BBS_SIMD"));
+    if (requested < 0)
+        return best;
+    auto level = static_cast<SimdLevel>(requested);
+    if (!simdLevelSupported(level)) {
+        warn("BBS_SIMD=", simdLevelName(level),
+             " is not supported by this CPU; falling back to ",
+             simdLevelName(best));
+        return best;
+    }
+    return level;
+}
+
+ScopedEngineConfig::ScopedEngineConfig(const EngineConfig &cfg)
+{
+    if (cfg.threadCap != 0) {
+        unsigned cur = bbs::detail::workerThreadCapOverride().load(
+            std::memory_order_relaxed);
+        if (cur != cfg.threadCap) {
+            prevCap_ = cur;
+            capChanged_ = true;
+            setWorkerThreadCap(cfg.threadCap);
+        }
+    }
+    if (cfg.simdLevel.has_value()) {
+        SimdLevel cur = activeSimdLevel();
+        if (cur != *cfg.simdLevel) {
+            prevSimd_ = cur;
+            simdChanged_ = true;
+            setSimdLevel(*cfg.simdLevel);
+        }
+    }
+}
+
+ScopedEngineConfig::~ScopedEngineConfig()
+{
+    if (capChanged_)
+        setWorkerThreadCap(prevCap_);
+    if (simdChanged_)
+        setSimdLevel(prevSimd_);
+}
+
+EngineConfig
+EngineConfig::fromEnv()
+{
+    EngineConfig cfg;
+    unsigned cap = threadCapFromEnv();
+    cfg.threadCap = cap == hardwareThreads() ? 0u : cap; // -> inherit
+    if (std::getenv("BBS_SIMD") != nullptr)
+        cfg.simdLevel = simdLevelFromEnv();
+    return cfg;
+}
+
+} // namespace engine
+} // namespace bbs

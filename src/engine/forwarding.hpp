@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Forward declarations of the engine facade's free-function surface.
+ *
+ * The legacy compute headers (core/bbs_dot.hpp, gemm/gemm.hpp,
+ * gemm/compressed_gemm.hpp) define their compatibility wrappers as inline
+ * delegations to these functions, and including the full Session/Plan
+ * machinery from those headers would be circular — so the free functions
+ * are declared here against forward-declared operand types only. They are
+ * part of the engine API proper (conveniences over `defaultSession()`);
+ * engine/session.cpp defines them through the same plans every other call
+ * path uses.
+ */
+#ifndef BBS_ENGINE_FORWARDING_HPP
+#define BBS_ENGINE_FORWARDING_HPP
+
+#include <cstdint>
+#include <span>
+
+#include "core/dot_kernels.hpp"
+#include "tensor/tensor.hpp"
+
+namespace bbs {
+
+class BitSerialMatrix;
+class CompressedRowPlanes;
+
+namespace engine {
+
+/** Which executable form of the bit-serial dot product to run. */
+enum class DotMethod
+{
+    Reference,      ///< dense per-element reference (Eq. 1)
+    ZeroSkip,       ///< zero-bit skipping over packed planes (Eq. 2)
+    ZeroSkipScalar, ///< per-element loop form of ZeroSkip (test pin)
+    Bbs,            ///< bi-directional skipping over packed planes (Eq. 2/3)
+    BbsScalar,      ///< per-element loop form of Bbs (test pin)
+};
+
+/**
+ * One dot product through the default Session. effectualOps and
+ * invertedColumns are meaningful for the Bbs forms only (zero otherwise).
+ */
+BbsDotResult dot(std::span<const std::int8_t> weights,
+                 std::span<const std::int8_t> activations,
+                 DotMethod method = DotMethod::Bbs);
+
+/**
+ * Compressed-domain dot against one BBS group through the default
+ * Session; @p scalarReference selects the per-element pin form.
+ */
+BbsDotResult dotCompressed(const CompressedGroup &cg,
+                           std::span<const std::int8_t> activations,
+                           bool scalarReference = false);
+
+/**
+ * Dense bit-serial GEMM (activations [N, C] x weights [K, C] -> [N, K])
+ * through a default-Session plan forced to the tiled bit-serial kind.
+ */
+Int32Tensor matmulBitSerial(const BitSerialMatrix &activations,
+                            const BitSerialMatrix &weights);
+
+/**
+ * Compressed-domain GEMM through a default-Session plan forced to the
+ * compressed-batched kind (bit-exact against the per-dot path).
+ */
+Int32Tensor matmulCompressed(const CompressedRowPlanes &weights,
+                             const BitSerialMatrix &activations);
+
+/** Same, into a caller-owned output buffer (serving hot path). */
+void matmulCompressedInto(const CompressedRowPlanes &weights,
+                          const BitSerialMatrix &activations,
+                          Int32Tensor &out);
+
+} // namespace engine
+} // namespace bbs
+
+#endif // BBS_ENGINE_FORWARDING_HPP

@@ -1,0 +1,327 @@
+#include "engine/packed_operand.hpp"
+
+#include <cstring>
+
+#include "common/logging.hpp"
+#include "core/serialization.hpp"
+
+namespace bbs::engine {
+
+namespace {
+
+/** Non-deleting aliasing holder for view operands. */
+template <typename T>
+std::shared_ptr<const T>
+nonOwning(const T &ref)
+{
+    return std::shared_ptr<const T>(std::shared_ptr<void>(), &ref);
+}
+
+// ---------------------------------------------------------- byte helpers
+
+void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+void
+putI64(std::vector<std::uint8_t> &out, std::int64_t v)
+{
+    auto u = static_cast<std::uint64_t>(v);
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>((u >> (8 * i)) & 0xff));
+}
+
+struct ByteReader
+{
+    std::span<const std::uint8_t> bytes;
+    std::size_t pos = 0;
+
+    std::uint8_t
+    u8()
+    {
+        BBS_REQUIRE(pos + 1 <= bytes.size(), "operand blob truncated");
+        return bytes[pos++];
+    }
+
+    std::uint32_t
+    u32()
+    {
+        BBS_REQUIRE(pos + 4 <= bytes.size(), "operand blob truncated");
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(bytes[pos++]) << (8 * i);
+        return v;
+    }
+
+    std::int64_t
+    i64()
+    {
+        BBS_REQUIRE(pos + 8 <= bytes.size(), "operand blob truncated");
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(bytes[pos++]) << (8 * i);
+        return static_cast<std::int64_t>(v);
+    }
+};
+
+constexpr std::uint32_t kOperandMagic = 0x31504f42u; // "BOP1"
+
+double
+meanStoredBitsOf(const CompressedRowPlanes &p)
+{
+    return p.meanStoredBits();
+}
+
+} // namespace
+
+const char *
+packKindName(PackKind k)
+{
+    switch (k) {
+    case PackKind::DenseBitPlanes: return "dense-bit-planes";
+    case PackKind::CompressedRows: return "compressed-rows";
+    }
+    return "?";
+}
+
+PackedOperand
+PackedOperand::packDense(const Int8Tensor &m)
+{
+    PackedOperand op;
+    op.kind_ = PackKind::DenseBitPlanes;
+    op.dense_ =
+        std::make_shared<const BitSerialMatrix>(BitSerialMatrix::pack(m));
+    op.meanStoredBits_ = 8.0;
+    return op;
+}
+
+PackedOperand
+PackedOperand::packDense(std::span<const std::int8_t> values,
+                         std::int64_t rows, std::int64_t cols)
+{
+    PackedOperand op;
+    op.kind_ = PackKind::DenseBitPlanes;
+    op.dense_ = std::make_shared<const BitSerialMatrix>(
+        BitSerialMatrix::pack(values, rows, cols));
+    op.meanStoredBits_ = 8.0;
+    return op;
+}
+
+PackedOperand
+PackedOperand::packCompressed(const Int8Tensor &m, const PackOptions &opts)
+{
+    return fromCompressedTensor(CompressedTensor::compress(
+        m, opts.groupSize, opts.targetColumns, opts.strategy));
+}
+
+PackedOperand
+PackedOperand::fromCompressedTensor(CompressedTensor ct)
+{
+    PackedOperand op;
+    op.kind_ = PackKind::CompressedRows;
+    op.tensor_ =
+        std::make_shared<const CompressedTensor>(std::move(ct));
+    op.rows_ = std::make_shared<const CompressedRowPlanes>(
+        CompressedRowPlanes::prepare(*op.tensor_));
+    op.meanStoredBits_ = meanStoredBitsOf(*op.rows_);
+    return op;
+}
+
+PackedOperand
+PackedOperand::fromRowGroups(std::span<const CompressedGroup> groups,
+                             std::span<const std::int64_t> rowOffsets,
+                             std::int64_t cols, std::int64_t groupSize)
+{
+    PackedOperand op;
+    op.kind_ = PackKind::CompressedRows;
+    op.rows_ = std::make_shared<const CompressedRowPlanes>(
+        CompressedRowPlanes::prepare(groups, rowOffsets, cols, groupSize));
+    op.meanStoredBits_ = meanStoredBitsOf(*op.rows_);
+    return op;
+}
+
+PackedOperand
+PackedOperand::fromPrepared(
+    std::shared_ptr<const CompressedRowPlanes> planes)
+{
+    BBS_REQUIRE(planes != nullptr, "null prepared planes");
+    PackedOperand op;
+    op.kind_ = PackKind::CompressedRows;
+    op.rows_ = std::move(planes);
+    op.meanStoredBits_ = meanStoredBitsOf(*op.rows_);
+    return op;
+}
+
+PackedOperand
+PackedOperand::viewDense(const BitSerialMatrix &m)
+{
+    PackedOperand op;
+    op.kind_ = PackKind::DenseBitPlanes;
+    op.dense_ = nonOwning(m);
+    op.meanStoredBits_ = 8.0;
+    return op;
+}
+
+PackedOperand
+PackedOperand::viewCompressed(const CompressedRowPlanes &p)
+{
+    PackedOperand op;
+    op.kind_ = PackKind::CompressedRows;
+    op.rows_ = nonOwning(p);
+    op.meanStoredBits_ = meanStoredBitsOf(p);
+    return op;
+}
+
+std::int64_t
+PackedOperand::rows() const
+{
+    if (kind_ == PackKind::DenseBitPlanes)
+        return dense_ ? dense_->rows() : 0;
+    return rows_ ? rows_->rows() : 0;
+}
+
+std::int64_t
+PackedOperand::cols() const
+{
+    if (kind_ == PackKind::DenseBitPlanes)
+        return dense_ ? dense_->cols() : 0;
+    return rows_ ? rows_->cols() : 0;
+}
+
+const BitSerialMatrix &
+PackedOperand::dense() const
+{
+    BBS_REQUIRE(kind_ == PackKind::DenseBitPlanes && dense_ != nullptr,
+                "operand is not a dense bit-plane packing");
+    return *dense_;
+}
+
+const CompressedRowPlanes &
+PackedOperand::compressedRows() const
+{
+    BBS_REQUIRE(kind_ == PackKind::CompressedRows && rows_ != nullptr,
+                "operand is not a compressed row packing");
+    return *rows_;
+}
+
+Int8Tensor
+PackedOperand::unpack() const
+{
+    if (kind_ == PackKind::DenseBitPlanes)
+        return dense().unpack();
+    if (tensor_)
+        return tensor_->decompress();
+    return compressedRows().decompress();
+}
+
+std::vector<std::uint8_t>
+PackedOperand::serialize() const
+{
+    BBS_REQUIRE(!empty(), "nothing to serialize");
+    std::vector<std::uint8_t> out;
+    putU32(out, kOperandMagic);
+    out.push_back(static_cast<std::uint8_t>(kind_));
+
+    if (kind_ == PackKind::DenseBitPlanes) {
+        Int8Tensor values = dense().unpack();
+        out.push_back(0); // strategy slot (unused for dense)
+        out.push_back(0); // targetColumns slot
+        putI64(out, dense().rows());
+        putI64(out, dense().cols());
+        putI64(out, 0); // groupSize slot
+        putU32(out, 0); // no offset table
+        std::size_t base = out.size();
+        out.resize(base + static_cast<std::size_t>(values.numel()));
+        std::memcpy(out.data() + base, values.data().data(),
+                    static_cast<std::size_t>(values.numel()));
+        return out;
+    }
+
+    BBS_REQUIRE(tensor_ != nullptr,
+                "only operands packed from a tensor carry the descriptor "
+                "needed to serialize (pack/packCompressed/"
+                "fromCompressedTensor); this one wraps prepared row "
+                "planes only");
+    const CompressedTensor &ct = *tensor_;
+    BBS_REQUIRE(ct.shape().rank() == 2,
+                "operand serialization expects a rank-2 weight tensor");
+    out.push_back(static_cast<std::uint8_t>(ct.strategy()));
+    out.push_back(static_cast<std::uint8_t>(ct.targetColumns()));
+    putI64(out, ct.shape().dim(0));
+    putI64(out, ct.shape().dim(1));
+    putI64(out, ct.groupSize());
+    SerializedTensor blob = serializeCompressed(ct);
+    putU32(out, static_cast<std::uint32_t>(blob.groupOffsets.size()));
+    for (std::uint32_t off : blob.groupOffsets)
+        putU32(out, off);
+    out.insert(out.end(), blob.bytes.begin(), blob.bytes.end());
+    return out;
+}
+
+PackedOperand
+PackedOperand::deserialize(std::span<const std::uint8_t> bytes)
+{
+    ByteReader r{bytes};
+    BBS_REQUIRE(r.u32() == kOperandMagic,
+                "not a PackedOperand blob (bad magic)");
+    auto kind = static_cast<PackKind>(r.u8());
+    auto strategy = static_cast<PruneStrategy>(r.u8());
+    int targetColumns = static_cast<int>(r.u8());
+    std::int64_t rows = r.i64();
+    std::int64_t cols = r.i64();
+    std::int64_t groupSize = r.i64();
+    std::uint32_t numOffsets = r.u32();
+
+    BBS_REQUIRE(rows > 0 && cols > 0,
+                "corrupt operand blob: non-positive shape");
+
+    if (kind == PackKind::DenseBitPlanes) {
+        BBS_REQUIRE(numOffsets == 0, "corrupt dense operand blob");
+        // Bounds-check via division: the blob is untrusted, and rows *
+        // cols could sign-overflow before a naive size comparison.
+        std::size_t avail = bytes.size() - r.pos;
+        BBS_REQUIRE(static_cast<std::uint64_t>(rows) <=
+                        avail / static_cast<std::uint64_t>(cols),
+                    "operand blob truncated");
+        std::size_t count = static_cast<std::size_t>(rows) *
+                            static_cast<std::size_t>(cols);
+        return packDense(
+            std::span<const std::int8_t>(
+                reinterpret_cast<const std::int8_t *>(bytes.data()) +
+                    r.pos,
+                count),
+            rows, cols);
+    }
+
+    BBS_REQUIRE(kind == PackKind::CompressedRows,
+                "unknown operand kind in blob");
+    BBS_REQUIRE(groupSize >= 1 && groupSize <= 64,
+                "corrupt operand blob: bad group size");
+    BBS_REQUIRE(targetColumns <= kMaxPrunedColumns,
+                "corrupt operand blob: bad target columns");
+    BBS_REQUIRE(cols % groupSize == 0,
+                "corrupt operand blob: group size does not divide the "
+                "column count");
+    // The offset table's size is fully determined by the shape; a
+    // mismatched count is corruption, and bounding it here also keeps
+    // the reserve() below away from attacker-controlled sizes.
+    BBS_REQUIRE(static_cast<std::int64_t>(numOffsets) ==
+                    rows * (cols / groupSize),
+                "corrupt operand blob: offset table count mismatch");
+    BBS_REQUIRE(static_cast<std::uint64_t>(numOffsets) <=
+                    (bytes.size() - r.pos) / 4,
+                "operand blob truncated");
+    SerializedTensor blob;
+    blob.groupOffsets.reserve(numOffsets);
+    for (std::uint32_t i = 0; i < numOffsets; ++i)
+        blob.groupOffsets.push_back(r.u32());
+    blob.bytes.assign(bytes.begin() + static_cast<std::ptrdiff_t>(r.pos),
+                      bytes.end());
+    return fromCompressedTensor(deserializeCompressed(
+        blob, Shape{rows, cols}, groupSize, targetColumns, strategy));
+}
+
+} // namespace bbs::engine

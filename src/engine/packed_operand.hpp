@@ -1,0 +1,135 @@
+/**
+ * @file
+ * PackedOperand — one value type for "an INT8 matrix packed for the
+ * bit-serial engine", subsuming the packing-type zoo behind
+ * `Session::pack()`.
+ *
+ * Internally an operand is one of:
+ *  - **DenseBitPlanes**: a BitSerialMatrix (whole matrix packed into
+ *    [bit][row][col-word] uint64 planes) — activations, or weights for
+ *    the dense tiled kernel;
+ *  - **CompressedRows**: CompressedRowPlanes (BBS-compressed weight rows:
+ *    surviving-column planes + pruned-column shift + BBS constant per
+ *    group), optionally backed by the CompressedTensor it was prepared
+ *    from (which carries the serialization metadata).
+ *
+ * Operands are cheap to copy (shared immutable payloads) and safe to
+ * share across threads. `serialize()`/`deserialize()` round-trip an
+ * operand through bytes bit-exactly: a plan run on the reloaded operand
+ * produces identical outputs (tests/test_engine.cpp pins this).
+ */
+#ifndef BBS_ENGINE_PACKED_OPERAND_HPP
+#define BBS_ENGINE_PACKED_OPERAND_HPP
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/compressed_tensor.hpp"
+#include "gemm/bit_serial_matrix.hpp"
+#include "gemm/compressed_gemm.hpp"
+
+namespace bbs::engine {
+
+/** Internal representation a PackedOperand chose. */
+enum class PackKind
+{
+    DenseBitPlanes = 0,
+    CompressedRows = 1,
+};
+
+/** "dense-bit-planes" / "compressed-rows". */
+const char *packKindName(PackKind k);
+
+/** BBS compression operating point for Session::pack(). */
+struct PackOptions
+{
+    std::int64_t groupSize = 32;
+    int targetColumns = 0;
+    PruneStrategy strategy = PruneStrategy::ZeroPointShifting;
+};
+
+class PackedOperand
+{
+  public:
+    PackedOperand() = default;
+
+    /** Pack a dense matrix into bit planes. */
+    static PackedOperand packDense(const Int8Tensor &m);
+    static PackedOperand packDense(std::span<const std::int8_t> values,
+                                   std::int64_t rows, std::int64_t cols);
+
+    /** BBS-compress then prepare row planes (weights path). */
+    static PackedOperand packCompressed(const Int8Tensor &m,
+                                        const PackOptions &opts);
+
+    /** Wrap an existing whole-tensor compression. */
+    static PackedOperand fromCompressedTensor(CompressedTensor ct);
+
+    /** Prepare from flat row-major groups with row offsets (the layout
+     *  Int8LinearLayer stores). */
+    static PackedOperand
+    fromRowGroups(std::span<const CompressedGroup> groups,
+                  std::span<const std::int64_t> rowOffsets,
+                  std::int64_t cols, std::int64_t groupSize);
+
+    /** Share an already-prepared row-plane packing (no copy). */
+    static PackedOperand
+    fromPrepared(std::shared_ptr<const CompressedRowPlanes> planes);
+
+    /**
+     * Non-owning views over caller-kept packings — the compatibility
+     * wrappers' bridge. The caller must keep the viewed object alive for
+     * the operand's lifetime.
+     */
+    static PackedOperand viewDense(const BitSerialMatrix &m);
+    static PackedOperand viewCompressed(const CompressedRowPlanes &p);
+
+    bool empty() const { return rows() == 0 || cols() == 0; }
+    PackKind kind() const { return kind_; }
+    bool compressed() const { return kind_ == PackKind::CompressedRows; }
+    std::int64_t rows() const;
+    std::int64_t cols() const;
+
+    /**
+     * Mean stored bit columns per weight (8.0 = compression removed
+     * nothing; 0.0 = every group fully pruned). Dense operands report
+     * 8.0. The sparsity signal MatmulPlan::selectKind() reads.
+     */
+    double meanStoredBits() const { return meanStoredBits_; }
+
+    /** The dense packing; requires kind() == DenseBitPlanes. */
+    const BitSerialMatrix &dense() const;
+
+    /** The compressed row planes; requires kind() == CompressedRows. */
+    const CompressedRowPlanes &compressedRows() const;
+
+    /** Reconstruct the INT8 matrix (exact for either representation). */
+    Int8Tensor unpack() const;
+
+    /**
+     * Self-describing byte image. Dense operands store raw INT8 values;
+     * compressed operands store the BitVert DRAM layout
+     * (core/serialization.hpp) plus the descriptor fields that layout
+     * keeps external. Requires a compressed operand to be backed by its
+     * CompressedTensor (pack/packCompressed/fromCompressedTensor paths).
+     */
+    std::vector<std::uint8_t> serialize() const;
+
+    /** Inverse of serialize(); repacks, so plan runs are bit-identical. */
+    static PackedOperand deserialize(std::span<const std::uint8_t> bytes);
+
+  private:
+    PackKind kind_ = PackKind::DenseBitPlanes;
+    double meanStoredBits_ = 8.0;
+    std::shared_ptr<const BitSerialMatrix> dense_;
+    std::shared_ptr<const CompressedRowPlanes> rows_;
+    /** Set when the operand was built from a whole-tensor compression
+     *  (serialization + unpack metadata). */
+    std::shared_ptr<const CompressedTensor> tensor_;
+};
+
+} // namespace bbs::engine
+
+#endif // BBS_ENGINE_PACKED_OPERAND_HPP

@@ -1,0 +1,200 @@
+#include "engine/plan.hpp"
+
+#include "common/logging.hpp"
+#include "common/parallel.hpp"
+#include "core/dot_kernels.hpp"
+#include "engine/scratch.hpp"
+#include "gemm/gemm.hpp"
+
+namespace bbs::engine {
+
+namespace {
+
+/**
+ * The per-dot execution: the exact loop nest Int8Network::forwardPerDot
+ * ran (weight channels outer and parallel, samples inner, groups in
+ * ascending order), so plans resolve it bit-identically.
+ */
+void
+runPerDot(const CompressedRowPlanes &w, const Int8Tensor &x,
+          Int32Tensor &out)
+{
+    std::int64_t n = x.shape().dim(0);
+    std::int64_t k = w.rows();
+    std::int64_t numGroups = w.groupsPerRow();
+    parallelFor(k, [&](std::int64_t o) {
+        for (std::int64_t r = 0; r < n; ++r) {
+            std::int64_t acc = 0;
+            for (std::int64_t g = 0; g < numGroups; ++g) {
+                std::span<const std::int8_t> acts(
+                    &x.at(r, w.groupBegin(g)),
+                    static_cast<std::size_t>(w.groupMembers(g)));
+                acc += detail::dotCompressedPacked(w.packedGroup(o, g),
+                                                  w.shift(o, g),
+                                                  w.constant(o, g), acts)
+                           .value;
+            }
+            out.at(r, o) = static_cast<std::int32_t>(acc);
+        }
+    }, 2);
+}
+
+} // namespace
+
+const char *
+planKindName(PlanKind k)
+{
+    switch (k) {
+    case PlanKind::Auto: return "auto";
+    case PlanKind::PerDot: return "per-dot";
+    case PlanKind::TiledBitSerial: return "tiled-bit-serial";
+    case PlanKind::CompressedBatched: return "compressed-batched";
+    }
+    return "?";
+}
+
+PlanKind
+MatmulPlan::selectKind(std::int64_t weightRows, std::int64_t depth,
+                       std::int64_t batch, bool compressedWeights,
+                       double meanStoredBits)
+{
+    // The shape completes the contract for future cost models; today the
+    // decision keys on batch size and stored-bit sparsity alone.
+    (void)weightRows;
+    (void)depth;
+    if (!compressedWeights)
+        return PlanKind::TiledBitSerial;
+    if (batch <= 1)
+        return PlanKind::PerDot;
+    if (meanStoredBits >= 8.0 - 1e-9)
+        return PlanKind::TiledBitSerial;
+    return PlanKind::CompressedBatched;
+}
+
+PlanKind
+MatmulPlan::kindForBatch(std::int64_t batch) const
+{
+    if (options_.force != PlanKind::Auto)
+        return options_.force;
+    return selectKind(weights_.rows(), weights_.cols(), batch,
+                      weights_.compressed(), weights_.meanStoredBits());
+}
+
+void
+MatmulPlan::execute(PlanKind kind, const Int8Tensor *raw,
+                    const BitSerialMatrix *packed, Int32Tensor &out) const
+{
+    BBS_REQUIRE(valid(), "running an empty MatmulPlan");
+    std::int64_t depth = weights_.cols();
+    std::int64_t n = raw != nullptr ? raw->shape().dim(0) : packed->rows();
+    std::int64_t actCols =
+        raw != nullptr ? raw->shape().dim(1) : packed->cols();
+    BBS_REQUIRE(actCols == depth, "plan depth mismatch: activations ",
+                actCols, " vs weights ", depth);
+    BBS_REQUIRE(depth <= kMaxGemmDepth, "plan depth ", depth,
+                " can overflow the INT32 outputs (max ", kMaxGemmDepth,
+                ")");
+    BBS_REQUIRE(kind != PlanKind::Auto, "execute() needs a resolved kind");
+
+    ScopedEngineConfig scope(config_);
+    bbs::detail::ensureOutputShape(out, n, weights_.rows());
+
+    switch (kind) {
+    case PlanKind::PerDot: {
+        BBS_REQUIRE(weights_.compressed(),
+                    "per-dot execution needs compressed weights");
+        BBS_REQUIRE(raw != nullptr, "per-dot execution needs unpacked "
+                    "activations (element access)");
+        runPerDot(weights_.compressedRows(), *raw, out);
+        return;
+    }
+    case PlanKind::TiledBitSerial: {
+        const BitSerialMatrix *w = nullptr;
+        BitSerialMatrix local;
+        if (!weights_.compressed()) {
+            w = &weights_.dense();
+        } else if (denseRepack_ != nullptr) {
+            w = denseRepack_.get();
+        } else {
+            // Escape-hatch path: densify on the spot (plans whose
+            // creation-time kind could select the tiled kernel cache
+            // this repack up front).
+            local = BitSerialMatrix::pack(
+                weights_.compressedRows().decompress());
+            w = &local;
+        }
+        if (packed != nullptr) {
+            bbs::detail::gemmBitSerialKernel(*packed, *w, out);
+        } else {
+            BitSerialMatrix acts = BitSerialMatrix::pack(*raw);
+            bbs::detail::gemmBitSerialKernel(acts, *w, out);
+        }
+        return;
+    }
+    case PlanKind::CompressedBatched: {
+        BBS_REQUIRE(weights_.compressed(),
+                    "compressed-batched execution needs compressed "
+                    "weights");
+        // Reserve the *executing* thread's arena up to the plan's
+        // expected batch, so a worker's first (possibly small) batch
+        // already sizes the scratch for the largest one to come.
+        ScratchArena &arena = ScratchArena::forThisThread();
+        if (scratchReserveRows_ > n)
+            arena.reserve(scratchReserveRows_,
+                          weights_.compressedRows().groupsPerRow());
+        if (packed != nullptr) {
+            bbs::detail::gemmCompressedKernel(weights_.compressedRows(),
+                                              *packed, out, arena);
+        } else {
+            BitSerialMatrix acts = BitSerialMatrix::pack(*raw);
+            bbs::detail::gemmCompressedKernel(weights_.compressedRows(),
+                                              acts, out, arena);
+        }
+        return;
+    }
+    case PlanKind::Auto:
+        break;
+    }
+    BBS_PANIC("unreachable plan kind");
+}
+
+void
+MatmulPlan::run(const Int8Tensor &activations, Int32Tensor &out) const
+{
+    execute(kindForBatch(activations.shape().dim(0)), &activations,
+            nullptr, out);
+}
+
+Int32Tensor
+MatmulPlan::run(const Int8Tensor &activations) const
+{
+    Int32Tensor out;
+    run(activations, out);
+    return out;
+}
+
+void
+MatmulPlan::run(const PackedOperand &activations, Int32Tensor &out) const
+{
+    BBS_REQUIRE(!activations.compressed(),
+                "activations must be a dense bit-plane operand");
+    const BitSerialMatrix &acts = activations.dense();
+    PlanKind kind = kindForBatch(acts.rows());
+    // Auto's per-dot pick needs element access; for an already-packed
+    // batch the compressed-batched kernel serves it bit-identically (an
+    // *explicit* PerDot force still rejects packed activations below).
+    if (options_.force == PlanKind::Auto && kind == PlanKind::PerDot)
+        kind = PlanKind::CompressedBatched;
+    execute(kind, nullptr, &acts, out);
+}
+
+void
+MatmulPlan::runAs(PlanKind kind, const Int8Tensor &activations,
+                  Int32Tensor &out) const
+{
+    BBS_REQUIRE(kind != PlanKind::Auto,
+                "runAs() needs an explicit kind; use run() for Auto");
+    execute(kind, &activations, nullptr, out);
+}
+
+} // namespace bbs::engine

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Per-thread scratch arena for the compressed GEMM's stage-1 staging
+ * (activation window planes + per-group activation sums).
+ *
+ * The arena used to be an anonymous pair of thread_locals inside
+ * gemm/compressed_gemm.cpp; the engine owns the type now so Sessions can
+ * pre-reserve it (EngineConfig::scratchReserveRows /
+ * ShapeHints::expectedBatch) and so its sizing policy is visible API, not
+ * a kernel implementation detail. Arenas keep their high-water allocation
+ * for the thread's lifetime: a serving worker draining batch after batch
+ * pays zero allocations after the first.
+ *
+ * Threading contract (unchanged from the kernel-local version): the
+ * kernel resolves the calling thread's arena ONCE at entry and hands its
+ * workers raw pointers — parallelFor workers are fresh threads, and a
+ * lambda naming the thread_local would resolve to the worker's own empty
+ * instance.
+ */
+#ifndef BBS_ENGINE_SCRATCH_HPP
+#define BBS_ENGINE_SCRATCH_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/bit_utils.hpp"
+
+namespace bbs::engine {
+
+struct ScratchArena
+{
+    /** Stage-1 activation window planes, kWeightBits words per
+     *  (sample, group); 64-byte aligned so each 8-word window is exactly
+     *  one cache line. */
+    AlignedVector<std::uint64_t> windows;
+    /** Per-(sample, group) sum-of-activations terms. */
+    std::vector<std::int64_t> sums;
+
+    /** Grow (never shrink) to hold @p rows x @p groupsPerRow staging. */
+    void
+    reserve(std::int64_t rows, std::int64_t groupsPerRow)
+    {
+        if (rows <= 0 || groupsPerRow <= 0)
+            return;
+        std::size_t cells = static_cast<std::size_t>(rows * groupsPerRow);
+        if (windows.size() < cells * kWeightBits)
+            windows.resize(cells * kWeightBits);
+        if (sums.size() < cells)
+            sums.resize(cells);
+    }
+
+    /** The calling thread's arena (kept for the thread's lifetime). */
+    static ScratchArena &
+    forThisThread()
+    {
+        static thread_local ScratchArena arena;
+        return arena;
+    }
+};
+
+} // namespace bbs::engine
+
+#endif // BBS_ENGINE_SCRATCH_HPP

@@ -86,9 +86,49 @@ groupDot(const SimdKernels &simd, const PackedGroup &pg,
 
 } // namespace
 
+double
+CompressedRowPlanes::meanStoredBits() const
+{
+    if (packed_.empty())
+        return 0.0;
+    double bits = 0.0, weights = 0.0;
+    for (const PackedGroup &pg : packed_) {
+        bits += static_cast<double>(pg.bits) * pg.size;
+        weights += static_cast<double>(pg.size);
+    }
+    return weights > 0.0 ? bits / weights : 0.0;
+}
+
+Int8Tensor
+CompressedRowPlanes::decompress() const
+{
+    BBS_REQUIRE(rows_ > 0 && cols_ > 0, "nothing to decompress");
+    Int8Tensor out(Shape{rows_, cols_});
+    std::vector<std::int8_t> stored;
+    for (std::int64_t o = 0; o < rows_; ++o) {
+        for (std::int64_t g = 0; g < groupsPerRow_; ++g) {
+            const PackedGroup &pg = packedGroup(o, g);
+            stored.resize(static_cast<std::size_t>(pg.size));
+            unpackGroup(pg, stored);
+            std::int64_t begin = groupBegin(g);
+            int sh = shift(o, g);
+            std::int32_t c = constant(o, g);
+            for (int i = 0; i < pg.size; ++i)
+                out.at(o, begin + i) = static_cast<std::int8_t>(
+                    (static_cast<std::int32_t>(
+                         stored[static_cast<std::size_t>(i)])
+                     << sh) +
+                    c);
+        }
+    }
+    return out;
+}
+
 void
-gemmCompressedInto(const CompressedRowPlanes &weights,
-                   const BitSerialMatrix &activations, Int32Tensor &out)
+detail::gemmCompressedKernel(const CompressedRowPlanes &weights,
+                             const BitSerialMatrix &activations,
+                             Int32Tensor &out,
+                             engine::ScratchArena &scratch)
 {
     BBS_REQUIRE(activations.cols() == weights.cols(),
                 "GEMM depth mismatch: ", activations.cols(), " vs ",
@@ -100,28 +140,23 @@ gemmCompressedInto(const CompressedRowPlanes &weights,
     std::int64_t n = activations.rows();
     std::int64_t k = weights.rows();
     std::int64_t numGroups = weights.groupsPerRow();
-    if (out.shape().rank() != 2 || out.shape().dim(0) != n ||
-        out.shape().dim(1) != k)
-        out = Int32Tensor(Shape{n, k}); // Shape enforces n, k >= 1
+    detail::ensureOutputShape(out, n, k);
 
     // Stage 1: extract each group's activation window planes and sum of
     // activations once per (sample, group); every weight row reuses them.
-    // The scratch is thread_local so a serving worker draining batch
-    // after batch reuses its high-water allocation instead of paying an
-    // allocate/free per batch, and 64-byte aligned so each group's
+    // The caller's arena (normally the calling thread's
+    // engine::ScratchArena) grows to its high-water mark once, so a
+    // serving worker draining batch after batch pays no per-batch
+    // allocation; its window store is 64-byte aligned so each group's
     // 8-plane window (exactly one cache line) is loaded by the SIMD
     // kernels without straddling lines. CRITICAL: parallelFor workers are
-    // fresh threads, and a lambda body naming a thread_local resolves to
-    // the *worker's own* (empty) instance — so hand the workers raw
-    // pointers into THIS thread's buffers; they touch only disjoint
-    // slices.
-    static thread_local AlignedVector<std::uint64_t> windowScratch;
-    static thread_local std::vector<std::int64_t> sumScratch;
-    windowScratch.resize(
-        static_cast<std::size_t>(n * numGroups * kWeightBits));
-    sumScratch.resize(static_cast<std::size_t>(n * numGroups));
-    std::uint64_t *const windows = windowScratch.data();
-    std::int64_t *const sums = sumScratch.data();
+    // fresh threads, and a lambda body naming a thread_local arena would
+    // resolve to the *worker's own* (empty) instance — so hand the
+    // workers raw pointers into the caller's buffers; they touch only
+    // disjoint slices.
+    scratch.reserve(n, numGroups);
+    std::uint64_t *const windows = scratch.windows.data();
+    std::int64_t *const sums = scratch.sums.data();
     const SimdKernels &simd = simdKernels(); // resolved once per GEMM
     parallelFor(n, [&](std::int64_t r) {
         std::uint64_t *awRow = windows + r * numGroups * kWeightBits;
@@ -168,15 +203,6 @@ gemmCompressedInto(const CompressedRowPlanes &weights,
                 out.at(r, o1) = static_cast<std::int32_t>(acc1);
         }
     }, 1);
-}
-
-Int32Tensor
-gemmCompressed(const CompressedRowPlanes &weights,
-               const BitSerialMatrix &activations)
-{
-    Int32Tensor out;
-    gemmCompressedInto(weights, activations, out);
-    return out;
 }
 
 } // namespace bbs

@@ -21,8 +21,13 @@
  *    group costs exactly one multiply per sample.
  *
  * The kernel parallelizes over weight-row tiles with parallelFor and
- * matches dotCompressed()'s value bit-for-bit; the test suite pins it
- * against dotReference on the decompressed weights.
+ * matches the compressed-domain dot kernel's value bit-for-bit; the test
+ * suite pins it against the dense reference on the decompressed weights.
+ *
+ * `gemmCompressed` / `gemmCompressedInto` are COMPATIBILITY WRAPPERS now:
+ * the canonical route is an engine::MatmulPlan (engine/engine.hpp) whose
+ * kind resolves to CompressedBatched, or the engine::matmulCompressed*
+ * conveniences. The kernel itself is detail::gemmCompressedKernel.
  */
 #ifndef BBS_GEMM_COMPRESSED_GEMM_HPP
 #define BBS_GEMM_COMPRESSED_GEMM_HPP
@@ -31,8 +36,11 @@
 #include <span>
 #include <vector>
 
+#include "common/compat.hpp"
 #include "core/bitplane.hpp"
 #include "core/compressed_tensor.hpp"
+#include "engine/forwarding.hpp"
+#include "engine/scratch.hpp"
 #include "gemm/bit_serial_matrix.hpp"
 #include "tensor/tensor.hpp"
 
@@ -106,6 +114,23 @@ class CompressedRowPlanes
             std::min(groupSize_, cols_ - groupBegin(g)));
     }
 
+    /**
+     * Mean stored bit columns per weight across all groups (8.0 means
+     * compression removed nothing anywhere). The sparsity signal
+     * engine::MatmulPlan's kind selection reads.
+     */
+    double meanStoredBits() const;
+
+    /**
+     * Reconstruct the full INT8 weight matrix:
+     * w = (stored << prunedColumns) + constant per group. Exact for
+     * weights produced by the BBS compressor (the reconstruction is the
+     * compressed form's defining identity). Used when a plan re-packs an
+     * effectively-uncompressed operand for the dense tiled kernel, and by
+     * PackedOperand::unpack().
+     */
+    Int8Tensor decompress() const;
+
   private:
     std::int64_t rows_ = 0;
     std::int64_t cols_ = 0;
@@ -116,23 +141,43 @@ class CompressedRowPlanes
     std::vector<std::int32_t> constants_;  ///< BBS constants, same index
 };
 
-/**
- * Compressed-domain GEMM: activations [N, C] (packed) x compressed weight
- * rows [K, C] -> outputs [N, K]. Bit-exact against dotReference over the
- * decompressed weights.
- */
-Int32Tensor gemmCompressed(const CompressedRowPlanes &weights,
-                           const BitSerialMatrix &activations);
+namespace detail {
 
 /**
- * Same GEMM into a caller-owned output buffer: @p out is reshaped only
- * when its shape differs from [N, K], so a serving loop that executes the
- * same model batch after batch skips the per-call allocate + zero-fill
- * (every output element is overwritten unconditionally).
+ * Compressed-domain GEMM kernel: activations [N, C] (packed) x
+ * compressed weight rows [K, C] -> @p out [N, K] (reshaped only when its
+ * shape differs, so a serving loop reuses the buffer). Bit-exact against
+ * the dense reference over the decompressed weights. Stage-1 staging
+ * lives in @p scratch (grow-only); callers normally pass
+ * engine::ScratchArena::forThisThread(). The engine's CompressedBatched
+ * plan kind executes here.
  */
-void gemmCompressedInto(const CompressedRowPlanes &weights,
-                        const BitSerialMatrix &activations,
-                        Int32Tensor &out);
+void gemmCompressedKernel(const CompressedRowPlanes &weights,
+                          const BitSerialMatrix &activations,
+                          Int32Tensor &out, engine::ScratchArena &scratch);
+
+} // namespace detail
+
+#if BBS_LEGACY_WRAPPERS
+
+/** @deprecated Compatibility wrapper over engine::matmulCompressed()
+ *  (a default-Session plan forced to the CompressedBatched kind). */
+inline Int32Tensor
+gemmCompressed(const CompressedRowPlanes &weights,
+               const BitSerialMatrix &activations)
+{
+    return engine::matmulCompressed(weights, activations);
+}
+
+/** @deprecated Compatibility wrapper over engine::matmulCompressedInto(). */
+inline void
+gemmCompressedInto(const CompressedRowPlanes &weights,
+                   const BitSerialMatrix &activations, Int32Tensor &out)
+{
+    engine::matmulCompressedInto(weights, activations, out);
+}
+
+#endif // BBS_LEGACY_WRAPPERS
 
 } // namespace bbs
 

@@ -61,9 +61,10 @@ gemmReferenceBatch(const Int8Tensor &activations, const Int8Tensor &weights)
     return out;
 }
 
-Int32Tensor
-gemmBitSerial(const BitSerialMatrix &activations,
-              const BitSerialMatrix &weights)
+void
+detail::gemmBitSerialKernel(const BitSerialMatrix &activations,
+                            const BitSerialMatrix &weights,
+                            Int32Tensor &out)
 {
     BBS_REQUIRE(activations.cols() == weights.cols(),
                 "GEMM depth mismatch: ", activations.cols(), " vs ",
@@ -78,7 +79,7 @@ gemmBitSerial(const BitSerialMatrix &activations,
     // padding beyond them is all zero bits (up to 7 wasted words per
     // row plane for narrow matrices).
     std::int64_t depthWords = activations.usedColWords();
-    Int32Tensor out(Shape{n, k}); // Shape enforces n, k >= 1
+    ensureOutputShape(out, n, k);
 
     // Row tiles of two samples; each tile walks every weight-row pair so
     // output rows are written by exactly one task. The kernel table is
@@ -130,7 +131,6 @@ gemmBitSerial(const BitSerialMatrix &activations,
             }
         }
     }, 1);
-    return out;
 }
 
 } // namespace bbs

@@ -15,11 +15,20 @@
  * `gemmReferenceBatch` is the naive per-element loop the test suite pins
  * the kernel against, exactly; `gemmReference` is the [C, N]-orientation
  * form the functional BitVert array simulation checks against (moved here
- * from accel/ so every GEMM reference lives beside the engine).
+ * from accel/ so every GEMM reference lives beside the engine). The
+ * references stay real functions on purpose: they are the oracles the
+ * engine facade is pinned against, so they must not route through it.
+ *
+ * `gemmBitSerial` is a COMPATIBILITY WRAPPER now: the canonical route is
+ * an engine::MatmulPlan (engine/engine.hpp) whose kind resolves to
+ * TiledBitSerial, or the engine::matmulBitSerial convenience. The kernel
+ * itself is detail::gemmBitSerialKernel.
  */
 #ifndef BBS_GEMM_GEMM_HPP
 #define BBS_GEMM_GEMM_HPP
 
+#include "common/compat.hpp"
+#include "engine/forwarding.hpp"
 #include "gemm/bit_serial_matrix.hpp"
 #include "tensor/tensor.hpp"
 
@@ -49,13 +58,46 @@ Int32Tensor gemmReference(const Int8Tensor &weights,
 Int32Tensor gemmReferenceBatch(const Int8Tensor &activations,
                                const Int8Tensor &weights);
 
+namespace detail {
+
 /**
- * Bit-serial AND+popcount GEMM: activations [N, C] x weights [K, C],
- * both packed, -> outputs [N, K]. Exactly equals gemmReferenceBatch on
- * the unpacked operands.
+ * Reshape @p out to [n, k] only when its shape differs — the
+ * buffer-reuse contract every GEMM kernel and plan run shares (a
+ * serving loop executing the same model batch after batch skips the
+ * per-call allocate + zero-fill; every element is overwritten).
  */
-Int32Tensor gemmBitSerial(const BitSerialMatrix &activations,
-                          const BitSerialMatrix &weights);
+inline void
+ensureOutputShape(Int32Tensor &out, std::int64_t n, std::int64_t k)
+{
+    if (out.shape().rank() != 2 || out.shape().dim(0) != n ||
+        out.shape().dim(1) != k)
+        out = Int32Tensor(Shape{n, k}); // Shape enforces n, k >= 1
+}
+
+/**
+ * Bit-serial AND+popcount GEMM kernel: activations [N, C] x weights
+ * [K, C], both packed, -> @p out [N, K] (reshaped only when its shape
+ * differs, so repeated runs reuse the buffer). Exactly equals
+ * gemmReferenceBatch on the unpacked operands. The engine's
+ * TiledBitSerial plan kind executes here.
+ */
+void gemmBitSerialKernel(const BitSerialMatrix &activations,
+                         const BitSerialMatrix &weights, Int32Tensor &out);
+
+} // namespace detail
+
+#if BBS_LEGACY_WRAPPERS
+
+/** @deprecated Compatibility wrapper over engine::matmulBitSerial()
+ *  (a default-Session plan forced to the TiledBitSerial kind). */
+inline Int32Tensor
+gemmBitSerial(const BitSerialMatrix &activations,
+              const BitSerialMatrix &weights)
+{
+    return engine::matmulBitSerial(activations, weights);
+}
+
+#endif // BBS_LEGACY_WRAPPERS
 
 } // namespace bbs
 

@@ -5,7 +5,7 @@
 
 #include "common/logging.hpp"
 #include "common/parallel.hpp"
-#include "core/bbs_dot.hpp"
+#include "engine/session.hpp"
 #include "nn/activations.hpp"
 #include "quant/quantizer.hpp"
 
@@ -32,7 +32,7 @@ quantizeActivations(const Batch &cur, Int8Tensor &qx)
 /**
  * Symmetric max-calibrated quantization of one row of @p cur, scale from
  * that row alone. On a one-row batch this is exactly quantizeActivations,
- * which is what makes the row-calibrated forward bit-identical to a
+ * which is what makes the row-calibrated policy bit-identical to a
  * single-sample pass.
  */
 float
@@ -53,7 +53,7 @@ quantizeRow(const Batch &cur, std::int64_t row, Int8Tensor &qx)
 
 /**
  * Dequantize one INT32 accumulator and apply the fused nonlinearity.
- * Both forward paths funnel through this exact expression, which is what
+ * Every policy funnels through this exact expression, which is what
  * keeps their logits bit-identical.
  */
 inline float
@@ -90,10 +90,14 @@ Int8Network::fromNetwork(Network &net, std::int64_t groupSize,
         std::int64_t channels = q.values.shape().dim(0);
         std::int64_t groupsPerRow =
             (layer.inFeatures + groupSize - 1) / groupSize;
-        layer.groups.reserve(
-            static_cast<std::size_t>(channels * groupsPerRow));
-        layer.rowOffsets.reserve(static_cast<std::size_t>(channels) + 1);
-        layer.rowOffsets.push_back(0);
+        // The CompressedGroup forms are staging only: once prepared into
+        // row planes (which cache the same packed columns, shifts and
+        // constants), the layer keeps a single weight copy.
+        std::vector<CompressedGroup> groups;
+        std::vector<std::int64_t> rowOffsets;
+        groups.reserve(static_cast<std::size_t>(channels * groupsPerRow));
+        rowOffsets.reserve(static_cast<std::size_t>(channels) + 1);
+        rowOffsets.push_back(0);
         for (std::int64_t k = 0; k < channels; ++k) {
             auto row = q.values.channel(k);
             for (std::size_t begin = 0; begin < row.size();
@@ -101,16 +105,21 @@ Int8Network::fromNetwork(Network &net, std::int64_t groupSize,
                 std::size_t len = std::min<std::size_t>(
                     static_cast<std::size_t>(groupSize),
                     row.size() - begin);
-                layer.groups.push_back(compressGroup(
+                groups.push_back(compressGroup(
                     std::span<const std::int8_t>(row.data() + begin,
                                                  len),
                     targetColumns, strategy));
             }
-            layer.rowOffsets.push_back(
-                static_cast<std::int64_t>(layer.groups.size()));
+            rowOffsets.push_back(
+                static_cast<std::int64_t>(groups.size()));
         }
-        layer.planes = CompressedRowPlanes::prepare(
-            layer.groups, layer.rowOffsets, layer.inFeatures, groupSize);
+        layer.planes = std::make_shared<const CompressedRowPlanes>(
+            CompressedRowPlanes::prepare(groups, rowOffsets,
+                                         layer.inFeatures, groupSize));
+        // The layer's plan: shared prepacked rows behind a default-
+        // Session plan; Auto resolves per-dot vs batched per call.
+        layer.plan = engine::defaultSession().plan(
+            engine::PackedOperand::fromPrepared(layer.planes));
         layer.wScales = q.scales;
         layer.bias = *b;
         // Fuse the following activation, if any.
@@ -126,9 +135,12 @@ Int8Network::fromNetwork(Network &net, std::int64_t groupSize,
 }
 
 Batch
-Int8Network::forward(const Batch &x) const
+Int8Network::forward(const Batch &x, const InferencePolicy &policy) const
 {
+    const bool perRow = policy.calibration == engine::Calibration::PerRow;
     Batch cur = x;
+    Int32Tensor prod; // reused across layers (plans reshape only on change)
+    std::vector<float> rowScales;
     for (const Int8LinearLayer &layer : layers_) {
         std::int64_t n = cur.shape().dim(0);
         std::int64_t in = cur.shape().dim(1);
@@ -137,100 +149,39 @@ Int8Network::forward(const Batch &x) const
                     "activation width mismatch");
 
         Int8Tensor qx(Shape{n, in});
-        float sA = quantizeActivations(cur, qx);
+        float sA = 1.0f;
+        if (perRow) {
+            // Per-row scales: each sample quantizes against its own max,
+            // so batch composition cannot perturb any sample's
+            // arithmetic.
+            rowScales.resize(static_cast<std::size_t>(n));
+            parallelFor(n, [&](std::int64_t row) {
+                rowScales[static_cast<std::size_t>(row)] =
+                    quantizeRow(cur, row, qx);
+            }, 8);
+        } else {
+            sA = quantizeActivations(cur, qx);
+        }
 
-        // Batched compressed-domain GEMM: pack the batch once, execute
-        // every compressed weight row against it.
-        BitSerialMatrix acts = BitSerialMatrix::pack(qx);
-        Int32Tensor prod = gemmCompressed(layer.planes, acts);
+        // The layer's plan executes the matmul: Auto picks the per-dot
+        // loop at batch 1 and the batched compressed GEMM otherwise; an
+        // explicit policy.execution overrides it.
+        if (policy.execution == engine::PlanKind::Auto)
+            layer.plan.run(qx, prod);
+        else
+            layer.plan.runAs(policy.execution, qx, prod);
 
         Batch next(Shape{n, out});
         parallelFor(n, [&](std::int64_t row) {
+            float rowScale =
+                perRow ? rowScales[static_cast<std::size_t>(row)] : sA;
             for (std::int64_t o = 0; o < out; ++o)
                 next.at(row, o) = dequantize(
                     prod.at(row, o),
-                    layer.wScales[static_cast<std::size_t>(o)], sA,
+                    layer.wScales[static_cast<std::size_t>(o)], rowScale,
                     layer.bias.flat(o), layer.reluAfter,
                     layer.geluAfter);
         }, 16);
-        cur = std::move(next);
-    }
-    return cur;
-}
-
-Batch
-Int8Network::forwardRowCalibrated(const Batch &x) const
-{
-    Batch cur = x;
-    Int32Tensor prod; // reused across layers (gemmCompressedInto)
-    for (const Int8LinearLayer &layer : layers_) {
-        std::int64_t n = cur.shape().dim(0);
-        std::int64_t in = cur.shape().dim(1);
-        std::int64_t out = layer.outFeatures();
-        BBS_REQUIRE(layer.inFeatures == in,
-                    "activation width mismatch");
-
-        // Per-row scales: each sample quantizes against its own max, so
-        // batch composition cannot perturb any sample's arithmetic.
-        Int8Tensor qx(Shape{n, in});
-        std::vector<float> sA(static_cast<std::size_t>(n));
-        parallelFor(n, [&](std::int64_t row) {
-            sA[static_cast<std::size_t>(row)] = quantizeRow(cur, row, qx);
-        }, 8);
-
-        BitSerialMatrix acts = BitSerialMatrix::pack(qx);
-        gemmCompressedInto(layer.planes, acts, prod);
-
-        Batch next(Shape{n, out});
-        parallelFor(n, [&](std::int64_t row) {
-            for (std::int64_t o = 0; o < out; ++o)
-                next.at(row, o) = dequantize(
-                    prod.at(row, o),
-                    layer.wScales[static_cast<std::size_t>(o)],
-                    sA[static_cast<std::size_t>(row)],
-                    layer.bias.flat(o), layer.reluAfter,
-                    layer.geluAfter);
-        }, 16);
-        cur = std::move(next);
-    }
-    return cur;
-}
-
-Batch
-Int8Network::forwardPerDot(const Batch &x) const
-{
-    Batch cur = x;
-    for (const Int8LinearLayer &layer : layers_) {
-        std::int64_t n = cur.shape().dim(0);
-        std::int64_t in = cur.shape().dim(1);
-        std::int64_t out = layer.outFeatures();
-        BBS_REQUIRE(layer.inFeatures == in,
-                    "activation width mismatch");
-
-        Int8Tensor qx(Shape{n, in});
-        float sA = quantizeActivations(cur, qx);
-
-        // The original engine: each (sample, channel) dot runs group by
-        // group through the compressed-domain kernel.
-        Batch next(Shape{n, out});
-        parallelFor(out, [&](std::int64_t o) {
-            float scale = layer.wScales[static_cast<std::size_t>(o)];
-            auto groups = layer.rowGroups(o);
-            for (std::int64_t row = 0; row < n; ++row) {
-                std::int64_t acc = 0;
-                std::int64_t begin = 0;
-                for (const CompressedGroup &cg : groups) {
-                    std::span<const std::int8_t> acts(
-                        &qx.at(row, begin), cg.stored.size());
-                    acc += dotCompressed(cg, acts).value;
-                    begin += static_cast<std::int64_t>(
-                        cg.stored.size());
-                }
-                next.at(row, o) = dequantize(
-                    acc, scale, sA, layer.bias.flat(o),
-                    layer.reluAfter, layer.geluAfter);
-            }
-        }, 2);
         cur = std::move(next);
     }
     return cur;
@@ -245,11 +196,17 @@ Int8Network::predict(const Batch &x) const
 double
 Int8Network::effectiveBits() const
 {
+    // storageBits of a group == storedBits * size + the metadata byte;
+    // the prepacked planes carry exactly those fields.
     double bits = 0.0, weights = 0.0;
     for (const auto &l : layers_) {
-        for (const CompressedGroup &g : l.groups) {
-            bits += static_cast<double>(g.storageBits());
-            weights += static_cast<double>(g.stored.size());
+        const CompressedRowPlanes &p = *l.planes;
+        for (std::int64_t o = 0; o < p.rows(); ++o) {
+            for (std::int64_t g = 0; g < p.groupsPerRow(); ++g) {
+                const PackedGroup &pg = p.packedGroup(o, g);
+                bits += static_cast<double>(pg.bits) * pg.size + 8.0;
+                weights += static_cast<double>(pg.size);
+            }
         }
     }
     return bits / weights;

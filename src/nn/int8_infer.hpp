@@ -9,11 +9,14 @@
  * activation scales — demonstrating that the hardware path itself
  * preserves accuracy, not just the weight transform.
  *
- * Batches run through the bit-serial GEMM engine (gemm/compressed_gemm):
- * activations are packed once per layer and every compressed weight row
- * executes against the whole batch. The original per-sample
- * dotCompressed() loop is preserved as forwardPerDot(), the pinned
- * reference the tests hold the GEMM path bit-identical to.
+ * Every layer holds an engine::MatmulPlan over its prepacked compressed
+ * rows (built once at construction through the default Session), and
+ * `forward(x, InferencePolicy)` is the single entry point: the
+ * calibration axis (per-batch vs per-row activation scales) times the
+ * execution axis (the plan's kind — Auto lets it pick per-dot at batch 1
+ * and the batched compressed GEMM otherwise). The pre-engine
+ * forwardPerDot()/forwardRowCalibrated() variants are compatibility
+ * wrappers over specific policies, pinned bit-identical by the tests.
  */
 #ifndef BBS_NN_INT8_INFER_HPP
 #define BBS_NN_INT8_INFER_HPP
@@ -21,24 +24,45 @@
 #include <memory>
 #include <vector>
 
+#include "common/compat.hpp"
 #include "core/compressed_tensor.hpp"
+#include "engine/plan.hpp"
 #include "gemm/compressed_gemm.hpp"
 #include "nn/network.hpp"
 
 namespace bbs {
 
+/**
+ * How a forward pass quantizes activations and executes its per-layer
+ * matmuls — the two axes the three pre-engine forward* variants varied.
+ */
+struct InferencePolicy
+{
+    /** PerBatch: one shared activation scale per batch (offline
+     *  evaluation). PerRow: each sample quantizes against its own max,
+     *  so a row's logits never depend on co-batched rows (the serving
+     *  contract). */
+    engine::Calibration calibration = engine::Calibration::PerBatch;
+    /** Execution override for every layer's plan; Auto lets each plan
+     *  decide from the batch size (per-dot at batch 1, batched
+     *  compressed GEMM otherwise). */
+    engine::PlanKind execution = engine::PlanKind::Auto;
+};
+
 /** One dense layer prepared for integer execution. */
 struct Int8LinearLayer
 {
     /**
-     * All output channels' BBS-compressed weight groups, row-major flat:
-     * channel o's groups are groups[rowOffsets[o] .. rowOffsets[o+1]).
-     * Flat storage keeps row tiles cache-linear for the GEMM engine.
+     * Every output channel's BBS-compressed weight rows, prepacked once
+     * (stored-column planes + pruned-column shift + BBS constant per
+     * group) — the ONLY weight copy the layer keeps: both the batched
+     * GEMM and the per-dot plan kind execute these planes directly.
+     * Shared with the layer's plan, so copies of the network stay cheap
+     * and alias-safe.
      */
-    std::vector<CompressedGroup> groups;
-    std::vector<std::int64_t> rowOffsets; ///< outFeatures()+1 entries
-    /** The same rows prepacked for gemmCompressed (planes + metadata). */
-    CompressedRowPlanes planes;
+    std::shared_ptr<const CompressedRowPlanes> planes;
+    /** The layer's execution plan (default Session, Auto kind). */
+    engine::MatmulPlan plan;
     std::int64_t inFeatures = 0;
     std::int64_t groupSize = 32;
     std::vector<float> wScales; ///< per-output-channel weight scales
@@ -49,19 +73,7 @@ struct Int8LinearLayer
     std::int64_t
     outFeatures() const
     {
-        return static_cast<std::int64_t>(rowOffsets.size()) - 1;
-    }
-
-    /** Channel @p o's compressed groups. */
-    std::span<const CompressedGroup>
-    rowGroups(std::int64_t o) const
-    {
-        std::size_t begin =
-            static_cast<std::size_t>(rowOffsets[static_cast<std::size_t>(o)]);
-        std::size_t end = static_cast<std::size_t>(
-            rowOffsets[static_cast<std::size_t>(o) + 1]);
-        return std::span<const CompressedGroup>(groups.data() + begin,
-                                                end - begin);
+        return planes ? planes->rows() : 0;
     }
 };
 
@@ -82,34 +94,51 @@ class Int8Network
                                    PruneStrategy strategy);
 
     /**
-     * Integer forward pass through the batched GEMM engine: activations
-     * are quantized per layer to INT8 (symmetric, max-calibrated per
-     * batch) and packed once, every layer runs gemmCompressed(), and the
-     * INT32 accumulators are rescaled to float for the next layer's
-     * nonlinearity. Bit-identical to forwardPerDot().
+     * The unified integer forward pass: quantize activations per
+     * @p policy.calibration, run every layer's MatmulPlan (kind per
+     * @p policy.execution), rescale the INT32 accumulators to float for
+     * the next layer's nonlinearity. All policy combinations are
+     * bit-identical per row on identical per-row scales; the per-row
+     * calibration of a one-row batch equals the per-batch one, which is
+     * what makes serving responses batch-invariant.
      */
-    Batch forward(const Batch &x) const;
+    Batch forward(const Batch &x, const InferencePolicy &policy) const;
 
-    /**
-     * Pinned reference: the original per-(sample, channel) loop over
-     * dotCompressed(). Kept for tests and the micro_gemm baseline.
-     */
-    Batch forwardPerDot(const Batch &x) const;
+    /** forward() with the default policy (per-batch calibration, Auto
+     *  execution) — the offline-evaluation entry point. */
+    Batch
+    forward(const Batch &x) const
+    {
+        return forward(x, InferencePolicy{});
+    }
 
-    /**
-     * Batched forward with PER-ROW activation calibration: each sample's
-     * activation scale is its own row max at every layer, so a row's
-     * logits depend only on that row — never on which other requests the
-     * serving batcher happened to coalesce with it. Row r of the result
-     * is bit-identical to forwardPerDot() (equivalently forward()) on a
-     * one-row batch holding row r alone; the serving runtime relies on
-     * this to stay bit-exact against its single-request oracle. forward()
-     * keeps per-batch calibration: one shared scale is the right
-     * semantics when the batch is one logical workload (evaluation).
-     */
-    Batch forwardRowCalibrated(const Batch &x) const;
+#if BBS_LEGACY_WRAPPERS
+    /** @deprecated Compatibility wrapper: per-batch calibration forced
+     *  through the per-dot plan kind (the original per-(sample, channel)
+     *  compressed-dot loop; the micro_gemm baseline). Like every plan
+     *  run it now enforces inFeatures <= kMaxGemmDepth (the INT32
+     *  accumulator guarantee the batched path always had); within that
+     *  domain — which any network usable with forward() satisfies — it
+     *  is bit-identical to the pre-engine loop. */
+    Batch
+    forwardPerDot(const Batch &x) const
+    {
+        return forward(x, InferencePolicy{engine::Calibration::PerBatch,
+                                          engine::PlanKind::PerDot});
+    }
 
-    /** Argmax predictions (through the GEMM path). */
+    /** @deprecated Compatibility wrapper: per-row calibration, Auto
+     *  execution (the serving policy). Row r of the result is
+     *  bit-identical to a one-row forward pass on row r alone. */
+    Batch
+    forwardRowCalibrated(const Batch &x) const
+    {
+        return forward(x, InferencePolicy{engine::Calibration::PerRow,
+                                          engine::PlanKind::Auto});
+    }
+#endif // BBS_LEGACY_WRAPPERS
+
+    /** Argmax predictions (default policy). */
     std::vector<int> predict(const Batch &x) const;
 
     /** Mean effective weight bits across layers. */

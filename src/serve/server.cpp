@@ -123,15 +123,15 @@ InferenceServer::execute(std::vector<InferenceRequest> batch)
                     run[static_cast<std::size_t>(r)]
                         .input[static_cast<std::size_t>(c)];
 
-        // One pack + gemmCompressed per layer for the whole run; per-row
-        // calibration keeps each response independent of its co-riders.
-        // A batch of one skips the GEMM staging (BitSerialMatrix pack +
-        // window extraction) and runs the per-dot path directly — by the
-        // forwardRowCalibrated contract the two are bit-identical on a
-        // one-row batch, and per-dot is cheaper when there is nothing to
-        // amortize the staging across.
-        Batch logits = n == 1 ? engine->forwardPerDot(x)
-                              : engine->forwardRowCalibrated(x);
+        // One plan run per layer for the whole batch; per-row calibration
+        // keeps each response independent of its co-riders. Batch-of-1 is
+        // a PLAN decision now, not batcher special-casing: each layer's
+        // MatmulPlan resolves Auto to the per-dot loop at one row
+        // (nothing amortizes the GEMM staging) and to the batched
+        // compressed GEMM otherwise — bit-identical either way.
+        Batch logits = engine->forward(
+            x, InferencePolicy{engine::Calibration::PerRow,
+                               engine::PlanKind::Auto});
         std::vector<int> predicted = argmaxRows(logits);
 
         auto done = std::chrono::steady_clock::now();

@@ -3,17 +3,20 @@
  * The concurrent inference runtime tying the serving layer together:
  *
  *   submit() -> RequestQueue -> Batcher (coalesce <= maxBatch, flush
- *   after maxDelayUs) -> worker pool -> one BitSerialMatrix pack +
- *   gemmCompressed call per batch -> per-request futures.
+ *   after maxDelayUs) -> worker pool -> one engine::MatmulPlan run per
+ *   layer per batch -> per-request futures.
  *
- * Execution uses Int8Network::forwardRowCalibrated, so every response is
- * bit-identical to running that request alone through forwardPerDot():
- * batching changes latency and throughput, never a single logit. Workers
- * are plain threads; the GEMM inside each batch additionally uses
- * parallelFor, whose worker count honours BBS_THREADS (read once at
- * startup) / setWorkerThreadCap — with one server worker (the default),
- * batches execute sequentially with full intra-GEMM parallelism, which is
- * the throughput-optimal shape on a dedicated box.
+ * The server holds per-model plans through the registry: every hosted
+ * Int8Network prepares one MatmulPlan per layer at construction, and
+ * execution is forward() with the per-row calibration policy — so every
+ * response is bit-identical to running that request alone, and the
+ * batch-of-1 fast path is the plan's Auto decision (per-dot at one row),
+ * not batcher special-casing. Workers are plain threads; the GEMM inside
+ * each batch additionally uses parallelFor, whose worker count honours
+ * BBS_THREADS (resolved once through engine::EngineConfig) /
+ * setWorkerThreadCap — with one server worker (the default), batches
+ * execute sequentially with full intra-GEMM parallelism, which is the
+ * throughput-optimal shape on a dedicated box.
  */
 #ifndef BBS_SERVE_SERVER_HPP
 #define BBS_SERVE_SERVER_HPP

@@ -1,16 +1,16 @@
 /**
  * @file
- * SIMD dispatch: CPUID detection, BBS_SIMD env override, runtime level
- * switching. The environment is read once (thread-safe magic static);
- * runtime changes go through setSimdLevel().
+ * SIMD dispatch: CPUID detection and runtime level switching. The
+ * BBS_SIMD environment override is parsed by the engine's single parse
+ * path (engine::EngineConfig::simdLevelFromEnv), read once here
+ * (thread-safe magic static); runtime changes go through setSimdLevel().
  */
 #include "simd/simd.hpp"
 
 #include <atomic>
-#include <cstdlib>
-#include <string>
 
 #include "common/logging.hpp"
+#include "engine/engine_config.hpp"
 
 namespace bbs {
 
@@ -25,24 +25,6 @@ bool cpuHasAvx512();
 
 namespace {
 
-/** Parse a BBS_SIMD value; nullopt-like -1 for "not set / unknown". */
-int
-parseLevel(const char *env)
-{
-    if (env == nullptr)
-        return -1;
-    std::string v(env);
-    if (v == "scalar")
-        return static_cast<int>(SimdLevel::Scalar);
-    if (v == "avx2")
-        return static_cast<int>(SimdLevel::Avx2);
-    if (v == "avx512")
-        return static_cast<int>(SimdLevel::Avx512);
-    warn("BBS_SIMD=", v, " is not one of scalar|avx2|avx512; using the "
-         "detected default");
-    return -1;
-}
-
 /** Table for a supported level (never null for supported levels). */
 const SimdKernels *
 tableFor(SimdLevel level)
@@ -55,34 +37,11 @@ tableFor(SimdLevel level)
     return nullptr;
 }
 
-/**
- * Startup resolution: highest CPU-supported level, lowered (never
- * raised) by BBS_SIMD. A request above what the CPU supports degrades
- * to the best supported level with a warning so CI matrices that pin
- * BBS_SIMD=avx2 still pass on runners without the ISA.
- */
-SimdLevel
-resolveStartupLevel()
-{
-    SimdLevel best = maxSupportedSimdLevel();
-    int requested = parseLevel(std::getenv("BBS_SIMD"));
-    if (requested < 0)
-        return best;
-    auto level = static_cast<SimdLevel>(requested);
-    if (!simdLevelSupported(level)) {
-        warn("BBS_SIMD=", simdLevelName(level),
-             " is not supported by this CPU; falling back to ",
-             simdLevelName(best));
-        return best;
-    }
-    return level;
-}
-
 std::atomic<const SimdKernels *> &
 activeTable()
 {
     static std::atomic<const SimdKernels *> table{
-        tableFor(resolveStartupLevel())};
+        tableFor(engine::EngineConfig::simdLevelFromEnv())};
     return table;
 }
 

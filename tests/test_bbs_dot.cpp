@@ -1,13 +1,18 @@
 /**
  * @file
  * Tests that all bit-serial dot-product forms (Eq. 1-3 and the
- * compressed-domain form) agree exactly with the dense reference.
+ * compressed-domain form) agree exactly with the dense reference —
+ * through the engine facade (engine::dot / engine::dotCompressed), which
+ * is the canonical route into the kernels. With the compatibility layer
+ * enabled, the legacy free functions are additionally pinned
+ * bit-identical to the facade.
  */
 #include <gtest/gtest.h>
 
 #include "common/bit_utils.hpp"
 #include "common/random.hpp"
 #include "core/bbs_dot.hpp"
+#include "engine/engine.hpp"
 
 namespace bbs {
 namespace {
@@ -32,9 +37,11 @@ TEST_P(DotEquivalence, AllFormsMatchReference)
     for (int iter = 0; iter < 200; ++iter) {
         auto w = randomVec(rng, n);
         auto a = randomVec(rng, n);
-        std::int64_t ref = dotReference(w, a);
-        EXPECT_EQ(dotBitSerialZeroSkip(w, a), ref);
-        BbsDotResult bbs = dotBitSerialBbs(w, a);
+        std::int64_t ref =
+            engine::dot(w, a, engine::DotMethod::Reference).value;
+        EXPECT_EQ(engine::dot(w, a, engine::DotMethod::ZeroSkip).value,
+                  ref);
+        BbsDotResult bbs = engine::dot(w, a, engine::DotMethod::Bbs);
         EXPECT_EQ(bbs.value, ref);
         // BBS does at most half the total bit work.
         EXPECT_LE(bbs.effectualOps,
@@ -51,8 +58,9 @@ TEST(DotBbs, InvertsColumnsWithDominantOnes)
     // and zero effectual adds.
     std::vector<std::int8_t> w(16, -1);
     std::vector<std::int8_t> a(16, 3);
-    BbsDotResult r = dotBitSerialBbs(w, a);
-    EXPECT_EQ(r.value, dotReference(w, a));
+    BbsDotResult r = engine::dot(w, a);
+    EXPECT_EQ(r.value,
+              engine::dot(w, a, engine::DotMethod::Reference).value);
     EXPECT_EQ(r.invertedColumns, 8);
     EXPECT_EQ(r.effectualOps, 0);
 }
@@ -62,7 +70,7 @@ TEST(DotBbs, NoInversionForSparseColumns)
     std::vector<std::int8_t> w(16, 0);
     w[0] = 1;
     std::vector<std::int8_t> a(16, 5);
-    BbsDotResult r = dotBitSerialBbs(w, a);
+    BbsDotResult r = engine::dot(w, a);
     EXPECT_EQ(r.value, 5);
     EXPECT_EQ(r.invertedColumns, 0);
     EXPECT_EQ(r.effectualOps, 1);
@@ -91,8 +99,10 @@ TEST_P(CompressedDot, EqualsReferenceOnDecompressedWeights)
         // The compressed-domain execution must match computing with the
         // reconstructed weights exactly — this is the correctness claim
         // behind the BitVert PE's step 4 constant multiplier.
-        BbsDotResult r = dotCompressed(cg, a);
-        EXPECT_EQ(r.value, dotReference(rec, a));
+        BbsDotResult r = engine::dotCompressed(cg, a);
+        EXPECT_EQ(r.value,
+                  engine::dot(rec, a, engine::DotMethod::Reference)
+                      .value);
     }
 }
 
@@ -115,11 +125,60 @@ TEST(CompressedDot, FewerEffectualOpsThanUncompressedBbs)
         auto a = randomVec(rng, 32);
         CompressedGroup cg =
             compressGroup(w, 4, PruneStrategy::ZeroPointShifting);
-        opsCompressed += dotCompressed(cg, a).effectualOps;
-        opsFull += dotBitSerialBbs(w, a).effectualOps;
+        opsCompressed += engine::dotCompressed(cg, a).effectualOps;
+        opsFull += engine::dot(w, a).effectualOps;
     }
     EXPECT_LT(opsCompressed, opsFull);
 }
+
+#if BBS_LEGACY_WRAPPERS
+TEST(LegacyWrappers, DotZooPinnedBitIdenticalToEngine)
+{
+    // The pre-engine free functions are wrappers over the facade; fuzz
+    // every form against the engine call it delegates to — value,
+    // effectualOps and invertedColumns all identical.
+    Rng rng(0x1e9);
+    for (std::size_t n : {1u, 7u, 32u, 64u}) {
+        for (int iter = 0; iter < 50; ++iter) {
+            auto w = randomVec(rng, n);
+            auto a = randomVec(rng, n);
+            EXPECT_EQ(
+                dotReference(w, a),
+                engine::dot(w, a, engine::DotMethod::Reference).value);
+            EXPECT_EQ(
+                dotBitSerialZeroSkip(w, a),
+                engine::dot(w, a, engine::DotMethod::ZeroSkip).value);
+            EXPECT_EQ(
+                dotBitSerialZeroSkipScalar(w, a),
+                engine::dot(w, a, engine::DotMethod::ZeroSkipScalar)
+                    .value);
+            BbsDotResult lb = dotBitSerialBbs(w, a);
+            BbsDotResult eb = engine::dot(w, a, engine::DotMethod::Bbs);
+            EXPECT_EQ(lb.value, eb.value);
+            EXPECT_EQ(lb.effectualOps, eb.effectualOps);
+            EXPECT_EQ(lb.invertedColumns, eb.invertedColumns);
+            BbsDotResult ls = dotBitSerialBbsScalar(w, a);
+            BbsDotResult es =
+                engine::dot(w, a, engine::DotMethod::BbsScalar);
+            EXPECT_EQ(ls.value, es.value);
+            EXPECT_EQ(ls.effectualOps, es.effectualOps);
+
+            CompressedGroup cg = compressGroup(
+                std::span<const std::int8_t>(w.data(),
+                                             std::min<std::size_t>(n, 64)),
+                4, PruneStrategy::ZeroPointShifting);
+            std::span<const std::int8_t> aa(a.data(), cg.stored.size());
+            BbsDotResult lc = dotCompressed(cg, aa);
+            BbsDotResult ec = engine::dotCompressed(cg, aa);
+            EXPECT_EQ(lc.value, ec.value);
+            EXPECT_EQ(lc.effectualOps, ec.effectualOps);
+            EXPECT_EQ(lc.invertedColumns, ec.invertedColumns);
+            EXPECT_EQ(dotCompressedScalar(cg, aa).value,
+                      engine::dotCompressed(cg, aa, true).value);
+        }
+    }
+}
+#endif // BBS_LEGACY_WRAPPERS
 
 } // namespace
 } // namespace bbs

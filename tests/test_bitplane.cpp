@@ -13,6 +13,7 @@
 #include "common/random.hpp"
 #include "core/bbs.hpp"
 #include "core/bbs_dot.hpp"
+#include "engine/engine.hpp"
 #include "core/bitplane.hpp"
 #include "core/compressed_tensor.hpp"
 #include "sim/prepared_model.hpp"
@@ -257,15 +258,19 @@ TEST(PackedVsScalar, DotFormsMatchExactly)
         if (rng.bernoulli(0.3))
             w[0] = -128; // MSB-negative weight
 
-        EXPECT_EQ(dotBitSerialZeroSkip(w, a),
-                  dotBitSerialZeroSkipScalar(w, a));
+        EXPECT_EQ(engine::dot(w, a, engine::DotMethod::ZeroSkip).value,
+                  engine::dot(w, a, engine::DotMethod::ZeroSkipScalar)
+                      .value);
 
-        BbsDotResult packed = dotBitSerialBbs(w, a);
-        BbsDotResult scalar = dotBitSerialBbsScalar(w, a);
+        BbsDotResult packed = engine::dot(w, a);
+        BbsDotResult scalar =
+            engine::dot(w, a, engine::DotMethod::BbsScalar);
         EXPECT_EQ(packed.value, scalar.value);
         EXPECT_EQ(packed.effectualOps, scalar.effectualOps);
         EXPECT_EQ(packed.invertedColumns, scalar.invertedColumns);
-        EXPECT_EQ(packed.value, dotReference(w, a));
+        EXPECT_EQ(packed.value,
+                  engine::dot(w, a, engine::DotMethod::Reference)
+                      .value);
     }
 }
 
@@ -283,8 +288,8 @@ TEST(PackedVsScalar, DotCompressedMatchesExactly)
         auto a = randomVec(rng, n);
 
         CompressedGroup cg = compressGroup(w, target, strategy);
-        BbsDotResult packed = dotCompressed(cg, a);
-        BbsDotResult scalar = dotCompressedScalar(cg, a);
+        BbsDotResult packed = engine::dotCompressed(cg, a);
+        BbsDotResult scalar = engine::dotCompressed(cg, a, true);
         EXPECT_EQ(packed.value, scalar.value);
         EXPECT_EQ(packed.effectualOps, scalar.effectualOps);
         EXPECT_EQ(packed.invertedColumns, scalar.invertedColumns);
@@ -292,7 +297,9 @@ TEST(PackedVsScalar, DotCompressedMatchesExactly)
         // The compressed-domain form still equals the dense reference on
         // the reconstructed weights (the repo-wide exactness invariant).
         std::vector<std::int8_t> rec = cg.decompress();
-        EXPECT_EQ(packed.value, dotReference(rec, a));
+        EXPECT_EQ(packed.value,
+                  engine::dot(rec, a, engine::DotMethod::Reference)
+                      .value);
     }
 }
 

@@ -10,6 +10,7 @@
 #include "common/bit_utils.hpp"
 #include "common/random.hpp"
 #include "core/bbs_dot.hpp"
+#include "engine/engine.hpp"
 
 namespace bbs {
 namespace {
@@ -88,7 +89,9 @@ TEST_P(BitVertPeProperty, MatchesMathematicalDotProduct)
         std::vector<std::int8_t> rec = cg.decompress();
 
         PeRunResult pe = runBitVertPe(cg, a);
-        EXPECT_EQ(pe.value, dotReference(rec, a));
+        EXPECT_EQ(pe.value,
+                  engine::dot(rec, a, engine::DotMethod::Reference)
+                      .value);
         // One cycle per stored column.
         EXPECT_EQ(pe.cycles, cg.storedBits);
     }
@@ -111,7 +114,8 @@ TEST(BitVertPe, UncompressedEightBitGroupTakesEightCycles)
     // Sensitive channels run uncompressed: storedBits = 8, pruned = 0,
     // constant = 0.
     PeRunResult pe = runBitVertPe(w, 8, 0, 0, a);
-    EXPECT_EQ(pe.value, dotReference(w, a));
+    EXPECT_EQ(pe.value,
+              engine::dot(w, a, engine::DotMethod::Reference).value);
     EXPECT_EQ(pe.cycles, 8);
 }
 
@@ -122,7 +126,9 @@ TEST(BitVertPe, HandlesShortGroups)
         auto w = randomVec(rng, n);
         auto a = randomVec(rng, n);
         PeRunResult pe = runBitVertPe(w, 8, 0, 0, a);
-        EXPECT_EQ(pe.value, dotReference(w, a)) << "n=" << n;
+        EXPECT_EQ(pe.value,
+                  engine::dot(w, a, engine::DotMethod::Reference).value)
+            << "n=" << n;
     }
 }
 

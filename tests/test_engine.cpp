@@ -1,0 +1,526 @@
+/**
+ * @file
+ * Tests for the engine facade (engine/engine.hpp): EngineConfig's single
+ * env parse path, plan-kind selection boundaries (batch 1 vs 2 vs 64,
+ * all-pruned groups, uncompressed-in-effect operands), bit-identity of
+ * every plan kind against the references, PackedOperand
+ * serialize -> reload -> plan.run golden cases, and Session config
+ * scoping (thread cap + SIMD level applied per call, restored after).
+ */
+#include <gtest/gtest.h>
+
+#include "common/parallel.hpp"
+#include "common/random.hpp"
+#include "engine/engine.hpp"
+#include "gemm/gemm.hpp"
+#include "nn/dataset.hpp"
+#include "nn/evaluate.hpp"
+#include "nn/int8_infer.hpp"
+
+namespace bbs {
+namespace {
+
+using bbs::engine::EngineConfig;
+using bbs::engine::MatmulPlan;
+using bbs::engine::PackedOperand;
+using bbs::engine::PackKind;
+using bbs::engine::PackOptions;
+using bbs::engine::PlanKind;
+using bbs::engine::PlanOptions;
+using bbs::engine::Session;
+using bbs::engine::ShapeHints;
+
+Int8Tensor
+randomMatrix(std::int64_t rows, std::int64_t cols, Rng &rng)
+{
+    Int8Tensor t(Shape{rows, cols});
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+        t.flat(i) = static_cast<std::int8_t>(rng.uniformInt(-128, 127));
+    return t;
+}
+
+// ----------------------------------------------------------- EngineConfig
+
+TEST(EngineConfigTest, ParseSimdLevel)
+{
+    EXPECT_EQ(EngineConfig::parseSimdLevel(nullptr), -1);
+    EXPECT_EQ(EngineConfig::parseSimdLevel("scalar"),
+              static_cast<int>(SimdLevel::Scalar));
+    EXPECT_EQ(EngineConfig::parseSimdLevel("avx2"),
+              static_cast<int>(SimdLevel::Avx2));
+    EXPECT_EQ(EngineConfig::parseSimdLevel("avx512"),
+              static_cast<int>(SimdLevel::Avx512));
+    EXPECT_EQ(EngineConfig::parseSimdLevel("AVX2"), -1);  // case-sensitive
+    EXPECT_EQ(EngineConfig::parseSimdLevel("sse42"), -1); // unknown
+    EXPECT_EQ(EngineConfig::parseSimdLevel(""), -1);
+}
+
+TEST(EngineConfigTest, ParseThreadCap)
+{
+    // The one parse path behind BBS_THREADS (parallel.hpp consumes it
+    // through threadCapFromEnv): only a positive integer strictly below
+    // the hardware count clamps.
+    EXPECT_EQ(EngineConfig::parseThreadCap(nullptr, 8), 8u);
+    EXPECT_EQ(EngineConfig::parseThreadCap("1", 8), 1u);
+    EXPECT_EQ(EngineConfig::parseThreadCap("7", 8), 7u);
+    EXPECT_EQ(EngineConfig::parseThreadCap("8", 8), 8u);
+    EXPECT_EQ(EngineConfig::parseThreadCap("99", 8), 8u);
+    EXPECT_EQ(EngineConfig::parseThreadCap("0", 8), 8u);
+    EXPECT_EQ(EngineConfig::parseThreadCap("-3", 8), 8u);
+    EXPECT_EQ(EngineConfig::parseThreadCap("nope", 8), 8u);
+}
+
+TEST(EngineConfigTest, FromEnvSnapshotsResolvedState)
+{
+    // fromEnv() must only ever produce an applicable config: a supported
+    // SIMD level (or inherit) and a thread cap below the ceiling (or
+    // inherit). It cannot assert anything env-specific here (the CI
+    // matrix legitimately sets BBS_SIMD), only the resolution contract.
+    EngineConfig cfg = EngineConfig::fromEnv();
+    if (cfg.simdLevel.has_value())
+        EXPECT_TRUE(simdLevelSupported(*cfg.simdLevel));
+    unsigned resolved = EngineConfig::threadCapFromEnv();
+    EXPECT_GE(resolved, 1u);
+    if (cfg.threadCap != 0)
+        EXPECT_EQ(cfg.threadCap, resolved);
+}
+
+// --------------------------------------------------------- plan selection
+
+TEST(PlanSelectionTest, BatchBoundaries)
+{
+    // Compressed weights: per-dot at batch 1 (nothing amortizes the
+    // activation pack), batched compressed GEMM from batch 2 up.
+    EXPECT_EQ(MatmulPlan::selectKind(8, 64, 1, true, 5.0),
+              PlanKind::PerDot);
+    EXPECT_EQ(MatmulPlan::selectKind(8, 64, 2, true, 5.0),
+              PlanKind::CompressedBatched);
+    EXPECT_EQ(MatmulPlan::selectKind(8, 64, 64, true, 5.0),
+              PlanKind::CompressedBatched);
+    // Batch 0 (planning before any run) behaves like batch 1.
+    EXPECT_EQ(MatmulPlan::selectKind(8, 64, 0, true, 5.0),
+              PlanKind::PerDot);
+
+    // Dense weights always take the tiled bit-serial kernel.
+    for (std::int64_t batch : {1, 2, 64})
+        EXPECT_EQ(MatmulPlan::selectKind(8, 64, batch, false, 8.0),
+                  PlanKind::TiledBitSerial);
+
+    // "Compressed" weights that kept all 8 columns everywhere: the
+    // group-windowed kernel pays overhead for nothing; the plan re-packs
+    // dense. All-pruned operands (0 stored bits) stay compressed-batched
+    // — their whole contribution is the constant multiplier term.
+    EXPECT_EQ(MatmulPlan::selectKind(8, 64, 16, true, 8.0),
+              PlanKind::TiledBitSerial);
+    EXPECT_EQ(MatmulPlan::selectKind(8, 64, 16, true, 0.0),
+              PlanKind::CompressedBatched);
+    EXPECT_EQ(MatmulPlan::selectKind(8, 64, 1, true, 0.0),
+              PlanKind::PerDot);
+}
+
+TEST(PlanSelectionTest, PlanResolvesKindPerBatchAndHonoursForce)
+{
+    Rng rng(11);
+    Session s;
+    Int8Tensor w = randomMatrix(6, 96, rng);
+    PackedOperand packed =
+        s.pack(w, PackOptions{32, 4, PruneStrategy::ZeroPointShifting});
+    EXPECT_EQ(packed.kind(), PackKind::CompressedRows);
+    EXPECT_LT(packed.meanStoredBits(), 8.0);
+
+    MatmulPlan plan = s.plan(packed);
+    EXPECT_EQ(plan.kindForBatch(1), PlanKind::PerDot);
+    EXPECT_EQ(plan.kindForBatch(2), PlanKind::CompressedBatched);
+    EXPECT_EQ(plan.kindForBatch(64), PlanKind::CompressedBatched);
+
+    MatmulPlan forced =
+        s.plan(packed, {}, PlanOptions{PlanKind::CompressedBatched});
+    EXPECT_EQ(forced.kindForBatch(1), PlanKind::CompressedBatched);
+
+    // Uncompressed-in-effect operand (targetColumns 0 keeps every
+    // column unless sign-extension redundancy removes some): when the
+    // mean stored bits stay at 8, Auto resolves the dense tiled kernel
+    // at batch >= 2.
+    Int8Tensor full = randomMatrix(4, 64, rng);
+    PackedOperand nop =
+        s.pack(full, PackOptions{32, 0, PruneStrategy::RoundedAveraging});
+    if (nop.meanStoredBits() >= 8.0 - 1e-9) {
+        MatmulPlan nopPlan = s.plan(nop);
+        EXPECT_EQ(nopPlan.kindForBatch(16), PlanKind::TiledBitSerial);
+        EXPECT_EQ(nopPlan.kindForBatch(1), PlanKind::PerDot);
+    }
+}
+
+// ------------------------------------------------- execution bit-identity
+
+TEST(PlanExecutionTest, AllKindsBitIdenticalAcrossShapes)
+{
+    Rng rng(22);
+    Session s;
+    const std::int64_t shapes[][4] = {
+        // {N, K, C, groupSize} — C multiples and non-multiples of 64
+        // (whole-tensor packing needs groupSize | C, so ragged column
+        // counts pair with a divisor group size)
+        {1, 3, 32, 32}, {2, 5, 96, 32}, {7, 4, 70, 35},
+        {64, 6, 128, 32}, {3, 2, 33, 11},
+    };
+    for (const auto &sh : shapes) {
+        Int8Tensor acts = randomMatrix(sh[0], sh[2], rng);
+        Int8Tensor w = randomMatrix(sh[1], sh[2], rng);
+        PackedOperand packed = s.pack(
+            w, PackOptions{sh[3], 3, PruneStrategy::ZeroPointShifting});
+        MatmulPlan plan = s.plan(packed, ShapeHints{sh[0]});
+
+        Int32Tensor ref =
+            gemmReferenceBatch(acts, packed.unpack()); // oracle
+        Int32Tensor autoOut = plan.run(acts);
+        Int32Tensor perDot, batched, tiled;
+        plan.runAs(PlanKind::PerDot, acts, perDot);
+        plan.runAs(PlanKind::CompressedBatched, acts, batched);
+        plan.runAs(PlanKind::TiledBitSerial, acts, tiled); // escape hatch
+        ASSERT_TRUE(autoOut.shape() == ref.shape());
+        for (std::int64_t i = 0; i < ref.numel(); ++i) {
+            ASSERT_EQ(autoOut.flat(i), ref.flat(i)) << "i=" << i;
+            ASSERT_EQ(perDot.flat(i), ref.flat(i)) << "i=" << i;
+            ASSERT_EQ(batched.flat(i), ref.flat(i)) << "i=" << i;
+            ASSERT_EQ(tiled.flat(i), ref.flat(i)) << "i=" << i;
+        }
+    }
+}
+
+TEST(PlanExecutionTest, AllPrunedGroupsThroughEveryKind)
+{
+    // Constant rows at target 6 compress to all-pruned groups: the whole
+    // output flows through the constant x sum-of-activations term, and
+    // every plan kind must still agree with the dense reference.
+    Rng rng(33);
+    Session s;
+    Int8Tensor w(Shape{3, 64});
+    for (std::int64_t o = 0; o < 3; ++o)
+        for (std::int64_t i = 0; i < 64; ++i)
+            w.at(o, i) = static_cast<std::int8_t>(8 * (o + 1));
+    for (std::int64_t n : {1, 2, 64}) {
+        Int8Tensor acts = randomMatrix(n, 64, rng);
+        PackedOperand packed = s.pack(
+            w, PackOptions{32, 6, PruneStrategy::ZeroPointShifting});
+        MatmulPlan plan = s.plan(packed);
+        EXPECT_EQ(plan.kindForBatch(n),
+                  n == 1 ? PlanKind::PerDot : PlanKind::CompressedBatched);
+        Int32Tensor ref = gemmReferenceBatch(acts, packed.unpack());
+        Int32Tensor autoOut = plan.run(acts);
+        Int32Tensor perDot, batched;
+        plan.runAs(PlanKind::PerDot, acts, perDot);
+        plan.runAs(PlanKind::CompressedBatched, acts, batched);
+        for (std::int64_t i = 0; i < ref.numel(); ++i) {
+            ASSERT_EQ(autoOut.flat(i), ref.flat(i)) << "n=" << n;
+            ASSERT_EQ(perDot.flat(i), ref.flat(i)) << "n=" << n;
+            ASSERT_EQ(batched.flat(i), ref.flat(i)) << "n=" << n;
+        }
+    }
+}
+
+TEST(PlanExecutionTest, DensePackedOperandRuns)
+{
+    Rng rng(44);
+    Session s;
+    Int8Tensor acts = randomMatrix(5, 80, rng);
+    Int8Tensor w = randomMatrix(7, 80, rng);
+    PackedOperand wOp = s.pack(w);
+    EXPECT_EQ(wOp.kind(), PackKind::DenseBitPlanes);
+    EXPECT_EQ(wOp.meanStoredBits(), 8.0);
+    MatmulPlan plan = s.plan(wOp);
+    Int32Tensor got = plan.run(acts);
+    Int32Tensor ref = gemmReferenceBatch(acts, w);
+    for (std::int64_t i = 0; i < ref.numel(); ++i)
+        ASSERT_EQ(got.flat(i), ref.flat(i)) << "i=" << i;
+
+    // Prepacked activations through the same plan.
+    Int32Tensor got2;
+    plan.run(s.pack(acts), got2);
+    for (std::int64_t i = 0; i < ref.numel(); ++i)
+        ASSERT_EQ(got2.flat(i), ref.flat(i)) << "i=" << i;
+}
+
+TEST(PlanExecutionTest, PackedActivationsAtBatchOneFallBack)
+{
+    // Auto would pick per-dot at one row, but a prepacked activation
+    // operand has no element access — the plan must fall back to the
+    // (bit-identical) compressed-batched kernel instead of rejecting.
+    Rng rng(99);
+    Session s;
+    Int8Tensor w = randomMatrix(4, 64, rng);
+    Int8Tensor acts = randomMatrix(1, 64, rng);
+    PackedOperand packed =
+        s.pack(w, PackOptions{32, 3, PruneStrategy::ZeroPointShifting});
+    MatmulPlan plan = s.plan(packed);
+    ASSERT_EQ(plan.kindForBatch(1), PlanKind::PerDot);
+    Int32Tensor got;
+    plan.run(s.pack(acts), got);
+    Int32Tensor ref = gemmReferenceBatch(acts, packed.unpack());
+    for (std::int64_t i = 0; i < ref.numel(); ++i)
+        ASSERT_EQ(got.flat(i), ref.flat(i)) << "i=" << i;
+}
+
+// --------------------------------------------- serialize/reload identity
+
+TEST(PackedOperandTest, SerializeReloadRunBitIdentity)
+{
+    // The golden contract: an operand round-tripped through bytes must
+    // produce bit-identical plan outputs, for both representations and
+    // across operating points (including all-pruned groups).
+    Rng rng(55);
+    Session s;
+    for (int target : {0, 3, 6}) {
+        Int8Tensor w = randomMatrix(6, 96, rng);
+        Int8Tensor acts = randomMatrix(9, 96, rng);
+        PackedOperand original = s.pack(
+            w, PackOptions{32, target, PruneStrategy::ZeroPointShifting});
+        std::vector<std::uint8_t> bytes = original.serialize();
+        PackedOperand reloaded = PackedOperand::deserialize(bytes);
+        EXPECT_EQ(reloaded.kind(), PackKind::CompressedRows);
+        EXPECT_EQ(reloaded.rows(), original.rows());
+        EXPECT_EQ(reloaded.cols(), original.cols());
+        EXPECT_DOUBLE_EQ(reloaded.meanStoredBits(),
+                         original.meanStoredBits());
+
+        Int32Tensor before = s.plan(original).run(acts);
+        Int32Tensor after = s.plan(reloaded).run(acts);
+        for (std::int64_t i = 0; i < before.numel(); ++i)
+            ASSERT_EQ(before.flat(i), after.flat(i))
+                << "target=" << target << " i=" << i;
+
+        // The byte image itself is deterministic for identical packs.
+        EXPECT_EQ(original.serialize(), bytes);
+    }
+
+    // Dense operands round-trip through raw values.
+    Int8Tensor dw = randomMatrix(4, 70, rng);
+    Int8Tensor dacts = randomMatrix(3, 70, rng);
+    PackedOperand dense = s.pack(dw);
+    PackedOperand reloaded =
+        PackedOperand::deserialize(dense.serialize());
+    EXPECT_EQ(reloaded.kind(), PackKind::DenseBitPlanes);
+    Int32Tensor before = s.plan(dense).run(dacts);
+    Int32Tensor after = s.plan(reloaded).run(dacts);
+    for (std::int64_t i = 0; i < before.numel(); ++i)
+        ASSERT_EQ(before.flat(i), after.flat(i)) << "i=" << i;
+}
+
+TEST(PackedOperandTest, DeserializeRejectsCorruptBlobs)
+{
+    // The blob is untrusted input (it is the deployment wire format):
+    // every validation path must fail loudly, never allocate from
+    // attacker-controlled sizes. BBS_REQUIRE exits with code 1.
+    Rng rng(123);
+    Session s;
+    Int8Tensor w = randomMatrix(4, 64, rng);
+    std::vector<std::uint8_t> good =
+        s.pack(w, PackOptions{32, 3, PruneStrategy::ZeroPointShifting})
+            .serialize();
+
+    auto expectRejected = [](std::vector<std::uint8_t> blob,
+                             const char *what) {
+        EXPECT_EXIT(PackedOperand::deserialize(blob),
+                    ::testing::ExitedWithCode(1), "") << what;
+    };
+
+    // Bad magic.
+    {
+        std::vector<std::uint8_t> bad = good;
+        bad[0] ^= 0xff;
+        expectRejected(bad, "magic");
+    }
+    // Unknown kind.
+    {
+        std::vector<std::uint8_t> bad = good;
+        bad[4] = 0x7f;
+        expectRejected(bad, "kind");
+    }
+    // Truncated mid-header and mid-payload.
+    expectRejected({good.begin(), good.begin() + 6}, "header cut");
+    expectRejected({good.begin(), good.end() - 3}, "payload cut");
+
+    // Dense blob with an overflowing rows*cols: the division-based
+    // bound must reject it instead of wrapping and allocating.
+    {
+        std::vector<std::uint8_t> dense =
+            s.pack(randomMatrix(2, 8, rng)).serialize();
+        // rows field lives at offset 7 (magic 4 + kind/strategy/target);
+        // overwrite with 2^62.
+        for (int i = 0; i < 8; ++i)
+            dense[7 + static_cast<std::size_t>(i)] = 0;
+        dense[7 + 7] = 0x40;
+        expectRejected(dense, "rows overflow");
+    }
+    // Compressed blob with an absurd offset-table count.
+    {
+        std::vector<std::uint8_t> bad = good;
+        std::size_t offsetCountAt = 4 + 1 + 1 + 1 + 8 + 8 + 8;
+        for (int i = 0; i < 4; ++i)
+            bad.at(offsetCountAt + static_cast<std::size_t>(i)) = 0xff;
+        expectRejected(bad, "offset table");
+    }
+
+    // The original still loads after all that slicing around.
+    PackedOperand ok = PackedOperand::deserialize(good);
+    EXPECT_EQ(ok.rows(), 4);
+    EXPECT_EQ(ok.cols(), 64);
+}
+
+TEST(PackedOperandTest, UnpackIsExact)
+{
+    Rng rng(66);
+    Session s;
+    Int8Tensor m = randomMatrix(5, 130, rng);
+    Int8Tensor back = s.pack(m).unpack();
+    for (std::int64_t i = 0; i < m.numel(); ++i)
+        ASSERT_EQ(back.flat(i), m.flat(i));
+
+    // Compressed unpack equals the compressor's own reconstruction
+    // (whole-tensor packing needs groupSize | cols).
+    Int8Tensor m2 = randomMatrix(5, 128, rng);
+    CompressedTensor ct = CompressedTensor::compress(
+        m2, 32, 4, PruneStrategy::RoundedAveraging);
+    Int8Tensor viaOperand = s.pack(ct).unpack();
+    Int8Tensor direct = ct.decompress();
+    for (std::int64_t i = 0; i < direct.numel(); ++i)
+        ASSERT_EQ(viaOperand.flat(i), direct.flat(i));
+}
+
+// -------------------------------------------------------- session config
+
+TEST(SessionConfigTest, ScopedThreadCapAndSimdLevelRestore)
+{
+    Rng rng(77);
+    Int8Tensor w = randomMatrix(5, 128, rng);
+    Int8Tensor acts = randomMatrix(16, 128, rng);
+    Int32Tensor ref = gemmReferenceBatch(acts, w);
+
+    unsigned capBefore = maxWorkerThreads();
+    SimdLevel levelBefore = activeSimdLevel();
+
+    // A single-threaded, scalar-dispatch session: results identical, and
+    // the process-wide knobs are restored after every call.
+    engine::EngineConfig cfg;
+    cfg.threadCap = 1;
+    cfg.simdLevel = SimdLevel::Scalar;
+    Session scoped(cfg);
+    PackedOperand packed = scoped.pack(
+        w, PackOptions{32, 3, PruneStrategy::ZeroPointShifting});
+    Int32Tensor got =
+        scoped.plan(packed).run(acts); // CompressedBatched at batch 16
+    Int32Tensor refCompressed = gemmReferenceBatch(acts, packed.unpack());
+    for (std::int64_t i = 0; i < refCompressed.numel(); ++i)
+        ASSERT_EQ(got.flat(i), refCompressed.flat(i)) << "i=" << i;
+
+    EXPECT_EQ(maxWorkerThreads(), capBefore);
+    EXPECT_EQ(activeSimdLevel(), levelBefore);
+
+    // Dense path under the same scoped config.
+    Session plain;
+    Int32Tensor dense = plain.plan(plain.pack(w)).run(acts);
+    Int32Tensor denseScoped = scoped.plan(scoped.pack(w)).run(acts);
+    for (std::int64_t i = 0; i < ref.numel(); ++i) {
+        ASSERT_EQ(dense.flat(i), ref.flat(i));
+        ASSERT_EQ(denseScoped.flat(i), ref.flat(i));
+    }
+    EXPECT_EQ(maxWorkerThreads(), capBefore);
+    EXPECT_EQ(activeSimdLevel(), levelBefore);
+}
+
+// ------------------------------------------------ nn policy equivalences
+
+TEST(InferencePolicyTest, PoliciesMatchAcrossExecutionKinds)
+{
+    Dataset ds = makeClusterDataset(60, 3, 12, 4242);
+    Rng rng(5);
+    Network net;
+    net.add(std::make_unique<Dense>(ds.features, 20, rng));
+    net.add(std::make_unique<ReluLayer>());
+    net.add(std::make_unique<Dense>(20, ds.numClasses, rng));
+    TrainOptions opts;
+    opts.epochs = 4;
+    trainNetwork(net, ds.trainX, ds.trainY, opts);
+    Int8Network engine = Int8Network::fromNetwork(
+        net, 32, 3, PruneStrategy::ZeroPointShifting);
+
+    for (std::int64_t rows : {std::int64_t{1}, std::int64_t{5}}) {
+        Batch x(Shape{rows, ds.features});
+        for (std::int64_t i = 0; i < x.numel(); ++i)
+            x.flat(i) = ds.testX.flat(i);
+        // Per-batch calibration: every execution kind bit-identical.
+        Batch autoRun = engine.forward(x);
+        Batch perDot = engine.forward(
+            x, InferencePolicy{bbs::engine::Calibration::PerBatch,
+                               bbs::engine::PlanKind::PerDot});
+        Batch batched = engine.forward(
+            x,
+            InferencePolicy{bbs::engine::Calibration::PerBatch,
+                            bbs::engine::PlanKind::CompressedBatched});
+        for (std::int64_t i = 0; i < autoRun.numel(); ++i) {
+            ASSERT_EQ(autoRun.flat(i), perDot.flat(i)) << "i=" << i;
+            ASSERT_EQ(autoRun.flat(i), batched.flat(i)) << "i=" << i;
+        }
+        // Per-row calibration on one row == per-batch on that row.
+        if (rows == 1) {
+            Batch rowCal = engine.forward(
+                x, InferencePolicy{bbs::engine::Calibration::PerRow,
+                                   bbs::engine::PlanKind::Auto});
+            for (std::int64_t i = 0; i < autoRun.numel(); ++i)
+                ASSERT_EQ(rowCal.flat(i), autoRun.flat(i)) << "i=" << i;
+        }
+    }
+
+#if BBS_LEGACY_WRAPPERS
+    // The legacy method wrappers resolve to the same policies.
+    Batch x(Shape{5, ds.features});
+    for (std::int64_t i = 0; i < x.numel(); ++i)
+        x.flat(i) = ds.testX.flat(i);
+    Batch viaWrapper = engine.forwardRowCalibrated(x);
+    Batch viaPolicy = engine.forward(
+        x, InferencePolicy{bbs::engine::Calibration::PerRow,
+                           bbs::engine::PlanKind::Auto});
+    for (std::int64_t i = 0; i < viaWrapper.numel(); ++i)
+        ASSERT_EQ(viaWrapper.flat(i), viaPolicy.flat(i)) << "i=" << i;
+#endif
+}
+
+#if BBS_LEGACY_WRAPPERS
+TEST(LegacyWrappersTest, GemmWrappersPinnedToEngine)
+{
+    // The legacy GEMM free functions delegate through default-Session
+    // plans; fuzz them bit-identical against direct plan runs.
+    Rng rng(88);
+    for (int iter = 0; iter < 10; ++iter) {
+        std::int64_t n = rng.uniformInt(1, 16);
+        std::int64_t k = rng.uniformInt(1, 8);
+        std::int64_t c = rng.uniformInt(1, 3) * 32;
+        Int8Tensor acts = randomMatrix(n, c, rng);
+        Int8Tensor w = randomMatrix(k, c, rng);
+
+        BitSerialMatrix ap = BitSerialMatrix::pack(acts);
+        BitSerialMatrix wp = BitSerialMatrix::pack(w);
+        Int32Tensor viaWrapper = gemmBitSerial(ap, wp);
+        Session s;
+        Int32Tensor viaPlan =
+            s.plan(PackedOperand::viewDense(wp)).run(acts);
+        for (std::int64_t i = 0; i < viaPlan.numel(); ++i)
+            ASSERT_EQ(viaWrapper.flat(i), viaPlan.flat(i)) << "i=" << i;
+
+        CompressedTensor ct = CompressedTensor::compress(
+            w, 32, 3, PruneStrategy::ZeroPointShifting);
+        CompressedRowPlanes planes = CompressedRowPlanes::prepare(ct);
+        Int32Tensor cWrapper = gemmCompressed(planes, ap);
+        Int32Tensor cInto;
+        gemmCompressedInto(planes, ap, cInto);
+        Int32Tensor cPlan = s.plan(s.pack(ct)).run(acts);
+        for (std::int64_t i = 0; i < cPlan.numel(); ++i) {
+            ASSERT_EQ(cWrapper.flat(i), cPlan.flat(i)) << "i=" << i;
+            ASSERT_EQ(cInto.flat(i), cPlan.flat(i)) << "i=" << i;
+        }
+    }
+}
+#endif // BBS_LEGACY_WRAPPERS
+
+} // namespace
+} // namespace bbs

@@ -88,8 +88,10 @@ TEST_P(PipelineFuzz, CompressedDotAlwaysExact)
             rng.bernoulli(0.5) ? PruneStrategy::RoundedAveraging
                                : PruneStrategy::ZeroPointShifting;
         CompressedGroup cg = compressGroup(w, target, strategy);
-        EXPECT_EQ(dotCompressed(cg, a).value,
-                  dotReference(cg.decompress(), a));
+        EXPECT_EQ(engine::dotCompressed(cg, a).value,
+                  engine::dot(cg.decompress(), a,
+                              engine::DotMethod::Reference)
+                      .value);
     }
 }
 
@@ -166,7 +168,7 @@ TEST_P(PipelineFuzz, BatcherNeverDropsOrDuplicatesRequests)
     // Batcher-shape fuzzer: random (numRequests, inputDim, maxBatch,
     // flushDelay) tuples against the serving runtime. Invariants: every
     // request resolves exactly once with Ok, its logits bit-match its
-    // own single-sample forwardPerDot oracle (a dropped, duplicated or
+    // own single-sample per-dot-policy oracle (a dropped, duplicated or
     // row-swapped request cannot pass), and the batch-size histogram
     // accounts for every request exactly once.
     Rng rng(GetParam() ^ 0xba7c);
@@ -202,7 +204,9 @@ TEST_P(PipelineFuzz, BatcherNeverDropsOrDuplicatesRequests)
             Batch x(Shape{1, inputDim});
             for (std::int64_t c = 0; c < inputDim; ++c)
                 x.at(0, c) = inputs[j][static_cast<std::size_t>(c)];
-            Batch y = engine->forwardPerDot(x);
+            Batch y = engine->forward(
+                x, InferencePolicy{bbs::engine::Calibration::PerBatch,
+                                   bbs::engine::PlanKind::PerDot});
             oracle[j].resize(static_cast<std::size_t>(classes));
             for (std::int64_t c = 0; c < classes; ++c)
                 oracle[j][static_cast<std::size_t>(c)] = y.at(0, c);

@@ -13,6 +13,7 @@
 #include "common/parallel.hpp"
 #include "common/random.hpp"
 #include "core/bbs_dot.hpp"
+#include "engine/engine.hpp"
 #include "gemm/compressed_gemm.hpp"
 #include "gemm/gemm.hpp"
 
@@ -111,16 +112,19 @@ TEST(GemmBitSerialTest, MatchesReferencesOnFuzzedShapes)
     for (const auto &s : shapes) {
         Int8Tensor acts = randomMatrix(s[0], s[2], rng);
         Int8Tensor weights = randomMatrix(s[1], s[2], rng);
-        Int32Tensor got = gemmBitSerial(BitSerialMatrix::pack(acts),
-                                        BitSerialMatrix::pack(weights));
+        Int32Tensor got =
+            engine::matmulBitSerial(BitSerialMatrix::pack(acts),
+                                    BitSerialMatrix::pack(weights));
         Int32Tensor ref = gemmReferenceBatch(acts, weights);
         ASSERT_TRUE(got.shape() == ref.shape());
         for (std::int64_t r = 0; r < s[0]; ++r) {
             for (std::int64_t o = 0; o < s[1]; ++o) {
                 // Row-by-row pin against the scalar dot reference too.
-                std::int64_t dot = dotReference(
-                    rowSlice(weights, o, 0, s[2]),
-                    rowSlice(acts, r, 0, s[2]));
+                std::int64_t dot =
+                    engine::dot(rowSlice(weights, o, 0, s[2]),
+                                rowSlice(acts, r, 0, s[2]),
+                                engine::DotMethod::Reference)
+                        .value;
                 ASSERT_EQ(got.at(r, o), ref.at(r, o))
                     << "N" << s[0] << " K" << s[1] << " C" << s[2];
                 ASSERT_EQ(static_cast<std::int64_t>(got.at(r, o)), dot);
@@ -168,7 +172,7 @@ expectCompressedGemmExact(const Int8Tensor &weights,
     CompressedRowPlanes planes = CompressedRowPlanes::prepare(
         rows.groups, rows.offsets, cols, groupSize);
     Int32Tensor got =
-        gemmCompressed(planes, BitSerialMatrix::pack(acts));
+        engine::matmulCompressed(planes, BitSerialMatrix::pack(acts));
 
     for (std::int64_t r = 0; r < acts.shape().dim(0); ++r) {
         for (std::int64_t o = 0; o < weights.shape().dim(0); ++o) {
@@ -181,10 +185,13 @@ expectCompressedGemmExact(const Int8Tensor &weights,
                 std::int64_t len =
                     static_cast<std::int64_t>(cg.stored.size());
                 auto a = rowSlice(acts, r, begin, len);
-                want += dotReference(cg.decompress(), a);
+                std::vector<std::int8_t> dec = cg.decompress();
+                std::int64_t ref =
+                    engine::dot(dec, a, engine::DotMethod::Reference)
+                        .value;
+                want += ref;
                 // The per-sample kernel is the same arithmetic.
-                ASSERT_EQ(dotCompressed(cg, a).value,
-                          dotReference(cg.decompress(), a));
+                ASSERT_EQ(engine::dotCompressed(cg, a).value, ref);
                 begin += len;
             }
             ASSERT_EQ(static_cast<std::int64_t>(got.at(r, o)), want)
@@ -245,7 +252,8 @@ TEST(GemmCompressedTest, PrepareFromCompressedTensor)
     CompressedTensor ct = CompressedTensor::compress(
         w, 32, 3, PruneStrategy::RoundedAveraging);
     CompressedRowPlanes planes = CompressedRowPlanes::prepare(ct);
-    Int32Tensor got = gemmCompressed(planes, BitSerialMatrix::pack(a));
+    Int32Tensor got =
+        engine::matmulCompressed(planes, BitSerialMatrix::pack(a));
     Int8Tensor dec = ct.decompress();
     Int32Tensor ref = gemmReferenceBatch(a, dec);
     for (std::int64_t i = 0; i < ref.numel(); ++i)
@@ -254,17 +262,19 @@ TEST(GemmCompressedTest, PrepareFromCompressedTensor)
 
 TEST(ParallelTest, ThreadCapParsing)
 {
-    // The pure parser behind the cached BBS_THREADS read: only a positive
-    // integer strictly below the hardware count clamps.
-    EXPECT_EQ(detail::parseThreadCap(nullptr, 8), 8u);
-    EXPECT_EQ(detail::parseThreadCap("1", 8), 1u);
-    EXPECT_EQ(detail::parseThreadCap("7", 8), 7u);
-    EXPECT_EQ(detail::parseThreadCap("8", 8), 8u);
-    EXPECT_EQ(detail::parseThreadCap("99", 8), 8u);
-    EXPECT_EQ(detail::parseThreadCap("0", 8), 8u);
-    EXPECT_EQ(detail::parseThreadCap("-3", 8), 8u);
-    EXPECT_EQ(detail::parseThreadCap("not-a-number", 8), 8u);
-    EXPECT_EQ(detail::parseThreadCap("4x", 8), 8u);
+    // The pure parser behind the cached BBS_THREADS read — one parse
+    // path, owned by engine::EngineConfig: only a positive integer
+    // strictly below the hardware count clamps.
+    using engine::EngineConfig;
+    EXPECT_EQ(EngineConfig::parseThreadCap(nullptr, 8), 8u);
+    EXPECT_EQ(EngineConfig::parseThreadCap("1", 8), 1u);
+    EXPECT_EQ(EngineConfig::parseThreadCap("7", 8), 7u);
+    EXPECT_EQ(EngineConfig::parseThreadCap("8", 8), 8u);
+    EXPECT_EQ(EngineConfig::parseThreadCap("99", 8), 8u);
+    EXPECT_EQ(EngineConfig::parseThreadCap("0", 8), 8u);
+    EXPECT_EQ(EngineConfig::parseThreadCap("-3", 8), 8u);
+    EXPECT_EQ(EngineConfig::parseThreadCap("not-a-number", 8), 8u);
+    EXPECT_EQ(EngineConfig::parseThreadCap("4x", 8), 8u);
 }
 
 TEST(ParallelTest, EnvReadOnceAndOverrideRespectedAndHarmless)
@@ -286,8 +296,9 @@ TEST(ParallelTest, EnvReadOnceAndOverrideRespectedAndHarmless)
 
     setWorkerThreadCap(1);
     EXPECT_EQ(maxWorkerThreads(), 1u);
-    Int32Tensor capped = gemmBitSerial(BitSerialMatrix::pack(a),
-                                       BitSerialMatrix::pack(w));
+    Int32Tensor capped =
+        engine::matmulBitSerial(BitSerialMatrix::pack(a),
+                                BitSerialMatrix::pack(w));
     setWorkerThreadCap(0);
     EXPECT_EQ(maxWorkerThreads(), cached);
 

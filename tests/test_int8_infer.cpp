@@ -9,6 +9,7 @@
 #include "accel/bitvert_array.hpp"
 #include "nn/dataset.hpp"
 #include "nn/evaluate.hpp"
+#include "engine/engine.hpp"
 #include "nn/int8_infer.hpp"
 
 namespace bbs {
@@ -98,10 +99,14 @@ TEST_F(Int8InferTest, BbsCompressionInsideIntegerPathKeepsAccuracy)
 
 TEST_F(Int8InferTest, GemmForwardBitIdenticalToPerDotReference)
 {
-    // The batched GEMM path and the per-sample dotCompressed loop are
-    // the same integer arithmetic followed by the same float rescale, so
-    // logits must be bit-identical — across compression operating points
-    // and batch sizes (including one straddling 64-column words).
+    // Every execution kind of the per-layer plans is the same integer
+    // arithmetic followed by the same float rescale, so logits must be
+    // bit-identical — across compression operating points and batch
+    // sizes (including one straddling 64-column words).
+    const InferencePolicy perDotPolicy{bbs::engine::Calibration::PerBatch,
+                                       bbs::engine::PlanKind::PerDot};
+    const InferencePolicy batchedPolicy{
+        bbs::engine::Calibration::PerBatch, bbs::engine::PlanKind::CompressedBatched};
     for (int target : {0, 3}) {
         Int8Network engine = Int8Network::fromNetwork(
             net_, 32, target, PruneStrategy::ZeroPointShifting);
@@ -110,13 +115,24 @@ TEST_F(Int8InferTest, GemmForwardBitIdenticalToPerDotReference)
             Batch x(Shape{rows, ds_.testX.shape().dim(1)});
             for (std::int64_t i = 0; i < x.numel(); ++i)
                 x.flat(i) = ds_.testX.flat(i);
-            Batch gemm = engine.forward(x);
-            Batch perDot = engine.forwardPerDot(x);
+            Batch gemm = engine.forward(x); // Auto execution
+            Batch perDot = engine.forward(x, perDotPolicy);
+            Batch batched = engine.forward(x, batchedPolicy);
             ASSERT_TRUE(gemm.shape() == perDot.shape());
-            for (std::int64_t i = 0; i < gemm.numel(); ++i)
+            for (std::int64_t i = 0; i < gemm.numel(); ++i) {
                 ASSERT_EQ(gemm.flat(i), perDot.flat(i))
                     << "target=" << target << " rows=" << rows
                     << " i=" << i;
+                ASSERT_EQ(gemm.flat(i), batched.flat(i))
+                    << "target=" << target << " rows=" << rows
+                    << " i=" << i;
+            }
+#if BBS_LEGACY_WRAPPERS
+            // The legacy wrapper must resolve to the same policy.
+            Batch legacy = engine.forwardPerDot(x);
+            for (std::int64_t i = 0; i < gemm.numel(); ++i)
+                ASSERT_EQ(legacy.flat(i), perDot.flat(i)) << "i=" << i;
+#endif
         }
     }
 }

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "core/serialization.hpp"
+#include "engine/engine.hpp"
 #include "gemm/compressed_gemm.hpp"
 #include "quant/quantizer.hpp"
 #include "tensor/distribution.hpp"
@@ -64,7 +65,7 @@ INSTANTIATE_TEST_SUITE_P(
 /**
  * Golden end-to-end round trip through the GEMM path: the serializer's
  * only real consumer is a deployment that reloads the DRAM image and
- * *executes* it, so pin gemmCompressed outputs bit-identical between the
+ * *executes* it, so pin compressed-GEMM outputs bit-identical between the
  * freshly-compressed weights and the serialize->deserialize copy (and
  * both against the dense reference on the decompressed weights).
  */
@@ -96,8 +97,8 @@ TEST_P(SerializationGemmRoundTrip, GemmCompressedBitIdenticalAfterReload)
             static_cast<std::int8_t>(rng.uniformInt(-128, 127));
     BitSerialMatrix packed = BitSerialMatrix::pack(acts);
 
-    Int32Tensor before = gemmCompressed(pre, packed);
-    Int32Tensor after = gemmCompressed(post, packed);
+    Int32Tensor before = engine::matmulCompressed(pre, packed);
+    Int32Tensor after = engine::matmulCompressed(post, packed);
     ASSERT_TRUE(before.shape() == after.shape());
     for (std::int64_t i = 0; i < before.numel(); ++i)
         ASSERT_EQ(before.flat(i), after.flat(i)) << "i=" << i;

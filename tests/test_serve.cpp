@@ -2,7 +2,7 @@
  * @file
  * Concurrency and correctness tests for the serving runtime. The load-
  * bearing invariant: a request's response is bit-identical to running
- * that sample alone through Int8Network::forwardPerDot() — the serial
+ * that sample alone through the per-dot policy — the serial
  * oracle — no matter which co-riders the batcher coalesced it with, how
  * many producer threads raced, or which worker drained the batch. Also
  * covered: flush-on-timeout, shutdown with pending requests, deadline
@@ -17,6 +17,7 @@
 #include "nn/layers.hpp"
 #include "nn/network.hpp"
 #include "serve/batcher.hpp"
+#include "engine/engine.hpp"
 #include "serve/server.hpp"
 
 namespace bbs {
@@ -51,7 +52,7 @@ makePool(std::size_t count, std::int64_t features, std::uint64_t seed)
     return pool;
 }
 
-/** Serial single-sample oracle: forwardPerDot on a one-row batch. */
+/** Serial single-sample oracle: per-dot policy on a one-row batch. */
 std::vector<std::vector<float>>
 oracleLogits(const Int8Network &engine,
              const std::vector<std::vector<float>> &pool)
@@ -61,7 +62,9 @@ oracleLogits(const Int8Network &engine,
         Batch x(Shape{1, engine.inputFeatures()});
         for (std::int64_t c = 0; c < engine.inputFeatures(); ++c)
             x.at(0, c) = pool[i][static_cast<std::size_t>(c)];
-        Batch y = engine.forwardPerDot(x);
+        Batch y = engine.forward(
+            x, InferencePolicy{bbs::engine::Calibration::PerBatch,
+                               bbs::engine::PlanKind::PerDot});
         out[i].resize(static_cast<std::size_t>(y.shape().dim(1)));
         for (std::int64_t c = 0; c < y.shape().dim(1); ++c)
             out[i][static_cast<std::size_t>(c)] = y.at(0, c);
@@ -82,7 +85,8 @@ argmaxOf(const std::vector<float> &logits)
 TEST(RowCalibratedForward, BitIdenticalToSingleSampleOracle)
 {
     // The serving math itself, before any threading: row r of a
-    // row-calibrated batch == that sample alone through forwardPerDot.
+    // row-calibrated batch == that sample alone through the per-dot
+    // plan kind.
     Int8Network engine = makeEngine(24, 32, 8, 3, 0xc0de);
     auto pool = makePool(9, 24, 0x5eed);
     auto oracle = oracleLogits(engine, pool);
@@ -92,7 +96,9 @@ TEST(RowCalibratedForward, BitIdenticalToSingleSampleOracle)
         for (std::int64_t c = 0; c < 24; ++c)
             x.at(r, c) = pool[static_cast<std::size_t>(r)]
                              [static_cast<std::size_t>(c)];
-    Batch y = engine.forwardRowCalibrated(x);
+    Batch y = engine.forward(
+        x, InferencePolicy{bbs::engine::Calibration::PerRow,
+                           bbs::engine::PlanKind::Auto});
     ASSERT_EQ(y.shape().dim(1), 8);
     for (std::int64_t r = 0; r < 9; ++r)
         for (std::int64_t c = 0; c < 8; ++c)

@@ -20,6 +20,7 @@
 
 #include "common/bit_utils.hpp"
 #include "common/random.hpp"
+#include "engine/engine.hpp"
 #include "gemm/gemm.hpp"
 #include "simd/simd.hpp"
 
@@ -274,10 +275,10 @@ TEST(SimdDispatch, GemmBitSerialIsBitIdenticalAcrossLevels)
 
     SimdLevel original = activeSimdLevel();
     setSimdLevel(SimdLevel::Scalar);
-    Int32Tensor ref = gemmBitSerial(ap, wp);
+    Int32Tensor ref = engine::matmulBitSerial(ap, wp);
     for (SimdLevel l : supportedLevels()) {
         setSimdLevel(l);
-        Int32Tensor got = gemmBitSerial(ap, wp);
+        Int32Tensor got = engine::matmulBitSerial(ap, wp);
         for (std::int64_t i = 0; i < ref.numel(); ++i)
             ASSERT_EQ(got.flat(i), ref.flat(i))
                 << simdLevelName(l) << " i=" << i;
