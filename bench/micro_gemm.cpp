@@ -15,7 +15,15 @@
  * and the run fails unless the GEMM engine is >= 4x faster at every
  * batch size >= 64 (the CI Release gate).
  *
- * A second section compares the SIMD dispatch levels on the GEMM-side
+ * A second section autotunes the bench shape in-process, deploys the
+ * resulting tuning cache into one engine::Session and pins a second
+ * Session to the hand heuristic (tuneCachePath = "none"), then runs the
+ * same plan at batches {1, 8, 64, 256} through both: outputs must be
+ * bit-identical and the tuned geomean must be >= 1.0x the heuristic
+ * (measured decisions are never allowed to lose to the hand-rolled
+ * crossovers — the CI autotune-job gate).
+ *
+ * A third section compares the SIMD dispatch levels on the GEMM-side
  * kernels (src/simd/): the 2x1x2 AND+popcount tile, the plain
  * AND+popcount stream, and the compressed-group dot are timed at the
  * active level vs the BBS_SIMD=scalar table on identical L1-resident
@@ -24,6 +32,8 @@
  * effect with bit-identical outputs.
  */
 #include <chrono>
+#include <cmath>
+#include <filesystem>
 #include <functional>
 #include <iostream>
 
@@ -33,6 +43,7 @@
 #include "common/random.hpp"
 #include "common/table.hpp"
 #include "core/bbs_dot.hpp"
+#include "engine/engine.hpp"
 #include "gemm/compressed_gemm.hpp"
 #include "gemm/gemm.hpp"
 #include "simd/simd.hpp"
@@ -174,6 +185,131 @@ main(int argc, char **argv)
                       ? "\nGEMM speedup target (>= 4x at batch >= 64) met\n"
                       : "\nGEMM speedup BELOW the 4x target at batch >= "
                         "64!\n");
+
+    // ---- Autotuned vs heuristic plan selection: measure this host's
+    //      winners for the bench shape, deploy them into one Session,
+    //      pin a second to the hand heuristic, and require the tuned
+    //      plans to be bit-identical and never slower on geomean.
+    {
+        engine::AutotuneOptions topts;
+        topts.reps = 3;
+        topts.groupSize = groupSize;
+        topts.targetColumns = targetColumns;
+        std::vector<engine::TuneShape> shapes;
+        for (std::int64_t batch : {1, 8, 64, 256})
+            shapes.push_back({k, c, batch});
+        engine::TuningCache cache = engine::autotuneShapes(shapes, topts);
+
+        std::string cachePath =
+            (std::filesystem::temp_directory_path() /
+             "bbs_micro_gemm_tuning.json")
+                .string();
+        BBS_REQUIRE(cache.save(cachePath),
+                    "cannot write the tuning cache to ", cachePath);
+
+        engine::EngineConfig tunedCfg;
+        tunedCfg.tuneCachePath = cachePath;
+        engine::Session tuned(tunedCfg);
+        BBS_REQUIRE(tuned.tuningCache() != nullptr,
+                    "tuned Session failed to load ", cachePath);
+        engine::EngineConfig heurCfg;
+        heurCfg.tuneCachePath = "none"; // heuristic-only baseline
+        engine::Session heuristic(heurCfg);
+
+        engine::PackOptions popts;
+        popts.groupSize = groupSize;
+        popts.targetColumns = targetColumns;
+        engine::PackedOperand wTuned = tuned.pack(codes, popts);
+        engine::PackedOperand wHeur = heuristic.pack(codes, popts);
+
+        struct TunedRow
+        {
+            std::int64_t batch = 0;
+            double heurMmacs = 0.0;
+            double tunedMmacs = 0.0;
+            double ratio = 0.0;
+        };
+        struct TunedMeasured
+        {
+            std::vector<TunedRow> rows;
+            double geomean = 0.0;
+        };
+        auto measureTuned = [&]() -> TunedMeasured {
+            TunedMeasured m;
+            double logSum = 0.0;
+            for (std::int64_t batch : {1, 8, 64, 256}) {
+                Int8Tensor acts = randomCodes(batch, c, 0x7e57 + batch);
+                engine::ShapeHints hints;
+                hints.expectedBatch = batch;
+                engine::MatmulPlan planTuned = tuned.plan(wTuned, hints);
+                engine::MatmulPlan planHeur =
+                    heuristic.plan(wHeur, hints);
+                Int32Tensor outTuned(Shape{batch, k});
+                Int32Tensor outHeur(Shape{batch, k});
+                double tunedS = secondsOf(
+                    [&] { planTuned.run(acts, outTuned); }, 5);
+                double heurS = secondsOf(
+                    [&] { planHeur.run(acts, outHeur); }, 5);
+                for (std::int64_t i = 0; i < outHeur.numel(); ++i)
+                    if (outTuned.flat(i) != outHeur.flat(i))
+                        BBS_PANIC("tuned/heuristic mismatch at batch ",
+                                  batch, ", i=", i);
+                const double macs = static_cast<double>(batch) *
+                                    static_cast<double>(k) *
+                                    static_cast<double>(c);
+                TunedRow row;
+                row.batch = batch;
+                row.heurMmacs = macs / heurS / 1e6;
+                row.tunedMmacs = macs / tunedS / 1e6;
+                row.ratio = heurS / tunedS;
+                logSum += std::log(row.ratio);
+                m.rows.push_back(row);
+            }
+            m.geomean = std::exp(logSum / 4.0);
+            return m;
+        };
+
+        // The gate compares two timing ratios on a shared machine;
+        // retry a miss up to twice and keep the best attempt (the
+        // micro_serve pattern) so one scheduler hiccup cannot fail CI.
+        TunedMeasured m = measureTuned();
+        for (int attempt = 1; attempt < 3 && m.geomean < 1.0; ++attempt) {
+            TunedMeasured again = measureTuned();
+            if (again.geomean > m.geomean)
+                m = again;
+        }
+
+        Table tt({"batch", "heuristic plan", "tuned plan", "tuned/heur"});
+        for (const TunedRow &row : m.rows) {
+            const engine::TuneEntry *e = cache.lookup(
+                k, c, row.batch, 8.0 - targetColumns,
+                simdLevelName(activeSimdLevel()), maxWorkerThreads());
+            tt.addRow({format("%lld", static_cast<long long>(row.batch)),
+                       format("%.1f MMAC/s", row.heurMmacs),
+                       format("%.1f MMAC/s (%s)", row.tunedMmacs,
+                              e ? engine::planKindName(e->kind) : "?"),
+                       bench::times(row.ratio)});
+            bench::jsonAdd(
+                "tuned-vs-heuristic",
+                format("batch=%lld", static_cast<long long>(row.batch)),
+                {{"heuristic_mmacs", row.heurMmacs},
+                 {"tuned_mmacs", row.tunedMmacs},
+                 {"ratio", row.ratio}});
+        }
+        std::cout << "\nautotuned vs heuristic plan selection "
+                     "(bit-identical; cache: "
+                  << cachePath << ")\n";
+        tt.print(std::cout);
+        std::cout << "tuned/heuristic geomean: "
+                  << bench::times(m.geomean) << "\n";
+        bench::jsonAdd("tuned-vs-heuristic", "geomean",
+                       {{"geomean", m.geomean}});
+        if (m.geomean < 1.0) {
+            std::cout << "autotuned plans LOST to the heuristic on "
+                         "geomean!\n";
+            gatePassed = false;
+        }
+    }
 
     // ---- SIMD dispatch: the GEMM-side kernels at the active level vs
     //      the scalar table, on identical L1-resident data.

@@ -25,12 +25,20 @@
  * the batcher's all-aboard flush never waits when every live request is
  * already aboard, and a flushed batch of one runs the per-dot fast path
  * instead of staging a GEMM.
+ *
+ * A final section proves the zero-allocation steady state: after a few
+ * warm-up batches grow every per-thread buffer to its high-water mark,
+ * the whole drain path (batch formation -> gather -> forwardInto ->
+ * response completion) is re-run under the counting allocator
+ * (common/alloc_count.hpp) and must perform exactly 0 heap allocations
+ * per request at every batch size — also a CI gate.
  */
 #include <chrono>
 #include <iostream>
 #include <thread>
 
 #include "bench/bench_common.hpp"
+#include "common/alloc_count.hpp"
 #include "common/logging.hpp"
 #include "common/parallel.hpp"
 #include "common/random.hpp"
@@ -228,6 +236,85 @@ main(int argc, char **argv)
                         "clients, >= 0.9x at 1 client) met\n"
                       : "\nserving speedup BELOW target (>= 3x at >= 64 "
                         "clients, >= 0.9x at 1 client)!\n");
+
+    // ---- Zero-allocation steady state: drive the drain path on this
+    //      thread (workers = 0 — the counting is exact, and the GEMM's
+    //      pool threads are covered by the process-wide counter), warm
+    //      the per-thread buffers to their high-water mark, then demand
+    //      ZERO heap allocations per request at every batch size.
+    {
+        ServerConfig cfg;
+        cfg.maxBatch = 64;
+        cfg.maxDelayUs = 0; // serve whatever is queued right now
+        cfg.workers = 0;    // drained below, on the measuring thread
+        InferenceServer server(registry, cfg);
+
+        auto submitRound = [&](std::int64_t rows) {
+            std::vector<std::future<InferenceResponse>> futs;
+            futs.reserve(static_cast<std::size_t>(rows));
+            for (std::int64_t i = 0; i < rows; ++i)
+                futs.push_back(server.submit(
+                    "clf", pool[static_cast<std::size_t>(i) % kPoolSize]));
+            return futs;
+        };
+        auto checkRound =
+            [&](std::vector<std::future<InferenceResponse>> &futs) {
+                for (std::size_t i = 0; i < futs.size(); ++i) {
+                    InferenceResponse resp = futs[i].get();
+                    if (resp.status != ServeStatus::Ok ||
+                        resp.logits != oracle[i % kPoolSize])
+                        BBS_PANIC("steady-state response deviated from "
+                                  "the oracle at i=", i);
+                }
+            };
+
+        // Warm-up: the first batches grow the thread-local batch vector,
+        // forward scratch, and GEMM arenas to maxBatch high water.
+        for (int round = 0; round < 3; ++round) {
+            auto futs = submitRound(cfg.maxBatch);
+            for (std::int64_t served = 0; served < cfg.maxBatch;)
+                served += server.drainOnce();
+            checkRound(futs);
+        }
+
+        Table at({"batch rows", "requests", "allocs/request"});
+        bool allocFree = true;
+        for (std::int64_t rows : {std::int64_t{1}, std::int64_t{8},
+                                  std::int64_t{64}}) {
+            auto futs = submitRound(rows);
+            bool wasCounting = allocCountingEnabled();
+            setAllocCounting(true);
+            std::uint64_t p0 = processAllocCount();
+            for (std::int64_t served = 0; served < rows;)
+                served += server.drainOnce();
+            std::uint64_t allocs = processAllocCount() - p0;
+            setAllocCounting(wasCounting);
+            checkRound(futs);
+
+            double perReq = static_cast<double>(allocs) /
+                            static_cast<double>(rows);
+            if (allocs != 0)
+                allocFree = false;
+            at.addRow({format("%lld", static_cast<long long>(rows)),
+                       format("%lld", static_cast<long long>(rows)),
+                       format("%.2f", perReq)});
+            bench::jsonAdd("serve-steady-state-allocs",
+                           format("rows=%lld",
+                                  static_cast<long long>(rows)),
+                           {{"allocs_per_request", perReq}});
+        }
+        std::cout << "\nsteady-state drain-path heap allocations "
+                     "(counting operator new, process-wide)\n";
+        at.print(std::cout);
+        if (!allocFree) {
+            std::cout << "steady-state serving ALLOCATED on the hot "
+                         "path (expected 0 allocs/request)!\n";
+            gatePassed = false;
+        } else {
+            std::cout << "steady-state serving is allocation-free\n";
+        }
+    }
+
     bench::jsonFlush();
     return gatePassed ? 0 : 1;
 }

@@ -7,6 +7,7 @@
  *   bbs_cli compress    --model ViT-Base --columns 4 --strategy zp [--beta 0.2]
  *   bbs_cli simulate    --model Bert-MRPC [--accelerator "BitVert (mod)"]
  *   bbs_cli engine-info [--rows K --cols C --batch N --columns T]
+ *   bbs_cli autotune    --out tuning.json [--reps N --warmup N]
  *
  * All workloads are the synthetic zoo (deterministic per seed); see
  * DESIGN.md for the substitution rationale.
@@ -178,6 +179,20 @@ cmdEngineInfo(const std::map<std::string, std::string> &flags)
     rt.addRow({"row-plane padding",
                std::to_string(kRowPlaneWordAlign) +
                    " words (whole cache lines)"});
+    rt.addRow({"cache topology", engine::cacheTopologySummary()});
+    rt.addRow({"GEMM depth block",
+               std::to_string(
+                   engine::EngineConfig{}.tuning
+                       .resolvedDepthBlockWords()) +
+                   " words"});
+    const char *envCache = std::getenv("BBS_TUNE_CACHE");
+    engine::Session probe; // loads BBS_TUNE_CACHE if deployed
+    rt.addRow({"BBS_TUNE_CACHE", envCache ? envCache : "(unset)"});
+    rt.addRow({"tuning cache",
+               probe.tuningCache()
+                   ? std::to_string(probe.tuningCache()->entries.size()) +
+                         " measured shape classes"
+                   : "(none: heuristic selection)"});
     rt.print(std::cout);
 
     // Plan selection for the requested shape: the stored-bit sparsity a
@@ -200,13 +215,54 @@ cmdEngineInfo(const std::map<std::string, std::string> &flags)
     return 0;
 }
 
+/**
+ * autotune: measure the plan-kind / kernel-parameter winners for the
+ * default shape suite on THIS host and write the tuning cache JSON.
+ * Deploy by pointing BBS_TUNE_CACHE (or EngineConfig::tuneCachePath) at
+ * the file.
+ */
+int
+cmdAutotune(const std::map<std::string, std::string> &flags)
+{
+    std::string out = flagOr(flags, "out", "tuning.json");
+    engine::AutotuneOptions opts;
+    opts.reps = std::stoi(flagOr(flags, "reps", "3"));
+    opts.warmup = std::stoi(flagOr(flags, "warmup", "1"));
+    BBS_REQUIRE(opts.reps >= 1, "--reps must be >= 1");
+
+    std::cout << "autotuning on " << engine::runtimeSummary() << "\n"
+              << "topology: " << engine::cacheTopologySummary() << "\n";
+    engine::TuningCache cache = engine::autotuneSuite(opts);
+
+    Table t({"shape (r x d)", "batch", "stored bits", "winner",
+             "depth block", "tile", "best s"});
+    for (const engine::TuneEntry &e : cache.entries)
+        t.addRow({format("%lld x %lld", static_cast<long long>(e.rows),
+                         static_cast<long long>(e.depth)),
+                  std::to_string(e.batch),
+                  formatDouble(e.storedBits, 2), planKindName(e.kind),
+                  e.depthBlockWords == 0 ? "topo"
+                                         : std::to_string(
+                                               e.depthBlockWords),
+                  format("%dx%d", e.tileRows, e.tileCols),
+                  format("%.2e", e.seconds)});
+    t.print(std::cout);
+
+    BBS_REQUIRE(cache.save(out), "cannot write tuning cache to ", out);
+    std::cout << "wrote " << cache.entries.size()
+              << " shape classes to " << out
+              << "\ndeploy: BBS_TUNE_CACHE=" << out << "\n";
+    return 0;
+}
+
 int
 usage()
 {
-    std::cerr << "usage: bbs_cli <sparsity|compress|simulate|engine-info> "
+    std::cerr << "usage: bbs_cli "
+                 "<sparsity|compress|simulate|engine-info|autotune> "
                  "[--model NAME] [--columns N] [--strategy zp|ra] "
                  "[--beta F] [--accelerator NAME] [--rows K] [--cols C] "
-                 "[--batch N]\n";
+                 "[--batch N] [--out PATH] [--reps N] [--warmup N]\n";
     return 2;
 }
 
@@ -227,5 +283,7 @@ main(int argc, char **argv)
         return cmdSimulate(flags);
     if (cmd == "engine-info")
         return cmdEngineInfo(flags);
+    if (cmd == "autotune")
+        return cmdAutotune(flags);
     return usage();
 }

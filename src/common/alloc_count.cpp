@@ -1,0 +1,217 @@
+#include "common/alloc_count.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace bbs {
+
+namespace {
+
+// Trivially-constructed/destructed counters only: operator new runs
+// before main, after static destructors, and during TLS teardown, so
+// nothing here may have a dynamic initializer.
+thread_local std::uint64_t tlAllocs = 0;
+std::atomic<std::uint64_t> gAllocs{0};
+std::atomic<bool> gCounting{false};
+
+inline void
+noteAlloc() noexcept
+{
+    ++tlAllocs;
+    if (gCounting.load(std::memory_order_relaxed))
+        gAllocs.fetch_add(1, std::memory_order_relaxed);
+}
+
+void *
+countedAlloc(std::size_t size) noexcept
+{
+    noteAlloc();
+    return std::malloc(size != 0 ? size : 1);
+}
+
+void *
+countedAlignedAlloc(std::size_t size, std::size_t align) noexcept
+{
+    noteAlloc();
+    if (align < sizeof(void *))
+        align = sizeof(void *);
+    std::size_t rounded = (size + align - 1) / align * align;
+    return std::aligned_alloc(align, rounded != 0 ? rounded : align);
+}
+
+// Reads the env var during static init; allocations before this runs
+// are simply not globally counted (the thread counter still sees them).
+struct EnvGate
+{
+    EnvGate()
+    {
+        const char *v = std::getenv("BBS_COUNT_ALLOCS");
+        if (v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0'))
+            setAllocCounting(true);
+    }
+} envGate;
+
+} // namespace
+
+std::uint64_t
+threadAllocCount()
+{
+    return tlAllocs;
+}
+
+std::uint64_t
+processAllocCount()
+{
+    return gAllocs.load(std::memory_order_relaxed);
+}
+
+void
+setAllocCounting(bool on)
+{
+    gCounting.store(on, std::memory_order_relaxed);
+}
+
+bool
+allocCountingEnabled()
+{
+    return gCounting.load(std::memory_order_relaxed);
+}
+
+} // namespace bbs
+
+// ---------------------------------------------------------------- global
+// operator new/delete replacements. Every allocating form funnels through
+// malloc/aligned_alloc (both free()-compatible), every delete through
+// free() — so mixed pairs (e.g. sized delete for a nothrow new) stay
+// consistent.
+
+void *
+operator new(std::size_t size)
+{
+    void *p = bbs::countedAlloc(size);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    void *p = bbs::countedAlignedAlloc(size,
+                                       static_cast<std::size_t>(align));
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    return ::operator new(size, align);
+}
+
+void *
+operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    return bbs::countedAlloc(size);
+}
+
+void *
+operator new[](std::size_t size, const std::nothrow_t &) noexcept
+{
+    return bbs::countedAlloc(size);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align,
+             const std::nothrow_t &) noexcept
+{
+    return bbs::countedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align,
+               const std::nothrow_t &) noexcept
+{
+    return bbs::countedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::align_val_t, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t,
+                  const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Allocation-counting hook proving the serving hot path's
+ * zero-allocation guarantee.
+ *
+ * Linking this translation unit (any binary referencing one of the
+ * functions below pulls it from the static library) replaces the global
+ * operator new/delete family with counting forwarders over
+ * malloc/aligned_alloc:
+ *
+ *  - a plain thread_local counter, always on (one POD increment per
+ *    allocation — cheap enough to leave in benchmark builds);
+ *  - a process-wide atomic counter, gated by the BBS_COUNT_ALLOCS
+ *    environment variable or setAllocCounting(true), covering every
+ *    thread (the serving measurement: worker + pool threads together).
+ *
+ * Binaries that never reference these symbols (the default tests, the
+ * examples, TSAN builds with their own interceptors) are unaffected —
+ * the override TU simply isn't linked.
+ */
+#ifndef BBS_COMMON_ALLOC_COUNT_HPP
+#define BBS_COMMON_ALLOC_COUNT_HPP
+
+#include <cstdint>
+
+namespace bbs {
+
+/** Allocations (all operator new forms) made by the calling thread
+ *  since it started. Always counted once this TU is linked. */
+std::uint64_t threadAllocCount();
+
+/** Allocations made process-wide while counting was enabled
+ *  (BBS_COUNT_ALLOCS set at startup, or setAllocCounting(true)). */
+std::uint64_t processAllocCount();
+
+/** Enable/disable the process-wide counter at runtime. */
+void setAllocCounting(bool on);
+
+/** True when the process-wide counter is accumulating. */
+bool allocCountingEnabled();
+
+} // namespace bbs
+
+#endif // BBS_COMMON_ALLOC_COUNT_HPP

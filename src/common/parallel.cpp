@@ -1,0 +1,195 @@
+/**
+ * @file
+ * The persistent worker pool behind parallelFor.
+ *
+ * parallelFor used to spawn (and join) a fresh std::thread team on every
+ * call — correct, but each call paid thread creation *allocations* and
+ * latency, which is exactly what the serving hot path's zero-allocation
+ * guarantee forbids. The pool here is created lazily on the first
+ * parallel run, grows to the worker cap high-water mark, and then serves
+ * every subsequent job allocation-free: jobs are published under a mutex
+ * (a ParallelBody is two raw pointers), chunks are claimed from an
+ * atomic counter by the workers AND the calling thread, and completion
+ * is signalled back over a condition variable.
+ *
+ * One job runs at a time. A parallelFor arriving while another thread's
+ * job is in flight gets `false` from poolRun and falls back to the old
+ * spawn-per-call path — correct, just at the historical cost. Memory
+ * ordering: the job publication and the finished-count handshake both go
+ * through the pool mutex, so everything the caller wrote before
+ * parallelFor happens-before the workers' reads, and the workers' output
+ * writes happen-before the caller's return.
+ */
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+
+namespace bbs::detail {
+
+namespace {
+
+class WorkerPool
+{
+  public:
+    static WorkerPool &
+    instance()
+    {
+        static WorkerPool pool;
+        return pool;
+    }
+
+    bool
+    run(std::int64_t n, std::int64_t chunk, ParallelBody fn,
+        unsigned helpers)
+    {
+        if (helpers == 0) {
+            for (std::int64_t i = 0; i < n; ++i)
+                fn(i);
+            return true;
+        }
+        // One job at a time; a busy pool sends the caller to the
+        // spawn-per-call fallback instead of queueing behind a job of
+        // unknown length.
+        if (!jobMutex_.try_lock())
+            return false;
+        std::lock_guard<std::mutex> jobLock(jobMutex_, std::adopt_lock);
+
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            ensureThreadsLocked(helpers);
+            helpers = std::min<unsigned>(
+                helpers, static_cast<unsigned>(threads_.size()));
+            if (helpers == 0) { // thread creation failed entirely
+                for (std::int64_t i = 0; i < n; ++i)
+                    fn(i);
+                return true;
+            }
+            body_.emplace(fn);
+            n_ = n;
+            chunk_ = chunk;
+            next_.store(0, std::memory_order_relaxed);
+            active_ = helpers;
+            finished_ = 0;
+            ++generation_;
+        }
+        cv_.notify_all();
+
+        // The calling thread is a full participant: it claims chunks
+        // alongside the pool (flagged as a worker so nested parallel
+        // calls in the body stay serial).
+        bool wasInside = insideParallelWorker();
+        insideParallelWorker() = true;
+        claimChunks(fn, n, chunk);
+        insideParallelWorker() = wasInside;
+
+        {
+            std::unique_lock<std::mutex> lk(m_);
+            doneCv_.wait(lk, [&] { return finished_ == active_; });
+            body_.reset();
+        }
+        return true;
+    }
+
+  private:
+    WorkerPool() = default;
+
+    ~WorkerPool()
+    {
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            shutdown_ = true;
+        }
+        cv_.notify_all();
+        for (std::thread &t : threads_)
+            t.join();
+    }
+
+    /** Grow the pool to @p want threads; requires m_ held. The pool
+     *  never shrinks — its high-water mark is the allocation paid once. */
+    void
+    ensureThreadsLocked(unsigned want)
+    {
+        while (threads_.size() < want && !shutdown_)
+            threads_.emplace_back([this] { workerLoop(); });
+    }
+
+    static void
+    claimChunks(const ParallelBody &fn, std::int64_t n, std::int64_t chunk,
+                std::atomic<std::int64_t> &next)
+    {
+        for (;;) {
+            std::int64_t begin =
+                next.fetch_add(chunk, std::memory_order_relaxed);
+            if (begin >= n)
+                return;
+            std::int64_t end = std::min(begin + chunk, n);
+            for (std::int64_t i = begin; i < end; ++i)
+                fn(i);
+        }
+    }
+
+    void
+    claimChunks(const ParallelBody &fn, std::int64_t n, std::int64_t chunk)
+    {
+        claimChunks(fn, n, chunk, next_);
+    }
+
+    void
+    workerLoop()
+    {
+        std::unique_lock<std::mutex> lk(m_);
+        unsigned index = nextWorkerIndex_++;
+        // Start at generation 0, not the current one: a worker spawned
+        // mid-publication is already counted in the job's active_ set and
+        // must run that job, or the caller would wait forever.
+        std::uint64_t seen = 0;
+        for (;;) {
+            cv_.wait(lk, [&] { return shutdown_ || generation_ != seen; });
+            if (shutdown_)
+                return;
+            seen = generation_;
+            if (index >= active_)
+                continue; // this job wants fewer helpers
+            ParallelBody fn = *body_;
+            std::int64_t n = n_, chunk = chunk_;
+            lk.unlock();
+            insideParallelWorker() = true;
+            claimChunks(fn, n, chunk, next_);
+            insideParallelWorker() = false;
+            lk.lock();
+            if (++finished_ == active_)
+                doneCv_.notify_all();
+        }
+    }
+
+    std::mutex jobMutex_; ///< serializes whole jobs (try_lock gate)
+
+    std::mutex m_; ///< guards all job/pool state below
+    std::condition_variable cv_;     ///< workers wait for a generation
+    std::condition_variable doneCv_; ///< caller waits for completion
+    std::vector<std::thread> threads_;
+    unsigned nextWorkerIndex_ = 0;
+    bool shutdown_ = false;
+
+    std::uint64_t generation_ = 0;
+    std::optional<ParallelBody> body_;
+    std::int64_t n_ = 0;
+    std::int64_t chunk_ = 0;
+    unsigned active_ = 0;   ///< helpers participating in this job
+    unsigned finished_ = 0; ///< helpers done with this job
+    std::atomic<std::int64_t> next_{0};
+};
+
+} // namespace
+
+bool
+poolRun(std::int64_t n, std::int64_t chunk, ParallelBody fn,
+        unsigned helpers)
+{
+    return WorkerPool::instance().run(n, chunk, fn, helpers);
+}
+
+} // namespace bbs::detail

@@ -1,30 +1,61 @@
 /**
  * @file
- * Minimal data-parallel loop used by the compressor and simulators.
- * Deterministic: iteration i always does the same work regardless of the
- * thread count; only wall-clock time changes.
+ * Minimal data-parallel loop used by the compressor, the GEMM kernels and
+ * the simulators. Deterministic: iteration i always does the same work
+ * regardless of the thread count; only wall-clock time changes.
+ *
+ * Allocation discipline (the serving hot path's zero-allocation
+ * guarantee rests on this file):
+ *
+ *  - The body is passed as a non-owning ParallelBody (function_ref), not
+ *    a std::function — no small-buffer spill to the heap for lambdas
+ *    with several captures. parallelFor is fully synchronous, so the
+ *    referenced temporary outlives every worker.
+ *  - Workers come from a lazily-started persistent pool
+ *    (common/parallel.cpp) instead of a fresh std::thread team per call:
+ *    after the pool's first run, steady-state parallel loops perform
+ *    zero heap allocations. Concurrent parallelFor calls from distinct
+ *    threads fall back to the legacy spawn-per-call path (the pool runs
+ *    one job at a time), which keeps them correct at the old cost.
  */
 #ifndef BBS_COMMON_PARALLEL_HPP
 #define BBS_COMMON_PARALLEL_HPP
 
 #include <atomic>
 #include <cstdint>
-#include <functional>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace bbs {
 
 /**
- * Run fn(i) for i in [0, n) across hardware threads.
- *
- * Work is handed out in chunks via an atomic counter, so uneven iteration
- * costs (e.g. different layer sizes) still balance.
- *
- * @param n      iteration count
- * @param fn     body; must be safe to run concurrently for distinct i
- * @param chunk  iterations claimed per atomic fetch
+ * Non-owning reference to a `void(std::int64_t)` callable. Safe here
+ * because every parallel primitive in this header is synchronous: the
+ * referenced callable (usually a lambda temporary at the call site)
+ * outlives the call. Trivially copyable — worker threads receive it by
+ * value with no heap traffic.
  */
+class ParallelBody
+{
+  public:
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, ParallelBody>>>
+    ParallelBody(const F &f) // NOLINT: implicit by design
+        : obj_(&f), invoke_([](const void *o, std::int64_t i) {
+              (*static_cast<const F *>(o))(i);
+          })
+    {
+    }
+
+    void operator()(std::int64_t i) const { invoke_(obj_, i); }
+
+  private:
+    const void *obj_;
+    void (*invoke_)(const void *, std::int64_t);
+};
+
 namespace detail {
 
 /** True while the current thread is a parallelFor worker. */
@@ -50,6 +81,15 @@ workerThreadCapOverride()
     static std::atomic<unsigned> cap{0};
     return cap;
 }
+
+/**
+ * Run chunks of [0, n) on the persistent worker pool with @p helpers
+ * pool threads assisting the calling thread. Returns false when the
+ * pool is busy with another caller's job (fall back to spawning).
+ * Defined in common/parallel.cpp.
+ */
+bool poolRun(std::int64_t n, std::int64_t chunk, ParallelBody fn,
+             unsigned helpers);
 
 } // namespace detail
 
@@ -90,42 +130,57 @@ setWorkerThreadCap(unsigned cap)
     detail::workerThreadCapOverride().store(cap, std::memory_order_relaxed);
 }
 
+/**
+ * Run fn(i) for i in [0, n) across hardware threads.
+ *
+ * Work is handed out in chunks via an atomic counter, so uneven iteration
+ * costs (e.g. different layer sizes) still balance. Nested calls (a
+ * parallel loop body invoking another parallel primitive) run serially:
+ * a thread team per inner call would oversubscribe quadratically.
+ *
+ * @param n      iteration count
+ * @param fn     body; must be safe to run concurrently for distinct i
+ * @param chunk  iterations claimed per atomic fetch
+ */
 inline void
-parallelFor(std::int64_t n, const std::function<void(std::int64_t)> &fn,
-            std::int64_t chunk = 64)
+parallelFor(std::int64_t n, ParallelBody fn, std::int64_t chunk = 64)
 {
     if (n <= 0)
         return;
     unsigned threads = maxWorkerThreads();
-    // Nested calls (a parallel loop body invoking another parallel
-    // primitive) run serially: spawning a thread team per inner call
-    // would oversubscribe quadratically.
     if (threads <= 1 || n <= chunk || detail::insideParallelWorker()) {
         for (std::int64_t i = 0; i < n; ++i)
             fn(i);
         return;
     }
 
+    unsigned count = std::min<unsigned>(
+        threads, static_cast<unsigned>((n + chunk - 1) / chunk));
+    // The persistent pool serves one job at a time with the caller
+    // participating; count - 1 pool threads assist.
+    if (detail::poolRun(n, chunk, fn, count - 1))
+        return;
+
+    // Pool busy (another thread's parallelFor is in flight): spawn a
+    // one-shot team, exactly like the pre-pool implementation.
     std::atomic<std::int64_t> next{0};
     auto worker = [&]() {
         detail::insideParallelWorker() = true;
         for (;;) {
             std::int64_t begin = next.fetch_add(chunk);
             if (begin >= n)
-                return;
+                break;
             std::int64_t end = std::min(begin + chunk, n);
             for (std::int64_t i = begin; i < end; ++i)
                 fn(i);
         }
+        detail::insideParallelWorker() = false;
     };
-
-    std::vector<std::thread> pool;
-    unsigned count = std::min<unsigned>(
-        threads, static_cast<unsigned>((n + chunk - 1) / chunk));
-    pool.reserve(count);
+    std::vector<std::thread> team;
+    team.reserve(count);
     for (unsigned t = 0; t < count; ++t)
-        pool.emplace_back(worker);
-    for (auto &th : pool)
+        team.emplace_back(worker);
+    for (auto &th : team)
         th.join();
 }
 

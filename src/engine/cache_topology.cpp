@@ -1,0 +1,193 @@
+#include "engine/cache_topology.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "engine/tuning.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace bbs::engine {
+
+namespace {
+
+/** Read a small sysfs file into @p buf; false when unreadable. */
+bool
+readSysfsLine(const char *path, char *buf, std::size_t cap)
+{
+    std::FILE *f = std::fopen(path, "r");
+    if (f == nullptr)
+        return false;
+    bool ok = std::fgets(buf, static_cast<int>(cap), f) != nullptr;
+    std::fclose(f);
+    return ok;
+}
+
+/** Parse a sysfs cache size ("32K", "1024K", "8M", plain bytes). */
+std::int64_t
+parseCacheSize(const char *s)
+{
+    char *end = nullptr;
+    long long v = std::strtoll(s, &end, 10);
+    if (end == s || v <= 0)
+        return 0;
+    if (*end == 'K' || *end == 'k')
+        return v * 1024;
+    if (*end == 'M' || *end == 'm')
+        return v * 1024 * 1024;
+    return v;
+}
+
+/** cpu0's cache indices: level/type/size per index directory. */
+bool
+detectFromSysfs(CacheTopology &topo)
+{
+    bool sawL1d = false, sawL2 = false;
+    for (int idx = 0; idx < 8; ++idx) {
+        char path[128], buf[64];
+        std::snprintf(path, sizeof path,
+                      "/sys/devices/system/cpu/cpu0/cache/index%d/level",
+                      idx);
+        if (!readSysfsLine(path, buf, sizeof buf))
+            break; // indices are dense; the first miss ends the scan
+        int level = std::atoi(buf);
+
+        std::snprintf(path, sizeof path,
+                      "/sys/devices/system/cpu/cpu0/cache/index%d/type",
+                      idx);
+        if (!readSysfsLine(path, buf, sizeof buf))
+            continue;
+        bool data = std::strncmp(buf, "Data", 4) == 0 ||
+                    std::strncmp(buf, "Unified", 7) == 0;
+        if (!data)
+            continue;
+
+        std::snprintf(path, sizeof path,
+                      "/sys/devices/system/cpu/cpu0/cache/index%d/size",
+                      idx);
+        if (!readSysfsLine(path, buf, sizeof buf))
+            continue;
+        std::int64_t bytes = parseCacheSize(buf);
+        if (bytes <= 0)
+            continue;
+        if (level == 1 && !sawL1d) {
+            topo.l1dBytes = bytes;
+            sawL1d = true;
+            std::snprintf(
+                path, sizeof path,
+                "/sys/devices/system/cpu/cpu0/cache/index%d/"
+                "coherency_line_size",
+                idx);
+            if (readSysfsLine(path, buf, sizeof buf)) {
+                std::int64_t line = std::atoll(buf);
+                if (line >= 16 && line <= 1024)
+                    topo.lineBytes = line;
+            }
+        } else if (level == 2 && !sawL2) {
+            topo.l2Bytes = bytes;
+            sawL2 = true;
+        }
+    }
+    return sawL1d;
+}
+
+/** x86 CPUID leaf 4 (deterministic cache parameters). */
+bool
+detectFromCpuid(CacheTopology &topo)
+{
+#if defined(__x86_64__) || defined(__i386__)
+    bool sawL1d = false;
+    for (unsigned sub = 0; sub < 8; ++sub) {
+        unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+        if (!__get_cpuid_count(4, sub, &eax, &ebx, &ecx, &edx))
+            return false;
+        unsigned type = eax & 0x1f; // 0 = no more caches
+        if (type == 0)
+            break;
+        bool data = type == 1 || type == 3; // data or unified
+        unsigned level = (eax >> 5) & 0x7;
+        std::int64_t lineSize = (ebx & 0xfff) + 1;
+        std::int64_t partitions = ((ebx >> 12) & 0x3ff) + 1;
+        std::int64_t ways = ((ebx >> 22) & 0x3ff) + 1;
+        std::int64_t sets = static_cast<std::int64_t>(ecx) + 1;
+        std::int64_t bytes = lineSize * partitions * ways * sets;
+        if (!data || bytes <= 0)
+            continue;
+        if (level == 1 && !sawL1d) {
+            topo.l1dBytes = bytes;
+            topo.lineBytes = lineSize;
+            sawL1d = true;
+        } else if (level == 2) {
+            topo.l2Bytes = bytes;
+        }
+    }
+    return sawL1d;
+#else
+    (void)topo;
+    return false;
+#endif
+}
+
+CacheTopology
+detect()
+{
+    CacheTopology topo; // starts at the conservative defaults
+    if (detectFromSysfs(topo)) {
+        topo.detected = true;
+        topo.source = "sysfs";
+    } else if (detectFromCpuid(topo)) {
+        topo.detected = true;
+        topo.source = "cpuid";
+    }
+    return topo;
+}
+
+} // namespace
+
+const CacheTopology &
+cacheTopology()
+{
+    static const CacheTopology topo = detect();
+    return topo;
+}
+
+std::int64_t
+defaultDepthBlockWords(std::int64_t l1dBytes)
+{
+    // Four plane rows resident per block (2 activation + 2 weight), each
+    // block x 8 B: block <= l1d / 2 / (4 * 8) = l1d / 64. Power of two so
+    // blocks tile the padded row planes evenly.
+    std::int64_t budget = l1dBytes / 64;
+    std::int64_t block = 128;
+    while (block * 2 <= budget && block < 4096)
+        block *= 2;
+    return block;
+}
+
+std::int64_t
+TuningParams::resolvedDepthBlockWords() const
+{
+    if (depthBlockWords > 0)
+        return depthBlockWords;
+    return defaultDepthBlockWords(cacheTopology().l1dBytes);
+}
+
+std::string
+cacheTopologySummary()
+{
+    const CacheTopology &t = cacheTopology();
+    std::ostringstream os;
+    os << "cache: L1d=" << t.l1dBytes / 1024 << "K L2="
+       << t.l2Bytes / 1024 << "K line=" << t.lineBytes << "B ("
+       << t.source << "), depth block=" << defaultDepthBlockWords(
+              t.l1dBytes)
+       << " words";
+    return os.str();
+}
+
+} // namespace bbs::engine

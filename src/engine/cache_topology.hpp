@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Runtime cache-hierarchy detection backing the tuned GEMM blocking.
+ *
+ * The dense kernel's depth block used to be a compile-time constant
+ * sized for a 32 KiB L1d; cacheTopology() detects the actual hierarchy
+ * once per process — Linux sysfs first (works in containers and on every
+ * architecture), x86 CPUID leaf 4 as the fallback, conservative defaults
+ * (32 KiB L1d / 1 MiB L2 / 64 B lines) when neither answers — and
+ * TuningParams::resolvedDepthBlockWords() derives the default block from
+ * it. Detection never fails: `detected` records whether the numbers came
+ * from the machine or the fallback.
+ */
+#ifndef BBS_ENGINE_CACHE_TOPOLOGY_HPP
+#define BBS_ENGINE_CACHE_TOPOLOGY_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace bbs::engine {
+
+struct CacheTopology
+{
+    std::int64_t l1dBytes = 32 * 1024;
+    std::int64_t l2Bytes = 1024 * 1024;
+    std::int64_t lineBytes = 64;
+    /** True when the numbers were read from sysfs/CPUID rather than
+     *  assumed. */
+    bool detected = false;
+    /** "sysfs", "cpuid", or "default". */
+    const char *source = "default";
+};
+
+/** The process's cache topology, detected once (thread-safe). */
+const CacheTopology &cacheTopology();
+
+/**
+ * The depth-block default for a given L1d size: the largest power of two
+ * such that the four resident plane rows (4 x block x 8 B) fill at most
+ * half the L1d, clamped to [128, 4096] words. 32 KiB -> 512 words, the
+ * value the kernel previously hard-coded.
+ */
+std::int64_t defaultDepthBlockWords(std::int64_t l1dBytes);
+
+/** One-line topology summary for banners/CLI. */
+std::string cacheTopologySummary();
+
+} // namespace bbs::engine
+
+#endif // BBS_ENGINE_CACHE_TOPOLOGY_HPP

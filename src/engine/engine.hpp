@@ -17,8 +17,13 @@
  *  - **MatmulPlan** (engine/plan.hpp): created once via
  *    `Session::plan(weights, hints)`, executed with `plan.run(acts)`;
  *    picks per-dot vs tiled bit-serial vs compressed-batched execution
- *    from batch size and sparsity, with an explicit-override escape
- *    hatch.
+ *    from batch size, shape and sparsity — or from the autotuner's
+ *    measured winners when a tuning cache is loaded — with an
+ *    explicit-override escape hatch.
+ *  - **Autotuner** (engine/autotune.hpp): measures the kinds and the
+ *    kernel parameters (cache-topology depth blocking, register tiles)
+ *    per shape class and persists winners as a JSON tuning cache
+ *    Sessions load at creation (BBS_TUNE_CACHE).
  *
  * Backends (sharding, caching, new accelerators) mount behind plans;
  * callers target this header. The pre-engine free functions (dot*,
@@ -28,6 +33,8 @@
 #ifndef BBS_ENGINE_ENGINE_HPP
 #define BBS_ENGINE_ENGINE_HPP
 
+#include "engine/autotune.hpp"
+#include "engine/cache_topology.hpp"
 #include "engine/engine_config.hpp"
 #include "engine/packed_operand.hpp"
 #include "engine/plan.hpp"

@@ -19,7 +19,9 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 
+#include "engine/tuning.hpp"
 #include "simd/simd.hpp"
 
 namespace bbs::engine {
@@ -53,6 +55,23 @@ struct EngineConfig
      * and the plan's own ShapeHints::expectedBatch.
      */
     std::int64_t scratchReserveRows = 0;
+
+    /**
+     * Kernel/selection tuning parameters plans created through this
+     * config execute with (GEMM depth blocking, register tile,
+     * selectKind crossovers). Defaults derive the depth block from the
+     * detected cache topology; the autotuner's measured winners override
+     * per shape class via the tuning cache.
+     */
+    TuningParams tuning;
+
+    /**
+     * Persistent tuning-cache location a Session loads at creation.
+     * "" = consult the BBS_TUNE_CACHE environment variable (unset ->
+     * no cache); "none" = explicitly disabled even when the env var is
+     * set (heuristic-only baselines while a cache is deployed).
+     */
+    std::string tuneCachePath;
 
     /**
      * Snapshot of what the environment explicitly requests: threadCap

@@ -1,8 +1,11 @@
 #include "engine/plan.hpp"
 
+#include <optional>
+
 #include "common/logging.hpp"
 #include "common/parallel.hpp"
 #include "core/dot_kernels.hpp"
+#include "engine/autotune.hpp"
 #include "engine/scratch.hpp"
 #include "gemm/gemm.hpp"
 
@@ -29,7 +32,7 @@ runPerDot(const CompressedRowPlanes &w, const Int8Tensor &x,
                 std::span<const std::int8_t> acts(
                     &x.at(r, w.groupBegin(g)),
                     static_cast<std::size_t>(w.groupMembers(g)));
-                acc += detail::dotCompressedPacked(w.packedGroup(o, g),
+                acc += bbs::detail::dotCompressedPacked(w.packedGroup(o, g),
                                                   w.shift(o, g),
                                                   w.constant(o, g), acts)
                            .value;
@@ -56,33 +59,83 @@ planKindName(PlanKind k)
 PlanKind
 MatmulPlan::selectKind(std::int64_t weightRows, std::int64_t depth,
                        std::int64_t batch, bool compressedWeights,
-                       double meanStoredBits)
+                       double meanStoredBits, const TuningParams &tuning)
 {
-    // The shape completes the contract for future cost models; today the
-    // decision keys on batch size and stored-bit sparsity alone.
-    (void)weightRows;
-    (void)depth;
     if (!compressedWeights)
         return PlanKind::TiledBitSerial;
-    if (batch <= 1)
+    if (batch <= tuning.perDotMaxBatch)
         return PlanKind::PerDot;
-    if (meanStoredBits >= 8.0 - 1e-9)
+    // Tiny matrices: the batched kernels stage activation windows (and
+    // the tiled kernel packs the whole batch) before any arithmetic —
+    // with almost no weight rows or depth to amortize that over, the
+    // plain dot loop wins past batch 1 too.
+    if (batch <= tuning.tinyBatchMax &&
+        (weightRows <= tuning.tinyRows || depth <= tuning.tinyDepth))
+        return PlanKind::PerDot;
+    if (meanStoredBits >= tuning.denseStoredBits - 1e-9)
         return PlanKind::TiledBitSerial;
     return PlanKind::CompressedBatched;
 }
 
 PlanKind
+MatmulPlan::selectKind(std::int64_t weightRows, std::int64_t depth,
+                       std::int64_t batch, bool compressedWeights,
+                       double meanStoredBits)
+{
+    return selectKind(weightRows, depth, batch, compressedWeights,
+                      meanStoredBits, TuningParams{});
+}
+
+MatmulPlan::Resolved
+MatmulPlan::resolveForBatch(std::int64_t batch) const
+{
+    Resolved r{options_.force, config_.tuning};
+    if (r.kind != PlanKind::Auto)
+        return r;
+    if (tuneCache_ != nullptr) {
+        SimdLevel simd = config_.simdLevel.value_or(activeSimdLevel());
+        unsigned threads = config_.threadCap != 0 ? config_.threadCap
+                                                  : maxWorkerThreads();
+        const TuneEntry *e = tuneCache_->lookup(
+            weights_.rows(), weights_.cols(), batch,
+            weights_.meanStoredBits(), simdLevelName(simd), threads);
+        // A cached winner applies only when it is executable here:
+        // the compressed kinds need compressed weights, and tiled over
+        // compressed weights needs the creation-time dense repack (the
+        // per-run densify escape hatch would cost more than any kernel
+        // choice saves).
+        bool executable =
+            e != nullptr &&
+            (e->kind == PlanKind::TiledBitSerial
+                 ? (!weights_.compressed() || denseRepack_ != nullptr)
+                 : weights_.compressed() && e->kind != PlanKind::Auto);
+        if (executable) {
+            r.kind = e->kind;
+            if (e->kind == PlanKind::TiledBitSerial) {
+                if (e->depthBlockWords > 0)
+                    r.tuning.depthBlockWords = e->depthBlockWords;
+                r.tuning.tileRows = e->tileRows;
+                r.tuning.tileCols = e->tileCols;
+            }
+            return r;
+        }
+    }
+    r.kind = selectKind(weights_.rows(), weights_.cols(), batch,
+                        weights_.compressed(), weights_.meanStoredBits(),
+                        config_.tuning);
+    return r;
+}
+
+PlanKind
 MatmulPlan::kindForBatch(std::int64_t batch) const
 {
-    if (options_.force != PlanKind::Auto)
-        return options_.force;
-    return selectKind(weights_.rows(), weights_.cols(), batch,
-                      weights_.compressed(), weights_.meanStoredBits());
+    return resolveForBatch(batch).kind;
 }
 
 void
-MatmulPlan::execute(PlanKind kind, const Int8Tensor *raw,
-                    const BitSerialMatrix *packed, Int32Tensor &out) const
+MatmulPlan::execute(PlanKind kind, const TuningParams &tuning,
+                    const Int8Tensor *raw, const BitSerialMatrix *packed,
+                    Int32Tensor &out) const
 {
     BBS_REQUIRE(valid(), "running an empty MatmulPlan");
     std::int64_t depth = weights_.cols();
@@ -96,7 +149,13 @@ MatmulPlan::execute(PlanKind kind, const Int8Tensor *raw,
                 ")");
     BBS_REQUIRE(kind != PlanKind::Auto, "execute() needs a resolved kind");
 
-    ScopedEngineConfig scope(config_);
+    // Hoisted config application: inert configs (the common case — the
+    // default Session and every plan without an explicit thread/SIMD
+    // override) skip the scope object entirely, decided once at plan
+    // creation instead of per run.
+    std::optional<ScopedEngineConfig> scope;
+    if (!configInert_)
+        scope.emplace(config_);
     bbs::detail::ensureOutputShape(out, n, weights_.rows());
 
     switch (kind) {
@@ -124,10 +183,17 @@ MatmulPlan::execute(PlanKind kind, const Int8Tensor *raw,
             w = &local;
         }
         if (packed != nullptr) {
-            bbs::detail::gemmBitSerialKernel(*packed, *w, out);
+            bbs::detail::gemmBitSerialKernel(*packed, *w, out, tuning);
         } else {
-            BitSerialMatrix acts = BitSerialMatrix::pack(*raw);
-            bbs::detail::gemmBitSerialKernel(acts, *w, out);
+            // Pack into the executing thread's arena slot instead of a
+            // local: repacking reuses its capacity, so steady-state runs
+            // allocate nothing.
+            ScratchArena &arena = ScratchArena::forThisThread();
+            if (scratchReserveRows_ > n)
+                arena.reservePack(scratchReserveRows_, depth);
+            BitSerialMatrix::packInto(*raw, arena.actsPack);
+            bbs::detail::gemmBitSerialKernel(arena.actsPack, *w, out,
+                                             tuning);
         }
         return;
     }
@@ -146,9 +212,11 @@ MatmulPlan::execute(PlanKind kind, const Int8Tensor *raw,
             bbs::detail::gemmCompressedKernel(weights_.compressedRows(),
                                               *packed, out, arena);
         } else {
-            BitSerialMatrix acts = BitSerialMatrix::pack(*raw);
+            if (scratchReserveRows_ > n)
+                arena.reservePack(scratchReserveRows_, depth);
+            BitSerialMatrix::packInto(*raw, arena.actsPack);
             bbs::detail::gemmCompressedKernel(weights_.compressedRows(),
-                                              acts, out, arena);
+                                              arena.actsPack, out, arena);
         }
         return;
     }
@@ -161,8 +229,8 @@ MatmulPlan::execute(PlanKind kind, const Int8Tensor *raw,
 void
 MatmulPlan::run(const Int8Tensor &activations, Int32Tensor &out) const
 {
-    execute(kindForBatch(activations.shape().dim(0)), &activations,
-            nullptr, out);
+    Resolved r = resolveForBatch(activations.shape().dim(0));
+    execute(r.kind, r.tuning, &activations, nullptr, out);
 }
 
 Int32Tensor
@@ -179,13 +247,13 @@ MatmulPlan::run(const PackedOperand &activations, Int32Tensor &out) const
     BBS_REQUIRE(!activations.compressed(),
                 "activations must be a dense bit-plane operand");
     const BitSerialMatrix &acts = activations.dense();
-    PlanKind kind = kindForBatch(acts.rows());
+    Resolved r = resolveForBatch(acts.rows());
     // Auto's per-dot pick needs element access; for an already-packed
     // batch the compressed-batched kernel serves it bit-identically (an
     // *explicit* PerDot force still rejects packed activations below).
-    if (options_.force == PlanKind::Auto && kind == PlanKind::PerDot)
-        kind = PlanKind::CompressedBatched;
-    execute(kind, nullptr, &acts, out);
+    if (options_.force == PlanKind::Auto && r.kind == PlanKind::PerDot)
+        r.kind = PlanKind::CompressedBatched;
+    execute(r.kind, r.tuning, nullptr, &acts, out);
 }
 
 void
@@ -194,7 +262,7 @@ MatmulPlan::runAs(PlanKind kind, const Int8Tensor &activations,
 {
     BBS_REQUIRE(kind != PlanKind::Auto,
                 "runAs() needs an explicit kind; use run() for Auto");
-    execute(kind, &activations, nullptr, out);
+    execute(kind, config_.tuning, &activations, nullptr, out);
 }
 
 } // namespace bbs::engine

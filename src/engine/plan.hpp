@@ -33,6 +33,9 @@
 
 namespace bbs::engine {
 
+class TuningCache;
+struct TuneEntry;
+
 /** Execution form of a matmul plan. */
 enum class PlanKind
 {
@@ -94,12 +97,22 @@ class MatmulPlan
     /**
      * The pure selection heuristic (also what `bbs_cli engine-info`
      * prints): dense operands always take the tiled kernel; compressed
-     * operands take per-dot at batch 1 (nothing amortizes the activation
-     * pack), the tiled kernel when compression removed no columns
-     * (meanStoredBits == 8), and the compressed-batched kernel otherwise.
-     * @p weightRows / @p depth complete the shape contract for future
-     * cost models; the current heuristic keys on batch and sparsity.
+     * operands take per-dot up to TuningParams::perDotMaxBatch rows
+     * (nothing amortizes the activation pack) — and beyond that for
+     * *tiny* matrices (weightRows <= tinyRows or depth <= tinyDepth at
+     * batch <= tinyBatchMax), where the batched kernels' staging
+     * overhead exceeds the whole dot-loop cost; the tiled kernel when
+     * compression removed no columns (meanStoredBits >= denseStoredBits),
+     * and the compressed-batched kernel otherwise. All crossovers come
+     * from @p tuning, so the autotuner's measured winners and the hand
+     * heuristic share one code path.
      */
+    static PlanKind selectKind(std::int64_t weightRows, std::int64_t depth,
+                               std::int64_t batch, bool compressedWeights,
+                               double meanStoredBits,
+                               const TuningParams &tuning);
+
+    /** Default-crossover form (CLI / tests / quick calls). */
     static PlanKind selectKind(std::int64_t weightRows, std::int64_t depth,
                                std::int64_t batch, bool compressedWeights,
                                double meanStoredBits);
@@ -128,8 +141,24 @@ class MatmulPlan
   private:
     friend class Session;
 
-    void execute(PlanKind kind, const Int8Tensor *raw,
-                 const BitSerialMatrix *packed, Int32Tensor &out) const;
+    /** A per-run decision: the kind plus the kernel parameters it
+     *  executes with (a tuning-cache hit overrides the config's). */
+    struct Resolved
+    {
+        PlanKind kind = PlanKind::Auto;
+        TuningParams tuning;
+    };
+
+    /**
+     * Resolve the execution for @p batch rows: explicit force, else the
+     * tuning cache's nearest measured winner (when loaded and the cached
+     * kind is executable for these weights), else the heuristic.
+     */
+    Resolved resolveForBatch(std::int64_t batch) const;
+
+    void execute(PlanKind kind, const TuningParams &tuning,
+                 const Int8Tensor *raw, const BitSerialMatrix *packed,
+                 Int32Tensor &out) const;
 
     PackedOperand weights_;
     /** Dense repack of compressed weights, built at plan creation when
@@ -138,6 +167,13 @@ class MatmulPlan
     ShapeHints hints_;
     PlanOptions options_;
     EngineConfig config_; ///< session snapshot, applied around runs
+    /** True when config_ would change nothing (thread cap 0, no SIMD
+     *  override): execute() then skips the ScopedEngineConfig entirely —
+     *  the decision is hoisted to plan creation instead of being
+     *  re-derived from atomics on every run. */
+    bool configInert_ = true;
+    /** The Session's loaded tuning cache (nullptr = heuristic only). */
+    std::shared_ptr<const TuningCache> tuneCache_;
     /** max(hints.expectedBatch, config.scratchReserveRows): every
      *  compressed-batched run grows the executing thread's arena to at
      *  least this many rows, so the first small batch on a fresh worker

@@ -25,6 +25,7 @@
 
 #include "common/aligned.hpp"
 #include "common/bit_utils.hpp"
+#include "gemm/bit_serial_matrix.hpp"
 
 namespace bbs::engine {
 
@@ -36,6 +37,10 @@ struct ScratchArena
     AlignedVector<std::uint64_t> windows;
     /** Per-(sample, group) sum-of-activations terms. */
     std::vector<std::int64_t> sums;
+    /** Reusable bit-plane packing of the current activation batch: plan
+     *  runs repack each batch in place here (BitSerialMatrix::packInto),
+     *  so steady-state execution packs with zero allocations. */
+    BitSerialMatrix actsPack;
 
     /** Grow (never shrink) to hold @p rows x @p groupsPerRow staging. */
     void
@@ -48,6 +53,13 @@ struct ScratchArena
             windows.resize(cells * kWeightBits);
         if (sums.size() < cells)
             sums.resize(cells);
+    }
+
+    /** Grow the activation-pack buffer for @p rows x @p cols batches. */
+    void
+    reservePack(std::int64_t rows, std::int64_t cols)
+    {
+        actsPack.reserve(rows, cols);
     }
 
     /** The calling thread's arena (kept for the thread's lifetime). */

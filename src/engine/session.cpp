@@ -11,10 +11,21 @@
 #include "common/aligned.hpp"
 #include "common/logging.hpp"
 #include "common/parallel.hpp"
+#include "engine/autotune.hpp"
 #include "engine/scratch.hpp"
 #include "gemm/bit_serial_matrix.hpp"
 
 namespace bbs::engine {
+
+Session::Session() : Session(EngineConfig{}) {}
+
+Session::Session(EngineConfig config) : config_(std::move(config))
+{
+    std::string path =
+        detail::resolveTuneCachePath(config_.tuneCachePath);
+    if (!path.empty())
+        tuneCache_ = detail::loadTuningCacheShared(path);
+}
 
 PackedOperand
 Session::pack(const Int8Tensor &m) const
@@ -55,38 +66,54 @@ Session::plan(PackedOperand weights, ShapeHints hints,
     p.hints_ = hints;
     p.options_ = opts;
     p.config_ = config_;
+    p.tuneCache_ = tuneCache_;
+    // Hoisted once here: runs skip the ScopedEngineConfig entirely when
+    // this config would change nothing.
+    p.configInert_ =
+        config_.threadCap == 0 && !config_.simdLevel.has_value();
+    p.scratchReserveRows_ =
+        std::max(hints.expectedBatch, config_.scratchReserveRows);
 
     // Resolve the dense repack up front when the tiled kernel is (or may
-    // be, under Auto) the selected execution for compressed weights.
+    // be, under Auto) the selected execution for compressed weights — a
+    // loaded tuning cache holding tiled winners makes it reachable for
+    // any compressed operand.
     if (p.weights_.compressed()) {
         bool tiled =
             opts.force == PlanKind::TiledBitSerial ||
             (opts.force == PlanKind::Auto &&
-             p.weights_.meanStoredBits() >= 8.0 - 1e-9);
+             (p.weights_.meanStoredBits() >=
+                  config_.tuning.denseStoredBits - 1e-9 ||
+              (tuneCache_ != nullptr &&
+               tuneCache_->hasKind(PlanKind::TiledBitSerial))));
         if (tiled) {
             ScopedEngineConfig scope(config_);
             p.denseRepack_ = std::make_shared<const BitSerialMatrix>(
                 BitSerialMatrix::pack(
                     p.weights_.compressedRows().decompress()));
         }
-        // The arena serves only the compressed-batched kernel; skip the
-        // reservation when that kind is unreachable (tiled repack above,
-        // or an explicit per-dot/tiled force).
+        // The window/sum arena serves only the compressed-batched
+        // kernel; skip its reservation when that kind is unreachable
+        // (tiled repack above without a cache that could still steer
+        // back, or an explicit per-dot/tiled force).
         bool batchedReachable =
             opts.force == PlanKind::CompressedBatched ||
-            (opts.force == PlanKind::Auto && p.denseRepack_ == nullptr);
-        if (batchedReachable) {
+            (opts.force == PlanKind::Auto &&
+             (p.denseRepack_ == nullptr || tuneCache_ != nullptr));
+        if (batchedReachable && p.scratchReserveRows_ > 0) {
             // Reserve the planning thread's arena now; plan runs
             // re-reserve on their own (possibly different) executing
             // thread.
-            p.scratchReserveRows_ = std::max(hints.expectedBatch,
-                                             config_.scratchReserveRows);
-            if (p.scratchReserveRows_ > 0)
-                ScratchArena::forThisThread().reserve(
-                    p.scratchReserveRows_,
-                    p.weights_.compressedRows().groupsPerRow());
+            ScratchArena::forThisThread().reserve(
+                p.scratchReserveRows_,
+                p.weights_.compressedRows().groupsPerRow());
         }
     }
+    // Pre-size the planning thread's activation-pack slot: every kind
+    // except per-dot packs raw activations into it per run.
+    if (p.scratchReserveRows_ > 0 && opts.force != PlanKind::PerDot)
+        ScratchArena::forThisThread().reservePack(p.scratchReserveRows_,
+                                                  p.weights_.cols());
     return p;
 }
 

@@ -28,6 +28,7 @@
 #define BBS_ENGINE_SESSION_HPP
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 
@@ -39,16 +40,32 @@
 
 namespace bbs::engine {
 
+class TuningCache;
+
 class Session
 {
   public:
     /** Inherit-everything config: the process-wide thread cap and SIMD
-     *  level, whatever they currently are. */
-    Session() = default;
+     *  level, whatever they currently are (and the BBS_TUNE_CACHE
+     *  tuning cache, when deployed). */
+    Session();
 
-    explicit Session(EngineConfig config) : config_(config) {}
+    /**
+     * Explicit config. Loads the tuning cache the config names (or
+     * BBS_TUNE_CACHE when tuneCachePath is empty) here, once — plans
+     * consult the loaded cache per run without any file IO. Loads are
+     * memoized per path across Sessions; a missing or malformed cache
+     * degrades to the hand heuristic with a one-time warning.
+     */
+    explicit Session(EngineConfig config);
 
     const EngineConfig &config() const { return config_; }
+
+    /** The loaded tuning cache (nullptr = heuristic-only). */
+    const std::shared_ptr<const TuningCache> &tuningCache() const
+    {
+        return tuneCache_;
+    }
 
     /** Pack a dense INT8 matrix (activations, or uncompressed weights). */
     PackedOperand pack(const Int8Tensor &m) const;
@@ -89,6 +106,7 @@ class Session
 
   private:
     EngineConfig config_;
+    std::shared_ptr<const TuningCache> tuneCache_;
 };
 
 /**

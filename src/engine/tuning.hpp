@@ -1,0 +1,69 @@
+/**
+ * @file
+ * TuningParams — the kernel/selection constants that used to be baked
+ * into the source, promoted to a value type the engine carries around
+ * (EngineConfig::tuning) and the autotuner sweeps.
+ *
+ * Three families of knobs:
+ *
+ *  - **GEMM cache blocking** (`depthBlockWords`): how many 64-column
+ *    plane words the dense tiled kernel streams per cache block. 0 means
+ *    "derive from the machine": resolvedDepthBlockWords() sizes the block
+ *    so the four resident plane rows (2 activation + 2 weight) fill about
+ *    half of the detected L1d (engine/cache_topology.hpp) — on a 32 KiB
+ *    L1d that reproduces the old hard-coded 512 words (16 KiB).
+ *  - **Register tile** (`tileRows` x `tileCols`): 2x2 runs the SIMD
+ *    andPopcountTile micro-kernel (four AND+popcount streams sharing
+ *    four plane loads); 1x1 runs the plain andPopcountAccumulate stream.
+ *    2x2 wins everywhere measured so far, but the choice is now a
+ *    sweepable parameter instead of an article of faith.
+ *  - **selectKind crossovers**: the batch / stored-bits / tiny-shape
+ *    thresholds MatmulPlan::selectKind keys on.
+ *
+ * All parameter combinations are bit-identical by construction (they
+ * change traversal order and kernel shape, never arithmetic), so tuning
+ * is purely a performance decision — the test suite fuzzes that pin.
+ */
+#ifndef BBS_ENGINE_TUNING_HPP
+#define BBS_ENGINE_TUNING_HPP
+
+#include <cstdint>
+
+namespace bbs::engine {
+
+struct TuningParams
+{
+    /** Depth words per dense-GEMM cache block; 0 = derive from the
+     *  detected cache topology (resolvedDepthBlockWords()). */
+    std::int64_t depthBlockWords = 0;
+
+    /** Activation rows per register tile (1 or 2). */
+    int tileRows = 2;
+    /** Weight rows per register tile (1 or 2). */
+    int tileCols = 2;
+
+    /** selectKind: batches up to this size take the per-dot loop for
+     *  compressed weights (nothing amortizes the activation pack). */
+    std::int64_t perDotMaxBatch = 1;
+    /** selectKind: compressed operands storing at least this many mean
+     *  bits take the dense tiled kernel (compression was a no-op). */
+    double denseStoredBits = 8.0;
+    /** selectKind: weight matrices with at most this many rows are
+     *  "tiny" — the batched GEMM's stage-1 staging cannot amortize over
+     *  enough output channels, so moderate batches stay per-dot. */
+    std::int64_t tinyRows = 2;
+    /** selectKind: depths at most this many columns are "tiny" (half a
+     *  packed word) — same per-dot preference as tinyRows. */
+    std::int64_t tinyDepth = 32;
+    /** selectKind: largest batch the tiny-shape rules may steer to
+     *  per-dot; beyond it batching wins regardless of shape. */
+    std::int64_t tinyBatchMax = 8;
+
+    /** depthBlockWords with 0 resolved against the detected cache
+     *  topology; always a power of two in [128, 4096]. */
+    std::int64_t resolvedDepthBlockWords() const;
+};
+
+} // namespace bbs::engine
+
+#endif // BBS_ENGINE_TUNING_HPP

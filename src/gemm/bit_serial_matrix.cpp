@@ -21,17 +21,59 @@ BitSerialMatrix
 BitSerialMatrix::pack(std::span<const std::int8_t> values, std::int64_t rows,
                       std::int64_t cols)
 {
+    BitSerialMatrix bsm;
+    packInto(values, rows, cols, bsm);
+    return bsm;
+}
+
+void
+BitSerialMatrix::packInto(const Int8Tensor &m, BitSerialMatrix &into)
+{
+    BBS_REQUIRE(m.shape().rank() == 2,
+                "BitSerialMatrix packs rank-2 matrices, got rank ",
+                m.shape().rank());
+    packInto(m.data(), m.shape().dim(0), m.shape().dim(1), into);
+}
+
+namespace {
+
+/** Padded words per row plane for @p cols columns (whole cache lines). */
+std::int64_t
+paddedColWords(std::int64_t cols)
+{
+    std::int64_t usedWords = (cols + 63) / 64;
+    return (usedWords + kRowPlaneWordAlign - 1) / kRowPlaneWordAlign *
+           kRowPlaneWordAlign;
+}
+
+} // namespace
+
+void
+BitSerialMatrix::reserve(std::int64_t rows, std::int64_t cols)
+{
+    if (rows <= 0 || cols <= 0)
+        return;
+    words_.reserve(static_cast<std::size_t>(kWeightBits * rows *
+                                            paddedColWords(cols)));
+}
+
+void
+BitSerialMatrix::packInto(std::span<const std::int8_t> values,
+                          std::int64_t rows, std::int64_t cols,
+                          BitSerialMatrix &into)
+{
     BBS_REQUIRE(rows >= 0 && cols >= 0 &&
                     static_cast<std::int64_t>(values.size()) == rows * cols,
                 "value count ", values.size(), " != ", rows, " x ", cols);
-    BitSerialMatrix bsm;
+    BitSerialMatrix &bsm = into;
     bsm.rows_ = rows;
     bsm.cols_ = cols;
     // Pad row planes to whole cache lines: the tail words stay zero, so
     // every kernel result is unchanged while vector loads stay aligned.
     std::int64_t usedWords = bsm.usedColWords();
-    bsm.colWords_ = (usedWords + kRowPlaneWordAlign - 1) /
-                    kRowPlaneWordAlign * kRowPlaneWordAlign;
+    bsm.colWords_ = paddedColWords(cols);
+    // assign() reuses existing capacity: repacking into a warm matrix
+    // (the serving hot path) performs no allocation.
     bsm.words_.assign(static_cast<std::size_t>(kWeightBits * rows *
                                                bsm.colWords_),
                       0);
@@ -53,7 +95,6 @@ BitSerialMatrix::pack(std::span<const std::int8_t> values, std::int64_t rows,
                       w] = pg.planes[static_cast<std::size_t>(b)];
         }
     }, 8);
-    return bsm;
 }
 
 Int8Tensor

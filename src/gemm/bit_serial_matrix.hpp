@@ -68,6 +68,21 @@ class BitSerialMatrix
     static BitSerialMatrix pack(std::span<const std::int8_t> values,
                                 std::int64_t rows, std::int64_t cols);
 
+    /**
+     * Pack into an existing matrix, reusing its plane storage when the
+     * capacity suffices (the hot-path form: a serving worker repacking
+     * each batch's activations into its scratch arena allocates only
+     * until the largest batch has been seen).
+     */
+    static void packInto(const Int8Tensor &m, BitSerialMatrix &into);
+    static void packInto(std::span<const std::int8_t> values,
+                         std::int64_t rows, std::int64_t cols,
+                         BitSerialMatrix &into);
+
+    /** Grow plane-storage capacity for a future packInto of
+     *  @p rows x @p cols (plan-creation pre-sizing). */
+    void reserve(std::int64_t rows, std::int64_t cols);
+
     bool empty() const { return rows_ == 0 || cols_ == 0; }
     std::int64_t rows() const { return rows_; }
     std::int64_t cols() const { return cols_; }

@@ -11,11 +11,44 @@ namespace bbs {
 namespace {
 
 /**
- * Depth words per cache block. Four plane rows (2 activation + 2 weight)
- * are re-streamed 64 times (8x8 bit-plane pairs) per block, so the block
- * is sized to keep them resident in L1: 4 rows x 512 words x 8 B = 16 KiB.
+ * The generic (non-2x2) register tile: one activation row x one weight
+ * row per step through the plain AND+popcount stream. Kept as the
+ * autotuner's alternative tile shape — it loads each plane pair twice as
+ * often as the 2x1x2 micro-kernel but has no degenerate-edge handling,
+ * which can win on very small row counts.
  */
-constexpr std::int64_t kDepthBlockWords = 512;
+void
+gemmBitSerial1x1(const BitSerialMatrix &activations,
+                 const BitSerialMatrix &weights, Int32Tensor &out,
+                 std::int64_t depthBlockWords)
+{
+    std::int64_t n = activations.rows();
+    std::int64_t k = weights.rows();
+    std::int64_t depthWords = activations.usedColWords();
+    const SimdKernels &simd = simdKernels();
+    parallelFor(n, [&](std::int64_t r) {
+        for (std::int64_t o = 0; o < k; ++o) {
+            std::int64_t acc = 0;
+            for (std::int64_t d0 = 0; d0 < depthWords;
+                 d0 += depthBlockWords) {
+                std::int64_t len =
+                    std::min(depthBlockWords, depthWords - d0);
+                for (int ba = 0; ba < kWeightBits; ++ba) {
+                    const std::uint64_t *a =
+                        activations.rowPlane(ba, r) + d0;
+                    std::int64_t sa = columnWeight(ba, kWeightBits);
+                    for (int bw = 0; bw < kWeightBits; ++bw) {
+                        const std::uint64_t *w =
+                            weights.rowPlane(bw, o) + d0;
+                        acc += sa * columnWeight(bw, kWeightBits) *
+                               simd.andPopcountAccumulate(a, w, len);
+                    }
+                }
+            }
+            out.at(r, o) = static_cast<std::int32_t>(acc);
+        }
+    }, 1);
+}
 
 } // namespace
 
@@ -64,7 +97,8 @@ gemmReferenceBatch(const Int8Tensor &activations, const Int8Tensor &weights)
 void
 detail::gemmBitSerialKernel(const BitSerialMatrix &activations,
                             const BitSerialMatrix &weights,
-                            Int32Tensor &out)
+                            Int32Tensor &out,
+                            const engine::TuningParams &tuning)
 {
     BBS_REQUIRE(activations.cols() == weights.cols(),
                 "GEMM depth mismatch: ", activations.cols(), " vs ",
@@ -81,6 +115,18 @@ detail::gemmBitSerialKernel(const BitSerialMatrix &activations,
     std::int64_t depthWords = activations.usedColWords();
     ensureOutputShape(out, n, k);
 
+    // Depth words per cache block: the four resident plane rows
+    // (2 activation + 2 weight) are re-streamed 64 times (8x8 bit-plane
+    // pairs) per block, so the block keeps them inside L1. The default
+    // (depthBlockWords = 0) derives from the detected cache topology —
+    // 512 words (16 KiB resident) on a 32 KiB L1d.
+    std::int64_t depthBlock = tuning.resolvedDepthBlockWords();
+
+    if (tuning.tileRows < 2 || tuning.tileCols < 2) {
+        gemmBitSerial1x1(activations, weights, out, depthBlock);
+        return;
+    }
+
     // Row tiles of two samples; each tile walks every weight-row pair so
     // output rows are written by exactly one task. The kernel table is
     // resolved once out here, not per tile.
@@ -93,8 +139,8 @@ detail::gemmBitSerialKernel(const BitSerialMatrix &activations,
             std::int64_t o1 = std::min(o0 + 1, k - 1);
             std::int64_t acc00 = 0, acc01 = 0, acc10 = 0, acc11 = 0;
             for (std::int64_t d0 = 0; d0 < depthWords;
-                 d0 += kDepthBlockWords) {
-                std::int64_t len = std::min(kDepthBlockWords,
+                 d0 += depthBlock) {
+                std::int64_t len = std::min(depthBlock,
                                             depthWords - d0);
                 for (int ba = 0; ba < kWeightBits; ++ba) {
                     const std::uint64_t *a0 =

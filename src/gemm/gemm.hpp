@@ -29,6 +29,7 @@
 
 #include "common/compat.hpp"
 #include "engine/forwarding.hpp"
+#include "engine/tuning.hpp"
 #include "gemm/bit_serial_matrix.hpp"
 #include "tensor/tensor.hpp"
 
@@ -71,18 +72,23 @@ ensureOutputShape(Int32Tensor &out, std::int64_t n, std::int64_t k)
 {
     if (out.shape().rank() != 2 || out.shape().dim(0) != n ||
         out.shape().dim(1) != k)
-        out = Int32Tensor(Shape{n, k}); // Shape enforces n, k >= 1
+        out.resizeTo(Shape{n, k}); // Shape enforces n, k >= 1; storage
+                                   // is reused in place (grow-only)
 }
 
 /**
  * Bit-serial AND+popcount GEMM kernel: activations [N, C] x weights
  * [K, C], both packed, -> @p out [N, K] (reshaped only when its shape
  * differs, so repeated runs reuse the buffer). Exactly equals
- * gemmReferenceBatch on the unpacked operands. The engine's
- * TiledBitSerial plan kind executes here.
+ * gemmReferenceBatch on the unpacked operands for EVERY @p tuning
+ * (blocking and tile shape change traversal order, never arithmetic).
+ * The engine's TiledBitSerial plan kind executes here; the default
+ * tuning derives the depth block from the detected cache topology and
+ * runs the 2x1x2 SIMD register tile.
  */
 void gemmBitSerialKernel(const BitSerialMatrix &activations,
-                         const BitSerialMatrix &weights, Int32Tensor &out);
+                         const BitSerialMatrix &weights, Int32Tensor &out,
+                         const engine::TuningParams &tuning = {});
 
 } // namespace detail
 

@@ -134,57 +134,101 @@ Int8Network::fromNetwork(Network &net, std::int64_t groupSize,
     return out;
 }
 
-Batch
-Int8Network::forward(const Batch &x, const InferencePolicy &policy) const
+namespace {
+
+/**
+ * Per-thread forward-pass intermediates, kept at their high-water size:
+ * the quantized activations, the INT32 accumulators, the per-row scales
+ * and the two layer ping-pong buffers. A serving worker's steady-state
+ * forwardInto touches only these (plus the engine's scratch arena), so
+ * it allocates nothing once the largest batch has been seen.
+ */
+struct ForwardScratch
 {
-    const bool perRow = policy.calibration == engine::Calibration::PerRow;
-    Batch cur = x;
-    Int32Tensor prod; // reused across layers (plans reshape only on change)
+    Int8Tensor qx;
+    Int32Tensor prod;
     std::vector<float> rowScales;
-    for (const Int8LinearLayer &layer : layers_) {
-        std::int64_t n = cur.shape().dim(0);
-        std::int64_t in = cur.shape().dim(1);
-        std::int64_t out = layer.outFeatures();
+    Batch ping;
+    Batch pong;
+
+    static ForwardScratch &
+    forThisThread()
+    {
+        static thread_local ForwardScratch scratch;
+        return scratch;
+    }
+};
+
+} // namespace
+
+void
+Int8Network::forwardInto(const Batch &x, const InferencePolicy &policy,
+                         Batch &out) const
+{
+    BBS_REQUIRE(&out != &x, "forwardInto output must not alias input");
+    const bool perRow = policy.calibration == engine::Calibration::PerRow;
+    ForwardScratch &s = ForwardScratch::forThisThread();
+    const Batch *cur = &x;
+    for (std::size_t li = 0; li < layers_.size(); ++li) {
+        const Int8LinearLayer &layer = layers_[li];
+        std::int64_t n = cur->shape().dim(0);
+        std::int64_t in = cur->shape().dim(1);
+        std::int64_t outF = layer.outFeatures();
         BBS_REQUIRE(layer.inFeatures == in,
                     "activation width mismatch");
 
-        Int8Tensor qx(Shape{n, in});
+        Int8Tensor &qx = s.qx;
+        qx.resizeTo(Shape{n, in});
         float sA = 1.0f;
         if (perRow) {
             // Per-row scales: each sample quantizes against its own max,
             // so batch composition cannot perturb any sample's
             // arithmetic.
-            rowScales.resize(static_cast<std::size_t>(n));
+            s.rowScales.resize(static_cast<std::size_t>(n));
+            const Batch &curRef = *cur;
             parallelFor(n, [&](std::int64_t row) {
-                rowScales[static_cast<std::size_t>(row)] =
-                    quantizeRow(cur, row, qx);
+                s.rowScales[static_cast<std::size_t>(row)] =
+                    quantizeRow(curRef, row, qx);
             }, 8);
         } else {
-            sA = quantizeActivations(cur, qx);
+            sA = quantizeActivations(*cur, qx);
         }
 
         // The layer's plan executes the matmul: Auto picks the per-dot
         // loop at batch 1 and the batched compressed GEMM otherwise; an
         // explicit policy.execution overrides it.
         if (policy.execution == engine::PlanKind::Auto)
-            layer.plan.run(qx, prod);
+            layer.plan.run(qx, s.prod);
         else
-            layer.plan.runAs(policy.execution, qx, prod);
+            layer.plan.runAs(policy.execution, qx, s.prod);
 
-        Batch next(Shape{n, out});
+        // The last layer dequantizes straight into the caller's buffer;
+        // inner layers ping-pong between the two scratch batches.
+        Batch &next = li + 1 == layers_.size()
+                          ? out
+                          : (cur == &s.ping ? s.pong : s.ping);
+        next.resizeTo(Shape{n, outF});
+        Int32Tensor &prod = s.prod;
         parallelFor(n, [&](std::int64_t row) {
             float rowScale =
-                perRow ? rowScales[static_cast<std::size_t>(row)] : sA;
-            for (std::int64_t o = 0; o < out; ++o)
+                perRow ? s.rowScales[static_cast<std::size_t>(row)] : sA;
+            for (std::int64_t o = 0; o < outF; ++o)
                 next.at(row, o) = dequantize(
                     prod.at(row, o),
                     layer.wScales[static_cast<std::size_t>(o)], rowScale,
                     layer.bias.flat(o), layer.reluAfter,
                     layer.geluAfter);
         }, 16);
-        cur = std::move(next);
+        cur = &next;
     }
-    return cur;
+}
+
+Batch
+Int8Network::forward(const Batch &x, const InferencePolicy &policy) const
+{
+    Batch out;
+    forwardInto(x, policy, out);
+    return out;
 }
 
 std::vector<int>

@@ -104,6 +104,18 @@ class Int8Network
      */
     Batch forward(const Batch &x, const InferencePolicy &policy) const;
 
+    /**
+     * forward() into a caller-kept output buffer — the serving hot-path
+     * form. All intermediates (quantized activations, INT32
+     * accumulators, row scales, layer ping-pong buffers) live in a
+     * per-thread scratch kept at its high-water size, and @p out is
+     * reshaped in place, so a worker draining batch after batch performs
+     * ZERO heap allocations once warm (tests/test_hotpath.cpp asserts
+     * this with the instrumented allocator). @p out must not alias @p x.
+     */
+    void forwardInto(const Batch &x, const InferencePolicy &policy,
+                     Batch &out) const;
+
     /** forward() with the default policy (per-batch calibration, Auto
      *  execution) — the offline-evaluation entry point. */
     Batch

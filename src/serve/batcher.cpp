@@ -17,9 +17,20 @@ std::vector<InferenceRequest>
 Batcher::nextBatch()
 {
     std::vector<InferenceRequest> batch;
+    nextBatch(batch);
+    return batch;
+}
+
+void
+Batcher::nextBatch(std::vector<InferenceRequest> &batch)
+{
+    batch.clear();
     std::optional<InferenceRequest> first = queue_.waitFront();
     if (!first)
-        return batch; // shut down and drained
+        return; // shut down and drained
+    // Reserved BEFORE the claims below: popModelInto scans against
+    // batch.front().model, and the capacity guarantee is what keeps that
+    // reference stable while it appends.
     batch.reserve(static_cast<std::size_t>(config_.maxBatch));
     batch.push_back(std::move(*first));
 
@@ -27,12 +38,10 @@ Batcher::nextBatch()
                    std::chrono::microseconds(config_.maxDelayUs);
     while (static_cast<std::int64_t>(batch.size()) < config_.maxBatch) {
         std::uint64_t version = 0;
-        std::vector<InferenceRequest> more = queue_.popModel(
+        queue_.popModelInto(
             batch.front().model,
             config_.maxBatch - static_cast<std::int64_t>(batch.size()),
-            version);
-        for (InferenceRequest &r : more)
-            batch.push_back(std::move(r));
+            version, batch);
         if (static_cast<std::int64_t>(batch.size()) >= config_.maxBatch)
             break;
         // All-aboard flush: when this batch already holds every live
@@ -52,7 +61,6 @@ Batcher::nextBatch()
         if (!queue_.waitArrival(version, flushAt))
             break;
     }
-    return batch;
 }
 
 } // namespace bbs

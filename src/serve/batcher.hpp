@@ -48,6 +48,14 @@ class Batcher
      */
     std::vector<InferenceRequest> nextBatch();
 
+    /**
+     * nextBatch() into a caller-kept vector (cleared first, reserved to
+     * maxBatch) — the serving worker's zero-allocation form: once the
+     * vector has seen maxBatch capacity, forming further batches
+     * allocates nothing.
+     */
+    void nextBatch(std::vector<InferenceRequest> &out);
+
     const BatcherConfig &config() const { return config_; }
 
   private:

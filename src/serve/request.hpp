@@ -64,6 +64,13 @@ struct InferenceRequest
 {
     std::string model;
     std::vector<float> input;
+    /**
+     * Response logits storage, sized to the model's outputFeatures() on
+     * the SUBMITTING thread (submit() knows the engine by then). The
+     * executor moves it into the response and fills it in place, so the
+     * serving worker allocates nothing per request.
+     */
+    std::vector<float> logitsBuffer;
     std::shared_ptr<const Int8Network> engine;
     std::chrono::steady_clock::time_point enqueued;
     /** steady_clock::time_point::max() means "no deadline". */

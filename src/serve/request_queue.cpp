@@ -73,14 +73,23 @@ RequestQueue::popModel(const std::string &model, std::int64_t maxCount,
                        std::uint64_t &version)
 {
     std::vector<InferenceRequest> out;
+    popModelInto(model, maxCount, version, out);
+    return out;
+}
+
+std::int64_t
+RequestQueue::popModelInto(const std::string &model, std::int64_t maxCount,
+                           std::uint64_t &version,
+                           std::vector<InferenceRequest> &out)
+{
+    std::int64_t appended = 0;
     std::lock_guard<std::mutex> lock(mutex_);
     version = arrivals_;
     if (maxCount <= 0)
-        return out;
+        return appended;
     auto now = std::chrono::steady_clock::now();
     for (auto it = queue_.begin();
-         it != queue_.end() &&
-         static_cast<std::int64_t>(out.size()) < maxCount;) {
+         it != queue_.end() && appended < maxCount;) {
         if (it->deadline <= now) {
             ++expired_;
             decrementLive(it->model, 1);
@@ -88,12 +97,13 @@ RequestQueue::popModel(const std::string &model, std::int64_t maxCount,
             it = queue_.erase(it);
         } else if (it->model == model) {
             out.push_back(std::move(*it));
+            ++appended;
             it = queue_.erase(it);
         } else {
             ++it;
         }
     }
-    return out;
+    return appended;
 }
 
 bool

@@ -54,6 +54,19 @@ class RequestQueue
                                            std::uint64_t &version);
 
     /**
+     * popModel() appending into a caller-kept vector (the batcher's
+     * zero-allocation form); returns the number appended. When @p model
+     * aliases an element of @p out (the batcher passes its own
+     * batch.front().model), @p out must already have capacity for the
+     * appended requests — a reallocation would move the string out from
+     * under the scan.
+     */
+    std::int64_t popModelInto(const std::string &model,
+                              std::int64_t maxCount,
+                              std::uint64_t &version,
+                              std::vector<InferenceRequest> &out);
+
+    /**
      * Block until a push lands after the scan that observed @p version,
      * the deadline @p until passes, or shutdown. True means "new arrivals
      * exist — scan again"; false means flush what you have.

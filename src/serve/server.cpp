@@ -53,6 +53,12 @@ InferenceServer::submit(const std::string &model, std::vector<float> input,
         return fut;
     }
 
+    // Response storage is allocated HERE, on the submitting thread: the
+    // executor moves it into the response and fills it in place, so the
+    // worker's per-request cost contains no allocation.
+    r.logitsBuffer.resize(
+        static_cast<std::size_t>(r.engine->outputFeatures()));
+
     queue_.push(std::move(r)); // completes with ShutDown if stopped
     return fut;
 }
@@ -60,10 +66,13 @@ InferenceServer::submit(const std::string &model, std::vector<float> input,
 std::int64_t
 InferenceServer::drainOnce()
 {
-    std::vector<InferenceRequest> batch = batcher_.nextBatch();
+    // Per-thread batch vector, kept at maxBatch capacity: a warm worker
+    // forms and executes every batch without allocating.
+    static thread_local std::vector<InferenceRequest> batch;
+    batcher_.nextBatch(batch);
     std::int64_t rows = static_cast<std::int64_t>(batch.size());
     if (rows > 0)
-        execute(std::move(batch));
+        execute(batch);
     return rows;
 }
 
@@ -75,52 +84,66 @@ InferenceServer::workerLoop()
 }
 
 void
-InferenceServer::execute(std::vector<InferenceRequest> batch)
+InferenceServer::execute(std::vector<InferenceRequest> &batch)
 {
     // Deadlines re-checked at flush time: a request claimed as batch
     // leader may have sat out the whole maxDelayUs wait, and the
     // contract is "expired requests are rejected, never executed".
+    // Compacted in place — the live requests slide down, nothing is
+    // copied out.
     {
         auto now = std::chrono::steady_clock::now();
-        std::vector<InferenceRequest> live;
-        live.reserve(batch.size());
-        for (InferenceRequest &r : batch) {
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            InferenceRequest &r = batch[i];
             if (r.deadline <= now) {
                 stats_.recordRejection(ServeStatus::DeadlineExpired);
+                queue_.markCompleted(r.model, 1);
                 InferenceResponse resp;
                 resp.status = ServeStatus::DeadlineExpired;
                 resp.queueUs = microsBetween(r.enqueued, now);
                 resp.totalUs = resp.queueUs;
-                std::string model = r.model;
                 r.promise.set_value(std::move(resp));
-                queue_.markCompleted(model, 1);
             } else {
-                live.push_back(std::move(r));
+                if (keep != i)
+                    batch[keep] = std::move(batch[i]);
+                ++keep;
             }
         }
-        batch = std::move(live);
+        batch.resize(keep); // shrink: never reallocates
     }
 
     // The batcher keys on the model NAME; if the registry replaced a
     // model while requests were queued, two engine instances can share a
-    // name. Split into per-engine runs so each GEMM stays homogeneous.
-    while (!batch.empty()) {
-        std::vector<InferenceRequest> run, rest;
-        const Int8Network *engine = batch.front().engine.get();
-        for (InferenceRequest &r : batch)
-            (r.engine.get() == engine ? run : rest).push_back(std::move(r));
-        batch = std::move(rest);
+    // name. Split into per-engine runs so each GEMM stays homogeneous:
+    // each run is partitioned to the front of the unprocessed tail by
+    // swapping (requests are independent, so reordering is invisible).
+    // All intermediates live in per-thread buffers kept at high-water
+    // size — a warm worker executes the whole path allocation-free.
+    static thread_local Batch x;
+    static thread_local Batch logits;
+    std::size_t done = 0;
+    while (done < batch.size()) {
+        const Int8Network *engine = batch[done].engine.get();
+        std::size_t runEnd = done + 1;
+        for (std::size_t i = runEnd; i < batch.size(); ++i) {
+            if (batch[i].engine.get() == engine) {
+                if (i != runEnd)
+                    std::swap(batch[i], batch[runEnd]);
+                ++runEnd;
+            }
+        }
 
-        std::int64_t n = static_cast<std::int64_t>(run.size());
+        std::int64_t n = static_cast<std::int64_t>(runEnd - done);
         std::int64_t in = engine->inputFeatures();
-        std::string runModel = run.front().model; // shared by the run
+        const std::string &runModel = batch[done].model; // shared by run
         auto execStart = std::chrono::steady_clock::now();
 
-        Batch x(Shape{n, in});
+        x.resizeTo(Shape{n, in});
         for (std::int64_t r = 0; r < n; ++r)
             for (std::int64_t c = 0; c < in; ++c)
                 x.at(r, c) =
-                    run[static_cast<std::size_t>(r)]
+                    batch[done + static_cast<std::size_t>(r)]
                         .input[static_cast<std::size_t>(c)];
 
         // One plan run per layer for the whole batch; per-row calibration
@@ -129,29 +152,38 @@ InferenceServer::execute(std::vector<InferenceRequest> batch)
         // MatmulPlan resolves Auto to the per-dot loop at one row
         // (nothing amortizes the GEMM staging) and to the batched
         // compressed GEMM otherwise — bit-identical either way.
-        Batch logits = engine->forward(
+        engine->forwardInto(
             x, InferencePolicy{engine::Calibration::PerRow,
-                               engine::PlanKind::Auto});
-        std::vector<int> predicted = argmaxRows(logits);
+                               engine::PlanKind::Auto}, logits);
 
-        auto done = std::chrono::steady_clock::now();
+        auto doneAt = std::chrono::steady_clock::now();
         std::int64_t width = logits.shape().dim(1);
         stats_.recordBatch(n);
         for (std::int64_t r = 0; r < n; ++r) {
-            InferenceRequest &req = run[static_cast<std::size_t>(r)];
+            InferenceRequest &req =
+                batch[done + static_cast<std::size_t>(r)];
             InferenceResponse resp;
             resp.status = ServeStatus::Ok;
+            // The response's storage was allocated at submit time;
+            // steal it and fill it in place.
+            resp.logits = std::move(req.logitsBuffer);
             resp.logits.resize(static_cast<std::size_t>(width));
-            for (std::int64_t c = 0; c < width; ++c)
-                resp.logits[static_cast<std::size_t>(c)] = logits.at(r, c);
-            resp.predicted = predicted[static_cast<std::size_t>(r)];
+            int best = 0;
+            for (std::int64_t c = 0; c < width; ++c) {
+                float v = logits.at(r, c);
+                resp.logits[static_cast<std::size_t>(c)] = v;
+                if (v > resp.logits[static_cast<std::size_t>(best)])
+                    best = static_cast<int>(c);
+            }
+            resp.predicted = best;
             resp.batchRows = n;
             resp.queueUs = microsBetween(req.enqueued, execStart);
-            resp.totalUs = microsBetween(req.enqueued, done);
+            resp.totalUs = microsBetween(req.enqueued, doneAt);
             stats_.recordCompletion(resp.queueUs, resp.totalUs);
             req.promise.set_value(std::move(resp));
         }
         queue_.markCompleted(runModel, n);
+        done = runEnd;
     }
 }
 

@@ -86,8 +86,14 @@ class InferenceServer
 
   private:
     void workerLoop();
-    /** Execute one formed batch and complete its futures. */
-    void execute(std::vector<InferenceRequest> batch);
+    /**
+     * Execute one formed batch and complete its futures. Consumes the
+     * batch in place (the caller's reusable vector — entries are
+     * moved-from afterwards): together with the per-thread forward
+     * scratch and the presized response buffers, a warm worker completes
+     * a request with zero heap allocations.
+     */
+    void execute(std::vector<InferenceRequest> &batch);
 
     std::shared_ptr<ModelRegistry> registry_;
     ServerConfig config_;

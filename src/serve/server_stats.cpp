@@ -12,6 +12,12 @@ ServerStats::ServerStats(std::int64_t maxBatch)
       batchHist_(static_cast<std::size_t>(maxBatch) + 1, 0)
 {
     BBS_REQUIRE(maxBatch >= 1, "maxBatch must be >= 1, got ", maxBatch);
+    // The full window up front (~1 MiB): recordCompletion's push_back
+    // then never reallocates, keeping the serving hot path
+    // allocation-free from the very first request instead of only after
+    // the window fills.
+    latenciesUs_.reserve(kLatencyWindow);
+    queueUs_.reserve(kLatencyWindow);
 }
 
 void

@@ -45,6 +45,21 @@ class Tensor
     const Shape &shape() const { return shape_; }
     std::int64_t numel() const { return shape_.numel(); }
 
+    /**
+     * Take on @p shape in place, reusing the existing storage. Capacity
+     * is grow-only (shrinking keeps the high-water allocation), so a
+     * serving loop cycling through batch sizes allocates only until it
+     * has seen its largest batch. Newly grown elements are
+     * value-initialized; surviving elements keep their old values — the
+     * kernels writing through this overwrite every element.
+     */
+    void
+    resizeTo(Shape shape)
+    {
+        shape_ = shape;
+        data_.resize(static_cast<std::size_t>(shape_.numel()));
+    }
+
     T &at(std::int64_t i0, std::int64_t i1 = 0, std::int64_t i2 = 0,
           std::int64_t i3 = 0)
     {
