@@ -8,6 +8,7 @@
 #include <memory>
 #include <sstream>
 
+#include "common/json_writer.hpp"
 #include "common/logging.hpp"
 #include "simd/simd.hpp"
 
@@ -15,7 +16,9 @@ namespace bbs::bench {
 
 namespace {
 
-/** --json state; plain statics — benches are single-main binaries. */
+/** --json state; plain statics — benches are single-main binaries.
+ *  Records are pre-rendered JSON objects (via JsonWriter) spliced into
+ *  the document at flush time with JsonWriter::raw(). */
 struct JsonState
 {
     std::string bench;
@@ -28,19 +31,6 @@ jsonState()
 {
     static JsonState s;
     return s;
-}
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out.push_back('\\');
-        out.push_back(c);
-    }
-    return out;
 }
 
 } // namespace
@@ -66,11 +56,13 @@ jsonAdd(const std::string &kernel, const std::string &config,
     if (s.path.empty())
         return;
     std::ostringstream rec;
-    rec << "{\"kernel\": \"" << jsonEscape(kernel) << "\", \"config\": \""
-        << jsonEscape(config) << "\"";
+    JsonWriter w(rec);
+    w.beginObject();
+    w.member("kernel", kernel);
+    w.member("config", config);
     for (const auto &[name, value] : metrics)
-        rec << ", \"" << jsonEscape(name) << "\": " << value;
-    rec << "}";
+        w.member(name, value);
+    w.endObject();
     s.records.push_back(rec.str());
 }
 
@@ -82,12 +74,19 @@ jsonFlush()
         return;
     std::ofstream out(s.path);
     BBS_REQUIRE(out.good(), "cannot open --json path ", s.path);
-    out << "{\"bench\": \"" << jsonEscape(s.bench) << "\", \"simd\": \""
-        << simdLevelName(activeSimdLevel()) << "\", \"records\": [";
-    for (std::size_t i = 0; i < s.records.size(); ++i)
-        out << (i ? ",\n  " : "\n  ") << s.records[i];
-    out << "\n]}\n";
-    BBS_REQUIRE(out.good(), "failed writing --json path ", s.path);
+    JsonWriter w(out);
+    w.beginObject();
+    w.member("bench", s.bench);
+    w.member("simd", simdLevelName(activeSimdLevel()));
+    w.key("records");
+    w.beginArray();
+    for (const std::string &rec : s.records)
+        w.raw(rec);
+    w.endArray();
+    w.endObject();
+    out << "\n";
+    BBS_REQUIRE(w.complete() && out.good(), "failed writing --json path ",
+                s.path);
 }
 
 void

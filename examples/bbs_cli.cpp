@@ -7,28 +7,37 @@
  *   bbs_cli compress    --model ViT-Base --columns 4 --strategy zp [--beta 0.2]
  *   bbs_cli simulate    --model Bert-MRPC [--accelerator "BitVert (mod)"]
  *   bbs_cli engine-info [--rows K --cols C --batch N --columns T]
+ *   bbs_cli serve-stats [--requests N --clients M]
  *   bbs_cli autotune    --out tuning.json [--reps N --warmup N]
  *
  * All workloads are the synthetic zoo (deterministic per seed); see
  * DESIGN.md for the substitution rationale.
  */
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "accel/factory.hpp"
 #include "common/aligned.hpp"
 #include "common/logging.hpp"
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
+#include "common/random.hpp"
 #include "common/table.hpp"
 #include "core/bbs.hpp"
 #include "engine/engine.hpp"
+#include "gemm/gemm.hpp"
 #include "core/global_pruning.hpp"
 #include "metrics/kl_divergence.hpp"
 #include "models/model_zoo.hpp"
 #include "models/workload.hpp"
+#include "nn/layers.hpp"
+#include "serve/server.hpp"
 #include "sim/prepared_model.hpp"
 #include "tensor/distribution.hpp"
 
@@ -145,10 +154,52 @@ cmdSimulate(const std::map<std::string, std::string> &flags)
 }
 
 /**
+ * The engine/pool observability tallies from the process-global
+ * registry: plan runs by kind (with per-kind latency), tune-cache
+ * lookup outcomes, worker-pool utilization. Empty until something has
+ * executed plans in THIS process (engine-info runs a probe first), and
+ * compiled out entirely at BBS_OBS=0.
+ */
+void
+printGlobalObs(std::ostream &os)
+{
+    std::vector<obs::MetricSnapshot> ms = obs::Registry::global().snapshot();
+    if (ms.empty()) {
+        os << "(no engine metrics: BBS_OBS=0 build, or nothing has "
+              "executed yet)\n";
+        return;
+    }
+    Table t({"engine/pool metric", "value"});
+    for (const obs::MetricSnapshot &m : ms) {
+        std::string name =
+            m.labels.empty() ? m.name : m.name + "{" + m.labels + "}";
+        switch (m.type) {
+        case obs::MetricSnapshot::Type::Counter:
+            t.addRow({name, std::to_string(m.counterValue)});
+            break;
+        case obs::MetricSnapshot::Type::Gauge:
+            t.addRow({name, std::to_string(m.gaugeValue)});
+            break;
+        case obs::MetricSnapshot::Type::Histogram:
+            t.addRow({name,
+                      format("n=%llu mean=%.1f",
+                             static_cast<unsigned long long>(m.count),
+                             m.count > 0
+                                 ? m.sum / static_cast<double>(m.count)
+                                 : 0.0)});
+            break;
+        }
+    }
+    t.print(os);
+}
+
+/**
  * engine-info: what the engine facade resolved on this host — detected
  * SIMD level, worker-thread cap, the alignment guarantees the kernels
- * rely on — and which plan kind a given (rows, cols, batch) shape would
- * select at a compression operating point.
+ * rely on — which plan kind a given (rows, cols, batch) shape would
+ * select at a compression operating point, and the observability
+ * tallies (plan-run counters, tune-cache hit/miss/fallback) after a
+ * live probe of that shape.
  */
 int
 cmdEngineInfo(const std::map<std::string, std::string> &flags)
@@ -212,6 +263,107 @@ cmdEngineInfo(const std::map<std::string, std::string> &flags)
     plan.print(std::cout);
     std::cout << "shape: weights [" << rows << ", " << cols
               << "], activations [" << batch << ", " << cols << "]\n";
+
+    // Live probe: execute the same shapes through the session so the
+    // tallies below reflect this host's actual selections, not just the
+    // static heuristic table above.
+    if (rows * cols <= 4'000'000 && cols <= kMaxGemmDepth) {
+        Rng rng(0x9e0be);
+        Int8Tensor w(Shape{rows, cols});
+        for (std::int64_t i = 0; i < w.numel(); ++i)
+            w.flat(i) = static_cast<std::int8_t>(rng.uniformInt(-128, 127));
+        engine::PackOptions popts;
+        popts.targetColumns = columns;
+        engine::PackedOperand dense = probe.pack(w);
+        engine::PackedOperand comp = probe.pack(w, popts);
+        Int32Tensor out;
+        for (std::int64_t b : {std::int64_t{1}, std::int64_t{2}, batch}) {
+            Int8Tensor x(Shape{b, cols});
+            for (std::int64_t i = 0; i < x.numel(); ++i)
+                x.flat(i) =
+                    static_cast<std::int8_t>(rng.uniformInt(-128, 127));
+            probe.plan(dense, {b}).run(x, out);
+            probe.plan(comp, {b}).run(x, out);
+        }
+    }
+    std::cout << "\nobservability (process-global registry, probe "
+                 "included):\n";
+    printGlobalObs(std::cout);
+    return 0;
+}
+
+/**
+ * serve-stats: stand up an InferenceServer, push a burst of closed-loop
+ * traffic through it, and print the stats snapshot plus the full
+ * Prometheus text exposition — the scrape surface a deployment wires a
+ * collector to.
+ */
+int
+cmdServeStats(const std::map<std::string, std::string> &flags)
+{
+    std::int64_t requests = std::stoll(flagOr(flags, "requests", "512"));
+    int clients = std::stoi(flagOr(flags, "clients", "8"));
+    BBS_REQUIRE(requests > 0 && clients > 0,
+                "--requests/--clients must be positive");
+
+    constexpr std::int64_t kFeatures = 64;
+    Rng rng(0x5e77e);
+    Network net;
+    net.add(std::make_unique<Dense>(kFeatures, 32, rng));
+    net.add(std::make_unique<ReluLayer>());
+    net.add(std::make_unique<Dense>(32, 8, rng));
+    auto registry = std::make_shared<ModelRegistry>();
+    registry->add("demo",
+                  Int8Network::fromNetwork(
+                      net, 32, 4, PruneStrategy::ZeroPointShifting));
+
+    ServerConfig cfg;
+    cfg.maxBatch = 16;
+    cfg.maxDelayUs = 500;
+    InferenceServer server(registry, cfg);
+
+    std::vector<std::vector<float>> pool(16);
+    Rng prng(0xf00d);
+    for (auto &sample : pool) {
+        sample.resize(static_cast<std::size_t>(kFeatures));
+        for (float &v : sample)
+            v = static_cast<float>(prng.uniformReal(-1.0, 1.0));
+    }
+
+    std::int64_t perClient = (requests + clients - 1) / clients;
+    std::atomic<std::int64_t> failures{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < clients; ++t) {
+        threads.emplace_back([&, t] {
+            for (std::int64_t i = 0; i < perClient; ++i) {
+                std::size_t idx = static_cast<std::size_t>(
+                    static_cast<std::int64_t>(t) + i) % pool.size();
+                if (server.submit("demo", pool[idx]).get().status !=
+                    ServeStatus::Ok)
+                    failures.fetch_add(1);
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    BBS_REQUIRE(failures.load() == 0, failures.load(),
+                " requests failed to serve");
+
+    StatsSnapshot s = server.stats();
+    Table t({"metric", "value"});
+    t.addRow({"completed", std::to_string(s.completed)});
+    t.addRow({"batches", std::to_string(s.batches)});
+    t.addRow({"mean batch rows", format("%.2f", s.meanBatchRows)});
+    t.addRow({"p50 latency", format("%.2f ms", s.p50Us / 1e3)});
+    t.addRow({"p99 latency", format("%.2f ms", s.p99Us / 1e3)});
+    t.addRow({"latency window",
+              format("%llu samples (%llu dropped)",
+                     static_cast<unsigned long long>(s.latencyWindow),
+                     static_cast<unsigned long long>(s.latencyDropped))});
+    t.addRow({"throughput", format("%.0f req/s", s.throughputRps)});
+    t.print(std::cout);
+
+    std::cout << "\n" << server.metricsText();
     return 0;
 }
 
@@ -259,10 +411,12 @@ int
 usage()
 {
     std::cerr << "usage: bbs_cli "
-                 "<sparsity|compress|simulate|engine-info|autotune> "
+                 "<sparsity|compress|simulate|engine-info|serve-stats|"
+                 "autotune> "
                  "[--model NAME] [--columns N] [--strategy zp|ra] "
                  "[--beta F] [--accelerator NAME] [--rows K] [--cols C] "
-                 "[--batch N] [--out PATH] [--reps N] [--warmup N]\n";
+                 "[--batch N] [--requests N] [--clients M] [--out PATH] "
+                 "[--reps N] [--warmup N]\n";
     return 2;
 }
 
@@ -283,6 +437,8 @@ main(int argc, char **argv)
         return cmdSimulate(flags);
     if (cmd == "engine-info")
         return cmdEngineInfo(flags);
+    if (cmd == "serve-stats")
+        return cmdServeStats(flags);
     if (cmd == "autotune")
         return cmdAutotune(flags);
     return usage();

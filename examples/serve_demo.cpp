@@ -9,7 +9,12 @@
  * gets logits bit-identical to running its request alone — the demo
  * verifies that against the single-request per-dot-policy oracle while
  * the server is under load.
+ *
+ * Flags: `--metrics-dump` prints the full Prometheus text exposition
+ * (server registry + the process-global engine/pool series) after the
+ * stats block; `--trace-dump` prints the per-request trace ring as JSON.
  */
+#include <cstring>
 #include <iostream>
 #include <thread>
 
@@ -20,9 +25,17 @@
 #include "serve/server.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bbs;
+
+    bool metricsDump = false, traceDump = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--metrics-dump") == 0)
+            metricsDump = true;
+        else if (std::strcmp(argv[i], "--trace-dump") == 0)
+            traceDump = true;
+    }
 
     std::cout << bbs::engine::runtimeSummary() << "\n";
 
@@ -157,5 +170,10 @@ main()
     for (std::size_t b = 1; b < s.batchHist.size(); ++b)
         if (s.batchHist[b] > 0)
             std::cout << "  " << b << ": " << s.batchHist[b] << "\n";
+
+    if (metricsDump)
+        std::cout << "\n" << server.metricsText();
+    if (traceDump)
+        server.dumpTrace(std::cout);
     return 0;
 }

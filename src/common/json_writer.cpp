@@ -1,0 +1,177 @@
+#include "common/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hpp"
+
+namespace bbs {
+
+std::string
+JsonWriter::escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(static_cast<char>(c));
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+JsonWriter::number(double v)
+{
+    if (!std::isfinite(v))
+        return "0"; // JSON has no Inf/NaN; 0 keeps consumers arithmetic
+    char buf[32];
+    // %.12g: enough digits that metric values round-trip, without the
+    // %.17g noise tail on decimals like 0.1.
+    std::snprintf(buf, sizeof buf, "%.12g", v);
+    return buf;
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (stack_.empty()) {
+        BBS_ASSERT(!wroteTop_, "second top-level JSON value");
+        return;
+    }
+    if (stack_.back() == Frame::Object) {
+        BBS_ASSERT(keyPending_, "object member value without a key()");
+        keyPending_ = false;
+        return;
+    }
+    // Array element.
+    if (!first_.back())
+        out_ << ", ";
+    first_.back() = false;
+}
+
+void
+JsonWriter::key(std::string_view name)
+{
+    BBS_ASSERT(!stack_.empty() && stack_.back() == Frame::Object,
+               "key() outside an object");
+    BBS_ASSERT(!keyPending_, "two key() calls without a value");
+    if (!first_.back())
+        out_ << ", ";
+    first_.back() = false;
+    out_ << '"' << escape(name) << "\": ";
+    keyPending_ = true;
+}
+
+void
+JsonWriter::beginObject()
+{
+    beforeValue();
+    stack_.push_back(Frame::Object);
+    first_.push_back(true);
+    out_ << '{';
+}
+
+void
+JsonWriter::endObject()
+{
+    BBS_ASSERT(!stack_.empty() && stack_.back() == Frame::Object,
+               "endObject() without beginObject()");
+    BBS_ASSERT(!keyPending_, "endObject() with a dangling key()");
+    stack_.pop_back();
+    first_.pop_back();
+    out_ << '}';
+    if (stack_.empty())
+        wroteTop_ = true;
+}
+
+void
+JsonWriter::beginArray()
+{
+    beforeValue();
+    stack_.push_back(Frame::Array);
+    first_.push_back(true);
+    out_ << '[';
+}
+
+void
+JsonWriter::endArray()
+{
+    BBS_ASSERT(!stack_.empty() && stack_.back() == Frame::Array,
+               "endArray() without beginArray()");
+    stack_.pop_back();
+    first_.pop_back();
+    out_ << ']';
+    if (stack_.empty())
+        wroteTop_ = true;
+}
+
+void
+JsonWriter::value(std::string_view s)
+{
+    beforeValue();
+    out_ << '"' << escape(s) << '"';
+    if (stack_.empty())
+        wroteTop_ = true;
+}
+
+void
+JsonWriter::value(double v)
+{
+    beforeValue();
+    out_ << number(v);
+    if (stack_.empty())
+        wroteTop_ = true;
+}
+
+void
+JsonWriter::value(std::int64_t v)
+{
+    beforeValue();
+    out_ << v;
+    if (stack_.empty())
+        wroteTop_ = true;
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    beforeValue();
+    out_ << v;
+    if (stack_.empty())
+        wroteTop_ = true;
+}
+
+void
+JsonWriter::value(bool v)
+{
+    beforeValue();
+    out_ << (v ? "true" : "false");
+    if (stack_.empty())
+        wroteTop_ = true;
+}
+
+void
+JsonWriter::raw(std::string_view fragment)
+{
+    beforeValue();
+    out_ << fragment;
+    if (stack_.empty())
+        wroteTop_ = true;
+}
+
+} // namespace bbs

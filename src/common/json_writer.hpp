@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The one JSON writer in the codebase. bench_common's `--json` records,
+ * the obs metrics exposition, the trace-ring dump and the soak harness's
+ * timeline all emit through this class, so there is exactly one tested
+ * escaper and one nesting/comma discipline instead of per-caller
+ * hand-rolled string assembly.
+ *
+ * Streaming, allocation-light: the writer tracks nesting in a small
+ * stack and emits directly to the ostream. Emission order is the call
+ * order; the writer validates nesting (key before value inside objects,
+ * no keys inside arrays) with BBS_ASSERT, so a malformed emission is a
+ * bug caught at the call site, not a corrupt artifact discovered by a
+ * downstream jq.
+ */
+#ifndef BBS_COMMON_JSON_WRITER_HPP
+#define BBS_COMMON_JSON_WRITER_HPP
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bbs {
+
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &out) : out_(out) {}
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    // ---- containers
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Object member name; must be followed by a value or container. */
+    void key(std::string_view name);
+
+    // ---- scalar values
+    void value(std::string_view s);
+    void value(const char *s) { value(std::string_view(s)); }
+    void value(double v);
+    void value(std::int64_t v);
+    void value(std::uint64_t v);
+    void value(int v) { value(static_cast<std::int64_t>(v)); }
+    void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+    void value(bool v);
+
+    /** key() + value() in one call. */
+    template <typename T>
+    void
+    member(std::string_view name, T v)
+    {
+        key(name);
+        value(v);
+    }
+
+    /**
+     * Splice an already-rendered JSON fragment as one value (bench_common
+     * keeps records as pre-rendered strings between jsonAdd and
+     * jsonFlush). The caller vouches that @p fragment is valid JSON.
+     */
+    void raw(std::string_view fragment);
+
+    /** True once every container opened has been closed. */
+    bool complete() const { return stack_.empty() && wroteTop_; }
+
+    /**
+     * Escape @p s for a JSON string literal (quotes, backslash, and all
+     * control characters below 0x20 as \uXXXX; UTF-8 passes through).
+     * Returns the escaped body WITHOUT surrounding quotes.
+     */
+    static std::string escape(std::string_view s);
+
+    /**
+     * Format @p v as a JSON number: round-trip precision, integral
+     * values without a trailing ".0" surprise, and non-finite values
+     * (which JSON cannot represent) clamped to 0.
+     */
+    static std::string number(double v);
+
+  private:
+    enum class Frame : std::uint8_t
+    {
+        Object,
+        Array,
+    };
+
+    /** Comma/validity bookkeeping before emitting a value/container. */
+    void beforeValue();
+
+    std::ostream &out_;
+    std::vector<Frame> stack_;
+    std::vector<bool> first_;   ///< first element at each depth
+    bool keyPending_ = false;   ///< key() emitted, value expected
+    bool wroteTop_ = false;     ///< a top-level value has been written
+};
+
+} // namespace bbs
+
+#endif // BBS_COMMON_JSON_WRITER_HPP

@@ -1,0 +1,178 @@
+#include "common/metrics.hpp"
+
+#include "common/logging.hpp"
+
+namespace bbs::obs {
+
+// ---------------------------------------------------------------- Histogram
+
+Histogram::Histogram(std::span<const double> bounds)
+    : bounds_(bounds.begin(), bounds.end()),
+      counts_(new std::atomic<std::uint64_t>[bounds.size() + 1])
+{
+    for (std::size_t i = 1; i < bounds_.size(); ++i)
+        BBS_ASSERT(bounds_[i - 1] < bounds_[i],
+                   "histogram bounds must be strictly ascending");
+    for (std::size_t i = 0; i <= bounds_.size(); ++i)
+        counts_[i].store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t
+Histogram::count() const
+{
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i <= bounds_.size(); ++i)
+        total += counts_[i].load(std::memory_order_relaxed);
+    return total;
+}
+
+void
+Histogram::reset()
+{
+    for (std::size_t i = 0; i <= bounds_.size(); ++i)
+        counts_[i].store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::span<const double>
+Histogram::latencyBoundsUs()
+{
+    // 1/2/5 ladder from 1us to 5s; +Inf is implicit.
+    static const double kBounds[] = {
+        1.0,     2.0,     5.0,      10.0,     20.0,      50.0,
+        100.0,   200.0,   500.0,    1000.0,   2000.0,    5000.0,
+        10000.0, 20000.0, 50000.0,  100000.0, 200000.0,  500000.0,
+        1e6,     2e6,     5e6,
+    };
+    return kBounds;
+}
+
+// ----------------------------------------------------------------- Registry
+
+Registry &
+Registry::global()
+{
+    static Registry r;
+    return r;
+}
+
+/** Lookup-or-insert; the caller must hold mutex_ (and keep holding it
+ *  while constructing the metric object, so two threads racing to
+ *  register the same series never double-construct it). */
+Registry::Entry &
+Registry::getOrCreate(std::string_view name, std::string_view help,
+                      std::string_view labels, MetricSnapshot::Type type)
+{
+    std::string key;
+    key.reserve(name.size() + 1 + labels.size());
+    key.append(name);
+    key.push_back('\x01');
+    key.append(labels);
+
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        BBS_REQUIRE(it->second->type == type,
+                    "metric re-registered with a different type: ",
+                    std::string(name));
+        return *it->second;
+    }
+    auto entry = std::make_unique<Entry>();
+    entry->type = type;
+    entry->name = std::string(name);
+    entry->help = std::string(help);
+    entry->labels = std::string(labels);
+    Entry &ref = *entry;
+    entries_.push_back(std::move(entry));
+    index_.emplace(std::move(key), &ref);
+    return ref;
+}
+
+Counter &
+Registry::counter(std::string_view name, std::string_view help,
+                  std::string_view labels)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry &e = getOrCreate(name, help, labels, MetricSnapshot::Type::Counter);
+    if (!e.counter)
+        e.counter = std::make_unique<Counter>();
+    return *e.counter;
+}
+
+Gauge &
+Registry::gauge(std::string_view name, std::string_view help,
+                std::string_view labels)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry &e = getOrCreate(name, help, labels, MetricSnapshot::Type::Gauge);
+    if (!e.gauge)
+        e.gauge = std::make_unique<Gauge>();
+    return *e.gauge;
+}
+
+Histogram &
+Registry::histogram(std::string_view name, std::span<const double> bounds,
+                    std::string_view help, std::string_view labels)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry &e = getOrCreate(name, help, labels,
+                           MetricSnapshot::Type::Histogram);
+    if (!e.histogram)
+        e.histogram = std::make_unique<Histogram>(bounds);
+    return *e.histogram;
+}
+
+std::vector<MetricSnapshot>
+Registry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<MetricSnapshot> out;
+    out.reserve(entries_.size());
+    for (const auto &e : entries_) {
+        MetricSnapshot s;
+        s.name = e->name;
+        s.help = e->help;
+        s.labels = e->labels;
+        s.type = e->type;
+        switch (e->type) {
+        case MetricSnapshot::Type::Counter:
+            s.counterValue = e->counter->value();
+            break;
+        case MetricSnapshot::Type::Gauge:
+            s.gaugeValue = e->gauge->value();
+            break;
+        case MetricSnapshot::Type::Histogram: {
+            const Histogram &h = *e->histogram;
+            s.bounds = h.bounds();
+            s.bucketCounts.resize(s.bounds.size() + 1);
+            std::uint64_t total = 0;
+            for (std::size_t i = 0; i <= s.bounds.size(); ++i) {
+                s.bucketCounts[i] = h.bucketCount(i);
+                total += s.bucketCounts[i];
+            }
+            // Count from the SAME bucket reads as the exposition, so
+            // a scraper can never see count != sum(buckets).
+            s.count = total;
+            s.sum = h.sum();
+            break;
+        }
+        }
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+void
+Registry::resetAll()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &e : entries_) {
+        if (e->counter)
+            e->counter->reset();
+        if (e->gauge)
+            e->gauge->reset();
+        if (e->histogram)
+            e->histogram->reset();
+    }
+}
+
+} // namespace bbs::obs

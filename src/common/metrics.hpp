@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Lock-cheap metrics primitives: monotonic counters, gauges and
+ * fixed-bucket histograms on relaxed atomics, collected in named
+ * registries and scraped without stopping writers.
+ *
+ * Design rules (the serving hot path's zero-allocation and sub-3%%
+ * overhead budgets rest on these):
+ *
+ *  - A metric is registered ONCE (registration takes the registry mutex
+ *    and allocates); the hot path holds a `Counter&`/`Histogram&` and
+ *    pays one relaxed RMW per event. Names follow Prometheus
+ *    conventions (`bbs_<layer>_<what>[_total|_us]`, labels as a
+ *    preformatted `key="value"` list).
+ *  - Snapshots are per-metric consistent under concurrent writers: every
+ *    atomic is read individually, so a counter read during a scrape is
+ *    monotone across scrapes, and a histogram's total (the sum of its
+ *    bucket reads) can only grow — there is no separately-stored total
+ *    to tear against the buckets (tests/test_obs.cpp stresses this
+ *    under TSAN).
+ *  - Registries are instantiable: `Registry::global()` carries the
+ *    process-wide engine/pool metrics, while an InferenceServer owns a
+ *    private registry so per-server snapshots stay exact when several
+ *    servers live in one process (tests). Exposition (Prometheus text,
+ *    bench-JSON records) lives in src/obs/exposition.hpp.
+ *
+ * The `BBS_OBS` compile-time toggle (CMake option, default ON) gates
+ * the *engine-layer* instrumentation (per-run plan counters and latency
+ * clocks in hot kernels): at BBS_OBS=0 those sites compile to nothing.
+ * The serving-layer metrics are always on — they are the product
+ * surface that replaced the old lock-guarded ServerStats fields.
+ */
+#ifndef BBS_COMMON_METRICS_HPP
+#define BBS_COMMON_METRICS_HPP
+
+#ifndef BBS_OBS
+#define BBS_OBS 1
+#endif
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace bbs::obs {
+
+/** Monotonic event counter. Exposed with a `_total` name suffix. */
+class Counter
+{
+  public:
+    void
+    inc(std::uint64_t n = 1)
+    {
+        v_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+    /** Test/bench affordance; never reset a scraped production metric
+     *  (scrapers assume counters are monotone). */
+    void reset() { v_.store(0, std::memory_order_relaxed); }
+
+  private:
+    /** Own cache line: two hot counters updated by different threads
+     *  must not false-share. */
+    alignas(64) std::atomic<std::uint64_t> v_{0};
+};
+
+/** Point-in-time signed value (queue depth, pool size). */
+class Gauge
+{
+  public:
+    void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+    void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+    std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+    void reset() { set(0); }
+
+  private:
+    alignas(64) std::atomic<std::int64_t> v_{0};
+};
+
+/**
+ * Fixed-bucket histogram. `bounds` are ascending inclusive upper bounds;
+ * an implicit +Inf bucket catches the tail, so `observe()` always lands
+ * somewhere. There is no separately-stored observation count — the
+ * count IS the sum of the bucket reads, which keeps scrapes torn-free
+ * by construction. The sum accumulates in an atomic<double> (C++20
+ * fetch_add), monotone for the non-negative values metrics record.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::span<const double> bounds);
+
+    void
+    observe(double v)
+    {
+        // Branchy upper_bound over <= ~32 bounds: tens of cycles, no
+        // allocation, called per batch / per plan run — noise next to
+        // the work being measured.
+        std::size_t lo = 0, hi = bounds_.size();
+        while (lo < hi) {
+            std::size_t mid = (lo + hi) / 2;
+            if (v <= bounds_[mid])
+                hi = mid;
+            else
+                lo = mid + 1;
+        }
+        counts_[lo].fetch_add(1, std::memory_order_relaxed);
+        sum_.fetch_add(v, std::memory_order_relaxed);
+    }
+
+    const std::vector<double> &bounds() const { return bounds_; }
+
+    /** Bucket count at @p i (i == bounds().size() is the +Inf bucket). */
+    std::uint64_t
+    bucketCount(std::size_t i) const
+    {
+        return counts_[i].load(std::memory_order_relaxed);
+    }
+
+    /** Total observations: the sum of one atomic read per bucket
+     *  (monotone across scrapes — see file comment). */
+    std::uint64_t count() const;
+
+    double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+    void reset();
+
+    /**
+     * The default latency bucket ladder, in microseconds: 1us .. 5s in
+     * 1/2/5 steps — wide enough for a per-dot microsecond run and a
+     * multi-second stalled batch on one scale.
+     */
+    static std::span<const double> latencyBoundsUs();
+
+  private:
+    std::vector<double> bounds_;
+    /** bounds_.size() + 1 relaxed counters (the +Inf tail is last). */
+    std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+    std::atomic<double> sum_{0.0};
+};
+
+/** What a metric reads as at one scrape (exposition input). */
+struct MetricSnapshot
+{
+    enum class Type
+    {
+        Counter,
+        Gauge,
+        Histogram,
+    };
+
+    std::string name;
+    std::string help;
+    /** Preformatted Prometheus label list, e.g. `model="clf"`; empty
+     *  for unlabelled metrics. */
+    std::string labels;
+    Type type = Type::Counter;
+
+    std::uint64_t counterValue = 0;
+    std::int64_t gaugeValue = 0;
+
+    std::vector<double> bounds;            ///< histogram upper bounds
+    std::vector<std::uint64_t> bucketCounts; ///< per-bucket (+Inf last)
+    std::uint64_t count = 0;               ///< histogram total
+    double sum = 0.0;                      ///< histogram value sum
+};
+
+/**
+ * A named collection of metrics. get-or-create semantics: asking for an
+ * existing (name, labels) pair returns the same instance (so two
+ * subsystems can share a series), asking with a mismatched type is a
+ * bug (BBS_PANIC). References returned are stable for the registry's
+ * lifetime.
+ */
+class Registry
+{
+  public:
+    Registry() = default;
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    /** The process-wide registry (engine, worker pool, anything not
+     *  owned by a specific server instance). */
+    static Registry &global();
+
+    Counter &counter(std::string_view name, std::string_view help = "",
+                     std::string_view labels = "");
+    Gauge &gauge(std::string_view name, std::string_view help = "",
+                 std::string_view labels = "");
+    Histogram &histogram(std::string_view name,
+                         std::span<const double> bounds,
+                         std::string_view help = "",
+                         std::string_view labels = "");
+
+    /** One consistent-per-metric reading of everything registered, in
+     *  registration order (stable exposition output). */
+    std::vector<MetricSnapshot> snapshot() const;
+
+    /** Reset every metric (bench/test runs that reuse the process-wide
+     *  registry between phases). */
+    void resetAll();
+
+  private:
+    struct Entry
+    {
+        MetricSnapshot::Type type;
+        std::string name, help, labels;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    Entry &getOrCreate(std::string_view name, std::string_view help,
+                       std::string_view labels, MetricSnapshot::Type type);
+
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<Entry>> entries_;
+    std::unordered_map<std::string, Entry *> index_; ///< name \x01 labels
+};
+
+} // namespace bbs::obs
+
+#endif // BBS_COMMON_METRICS_HPP

@@ -27,9 +27,44 @@
 #include <mutex>
 #include <optional>
 
+#include "common/metrics.hpp"
+
 namespace bbs::detail {
 
 namespace {
+
+#if BBS_OBS
+// Pool utilization series in the global registry (compiled out at
+// BBS_OBS=0). Magic-static refs: registration allocates once, every job
+// after that pays relaxed RMWs only — the pool serves the serving
+// drain path, which must stay allocation-free.
+struct PoolMetrics
+{
+    bbs::obs::Counter &jobs;
+    bbs::obs::Counter &helpers;
+    bbs::obs::Counter &fallbacks;
+    bbs::obs::Gauge &threads;
+};
+
+PoolMetrics &
+poolMetrics()
+{
+    auto &reg = bbs::obs::Registry::global();
+    static PoolMetrics m{
+        reg.counter("bbs_pool_jobs_total",
+                    "parallelFor jobs served by the persistent pool"),
+        reg.counter("bbs_pool_helpers_total",
+                    "Helper threads summed over pool jobs (mean "
+                    "helpers = helpers / jobs)"),
+        reg.counter("bbs_pool_fallback_total",
+                    "parallelFor calls that found the pool busy and "
+                    "fell back to spawn-per-call"),
+        reg.gauge("bbs_pool_threads", "Persistent pool size "
+                  "(high-water mark; the pool never shrinks)"),
+    };
+    return m;
+}
+#endif // BBS_OBS
 
 class WorkerPool
 {
@@ -53,8 +88,12 @@ class WorkerPool
         // One job at a time; a busy pool sends the caller to the
         // spawn-per-call fallback instead of queueing behind a job of
         // unknown length.
-        if (!jobMutex_.try_lock())
+        if (!jobMutex_.try_lock()) {
+#if BBS_OBS
+            poolMetrics().fallbacks.inc();
+#endif
             return false;
+        }
         std::lock_guard<std::mutex> jobLock(jobMutex_, std::adopt_lock);
 
         {
@@ -62,6 +101,10 @@ class WorkerPool
             ensureThreadsLocked(helpers);
             helpers = std::min<unsigned>(
                 helpers, static_cast<unsigned>(threads_.size()));
+#if BBS_OBS
+            poolMetrics().threads.set(
+                static_cast<std::int64_t>(threads_.size()));
+#endif
             if (helpers == 0) { // thread creation failed entirely
                 for (std::int64_t i = 0; i < n; ++i)
                     fn(i);
@@ -90,6 +133,10 @@ class WorkerPool
             doneCv_.wait(lk, [&] { return finished_ == active_; });
             body_.reset();
         }
+#if BBS_OBS
+        poolMetrics().jobs.inc();
+        poolMetrics().helpers.inc(helpers);
+#endif
         return true;
     }
 

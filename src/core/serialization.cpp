@@ -75,19 +75,35 @@ serializeCompressed(const CompressedTensor &ct)
     return out;
 }
 
-CompressedTensor
-deserializeCompressed(const SerializedTensor &blob, const Shape &shape,
-                      std::int64_t groupSize, int targetColumns,
-                      PruneStrategy strategy)
+namespace {
+
+/** Set @p error (when requested) from streamable parts; always false. */
+template <typename... Args>
+bool
+blobError(std::string *error, Args &&...args)
 {
-    BBS_REQUIRE(blob.bytes.size() >= 4, "blob too small");
+    if (error != nullptr)
+        *error = bbs::detail::concatMessage(std::forward<Args>(args)...);
+    return false;
+}
+
+} // namespace
+
+bool
+tryDeserializeCompressed(const SerializedTensor &blob, const Shape &shape,
+                         std::int64_t groupSize, int targetColumns,
+                         PruneStrategy strategy, CompressedTensor &out,
+                         std::string *error)
+{
+    if (blob.bytes.size() < 4)
+        return blobError(error, "blob too small");
     std::uint32_t numGroups = 0;
     for (int i = 0; i < 4; ++i)
         numGroups |= static_cast<std::uint32_t>(blob.bytes[
                          static_cast<std::size_t>(i)])
                      << (8 * i);
-    BBS_REQUIRE(blob.groupOffsets.size() == numGroups,
-                "group offset table size mismatch");
+    if (blob.groupOffsets.size() != numGroups)
+        return blobError(error, "group offset table size mismatch");
 
     // Rebuild group by group, then round-trip through an Int8Tensor of
     // the decompressed codes: since compression of a reconstruction is
@@ -95,18 +111,17 @@ deserializeCompressed(const SerializedTensor &blob, const Shape &shape,
     // The blob is untrusted (it is the deployment wire format): pin the
     // group count to the shape, the metadata table to the byte range,
     // and the encoding fields to their legal ranges before any indexing.
-    BBS_REQUIRE(groupSize >= 1 && groupSize <= 64,
-                "corrupt blob: bad group size");
-    BBS_REQUIRE(targetColumns >= 0 && targetColumns <= kMaxPrunedColumns,
-                "corrupt blob: bad target columns");
+    if (groupSize < 1 || groupSize > 64)
+        return blobError(error, "corrupt blob: bad group size");
+    if (targetColumns < 0 || targetColumns > kMaxPrunedColumns)
+        return blobError(error, "corrupt blob: bad target columns");
     std::int64_t expectGroups =
         (shape.numel() + groupSize - 1) / groupSize;
-    BBS_REQUIRE(static_cast<std::int64_t>(numGroups) == expectGroups,
-                "corrupt blob: ", numGroups, " groups, shape needs ",
-                expectGroups);
-    BBS_REQUIRE(4 + static_cast<std::size_t>(numGroups) <=
-                    blob.bytes.size(),
-                "corrupt blob: metadata table truncated");
+    if (static_cast<std::int64_t>(numGroups) != expectGroups)
+        return blobError(error, "corrupt blob: ", numGroups,
+                         " groups, shape needs ", expectGroups);
+    if (4 + static_cast<std::size_t>(numGroups) > blob.bytes.size())
+        return blobError(error, "corrupt blob: metadata table truncated");
     Int8Tensor codes(shape);
     std::size_t metaBase = 4;
     for (std::uint32_t g = 0; g < numGroups; ++g) {
@@ -119,8 +134,9 @@ deserializeCompressed(const SerializedTensor &blob, const Shape &shape,
         int prunedColumns = targetColumns - meta.numRedundantColumns;
         // Genuine encodings never claim more redundant columns than the
         // pruning target absorbed; a negative shift would be UB below.
-        BBS_REQUIRE(prunedColumns >= 0,
-                    "corrupt blob: group ", g, " metadata inconsistent");
+        if (prunedColumns < 0)
+            return blobError(error, "corrupt blob: group ", g,
+                             " metadata inconsistent");
         int storedBits = kWeightBits - targetColumns;
 
         // Read column-serial bits back (MSB column first). The blob is
@@ -131,9 +147,10 @@ deserializeCompressed(const SerializedTensor &blob, const Shape &shape,
                  static_cast<std::size_t>(n) +
              7) /
             8;
-        BBS_REQUIRE(byteOff <= blob.bytes.size() &&
-                        needed <= blob.bytes.size() - byteOff,
-                    "corrupt blob: group ", g, " payload truncated");
+        if (byteOff > blob.bytes.size() ||
+            needed > blob.bytes.size() - byteOff)
+            return blobError(error, "corrupt blob: group ", g,
+                             " payload truncated");
         int bitOff = 0;
         std::vector<std::uint32_t> stored(static_cast<std::size_t>(n), 0);
         for (int b = storedBits - 1; b >= 0; --b) {
@@ -152,13 +169,27 @@ deserializeCompressed(const SerializedTensor &blob, const Shape &shape,
             std::int32_t s = signExtend(
                 stored[static_cast<std::size_t>(i)], storedBits);
             std::int32_t v = (s << prunedColumns) + meta.constant;
-            BBS_REQUIRE(v >= -128 && v <= 127,
-                        "corrupt blob: value out of range");
+            if (v < -128 || v > 127)
+                return blobError(error, "corrupt blob: value out of range");
             codes.flat(begin + i) = static_cast<std::int8_t>(v);
         }
     }
-    return CompressedTensor::compress(codes, groupSize, targetColumns,
-                                      strategy);
+    out = CompressedTensor::compress(codes, groupSize, targetColumns,
+                                     strategy);
+    return true;
+}
+
+CompressedTensor
+deserializeCompressed(const SerializedTensor &blob, const Shape &shape,
+                      std::int64_t groupSize, int targetColumns,
+                      PruneStrategy strategy)
+{
+    CompressedTensor out;
+    std::string error;
+    if (!tryDeserializeCompressed(blob, shape, groupSize, targetColumns,
+                                  strategy, out, &error))
+        BBS_FATAL(error);
+    return out;
 }
 
 std::int64_t

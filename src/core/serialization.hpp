@@ -14,6 +14,7 @@
 #define BBS_CORE_SERIALIZATION_HPP
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/compressed_tensor.hpp"
@@ -42,6 +43,21 @@ CompressedTensor deserializeCompressed(const SerializedTensor &blob,
                                        std::int64_t groupSize,
                                        int targetColumns,
                                        PruneStrategy strategy);
+
+/**
+ * Non-fatal deserializeCompressed: runs the same untrusted-blob
+ * validation chain but reports a malformed blob by returning false
+ * (with a diagnostic in @p error when non-null) instead of terminating
+ * the process. The fatal form above wraps this one. Use this wherever
+ * a bad blob is an EXPECTED runtime condition — a server rejecting a
+ * corrupt model upload, the soak harness's fault injection — rather
+ * than a deployment error.
+ */
+bool tryDeserializeCompressed(const SerializedTensor &blob,
+                              const Shape &shape, std::int64_t groupSize,
+                              int targetColumns, PruneStrategy strategy,
+                              CompressedTensor &out,
+                              std::string *error = nullptr);
 
 /** Serialized size in bytes (header + metadata + payload). */
 std::int64_t serializedBytes(const CompressedTensor &ct);

@@ -34,22 +34,32 @@ putI64(std::vector<std::uint8_t> &out, std::int64_t v)
         out.push_back(static_cast<std::uint8_t>((u >> (8 * i)) & 0xff));
 }
 
-struct ByteReader
+/** Bounds-checked little-endian reader; a read past the end clears
+ *  `ok` and returns 0 instead of terminating (the caller decides how a
+ *  truncated blob fails). */
+struct TryByteReader
 {
     std::span<const std::uint8_t> bytes;
     std::size_t pos = 0;
+    bool ok = true;
 
     std::uint8_t
     u8()
     {
-        BBS_REQUIRE(pos + 1 <= bytes.size(), "operand blob truncated");
+        if (pos + 1 > bytes.size()) {
+            ok = false;
+            return 0;
+        }
         return bytes[pos++];
     }
 
     std::uint32_t
     u32()
     {
-        BBS_REQUIRE(pos + 4 <= bytes.size(), "operand blob truncated");
+        if (pos + 4 > bytes.size()) {
+            ok = false;
+            return 0;
+        }
         std::uint32_t v = 0;
         for (int i = 0; i < 4; ++i)
             v |= static_cast<std::uint32_t>(bytes[pos++]) << (8 * i);
@@ -59,7 +69,10 @@ struct ByteReader
     std::int64_t
     i64()
     {
-        BBS_REQUIRE(pos + 8 <= bytes.size(), "operand blob truncated");
+        if (pos + 8 > bytes.size()) {
+            ok = false;
+            return 0;
+        }
         std::uint64_t v = 0;
         for (int i = 0; i < 8; ++i)
             v |= static_cast<std::uint64_t>(bytes[pos++]) << (8 * i);
@@ -261,12 +274,23 @@ PackedOperand::serialize() const
     return out;
 }
 
-PackedOperand
-PackedOperand::deserialize(std::span<const std::uint8_t> bytes)
+bool
+PackedOperand::tryDeserialize(std::span<const std::uint8_t> bytes,
+                              PackedOperand &out, std::string *error)
 {
-    ByteReader r{bytes};
-    BBS_REQUIRE(r.u32() == kOperandMagic,
-                "not a PackedOperand blob (bad magic)");
+    auto fail = [error](auto &&...parts) {
+        if (error != nullptr)
+            *error = bbs::detail::concatMessage(
+                std::forward<decltype(parts)>(parts)...);
+        return false;
+    };
+
+    TryByteReader r{bytes};
+    std::uint32_t magic = r.u32();
+    if (!r.ok)
+        return fail("operand blob truncated");
+    if (magic != kOperandMagic)
+        return fail("not a PackedOperand blob (bad magic)");
     auto kind = static_cast<PackKind>(r.u8());
     auto strategy = static_cast<PruneStrategy>(r.u8());
     int targetColumns = static_cast<int>(r.u8());
@@ -274,54 +298,74 @@ PackedOperand::deserialize(std::span<const std::uint8_t> bytes)
     std::int64_t cols = r.i64();
     std::int64_t groupSize = r.i64();
     std::uint32_t numOffsets = r.u32();
+    if (!r.ok)
+        return fail("operand blob truncated");
 
-    BBS_REQUIRE(rows > 0 && cols > 0,
-                "corrupt operand blob: non-positive shape");
+    if (rows <= 0 || cols <= 0)
+        return fail("corrupt operand blob: non-positive shape");
 
     if (kind == PackKind::DenseBitPlanes) {
-        BBS_REQUIRE(numOffsets == 0, "corrupt dense operand blob");
+        if (numOffsets != 0)
+            return fail("corrupt dense operand blob");
         // Bounds-check via division: the blob is untrusted, and rows *
         // cols could sign-overflow before a naive size comparison.
         std::size_t avail = bytes.size() - r.pos;
-        BBS_REQUIRE(static_cast<std::uint64_t>(rows) <=
-                        avail / static_cast<std::uint64_t>(cols),
-                    "operand blob truncated");
+        if (static_cast<std::uint64_t>(rows) >
+            avail / static_cast<std::uint64_t>(cols))
+            return fail("operand blob truncated");
         std::size_t count = static_cast<std::size_t>(rows) *
                             static_cast<std::size_t>(cols);
-        return packDense(
+        out = packDense(
             std::span<const std::int8_t>(
                 reinterpret_cast<const std::int8_t *>(bytes.data()) +
                     r.pos,
                 count),
             rows, cols);
+        return true;
     }
 
-    BBS_REQUIRE(kind == PackKind::CompressedRows,
-                "unknown operand kind in blob");
-    BBS_REQUIRE(groupSize >= 1 && groupSize <= 64,
-                "corrupt operand blob: bad group size");
-    BBS_REQUIRE(targetColumns <= kMaxPrunedColumns,
-                "corrupt operand blob: bad target columns");
-    BBS_REQUIRE(cols % groupSize == 0,
-                "corrupt operand blob: group size does not divide the "
-                "column count");
+    if (kind != PackKind::CompressedRows)
+        return fail("unknown operand kind in blob");
+    if (groupSize < 1 || groupSize > 64)
+        return fail("corrupt operand blob: bad group size");
+    if (targetColumns > kMaxPrunedColumns)
+        return fail("corrupt operand blob: bad target columns");
+    if (cols % groupSize != 0)
+        return fail("corrupt operand blob: group size does not divide "
+                    "the column count");
     // The offset table's size is fully determined by the shape; a
     // mismatched count is corruption, and bounding it here also keeps
     // the reserve() below away from attacker-controlled sizes.
-    BBS_REQUIRE(static_cast<std::int64_t>(numOffsets) ==
-                    rows * (cols / groupSize),
-                "corrupt operand blob: offset table count mismatch");
-    BBS_REQUIRE(static_cast<std::uint64_t>(numOffsets) <=
-                    (bytes.size() - r.pos) / 4,
-                "operand blob truncated");
+    if (static_cast<std::int64_t>(numOffsets) !=
+        rows * (cols / groupSize))
+        return fail("corrupt operand blob: offset table count mismatch");
+    if (static_cast<std::uint64_t>(numOffsets) >
+        (bytes.size() - r.pos) / 4)
+        return fail("operand blob truncated");
     SerializedTensor blob;
     blob.groupOffsets.reserve(numOffsets);
     for (std::uint32_t i = 0; i < numOffsets; ++i)
         blob.groupOffsets.push_back(r.u32());
     blob.bytes.assign(bytes.begin() + static_cast<std::ptrdiff_t>(r.pos),
                       bytes.end());
-    return fromCompressedTensor(deserializeCompressed(
-        blob, Shape{rows, cols}, groupSize, targetColumns, strategy));
+    CompressedTensor ct;
+    std::string innerError;
+    if (!tryDeserializeCompressed(blob, Shape{rows, cols}, groupSize,
+                                  targetColumns, strategy, ct,
+                                  error != nullptr ? &innerError : nullptr))
+        return fail(innerError);
+    out = fromCompressedTensor(std::move(ct));
+    return true;
+}
+
+PackedOperand
+PackedOperand::deserialize(std::span<const std::uint8_t> bytes)
+{
+    PackedOperand out;
+    std::string error;
+    if (!tryDeserialize(bytes, out, &error))
+        BBS_FATAL(error);
+    return out;
 }
 
 } // namespace bbs::engine

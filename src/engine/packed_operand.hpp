@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/compressed_tensor.hpp"
@@ -117,8 +118,20 @@ class PackedOperand
      */
     std::vector<std::uint8_t> serialize() const;
 
-    /** Inverse of serialize(); repacks, so plan runs are bit-identical. */
+    /** Inverse of serialize(); repacks, so plan runs are bit-identical.
+     *  A malformed blob is fatal (deployment error). */
     static PackedOperand deserialize(std::span<const std::uint8_t> bytes);
+
+    /**
+     * Non-fatal deserialize(): the same validation chain, but a
+     * malformed blob returns false (with a diagnostic in @p error when
+     * non-null) instead of terminating the process. For callers where a
+     * bad blob is an expected runtime condition — a server rejecting a
+     * corrupt model upload, fault-injection harnesses.
+     */
+    static bool tryDeserialize(std::span<const std::uint8_t> bytes,
+                               PackedOperand &out,
+                               std::string *error = nullptr);
 
   private:
     PackKind kind_ = PackKind::DenseBitPlanes;

@@ -1,8 +1,10 @@
 #include "engine/plan.hpp"
 
+#include <chrono>
 #include <optional>
 
 #include "common/logging.hpp"
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
 #include "core/dot_kernels.hpp"
 #include "engine/autotune.hpp"
@@ -12,6 +14,90 @@
 namespace bbs::engine {
 
 namespace {
+
+#if BBS_OBS
+// Engine-layer instrumentation (compiled out at BBS_OBS=0): plan-kind
+// run tallies and per-kind execute latency in the process-global
+// registry, plus tune-cache outcome counters. Metric refs are magic
+// statics — registration (the only allocating step) happens once, and
+// every run after that is a relaxed RMW, preserving the serving drain
+// path's zero-allocation invariant.
+obs::Counter &
+planRunCounter(PlanKind k)
+{
+    auto &reg = obs::Registry::global();
+    static obs::Counter &perDot =
+        reg.counter("bbs_engine_plan_runs_total", "Plan executions by kind",
+                    "kind=\"per-dot\"");
+    static obs::Counter &tiled =
+        reg.counter("bbs_engine_plan_runs_total", "Plan executions by kind",
+                    "kind=\"tiled-bit-serial\"");
+    static obs::Counter &compressed =
+        reg.counter("bbs_engine_plan_runs_total", "Plan executions by kind",
+                    "kind=\"compressed-batched\"");
+    switch (k) {
+    case PlanKind::PerDot: return perDot;
+    case PlanKind::TiledBitSerial: return tiled;
+    default: return compressed;
+    }
+}
+
+obs::Histogram &
+planLatency(PlanKind k)
+{
+    auto &reg = obs::Registry::global();
+    static obs::Histogram &perDot = reg.histogram(
+        "bbs_engine_plan_latency_us", obs::Histogram::latencyBoundsUs(),
+        "Plan execute() wall time by kind, microseconds",
+        "kind=\"per-dot\"");
+    static obs::Histogram &tiled = reg.histogram(
+        "bbs_engine_plan_latency_us", obs::Histogram::latencyBoundsUs(),
+        "Plan execute() wall time by kind, microseconds",
+        "kind=\"tiled-bit-serial\"");
+    static obs::Histogram &compressed = reg.histogram(
+        "bbs_engine_plan_latency_us", obs::Histogram::latencyBoundsUs(),
+        "Plan execute() wall time by kind, microseconds",
+        "kind=\"compressed-batched\"");
+    switch (k) {
+    case PlanKind::PerDot: return perDot;
+    case PlanKind::TiledBitSerial: return tiled;
+    default: return compressed;
+    }
+}
+
+obs::Counter &
+tuneOutcome(int which) // 0 = hit, 1 = miss, 2 = fallback
+{
+    auto &reg = obs::Registry::global();
+    static obs::Counter &hit = reg.counter(
+        "bbs_engine_tune_lookups_total",
+        "Tuning-cache lookups by outcome", "outcome=\"hit\"");
+    static obs::Counter &miss = reg.counter(
+        "bbs_engine_tune_lookups_total",
+        "Tuning-cache lookups by outcome", "outcome=\"miss\"");
+    static obs::Counter &fallback = reg.counter(
+        "bbs_engine_tune_lookups_total",
+        "Tuning-cache lookups by outcome", "outcome=\"fallback\"");
+    return which == 0 ? hit : which == 1 ? miss : fallback;
+}
+
+/** Times one execute() and books it under the resolved kind. */
+struct RunTimer
+{
+    PlanKind kind;
+    std::chrono::steady_clock::time_point t0 =
+        std::chrono::steady_clock::now();
+
+    ~RunTimer()
+    {
+        planRunCounter(kind).inc();
+        planLatency(kind).observe(
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+    }
+};
+#endif // BBS_OBS
 
 /**
  * The per-dot execution: the exact loop nest Int8Network::forwardPerDot
@@ -87,8 +173,11 @@ MatmulPlan::selectKind(std::int64_t weightRows, std::int64_t depth,
 }
 
 MatmulPlan::Resolved
-MatmulPlan::resolveForBatch(std::int64_t batch) const
+MatmulPlan::resolveForBatch(std::int64_t batch, bool countTune) const
 {
+#if !BBS_OBS
+    (void)countTune;
+#endif
     Resolved r{options_.force, config_.tuning};
     if (r.kind != PlanKind::Auto)
         return r;
@@ -109,6 +198,10 @@ MatmulPlan::resolveForBatch(std::int64_t batch) const
             (e->kind == PlanKind::TiledBitSerial
                  ? (!weights_.compressed() || denseRepack_ != nullptr)
                  : weights_.compressed() && e->kind != PlanKind::Auto);
+#if BBS_OBS
+        if (countTune)
+            tuneOutcome(e == nullptr ? 1 : executable ? 0 : 2).inc();
+#endif
         if (executable) {
             r.kind = e->kind;
             if (e->kind == PlanKind::TiledBitSerial) {
@@ -129,7 +222,8 @@ MatmulPlan::resolveForBatch(std::int64_t batch) const
 PlanKind
 MatmulPlan::kindForBatch(std::int64_t batch) const
 {
-    return resolveForBatch(batch).kind;
+    // Introspection, not execution: keep it out of the tune metrics.
+    return resolveForBatch(batch, false).kind;
 }
 
 void
@@ -157,6 +251,10 @@ MatmulPlan::execute(PlanKind kind, const TuningParams &tuning,
     if (!configInert_)
         scope.emplace(config_);
     bbs::detail::ensureOutputShape(out, n, weights_.rows());
+
+#if BBS_OBS
+    RunTimer runTimer{kind};
+#endif
 
     switch (kind) {
     case PlanKind::PerDot: {

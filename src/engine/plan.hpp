@@ -153,8 +153,12 @@ class MatmulPlan
      * Resolve the execution for @p batch rows: explicit force, else the
      * tuning cache's nearest measured winner (when loaded and the cached
      * kind is executable for these weights), else the heuristic.
+     * @p countTune: whether this resolution lands in the tune-cache
+     * hit/miss/fallback metrics — run() paths count, the introspective
+     * kindForBatch() does not (it resolves without executing).
      */
-    Resolved resolveForBatch(std::int64_t batch) const;
+    Resolved resolveForBatch(std::int64_t batch,
+                             bool countTune = true) const;
 
     void execute(PlanKind kind, const TuningParams &tuning,
                  const Int8Tensor *raw, const BitSerialMatrix *packed,

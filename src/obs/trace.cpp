@@ -1,0 +1,96 @@
+#include "obs/trace.hpp"
+
+#include "common/json_writer.hpp"
+#include "common/logging.hpp"
+
+namespace bbs::obs {
+
+TraceRing::TraceRing(std::size_t capacity) : spans_(capacity)
+{
+    BBS_ASSERT(capacity > 0, "trace ring needs at least one slot");
+}
+
+void
+TraceRing::record(const TraceSpan &span)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    spans_[written_ % spans_.size()] = span;
+    ++written_;
+}
+
+std::size_t
+TraceRing::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return written_ < spans_.size() ? static_cast<std::size_t>(written_)
+                                    : spans_.size();
+}
+
+std::uint64_t
+TraceRing::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return written_ < spans_.size() ? 0 : written_ - spans_.size();
+}
+
+void
+TraceRing::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    written_ = 0;
+}
+
+void
+TraceRing::dumpJson(JsonWriter &w, const char *(*statusName)(int)) const
+{
+    // Copy out under the lock, render outside it: rendering goes through
+    // an ostream and must not stall writers.
+    std::vector<TraceSpan> copy;
+    std::uint64_t droppedCount = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::size_t held = written_ < spans_.size()
+                               ? static_cast<std::size_t>(written_)
+                               : spans_.size();
+        droppedCount = written_ - held;
+        copy.reserve(held);
+        // Oldest-first: the slot after the write cursor is the oldest
+        // once the ring has wrapped.
+        std::size_t start =
+            written_ < spans_.size() ? 0 : written_ % spans_.size();
+        for (std::size_t i = 0; i < held; ++i)
+            copy.push_back(spans_[(start + i) % spans_.size()]);
+    }
+
+    w.beginObject();
+    w.member("dropped", droppedCount);
+    w.key("spans");
+    w.beginArray();
+    for (const TraceSpan &s : copy) {
+        w.beginObject();
+        w.member("id", s.id);
+        w.member("model", std::string_view(s.model));
+        if (statusName)
+            w.member("status", statusName(s.status));
+        else
+            w.member("status", static_cast<std::int64_t>(s.status));
+        w.member("batch_rows", static_cast<std::int64_t>(s.batchRows));
+        w.member("submit_us", s.submitUs);
+        w.member("claimed_us", s.claimedUs);
+        w.member("exec_start_us", s.execStartUs);
+        w.member("done_us", s.doneUs);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+void
+TraceRing::dumpJson(std::ostream &out, const char *(*statusName)(int)) const
+{
+    JsonWriter w(out);
+    dumpJson(w, statusName);
+    out << '\n';
+}
+
+} // namespace bbs::obs

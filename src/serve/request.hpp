@@ -13,6 +13,7 @@
 #define BBS_SERVE_REQUEST_HPP
 
 #include <chrono>
+#include <cstdint>
 #include <future>
 #include <memory>
 #include <string>
@@ -62,6 +63,8 @@ struct InferenceResponse
  */
 struct InferenceRequest
 {
+    /** Per-server monotonically increasing id (trace-span correlation). */
+    std::uint64_t id = 0;
     std::string model;
     std::vector<float> input;
     /**
@@ -73,6 +76,10 @@ struct InferenceRequest
     std::vector<float> logitsBuffer;
     std::shared_ptr<const Int8Network> engine;
     std::chrono::steady_clock::time_point enqueued;
+    /** When the queue handed this request to a batch; min() until then
+     *  (trace spans show queued-but-never-claimed as claimed_us = -1). */
+    std::chrono::steady_clock::time_point claimed =
+        std::chrono::steady_clock::time_point::min();
     /** steady_clock::time_point::max() means "no deadline". */
     std::chrono::steady_clock::time_point deadline;
     std::promise<InferenceResponse> promise;

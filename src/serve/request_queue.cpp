@@ -16,14 +16,49 @@ RequestQueue::decrementLive(const std::string &model, std::int64_t n)
 }
 
 void
+RequestQueue::observe(obs::Gauge *depth, obs::TraceRing *trace,
+                      std::chrono::steady_clock::time_point epoch,
+                      obs::Counter *expired, obs::Counter *shutdownRejected)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    depthGauge_ = depth;
+    trace_ = trace;
+    epoch_ = epoch;
+    expiredCounter_ = expired;
+    shutdownCounter_ = shutdownRejected;
+    if (depthGauge_)
+        depthGauge_->set(static_cast<std::int64_t>(queue_.size()));
+}
+
+void
+RequestQueue::publishDepth()
+{
+    if (depthGauge_)
+        depthGauge_->set(static_cast<std::int64_t>(queue_.size()));
+}
+
+void
 RequestQueue::reject(InferenceRequest &r, ServeStatus status)
 {
+    if (status == ServeStatus::DeadlineExpired && expiredCounter_)
+        expiredCounter_->inc();
+    else if (status == ServeStatus::ShutDown && shutdownCounter_)
+        shutdownCounter_->inc();
     InferenceResponse resp;
     resp.status = status;
     auto now = std::chrono::steady_clock::now();
     resp.queueUs = microsBetween(r.enqueued, now);
     resp.totalUs = resp.queueUs;
     r.promise.set_value(std::move(resp));
+    if (trace_) {
+        obs::TraceSpan span;
+        span.id = r.id;
+        span.setModel(r.model);
+        span.status = static_cast<int>(status);
+        span.submitUs = microsBetween(epoch_, r.enqueued);
+        span.doneUs = microsBetween(epoch_, now);
+        trace_->record(span);
+    }
 }
 
 bool
@@ -39,6 +74,7 @@ RequestQueue::push(InferenceRequest r)
         ++liveByModel_[r.model];
         queue_.push_back(std::move(r));
         ++arrivals_;
+        publishDepth();
     }
     cv_.notify_all();
     return true;
@@ -60,8 +96,11 @@ RequestQueue::waitFront()
         if (!queue_.empty()) {
             InferenceRequest r = std::move(queue_.front());
             queue_.pop_front();
+            publishDepth();
+            r.claimed = now;
             return r;
         }
+        publishDepth(); // expiry pops above may have drained it
         if (shutdown_)
             return std::nullopt;
         // Everything queued had expired; wait for fresh work.
@@ -96,6 +135,7 @@ RequestQueue::popModelInto(const std::string &model, std::int64_t maxCount,
             reject(*it, ServeStatus::DeadlineExpired);
             it = queue_.erase(it);
         } else if (it->model == model) {
+            it->claimed = now;
             out.push_back(std::move(*it));
             ++appended;
             it = queue_.erase(it);
@@ -103,6 +143,7 @@ RequestQueue::popModelInto(const std::string &model, std::int64_t maxCount,
             ++it;
         }
     }
+    publishDepth();
     return appended;
 }
 
@@ -128,6 +169,7 @@ RequestQueue::shutdown()
             reject(r, ServeStatus::ShutDown);
         }
         queue_.clear();
+        publishDepth();
     }
     cv_.notify_all();
 }

@@ -21,6 +21,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/request.hpp"
 
 namespace bbs {
@@ -28,6 +30,21 @@ namespace bbs {
 class RequestQueue
 {
   public:
+    /**
+     * Attach observability sinks (all optional; call before serving
+     * starts): a depth gauge updated under the queue lock on every
+     * push/pop/shutdown (so it is exact), a trace ring + steady-clock
+     * epoch for the spans of requests the QUEUE rejects (expiry noticed
+     * during a pop scan, shutdown) — the server records everything else
+     * — and shared expiry/shutdown counters so queue-side rejections
+     * land in the same registry series as server-side ones
+     * (expiredCount()/shutdownCount() keep the queue-only tallies).
+     */
+    void observe(obs::Gauge *depth, obs::TraceRing *trace,
+                 std::chrono::steady_clock::time_point epoch,
+                 obs::Counter *expired = nullptr,
+                 obs::Counter *shutdownRejected = nullptr);
+
     /**
      * Enqueue. Returns false — completing the promise with ShutDown —
      * when the queue is already shut down.
@@ -109,11 +126,21 @@ class RequestQueue
     std::uint64_t shutdownCount() const;
 
   private:
-    /** Complete @p r's future with a non-Ok terminal status. */
-    static void reject(InferenceRequest &r, ServeStatus status);
+    /** Complete @p r's future with a non-Ok terminal status (and leave
+     *  a trace span when a ring is attached). */
+    void reject(InferenceRequest &r, ServeStatus status);
 
     /** Drop @p n from @p model's live count; requires mutex_ held. */
     void decrementLive(const std::string &model, std::int64_t n);
+
+    /** Publish queue_.size() to the depth gauge; requires mutex_ held. */
+    void publishDepth();
+
+    obs::Gauge *depthGauge_ = nullptr;
+    obs::TraceRing *trace_ = nullptr;
+    obs::Counter *expiredCounter_ = nullptr;
+    obs::Counter *shutdownCounter_ = nullptr;
+    std::chrono::steady_clock::time_point epoch_{};
 
     mutable std::mutex mutex_;
     std::condition_variable cv_;

@@ -2,6 +2,7 @@
 
 #include "common/logging.hpp"
 #include "nn/network.hpp"
+#include "obs/exposition.hpp"
 
 namespace bbs {
 
@@ -9,12 +10,23 @@ InferenceServer::InferenceServer(std::shared_ptr<ModelRegistry> registry,
                                  ServerConfig config)
     : registry_(std::move(registry)),
       config_(config),
+      epoch_(std::chrono::steady_clock::now()),
       batcher_(queue_, BatcherConfig{config.maxBatch, config.maxDelayUs}),
-      stats_(config.maxBatch)
+      stats_(config.maxBatch, &metrics_),
+      submitted_(metrics_.counter("bbs_serve_requests_submitted_total",
+                                  "submit() calls, before validation"))
 {
     BBS_REQUIRE(registry_ != nullptr, "server needs a model registry");
     BBS_REQUIRE(config_.workers >= 0, "workers must be >= 0, got ",
                 config_.workers);
+    // The rejection counters were registered by stats_; get-or-create
+    // hands the queue the same instances, so queue-side and server-side
+    // rejections accumulate into one series each.
+    queue_.observe(&metrics_.gauge("bbs_serve_queue_depth",
+                                   "Requests currently queued"),
+                   &trace_, epoch_,
+                   &metrics_.counter("bbs_serve_requests_expired_total"),
+                   &metrics_.counter("bbs_serve_requests_shutdown_total"));
     workers_.reserve(static_cast<std::size_t>(config_.workers));
     for (int w = 0; w < config_.workers; ++w)
         workers_.emplace_back([this] { workerLoop(); });
@@ -30,6 +42,7 @@ InferenceServer::submit(const std::string &model, std::vector<float> input,
                         std::int64_t deadlineUs)
 {
     InferenceRequest r;
+    r.id = nextId_.fetch_add(1, std::memory_order_relaxed);
     r.model = model;
     r.input = std::move(input);
     r.enqueued = std::chrono::steady_clock::now();
@@ -37,6 +50,7 @@ InferenceServer::submit(const std::string &model, std::vector<float> input,
                      ? r.enqueued + std::chrono::microseconds(deadlineUs)
                      : std::chrono::steady_clock::time_point::max();
     std::future<InferenceResponse> fut = r.promise.get_future();
+    submitted_.inc();
 
     r.engine = registry_->find(model);
     ServeStatus bad = ServeStatus::Ok;
@@ -47,11 +61,23 @@ InferenceServer::submit(const std::string &model, std::vector<float> input,
         bad = ServeStatus::BadInput;
     if (bad != ServeStatus::Ok) {
         stats_.recordRejection(bad);
+        recordSpan(r, bad, 0, std::chrono::steady_clock::time_point::min(),
+                   std::chrono::steady_clock::now());
         InferenceResponse resp;
         resp.status = bad;
         r.promise.set_value(std::move(resp));
         return fut;
     }
+
+    // Per-model admission counter. Registered only for KNOWN model names
+    // (bounded label cardinality); the registry's get-or-create makes
+    // repeat submits one mutex-guarded hash lookup, which is noise on
+    // the submit side — the drain side touches no registry.
+    metrics_
+        .counter("bbs_serve_model_requests_total",
+                 "Accepted requests per model",
+                 "model=\"" + model + "\"")
+        .inc();
 
     // Response storage is allocated HERE, on the submitting thread: the
     // executor moves it into the response and fills it in place, so the
@@ -104,6 +130,9 @@ InferenceServer::execute(std::vector<InferenceRequest> &batch)
                 resp.queueUs = microsBetween(r.enqueued, now);
                 resp.totalUs = resp.queueUs;
                 r.promise.set_value(std::move(resp));
+                recordSpan(r, ServeStatus::DeadlineExpired, 0,
+                           std::chrono::steady_clock::time_point::min(),
+                           now);
             } else {
                 if (keep != i)
                     batch[keep] = std::move(batch[i]);
@@ -181,6 +210,10 @@ InferenceServer::execute(std::vector<InferenceRequest> &batch)
             resp.totalUs = microsBetween(req.enqueued, doneAt);
             stats_.recordCompletion(resp.queueUs, resp.totalUs);
             req.promise.set_value(std::move(resp));
+            // Trace span: a stack POD copied under the ring's mutex —
+            // the drain path's zero-allocation invariant holds.
+            recordSpan(req, ServeStatus::Ok, static_cast<std::int32_t>(n),
+                       execStart, doneAt);
         }
         queue_.markCompleted(runModel, n);
         done = runEnd;
@@ -202,11 +235,50 @@ InferenceServer::stats() const
 {
     // Rejections happen on both sides: in the queue (expiry noticed at
     // pop, shutdown) and in the server (expiry noticed at flush, bad
-    // submissions) — merge additively.
+    // submissions). Both sides increment the SAME registry counters
+    // (see the queue_.observe call in the constructor), so the snapshot
+    // already carries the merged totals.
     StatsSnapshot s = stats_.snapshot();
-    s.expired += queue_.expiredCount();
-    s.shutdownRejected += queue_.shutdownCount();
+    s.queueDepth = queue_.size();
     return s;
+}
+
+void
+InferenceServer::recordSpan(const InferenceRequest &r, ServeStatus status,
+                            std::int32_t batchRows,
+                            std::chrono::steady_clock::time_point execStart,
+                            std::chrono::steady_clock::time_point done)
+{
+    constexpr auto kNever = std::chrono::steady_clock::time_point::min();
+    obs::TraceSpan span;
+    span.id = r.id;
+    span.setModel(r.model);
+    span.status = static_cast<int>(status);
+    span.batchRows = batchRows;
+    span.submitUs = microsBetween(epoch_, r.enqueued);
+    if (r.claimed != kNever)
+        span.claimedUs = microsBetween(epoch_, r.claimed);
+    if (execStart != kNever)
+        span.execStartUs = microsBetween(epoch_, execStart);
+    span.doneUs = microsBetween(epoch_, done);
+    trace_.record(span);
+}
+
+std::string
+InferenceServer::metricsText(bool includeGlobal) const
+{
+    std::string text = obs::prometheusText(metrics_.snapshot());
+    if (includeGlobal)
+        text += obs::prometheusText(obs::Registry::global().snapshot());
+    return text;
+}
+
+void
+InferenceServer::dumpTrace(std::ostream &out) const
+{
+    trace_.dumpJson(out, [](int s) {
+        return serveStatusName(static_cast<ServeStatus>(s));
+    });
 }
 
 const char *

@@ -21,11 +21,15 @@
 #ifndef BBS_SERVE_SERVER_HPP
 #define BBS_SERVE_SERVER_HPP
 
+#include <atomic>
 #include <future>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/batcher.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/request_queue.hpp"
@@ -84,6 +88,26 @@ class InferenceServer
     const ServerConfig &config() const { return config_; }
     const ModelRegistry &registry() const { return *registry_; }
 
+    /** This server's metric registry (serving-layer series; the
+     *  engine/pool series live in obs::Registry::global()). */
+    obs::Registry &metrics() { return metrics_; }
+    const obs::Registry &metrics() const { return metrics_; }
+
+    /**
+     * Prometheus text exposition of this server's registry, with the
+     * process-global (engine/pool) series appended when
+     * @p includeGlobal — one scrape shows the whole vertical.
+     */
+    std::string metricsText(bool includeGlobal = true) const;
+
+    /** The per-request trace ring (submit → claimed → execute →
+     *  complete spans for the most recent requests). */
+    const obs::TraceRing &trace() const { return trace_; }
+
+    /** Dump the trace ring as one JSON document (serve_demo
+     *  --trace-dump, the soak harness). */
+    void dumpTrace(std::ostream &out) const;
+
   private:
     void workerLoop();
     /**
@@ -95,11 +119,25 @@ class InferenceServer
      */
     void execute(std::vector<InferenceRequest> &batch);
 
+    /** Trace span for a request reaching its terminal state in the
+     *  server (submit-side rejects, flush-time expiry, Ok). */
+    void recordSpan(const InferenceRequest &r, ServeStatus status,
+                    std::int32_t batchRows,
+                    std::chrono::steady_clock::time_point execStart,
+                    std::chrono::steady_clock::time_point done);
+
     std::shared_ptr<ModelRegistry> registry_;
     ServerConfig config_;
+    /** Declared before stats_/queue_: they register metrics here. */
+    obs::Registry metrics_;
+    obs::TraceRing trace_;
+    /** steady-clock zero of every trace-span timestamp. */
+    std::chrono::steady_clock::time_point epoch_;
+    std::atomic<std::uint64_t> nextId_{1};
     RequestQueue queue_;
     Batcher batcher_;
     ServerStats stats_;
+    obs::Counter &submitted_; ///< all submit() calls, pre-validation
     std::vector<std::thread> workers_;
 };
 

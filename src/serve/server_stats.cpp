@@ -1,15 +1,51 @@
 #include "serve/server_stats.hpp"
 
 #include <algorithm>
+#include <numeric>
 
 #include "common/logging.hpp"
 #include "common/stats.hpp"
 
 namespace bbs {
 
-ServerStats::ServerStats(std::int64_t maxBatch)
-    : start_(std::chrono::steady_clock::now()),
-      batchHist_(static_cast<std::size_t>(maxBatch) + 1, 0)
+namespace {
+
+/** Unit bucket bounds 1..maxBatch: batch sizes are small integers, so
+ *  exact buckets reproduce the classic batchHist losslessly. */
+std::vector<double>
+unitBounds(std::int64_t maxBatch)
+{
+    std::vector<double> b(static_cast<std::size_t>(maxBatch));
+    std::iota(b.begin(), b.end(), 1.0);
+    return b;
+}
+
+} // namespace
+
+ServerStats::ServerStats(std::int64_t maxBatch, obs::Registry *registry)
+    : owned_(registry ? nullptr : new obs::Registry),
+      registry_(registry ? *registry : *owned_),
+      completed_(registry_.counter("bbs_serve_requests_completed_total",
+                                   "Requests served Ok")),
+      expired_(registry_.counter("bbs_serve_requests_expired_total",
+                                 "DeadlineExpired rejections")),
+      shutdownRejected_(registry_.counter(
+          "bbs_serve_requests_shutdown_total", "ShutDown rejections")),
+      badRequests_(registry_.counter(
+          "bbs_serve_requests_bad_total",
+          "UnknownModel and BadInput rejections")),
+      batches_(registry_.counter("bbs_serve_batches_total",
+                                 "Executed GEMM batches")),
+      batchRows_(registry_.histogram("bbs_serve_batch_rows",
+                                     unitBounds(maxBatch),
+                                     "Requests per executed batch")),
+      latencyUs_(registry_.histogram("bbs_serve_latency_us",
+                                     obs::Histogram::latencyBoundsUs(),
+                                     "Submit to completion, microseconds")),
+      queueWaitUs_(registry_.histogram(
+          "bbs_serve_queue_wait_us", obs::Histogram::latencyBoundsUs(),
+          "Submit to batch execution start, microseconds")),
+      start_(std::chrono::steady_clock::now())
 {
     BBS_REQUIRE(maxBatch >= 1, "maxBatch must be >= 1, got ", maxBatch);
     // The full window up front (~1 MiB): recordCompletion's push_back
@@ -23,10 +59,14 @@ ServerStats::ServerStats(std::int64_t maxBatch)
 void
 ServerStats::recordCompletion(double queueUs, double totalUs)
 {
+    completed_.inc();
+    latencyUs_.observe(totalUs);
+    queueWaitUs_.observe(queueUs);
+
     std::lock_guard<std::mutex> lock(mutex_);
-    std::size_t pos = static_cast<std::size_t>(completed_) %
+    std::size_t pos = static_cast<std::size_t>(ringWrites_) %
                       kLatencyWindow;
-    ++completed_;
+    ++ringWrites_;
     if (pos < latenciesUs_.size()) { // window full: overwrite oldest
         latenciesUs_[pos] = totalUs;
         queueUs_[pos] = queueUs;
@@ -39,23 +79,18 @@ ServerStats::recordCompletion(double queueUs, double totalUs)
 void
 ServerStats::recordBatch(std::int64_t rows)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++batches_;
-    batchRowsTotal_ += static_cast<std::uint64_t>(rows);
-    std::size_t bucket =
-        std::min(static_cast<std::size_t>(rows), batchHist_.size() - 1);
-    ++batchHist_[bucket];
+    batches_.inc();
+    batchRows_.observe(static_cast<double>(rows));
 }
 
 void
 ServerStats::recordRejection(ServeStatus status)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
     switch (status) {
-    case ServeStatus::DeadlineExpired: ++expired_; break;
-    case ServeStatus::ShutDown: ++shutdownRejected_; break;
+    case ServeStatus::DeadlineExpired: expired_.inc(); break;
+    case ServeStatus::ShutDown: shutdownRejected_.inc(); break;
     case ServeStatus::UnknownModel:
-    case ServeStatus::BadInput: ++badRequests_; break;
+    case ServeStatus::BadInput: badRequests_.inc(); break;
     case ServeStatus::Ok: break; // not a rejection; ignore
     }
 }
@@ -63,14 +98,30 @@ ServerStats::recordRejection(ServeStatus status)
 StatsSnapshot
 ServerStats::snapshot() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
     StatsSnapshot s;
-    s.completed = completed_;
-    s.expired = expired_;
-    s.shutdownRejected = shutdownRejected_;
-    s.badRequests = badRequests_;
-    s.batches = batches_;
-    s.batchHist = batchHist_;
+    s.completed = completed_.value();
+    s.expired = expired_.value();
+    s.shutdownRejected = shutdownRejected_.value();
+    s.badRequests = badRequests_.value();
+    s.batches = batches_.value();
+
+    // batchHist reconstructed from the unit-bucket histogram: bound n
+    // (inclusive) is bucket index n-1, so hist[n] = bucketCount(n-1).
+    // rows is always within 1..maxBatch, so the +Inf tail stays empty.
+    std::size_t maxBatch = batchRows_.bounds().size();
+    s.batchHist.assign(maxBatch + 1, 0);
+    for (std::size_t n = 1; n <= maxBatch; ++n)
+        s.batchHist[n] = batchRows_.bucketCount(n - 1);
+    std::uint64_t batchCount = batchRows_.count();
+    if (batchCount > 0)
+        s.meanBatchRows = batchRows_.sum() /
+                          static_cast<double>(batchCount);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    s.latencyWindow = kLatencyWindow;
+    s.latencyDropped = ringWrites_ > kLatencyWindow
+                           ? ringWrites_ - kLatencyWindow
+                           : 0;
     if (!latenciesUs_.empty()) {
         s.p50Us = percentile(latenciesUs_, 50.0);
         s.p99Us = percentile(latenciesUs_, 99.0);
@@ -79,27 +130,31 @@ ServerStats::snapshot() const
                                     latenciesUs_.end());
         s.meanQueueUs = mean(queueUs_);
     }
-    if (batches_ > 0)
-        s.meanBatchRows = static_cast<double>(batchRowsTotal_) /
-                          static_cast<double>(batches_);
     s.elapsedS = std::chrono::duration<double>(
                      std::chrono::steady_clock::now() - start_)
                      .count();
     if (s.elapsedS > 0.0)
-        s.throughputRps = static_cast<double>(completed_) / s.elapsedS;
+        s.throughputRps = static_cast<double>(s.completed) / s.elapsedS;
     return s;
 }
 
 void
 ServerStats::reset()
 {
+    completed_.reset();
+    expired_.reset();
+    shutdownRejected_.reset();
+    badRequests_.reset();
+    batches_.reset();
+    batchRows_.reset();
+    latencyUs_.reset();
+    queueWaitUs_.reset();
+
     std::lock_guard<std::mutex> lock(mutex_);
     start_ = std::chrono::steady_clock::now();
     latenciesUs_.clear();
     queueUs_.clear();
-    std::fill(batchHist_.begin(), batchHist_.end(), 0);
-    completed_ = expired_ = shutdownRejected_ = badRequests_ = 0;
-    batches_ = batchRowsTotal_ = 0;
+    ringWrites_ = 0;
 }
 
 } // namespace bbs

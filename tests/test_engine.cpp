@@ -367,6 +367,43 @@ TEST(PackedOperandTest, DeserializeRejectsCorruptBlobs)
     EXPECT_EQ(ok.cols(), 64);
 }
 
+TEST(PackedOperandTest, TryDeserializeReportsInsteadOfExiting)
+{
+    // The non-fatal entry point (fault injection, servers that must
+    // survive a bad blob): same validation as deserialize(), but the
+    // outcome is a bool + message and the process keeps running.
+    Rng rng(123);
+    Session s;
+    PackedOperand original =
+        s.pack(randomMatrix(4, 64, rng),
+               PackOptions{32, 3, PruneStrategy::ZeroPointShifting});
+    std::vector<std::uint8_t> good = original.serialize();
+
+    PackedOperand out;
+    std::string error;
+
+    std::vector<std::uint8_t> badMagic = good;
+    badMagic[0] ^= 0xff;
+    EXPECT_FALSE(PackedOperand::tryDeserialize(badMagic, out, &error));
+    EXPECT_NE(error.find("magic"), std::string::npos) << error;
+
+    error.clear();
+    EXPECT_FALSE(PackedOperand::tryDeserialize(
+        std::span<const std::uint8_t>(good.data(), 9), out, &error));
+    EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+
+    // nullptr error is allowed (caller only wants the verdict).
+    EXPECT_FALSE(PackedOperand::tryDeserialize(badMagic, out, nullptr));
+
+    // The intact blob loads and reconstructs the original operand's
+    // own (lossy-compression) reconstruction bit-exactly.
+    ASSERT_TRUE(PackedOperand::tryDeserialize(good, out, &error)) << error;
+    Int8Tensor round = out.unpack(), ref = original.unpack();
+    ASSERT_EQ(round.numel(), ref.numel());
+    for (std::int64_t i = 0; i < ref.numel(); ++i)
+        ASSERT_EQ(round.flat(i), ref.flat(i)) << "i=" << i;
+}
+
 TEST(PackedOperandTest, UnpackIsExact)
 {
     Rng rng(66);

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * JsonWriter tests — the single escaper/nesting discipline every JSON
+ * artifact in the project (bench --json, metric records, trace dumps,
+ * soak timelines) flows through, so its edge cases are everyone's edge
+ * cases.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/json_writer.hpp"
+
+namespace bbs {
+namespace {
+
+TEST(JsonEscape, QuotesBackslashesAndControlCharacters)
+{
+    EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+    EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(JsonWriter::escape("a\\b"), "a\\\\b");
+    EXPECT_EQ(JsonWriter::escape("a\nb\tc"), "a\\nb\\tc");
+    EXPECT_EQ(JsonWriter::escape("\b\f\r"), "\\b\\f\\r");
+    // Control characters without a shorthand become \uXXXX.
+    EXPECT_EQ(JsonWriter::escape(std::string_view("\x01\x1f", 2)),
+              "\\u0001\\u001f");
+    // UTF-8 passes through untouched.
+    EXPECT_EQ(JsonWriter::escape("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(JsonNumber, IntegralDecimalAndNonFinite)
+{
+    EXPECT_EQ(JsonWriter::number(3.0), "3");
+    EXPECT_EQ(JsonWriter::number(-2.5), "-2.5");
+    EXPECT_EQ(JsonWriter::number(0.1), "0.1"); // no %.17g noise tail
+    // JSON cannot represent these; the writer clamps to 0 so consumers
+    // doing arithmetic never see a parse error.
+    EXPECT_EQ(JsonWriter::number(std::nan("")), "0");
+    EXPECT_EQ(JsonWriter::number(INFINITY), "0");
+    EXPECT_EQ(JsonWriter::number(-INFINITY), "0");
+}
+
+TEST(JsonWriter, NestedContainersWithCommaDiscipline)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.member("name", "x");
+    w.member("n", std::int64_t{-4});
+    w.member("ok", true);
+    w.key("vals");
+    w.beginArray();
+    w.value(1.5);
+    w.value("two");
+    w.beginObject();
+    w.member("k", std::uint64_t{7});
+    w.endObject();
+    w.endArray();
+    w.endObject();
+    EXPECT_TRUE(w.complete());
+    EXPECT_EQ(os.str(), "{\"name\": \"x\", \"n\": -4, \"ok\": true, "
+                        "\"vals\": [1.5, \"two\", {\"k\": 7}]}");
+}
+
+TEST(JsonWriter, RawSplicesPreRenderedFragmentsAsValues)
+{
+    // The bench_common shape: records rendered earlier, spliced into the
+    // flush-time document as array elements.
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("records");
+    w.beginArray();
+    w.raw("{\"a\": 1}");
+    w.raw("{\"b\": 2}");
+    w.endArray();
+    w.endObject();
+    EXPECT_TRUE(w.complete());
+    EXPECT_EQ(os.str(), "{\"records\": [{\"a\": 1}, {\"b\": 2}]}");
+}
+
+TEST(JsonWriter, TopLevelScalarAndCompleteness)
+{
+    {
+        std::ostringstream os;
+        JsonWriter w(os);
+        EXPECT_FALSE(w.complete()); // nothing written yet
+        w.value("solo");
+        EXPECT_TRUE(w.complete());
+        EXPECT_EQ(os.str(), "\"solo\"");
+    }
+    {
+        std::ostringstream os;
+        JsonWriter w(os);
+        w.beginObject();
+        EXPECT_FALSE(w.complete()); // open container
+        w.endObject();
+        EXPECT_TRUE(w.complete());
+        EXPECT_EQ(os.str(), "{}");
+    }
+}
+
+TEST(JsonWriter, EscapesKeysToo)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.member("we\"ird", std::int64_t{1});
+    w.endObject();
+    EXPECT_EQ(os.str(), "{\"we\\\"ird\": 1}");
+}
+
+} // namespace
+} // namespace bbs
