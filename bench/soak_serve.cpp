@@ -14,8 +14,13 @@
  * is the server's, not the load generator's.
  *
  * Observability loop. The server runs with workers = 0 and the harness
- * owns the drain thread, so common/alloc_count.hpp's thread-local
- * counter measures exactly the drain path's heap traffic. Every window
+ * owns one drain thread per queue shard, so common/alloc_count.hpp's
+ * thread-local counters measure exactly the drain paths' heap traffic.
+ * Admission control is ON (maxShardDepth) — the soak covers the
+ * production shape, and Overloaded is a legal answer under backlog. A
+ * NetServer runs over the same engine and a slice of the traffic
+ * arrives through the socket path, so the epoll loop, framing and
+ * completion plumbing soak alongside the kernels. Every window
  * (1-2 s) the harness scrapes the server registry + the process-global
  * registry, computes the window's completed-rate and p99 (from latency
  * histogram bucket DELTAS — the percentile of that window alone), reads
@@ -24,9 +29,15 @@
  *
  * Chaos. Mid-run the harness injects: a drain stall (the "worker wedged
  * mid-batch" fault — queue depth spikes, deadlines expire, then the
- * backlog drains), a malformed PackedOperand blob that MUST be rejected
- * by tryDeserialize (the registry-load fault), a queue-overflow burst of
- * tight-deadline requests (the expiry counters must absorb it), and a
+ * backlog drains), a shard drain-thread KILL + restart (the shard goes
+ * dead for 300 ms, then the restarted thread must drain the backlog and
+ * serve bit-identically again), a connection stalled MID-FRAME for a
+ * second (half a Request frame held across a window — other connections
+ * must keep being served, and completing the frame must still yield the
+ * bit-exact answer), a malformed PackedOperand blob that MUST be
+ * rejected by tryDeserialize (the registry-load fault), a
+ * queue-overflow burst of tight-deadline requests (with admission on,
+ * the shed + expiry counters together must absorb it), and a
  * worker-pool hog (a foreign parallelFor occupies the persistent pool,
  * forcing the server's GEMMs onto the spawn-per-call fallback — visible
  * in bbs_pool_fallback_total). Fault windows and one recovery window
@@ -43,7 +54,7 @@
  *   - the final Prometheus exposition round-trips through
  *     obs::parsePrometheusText and agrees with the stats snapshot.
  *
- * Defaults are a short smoke (~16 s); nightly CI runs --seconds 180.
+ * Defaults are a short smoke (~20 s); nightly CI runs --seconds 180.
  */
 #include <algorithm>
 #include <atomic>
@@ -69,6 +80,8 @@
 #include "common/random.hpp"
 #include "common/table.hpp"
 #include "engine/packed_operand.hpp"
+#include "net/net_client.hpp"
+#include "net/net_server.hpp"
 #include "nn/layers.hpp"
 #include "obs/exposition.hpp"
 #include "serve/server.hpp"
@@ -256,7 +269,10 @@ struct ChaosReport
     bool blobCorruptRejected = false;
     bool blobTruncatedRejected = false;
     bool blobIntactAccepted = false;
+    bool shardRestartServed = false; ///< killed shard serves after restart
+    bool netStallServed = false;     ///< mid-frame stall completes to Ok
     std::uint64_t burstExpired = 0;
+    std::uint64_t burstShed = 0; ///< burst requests answered Overloaded
     std::uint64_t hogFallbacks = 0;
     bool hogRan = false;
 };
@@ -337,7 +353,7 @@ medianOf(std::vector<double> v)
 int
 main(int argc, char **argv)
 {
-    double seconds = 16.0;
+    double seconds = 20.0;
     int clients = 64;
     std::string timelinePath;
     for (int i = 1; i + 1 < argc; ++i) {
@@ -394,28 +410,70 @@ main(int argc, char **argv)
         }
     }
 
-    // ---- server: workers = 0, the harness owns the drain thread so the
-    //      thread-local alloc counter measures exactly the drain path.
+    // ---- server: workers = 0, the harness owns one drain thread PER
+    //      SHARD so the thread-local alloc counters measure exactly the
+    //      drain paths. Admission control is on — the production shape.
     ServerConfig cfg;
     cfg.maxBatch = 64;
     cfg.maxDelayUs = 1000;
     cfg.workers = 0;
+    cfg.shards = 2;
+    cfg.maxShardDepth = 4096;
     InferenceServer server(registry, cfg);
+    const std::size_t kShards = server.queues().shardCount();
+    // The shard the most popular model routes to: the stall and
+    // kill/restart faults target it so the faulted shard is guaranteed
+    // live traffic (a drain thread on an idle shard blocks in
+    // drainOnce and would never observe its kill flag).
+    const std::size_t victimShard =
+        server.queues().indexFor(kModels[0].name);
 
     std::atomic<long long> stallUntilNs{0}; ///< drain-stall fault handle
-    std::atomic<std::uint64_t> drainAllocsPub{0};
-    std::thread drain([&] {
+    struct DrainShard
+    {
+        std::atomic<std::uint64_t> allocsPub{0};
+        std::atomic<bool> kill{false};
+        std::uint64_t allocBase = 0; ///< allocs of dead incarnations
+        std::thread thread;
+    };
+    std::vector<DrainShard> drains(kShards);
+    auto drainLoop = [&](std::size_t s) {
+        DrainShard &ds = drains[s];
+        std::uint64_t base = ds.allocBase;
         for (;;) {
-            long long s = stallUntilNs.load(std::memory_order_relaxed);
-            long long now = Clock::now().time_since_epoch().count();
-            if (s > now)
-                std::this_thread::sleep_for(std::chrono::nanoseconds(s - now));
-            if (server.drainOnce() == 0)
+            if (s == victimShard) {
+                long long st =
+                    stallUntilNs.load(std::memory_order_relaxed);
+                long long now = Clock::now().time_since_epoch().count();
+                if (st > now)
+                    std::this_thread::sleep_for(
+                        std::chrono::nanoseconds(st - now));
+            }
+            if (ds.kill.load(std::memory_order_relaxed))
                 break;
-            drainAllocsPub.store(threadAllocCount(),
-                                 std::memory_order_relaxed);
+            if (server.drainOnce(s) == 0)
+                break;
+            ds.allocsPub.store(base + threadAllocCount(),
+                               std::memory_order_relaxed);
         }
-    });
+        // Hand the tally to the next incarnation (the kill/restart
+        // fault joins this thread before starting the next one).
+        ds.allocBase = base + threadAllocCount();
+        ds.allocsPub.store(ds.allocBase, std::memory_order_relaxed);
+    };
+    for (std::size_t s = 0; s < kShards; ++s)
+        drains[s].thread = std::thread(drainLoop, s);
+    auto drainAllocsTotal = [&] {
+        std::uint64_t sum = 0;
+        for (const DrainShard &d : drains)
+            sum += d.allocsPub.load(std::memory_order_relaxed);
+        return sum;
+    };
+
+    // ---- network front-end over the same engine: a slice of the soak
+    //      traffic arrives through the socket path.
+    net::NetServer netServer(server, net::NetServerConfig{});
+    netServer.start();
 
     std::atomic<std::uint64_t> mismatches{0};
     auto checkResponse = [&](std::size_t mi, std::size_t sample,
@@ -424,7 +482,10 @@ main(int argc, char **argv)
             if (r.logits != models[mi].oracle[sample])
                 mismatches.fetch_add(1);
         } else if (r.status != ServeStatus::DeadlineExpired &&
-                   r.status != ServeStatus::ShutDown) {
+                   r.status != ServeStatus::ShutDown &&
+                   r.status != ServeStatus::Overloaded) {
+            // Overloaded is legal here: admission control is armed, so
+            // backlogs behind a stalled/killed drain shed at the door.
             mismatches.fetch_add(1);
         }
     };
@@ -543,6 +604,48 @@ main(int argc, char **argv)
         });
     }
 
+    // ---- net clients: light closed-loop traffic through the socket
+    //      front-end for the whole open-loop phase (constant extra load,
+    //      so the throughput gate's baseline includes it).
+    constexpr int kNetClients = 2;
+    std::atomic<std::uint64_t> netOk{0}, netShed{0}, netErrors{0};
+    std::vector<std::thread> netLoad;
+    for (int t = 0; t < kNetClients; ++t) {
+        netLoad.emplace_back([&, t] {
+            net::NetClient client;
+            if (!client.connect("127.0.0.1", netServer.port(),
+                                /*recvTimeoutMs=*/30000)) {
+                netErrors.fetch_add(1);
+                return;
+            }
+            std::size_t i = 0;
+            while (running.load(std::memory_order_relaxed)) {
+                std::size_t mi =
+                    (static_cast<std::size_t>(t) + i) % kNumModels;
+                std::size_t s = i % kPoolSize;
+                auto resp =
+                    client.request(models[mi].name, models[mi].pool[s]);
+                if (!resp.has_value()) {
+                    netErrors.fetch_add(1);
+                    break;
+                }
+                auto status = static_cast<ServeStatus>(resp->status);
+                if (status == ServeStatus::Ok) {
+                    if (resp->logits == models[mi].oracle[s])
+                        netOk.fetch_add(1);
+                    else
+                        mismatches.fetch_add(1);
+                } else if (status == ServeStatus::Overloaded) {
+                    netShed.fetch_add(1);
+                } else if (status != ServeStatus::ShutDown) {
+                    mismatches.fetch_add(1);
+                }
+                ++i;
+                std::this_thread::sleep_for(std::chrono::milliseconds(10));
+            }
+        });
+    }
+
     // ---- chaos thread: scheduled faults at fixed fractions of the run.
     ChaosReport chaos;
     std::thread chaosThread([&] {
@@ -572,37 +675,98 @@ main(int argc, char **argv)
             faults.end(ev, sinceStart(Clock::now()));
         }
 
-        // Fault 2: malformed operand blob at "registry load" — must be
+        // Fault 2: kill the victim shard's drain thread outright, leave
+        // the shard dead for 300 ms, restart it. The backlog must drain
+        // and the shard must serve bit-identically again; the OTHER
+        // shard keeps serving throughout.
+        if (sleepUntilFrac(0.35)) {
+            std::size_t ev = faults.begin("shard-drain-kill",
+                                          sinceStart(Clock::now()));
+            DrainShard &ds = drains[victimShard];
+            ds.kill.store(true, std::memory_order_relaxed);
+            ds.thread.join();
+            std::this_thread::sleep_for(std::chrono::milliseconds(300));
+            ds.kill.store(false, std::memory_order_relaxed);
+            ds.thread = std::thread(drainLoop, victimShard);
+            InferenceResponse probe =
+                server.submit(models[0].name, models[0].pool[0]).get();
+            chaos.shardRestartServed =
+                probe.status == ServeStatus::Ok &&
+                probe.logits == models[0].oracle[0];
+            faults.end(ev, sinceStart(Clock::now()));
+        }
+
+        // Fault 3: a connection stalls MID-FRAME — half a Request frame,
+        // then a one-second hold with the listener's framing state
+        // parked — while the net clients keep being served. Completing
+        // the frame must still yield the bit-exact answer.
+        if (sleepUntilFrac(0.44)) {
+            std::size_t ev = faults.begin("net-midframe-stall",
+                                          sinceStart(Clock::now()));
+            net::NetClient stall;
+            if (stall.connect("127.0.0.1", netServer.port(),
+                              /*recvTimeoutMs=*/10000)) {
+                net::RequestFrame r;
+                r.tag = 0x57a11;
+                r.model = models[0].name;
+                r.input = models[0].pool[3];
+                std::vector<std::uint8_t> frame;
+                net::encodeRequest(r, frame);
+                std::size_t half = frame.size() / 2;
+                if (stall.sendRaw(frame.data(), half)) {
+                    std::this_thread::sleep_for(std::chrono::seconds(1));
+                    net::ResponseFrame resp;
+                    chaos.netStallServed =
+                        stall.sendRaw(frame.data() + half,
+                                      frame.size() - half) &&
+                        stall.recvResponse(resp) && resp.tag == r.tag &&
+                        static_cast<ServeStatus>(resp.status) ==
+                            ServeStatus::Ok &&
+                        resp.logits == models[0].oracle[3];
+                }
+            }
+            faults.end(ev, sinceStart(Clock::now()));
+        }
+
+        // Fault 4: malformed operand blob at "registry load" — must be
         // rejected without terminating, and serving must not notice.
-        if (sleepUntilFrac(0.45)) {
+        if (sleepUntilFrac(0.52)) {
             std::size_t ev =
                 faults.begin("malformed-blob", sinceStart(Clock::now()));
             injectMalformedBlob(chaos);
             faults.end(ev, sinceStart(Clock::now()));
         }
 
-        // Fault 3: queue-overflow burst of tight-deadline requests; the
-        // expiry path must absorb it.
-        if (sleepUntilFrac(0.60)) {
+        // Fault 5: queue-overflow burst of tight-deadline requests;
+        // with admission armed most are shed with Overloaded at the
+        // door, the remainder expires — between them the burst must be
+        // fully absorbed.
+        if (sleepUntilFrac(0.62)) {
             std::size_t ev =
                 faults.begin("queue-burst", sinceStart(Clock::now()));
-            std::uint64_t before = counterValue(
-                server.metrics().snapshot(),
-                "bbs_serve_requests_expired_total");
+            auto before = server.metrics().snapshot();
+            std::uint64_t beforeExpired = counterValue(
+                before, "bbs_serve_requests_expired_total");
+            std::uint64_t beforeShed = counterValue(
+                before, "bbs_serve_requests_overloaded_total");
             for (int i = 0; i < 2048; ++i)
                 (void)server.submit(
                     models[0].name,
                     models[0].pool[static_cast<std::size_t>(i) % kPoolSize],
                     /*deadlineUs=*/100);
             std::this_thread::sleep_for(std::chrono::milliseconds(800));
+            auto after = server.metrics().snapshot();
             chaos.burstExpired =
-                counterValue(server.metrics().snapshot(),
-                             "bbs_serve_requests_expired_total") -
-                before;
+                counterValue(after, "bbs_serve_requests_expired_total") -
+                beforeExpired;
+            chaos.burstShed =
+                counterValue(after,
+                             "bbs_serve_requests_overloaded_total") -
+                beforeShed;
             faults.end(ev, sinceStart(Clock::now()));
         }
 
-        // Fault 4: a foreign parallelFor hogs the persistent worker
+        // Fault 6: a foreign parallelFor hogs the persistent worker
         // pool; the server's GEMMs must fall back (and keep serving).
         if (sleepUntilFrac(0.75) && maxWorkerThreads() > 1) {
             chaos.hogRan = true;
@@ -630,7 +794,7 @@ main(int argc, char **argv)
     // ---- windowed scraping on the main thread -------------------------
     std::vector<Window> windows;
     std::vector<obs::MetricSnapshot> prevScrape = scrapeAll(server);
-    std::uint64_t prevAllocs = drainAllocsPub.load();
+    std::uint64_t prevAllocs = drainAllocsTotal();
     int numWindows = static_cast<int>(seconds / windowS);
     for (int w = 0; w < numWindows; ++w) {
         std::this_thread::sleep_until(
@@ -649,11 +813,13 @@ main(int argc, char **argv)
         win.p99Us =
             p99FromDeltas(findMetric(win.scrape, "bbs_serve_latency_us"),
                           findMetric(prevScrape, "bbs_serve_latency_us"));
-        if (const obs::MetricSnapshot *d =
-                findMetric(win.scrape, "bbs_serve_queue_depth"))
-            win.queueDepth = d->gaugeValue;
+        // With shards > 1 the depth gauge is per shard (labelled);
+        // the window records the sum.
+        for (const obs::MetricSnapshot &m : win.scrape)
+            if (m.name == "bbs_serve_queue_depth")
+                win.queueDepth += m.gaugeValue;
         win.rssKb = rssKb();
-        std::uint64_t allocsNow = drainAllocsPub.load();
+        std::uint64_t allocsNow = drainAllocsTotal();
         win.drainAllocs = allocsNow - prevAllocs;
         prevAllocs = allocsNow;
 
@@ -677,11 +843,15 @@ main(int argc, char **argv)
     running.store(false);
     for (auto &th : load)
         th.join();
+    for (auto &th : netLoad)
+        th.join();
     chaosThread.join();
     StatsSnapshot finalStats = server.stats();
     std::string promText = server.metricsText(/*includeGlobal=*/true);
+    netServer.stop();
     server.stop();
-    drain.join();
+    for (auto &d : drains)
+        d.thread.join();
 
     // ---- report -------------------------------------------------------
     Table table({"t", "fault", "req/s", "p99", "queue", "rss", "allocs"});
@@ -740,10 +910,14 @@ main(int argc, char **argv)
         if (std::abs(w->rps - rps0) > 0.10 * rps0 + 20.0)
             gates.throughputStable = false;
 
-    // Faults must have been HANDLED, not merely survived.
-    gates.faultsHandled = chaos.blobCorruptRejected &&
-                          chaos.blobTruncatedRejected &&
-                          chaos.blobIntactAccepted;
+    // Faults must have been HANDLED, not merely survived: the blobs
+    // rejected, the killed shard serving again after restart, the
+    // mid-frame stall completed to a bit-exact answer, and the net
+    // clients' traffic clean throughout.
+    gates.faultsHandled =
+        chaos.blobCorruptRejected && chaos.blobTruncatedRejected &&
+        chaos.blobIntactAccepted && chaos.shardRestartServed &&
+        chaos.netStallServed && netErrors.load() == 0 && netOk.load() > 0;
 
     // The exposition must round-trip through the parser and agree with
     // the stats snapshot (same counters, two readings).
@@ -760,17 +934,30 @@ main(int argc, char **argv)
                 parsed.find("bbs_serve_latency_us_count");
             if (lc == nullptr)
                 gates.promRoundTrip = false;
+            // The net layer's counters ride the same registry.
+            if (parsed.find("bbs_net_frames_in_total") == nullptr)
+                gates.promRoundTrip = false;
         }
     }
 
     std::cout << format(
         "\nsteady windows %zu/%zu | median p99 %.2f ms | rss %ld -> %ld MB "
-        "| drain allocs %llu | burst expired %llu | pool fallbacks %llu%s\n",
+        "| drain allocs %llu | burst shed+expired %llu+%llu | pool "
+        "fallbacks %llu%s\n",
         steady.size(), windows.size(), medianOf(p99s) / 1e3, rss0 / 1024,
         rss1 / 1024, static_cast<unsigned long long>(steadyAllocs),
+        static_cast<unsigned long long>(chaos.burstShed),
         static_cast<unsigned long long>(chaos.burstExpired),
         static_cast<unsigned long long>(chaos.hogFallbacks),
         chaos.hogRan ? "" : " (hog skipped: 1 worker)");
+    std::cout << format(
+        "net: %llu ok, %llu shed, %llu errors | shard restart served %s | "
+        "mid-frame stall served %s\n",
+        static_cast<unsigned long long>(netOk.load()),
+        static_cast<unsigned long long>(netShed.load()),
+        static_cast<unsigned long long>(netErrors.load()),
+        chaos.shardRestartServed ? "yes" : "NO",
+        chaos.netStallServed ? "yes" : "NO");
 
     auto verdict = [](bool ok) { return ok ? "ok" : "FAILED"; };
     std::cout << format(
@@ -792,6 +979,12 @@ main(int argc, char **argv)
                     {"drain_allocs", static_cast<double>(steadyAllocs)},
                     {"burst_expired",
                      static_cast<double>(chaos.burstExpired)},
+                    {"burst_shed", static_cast<double>(chaos.burstShed)},
+                    {"net_ok", static_cast<double>(netOk.load())},
+                    {"net_shed", static_cast<double>(netShed.load())},
+                    {"shard_restart_served",
+                     chaos.shardRestartServed ? 1.0 : 0.0},
+                    {"net_stall_served", chaos.netStallServed ? 1.0 : 0.0},
                     {"passed", gates.all() ? 1.0 : 0.0}});
     bench::jsonFlush();
 

@@ -4,6 +4,22 @@
 
 namespace bbs::obs {
 
+std::string
+escapeLabelValue(std::string_view raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (char c : raw) {
+        switch (c) {
+        case '\\': out += "\\\\"; break;
+        case '"': out += "\\\""; break;
+        case '\n': out += "\\n"; break;
+        default: out.push_back(c);
+        }
+    }
+    return out;
+}
+
 // ---------------------------------------------------------------- Histogram
 
 Histogram::Histogram(std::span<const double> bounds)

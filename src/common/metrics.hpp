@@ -49,6 +49,17 @@
 
 namespace bbs::obs {
 
+/**
+ * Escape @p raw for use as a Prometheus label VALUE: `\` -> `\\`,
+ * `"` -> `\"`, newline -> `\n` (exposition text format escaping rules).
+ * Every label list built from externally-supplied strings (model names
+ * arriving over the wire, file paths) MUST pass through this at
+ * registration time — the exposition writer emits label bodies verbatim,
+ * so an unescaped quote or newline would produce text the round-trip
+ * parser (and any real scraper) rejects.
+ */
+std::string escapeLabelValue(std::string_view raw);
+
 /** Monotonic event counter. Exposed with a `_total` name suffix. */
 class Counter
 {

@@ -1,0 +1,169 @@
+#include "net/net_client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace bbs::net {
+
+NetClient::~NetClient()
+{
+    close();
+}
+
+NetClient::NetClient(NetClient &&other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      sendBuf_(std::move(other.sendBuf_))
+{
+}
+
+NetClient &
+NetClient::operator=(NetClient &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+        sendBuf_ = std::move(other.sendBuf_);
+    }
+    return *this;
+}
+
+bool
+NetClient::connect(const std::string &host, std::uint16_t port,
+                   int recvTimeoutMs)
+{
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0)
+        return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        close();
+        return false;
+    }
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    if (recvTimeoutMs > 0) {
+        timeval tv{};
+        tv.tv_sec = recvTimeoutMs / 1000;
+        tv.tv_usec = (recvTimeoutMs % 1000) * 1000;
+        ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    }
+    return true;
+}
+
+void
+NetClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+NetClient::sendRaw(const void *data, std::size_t size)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::size_t sent = 0;
+    while (sent < size) {
+        ssize_t n = ::send(fd_, p + sent, size - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+NetClient::sendRequest(const RequestFrame &r)
+{
+    sendBuf_.clear();
+    encodeRequest(r, sendBuf_);
+    return sendRaw(sendBuf_.data(), sendBuf_.size());
+}
+
+bool
+NetClient::recvExact(void *dst, std::size_t size)
+{
+    auto *p = static_cast<std::uint8_t *>(dst);
+    std::size_t got = 0;
+    while (got < size) {
+        ssize_t n = ::recv(fd_, p + got, size - got, 0);
+        if (n == 0)
+            return false; // EOF mid-frame
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false; // includes EAGAIN from SO_RCVTIMEO
+        }
+        got += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+NetClient::recvFrame(FrameType expect, std::vector<std::uint8_t> &body)
+{
+    std::uint8_t raw[kHeaderBytes];
+    FrameHeader h;
+    if (!recvExact(raw, sizeof raw) || !decodeHeader(raw, h) ||
+        h.type != expect)
+        return false;
+    body.resize(h.bodyLen);
+    return h.bodyLen == 0 || recvExact(body.data(), body.size());
+}
+
+bool
+NetClient::recvResponse(ResponseFrame &out)
+{
+    std::vector<std::uint8_t> body;
+    return recvFrame(FrameType::Response, body) &&
+           decodeResponse(body, out);
+}
+
+std::optional<ResponseFrame>
+NetClient::request(const std::string &model, std::vector<float> input,
+                   std::int64_t deadlineUs, std::uint64_t tag)
+{
+    RequestFrame r;
+    r.tag = tag;
+    r.deadlineUs = deadlineUs;
+    r.model = model;
+    r.input = std::move(input);
+    if (!sendRequest(r))
+        return std::nullopt;
+    ResponseFrame resp;
+    if (!recvResponse(resp))
+        return std::nullopt;
+    return resp;
+}
+
+std::optional<std::string>
+NetClient::stats()
+{
+    sendBuf_.clear();
+    encodeStatsRequest(sendBuf_);
+    if (!sendRaw(sendBuf_.data(), sendBuf_.size()))
+        return std::nullopt;
+    std::vector<std::uint8_t> body;
+    if (!recvFrame(FrameType::StatsText, body))
+        return std::nullopt;
+    return std::string(reinterpret_cast<const char *>(body.data()),
+                       body.size());
+}
+
+} // namespace bbs::net

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Minimal blocking client for the socket front-end: one TCP connection,
+ * synchronous request/response in protocol.hpp frames. This is the
+ * counterpart the tests, the micro_serve_net bench and serve_demo use —
+ * a production client would look the same, there just isn't one in this
+ * repo's scope.
+ *
+ * The class is intentionally low-level enough to misbehave on purpose:
+ * sendRaw() writes arbitrary bytes (the frame fuzzer's hammer), and
+ * closing mid-frame is just close() after a partial sendRaw. One
+ * NetClient is one connection and is not thread-safe; concurrency is N
+ * clients.
+ */
+#ifndef BBS_NET_NET_CLIENT_HPP
+#define BBS_NET_NET_CLIENT_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/protocol.hpp"
+
+namespace bbs::net {
+
+class NetClient
+{
+  public:
+    NetClient() = default;
+    ~NetClient(); ///< closes
+
+    NetClient(const NetClient &) = delete;
+    NetClient &operator=(const NetClient &) = delete;
+    NetClient(NetClient &&other) noexcept;
+    NetClient &operator=(NetClient &&other) noexcept;
+
+    /** Connect (blocking). @p recvTimeoutMs > 0 arms SO_RCVTIMEO so a
+     *  test against a wedged server fails instead of hanging. */
+    bool connect(const std::string &host, std::uint16_t port,
+                 int recvTimeoutMs = 0);
+    void close();
+    bool connected() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /** Send one Request frame (blocking until fully written). */
+    bool sendRequest(const RequestFrame &r);
+    /** Read one Response frame (blocking). False on EOF, timeout, or a
+     *  malformed/unexpected frame. */
+    bool recvResponse(ResponseFrame &out);
+
+    /** sendRequest + recvResponse. nullopt on any transport failure. */
+    std::optional<ResponseFrame> request(const std::string &model,
+                                         std::vector<float> input,
+                                         std::int64_t deadlineUs = 0,
+                                         std::uint64_t tag = 0);
+
+    /** Fetch the Prometheus text exposition via a Stats frame. */
+    std::optional<std::string> stats();
+
+    /** Write arbitrary bytes (fuzzer / malformed-frame tests). */
+    bool sendRaw(const void *data, std::size_t size);
+
+  private:
+    /** Read exactly @p size bytes; false on EOF/error/timeout. */
+    bool recvExact(void *dst, std::size_t size);
+    /** Read one frame of @p expect type into @p body. */
+    bool recvFrame(FrameType expect, std::vector<std::uint8_t> &body);
+
+    int fd_ = -1;
+    std::vector<std::uint8_t> sendBuf_; ///< reused frame scratch
+};
+
+} // namespace bbs::net
+
+#endif // BBS_NET_NET_CLIENT_HPP

@@ -1,0 +1,433 @@
+#include "net/net_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/logging.hpp"
+
+namespace bbs::net {
+
+namespace {
+
+[[noreturn]] void
+throwErrno(const char *what)
+{
+    throw std::runtime_error(std::string(what) + ": " +
+                             std::strerror(errno));
+}
+
+} // namespace
+
+void
+NetServer::CompletionQueue::push(Completion &&comp)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    if (eventFd < 0)
+        return; // server stopped; the response is dropped here
+    items.push_back(std::move(comp));
+    std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(eventFd, &one, sizeof one);
+}
+
+NetServer::NetServer(InferenceServer &server, NetServerConfig config)
+    : server_(server),
+      config_(std::move(config)),
+      accepted_(server.metrics().counter(
+          "bbs_net_connections_accepted_total", "Accepted connections")),
+      rejected_(server.metrics().counter(
+          "bbs_net_connections_rejected_total",
+          "Connections closed at accept (slots exhausted)")),
+      protoErrors_(server.metrics().counter(
+          "bbs_net_protocol_errors_total",
+          "Connections closed on malformed frames")),
+      frames_(server.metrics().counter("bbs_net_frames_in_total",
+                                       "Complete frames parsed")),
+      responses_(server.metrics().counter("bbs_net_responses_out_total",
+                                          "Response frames written")),
+      active_(server.metrics().gauge("bbs_net_connections_active",
+                                     "Open connections"))
+{
+    BBS_REQUIRE(config_.maxConnections >= 1,
+                "need at least one connection slot");
+    cq_ = std::make_shared<CompletionQueue>();
+    cq_->items.reserve(config_.completionReserve);
+    compScratch_.reserve(config_.completionReserve);
+}
+
+NetServer::~NetServer()
+{
+    stop();
+}
+
+void
+NetServer::start()
+{
+    BBS_REQUIRE(listenFd_ < 0, "NetServer already started");
+
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                         0);
+    if (listenFd_ < 0)
+        throwErrno("socket");
+    int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config_.port);
+    if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw std::runtime_error("bad listen address: " + config_.host);
+    }
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(listenFd_, config_.backlog) != 0) {
+        int saved = errno;
+        ::close(listenFd_);
+        listenFd_ = -1;
+        errno = saved;
+        throwErrno("bind/listen");
+    }
+    socklen_t len = sizeof addr;
+    ::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+
+    epollFd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    eventFd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (epollFd_ < 0 || eventFd_ < 0)
+        throwErrno("epoll_create1/eventfd");
+
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = listenFd_;
+    ::epoll_ctl(epollFd_, EPOLL_CTL_ADD, listenFd_, &ev);
+    ev.data.fd = eventFd_;
+    ::epoll_ctl(epollFd_, EPOLL_CTL_ADD, eventFd_, &ev);
+
+    {
+        std::lock_guard<std::mutex> lock(cq_->mutex);
+        cq_->eventFd = eventFd_;
+        cq_->items.clear(); // stale completions from a previous run
+    }
+    stop_.store(false, std::memory_order_relaxed);
+    thread_ = std::thread([this] { loop(); });
+}
+
+void
+NetServer::stop()
+{
+    if (thread_.joinable()) {
+        stop_.store(true, std::memory_order_relaxed);
+        std::uint64_t one = 1;
+        [[maybe_unused]] ssize_t n =
+            ::write(eventFd_, &one, sizeof one); // wakes the epoll wait
+        thread_.join();
+    }
+    // Park the completion channel BEFORE closing the eventfd: pushes
+    // hold the queue mutex across their write(), so once this store is
+    // visible no late callback can write to a recycled descriptor.
+    {
+        std::lock_guard<std::mutex> lock(cq_->mutex);
+        cq_->eventFd = -1;
+    }
+    for (int fd : {listenFd_, epollFd_, eventFd_})
+        if (fd >= 0)
+            ::close(fd);
+    listenFd_ = epollFd_ = eventFd_ = -1;
+}
+
+void
+NetServer::loop()
+{
+    epoll_event events[64];
+    while (!stop_.load(std::memory_order_relaxed)) {
+        int n = ::epoll_wait(epollFd_, events, 64, -1);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        for (int i = 0; i < n; ++i) {
+            int fd = events[i].data.fd;
+            std::uint32_t flags = events[i].events;
+            if (fd == listenFd_) {
+                acceptReady();
+                continue;
+            }
+            if (fd == eventFd_) {
+                drainCompletions();
+                continue;
+            }
+            // A connection. Look it up fresh per flag: an earlier flag's
+            // handler may have closed it.
+            if (flags & EPOLLIN) {
+                auto it = conns_.find(fd);
+                if (it != conns_.end())
+                    readReady(it->second);
+            }
+            if (flags & EPOLLOUT) {
+                auto it = conns_.find(fd);
+                if (it != conns_.end() && !flushWrites(it->second))
+                    closeConn(fd);
+            }
+            if (flags & (EPOLLHUP | EPOLLERR)) {
+                if (conns_.count(fd))
+                    closeConn(fd);
+            } else if (flags & EPOLLRDHUP) {
+                // Peer closed its write side; readReady above consumed
+                // anything pending, so the conversation is over.
+                if (conns_.count(fd))
+                    closeConn(fd);
+            }
+        }
+    }
+    // Epoll thread owns the connection table; tear it down here so no
+    // other thread ever touches a Conn.
+    for (auto &[fd, c] : conns_)
+        ::close(fd);
+    conns_.clear();
+    active_.set(0);
+}
+
+void
+NetServer::acceptReady()
+{
+    for (;;) {
+        int fd = ::accept4(listenFd_, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // EAGAIN or transient accept failure: wait for epoll
+        }
+        if (conns_.size() >= config_.maxConnections) {
+            ::close(fd);
+            rejected_.inc();
+            continue;
+        }
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        Conn &c = conns_[fd];
+        c.fd = fd;
+        c.gen = nextGen_++;
+        epoll_event ev{};
+        ev.events = EPOLLIN | EPOLLRDHUP;
+        ev.data.fd = fd;
+        ::epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &ev);
+        accepted_.inc();
+        active_.set(static_cast<std::int64_t>(conns_.size()));
+    }
+}
+
+void
+NetServer::readReady(Conn &c)
+{
+    // Bounded reads per event: level-triggered epoll re-fires if more
+    // bytes remain, so one slow-to-parse connection cannot monopolize
+    // the loop.
+    std::uint8_t buf[64 * 1024];
+    for (int round = 0; round < 4; ++round) {
+        ssize_t n = ::recv(c.fd, buf, sizeof buf, 0);
+        if (n > 0) {
+            c.inBuf.insert(c.inBuf.end(), buf, buf + n);
+            if (!parseFrames(c)) {
+                protoErrors_.inc();
+                closeConn(c.fd);
+                return;
+            }
+            if (static_cast<std::size_t>(n) < sizeof buf)
+                return;
+        } else if (n == 0) {
+            closeConn(c.fd); // EOF; late completions drop at gen check
+            return;
+        } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            return;
+        } else if (errno != EINTR) {
+            closeConn(c.fd);
+            return;
+        }
+    }
+}
+
+bool
+NetServer::parseFrames(Conn &c)
+{
+    std::size_t consumed = 0;
+    for (;;) {
+        if (!c.haveHeader) {
+            if (c.inBuf.size() - consumed < kHeaderBytes)
+                break;
+            if (!decodeHeader({c.inBuf.data() + consumed, kHeaderBytes},
+                              c.hdr))
+                return false;
+            consumed += kHeaderBytes;
+            c.haveHeader = true;
+        }
+        if (c.inBuf.size() - consumed < c.hdr.bodyLen)
+            break;
+        frames_.inc();
+        if (!handleFrame(c, {c.inBuf.data() + consumed, c.hdr.bodyLen}))
+            return false;
+        consumed += c.hdr.bodyLen;
+        c.haveHeader = false;
+    }
+    // Drop the parsed prefix; the unparsed tail (a partial frame) slides
+    // down and accumulates on the next read.
+    if (consumed > 0)
+        c.inBuf.erase(c.inBuf.begin(),
+                      c.inBuf.begin() +
+                          static_cast<std::ptrdiff_t>(consumed));
+    return true;
+}
+
+bool
+NetServer::handleFrame(Conn &c, std::span<const std::uint8_t> body)
+{
+    switch (c.hdr.type) {
+    case FrameType::Request: {
+        RequestFrame req;
+        if (!decodeRequest(body, req))
+            return false;
+        // The callback runs on whichever thread completes the request
+        // (usually a serving worker; this thread for immediate
+        // rejections). It only moves the response into the completion
+        // queue and signals — the worker never touches the socket.
+        server_.submitAsync(
+            req.model, std::move(req.input), req.deadlineUs,
+            [cq = cq_, fd = c.fd, gen = c.gen,
+             tag = req.tag](InferenceResponse &&resp) {
+                cq->push(Completion{fd, gen, tag, std::move(resp)});
+            });
+        return true;
+    }
+    case FrameType::Stats: {
+        encodeStatsText(server_.metricsText(), c.outBuf);
+        return flushWrites(c);
+    }
+    case FrameType::Response:
+    case FrameType::StatsText:
+        return false; // server-to-client types arriving here = hostile
+    }
+    return false;
+}
+
+void
+NetServer::drainCompletions()
+{
+    std::uint64_t drained = 0;
+    [[maybe_unused]] ssize_t n =
+        ::read(eventFd_, &drained, sizeof drained);
+    if (stop_.load(std::memory_order_relaxed))
+        return;
+    {
+        std::lock_guard<std::mutex> lock(cq_->mutex);
+        cq_->items.swap(compScratch_);
+    }
+    for (Completion &comp : compScratch_) {
+        auto it = conns_.find(comp.fd);
+        if (it == conns_.end() || it->second.gen != comp.gen)
+            continue; // connection died first; drop the response
+        Conn &c = it->second;
+        encodeResponse(comp.tag,
+                       static_cast<std::uint8_t>(comp.resp.status),
+                       comp.resp.predicted, comp.resp.logits, c.outBuf);
+        responses_.inc();
+        if (!flushWrites(c))
+            closeConn(comp.fd);
+    }
+    compScratch_.clear();
+}
+
+bool
+NetServer::flushWrites(Conn &c)
+{
+    while (c.outPos < c.outBuf.size()) {
+        ssize_t n = ::send(c.fd, c.outBuf.data() + c.outPos,
+                           c.outBuf.size() - c.outPos, MSG_NOSIGNAL);
+        if (n >= 0) {
+            c.outPos += static_cast<std::size_t>(n);
+        } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            break;
+        } else if (errno != EINTR) {
+            return false;
+        }
+    }
+    if (c.outPos == c.outBuf.size()) {
+        c.outBuf.clear();
+        c.outPos = 0;
+    }
+    updateWriteInterest(c);
+    return true;
+}
+
+void
+NetServer::updateWriteInterest(Conn &c)
+{
+    bool want = !c.outBuf.empty();
+    if (want == c.wantWrite)
+        return;
+    c.wantWrite = want;
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLRDHUP | (want ? EPOLLOUT : 0u);
+    ev.data.fd = c.fd;
+    ::epoll_ctl(epollFd_, EPOLL_CTL_MOD, c.fd, &ev);
+}
+
+void
+NetServer::closeConn(int fd)
+{
+    auto it = conns_.find(fd);
+    if (it == conns_.end())
+        return;
+    ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, fd, nullptr);
+    ::close(fd);
+    conns_.erase(it);
+    active_.set(static_cast<std::int64_t>(conns_.size()));
+}
+
+std::uint64_t
+NetServer::acceptedTotal() const
+{
+    return accepted_.value();
+}
+
+std::uint64_t
+NetServer::rejectedTotal() const
+{
+    return rejected_.value();
+}
+
+std::uint64_t
+NetServer::protocolErrors() const
+{
+    return protoErrors_.value();
+}
+
+std::uint64_t
+NetServer::framesIn() const
+{
+    return frames_.value();
+}
+
+std::uint64_t
+NetServer::responsesOut() const
+{
+    return responses_.value();
+}
+
+std::size_t
+NetServer::activeConnections() const
+{
+    return static_cast<std::size_t>(active_.value());
+}
+
+} // namespace bbs::net

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Socket front-end of the serving runtime: one epoll thread accepts
+ * connections, frames the byte stream into protocol.hpp frames, and
+ * feeds requests to InferenceServer::submitAsync. Completions flow back
+ * through a mutex-guarded completion queue + eventfd: the serving
+ * worker that finishes a request just moves the response into the queue
+ * and signals; the epoll thread wakes, encodes the response frame, and
+ * writes it out. The epoll thread therefore never blocks on inference
+ * and the workers never touch a socket.
+ *
+ *   client ──bytes──▶ epoll thread ──submitAsync──▶ shard queue
+ *                         ▲                             │ worker
+ *                         └── eventfd ◀── completion ◀──┘
+ *
+ * Robustness contract (pinned by the frame fuzzer in test_net):
+ *  - a malformed header (bad magic/version/reserved, oversized length)
+ *    or body closes THAT connection and counts a protocol error; the
+ *    listener and every other connection are unaffected;
+ *  - a connection stalled mid-frame just sits in its framing state —
+ *    per-fd buffering means it cannot stall any other connection;
+ *  - disconnecting mid-frame (or with responses in flight) releases the
+ *    connection slot immediately; late completions for a dead
+ *    connection are dropped by generation check, never written to a
+ *    recycled fd.
+ *
+ * Backpressure: responses queue in a per-connection write buffer when
+ * the socket is full (EPOLLOUT drains it); ADMISSION backpressure is
+ * the server's job — an overloaded shard answers Overloaded in
+ * microseconds, and that answer is just another response frame here.
+ *
+ * Linux-only (epoll + eventfd), like the soak harness's affinity tools.
+ */
+#ifndef BBS_NET_NET_SERVER_HPP
+#define BBS_NET_NET_SERVER_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace bbs::net {
+
+struct NetServerConfig
+{
+    /** Listen address. Loopback by default: this is an engine-local
+     *  protocol; fronting it to the world is a proxy's job. */
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0; ///< 0 = ephemeral; NetServer::port() tells
+    int backlog = 128;
+    /** Connection slots. An accept beyond this is closed immediately
+     *  (counted in bbs_net_connections_rejected_total). */
+    std::size_t maxConnections = 1024;
+    /** Completion-queue capacity reserved up front, so serving workers
+     *  pushing completions stay allocation-free up to this many
+     *  in-flight responses (the queue still grows beyond it — growth
+     *  costs one allocation, never a drop). */
+    std::size_t completionReserve = 4096;
+};
+
+class NetServer
+{
+  public:
+    /** Binds nothing yet; start() does. @p server must outlive this. */
+    NetServer(InferenceServer &server, NetServerConfig config = {});
+    ~NetServer(); ///< stop()s
+
+    NetServer(const NetServer &) = delete;
+    NetServer &operator=(const NetServer &) = delete;
+
+    /** Bind + listen + spawn the epoll thread. Returns with the socket
+     *  accepting, so a caller may connect immediately. Throws
+     *  std::runtime_error on bind/listen failure. */
+    void start();
+
+    /** Stop accepting, close every connection (in-flight inference
+     *  completions are dropped at the generation check), join the epoll
+     *  thread. Idempotent. Does NOT stop the InferenceServer. */
+    void stop();
+
+    /** The bound port (resolves an ephemeral request); 0 before
+     *  start(). */
+    std::uint16_t port() const { return port_; }
+
+    // Test/diagnostic accessors (exact; the same values are exported as
+    // bbs_net_* series in the server's metric registry).
+    std::uint64_t acceptedTotal() const;
+    std::uint64_t rejectedTotal() const;
+    std::uint64_t protocolErrors() const;
+    std::uint64_t framesIn() const;
+    std::uint64_t responsesOut() const;
+    std::size_t activeConnections() const;
+
+  private:
+    struct Conn
+    {
+        std::uint64_t gen = 0; ///< guards completions against fd reuse
+        int fd = -1;
+        std::vector<std::uint8_t> inBuf; ///< unparsed received bytes
+        FrameHeader hdr{};
+        bool haveHeader = false;
+        std::vector<std::uint8_t> outBuf; ///< pending response bytes
+        std::size_t outPos = 0;
+        bool wantWrite = false; ///< EPOLLOUT armed
+    };
+
+    /** One finished inference crossing back to the epoll thread. */
+    struct Completion
+    {
+        int fd = -1;
+        std::uint64_t gen = 0;
+        std::uint64_t tag = 0;
+        InferenceResponse resp;
+    };
+
+    /**
+     * The worker→epoll completion channel, owned by shared_ptr: a
+     * submitAsync callback may fire AFTER stop() (in-flight batches
+     * complete while the listener is already down), so it must never
+     * touch the NetServer or an fd the NetServer may have closed. The
+     * callback captures this state; stop() parks eventFd at -1 under
+     * the mutex, after which late completions are dropped here instead
+     * of written to a recycled descriptor.
+     */
+    struct CompletionQueue
+    {
+        std::mutex mutex;
+        std::vector<Completion> items; ///< guarded by mutex
+        int eventFd = -1;              ///< -1 once the server stopped
+
+        /** Worker side: enqueue + signal, or drop when stopped. The
+         *  eventfd write happens under the mutex so it cannot straddle
+         *  stop() closing the descriptor. */
+        void push(Completion &&comp);
+    };
+
+    void loop();
+    void acceptReady();
+    void readReady(Conn &c);
+    /** Parse every complete frame in c.inBuf; false = close conn. */
+    bool parseFrames(Conn &c);
+    /** Handle one complete frame body; false = close conn. */
+    bool handleFrame(Conn &c, std::span<const std::uint8_t> body);
+    void drainCompletions();
+    /** Write as much of outBuf as the socket takes; false = close. */
+    bool flushWrites(Conn &c);
+    void closeConn(int fd);
+    void updateWriteInterest(Conn &c);
+
+    InferenceServer &server_;
+    NetServerConfig config_;
+
+    int listenFd_ = -1;
+    int epollFd_ = -1;
+    int eventFd_ = -1;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> stop_{false};
+    std::thread thread_;
+
+    std::unordered_map<int, Conn> conns_;
+    std::uint64_t nextGen_ = 1;
+
+    std::shared_ptr<CompletionQueue> cq_;
+    std::vector<Completion> compScratch_; ///< epoll-side swap target
+
+    // Counters live in the server's registry so one stats scrape covers
+    // the whole vertical, net layer included.
+    obs::Counter &accepted_;
+    obs::Counter &rejected_;
+    obs::Counter &protoErrors_;
+    obs::Counter &frames_;
+    obs::Counter &responses_;
+    obs::Gauge &active_;
+};
+
+} // namespace bbs::net
+
+#endif // BBS_NET_NET_SERVER_HPP

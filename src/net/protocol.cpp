@@ -1,0 +1,192 @@
+#include "net/protocol.hpp"
+
+#include <cstring>
+
+namespace bbs::net {
+
+static_assert(sizeof(float) == 4, "wire floats are 4-byte IEEE f32");
+
+namespace {
+
+// LE scalar append/read helpers. memcpy-based: safe on any alignment,
+// and compiles to plain moves on LE hosts.
+
+template <typename T>
+void
+put(std::vector<std::uint8_t> &out, T v)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::uint8_t raw[sizeof(T)];
+    std::memcpy(raw, &v, sizeof(T));
+    out.insert(out.end(), raw, raw + sizeof(T));
+}
+
+/** Bounds-checked read: false if fewer than sizeof(T) bytes remain. */
+template <typename T>
+bool
+get(std::span<const std::uint8_t> body, std::size_t &pos, T &v)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (pos > body.size() || body.size() - pos < sizeof(T))
+        return false;
+    std::memcpy(&v, body.data() + pos, sizeof(T));
+    pos += sizeof(T);
+    return true;
+}
+
+bool
+validType(std::uint8_t t)
+{
+    switch (static_cast<FrameType>(t)) {
+    case FrameType::Request:
+    case FrameType::Response:
+    case FrameType::Stats:
+    case FrameType::StatsText: return true;
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+decodeHeader(std::span<const std::uint8_t> raw, FrameHeader &out)
+{
+    if (raw.size() < kHeaderBytes)
+        return false;
+    std::size_t pos = 0;
+    std::uint8_t version = 0, type = 0;
+    std::uint16_t reserved = 0;
+    get(raw, pos, out.magic);
+    get(raw, pos, version);
+    get(raw, pos, type);
+    get(raw, pos, reserved);
+    get(raw, pos, out.bodyLen);
+    if (out.magic != kMagic || version != kVersion || reserved != 0 ||
+        !validType(type) || out.bodyLen > kMaxBody)
+        return false;
+    out.version = version;
+    out.type = static_cast<FrameType>(type);
+    return true;
+}
+
+void
+encodeHeader(const FrameHeader &h, std::vector<std::uint8_t> &out)
+{
+    put(out, h.magic);
+    put(out, h.version);
+    put(out, static_cast<std::uint8_t>(h.type));
+    put(out, std::uint16_t{0});
+    put(out, h.bodyLen);
+}
+
+bool
+decodeRequest(std::span<const std::uint8_t> body, RequestFrame &out)
+{
+    std::size_t pos = 0;
+    std::uint16_t modelLen = 0;
+    std::uint32_t floatCount = 0;
+    if (!get(body, pos, out.tag) || !get(body, pos, out.deadlineUs) ||
+        !get(body, pos, modelLen))
+        return false;
+    if (modelLen > kMaxModelName || body.size() - pos < modelLen)
+        return false;
+    out.model.assign(reinterpret_cast<const char *>(body.data() + pos),
+                     modelLen);
+    pos += modelLen;
+    if (!get(body, pos, floatCount))
+        return false;
+    // The count must match the bytes actually present — a frame claiming
+    // more floats than its body holds is hostile, and trailing junk
+    // after the floats is a framing bug on the sender's side.
+    if (body.size() - pos != std::size_t{floatCount} * sizeof(float))
+        return false;
+    out.input.resize(floatCount);
+    if (floatCount > 0)
+        std::memcpy(out.input.data(), body.data() + pos,
+                    out.input.size() * sizeof(float));
+    return true;
+}
+
+bool
+decodeResponse(std::span<const std::uint8_t> body, ResponseFrame &out)
+{
+    std::size_t pos = 0;
+    std::uint32_t floatCount = 0;
+    if (!get(body, pos, out.tag) || !get(body, pos, out.status) ||
+        !get(body, pos, out.predicted) || !get(body, pos, floatCount))
+        return false;
+    if (body.size() - pos != std::size_t{floatCount} * sizeof(float))
+        return false;
+    out.logits.resize(floatCount);
+    if (floatCount > 0)
+        std::memcpy(out.logits.data(), body.data() + pos,
+                    out.logits.size() * sizeof(float));
+    return true;
+}
+
+void
+encodeRequest(const RequestFrame &r, std::vector<std::uint8_t> &out)
+{
+    FrameHeader h;
+    h.type = FrameType::Request;
+    h.bodyLen = static_cast<std::uint32_t>(
+        sizeof(std::uint64_t) + sizeof(std::int64_t) +
+        sizeof(std::uint16_t) + r.model.size() + sizeof(std::uint32_t) +
+        r.input.size() * sizeof(float));
+    out.reserve(out.size() + kHeaderBytes + h.bodyLen);
+    encodeHeader(h, out);
+    put(out, r.tag);
+    put(out, r.deadlineUs);
+    put(out, static_cast<std::uint16_t>(r.model.size()));
+    out.insert(out.end(), r.model.begin(), r.model.end());
+    put(out, static_cast<std::uint32_t>(r.input.size()));
+    const auto *raw =
+        reinterpret_cast<const std::uint8_t *>(r.input.data());
+    out.insert(out.end(), raw, raw + r.input.size() * sizeof(float));
+}
+
+void
+encodeResponse(std::uint64_t tag, std::uint8_t status,
+               std::int32_t predicted, std::span<const float> logits,
+               std::vector<std::uint8_t> &out)
+{
+    FrameHeader h;
+    h.type = FrameType::Response;
+    h.bodyLen = static_cast<std::uint32_t>(
+        sizeof(std::uint64_t) + 1 + sizeof(std::int32_t) +
+        sizeof(std::uint32_t) + logits.size() * sizeof(float));
+    out.reserve(out.size() + kHeaderBytes + h.bodyLen);
+    encodeHeader(h, out);
+    put(out, tag);
+    put(out, status);
+    put(out, predicted);
+    put(out, static_cast<std::uint32_t>(logits.size()));
+    const auto *raw =
+        reinterpret_cast<const std::uint8_t *>(logits.data());
+    out.insert(out.end(), raw, raw + logits.size() * sizeof(float));
+}
+
+void
+encodeStatsRequest(std::vector<std::uint8_t> &out)
+{
+    FrameHeader h;
+    h.type = FrameType::Stats;
+    h.bodyLen = 0;
+    encodeHeader(h, out);
+}
+
+void
+encodeStatsText(std::string_view text, std::vector<std::uint8_t> &out)
+{
+    FrameHeader h;
+    h.type = FrameType::StatsText;
+    h.bodyLen = static_cast<std::uint32_t>(text.size());
+    out.reserve(out.size() + kHeaderBytes + text.size());
+    encodeHeader(h, out);
+    out.insert(out.end(),
+               reinterpret_cast<const std::uint8_t *>(text.data()),
+               reinterpret_cast<const std::uint8_t *>(text.data()) +
+                   text.size());
+}
+
+} // namespace bbs::net

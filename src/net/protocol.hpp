@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Wire format of the socket serving front-end: a length-prefixed binary
+ * protocol, little-endian throughout (x86/ARM-LE native; this is an
+ * engine-local protocol, not an internet standard).
+ *
+ * Every frame is a fixed 12-byte header followed by `bodyLen` body
+ * bytes:
+ *
+ *   offset  size  field
+ *   ------  ----  ------------------------------------------
+ *        0     4  magic  0x4E534242 ("BBSN" as LE bytes)
+ *        4     1  version (kVersion = 1)
+ *        5     1  frame type (FrameType)
+ *        6     2  reserved, must be 0
+ *        8     4  bodyLen (bytes after the header; <= kMaxBody)
+ *
+ * Request body (FrameType::Request):
+ *   u64 tag            client-chosen id, echoed in the response (lets a
+ *                      client pipeline requests on one connection)
+ *   i64 deadlineUs     relative deadline; <= 0 = none
+ *   u16 modelLen       model-name bytes that follow (<= kMaxModelName)
+ *   ..  model          raw bytes, NOT NUL-terminated
+ *   u32 floatCount     input features that follow
+ *   ..  floats         f32 LE payload
+ *
+ * Response body (FrameType::Response):
+ *   u64 tag            echoed from the request
+ *   u8  status         ServeStatus as u8
+ *   i32 predicted      argmax (-1 when absent)
+ *   u32 floatCount     logits that follow (0 unless status == Ok)
+ *   ..  floats         f32 LE
+ *
+ * Stats body (FrameType::Stats): empty. The reply is
+ * FrameType::StatsText whose body is the raw Prometheus text exposition
+ * (the PR 7 scrape surface, served over the same listener).
+ *
+ * Decoders treat every length field as hostile: a header that fails
+ * magic/version/reserved/bodyLen validation is a protocol error (the
+ * server closes the connection), and body decoders bound every
+ * count-prefixed read against the actual body size — a frame claiming
+ * more floats than its body holds is rejected, never over-read. The
+ * frame fuzzer in tests/test_net.cpp drives exactly these paths.
+ */
+#ifndef BBS_NET_PROTOCOL_HPP
+#define BBS_NET_PROTOCOL_HPP
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bbs::net {
+
+constexpr std::uint32_t kMagic = 0x4E534242u; // "BBSN" little-endian
+constexpr std::uint8_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 12;
+/** Upper bound on bodyLen: large enough for any realistic input row or
+ *  metrics page, small enough that a hostile length prefix cannot make
+ *  the server allocate gigabytes. */
+constexpr std::size_t kMaxBody = 16u << 20;
+constexpr std::size_t kMaxModelName = 256;
+
+enum class FrameType : std::uint8_t
+{
+    Request = 1,   ///< client -> server: one inference sample
+    Response = 2,  ///< server -> client: the answer for one Request
+    Stats = 3,     ///< client -> server: scrape request (empty body)
+    StatsText = 4, ///< server -> client: Prometheus text exposition
+};
+
+struct FrameHeader
+{
+    std::uint32_t magic = kMagic;
+    std::uint8_t version = kVersion;
+    FrameType type = FrameType::Request;
+    std::uint32_t bodyLen = 0;
+};
+
+struct RequestFrame
+{
+    std::uint64_t tag = 0;
+    std::int64_t deadlineUs = 0;
+    std::string model;
+    std::vector<float> input;
+};
+
+struct ResponseFrame
+{
+    std::uint64_t tag = 0;
+    std::uint8_t status = 0; ///< ServeStatus as u8
+    std::int32_t predicted = -1;
+    std::vector<float> logits;
+};
+
+/** Parse + validate a 12-byte header. @p raw must hold kHeaderBytes.
+ *  False = protocol error (bad magic/version/reserved/oversize body). */
+bool decodeHeader(std::span<const std::uint8_t> raw, FrameHeader &out);
+
+/** Serialize a header into @p out (appended). */
+void encodeHeader(const FrameHeader &h, std::vector<std::uint8_t> &out);
+
+/** Parse a Request body. False on any bound violation. */
+bool decodeRequest(std::span<const std::uint8_t> body, RequestFrame &out);
+
+/** Parse a Response body. False on any bound violation. */
+bool decodeResponse(std::span<const std::uint8_t> body, ResponseFrame &out);
+
+/** Append a complete Request frame (header + body) to @p out. */
+void encodeRequest(const RequestFrame &r, std::vector<std::uint8_t> &out);
+
+/** Append a complete Response frame to @p out. @p logits may be empty. */
+void encodeResponse(std::uint64_t tag, std::uint8_t status,
+                    std::int32_t predicted, std::span<const float> logits,
+                    std::vector<std::uint8_t> &out);
+
+/** Append a complete Stats (scrape) request frame. */
+void encodeStatsRequest(std::vector<std::uint8_t> &out);
+
+/** Append a complete StatsText frame carrying @p text. */
+void encodeStatsText(std::string_view text, std::vector<std::uint8_t> &out);
+
+} // namespace bbs::net
+
+#endif // BBS_NET_PROTOCOL_HPP

@@ -196,7 +196,28 @@ parsePrometheusText(std::string_view text, ParsedExposition &out)
         std::size_t brace = line.find('{');
         std::size_t nameEnd;
         if (brace != std::string_view::npos) {
-            std::size_t close = line.find('}', brace);
+            // The closing brace must be found OUTSIDE quoted label
+            // values: a value may legally contain `}` (and `\"` escaped
+            // quotes), so a plain find('}') would truncate the label
+            // body of any series whose label carries those characters.
+            std::size_t close = std::string_view::npos;
+            bool inQuote = false, escaped = false;
+            for (std::size_t i = brace + 1; i < line.size(); ++i) {
+                char c = line[i];
+                if (escaped) {
+                    escaped = false;
+                } else if (inQuote) {
+                    if (c == '\\')
+                        escaped = true;
+                    else if (c == '"')
+                        inQuote = false;
+                } else if (c == '"') {
+                    inQuote = true;
+                } else if (c == '}') {
+                    close = i;
+                    break;
+                }
+            }
             if (close == std::string_view::npos)
                 return false;
             s.name = std::string(line.substr(0, brace));

@@ -14,6 +14,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <string>
@@ -31,6 +32,13 @@ enum class ServeStatus
     ShutDown,        ///< server stopped before the request was scheduled
     UnknownModel,    ///< no registered model under that name
     BadInput,        ///< input width != the model's inputFeatures()
+    /** Shed at admission: the target shard's queue was at its depth
+     *  bound, or the estimated queueing delay already exceeded the
+     *  request's deadline. Rejecting HERE — before the request consumes
+     *  queue space — is what keeps an overloaded shard's latency bounded
+     *  instead of letting every queued request expire after paying the
+     *  full wait (see README "Network serving"). */
+    Overloaded,
 };
 
 /** Human-readable status name (logs, test failure messages). */
@@ -42,6 +50,21 @@ microsBetween(std::chrono::steady_clock::time_point from,
               std::chrono::steady_clock::time_point to)
 {
     return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+/**
+ * Argmax over logits, first max wins; -1 when empty. The empty case is
+ * the zero-width-output guard: InferenceResponse::predicted must never
+ * come from indexing logits[0] of a model with no output classes.
+ */
+inline int
+argmaxLogits(const std::vector<float> &logits)
+{
+    int best = -1;
+    for (std::size_t i = 0; i < logits.size(); ++i)
+        if (best < 0 || logits[i] > logits[static_cast<std::size_t>(best)])
+            best = static_cast<int>(i);
+    return best;
 }
 
 /** What the submitter's future resolves to. */
@@ -83,6 +106,29 @@ struct InferenceRequest
     /** steady_clock::time_point::max() means "no deadline". */
     std::chrono::steady_clock::time_point deadline;
     std::promise<InferenceResponse> promise;
+    /**
+     * When set, the terminal state is delivered by CALLING this instead
+     * of fulfilling `promise` — the asynchronous completion path the
+     * socket front-end uses (an epoll loop cannot block on futures).
+     * Invoked exactly once, from whichever thread completes the request
+     * (a serving worker, the submitting thread for immediate rejections,
+     * or the thread driving shutdown); it must be cheap and non-blocking
+     * — the net layer's callback just moves the response into a
+     * completion queue and signals an eventfd.
+     */
+    std::function<void(InferenceResponse &&)> onComplete;
+
+    /** Deliver the terminal state: through onComplete when set, else
+     *  through the promise. Every completion site in the runtime goes
+     *  through here so both delivery paths see identical semantics. */
+    void
+    complete(InferenceResponse &&resp)
+    {
+        if (onComplete)
+            onComplete(std::move(resp));
+        else
+            promise.set_value(std::move(resp));
+    }
 };
 
 } // namespace bbs

@@ -2,12 +2,25 @@
  * @file
  * Lock + condition-variable request queue feeding the batcher.
  *
- * Single FIFO shared by every model: arrival order is preserved per
- * model, and the batcher pops same-model runs without disturbing other
- * models' ordering. Deadline-expired requests are rejected (future
- * completed with DeadlineExpired) whenever a pop scan encounters them, so
- * an expired request never consumes GEMM work. shutdown() completes every
- * still-queued future with ShutDown — no submitter is ever left hanging.
+ * Since the sharding PR one RequestQueue is one SHARD: the server owns
+ * several (serve/sharded_queue.hpp) and routes by model name, so this
+ * class stays a single FIFO shared by the models that hash onto it:
+ * arrival order is preserved per model, and the batcher pops same-model
+ * runs without disturbing other models' ordering. Deadline-expired
+ * requests are rejected (future completed with DeadlineExpired) whenever
+ * a pop scan encounters them, so an expired request never consumes GEMM
+ * work. shutdown() completes every still-queued future with ShutDown —
+ * no submitter is ever left hanging.
+ *
+ * Locking discipline: promises are fulfilled and trace spans recorded
+ * OUTSIDE mutex_. Completing a promise wakes futures' waiters and the
+ * trace ring takes its own mutex; neither may nest inside the queue lock
+ * (a submitter woken by set_value could immediately call back into
+ * push() on another thread — holding mutex_ across the wake serializes
+ * that submitter against the whole scan, and nesting the ring mutex
+ * creates a lock-order edge the net layer's completion path would have
+ * to respect forever). Every scan collects its rejections under the
+ * lock and completes them after releasing it.
  */
 #ifndef BBS_SERVE_REQUEST_QUEUE_HPP
 #define BBS_SERVE_REQUEST_QUEUE_HPP
@@ -27,6 +40,14 @@
 
 namespace bbs {
 
+/** What push admission decided (see tryPush). */
+enum class PushResult
+{
+    Ok,         ///< enqueued
+    ShutDown,   ///< queue already shut down; promise completed ShutDown
+    Overloaded, ///< depth bound hit; promise completed Overloaded
+};
+
 class RequestQueue
 {
   public:
@@ -36,19 +57,34 @@ class RequestQueue
      * push/pop/shutdown (so it is exact), a trace ring + steady-clock
      * epoch for the spans of requests the QUEUE rejects (expiry noticed
      * during a pop scan, shutdown) — the server records everything else
-     * — and shared expiry/shutdown counters so queue-side rejections
-     * land in the same registry series as server-side ones
-     * (expiredCount()/shutdownCount() keep the queue-only tallies).
+     * — and shared expiry/shutdown/overload counters so queue-side
+     * rejections land in the same registry series as server-side ones
+     * (expiredCount()/shutdownCount() keep the queue's own tallies).
      */
     void observe(obs::Gauge *depth, obs::TraceRing *trace,
                  std::chrono::steady_clock::time_point epoch,
                  obs::Counter *expired = nullptr,
-                 obs::Counter *shutdownRejected = nullptr);
+                 obs::Counter *shutdownRejected = nullptr,
+                 obs::Counter *overloaded = nullptr);
 
     /**
-     * Enqueue. Returns false — completing the promise with ShutDown —
-     * when the queue is already shut down.
+     * Admission bound: tryPush rejects with Overloaded once the queue
+     * holds @p maxDepth requests. 0 (the default) = unbounded, which is
+     * the pre-admission-control behavior. Set before serving starts.
      */
+    void setMaxDepth(std::int64_t maxDepth);
+
+    /**
+     * Enqueue, enforcing the depth bound. On ShutDown/Overloaded the
+     * request's terminal state is delivered before returning (promise or
+     * onComplete callback), so the caller only inspects the result. The
+     * depth check and the insert happen under one lock acquisition: the
+     * bound is exact, not best-effort.
+     */
+    PushResult tryPush(InferenceRequest r);
+
+    /** tryPush, compressed to the legacy bool shape: true iff enqueued.
+     *  (With no depth bound configured the two are equivalent.) */
     bool push(InferenceRequest r);
 
     /**
@@ -120,15 +156,45 @@ class RequestQueue
      *  fulfilled. */
     void markCompleted(const std::string &model, std::int64_t n);
 
-    /** Requests rejected because their deadline expired while queued. */
+    /**
+     * Record @p n claimed @p model requests rejected as DeadlineExpired
+     * AFTER they left the queue (the server's flush-time re-check). This
+     * is the ONE counting path for every expiry regardless of where it
+     * was noticed: it feeds the same internal tally as the pop-scan
+     * rejections and the same shared registry counter, so
+     * expiredCount(), StatsSnapshot::expired and the Prometheus series
+     * can never disagree. Also drops the live count (the executor must
+     * NOT additionally call markCompleted for these).
+     */
+    void markExpired(const std::string &model, std::int64_t n);
+
+    /** Requests rejected because their deadline expired — queued-side
+     *  scans AND executor flush-time re-checks (see markExpired). */
     std::uint64_t expiredCount() const;
     /** Requests rejected by shutdown() (or pushed after it). */
     std::uint64_t shutdownCount() const;
+    /** Requests shed at admission by the depth bound. */
+    std::uint64_t overloadedCount() const;
 
   private:
-    /** Complete @p r's future with a non-Ok terminal status (and leave
-     *  a trace span when a ring is attached). */
-    void reject(InferenceRequest &r, ServeStatus status);
+    /** A request pulled out of the queue for rejection; completed after
+     *  mutex_ is released (see the file comment). */
+    struct Rejection
+    {
+        InferenceRequest r;
+        ServeStatus status;
+    };
+
+    /** Fulfil promises / run callbacks and record trace spans for
+     *  @p rejected. MUST be called with mutex_ NOT held. Clears the
+     *  vector (capacity is kept — the drain path stays allocation-free
+     *  once the per-thread scratch has seen its high-water mark). */
+    void completeRejections(std::vector<Rejection> &rejected);
+
+    /** Per-thread rejection scratch: scans move doomed requests here
+     *  under the lock and complete them after unlocking, without a
+     *  per-call allocation. */
+    static std::vector<Rejection> &rejectionScratch();
 
     /** Drop @p n from @p model's live count; requires mutex_ held. */
     void decrementLive(const std::string &model, std::int64_t n);
@@ -140,14 +206,17 @@ class RequestQueue
     obs::TraceRing *trace_ = nullptr;
     obs::Counter *expiredCounter_ = nullptr;
     obs::Counter *shutdownCounter_ = nullptr;
+    obs::Counter *overloadedCounter_ = nullptr;
     std::chrono::steady_clock::time_point epoch_{};
 
     mutable std::mutex mutex_;
     std::condition_variable cv_;
     std::deque<InferenceRequest> queue_;
+    std::int64_t maxDepth_ = 0;  ///< 0 = unbounded
     std::uint64_t arrivals_ = 0; ///< total pushes (the waitArrival clock)
     std::uint64_t expired_ = 0;
     std::uint64_t shutdownRejected_ = 0;
+    std::uint64_t overloaded_ = 0;
     bool shutdown_ = false;
     /** Accepted minus answered per model (queue-side rejects and
      *  markCompleted); entries are erased at zero so retired model

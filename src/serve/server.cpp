@@ -11,7 +11,9 @@ InferenceServer::InferenceServer(std::shared_ptr<ModelRegistry> registry,
     : registry_(std::move(registry)),
       config_(config),
       epoch_(std::chrono::steady_clock::now()),
-      batcher_(queue_, BatcherConfig{config.maxBatch, config.maxDelayUs}),
+      shards_(static_cast<std::size_t>(config.shards > 0 ? config.shards
+                                                         : 1)),
+      shardState_(std::make_unique<ShardState[]>(shards_.shardCount())),
       stats_(config.maxBatch, &metrics_),
       submitted_(metrics_.counter("bbs_serve_requests_submitted_total",
                                   "submit() calls, before validation"))
@@ -19,17 +21,54 @@ InferenceServer::InferenceServer(std::shared_ptr<ModelRegistry> registry,
     BBS_REQUIRE(registry_ != nullptr, "server needs a model registry");
     BBS_REQUIRE(config_.workers >= 0, "workers must be >= 0, got ",
                 config_.workers);
+    BBS_REQUIRE(config_.shards >= 1, "shards must be >= 1, got ",
+                config_.shards);
+    BBS_REQUIRE(config_.maxShardDepth >= 0,
+                "maxShardDepth must be >= 0, got ", config_.maxShardDepth);
+
     // The rejection counters were registered by stats_; get-or-create
-    // hands the queue the same instances, so queue-side and server-side
+    // hands the queues the same instances, so queue-side and server-side
     // rejections accumulate into one series each.
-    queue_.observe(&metrics_.gauge("bbs_serve_queue_depth",
-                                   "Requests currently queued"),
-                   &trace_, epoch_,
-                   &metrics_.counter("bbs_serve_requests_expired_total"),
-                   &metrics_.counter("bbs_serve_requests_shutdown_total"));
-    workers_.reserve(static_cast<std::size_t>(config_.workers));
-    for (int w = 0; w < config_.workers; ++w)
-        workers_.emplace_back([this] { workerLoop(); });
+    obs::Counter &expired =
+        metrics_.counter("bbs_serve_requests_expired_total");
+    obs::Counter &shutdownRejected =
+        metrics_.counter("bbs_serve_requests_shutdown_total");
+    obs::Counter &overloaded =
+        metrics_.counter("bbs_serve_requests_overloaded_total");
+    std::size_t nShards = shards_.shardCount();
+    for (std::size_t i = 0; i < nShards; ++i) {
+        // With one shard the depth gauge keeps its classic unlabelled
+        // name (dashboards and the soak harness match on it); with
+        // several, each shard gets its own labelled series.
+        obs::Gauge &depth =
+            nShards == 1
+                ? metrics_.gauge("bbs_serve_queue_depth",
+                                 "Requests currently queued")
+                : metrics_.gauge("bbs_serve_queue_depth",
+                                 "Requests currently queued",
+                                 "shard=\"" + std::to_string(i) + "\"");
+        shards_.shard(i).observe(&depth, &trace_, epoch_, &expired,
+                                 &shutdownRejected, &overloaded);
+        batchers_.push_back(std::make_unique<Batcher>(
+            shards_.shard(i),
+            BatcherConfig{config_.maxBatch, config_.maxDelayUs}));
+    }
+    if (config_.maxShardDepth > 0)
+        shards_.setMaxDepth(config_.maxShardDepth);
+
+    // Every shard needs a drain thread, else requests routed to an
+    // undrained shard would sit forever: raise the worker count to the
+    // shard count when threads were requested at all (workers == 0 stays
+    // manual-drain for tests, which pick the shard explicitly).
+    int workers = config_.workers;
+    if (workers > 0 && workers < static_cast<int>(nShards))
+        workers = static_cast<int>(nShards);
+    workers_.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w)
+        workers_.emplace_back(
+            [this, shard = static_cast<std::size_t>(w) % nShards] {
+                workerLoop(shard);
+            });
 }
 
 InferenceServer::~InferenceServer()
@@ -42,7 +81,6 @@ InferenceServer::submit(const std::string &model, std::vector<float> input,
                         std::int64_t deadlineUs)
 {
     InferenceRequest r;
-    r.id = nextId_.fetch_add(1, std::memory_order_relaxed);
     r.model = model;
     r.input = std::move(input);
     r.enqueued = std::chrono::steady_clock::now();
@@ -50,9 +88,35 @@ InferenceServer::submit(const std::string &model, std::vector<float> input,
                      ? r.enqueued + std::chrono::microseconds(deadlineUs)
                      : std::chrono::steady_clock::time_point::max();
     std::future<InferenceResponse> fut = r.promise.get_future();
+    submitImpl(std::move(r));
+    return fut;
+}
+
+void
+InferenceServer::submitAsync(const std::string &model,
+                             std::vector<float> input,
+                             std::int64_t deadlineUs,
+                             CompletionFn onComplete)
+{
+    BBS_REQUIRE(onComplete != nullptr, "submitAsync needs a callback");
+    InferenceRequest r;
+    r.model = model;
+    r.input = std::move(input);
+    r.enqueued = std::chrono::steady_clock::now();
+    r.deadline = deadlineUs > 0
+                     ? r.enqueued + std::chrono::microseconds(deadlineUs)
+                     : std::chrono::steady_clock::time_point::max();
+    r.onComplete = std::move(onComplete);
+    submitImpl(std::move(r));
+}
+
+void
+InferenceServer::submitImpl(InferenceRequest r)
+{
+    r.id = nextId_.fetch_add(1, std::memory_order_relaxed);
     submitted_.inc();
 
-    r.engine = registry_->find(model);
+    r.engine = registry_->find(r.model);
     ServeStatus bad = ServeStatus::Ok;
     if (!r.engine)
         bad = ServeStatus::UnknownModel;
@@ -65,19 +129,59 @@ InferenceServer::submit(const std::string &model, std::vector<float> input,
                    std::chrono::steady_clock::now());
         InferenceResponse resp;
         resp.status = bad;
-        r.promise.set_value(std::move(resp));
-        return fut;
+        r.complete(std::move(resp));
+        return;
     }
 
     // Per-model admission counter. Registered only for KNOWN model names
     // (bounded label cardinality); the registry's get-or-create makes
     // repeat submits one mutex-guarded hash lookup, which is noise on
-    // the submit side — the drain side touches no registry.
+    // the submit side — the drain side touches no registry. The name is
+    // ESCAPED into the label value: model names are caller-controlled
+    // strings, and an unescaped quote would corrupt every series in the
+    // exposition after this one.
     metrics_
         .counter("bbs_serve_model_requests_total",
                  "Accepted requests per model",
-                 "model=\"" + model + "\"")
+                 "model=\"" + obs::escapeLabelValue(r.model) + "\"")
         .inc();
+
+    std::size_t shard = shards_.indexFor(r.model);
+
+    // Deadline-aware shed, armed only with admission control on: if the
+    // shard's observed service rate says this request would expire
+    // before a worker reached it, reject NOW — the submitter gets the
+    // Overloaded answer in microseconds instead of a DeadlineExpired
+    // answer after the full queue wait it was doomed to pay.
+    if (config_.maxShardDepth > 0 &&
+        r.deadline != std::chrono::steady_clock::time_point::max()) {
+        double rowUs =
+            shardState_[shard].emaRowUs.load(std::memory_order_relaxed);
+        if (rowUs > 0.0) {
+            double queued = static_cast<double>(shards_.shard(shard).size());
+            // Everything ahead of us, plus ourselves, plus one flush
+            // delay (a fresh request rides at most one maxDelayUs wait).
+            double estWaitUs =
+                (queued + 1.0) * rowUs +
+                static_cast<double>(config_.maxDelayUs);
+            auto eta = r.enqueued +
+                       std::chrono::microseconds(
+                           static_cast<std::int64_t>(estWaitUs));
+            if (eta > r.deadline) {
+                stats_.recordRejection(ServeStatus::Overloaded);
+                auto now = std::chrono::steady_clock::now();
+                recordSpan(r, ServeStatus::Overloaded, 0,
+                           std::chrono::steady_clock::time_point::min(),
+                           now);
+                InferenceResponse resp;
+                resp.status = ServeStatus::Overloaded;
+                resp.queueUs = microsBetween(r.enqueued, now);
+                resp.totalUs = resp.queueUs;
+                r.complete(std::move(resp));
+                return;
+            }
+        }
+    }
 
     // Response storage is allocated HERE, on the submitting thread: the
     // executor moves it into the response and fills it in place, so the
@@ -85,51 +189,60 @@ InferenceServer::submit(const std::string &model, std::vector<float> input,
     r.logitsBuffer.resize(
         static_cast<std::size_t>(r.engine->outputFeatures()));
 
-    queue_.push(std::move(r)); // completes with ShutDown if stopped
-    return fut;
+    // tryPush delivers the terminal state itself on ShutDown/Overloaded
+    // (and increments the shared registry counters), so there is nothing
+    // to do with the result here.
+    shards_.shard(shard).tryPush(std::move(r));
 }
 
 std::int64_t
-InferenceServer::drainOnce()
+InferenceServer::drainOnce(std::size_t shard)
 {
+    BBS_REQUIRE(shard < batchers_.size(), "shard ", shard,
+                " out of range (", batchers_.size(), " shards)");
     // Per-thread batch vector, kept at maxBatch capacity: a warm worker
     // forms and executes every batch without allocating.
     static thread_local std::vector<InferenceRequest> batch;
-    batcher_.nextBatch(batch);
+    batchers_[shard]->nextBatch(batch);
     std::int64_t rows = static_cast<std::int64_t>(batch.size());
     if (rows > 0)
-        execute(batch);
+        execute(batch, shard);
     return rows;
 }
 
 void
-InferenceServer::workerLoop()
+InferenceServer::workerLoop(std::size_t shard)
 {
-    while (drainOnce() > 0) {
+    while (drainOnce(shard) > 0) {
     }
 }
 
 void
-InferenceServer::execute(std::vector<InferenceRequest> &batch)
+InferenceServer::execute(std::vector<InferenceRequest> &batch,
+                         std::size_t shard)
 {
+    RequestQueue &queue = shards_.shard(shard);
+
     // Deadlines re-checked at flush time: a request claimed as batch
     // leader may have sat out the whole maxDelayUs wait, and the
     // contract is "expired requests are rejected, never executed".
     // Compacted in place — the live requests slide down, nothing is
-    // copied out.
+    // copied out. Counting goes through queue.markExpired — the ONE
+    // path every expiry takes, wherever it was noticed — so the queue's
+    // tally, StatsSnapshot::expired and the Prometheus series all move
+    // together (test_serve asserts the equality).
     {
         auto now = std::chrono::steady_clock::now();
         std::size_t keep = 0;
         for (std::size_t i = 0; i < batch.size(); ++i) {
             InferenceRequest &r = batch[i];
             if (r.deadline <= now) {
-                stats_.recordRejection(ServeStatus::DeadlineExpired);
-                queue_.markCompleted(r.model, 1);
+                queue.markExpired(r.model, 1);
                 InferenceResponse resp;
                 resp.status = ServeStatus::DeadlineExpired;
                 resp.queueUs = microsBetween(r.enqueued, now);
                 resp.totalUs = resp.queueUs;
-                r.promise.set_value(std::move(resp));
+                r.complete(std::move(resp));
                 recordSpan(r, ServeStatus::DeadlineExpired, 0,
                            std::chrono::steady_clock::time_point::min(),
                            now);
@@ -188,6 +301,20 @@ InferenceServer::execute(std::vector<InferenceRequest> &batch)
         auto doneAt = std::chrono::steady_clock::now();
         std::int64_t width = logits.shape().dim(1);
         stats_.recordBatch(n);
+
+        // Feed the deadline-shed estimator: per-row service time of this
+        // run, exponentially smoothed. Plain store — concurrent drains
+        // of one shard may drop an update, which only delays the
+        // estimate by a batch.
+        {
+            double runUs = microsBetween(execStart, doneAt);
+            double rowUs = runUs / static_cast<double>(n);
+            std::atomic<double> &ema = shardState_[shard].emaRowUs;
+            double prev = ema.load(std::memory_order_relaxed);
+            ema.store(prev == 0.0 ? rowUs : 0.8 * prev + 0.2 * rowUs,
+                      std::memory_order_relaxed);
+        }
+
         for (std::int64_t r = 0; r < n; ++r) {
             InferenceRequest &req =
                 batch[done + static_cast<std::size_t>(r)];
@@ -197,25 +324,23 @@ InferenceServer::execute(std::vector<InferenceRequest> &batch)
             // steal it and fill it in place.
             resp.logits = std::move(req.logitsBuffer);
             resp.logits.resize(static_cast<std::size_t>(width));
-            int best = 0;
-            for (std::int64_t c = 0; c < width; ++c) {
-                float v = logits.at(r, c);
-                resp.logits[static_cast<std::size_t>(c)] = v;
-                if (v > resp.logits[static_cast<std::size_t>(best)])
-                    best = static_cast<int>(c);
-            }
-            resp.predicted = best;
+            for (std::int64_t c = 0; c < width; ++c)
+                resp.logits[static_cast<std::size_t>(c)] =
+                    logits.at(r, c);
+            // argmaxLogits guards the zero-width case: predicted stays
+            // -1 instead of indexing logits[0] of an empty vector.
+            resp.predicted = argmaxLogits(resp.logits);
             resp.batchRows = n;
             resp.queueUs = microsBetween(req.enqueued, execStart);
             resp.totalUs = microsBetween(req.enqueued, doneAt);
             stats_.recordCompletion(resp.queueUs, resp.totalUs);
-            req.promise.set_value(std::move(resp));
+            req.complete(std::move(resp));
             // Trace span: a stack POD copied under the ring's mutex —
             // the drain path's zero-allocation invariant holds.
             recordSpan(req, ServeStatus::Ok, static_cast<std::int32_t>(n),
                        execStart, doneAt);
         }
-        queue_.markCompleted(runModel, n);
+        queue.markCompleted(runModel, n);
         done = runEnd;
     }
 }
@@ -223,7 +348,7 @@ InferenceServer::execute(std::vector<InferenceRequest> &batch)
 void
 InferenceServer::stop()
 {
-    queue_.shutdown();
+    shards_.shutdown();
     for (std::thread &w : workers_)
         if (w.joinable())
             w.join();
@@ -233,13 +358,14 @@ InferenceServer::stop()
 StatsSnapshot
 InferenceServer::stats() const
 {
-    // Rejections happen on both sides: in the queue (expiry noticed at
-    // pop, shutdown) and in the server (expiry noticed at flush, bad
-    // submissions). Both sides increment the SAME registry counters
-    // (see the queue_.observe call in the constructor), so the snapshot
-    // already carries the merged totals.
+    // Rejections happen on both sides: in the queues (expiry noticed at
+    // pop, depth-bound overload, shutdown) and in the server (expiry
+    // noticed at flush via markExpired, bad submissions, deadline
+    // sheds). Both sides increment the SAME registry counters (see the
+    // observe calls in the constructor), so the snapshot already carries
+    // the merged totals.
     StatsSnapshot s = stats_.snapshot();
-    s.queueDepth = queue_.size();
+    s.queueDepth = shards_.size();
     return s;
 }
 
@@ -290,6 +416,7 @@ serveStatusName(ServeStatus s)
     case ServeStatus::ShutDown: return "ShutDown";
     case ServeStatus::UnknownModel: return "UnknownModel";
     case ServeStatus::BadInput: return "BadInput";
+    case ServeStatus::Overloaded: return "Overloaded";
     }
     return "?";
 }

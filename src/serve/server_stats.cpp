@@ -34,6 +34,10 @@ ServerStats::ServerStats(std::int64_t maxBatch, obs::Registry *registry)
       badRequests_(registry_.counter(
           "bbs_serve_requests_bad_total",
           "UnknownModel and BadInput rejections")),
+      overloaded_(registry_.counter(
+          "bbs_serve_requests_overloaded_total",
+          "Overloaded admission rejections (depth bound or deadline "
+          "shed)")),
       batches_(registry_.counter("bbs_serve_batches_total",
                                  "Executed GEMM batches")),
       batchRows_(registry_.histogram("bbs_serve_batch_rows",
@@ -91,6 +95,7 @@ ServerStats::recordRejection(ServeStatus status)
     case ServeStatus::ShutDown: shutdownRejected_.inc(); break;
     case ServeStatus::UnknownModel:
     case ServeStatus::BadInput: badRequests_.inc(); break;
+    case ServeStatus::Overloaded: overloaded_.inc(); break;
     case ServeStatus::Ok: break; // not a rejection; ignore
     }
 }
@@ -103,6 +108,7 @@ ServerStats::snapshot() const
     s.expired = expired_.value();
     s.shutdownRejected = shutdownRejected_.value();
     s.badRequests = badRequests_.value();
+    s.overloaded = overloaded_.value();
     s.batches = batches_.value();
 
     // batchHist reconstructed from the unit-bucket histogram: bound n
@@ -145,6 +151,7 @@ ServerStats::reset()
     expired_.reset();
     shutdownRejected_.reset();
     badRequests_.reset();
+    overloaded_.reset();
     batches_.reset();
     batchRows_.reset();
     latencyUs_.reset();

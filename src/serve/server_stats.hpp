@@ -33,6 +33,7 @@ struct StatsSnapshot
     std::uint64_t expired = 0;          ///< DeadlineExpired rejections
     std::uint64_t shutdownRejected = 0; ///< ShutDown rejections
     std::uint64_t badRequests = 0;      ///< UnknownModel + BadInput
+    std::uint64_t overloaded = 0;       ///< Overloaded admission sheds
     std::uint64_t batches = 0;          ///< gemmCompressed calls
 
     /**
@@ -111,6 +112,7 @@ class ServerStats
     obs::Counter &expired_;
     obs::Counter &shutdownRejected_;
     obs::Counter &badRequests_;
+    obs::Counter &overloaded_;
     obs::Counter &batches_;
     obs::Histogram &batchRows_;  ///< unit buckets 1..maxBatch (exact)
     obs::Histogram &latencyUs_;

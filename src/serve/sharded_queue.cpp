@@ -1,0 +1,81 @@
+#include "serve/sharded_queue.hpp"
+
+#include <functional>
+
+#include "common/logging.hpp"
+
+namespace bbs {
+
+ShardedQueue::ShardedQueue(std::size_t shards)
+{
+    BBS_REQUIRE(shards >= 1, "need at least one shard, got ", shards);
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i)
+        shards_.push_back(std::make_unique<RequestQueue>());
+}
+
+std::size_t
+ShardedQueue::indexFor(std::string_view model) const
+{
+    if (shards_.size() == 1)
+        return 0;
+    return std::hash<std::string_view>{}(model) % shards_.size();
+}
+
+void
+ShardedQueue::setMaxDepth(std::int64_t maxDepth)
+{
+    for (auto &s : shards_)
+        s->setMaxDepth(maxDepth);
+}
+
+void
+ShardedQueue::shutdown()
+{
+    for (auto &s : shards_)
+        s->shutdown();
+}
+
+bool
+ShardedQueue::isShutdown() const
+{
+    return shards_.front()->isShutdown();
+}
+
+std::size_t
+ShardedQueue::size() const
+{
+    std::size_t total = 0;
+    for (const auto &s : shards_)
+        total += s->size();
+    return total;
+}
+
+std::uint64_t
+ShardedQueue::expiredCount() const
+{
+    std::uint64_t total = 0;
+    for (const auto &s : shards_)
+        total += s->expiredCount();
+    return total;
+}
+
+std::uint64_t
+ShardedQueue::shutdownCount() const
+{
+    std::uint64_t total = 0;
+    for (const auto &s : shards_)
+        total += s->shutdownCount();
+    return total;
+}
+
+std::uint64_t
+ShardedQueue::overloadedCount() const
+{
+    std::uint64_t total = 0;
+    for (const auto &s : shards_)
+        total += s->overloadedCount();
+    return total;
+}
+
+} // namespace bbs

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Model-name-sharded request queue: K independent RequestQueues with a
+ * stable hash route, so concurrent submitters for different models stop
+ * contending on one queue mutex and one overloaded model cannot fill
+ * the admission budget of every other model.
+ *
+ * A model's requests always land on the same shard (route = hash of the
+ * name), which preserves the per-model FIFO ordering the batcher's
+ * correctness argument relies on: same-model runs are still popped from
+ * ONE deque in arrival order. Different models sharing a shard is fine
+ * (that is exactly the pre-sharding world); a model spanning shards
+ * would not be.
+ *
+ * The aggregate accessors (size/expired/shutdown/overloaded counts) sum
+ * over shards without a global lock — each term is exact, the sum is a
+ * statistically consistent reading like any multi-counter scrape.
+ */
+#ifndef BBS_SERVE_SHARDED_QUEUE_HPP
+#define BBS_SERVE_SHARDED_QUEUE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "serve/request_queue.hpp"
+
+namespace bbs {
+
+class ShardedQueue
+{
+  public:
+    /** @p shards independent queues; 1 reproduces the unsharded server
+     *  exactly (same queue, same mutex, same ordering). */
+    explicit ShardedQueue(std::size_t shards);
+
+    std::size_t shardCount() const { return shards_.size(); }
+
+    /** Stable shard route for @p model (hash % shardCount). */
+    std::size_t indexFor(std::string_view model) const;
+
+    RequestQueue &shard(std::size_t i) { return *shards_[i]; }
+    const RequestQueue &shard(std::size_t i) const { return *shards_[i]; }
+
+    RequestQueue &shardFor(std::string_view model)
+    {
+        return *shards_[indexFor(model)];
+    }
+
+    /** Apply one admission depth bound to every shard (the bound is
+     *  per shard, not global — see RequestQueue::setMaxDepth). */
+    void setMaxDepth(std::int64_t maxDepth);
+
+    /** Shut every shard down (each completes its queued requests with
+     *  ShutDown). Idempotent. */
+    void shutdown();
+
+    /** True once shutdown() ran (shards shut down together). */
+    bool isShutdown() const;
+
+    // Aggregates over all shards.
+    std::size_t size() const;
+    std::uint64_t expiredCount() const;
+    std::uint64_t shutdownCount() const;
+    std::uint64_t overloadedCount() const;
+
+  private:
+    /** unique_ptr because RequestQueue owns a mutex/condvar and is
+     *  neither movable nor copyable. */
+    std::vector<std::unique_ptr<RequestQueue>> shards_;
+};
+
+} // namespace bbs
+
+#endif // BBS_SERVE_SHARDED_QUEUE_HPP

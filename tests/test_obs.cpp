@@ -180,6 +180,41 @@ TEST(ObsExposition, PrometheusTextRoundTrips)
     EXPECT_DOUBLE_EQ(sum->value, 12.5);
 }
 
+TEST(ObsExposition, LabelValueEscapingRoundTrips)
+{
+    // Label values are caller-controlled strings (model names reach
+    // them); the exposition-format escapes must survive emission AND
+    // the round-trip parser — in particular a `}` or `"` inside a
+    // quoted value must not truncate the label body.
+    EXPECT_EQ(obs::escapeLabelValue("plain"), "plain");
+    EXPECT_EQ(obs::escapeLabelValue("quo\"te"), "quo\\\"te");
+    EXPECT_EQ(obs::escapeLabelValue("back\\slash"), "back\\\\slash");
+    EXPECT_EQ(obs::escapeLabelValue("new\nline"), "new\\nline");
+
+    obs::Registry reg;
+    std::string evil = "mo\"de}l\\x";
+    std::string label =
+        "model=\"" + obs::escapeLabelValue(evil) + "\"";
+    reg.counter("bbs_esc_total", "Escaping", label).inc(3);
+    reg.counter("bbs_esc_after_total", "Must survive the evil line")
+        .inc(7);
+
+    std::string text = obs::prometheusText(reg.snapshot());
+    obs::ParsedExposition parsed;
+    ASSERT_TRUE(obs::parsePrometheusText(text, parsed)) << text;
+
+    const obs::ParsedSample *evilSample =
+        parsed.find("bbs_esc_total", label);
+    ASSERT_NE(evilSample, nullptr) << text;
+    EXPECT_DOUBLE_EQ(evilSample->value, 3.0);
+    // The series AFTER the evil one parsed intact: the label body did
+    // not swallow the rest of the exposition.
+    const obs::ParsedSample *after =
+        parsed.find("bbs_esc_after_total");
+    ASSERT_NE(after, nullptr);
+    EXPECT_DOUBLE_EQ(after->value, 7.0);
+}
+
 TEST(ObsExposition, ParserRejectsMalformedLines)
 {
     obs::ParsedExposition out;

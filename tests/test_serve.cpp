@@ -16,6 +16,7 @@
 #include "common/random.hpp"
 #include "nn/layers.hpp"
 #include "nn/network.hpp"
+#include "obs/exposition.hpp"
 #include "serve/batcher.hpp"
 #include "engine/engine.hpp"
 #include "serve/server.hpp"
@@ -466,6 +467,301 @@ TEST(RequestQueueDirect, ShutdownRejectsPendingAndRefusesPushes)
     EXPECT_EQ(lateFut.get().status, ServeStatus::ShutDown);
     EXPECT_EQ(queue.shutdownCount(), 4u);
     EXPECT_FALSE(queue.waitFront().has_value());
+}
+
+TEST(RequestQueueDirect, DepthBoundRejectsWithOverloadedExactly)
+{
+    RequestQueue queue;
+    queue.setMaxDepth(2);
+    auto makeReq = [] {
+        InferenceRequest r;
+        r.model = "m";
+        r.enqueued = std::chrono::steady_clock::now();
+        r.deadline = std::chrono::steady_clock::time_point::max();
+        return r;
+    };
+    EXPECT_EQ(queue.tryPush(makeReq()), PushResult::Ok);
+    EXPECT_EQ(queue.tryPush(makeReq()), PushResult::Ok);
+
+    InferenceRequest third = makeReq();
+    auto fut = third.promise.get_future();
+    EXPECT_EQ(queue.tryPush(std::move(third)), PushResult::Overloaded);
+    // Terminal state delivered before tryPush returned.
+    ASSERT_EQ(fut.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(fut.get().status, ServeStatus::Overloaded);
+    EXPECT_EQ(queue.overloadedCount(), 1u);
+    EXPECT_EQ(queue.size(), 2u);
+    queue.shutdown();
+}
+
+TEST(RequestQueueDirect, RejectionCallbackRunsOutsideTheQueueLock)
+{
+    // The out-of-lock completion discipline, pinned: a rejection's
+    // onComplete may call back INTO the queue (query it, even push
+    // another doomed request, which lands in the same thread_local
+    // rejection scratch mid-iteration). Under the old
+    // complete-under-mutex_ scheme both calls deadlock on the
+    // non-recursive queue mutex.
+    RequestQueue queue;
+    queue.setMaxDepth(1);
+    auto makeReq = [] {
+        InferenceRequest r;
+        r.model = "m";
+        r.enqueued = std::chrono::steady_clock::now();
+        r.deadline = std::chrono::steady_clock::time_point::max();
+        return r;
+    };
+    EXPECT_EQ(queue.tryPush(makeReq()), PushResult::Ok);
+
+    bool outerRan = false;
+    std::future<InferenceResponse> nestedFut;
+    InferenceRequest outer = makeReq();
+    outer.onComplete = [&](InferenceResponse &&resp) {
+        EXPECT_EQ(resp.status, ServeStatus::Overloaded);
+        EXPECT_EQ(queue.size(), 1u); // would deadlock under mutex_
+        InferenceRequest nested = makeReq();
+        nestedFut = nested.promise.get_future();
+        // Also rejected (depth still 1): a nested rejection completing
+        // inside the outer rejection's callback.
+        EXPECT_EQ(queue.tryPush(std::move(nested)),
+                  PushResult::Overloaded);
+        outerRan = true;
+    };
+    EXPECT_EQ(queue.tryPush(std::move(outer)), PushResult::Overloaded);
+    EXPECT_TRUE(outerRan);
+    ASSERT_TRUE(nestedFut.valid());
+    EXPECT_EQ(nestedFut.get().status, ServeStatus::Overloaded);
+    EXPECT_EQ(queue.overloadedCount(), 2u);
+    queue.shutdown();
+}
+
+TEST(Serve, FlushTimeExpiryCountsThroughTheQueuePath)
+{
+    // The counting-unification fix, pinned end to end: an expiry noticed
+    // at FLUSH time (after the request left the queue) must move the
+    // queue's own expired tally, StatsSnapshot::expired and the
+    // Prometheus series together — before the fix the flush path bumped
+    // only the registry counter, so queue.expiredCount() drifted from
+    // snapshot.expired forever.
+    auto registry = std::make_shared<ModelRegistry>();
+    registry->add("clf", makeEngine(16, 24, 4, 2, 0xd00d));
+    auto pool = makePool(2, 16, 0x8811);
+
+    ServerConfig cfg;
+    cfg.maxBatch = 64;
+    cfg.maxDelayUs = 20'000;
+    cfg.workers = 0;
+    InferenceServer server(registry, cfg);
+    RequestQueue &queue = server.queues().shard(0);
+
+    // Act as a wedged worker: claim the first request and never finish
+    // it. Its live count holds the next clf batch open to the timeout.
+    auto stuck = server.submit("clf", pool[0]);
+    std::optional<InferenceRequest> claimed = queue.waitFront();
+    ASSERT_TRUE(claimed.has_value());
+    ASSERT_EQ(queue.liveCount("clf"), 1);
+
+    // This request becomes the next batch's leader; the claimed
+    // in-flight request forces the batcher to wait out maxDelayUs, by
+    // which time the 3 ms deadline has long expired — the flush-time
+    // re-check rejects it.
+    auto doomed = server.submit("clf", pool[1], /*deadlineUs=*/3000);
+    EXPECT_EQ(server.drainOnce(), 1);
+    EXPECT_EQ(doomed.get().status, ServeStatus::DeadlineExpired);
+
+    StatsSnapshot s = server.stats();
+    EXPECT_EQ(s.expired, 1u);
+    EXPECT_EQ(queue.expiredCount(), 1u); // the unified tally
+    obs::ParsedExposition parsed;
+    ASSERT_TRUE(
+        obs::parsePrometheusText(server.metricsText(false), parsed));
+    const obs::ParsedSample *series =
+        parsed.find("bbs_serve_requests_expired_total");
+    ASSERT_NE(series, nullptr);
+    EXPECT_EQ(series->value, 1.0);
+
+    // Release the claimed request so stop() isn't held up; its promise
+    // is abandoned (the future reports broken_promise, which this test
+    // never reads).
+    queue.markCompleted("clf", 1);
+    claimed.reset();
+    stuck = {};
+    server.stop();
+}
+
+TEST(Serve, ShardDepthBoundShedsWithOverloaded)
+{
+    auto registry = std::make_shared<ModelRegistry>();
+    registry->add("clf", makeEngine(16, 24, 4, 2, 0xd00d));
+    auto pool = makePool(1, 16, 0x2244);
+
+    ServerConfig cfg;
+    cfg.workers = 0; // nobody drains: the queue only fills
+    cfg.maxShardDepth = 2;
+    InferenceServer server(registry, cfg);
+
+    auto a = server.submit("clf", pool[0]);
+    auto b = server.submit("clf", pool[0]);
+    auto c = server.submit("clf", pool[0]);
+    ASSERT_EQ(c.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(c.get().status, ServeStatus::Overloaded);
+
+    StatsSnapshot s = server.stats();
+    EXPECT_EQ(s.overloaded, 1u);
+    EXPECT_EQ(s.queueDepth, 2u);
+    EXPECT_EQ(server.queues().shard(0).overloadedCount(), 1u);
+
+    server.stop();
+    EXPECT_EQ(a.get().status, ServeStatus::ShutDown);
+    EXPECT_EQ(b.get().status, ServeStatus::ShutDown);
+}
+
+TEST(Serve, DeadlineAwareShedRejectsDoomedRequestsAtSubmit)
+{
+    auto registry = std::make_shared<ModelRegistry>();
+    registry->add("clf", makeEngine(16, 24, 4, 2, 0xd00d));
+    auto pool = makePool(1, 16, 0x3355);
+
+    ServerConfig cfg;
+    cfg.workers = 0;
+    cfg.maxBatch = 8;
+    cfg.maxDelayUs = 50'000; // dwarfs the deadline below
+    cfg.maxShardDepth = 100; // depth bound never hit: the SHED rejects
+    InferenceServer server(registry, cfg);
+
+    // Arm the service-time estimator with one served batch.
+    auto warm = server.submit("clf", pool[0]);
+    EXPECT_EQ(server.drainOnce(), 1);
+    EXPECT_EQ(warm.get().status, ServeStatus::Ok);
+
+    // Estimated wait >= one flush delay (50 ms) >> the 1 ms deadline:
+    // rejected at the door, in microseconds, instead of accepted and
+    // expired after the full wait.
+    auto doomed = server.submit("clf", pool[0], /*deadlineUs=*/1000);
+    ASSERT_EQ(doomed.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(doomed.get().status, ServeStatus::Overloaded);
+    EXPECT_EQ(server.stats().overloaded, 1u);
+    EXPECT_EQ(server.stats().expired, 0u);
+    // A deadline the estimate can meet is still accepted.
+    auto fine = server.submit("clf", pool[0], /*deadlineUs=*/5'000'000);
+    EXPECT_EQ(server.drainOnce(), 1);
+    EXPECT_EQ(fine.get().status, ServeStatus::Ok);
+    server.stop();
+}
+
+TEST(Serve, ShardedServerServesBitIdenticalAcrossModels)
+{
+    auto registry = std::make_shared<ModelRegistry>();
+    registry->add("a", makeEngine(16, 24, 4, 2, 0xaa00));
+    registry->add("b", makeEngine(16, 24, 4, 2, 0xbb00));
+    registry->add("c", makeEngine(24, 32, 8, 4, 0xcc00));
+    auto poolA = makePool(6, 16, 0x0a);
+    auto poolB = makePool(6, 16, 0x0b);
+    auto poolC = makePool(6, 24, 0x0c);
+    auto oracleA = oracleLogits(*registry->find("a"), poolA);
+    auto oracleB = oracleLogits(*registry->find("b"), poolB);
+    auto oracleC = oracleLogits(*registry->find("c"), poolC);
+
+    ServerConfig cfg;
+    cfg.maxBatch = 8;
+    cfg.maxDelayUs = 300;
+    cfg.workers = 1; // raised to one drain thread per shard
+    cfg.shards = 4;
+    InferenceServer server(registry, cfg);
+    ASSERT_EQ(server.queues().shardCount(), 4u);
+
+    constexpr int kThreads = 3, kPer = 40;
+    struct Pending
+    {
+        int which;
+        std::size_t idx;
+        std::future<InferenceResponse> fut;
+    };
+    std::vector<std::vector<Pending>> perThread(kThreads);
+    std::vector<std::thread> producers;
+    for (int t = 0; t < kThreads; ++t) {
+        producers.emplace_back([&, t] {
+            Rng rng(0xd1ce + static_cast<std::uint64_t>(t));
+            for (int i = 0; i < kPer; ++i) {
+                int which = static_cast<int>(rng.uniformInt(0, 2));
+                const auto &pool =
+                    which == 0 ? poolA : which == 1 ? poolB : poolC;
+                std::size_t idx = static_cast<std::size_t>(
+                    rng.uniformInt(0, static_cast<std::int64_t>(
+                                          pool.size()) - 1));
+                const char *name =
+                    which == 0 ? "a" : which == 1 ? "b" : "c";
+                perThread[static_cast<std::size_t>(t)].push_back(
+                    {which, idx, server.submit(name, pool[idx])});
+            }
+        });
+    }
+    for (auto &p : producers)
+        p.join();
+
+    for (auto &thread : perThread) {
+        for (Pending &p : thread) {
+            InferenceResponse resp = p.fut.get();
+            ASSERT_EQ(resp.status, ServeStatus::Ok)
+                << serveStatusName(resp.status);
+            const auto &oracle = p.which == 0   ? oracleA
+                                 : p.which == 1 ? oracleB
+                                                : oracleC;
+            ASSERT_EQ(resp.logits, oracle[p.idx]);
+        }
+    }
+    server.stop();
+    EXPECT_EQ(server.stats().completed,
+              static_cast<std::uint64_t>(kThreads * kPer));
+}
+
+TEST(Serve, SubmitAsyncDeliversThroughCallback)
+{
+    auto registry = std::make_shared<ModelRegistry>();
+    registry->add("clf", makeEngine(16, 24, 4, 2, 0xd00d));
+    auto pool = makePool(1, 16, 0x6611);
+    auto oracle = oracleLogits(*registry->find("clf"), pool);
+
+    ServerConfig cfg;
+    cfg.workers = 0;
+    InferenceServer server(registry, cfg);
+
+    InferenceResponse got;
+    std::atomic<int> calls{0};
+    server.submitAsync("clf", pool[0], 0,
+                       [&](InferenceResponse &&resp) {
+                           got = std::move(resp);
+                           calls.fetch_add(1);
+                       });
+    EXPECT_EQ(server.drainOnce(), 1);
+    ASSERT_EQ(calls.load(), 1);
+    EXPECT_EQ(got.status, ServeStatus::Ok);
+    EXPECT_EQ(got.logits, oracle[0]);
+
+    // Immediate rejection also arrives through the callback, on the
+    // submitting thread, exactly once.
+    server.submitAsync("nope", pool[0], 0,
+                       [&](InferenceResponse &&resp) {
+                           EXPECT_EQ(resp.status,
+                                     ServeStatus::UnknownModel);
+                           calls.fetch_add(1);
+                       });
+    EXPECT_EQ(calls.load(), 2);
+    server.stop();
+}
+
+TEST(Serve, ArgmaxGuardsZeroWidthOutput)
+{
+    // execute() computes predicted through argmaxLogits; an empty logits
+    // vector (a zero-width output — constructible only through layers
+    // outside the Shape-validated factory path, but the serving contract
+    // is defensive) must yield -1, never an indexing of logits[0].
+    EXPECT_EQ(argmaxLogits({}), -1);
+    EXPECT_EQ(argmaxLogits({-3.0f}), 0);
+    EXPECT_EQ(argmaxLogits({2.0f, 5.0f, 5.0f, 1.0f}), 1); // first max
 }
 
 } // namespace
