@@ -40,7 +40,11 @@
  * the shed + expiry counters together must absorb it), and a
  * worker-pool hog (a foreign parallelFor occupies the persistent pool,
  * forcing the server's GEMMs onto the spawn-per-call fallback — visible
- * in bbs_pool_fallback_total). Fault windows and one recovery window
+ * in bbs_pool_fallback_total), and a model HOT-SWAP under load (the
+ * most popular model re-packed into a BBMS container, mapped, and
+ * atomically swapped into the registry mid-traffic — the clients'
+ * per-request oracle checks must stay clean across the version bump).
+ * Fault windows and one recovery window
  * after each are marked in the timeline and EXCLUDED from the gates.
  *
  * Drift gates, evaluated over the steady (post-warmup, non-fault)
@@ -61,6 +65,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <deque>
 #include <fstream>
 #include <iostream>
@@ -85,6 +90,7 @@
 #include "nn/layers.hpp"
 #include "obs/exposition.hpp"
 #include "serve/server.hpp"
+#include "store/container.hpp"
 
 namespace {
 
@@ -275,6 +281,8 @@ struct ChaosReport
     std::uint64_t burstShed = 0; ///< burst requests answered Overloaded
     std::uint64_t hogFallbacks = 0;
     bool hogRan = false;
+    std::uint64_t swapVersion = 0;    ///< registry version after hot-swap
+    bool swapServedIdentical = false; ///< swapped-in engine is bit-exact
 };
 
 /**
@@ -789,6 +797,36 @@ main(int argc, char **argv)
                 before;
             faults.end(ev, sinceStart(Clock::now()));
         }
+
+        // Fault 7: model hot-swap under load — the most popular model
+        // is packed into a BBMS container, mapped back, and atomically
+        // swapped into the registry mid-traffic. The weights are
+        // identical, so the open-loop clients' per-request oracle
+        // checks double as the zero-divergence proof; here we pin the
+        // version bump and one bit-exact probe through the swapped-in
+        // mapped engine.
+        if (sleepUntilFrac(0.85)) {
+            std::size_t ev =
+                faults.begin("model-hot-swap", sinceStart(Clock::now()));
+            std::string swapPath = "/tmp/bbs_soak_swap_" +
+                                   std::to_string(::getpid()) + ".bbms";
+            std::shared_ptr<const Int8Network> current =
+                registry->find(models[0].name);
+            store::writeModelContainer(*current, swapPath);
+            std::shared_ptr<const store::MappedContainer> container;
+            if (store::MappedContainer::tryOpen(swapPath, container)) {
+                chaos.swapVersion = registry->swap(
+                    models[0].name, std::make_shared<const Int8Network>(
+                                        store::mapModel(container)));
+                InferenceResponse probe =
+                    server.submit(models[0].name, models[0].pool[5]).get();
+                chaos.swapServedIdentical =
+                    probe.status == ServeStatus::Ok &&
+                    probe.logits == models[0].oracle[5];
+            }
+            std::remove(swapPath.c_str()); // mapping survives the unlink
+            faults.end(ev, sinceStart(Clock::now()));
+        }
     });
 
     // ---- windowed scraping on the main thread -------------------------
@@ -917,7 +955,9 @@ main(int argc, char **argv)
     gates.faultsHandled =
         chaos.blobCorruptRejected && chaos.blobTruncatedRejected &&
         chaos.blobIntactAccepted && chaos.shardRestartServed &&
-        chaos.netStallServed && netErrors.load() == 0 && netOk.load() > 0;
+        chaos.netStallServed && chaos.swapVersion >= 2 &&
+        chaos.swapServedIdentical && netErrors.load() == 0 &&
+        netOk.load() > 0;
 
     // The exposition must round-trip through the parser and agree with
     // the stats snapshot (same counters, two readings).
@@ -952,12 +992,14 @@ main(int argc, char **argv)
         chaos.hogRan ? "" : " (hog skipped: 1 worker)");
     std::cout << format(
         "net: %llu ok, %llu shed, %llu errors | shard restart served %s | "
-        "mid-frame stall served %s\n",
+        "mid-frame stall served %s | hot-swap v%llu served %s\n",
         static_cast<unsigned long long>(netOk.load()),
         static_cast<unsigned long long>(netShed.load()),
         static_cast<unsigned long long>(netErrors.load()),
         chaos.shardRestartServed ? "yes" : "NO",
-        chaos.netStallServed ? "yes" : "NO");
+        chaos.netStallServed ? "yes" : "NO",
+        static_cast<unsigned long long>(chaos.swapVersion),
+        chaos.swapServedIdentical ? "yes" : "NO");
 
     auto verdict = [](bool ok) { return ok ? "ok" : "FAILED"; };
     std::cout << format(
@@ -985,6 +1027,10 @@ main(int argc, char **argv)
                     {"shard_restart_served",
                      chaos.shardRestartServed ? 1.0 : 0.0},
                     {"net_stall_served", chaos.netStallServed ? 1.0 : 0.0},
+                    {"swap_version",
+                     static_cast<double>(chaos.swapVersion)},
+                    {"swap_served",
+                     chaos.swapServedIdentical ? 1.0 : 0.0},
                     {"passed", gates.all() ? 1.0 : 0.0}});
     bench::jsonFlush();
 

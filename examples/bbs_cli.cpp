@@ -9,6 +9,8 @@
  *   bbs_cli engine-info [--rows K --cols C --batch N --columns T]
  *   bbs_cli serve-stats [--requests N --clients M]
  *   bbs_cli autotune    --out tuning.json [--reps N --warmup N]
+ *   bbs_cli store-pack  --out model.bbms [--in N --hidden N --classes N]
+ *   bbs_cli store-info  --path model.bbms
  *
  * All workloads are the synthetic zoo (deterministic per seed); see
  * DESIGN.md for the substitution rationale.
@@ -39,6 +41,7 @@
 #include "nn/layers.hpp"
 #include "serve/server.hpp"
 #include "sim/prepared_model.hpp"
+#include "store/container.hpp"
 #include "tensor/distribution.hpp"
 
 namespace {
@@ -407,16 +410,96 @@ cmdAutotune(const std::map<std::string, std::string> &flags)
     return 0;
 }
 
+/**
+ * store-pack: build the demo MLP (deterministic per --seed), compress it
+ * at the requested operating point, and write it as a BBMS model
+ * container — the artifact `ModelStore` / `store::mapModel` serve
+ * zero-copy. The written file is reopened and mapped before reporting
+ * success, so a "wrote ..." line implies a loadable container.
+ */
+int
+cmdStorePack(const std::map<std::string, std::string> &flags)
+{
+    std::string out = flagOr(flags, "out", "model.bbms");
+    std::int64_t in = std::stoll(flagOr(flags, "in", "512"));
+    std::int64_t hidden = std::stoll(flagOr(flags, "hidden", "256"));
+    std::int64_t classes = std::stoll(flagOr(flags, "classes", "64"));
+    int columns = std::stoi(flagOr(flags, "columns", "4"));
+    std::uint64_t seed = std::stoull(flagOr(flags, "seed", "42"));
+    BBS_REQUIRE(in % 32 == 0 && hidden % 32 == 0,
+                "--in and --hidden must be multiples of the group size "
+                "(32), got ",
+                in, " and ", hidden);
+
+    Rng rng(seed);
+    Network net;
+    net.add(std::make_unique<Dense>(in, hidden, rng));
+    net.add(std::make_unique<ReluLayer>());
+    net.add(std::make_unique<Dense>(hidden, classes, rng));
+    Int8Network engine = Int8Network::fromNetwork(
+        net, 32, columns, PruneStrategy::ZeroPointShifting);
+
+    std::size_t bytes = store::writeModelContainer(engine, out);
+    auto container = store::MappedContainer::open(out);
+    Int8Network mapped = store::mapModel(container);
+    std::cout << format("wrote %s: %zu bytes, %zu layers, "
+                        "%.2f effective bits/weight (verified: mapped "
+                        "%lld -> %lld network)\n",
+                        out.c_str(), bytes, container->layerCount(),
+                        engine.effectiveBits(),
+                        static_cast<long long>(mapped.inputFeatures()),
+                        static_cast<long long>(
+                            mapped.layers().back().outFeatures()));
+    return 0;
+}
+
+/** store-info: validate + map a BBMS container and describe it. */
+int
+cmdStoreInfo(const std::map<std::string, std::string> &flags)
+{
+    std::string path = flagOr(flags, "path", "model.bbms");
+    std::shared_ptr<const store::MappedContainer> c;
+    std::string error;
+    if (!store::MappedContainer::tryOpen(path, c, &error)) {
+        std::cerr << "store-info: " << path << ": " << error << "\n";
+        return 1;
+    }
+    std::cout << path << ": " << c->bytes() << " bytes, "
+              << c->layerCount() << " layers, " << c->operandCount()
+              << " operands"
+              << (c->hasModel() ? "" : " (bare operands, no model)")
+              << "\n";
+    Table t({"layer", "shape", "group", "stored bits", "activation"});
+    for (std::size_t i = 0; i < c->layerCount(); ++i) {
+        const store::MappedContainer::Layer &l = c->layer(i);
+        t.addRow({std::to_string(i),
+                  format("%lld x %lld",
+                         static_cast<long long>(l.meta.outFeatures),
+                         static_cast<long long>(l.meta.inFeatures)),
+                  std::to_string(l.meta.groupSize),
+                  formatDouble(c->operandStoredBits(
+                                   static_cast<std::size_t>(
+                                       l.meta.operandIndex)),
+                               2),
+                  l.meta.reluAfter   ? "relu"
+                  : l.meta.geluAfter ? "gelu"
+                                     : "-"});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
 int
 usage()
 {
     std::cerr << "usage: bbs_cli "
                  "<sparsity|compress|simulate|engine-info|serve-stats|"
-                 "autotune> "
+                 "autotune|store-pack|store-info> "
                  "[--model NAME] [--columns N] [--strategy zp|ra] "
                  "[--beta F] [--accelerator NAME] [--rows K] [--cols C] "
                  "[--batch N] [--requests N] [--clients M] [--out PATH] "
-                 "[--reps N] [--warmup N]\n";
+                 "[--reps N] [--warmup N] [--in N] [--hidden N] "
+                 "[--classes N] [--seed N] [--path FILE]\n";
     return 2;
 }
 
@@ -441,5 +524,9 @@ main(int argc, char **argv)
         return cmdServeStats(flags);
     if (cmd == "autotune")
         return cmdAutotune(flags);
+    if (cmd == "store-pack")
+        return cmdStorePack(flags);
+    if (cmd == "store-info")
+        return cmdStoreInfo(flags);
     return usage();
 }

@@ -17,11 +17,18 @@
  *
  * Flags: `--metrics-dump` prints the full Prometheus text exposition
  * (server registry + the process-global engine/pool series) after the
- * stats block; `--trace-dump` prints the per-request trace ring as JSON.
+ * stats block; `--trace-dump` prints the per-request trace ring as JSON;
+ * `--swap-model` hot-swaps a mapped BBMS copy of one model into the
+ * registry repeatedly while the clients are in flight (the CI smoke for
+ * zero failed requests across version bumps).
  */
+#include <atomic>
+#include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <thread>
+
+#include <unistd.h>
 
 #include "common/table.hpp"
 #include "engine/engine.hpp"
@@ -30,18 +37,21 @@
 #include "nn/dataset.hpp"
 #include "nn/evaluate.hpp"
 #include "serve/server.hpp"
+#include "store/container.hpp"
 
 int
 main(int argc, char **argv)
 {
     using namespace bbs;
 
-    bool metricsDump = false, traceDump = false;
+    bool metricsDump = false, traceDump = false, swapModel = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--metrics-dump") == 0)
             metricsDump = true;
         else if (std::strcmp(argv[i], "--trace-dump") == 0)
             traceDump = true;
+        else if (std::strcmp(argv[i], "--swap-model") == 0)
+            swapModel = true;
     }
 
     std::cout << bbs::engine::runtimeSummary() << "\n";
@@ -75,6 +85,35 @@ main(int argc, char **argv)
     cfg.maxDelayUs = 500;
     cfg.workers = 1;
     InferenceServer server(registry, cfg);
+
+    // --swap-model: the aggressive model is packed into a BBMS
+    // container up front; while the clients below are in flight, a
+    // swapper thread repeatedly maps the container and atomically swaps
+    // the mapped engine into the registry. The weights are identical,
+    // so the per-request oracle checks double as the zero-divergence
+    // proof — the gate is that no request fails or deviates across the
+    // version bumps.
+    std::string swapPath;
+    std::atomic<bool> swapping{false};
+    std::atomic<std::uint64_t> swapVersion{0};
+    std::thread swapper;
+    if (swapModel) {
+        swapPath = "/tmp/bbs_serve_demo_swap_" +
+                   std::to_string(::getpid()) + ".bbms";
+        store::writeModelContainer(*registry->find("clf-bbs4"), swapPath);
+        swapping.store(true);
+        swapper = std::thread([&] {
+            while (swapping.load(std::memory_order_relaxed)) {
+                auto container = store::MappedContainer::open(swapPath);
+                swapVersion.store(
+                    registry->swap("clf-bbs4",
+                                   std::make_shared<const Int8Network>(
+                                       store::mapModel(container))),
+                    std::memory_order_relaxed);
+                std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            }
+        });
+    }
 
     // Four clients fire the whole test set at the server, alternating
     // models, each with a deadline; responses are checked against the
@@ -130,6 +169,11 @@ main(int argc, char **argv)
     }
     for (auto &c : clients)
         c.join();
+    if (swapper.joinable()) {
+        swapping.store(false, std::memory_order_relaxed);
+        swapper.join();
+        std::remove(swapPath.c_str());
+    }
 
     Tally total;
     for (const Tally &t : tallies) {
@@ -146,6 +190,12 @@ main(int argc, char **argv)
     if (total.ok + total.expired != n) {
         std::cerr << "requests lost: served " << total.ok << " + expired "
                   << total.expired << " != " << n << "\n";
+        return 1;
+    }
+    if (swapModel && swapVersion.load() < 2) {
+        std::cerr << "--swap-model requested but no swap landed "
+                     "(version "
+                  << swapVersion.load() << ")\n";
         return 1;
     }
 
@@ -212,6 +262,10 @@ main(int argc, char **argv)
                             static_cast<double>(total.ok))
               << "%, every response bit-identical to the "
                  "single-request oracle\n";
+    if (swapModel)
+        std::cout << "hot-swap: clf-bbs4 swapped to mapped version "
+                  << swapVersion.load()
+                  << " mid-traffic, zero failed or deviating requests\n";
     std::cout << "network front-end on 127.0.0.1:" << wirePort
               << ": " << wired
               << " requests answered bit-identically over the wire, "

@@ -169,6 +169,35 @@ PackedOperand::fromPrepared(
 }
 
 PackedOperand
+PackedOperand::mappedDense(std::shared_ptr<const BitSerialMatrix> view)
+{
+    BBS_REQUIRE(view != nullptr, "null mapped dense view");
+    PackedOperand op;
+    op.kind_ = PackKind::DenseBitPlanes;
+    op.mapped_ = true;
+    op.dense_ = std::move(view);
+    op.meanStoredBits_ = 8.0;
+    return op;
+}
+
+PackedOperand
+PackedOperand::mappedCompressed(
+    std::shared_ptr<const CompressedRowPlanes> view, double meanStoredBits)
+{
+    BBS_REQUIRE(view != nullptr, "null mapped compressed view");
+    BBS_REQUIRE(meanStoredBits >= 0.0 && meanStoredBits <= 8.0,
+                "mean stored bits must be 0..8, got ", meanStoredBits);
+    PackedOperand op;
+    op.kind_ = PackKind::CompressedRows;
+    op.mapped_ = true;
+    op.rows_ = std::move(view);
+    // Precomputed (the container's OperandMeta): scanning the groups
+    // here would fault in the whole payload at load time.
+    op.meanStoredBits_ = meanStoredBits;
+    return op;
+}
+
+PackedOperand
 PackedOperand::viewDense(const BitSerialMatrix &m)
 {
     PackedOperand op;

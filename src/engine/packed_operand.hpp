@@ -87,6 +87,26 @@ class PackedOperand
     static PackedOperand viewDense(const BitSerialMatrix &m);
     static PackedOperand viewCompressed(const CompressedRowPlanes &p);
 
+    /**
+     * Mapped-view operands (the mmap model store): the payload is a
+     * view packing whose plane pointers live in an mmap'd container,
+     * and the shared_ptr's ownership (typically an aliasing shared_ptr
+     * into the MappedContainer) keeps the mapping alive for as long as
+     * any operand or plan built over it exists. `mappedCompressed`
+     * takes the precomputed stored-bit mean (the container's
+     * OperandMeta) so creating the operand never scans — and therefore
+     * never page-faults — the group payload. Plan runs are
+     * bit-identical to the owned path (tests/test_store.cpp pins it).
+     */
+    static PackedOperand
+    mappedDense(std::shared_ptr<const BitSerialMatrix> view);
+    static PackedOperand
+    mappedCompressed(std::shared_ptr<const CompressedRowPlanes> view,
+                     double meanStoredBits);
+
+    /** True for mapped*-built operands (payload lives in a mapping). */
+    bool mapped() const { return mapped_; }
+
     bool empty() const { return rows() == 0 || cols() == 0; }
     PackKind kind() const { return kind_; }
     bool compressed() const { return kind_ == PackKind::CompressedRows; }
@@ -135,6 +155,7 @@ class PackedOperand
 
   private:
     PackKind kind_ = PackKind::DenseBitPlanes;
+    bool mapped_ = false;
     double meanStoredBits_ = 8.0;
     std::shared_ptr<const BitSerialMatrix> dense_;
     std::shared_ptr<const CompressedRowPlanes> rows_;

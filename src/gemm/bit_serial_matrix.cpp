@@ -35,18 +35,23 @@ BitSerialMatrix::packInto(const Int8Tensor &m, BitSerialMatrix &into)
     packInto(m.data(), m.shape().dim(0), m.shape().dim(1), into);
 }
 
-namespace {
-
-/** Padded words per row plane for @p cols columns (whole cache lines). */
-std::int64_t
-paddedColWords(std::int64_t cols)
+BitSerialMatrix
+BitSerialMatrix::viewExternal(const std::uint64_t *words, std::int64_t rows,
+                              std::int64_t cols)
 {
-    std::int64_t usedWords = (cols + 63) / 64;
-    return (usedWords + kRowPlaneWordAlign - 1) / kRowPlaneWordAlign *
-           kRowPlaneWordAlign;
+    BBS_REQUIRE(words != nullptr && rows > 0 && cols > 0,
+                "viewExternal needs a non-null base and a positive shape");
+    BBS_REQUIRE(reinterpret_cast<std::uintptr_t>(words) %
+                        kCacheLineBytes ==
+                    0,
+                "viewExternal base must be 64-byte aligned");
+    BitSerialMatrix bsm;
+    bsm.rows_ = rows;
+    bsm.cols_ = cols;
+    bsm.colWords_ = paddedColWords(cols);
+    bsm.view_ = words;
+    return bsm;
 }
-
-} // namespace
 
 void
 BitSerialMatrix::reserve(std::int64_t rows, std::int64_t cols)
@@ -66,6 +71,7 @@ BitSerialMatrix::packInto(std::span<const std::int8_t> values,
                     static_cast<std::int64_t>(values.size()) == rows * cols,
                 "value count ", values.size(), " != ", rows, " x ", cols);
     BitSerialMatrix &bsm = into;
+    bsm.view_ = nullptr; // packing (re)owns storage
     bsm.rows_ = rows;
     bsm.cols_ = cols;
     // Pad row planes to whole cache lines: the tail words stay zero, so

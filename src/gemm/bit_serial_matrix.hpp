@@ -83,6 +83,42 @@ class BitSerialMatrix
      *  @p rows x @p cols (plan-creation pre-sizing). */
     void reserve(std::int64_t rows, std::int64_t cols);
 
+    /**
+     * Non-owning view over externally held plane words in this class's
+     * exact layout (the mmap model store: the container payload IS the
+     * packed layout, so "loading" is this pointer fixup). @p words must
+     * stay valid for the matrix's lifetime, hold
+     * `kWeightBits * rows * colWords` words with @p colWords ==
+     * paddedColWords(cols), and be 64-byte aligned (the kernels' vector
+     * loads assume it). Every read path — kernels, window(), unpack() —
+     * behaves bit-identically to an owned packing of the same values.
+     */
+    static BitSerialMatrix viewExternal(const std::uint64_t *words,
+                                        std::int64_t rows,
+                                        std::int64_t cols);
+
+    /** True for viewExternal matrices (storage owned elsewhere). */
+    bool mappedView() const { return view_ != nullptr; }
+
+    /** Padded words per row plane for @p cols columns: cols rounded up
+     *  to 64, then to whole cache lines (kRowPlaneWordAlign). */
+    static std::int64_t
+    paddedColWords(std::int64_t cols)
+    {
+        std::int64_t usedWords = (cols + 63) / 64;
+        return (usedWords + kRowPlaneWordAlign - 1) / kRowPlaneWordAlign *
+               kRowPlaneWordAlign;
+    }
+
+    /** All plane words, layout [bit][row][col-word] (the store writer's
+     *  payload source; for views, the external memory). */
+    std::span<const std::uint64_t>
+    planeWords() const
+    {
+        return {view_ != nullptr ? view_ : words_.data(),
+                static_cast<std::size_t>(kWeightBits * rows_ * colWords_)};
+    }
+
     bool empty() const { return rows_ == 0 || cols_ == 0; }
     std::int64_t rows() const { return rows_; }
     std::int64_t cols() const { return cols_; }
@@ -110,7 +146,7 @@ class BitSerialMatrix
     const std::uint64_t *
     rowPlane(int b, std::int64_t r) const
     {
-        return words_.data() +
+        return (view_ != nullptr ? view_ : words_.data()) +
                static_cast<std::size_t>(
                    (static_cast<std::int64_t>(b) * rows_ + r) * colWords_);
     }
@@ -157,8 +193,12 @@ class BitSerialMatrix
     std::int64_t cols_ = 0;
     std::int64_t colWords_ = 0;
     /** Plane-major storage: word [(b * rows + r) * colWords + w];
-     *  64-byte-aligned base. */
+     *  64-byte-aligned base. Unused (empty) in view mode. */
     AlignedVector<std::uint64_t> words_;
+    /** Non-null = view mode: plane words live in external memory (an
+     *  mmap'd container); same layout, storage owned by the view's
+     *  creator. Cleared by packInto (packing re-owns storage). */
+    const std::uint64_t *view_ = nullptr;
 };
 
 } // namespace bbs

@@ -68,6 +68,34 @@ CompressedRowPlanes::prepare(const CompressedTensor &ct)
     return prepare(ct.groups(), offsets, cols, ct.groupSize());
 }
 
+CompressedRowPlanes
+CompressedRowPlanes::viewExternal(const PackedGroup *packed,
+                                  const std::int8_t *shifts,
+                                  const std::int32_t *constants,
+                                  std::int64_t rows, std::int64_t cols,
+                                  std::int64_t groupSize)
+{
+    BBS_REQUIRE(packed != nullptr && shifts != nullptr &&
+                    constants != nullptr,
+                "viewExternal needs non-null array bases");
+    BBS_REQUIRE(rows > 0 && cols > 0, "viewExternal needs a positive shape");
+    BBS_REQUIRE(groupSize >= 1 && groupSize <= 64,
+                "group size must be 1..64, got ", groupSize);
+    BBS_REQUIRE(reinterpret_cast<std::uintptr_t>(packed) %
+                        alignof(PackedGroup) ==
+                    0,
+                "viewExternal group base must be cache-line aligned");
+    CompressedRowPlanes out;
+    out.rows_ = rows;
+    out.cols_ = cols;
+    out.groupSize_ = groupSize;
+    out.groupsPerRow_ = (cols + groupSize - 1) / groupSize;
+    out.viewPacked_ = packed;
+    out.viewShifts_ = shifts;
+    out.viewConstants_ = constants;
+    return out;
+}
+
 namespace {
 
 /**
@@ -89,10 +117,10 @@ groupDot(const SimdKernels &simd, const PackedGroup &pg,
 double
 CompressedRowPlanes::meanStoredBits() const
 {
-    if (packed_.empty())
+    if (rows_ == 0 || groupsPerRow_ == 0)
         return 0.0;
     double bits = 0.0, weights = 0.0;
-    for (const PackedGroup &pg : packed_) {
+    for (const PackedGroup &pg : packedGroups()) {
         bits += static_cast<double>(pg.bits) * pg.size;
         weights += static_cast<double>(pg.size);
     }

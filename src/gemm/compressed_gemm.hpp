@@ -76,6 +76,25 @@ class CompressedRowPlanes
      */
     static CompressedRowPlanes prepare(const CompressedTensor &ct);
 
+    /**
+     * Non-owning view over externally held packed arrays in this class's
+     * exact layout (the mmap model store: the container's Groups /
+     * Shifts / Constants sections ARE these arrays, so "loading" is this
+     * pointer fixup). All three arrays hold `rows * groupsPerRow`
+     * entries indexed [row * groupsPerRow + g]; @p packed must be
+     * 64-byte aligned (PackedGroup is one cache line) and all must
+     * outlive the view. Every read path — the batched kernel, the
+     * per-dot loop, decompress() — behaves bit-identically to an owned
+     * prepare() of the same values.
+     */
+    static CompressedRowPlanes
+    viewExternal(const PackedGroup *packed, const std::int8_t *shifts,
+                 const std::int32_t *constants, std::int64_t rows,
+                 std::int64_t cols, std::int64_t groupSize);
+
+    /** True for viewExternal packings (storage owned elsewhere). */
+    bool mappedView() const { return viewPacked_ != nullptr; }
+
     bool empty() const { return rows_ == 0; }
     std::int64_t rows() const { return rows_; }
     std::int64_t cols() const { return cols_; }
@@ -86,21 +105,47 @@ class CompressedRowPlanes
     const PackedGroup &
     packedGroup(std::int64_t o, std::int64_t g) const
     {
-        return packed_[static_cast<std::size_t>(o * groupsPerRow_ + g)];
+        return packedBase()[static_cast<std::size_t>(
+            o * groupsPerRow_ + g)];
     }
 
     /** Pruned-column shift of row @p o, group @p g. */
     int
     shift(std::int64_t o, std::int64_t g) const
     {
-        return shifts_[static_cast<std::size_t>(o * groupsPerRow_ + g)];
+        return shiftBase()[static_cast<std::size_t>(
+            o * groupsPerRow_ + g)];
     }
 
     /** BBS constant of row @p o, group @p g. */
     std::int32_t
     constant(std::int64_t o, std::int64_t g) const
     {
-        return constants_[static_cast<std::size_t>(o * groupsPerRow_ + g)];
+        return constantBase()[static_cast<std::size_t>(
+            o * groupsPerRow_ + g)];
+    }
+
+    /** The three packed arrays, [row * groupsPerRow + g] (the store
+     *  writer's payload source; for views, the external memory). */
+    std::span<const PackedGroup>
+    packedGroups() const
+    {
+        return {packedBase(),
+                static_cast<std::size_t>(rows_ * groupsPerRow_)};
+    }
+
+    std::span<const std::int8_t>
+    shifts() const
+    {
+        return {shiftBase(),
+                static_cast<std::size_t>(rows_ * groupsPerRow_)};
+    }
+
+    std::span<const std::int32_t>
+    constants() const
+    {
+        return {constantBase(),
+                static_cast<std::size_t>(rows_ * groupsPerRow_)};
     }
 
     /** First column of group @p g (same for every row). */
@@ -132,6 +177,24 @@ class CompressedRowPlanes
     Int8Tensor decompress() const;
 
   private:
+    const PackedGroup *
+    packedBase() const
+    {
+        return viewPacked_ != nullptr ? viewPacked_ : packed_.data();
+    }
+
+    const std::int8_t *
+    shiftBase() const
+    {
+        return viewPacked_ != nullptr ? viewShifts_ : shifts_.data();
+    }
+
+    const std::int32_t *
+    constantBase() const
+    {
+        return viewPacked_ != nullptr ? viewConstants_ : constants_.data();
+    }
+
     std::int64_t rows_ = 0;
     std::int64_t cols_ = 0;
     std::int64_t groupSize_ = 0;
@@ -139,6 +202,12 @@ class CompressedRowPlanes
     std::vector<PackedGroup> packed_;      ///< [row * groupsPerRow + g]
     std::vector<std::int8_t> shifts_;      ///< prunedColumns, same index
     std::vector<std::int32_t> constants_;  ///< BBS constants, same index
+    /** Non-null = view mode: the three arrays live in external memory
+     *  (an mmap'd container); same layout, storage owned by the view's
+     *  creator. */
+    const PackedGroup *viewPacked_ = nullptr;
+    const std::int8_t *viewShifts_ = nullptr;
+    const std::int32_t *viewConstants_ = nullptr;
 };
 
 namespace detail {

@@ -134,6 +134,29 @@ Int8Network::fromNetwork(Network &net, std::int64_t groupSize,
     return out;
 }
 
+Int8Network
+Int8Network::fromLayers(std::vector<Int8LinearLayer> layers)
+{
+    BBS_REQUIRE(!layers.empty(), "a network needs at least one layer");
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        const Int8LinearLayer &l = layers[i];
+        BBS_REQUIRE(l.planes != nullptr && l.plan.valid(),
+                    "layer ", i, " is missing its planes or plan");
+        BBS_REQUIRE(static_cast<std::int64_t>(l.wScales.size()) ==
+                            l.outFeatures() &&
+                        l.bias.numel() == l.outFeatures(),
+                    "layer ", i, " scale/bias width != outFeatures");
+        if (i + 1 < layers.size())
+            BBS_REQUIRE(l.outFeatures() == layers[i + 1].inFeatures,
+                        "layer ", i, " outputs ", l.outFeatures(),
+                        " features but layer ", i + 1, " expects ",
+                        layers[i + 1].inFeatures);
+    }
+    Int8Network out;
+    out.layers_ = std::move(layers);
+    return out;
+}
+
 namespace {
 
 /**

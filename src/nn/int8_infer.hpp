@@ -94,6 +94,15 @@ class Int8Network
                                    PruneStrategy strategy);
 
     /**
+     * Assemble from already-prepared layers (the model store's entry
+     * point: each layer's planes are a mapped view into a container and
+     * its plan was built over the mapped operand). Layers must be
+     * non-empty and width-chained (layer i's outFeatures == layer
+     * i+1's inFeatures) with a valid plan each.
+     */
+    static Int8Network fromLayers(std::vector<Int8LinearLayer> layers);
+
+    /**
      * The unified integer forward pass: quantize activations per
      * @p policy.calibration, run every layer's MatmulPlan (kind per
      * @p policy.execution), rescale the INT32 accumulators to float for

@@ -1,5 +1,6 @@
 #include "obs/exposition.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <charconv>
 #include <cstdio>
@@ -140,6 +141,37 @@ writeJsonRecords(const std::vector<MetricSnapshot> &metrics, JsonWriter &w)
     }
     w.endArray();
     w.endObject();
+}
+
+// -------------------------------------------------------------- estimation
+
+double
+histogramQuantile(const MetricSnapshot &h, double q)
+{
+    if (h.type != MetricSnapshot::Type::Histogram || h.count == 0)
+        return 0.0;
+    q = std::min(std::max(q, 0.0), 1.0);
+    // The observation whose value we estimate: rank in [1, count].
+    double rank = q * static_cast<double>(h.count);
+    if (rank < 1.0)
+        rank = 1.0;
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bucketCounts.size(); ++i) {
+        std::uint64_t inBucket = h.bucketCounts[i];
+        if (inBucket == 0)
+            continue;
+        double below = static_cast<double>(cumulative);
+        cumulative += inBucket;
+        if (rank > static_cast<double>(cumulative))
+            continue;
+        if (i >= h.bounds.size()) // +Inf tail: unbounded above
+            return h.bounds.empty() ? 0.0 : h.bounds.back();
+        double lower = i == 0 ? 0.0 : h.bounds[i - 1];
+        double upper = h.bounds[i];
+        double frac = (rank - below) / static_cast<double>(inBucket);
+        return lower + (upper - lower) * frac;
+    }
+    return h.bounds.empty() ? 0.0 : h.bounds.back();
 }
 
 // ------------------------------------------------------------------ parser

@@ -53,6 +53,23 @@ std::string prometheusText(const std::vector<MetricSnapshot> &metrics);
 void writeJsonRecords(const std::vector<MetricSnapshot> &metrics,
                       JsonWriter &w);
 
+/**
+ * Estimate the @p q quantile (q in [0, 1]) of a histogram snapshot by
+ * linear interpolation within the owning bucket — the standard
+ * Prometheus `histogram_quantile` estimator. The rank is interpolated
+ * between the bucket's lower bound (the previous bound, or 0 for the
+ * first bucket) and its upper bound by the rank's position among the
+ * bucket's observations. A quantile landing in the +Inf tail returns
+ * the last finite bound (the estimator cannot see past it). Returns 0
+ * for an empty histogram or a snapshot that is not a histogram.
+ *
+ * This is the bucket-resolution complement to the raw-sample ring in
+ * ServerStats: the ring is exact but covers a sliding window, the
+ * histogram covers the full run but quantizes to bucket bounds.
+ * test_obs cross-checks the two against each other.
+ */
+double histogramQuantile(const MetricSnapshot &h, double q);
+
 /** One sample parsed back out of Prometheus text. */
 struct ParsedSample
 {

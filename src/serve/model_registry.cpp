@@ -1,19 +1,52 @@
 #include "serve/model_registry.hpp"
 
+#include "common/metrics.hpp"
+
 namespace bbs {
 
 void
-ModelRegistry::add(const std::string &name, Int8Network engine)
+ModelRegistry::add(const std::string &name, Int8Network &&engine)
 {
-    add(name, std::make_shared<const Int8Network>(std::move(engine)));
+    swap(name, std::make_shared<const Int8Network>(std::move(engine)));
 }
 
 void
 ModelRegistry::add(const std::string &name,
                    std::shared_ptr<const Int8Network> engine)
 {
+    swap(name, std::move(engine));
+}
+
+std::uint64_t
+ModelRegistry::swap(const std::string &name,
+                    std::shared_ptr<const Int8Network> engine)
+{
+    std::shared_ptr<const Int8Network> retired;
+    std::uint64_t version = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        Entry &entry = models_[name];
+        // Swap out under the lock, release after: dropping the last
+        // reference can unmap a store-backed model's container, and
+        // that teardown has no business inside the registry mutex.
+        retired = std::move(entry.engine);
+        entry.engine = std::move(engine);
+        version = ++entry.version;
+    }
+    if (retired != nullptr)
+        obs::Registry::global()
+            .counter("bbs_registry_swaps",
+                     "Model hot-swaps (re-registrations of a live name)")
+            .inc();
+    return version;
+}
+
+std::uint64_t
+ModelRegistry::version(const std::string &name) const
+{
     std::lock_guard<std::mutex> lock(mutex_);
-    models_[name] = std::move(engine);
+    auto it = models_.find(name);
+    return it == models_.end() ? 0 : it->second.version;
 }
 
 std::shared_ptr<const Int8Network>
@@ -21,7 +54,7 @@ ModelRegistry::find(const std::string &name) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = models_.find(name);
-    return it == models_.end() ? nullptr : it->second;
+    return it == models_.end() ? nullptr : it->second.engine;
 }
 
 std::vector<std::string>
@@ -30,7 +63,7 @@ ModelRegistry::names() const
     std::lock_guard<std::mutex> lock(mutex_);
     std::vector<std::string> out;
     out.reserve(models_.size());
-    for (const auto &[name, engine] : models_)
+    for (const auto &[name, entry] : models_)
         out.push_back(name);
     return out;
 }

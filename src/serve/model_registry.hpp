@@ -5,10 +5,23 @@
  * one queue. Engines are shared immutably: a lookup hands out a
  * shared_ptr<const>, so replacing a model mid-flight never invalidates
  * requests already resolved against the old engine.
+ *
+ * Replacement is a versioned atomic hot-swap: `swap()` flips the
+ * registered pointer under the registry mutex and bumps the entry's
+ * version. Batches already holding the old engine drain against it —
+ * per-request `find()` means no request ever observes a half-swapped
+ * model — and when the last in-flight reference drops, the old engine
+ * (and, for store-mapped models, the mmap behind it) is released
+ * automatically. Registration never copies weight payloads: an
+ * Int8Network's layers share their planes/plan state via shared_ptr, so
+ * moving a network in (or registering an already-shared one) costs
+ * pointers, not plane buffers (tests/test_serve.cpp pins this with the
+ * allocation counter).
  */
 #ifndef BBS_SERVE_MODEL_REGISTRY_HPP
 #define BBS_SERVE_MODEL_REGISTRY_HPP
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -22,11 +35,25 @@ namespace bbs {
 class ModelRegistry
 {
   public:
-    /** Register (or replace) @p name. The engine is moved into shared
-     *  immutable ownership. */
-    void add(const std::string &name, Int8Network engine);
+    /** Register (or hot-swap) @p name. Move-only on purpose: passing an
+     *  lvalue network would copy its layer vector (the planes themselves
+     *  are shared), and every real caller either just built the network
+     *  or should be sharing it via the shared_ptr overload. */
+    void add(const std::string &name, Int8Network &&engine);
     void add(const std::string &name,
              std::shared_ptr<const Int8Network> engine);
+
+    /**
+     * Atomically replace (or first-register) @p name and return the
+     * entry's new version: 1 on first registration, previous + 1 on
+     * every swap. In-flight batches keep the engine they resolved; new
+     * lookups see the new engine immediately.
+     */
+    std::uint64_t swap(const std::string &name,
+                       std::shared_ptr<const Int8Network> engine);
+
+    /** Current version of @p name; 0 when not registered. */
+    std::uint64_t version(const std::string &name) const;
 
     /** nullptr when @p name is not registered. */
     std::shared_ptr<const Int8Network> find(const std::string &name) const;
@@ -37,8 +64,14 @@ class ModelRegistry
     std::size_t size() const;
 
   private:
+    struct Entry
+    {
+        std::shared_ptr<const Int8Network> engine;
+        std::uint64_t version = 0;
+    };
+
     mutable std::mutex mutex_;
-    std::map<std::string, std::shared_ptr<const Int8Network>> models_;
+    std::map<std::string, Entry> models_;
 };
 
 } // namespace bbs

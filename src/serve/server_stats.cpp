@@ -5,6 +5,7 @@
 
 #include "common/logging.hpp"
 #include "common/stats.hpp"
+#include "obs/exposition.hpp"
 
 namespace bbs {
 
@@ -122,6 +123,22 @@ ServerStats::snapshot() const
     if (batchCount > 0)
         s.meanBatchRows = batchRows_.sum() /
                           static_cast<double>(batchCount);
+
+    // Bucket-derived percentiles over the full run (the ring below is
+    // exact but windowed). One snapshot struct, read bucket by bucket
+    // like a scrape would.
+    {
+        obs::MetricSnapshot hist;
+        hist.type = obs::MetricSnapshot::Type::Histogram;
+        hist.bounds = latencyUs_.bounds();
+        hist.bucketCounts.resize(hist.bounds.size() + 1);
+        for (std::size_t i = 0; i < hist.bucketCounts.size(); ++i)
+            hist.bucketCounts[i] = latencyUs_.bucketCount(i);
+        hist.count = latencyUs_.count();
+        hist.sum = latencyUs_.sum();
+        s.p50HistUs = obs::histogramQuantile(hist, 0.50);
+        s.p99HistUs = obs::histogramQuantile(hist, 0.99);
+    }
 
     std::lock_guard<std::mutex> lock(mutex_);
     s.latencyWindow = kLatencyWindow;

@@ -50,6 +50,16 @@ struct StatsSnapshot
     double maxUs = 0.0;
     double meanQueueUs = 0.0;
 
+    /**
+     * The same percentiles estimated from the bbs_serve_latency_us
+     * histogram buckets (obs::histogramQuantile, linear interpolation
+     * within the owning bucket). Bucket-resolution rather than exact,
+     * but computed over EVERY completion since start — the full-run
+     * complement when latencyDropped shows the raw ring has saturated.
+     */
+    double p50HistUs = 0.0;
+    double p99HistUs = 0.0;
+
     /** Capacity of the sliding latency window (ServerStats::
      *  kLatencyWindow). */
     std::uint64_t latencyWindow = 0;

@@ -1,0 +1,226 @@
+#include "store/model_store.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+
+#include "common/logging.hpp"
+
+namespace bbs::store {
+
+std::uint64_t
+parseByteSize(const std::string &text)
+{
+    if (text.empty())
+        return 0;
+    std::size_t pos = 0;
+    std::uint64_t value = 0;
+    while (pos < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        std::uint64_t digit =
+            static_cast<std::uint64_t>(text[pos] - '0');
+        if (value > (UINT64_MAX - digit) / 10)
+            return 0;
+        value = value * 10 + digit;
+        ++pos;
+    }
+    if (pos == 0)
+        return 0;
+    if (pos == text.size())
+        return value;
+    if (pos + 1 != text.size())
+        return 0;
+    std::uint64_t shift = 0;
+    switch (std::toupper(static_cast<unsigned char>(text[pos]))) {
+    case 'K': shift = 10; break;
+    case 'M': shift = 20; break;
+    case 'G': shift = 30; break;
+    default: return 0;
+    }
+    if (value != 0 && value > (UINT64_MAX >> shift))
+        return 0;
+    return value << shift;
+}
+
+namespace {
+
+std::uint64_t
+resolveBudget(std::uint64_t configured)
+{
+    if (configured != 0)
+        return configured;
+    const char *env = std::getenv("BBS_STORE_BUDGET");
+    return env != nullptr ? parseByteSize(env) : 0;
+}
+
+obs::Registry &
+resolveRegistry(obs::Registry *r)
+{
+    return r != nullptr ? *r : obs::Registry::global();
+}
+
+} // namespace
+
+ModelStore::ModelStore(StoreConfig config)
+    : budget_(resolveBudget(config.budgetBytes)),
+      willNeed_(config.willNeed),
+      loads_(resolveRegistry(config.registry)
+                 .counter("bbs_store_loads",
+                          "Containers mapped by the model store")),
+      loadFailures_(resolveRegistry(config.registry)
+                        .counter("bbs_store_load_failures",
+                                 "Rejected or unreadable containers")),
+      hits_(resolveRegistry(config.registry)
+                .counter("bbs_store_hits",
+                         "Loads served from a resident mapping")),
+      evictions_(resolveRegistry(config.registry)
+                     .counter("bbs_store_evictions",
+                              "Resident models dropped by the LRU")),
+      residentBytes_(resolveRegistry(config.registry)
+                         .gauge("bbs_store_resident_bytes",
+                                "Mapped container bytes held resident")),
+      residentModels_(resolveRegistry(config.registry)
+                          .gauge("bbs_store_resident_models",
+                                 "Models held resident")),
+      loadLatencyUs_(resolveRegistry(config.registry)
+                         .histogram("bbs_store_load_latency_us",
+                                    obs::Histogram::latencyBoundsUs(),
+                                    "Cold container map latency"))
+{
+}
+
+void
+ModelStore::publishResidency()
+{
+    std::int64_t bytes = 0;
+    for (const Entry &e : entries_)
+        bytes += static_cast<std::int64_t>(e.model->bytes);
+    residentBytes_.set(bytes);
+    residentModels_.set(static_cast<std::int64_t>(entries_.size()));
+}
+
+void
+ModelStore::evictOverBudget()
+{
+    if (budget_ == 0)
+        return;
+    for (;;) {
+        std::uint64_t resident = 0;
+        for (const Entry &e : entries_)
+            resident += e.model->bytes;
+        if (resident <= budget_)
+            return;
+        // Oldest unpinned entry. use_count == 1 means the store holds
+        // the only reference: no registry entry, no in-flight plan.
+        // Pinned models are untouchable — their pages are under live
+        // kernels — so an all-pinned store can legitimately sit over
+        // budget until callers let go.
+        Entry *victim = nullptr;
+        for (Entry &e : entries_) {
+            if (e.model.use_count() > 1)
+                continue;
+            if (victim == nullptr || e.lastUse < victim->lastUse)
+                victim = &e;
+        }
+        if (victim == nullptr)
+            return;
+        victim->model->container->adviseDontNeed();
+        evictions_.inc();
+        entries_.erase(entries_.begin() + (victim - entries_.data()));
+    }
+}
+
+bool
+ModelStore::tryLoad(const std::string &path,
+                    std::shared_ptr<const MappedModel> &out,
+                    std::string *error)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Entry &e : entries_) {
+        if (e.path != path)
+            continue;
+        e.lastUse = ++useClock_;
+        hits_.inc();
+        out = e.model;
+        return true;
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    std::shared_ptr<const MappedContainer> container;
+    if (!MappedContainer::tryOpen(path, container, error)) {
+        loadFailures_.inc();
+        return false;
+    }
+    if (!container->hasModel()) {
+        loadFailures_.inc();
+        if (error != nullptr)
+            *error = bbs::detail::concatMessage(
+                path, " is an operand container, not a model");
+        return false;
+    }
+    if (willNeed_)
+        container->adviseWillNeed();
+    auto model = std::make_shared<MappedModel>();
+    model->path = path;
+    model->network =
+        std::make_shared<const Int8Network>(mapModel(container));
+    model->container = container;
+    model->bytes = container->bytes();
+    auto t1 = std::chrono::steady_clock::now();
+    loadLatencyUs_.observe(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+    loads_.inc();
+
+    entries_.push_back(Entry{path, model, ++useClock_});
+    evictOverBudget();
+    publishResidency();
+    out = std::move(model);
+    return true;
+}
+
+std::shared_ptr<const MappedModel>
+ModelStore::load(const std::string &path)
+{
+    std::shared_ptr<const MappedModel> model;
+    std::string error;
+    if (!tryLoad(path, model, &error))
+        BBS_FATAL(error);
+    return model;
+}
+
+void
+ModelStore::evictUnpinned()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto keep = entries_.begin();
+    for (Entry &e : entries_) {
+        if (e.model.use_count() > 1) {
+            *keep++ = std::move(e);
+        } else {
+            e.model->container->adviseDontNeed();
+            evictions_.inc();
+        }
+    }
+    entries_.erase(keep, entries_.end());
+    publishResidency();
+}
+
+std::size_t
+ModelStore::residentBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t bytes = 0;
+    for (const Entry &e : entries_)
+        bytes += e.model->bytes;
+    return bytes;
+}
+
+std::size_t
+ModelStore::residentModels() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+} // namespace bbs::store

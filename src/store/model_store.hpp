@@ -1,0 +1,128 @@
+/**
+ * @file
+ * ModelStore — the process's resident-model cache over BBMS containers:
+ * open/verify/map on first request, refcounted mapped models shared by
+ * every caller, and LRU eviction of unpinned models under a configurable
+ * byte budget.
+ *
+ * A loaded model is a `MappedModel`: the mapped Int8Network plus the
+ * container whose pages back it. The store hands out
+ * `shared_ptr<const MappedModel>`; while any caller (a ModelRegistry
+ * entry, an in-flight batch's plan) holds one, the model is PINNED —
+ * eviction skips it, because unmapping pages under a running kernel is
+ * exactly the use-after-free the refcounting exists to prevent. Eviction
+ * drops the store's own reference and advises the kernel the pages can
+ * go; physical reclamation is the kernel's business (and pages shared
+ * with another process mapping the same container stay resident there).
+ *
+ * The budget comes from StoreConfig::budgetBytes, or — when that is 0 —
+ * the `BBS_STORE_BUDGET` environment variable ("512M", "2G", "800K",
+ * plain bytes otherwise; unset or unparsable means unlimited). The
+ * budget bounds CACHED residency, not a single load: a model larger
+ * than the whole budget still loads (it must serve), it just evicts
+ * everything else unpinned.
+ *
+ * Load/hit/eviction/failure counts, resident bytes/models and load
+ * latency are published to an obs::Registry (global() by default) under
+ * `bbs_store_*`.
+ */
+#ifndef BBS_STORE_MODEL_STORE_HPP
+#define BBS_STORE_MODEL_STORE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "store/container.hpp"
+
+namespace bbs::store {
+
+/**
+ * Parse a byte-size string: a non-negative integer with an optional
+ * K/M/G suffix (binary multiples, case-insensitive). Returns 0 on empty
+ * or malformed input — which the store reads as "unlimited".
+ */
+std::uint64_t parseByteSize(const std::string &text);
+
+struct StoreConfig
+{
+    /** Resident-byte budget; 0 = take BBS_STORE_BUDGET from the
+     *  environment (unset/unparsable = unlimited). */
+    std::uint64_t budgetBytes = 0;
+    /** madvise(WILLNEED) each freshly mapped container, prefaulting the
+     *  payload ahead of first use (cold-start latency over lazy
+     *  faulting). */
+    bool willNeed = false;
+    /** Metrics sink; nullptr = obs::Registry::global(). */
+    obs::Registry *registry = nullptr;
+};
+
+/** One resident model: the mapped network + the mapping backing it. */
+struct MappedModel
+{
+    std::string path;
+    std::shared_ptr<const Int8Network> network;
+    std::shared_ptr<const MappedContainer> container;
+    std::size_t bytes = 0; ///< container file bytes (budget accounting)
+};
+
+class ModelStore
+{
+  public:
+    explicit ModelStore(StoreConfig config = {});
+    ModelStore(const ModelStore &) = delete;
+    ModelStore &operator=(const ModelStore &) = delete;
+
+    /**
+     * Get @p path's model, mapping it on first request (non-fatal
+     * tryOpen contract: a malformed container returns false with a
+     * diagnostic). A cache hit bumps the entry's recency; a miss maps,
+     * inserts, then evicts LRU unpinned entries while over budget.
+     */
+    bool tryLoad(const std::string &path,
+                 std::shared_ptr<const MappedModel> &out,
+                 std::string *error = nullptr);
+
+    /** tryLoad or BBS_FATAL. */
+    std::shared_ptr<const MappedModel> load(const std::string &path);
+
+    /** Drop every unpinned entry regardless of budget. */
+    void evictUnpinned();
+
+    std::uint64_t budgetBytes() const { return budget_; }
+    std::size_t residentBytes() const;
+    std::size_t residentModels() const;
+
+  private:
+    struct Entry
+    {
+        std::string path;
+        std::shared_ptr<const MappedModel> model;
+        std::uint64_t lastUse = 0;
+    };
+
+    /** Evict LRU unpinned entries until within budget (mutex_ held). */
+    void evictOverBudget();
+    void publishResidency();
+
+    mutable std::mutex mutex_;
+    std::uint64_t budget_ = 0;
+    bool willNeed_ = false;
+    std::vector<Entry> entries_;
+    std::uint64_t useClock_ = 0;
+
+    obs::Counter &loads_;
+    obs::Counter &loadFailures_;
+    obs::Counter &hits_;
+    obs::Counter &evictions_;
+    obs::Gauge &residentBytes_;
+    obs::Gauge &residentModels_;
+    obs::Histogram &loadLatencyUs_;
+};
+
+} // namespace bbs::store
+
+#endif // BBS_STORE_MODEL_STORE_HPP

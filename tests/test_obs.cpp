@@ -8,7 +8,10 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
+#include <span>
 #include <sstream>
 #include <thread>
 
@@ -50,6 +53,81 @@ TEST(ObsHistogram, LatencyLadderIsStrictlyAscending)
         EXPECT_LT(b[i - 1], b[i]) << "at " << i;
     EXPECT_LE(b.front(), 1.0);      // resolves a microsecond run
     EXPECT_GE(b.back(), 1'000'000); // and a multi-second stall
+}
+
+TEST(ObsHistogram, QuantileInterpolatesWithinOwningBucket)
+{
+    obs::MetricSnapshot h;
+    h.type = obs::MetricSnapshot::Type::Histogram;
+    h.bounds = {10.0, 20.0, 40.0};
+
+    // Empty histograms and non-histograms report 0.
+    h.bucketCounts = {0, 0, 0, 0};
+    h.count = 0;
+    EXPECT_DOUBLE_EQ(obs::histogramQuantile(h, 0.5), 0.0);
+    obs::MetricSnapshot counter;
+    counter.type = obs::MetricSnapshot::Type::Counter;
+    EXPECT_DOUBLE_EQ(obs::histogramQuantile(counter, 0.5), 0.0);
+
+    // 10 observations in (10, 20]: rank q*10 interpolates linearly
+    // between the bucket's lower and upper bound.
+    h.bucketCounts = {0, 10, 0, 0};
+    h.count = 10;
+    EXPECT_DOUBLE_EQ(obs::histogramQuantile(h, 0.5), 15.0);
+    EXPECT_DOUBLE_EQ(obs::histogramQuantile(h, 1.0), 20.0);
+    EXPECT_DOUBLE_EQ(obs::histogramQuantile(h, 0.0), 11.0); // rank 1
+
+    // Split 5/5: the median closes the first bucket, p75 sits halfway
+    // up the second, and the first bucket interpolates from 0.
+    h.bucketCounts = {5, 5, 0, 0};
+    EXPECT_DOUBLE_EQ(obs::histogramQuantile(h, 0.5), 10.0);
+    EXPECT_DOUBLE_EQ(obs::histogramQuantile(h, 0.75), 15.0);
+    EXPECT_DOUBLE_EQ(obs::histogramQuantile(h, 0.2), 4.0);
+
+    // A quantile landing in the +Inf tail clamps to the last finite
+    // bound — the estimator cannot invent values past the ladder.
+    h.bucketCounts = {5, 0, 0, 5};
+    EXPECT_DOUBLE_EQ(obs::histogramQuantile(h, 0.99), 40.0);
+}
+
+TEST(ObsHistogram, QuantileAgreesWithRawPercentileWithinBucketWidth)
+{
+    // The bucket estimator vs the exact raw-sample percentile on the
+    // same data: they can only disagree within the owning bucket's
+    // width. This is the ServerStats cross-check (p50HistUs/p99HistUs
+    // next to the ring-derived p50Us/p99Us).
+    Rng rng(0x9a77);
+    obs::Histogram h(obs::Histogram::latencyBoundsUs());
+    std::vector<double> samples;
+    for (int i = 0; i < 5000; ++i) {
+        // Log-uniform latencies, the shape the ladder was built for.
+        double v = std::pow(10.0, rng.uniformReal(0.5, 5.0));
+        samples.push_back(v);
+        h.observe(v);
+    }
+    obs::MetricSnapshot snap;
+    snap.type = obs::MetricSnapshot::Type::Histogram;
+    snap.bounds = h.bounds();
+    for (std::size_t i = 0; i <= h.bounds().size(); ++i)
+        snap.bucketCounts.push_back(h.bucketCount(i));
+    snap.count = h.count();
+    snap.sum = h.sum();
+
+    std::sort(samples.begin(), samples.end());
+    for (double q : {0.5, 0.9, 0.99}) {
+        double exact = samples[static_cast<std::size_t>(
+            q * (samples.size() - 1))];
+        double est = obs::histogramQuantile(snap, q);
+        // Locate the owning bucket of the exact value; the estimate
+        // must land within that bucket's bounds.
+        std::size_t b = 0;
+        while (b < snap.bounds.size() && exact > snap.bounds[b])
+            ++b;
+        double lower = b == 0 ? 0.0 : snap.bounds[b - 1];
+        ASSERT_LT(b, snap.bounds.size()) << "q=" << q;
+        EXPECT_GE(est, lower) << "q=" << q;
+        EXPECT_LE(est, snap.bounds[b]) << "q=" << q;
+    }
 }
 
 TEST(ObsRegistry, GetOrCreateSharesSeriesAndKeepsOrder)
@@ -316,6 +394,24 @@ TEST(ObsServe, MetricsTextMatchesSnapshotAndWindowFieldsAreExact)
     EXPECT_EQ(s.latencyWindow, ServerStats::kLatencyWindow);
     EXPECT_EQ(s.latencyDropped, 0u); // 40 << 65536: nothing aged out
     EXPECT_EQ(s.queueDepth, 0u);     // all futures resolved
+
+    // The bucket-derived percentiles (histogramQuantile over
+    // bbs_serve_latency_us) must bracket the exact ring-derived ones
+    // within one bucket of the latency ladder: same data, bucket
+    // resolution.
+    EXPECT_GT(s.p50HistUs, 0.0);
+    EXPECT_GE(s.p99HistUs, s.p50HistUs);
+    std::span<const double> ladder = obs::Histogram::latencyBoundsUs();
+    auto owningBucket = [&](double v) {
+        std::size_t b = 0;
+        while (b < ladder.size() && v > ladder[b])
+            ++b;
+        return b;
+    };
+    EXPECT_LE(owningBucket(s.p50HistUs), owningBucket(s.p50Us) + 1);
+    EXPECT_GE(owningBucket(s.p50HistUs) + 1, owningBucket(s.p50Us));
+    EXPECT_LE(owningBucket(s.p99HistUs), owningBucket(s.p99Us) + 1);
+    EXPECT_GE(owningBucket(s.p99HistUs) + 1, owningBucket(s.p99Us));
 
     std::string text = server.metricsText(/*includeGlobal=*/false);
     obs::ParsedExposition parsed;

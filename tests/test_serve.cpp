@@ -13,6 +13,7 @@
 #include <atomic>
 #include <thread>
 
+#include "common/alloc_count.hpp"
 #include "common/random.hpp"
 #include "nn/layers.hpp"
 #include "nn/network.hpp"
@@ -751,6 +752,50 @@ TEST(Serve, SubmitAsyncDeliversThroughCallback)
                        });
     EXPECT_EQ(calls.load(), 2);
     server.stop();
+}
+
+TEST(Serve, RegistrationSharesPlanesInsteadOfCopying)
+{
+    // A network's weight payloads (prepacked planes, plan state) are
+    // shared_ptr-held; registering it must move those pointers into the
+    // registry, never duplicate a plane buffer. Pointer equality is the
+    // proof; the allocation bound catches a reintroduced deep copy
+    // (copying even this small model's planes would blow well past it).
+    Int8Network engine = makeEngine(16, 24, 4, 2, 0x90ab);
+    std::vector<const CompressedRowPlanes *> planes;
+    std::vector<const void *> scaleData;
+    for (const auto &l : engine.layers()) {
+        planes.push_back(l.planes.get());
+        scaleData.push_back(l.wScales.data());
+    }
+
+    auto registry = std::make_shared<ModelRegistry>();
+    std::uint64_t before = threadAllocCount();
+    registry->add("m", std::move(engine));
+    std::uint64_t registrationAllocs = threadAllocCount() - before;
+
+    std::shared_ptr<const Int8Network> found = registry->find("m");
+    ASSERT_NE(found, nullptr);
+    ASSERT_EQ(found->layers().size(), planes.size());
+    for (std::size_t i = 0; i < planes.size(); ++i) {
+        EXPECT_EQ(found->layers()[i].planes.get(), planes[i])
+            << "layer " << i << " planes were copied, not shared";
+        EXPECT_EQ(found->layers()[i].wScales.data(), scaleData[i])
+            << "layer " << i << " scales were copied, not moved";
+    }
+    // Registration bookkeeping: one shared Int8Network, a map node and
+    // a key — not a weight payload in sight.
+    EXPECT_LE(registrationAllocs, 32u);
+
+    // Hot-swap bumps the version and replaces the engine atomically;
+    // the pre-swap pointer keeps serving its holder.
+    EXPECT_EQ(registry->version("m"), 1u);
+    EXPECT_EQ(registry->swap("m",
+                             std::make_shared<const Int8Network>(
+                                 makeEngine(16, 24, 4, 2, 0x90ac))),
+              2u);
+    EXPECT_NE(registry->find("m"), found);
+    EXPECT_EQ(found->layers()[0].planes.get(), planes[0]);
 }
 
 TEST(Serve, ArgmaxGuardsZeroWidthOutput)

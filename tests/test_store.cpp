@@ -1,0 +1,538 @@
+/**
+ * @file
+ * The model store's contracts:
+ *
+ *  - ROUND-TRIP BIT-IDENTITY: a network or operand packed into a BBMS
+ *    container and mapped back produces bit-identical plan outputs and
+ *    forward passes — the mapped-view PackedOperand path IS the owned
+ *    path, byte for byte (the tentpole claim).
+ *  - HOSTILE INPUT: a container is untrusted. tryOpen carries the
+ *    tryDeserialize contract — every truncation, bounds, alignment,
+ *    overlap and payload-field corruption is rejected with a
+ *    diagnostic, never UB (CI runs this file under ASan/UBSan).
+ *  - HOT-SWAP + LRU: registry swaps are versioned and atomic under
+ *    concurrent lookups; the store's LRU eviction respects the budget
+ *    and never evicts a pinned (refcounted) model.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <thread>
+
+#include <unistd.h>
+
+#include "common/random.hpp"
+#include "engine/engine.hpp"
+#include "nn/layers.hpp"
+#include "nn/network.hpp"
+#include "serve/model_registry.hpp"
+#include "store/container.hpp"
+#include "store/model_store.hpp"
+
+namespace bbs {
+namespace {
+
+using engine::PackedOperand;
+using engine::PackKind;
+using engine::PackOptions;
+using engine::Session;
+using store::MappedContainer;
+using store::ModelStore;
+using store::StoreConfig;
+
+Int8Tensor
+randomMatrix(std::int64_t rows, std::int64_t cols, Rng &rng)
+{
+    Int8Tensor t(Shape{rows, cols});
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+        t.flat(i) = static_cast<std::int8_t>(rng.uniformInt(-128, 127));
+    return t;
+}
+
+Int8Network
+makeEngine(std::int64_t in, std::int64_t hidden, std::int64_t out,
+           int targetColumns, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Network net;
+    net.add(std::make_unique<Dense>(in, hidden, rng));
+    net.add(std::make_unique<ReluLayer>());
+    net.add(std::make_unique<Dense>(hidden, out, rng));
+    return Int8Network::fromNetwork(net, 32, targetColumns,
+                                    PruneStrategy::ZeroPointShifting);
+}
+
+Batch
+randomBatch(std::int64_t n, std::int64_t features, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Batch x(Shape{n, features});
+    for (std::int64_t i = 0; i < x.numel(); ++i)
+        x.flat(i) = static_cast<float>(rng.uniformReal(-1.0, 1.0));
+    return x;
+}
+
+std::string
+tempPath(const char *name)
+{
+    return ::testing::TempDir() + "bbs_store_" + name + "_" +
+           std::to_string(::getpid()) + ".bbms";
+}
+
+std::vector<std::uint8_t>
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<std::uint8_t>(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+}
+
+void
+writeFile(const std::string &path, const std::vector<std::uint8_t> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+/** Every logit of two forward passes, bit-for-bit. */
+void
+expectSameLogits(const Batch &a, const Batch &b, const char *what)
+{
+    ASSERT_EQ(a.numel(), b.numel()) << what;
+    for (std::int64_t i = 0; i < a.numel(); ++i)
+        ASSERT_EQ(a.flat(i), b.flat(i)) << what << " i=" << i;
+}
+
+// ------------------------------------------------- round-trip identity
+
+TEST(StoreContainerTest, ModelRoundTripBitIdentity)
+{
+    Int8Network owned = makeEngine(24, 48, 8, 3, 0xab1e);
+    std::string path = tempPath("model_rt");
+    std::size_t bytes = store::writeModelContainer(owned, path);
+    EXPECT_GT(bytes, 0u);
+
+    auto container = MappedContainer::open(path);
+    EXPECT_EQ(container->bytes(), bytes);
+    EXPECT_EQ(container->layerCount(), owned.layers().size());
+    Int8Network mapped = store::mapModel(container);
+
+    EXPECT_EQ(mapped.inputFeatures(), owned.inputFeatures());
+    EXPECT_EQ(mapped.outputFeatures(), owned.outputFeatures());
+    EXPECT_DOUBLE_EQ(mapped.effectiveBits(), owned.effectiveBits());
+    for (std::size_t i = 0; i < owned.layers().size(); ++i)
+        EXPECT_TRUE(mapped.layers()[i].planes->mappedView());
+
+    Batch x = randomBatch(7, owned.inputFeatures(), 99);
+    for (auto calib :
+         {engine::Calibration::PerBatch, engine::Calibration::PerRow}) {
+        InferencePolicy policy;
+        policy.calibration = calib;
+        expectSameLogits(owned.forward(x, policy),
+                         mapped.forward(x, policy), "model");
+    }
+    std::remove(path.c_str());
+}
+
+TEST(StoreContainerTest, OperandRoundTripBitIdentity)
+{
+    // Both representations, several operating points (including
+    // all-pruned groups at target 0 via high targets and ragged tails).
+    Rng rng(77);
+    Session s;
+    std::string path = tempPath("operand_rt");
+    for (int target : {0, 3, 6}) {
+        Int8Tensor w = randomMatrix(6, 96, rng);
+        Int8Tensor acts = randomMatrix(9, 96, rng);
+        std::vector<PackedOperand> ops;
+        ops.push_back(s.pack(
+            w, PackOptions{32, target, PruneStrategy::ZeroPointShifting}));
+        ops.push_back(PackedOperand::packDense(w));
+        store::writeOperandContainer(ops, path);
+
+        auto container = MappedContainer::open(path);
+        ASSERT_EQ(container->operandCount(), 2u);
+        ASSERT_EQ(container->layerCount(), 0u);
+        for (std::size_t i = 0; i < ops.size(); ++i) {
+            PackedOperand mapped = store::mapOperand(container, i);
+            EXPECT_TRUE(mapped.mapped());
+            EXPECT_EQ(mapped.kind(), ops[i].kind());
+            EXPECT_EQ(mapped.rows(), ops[i].rows());
+            EXPECT_EQ(mapped.cols(), ops[i].cols());
+            EXPECT_DOUBLE_EQ(mapped.meanStoredBits(),
+                             ops[i].meanStoredBits());
+
+            Int32Tensor before = s.plan(ops[i]).run(acts);
+            Int32Tensor after = s.plan(mapped).run(acts);
+            for (std::int64_t k = 0; k < before.numel(); ++k)
+                ASSERT_EQ(before.flat(k), after.flat(k))
+                    << "target=" << target << " op=" << i << " k=" << k;
+
+            // unpack() reconstructs the same INT8 matrix from the view.
+            Int8Tensor a = ops[i].unpack(), b = mapped.unpack();
+            for (std::int64_t k = 0; k < a.numel(); ++k)
+                ASSERT_EQ(a.flat(k), b.flat(k));
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(StoreContainerTest, MappingOutlivesContainerHandle)
+{
+    // The aliasing shared_ptr contract: dropping every direct container
+    // reference must keep the mapping alive while a network or plan
+    // built over it exists (this is what makes hot-swap drain safe).
+    Int8Network owned = makeEngine(16, 24, 4, 2, 0xfeed);
+    std::string path = tempPath("lifetime");
+    store::writeModelContainer(owned, path);
+
+    Batch x = randomBatch(5, owned.inputFeatures(), 5);
+    Batch expected = owned.forward(x);
+    Int8Network mapped = [&] {
+        auto container = MappedContainer::open(path);
+        return store::mapModel(container);
+    }(); // container handle gone; pages must still be mapped
+    expectSameLogits(expected, mapped.forward(x), "after handle drop");
+    std::remove(path.c_str());
+}
+
+// --------------------------------------------------- hostile containers
+
+class StoreFuzzTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = tempPath("fuzz");
+        std::string goldenPath = tempPath("fuzz_golden");
+        store::writeModelContainer(makeEngine(16, 24, 4, 3, 0x5eed),
+                                   goldenPath);
+        golden_ = readFile(goldenPath);
+        std::remove(goldenPath.c_str());
+        ASSERT_GE(golden_.size(), 4096u);
+    }
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    /** tryOpen on @p bytes must reject without dying. */
+    void
+    expectRejected(const std::vector<std::uint8_t> &bytes,
+                   const char *what)
+    {
+        writeFile(path_, bytes);
+        std::shared_ptr<const MappedContainer> c;
+        std::string error;
+        EXPECT_FALSE(MappedContainer::tryOpen(path_, c, &error)) << what;
+        EXPECT_FALSE(error.empty()) << what;
+        EXPECT_EQ(c, nullptr) << what;
+    }
+
+    /** golden_ with bytes [at, at+n) overwritten by @p v. */
+    std::vector<std::uint8_t>
+    mutated(std::size_t at, std::initializer_list<std::uint8_t> v)
+    {
+        std::vector<std::uint8_t> bytes = golden_;
+        std::size_t i = at;
+        for (std::uint8_t b : v)
+            bytes[i++] = b;
+        return bytes;
+    }
+
+    std::string path_;
+    std::vector<std::uint8_t> golden_;
+};
+
+TEST_F(StoreFuzzTest, TruncationsAtEveryBoundary)
+{
+    // Every interesting prefix: empty, partial header, header only,
+    // partial directory, one page, all-but-one byte. (fileBytes
+    // mismatch catches the ones the structural checks don't.)
+    for (std::size_t keep :
+         {std::size_t{0}, std::size_t{1}, std::size_t{63}, std::size_t{64},
+          std::size_t{96}, std::size_t{4095}, std::size_t{4096},
+          golden_.size() / 2, golden_.size() - 1}) {
+        std::vector<std::uint8_t> bytes(golden_.begin(),
+                                        golden_.begin() +
+                                            static_cast<std::ptrdiff_t>(
+                                                keep));
+        expectRejected(bytes, "truncation");
+    }
+}
+
+TEST_F(StoreFuzzTest, HeaderCorruptions)
+{
+    expectRejected(mutated(0, {0xde, 0xad}), "bad magic");
+    expectRejected(mutated(4, {0x7f}), "unsupported version");
+    expectRejected(mutated(8, {0x63}), "bad header size");
+    expectRejected(mutated(12, {0xff, 0xff, 0xff, 0x7f}),
+                   "huge entryCount");
+    expectRejected(mutated(16, {0x01}), "fileBytes mismatch");
+    expectRejected(mutated(24, {0x03, 0x01}), "non-power-of-two align");
+    expectRejected(mutated(40, {0xaa, 0xbb}), "layout tag mismatch");
+}
+
+TEST_F(StoreFuzzTest, DirectoryCorruptions)
+{
+    const std::size_t dir = sizeof(store::FileHeader); // first entry
+    // kind (offset +0), index (+4), offset (+8), length (+16)
+    expectRejected(mutated(dir + 0, {0x00}), "kind zero");
+    expectRejected(mutated(dir + 0, {0x63}), "unknown kind");
+    expectRejected(mutated(dir + 8, {0x01}), "misaligned offset");
+    expectRejected(mutated(dir + 8,
+                           {0xf6, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+                            0xff}),
+                   "offset near UINT64_MAX (offset+length wraps)");
+    expectRejected(mutated(dir + 16,
+                           {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+                            0x7f}),
+                   "length beyond file");
+    expectRejected(mutated(dir + 16, {0x00, 0x00, 0x00, 0x00, 0x00,
+                                      0x00, 0x00, 0x00}),
+                   "zero length");
+
+    // Second entry aliasing the first extent.
+    {
+        std::vector<std::uint8_t> bytes = golden_;
+        std::memcpy(bytes.data() + dir + sizeof(store::DirEntry) + 8,
+                    bytes.data() + dir + 8, 16);
+        expectRejected(bytes, "overlapping extents");
+    }
+}
+
+TEST_F(StoreFuzzTest, HostileGroupFields)
+{
+    // Locate the Groups payload through the real directory, then plant
+    // field values the kernels would turn into OOB indexing / shift UB.
+    store::FileHeader header;
+    std::memcpy(&header, golden_.data(), sizeof(header));
+    std::uint64_t groupsOff = 0, shiftsOff = 0;
+    for (std::uint32_t i = 0; i < header.entryCount; ++i) {
+        store::DirEntry e;
+        std::memcpy(&e,
+                    golden_.data() + sizeof(header) +
+                        i * sizeof(store::DirEntry),
+                    sizeof(e));
+        if (e.kind == static_cast<std::uint32_t>(
+                          store::SectionKind::Groups) &&
+            groupsOff == 0)
+            groupsOff = e.offset;
+        if (e.kind == static_cast<std::uint32_t>(
+                          store::SectionKind::Shifts) &&
+            shiftsOff == 0)
+            shiftsOff = e.offset;
+    }
+    ASSERT_NE(groupsOff, 0u);
+    ASSERT_NE(shiftsOff, 0u);
+
+    const std::size_t sizeAt = groupsOff + offsetof(PackedGroup, size);
+    const std::size_t bitsAt = groupsOff + offsetof(PackedGroup, bits);
+    expectRejected(mutated(bitsAt, {9}), "bits > kWeightBits");
+    expectRejected(mutated(bitsAt, {0xff, 0xff, 0xff, 0xff}),
+                   "negative bits");
+    expectRejected(mutated(sizeAt, {65}), "size > 64");
+    expectRejected(mutated(sizeAt, {0xff, 0xff, 0xff, 0xff}),
+                   "negative size");
+    expectRejected(mutated(sizeAt, {7}),
+                   "size disagrees with the column tiling");
+    expectRejected(mutated(shiftsOff, {9}), "shift > 8");
+    expectRejected(mutated(shiftsOff, {0xf7}), "negative shift");
+}
+
+TEST_F(StoreFuzzTest, RandomMutationsNeverCrash)
+{
+    // Byte-flip fuzz over the structured region (header + directory +
+    // first metadata page): every outcome must be a clean rejection or
+    // a successful open whose model still runs (ASan/UBSan in CI turn
+    // any liberty taken here into a failure).
+    Rng rng(0xfa22);
+    std::size_t structured = std::min<std::size_t>(golden_.size(), 8192);
+    for (int iter = 0; iter < 300; ++iter) {
+        std::vector<std::uint8_t> bytes = golden_;
+        int flips = 1 + static_cast<int>(rng.uniformInt(0, 3));
+        for (int f = 0; f < flips; ++f) {
+            std::size_t at = static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<std::int64_t>(structured) - 1));
+            bytes[at] ^= static_cast<std::uint8_t>(
+                1u << rng.uniformInt(0, 7));
+        }
+        writeFile(path_, bytes);
+        std::shared_ptr<const MappedContainer> c;
+        if (!MappedContainer::tryOpen(path_, c))
+            continue;
+        if (!c->hasModel())
+            continue;
+        Int8Network mapped = store::mapModel(c);
+        Batch x = randomBatch(2, mapped.inputFeatures(),
+                              static_cast<std::uint64_t>(iter));
+        (void)mapped.forward(x); // must not crash / trip sanitizers
+    }
+}
+
+// ------------------------------------------------- registry hot-swap
+
+TEST(ModelRegistryTest, SwapIsVersionedAndAtomicUnderLoad)
+{
+    // Two engines with IDENTICAL weights, one owned and one mapped:
+    // every response during a swap storm must match the single oracle,
+    // proving lookups never see a torn or half-registered model.
+    Int8Network owned = makeEngine(16, 24, 4, 2, 0xd00d);
+    std::string path = tempPath("swap");
+    store::writeModelContainer(owned, path);
+    auto container = MappedContainer::open(path);
+
+    auto a = std::make_shared<const Int8Network>(
+        makeEngine(16, 24, 4, 2, 0xd00d));
+    auto b = std::make_shared<const Int8Network>(
+        store::mapModel(container));
+
+    Batch x = randomBatch(3, owned.inputFeatures(), 11);
+    Batch expected = owned.forward(x);
+
+    ModelRegistry registry;
+    EXPECT_EQ(registry.version("m"), 0u);
+    EXPECT_EQ(registry.swap("m", a), 1u);
+    EXPECT_EQ(registry.version("m"), 1u);
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> lookups{0};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 4; ++t) {
+        readers.emplace_back([&] {
+            while (!stop.load(std::memory_order_relaxed)) {
+                std::shared_ptr<const Int8Network> engine =
+                    registry.find("m");
+                ASSERT_NE(engine, nullptr);
+                Batch got = engine->forward(x);
+                for (std::int64_t i = 0; i < expected.numel(); ++i)
+                    ASSERT_EQ(got.flat(i), expected.flat(i));
+                lookups.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    std::uint64_t version = 1;
+    for (int swapCount = 0; swapCount < 200; ++swapCount) {
+        std::uint64_t v =
+            registry.swap("m", swapCount % 2 == 0 ? b : a);
+        EXPECT_EQ(v, ++version);
+        if (swapCount % 16 == 0) // let lookups land between swaps
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    // Don't stop until every reader has verified at least a few
+    // responses against the oracle with swaps completed around it.
+    while (lookups.load(std::memory_order_relaxed) < 16)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    stop.store(true);
+    for (auto &r : readers)
+        r.join();
+    EXPECT_GT(lookups.load(), 0u);
+    EXPECT_EQ(registry.version("m"), 201u);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------- store LRU/budget
+
+TEST(ModelStoreTest, ParseByteSize)
+{
+    EXPECT_EQ(store::parseByteSize(""), 0u);
+    EXPECT_EQ(store::parseByteSize("junk"), 0u);
+    EXPECT_EQ(store::parseByteSize("123"), 123u);
+    EXPECT_EQ(store::parseByteSize("8K"), 8192u);
+    EXPECT_EQ(store::parseByteSize("2m"), 2u << 20);
+    EXPECT_EQ(store::parseByteSize("3G"), 3ull << 30);
+    EXPECT_EQ(store::parseByteSize("1T"), 0u);   // unknown suffix
+    EXPECT_EQ(store::parseByteSize("K"), 0u);    // no digits
+    EXPECT_EQ(store::parseByteSize("1 K"), 0u);  // embedded junk
+    EXPECT_EQ(store::parseByteSize("99999999999999999999"), 0u);
+}
+
+TEST(ModelStoreTest, LoadFailsCleanlyOnGarbage)
+{
+    obs::Registry metrics;
+    StoreConfig config;
+    config.registry = &metrics;
+    ModelStore modelStore(config);
+    std::string path = tempPath("garbage");
+    writeFile(path, std::vector<std::uint8_t>(256, 0x5a));
+    std::shared_ptr<const store::MappedModel> model;
+    std::string error;
+    EXPECT_FALSE(modelStore.tryLoad(path, model, &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(modelStore.tryLoad(path + ".missing", model, &error));
+    EXPECT_EQ(modelStore.residentModels(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(ModelStoreTest, LruEvictionSkipsPinnedModels)
+{
+    std::string pa = tempPath("lru_a"), pb = tempPath("lru_b"),
+                pc = tempPath("lru_c");
+    store::writeModelContainer(makeEngine(16, 24, 4, 2, 0xaaaa), pa);
+    store::writeModelContainer(makeEngine(16, 24, 4, 2, 0xbbbb), pb);
+    store::writeModelContainer(makeEngine(16, 24, 4, 2, 0xcccc), pc);
+    std::size_t one = readFile(pa).size();
+
+    obs::Registry metrics;
+    StoreConfig config;
+    config.budgetBytes = one * 2 + one / 2; // room for two, not three
+    config.registry = &metrics;
+    ModelStore modelStore(config);
+
+    // A stays pinned (we hold the ref); B is released and becomes the
+    // LRU victim when C arrives.
+    std::shared_ptr<const store::MappedModel> a = modelStore.load(pa);
+    modelStore.load(pb);
+    EXPECT_EQ(modelStore.residentModels(), 2u);
+    std::shared_ptr<const store::MappedModel> c = modelStore.load(pc);
+    EXPECT_EQ(modelStore.residentModels(), 2u);
+    EXPECT_LE(modelStore.residentBytes(), config.budgetBytes);
+
+    // A survived eviction (it was pinned *and* older than B): a fresh
+    // load must be a cache hit handing back the same mapping.
+    std::shared_ptr<const store::MappedModel> again = modelStore.load(pa);
+    EXPECT_EQ(again, a);
+    // B was evicted: loading it again is a fresh mapping.
+    std::shared_ptr<const store::MappedModel> b2 = modelStore.load(pb);
+    ASSERT_NE(b2, nullptr);
+
+    // The pinned model's network still runs after all that churn.
+    Batch x = randomBatch(2, a->network->inputFeatures(), 3);
+    (void)a->network->forward(x);
+
+    // Dropping every pin lets evictUnpinned clear the store.
+    a.reset();
+    c.reset();
+    again.reset();
+    b2.reset();
+    modelStore.evictUnpinned();
+    EXPECT_EQ(modelStore.residentModels(), 0u);
+    EXPECT_EQ(modelStore.residentBytes(), 0u);
+
+    std::remove(pa.c_str());
+    std::remove(pb.c_str());
+    std::remove(pc.c_str());
+}
+
+TEST(ModelStoreTest, BudgetFromEnvironment)
+{
+    ::setenv("BBS_STORE_BUDGET", "512K", 1);
+    obs::Registry metrics;
+    StoreConfig config;
+    config.registry = &metrics;
+    ModelStore fromEnv(config);
+    EXPECT_EQ(fromEnv.budgetBytes(), 512u << 10);
+    config.budgetBytes = 1024;
+    ModelStore explicitBudget(config);
+    EXPECT_EQ(explicitBudget.budgetBytes(), 1024u);
+    ::unsetenv("BBS_STORE_BUDGET");
+}
+
+} // namespace
+} // namespace bbs
