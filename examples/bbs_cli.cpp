@@ -469,6 +469,16 @@ cmdStoreInfo(const std::map<std::string, std::string> &flags)
               << " operands"
               << (c->hasModel() ? "" : " (bare operands, no model)")
               << "\n";
+    if (flagOr(flags, "verify", "0") != "0") {
+        if (!c->verifyChecksums(&error)) {
+            std::cerr << "store-info: " << error << "\n";
+            return 1;
+        }
+        std::cout << (c->hasChecksums()
+                          ? "checksums: all sections verified\n"
+                          : "checksums: none stored (pre-checksum "
+                            "container)\n");
+    }
     Table t({"layer", "shape", "group", "stored bits", "activation"});
     for (std::size_t i = 0; i < c->layerCount(); ++i) {
         const store::MappedContainer::Layer &l = c->layer(i);
@@ -499,7 +509,7 @@ usage()
                  "[--beta F] [--accelerator NAME] [--rows K] [--cols C] "
                  "[--batch N] [--requests N] [--clients M] [--out PATH] "
                  "[--reps N] [--warmup N] [--in N] [--hidden N] "
-                 "[--classes N] [--seed N] [--path FILE]\n";
+                 "[--classes N] [--seed N] [--path FILE] [--verify 1]\n";
     return 2;
 }
 

@@ -67,4 +67,35 @@ countRedundantColumns(std::span<const std::int8_t> group, int maxCount)
     return count;
 }
 
+namespace {
+
+/** Byte-at-a-time CRC-32 table, built once. */
+struct Crc32Table
+{
+    std::uint32_t entries[256];
+
+    Crc32Table()
+    {
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            entries[i] = c;
+        }
+    }
+};
+
+} // namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t len, std::uint32_t seed)
+{
+    static const Crc32Table table;
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint32_t c = seed ^ 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < len; ++i)
+        c = table.entries[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
 } // namespace bbs

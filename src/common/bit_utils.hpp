@@ -142,6 +142,15 @@ clampToBits(std::int32_t v, int bits)
 int countRedundantColumns(std::span<const std::int8_t> group,
                           int maxCount = 3);
 
+/**
+ * CRC-32 (IEEE 802.3, polynomial 0xEDB88320, the zlib/PNG variant) of
+ * @p len bytes at @p data. Chainable: pass a previous result as
+ * @p seed to extend it over a further range; 0 starts a fresh sum.
+ * Used for the BBMS container's per-section payload checksums.
+ */
+std::uint32_t crc32(const void *data, std::size_t len,
+                    std::uint32_t seed = 0);
+
 } // namespace bbs
 
 #endif // BBS_COMMON_BIT_UTILS_HPP

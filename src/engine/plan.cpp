@@ -209,6 +209,9 @@ MatmulPlan::resolveForBatch(std::int64_t batch, bool countTune) const
                     r.tuning.depthBlockWords = e->depthBlockWords;
                 r.tuning.tileRows = e->tileRows;
                 r.tuning.tileCols = e->tileCols;
+            } else if (e->kind == PlanKind::CompressedBatched &&
+                       e->rowTile > 0) {
+                r.tuning.compressedRowTile = e->rowTile;
             }
             return r;
         }
@@ -308,13 +311,14 @@ MatmulPlan::execute(PlanKind kind, const TuningParams &tuning,
                           weights_.compressedRows().groupsPerRow());
         if (packed != nullptr) {
             bbs::detail::gemmCompressedKernel(weights_.compressedRows(),
-                                              *packed, out, arena);
+                                              *packed, out, arena, tuning);
         } else {
             if (scratchReserveRows_ > n)
                 arena.reservePack(scratchReserveRows_, depth);
             BitSerialMatrix::packInto(*raw, arena.actsPack);
             bbs::detail::gemmCompressedKernel(weights_.compressedRows(),
-                                              arena.actsPack, out, arena);
+                                              arena.actsPack, out, arena,
+                                              tuning);
         }
         return;
     }
@@ -361,6 +365,27 @@ MatmulPlan::runAs(PlanKind kind, const Int8Tensor &activations,
     BBS_REQUIRE(kind != PlanKind::Auto,
                 "runAs() needs an explicit kind; use run() for Auto");
     execute(kind, config_.tuning, &activations, nullptr, out);
+}
+
+void
+MatmulPlan::runRowBounded(const PackedOperand &activations,
+                          std::int64_t weightRows, Int32Tensor &out) const
+{
+    BBS_REQUIRE(valid(), "running an empty MatmulPlan");
+    BBS_REQUIRE(!weights_.compressed(),
+                "row-bounded runs need dense bit-plane weights (the "
+                "KV-cache view contract)");
+    BBS_REQUIRE(!activations.compressed(),
+                "activations must be a dense bit-plane operand");
+    std::optional<ScopedEngineConfig> scope;
+    if (!configInert_)
+        scope.emplace(config_);
+#if BBS_OBS
+    RunTimer runTimer{PlanKind::TiledBitSerial};
+#endif
+    bbs::detail::gemmBitSerialKernel(activations.dense(),
+                                     weights_.dense(), out,
+                                     config_.tuning, weightRows);
 }
 
 } // namespace bbs::engine

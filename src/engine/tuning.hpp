@@ -42,6 +42,11 @@ struct TuningParams
     /** Weight rows per register tile (1 or 2). */
     int tileCols = 2;
 
+    /** Weight rows per compressed-GEMM stage-2 tile (1..8): rows in the
+     *  same tile share every activation-window load. Formerly the
+     *  hard-coded row-pair constant; the autotuner sweeps it now. */
+    int compressedRowTile = 2;
+
     /** selectKind: batches up to this size take the per-dot loop for
      *  compressed weights (nothing amortizes the activation pack). */
     std::int64_t perDotMaxBatch = 1;

@@ -156,7 +156,8 @@ void
 detail::gemmCompressedKernel(const CompressedRowPlanes &weights,
                              const BitSerialMatrix &activations,
                              Int32Tensor &out,
-                             engine::ScratchArena &scratch)
+                             engine::ScratchArena &scratch,
+                             const engine::TuningParams &tuning)
 {
     BBS_REQUIRE(activations.cols() == weights.cols(),
                 "GEMM depth mismatch: ", activations.cols(), " vs ",
@@ -201,34 +202,64 @@ detail::gemmCompressedKernel(const CompressedRowPlanes &weights,
                                    sums + r * numGroups);
     }, 4);
 
-    // Stage 2: weight-row tiles of two, each streaming the whole grouped
-    // batch; the two rows share every activation window load.
-    std::int64_t rowTiles = (k + 1) / 2;
+    // Stage 2: weight-row tiles of `tile` rows, each streaming the whole
+    // grouped batch; rows in a tile share every activation window load.
+    // tile == 2 (the default, and the old hard-coded row-pair shape)
+    // keeps its two accumulators in registers; other widths run the
+    // generic accumulator array. Output rows are written by exactly one
+    // task either way, and the per-row arithmetic is identical for every
+    // width — the tile is a traversal-order knob the autotuner sweeps.
+    std::int64_t tile =
+        std::clamp<std::int64_t>(tuning.compressedRowTile, 1, 8);
+    std::int64_t rowTiles = (k + tile - 1) / tile;
     parallelFor(rowTiles, [&](std::int64_t t) {
-        std::int64_t o0 = 2 * t;
-        std::int64_t o1 = std::min(o0 + 1, k - 1); // degenerate last tile
-        for (std::int64_t r = 0; r < n; ++r) {
-            const std::uint64_t *aw =
-                windows + r * numGroups * kWeightBits;
-            const std::int64_t *sumA = sums + r * numGroups;
-            std::int64_t acc0 = 0, acc1 = 0;
-            for (std::int64_t g = 0; g < numGroups;
-                 ++g, aw += kWeightBits) {
-                acc0 += (groupDot(simd, weights.packedGroup(o0, g), aw)
+        std::int64_t o0 = tile * t;
+        std::int64_t oEnd = std::min(o0 + tile, k);
+        if (oEnd - o0 == 2) {
+            std::int64_t o1 = o0 + 1;
+            for (std::int64_t r = 0; r < n; ++r) {
+                const std::uint64_t *aw =
+                    windows + r * numGroups * kWeightBits;
+                const std::int64_t *sumA = sums + r * numGroups;
+                std::int64_t acc0 = 0, acc1 = 0;
+                for (std::int64_t g = 0; g < numGroups;
+                     ++g, aw += kWeightBits) {
+                    acc0 +=
+                        (groupDot(simd, weights.packedGroup(o0, g), aw)
                          << weights.shift(o0, g)) +
-                        static_cast<std::int64_t>(weights.constant(o0, g)) *
+                        static_cast<std::int64_t>(
+                            weights.constant(o0, g)) *
                             sumA[g];
-                if (o1 != o0)
                     acc1 +=
                         (groupDot(simd, weights.packedGroup(o1, g), aw)
                          << weights.shift(o1, g)) +
                         static_cast<std::int64_t>(
                             weights.constant(o1, g)) *
                             sumA[g];
-            }
-            out.at(r, o0) = static_cast<std::int32_t>(acc0);
-            if (o1 != o0)
+                }
+                out.at(r, o0) = static_cast<std::int32_t>(acc0);
                 out.at(r, o1) = static_cast<std::int32_t>(acc1);
+            }
+            return;
+        }
+        std::int64_t acc[8];
+        for (std::int64_t r = 0; r < n; ++r) {
+            const std::uint64_t *aw =
+                windows + r * numGroups * kWeightBits;
+            const std::int64_t *sumA = sums + r * numGroups;
+            for (std::int64_t j = 0; j < oEnd - o0; ++j)
+                acc[j] = 0;
+            for (std::int64_t g = 0; g < numGroups;
+                 ++g, aw += kWeightBits) {
+                for (std::int64_t o = o0; o < oEnd; ++o)
+                    acc[o - o0] +=
+                        (groupDot(simd, weights.packedGroup(o, g), aw)
+                         << weights.shift(o, g)) +
+                        static_cast<std::int64_t>(weights.constant(o, g)) *
+                            sumA[g];
+            }
+            for (std::int64_t o = o0; o < oEnd; ++o)
+                out.at(r, o) = static_cast<std::int32_t>(acc[o - o0]);
         }
     }, 1);
 }

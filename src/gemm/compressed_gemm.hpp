@@ -40,6 +40,7 @@
 #include "core/bitplane.hpp"
 #include "core/compressed_tensor.hpp"
 #include "engine/forwarding.hpp"
+#include "engine/tuning.hpp"
 #include "engine/scratch.hpp"
 #include "gemm/bit_serial_matrix.hpp"
 #include "tensor/tensor.hpp"
@@ -216,14 +217,16 @@ namespace detail {
  * Compressed-domain GEMM kernel: activations [N, C] (packed) x
  * compressed weight rows [K, C] -> @p out [N, K] (reshaped only when its
  * shape differs, so a serving loop reuses the buffer). Bit-exact against
- * the dense reference over the decompressed weights. Stage-1 staging
- * lives in @p scratch (grow-only); callers normally pass
- * engine::ScratchArena::forThisThread(). The engine's CompressedBatched
- * plan kind executes here.
+ * the dense reference over the decompressed weights for EVERY @p tuning
+ * (the stage-2 row-tile width changes traversal order, never
+ * arithmetic). Stage-1 staging lives in @p scratch (grow-only); callers
+ * normally pass engine::ScratchArena::forThisThread(). The engine's
+ * CompressedBatched plan kind executes here.
  */
 void gemmCompressedKernel(const CompressedRowPlanes &weights,
                           const BitSerialMatrix &activations,
-                          Int32Tensor &out, engine::ScratchArena &scratch);
+                          Int32Tensor &out, engine::ScratchArena &scratch,
+                          const engine::TuningParams &tuning = {});
 
 } // namespace detail
 

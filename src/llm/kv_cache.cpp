@@ -1,0 +1,113 @@
+#include "llm/kv_cache.hpp"
+
+#include "common/logging.hpp"
+#include "core/bitplane.hpp"
+
+namespace bbs::llm {
+
+KvCache::KvCache(const engine::Session &session, const KvCacheConfig &cfg)
+    : cfg_(cfg)
+{
+    BBS_REQUIRE(cfg.layers > 0 && cfg.heads > 0, "KvCache needs layers/heads");
+    BBS_REQUIRE(cfg.dHead >= 1 && cfg.dHead <= 64,
+                "KvCache head width must be 1..64 (one packGroup per "
+                "token), got ", cfg.dHead);
+    BBS_REQUIRE(cfg.capacity > 0, "KvCache needs a positive capacity");
+    cfg_.capacity = (cfg.capacity + 63) / 64 * 64;
+
+    kColWords_ = BitSerialMatrix::paddedColWords(cfg_.dHead);
+    vColWords_ = BitSerialMatrix::paddedColWords(cfg_.capacity);
+    kBlockWords_ = kWeightBits * cfg_.capacity * kColWords_;
+    vBlockWords_ = kWeightBits * cfg_.dHead * vColWords_;
+
+    std::int64_t planes = cfg_.layers * cfg_.heads;
+    // resize() value-initialises: every plane word starts zero, which is
+    // the packed encoding of value 0 — unwritten rows/columns are
+    // indistinguishable from packed zeros (the padding contract).
+    kWords_.resize(static_cast<std::size_t>(planes * kBlockWords_));
+    vWords_.resize(static_cast<std::size_t>(planes * vBlockWords_));
+    kScales_.resize(static_cast<std::size_t>(cfg_.layers * cfg_.capacity),
+                    1.0f);
+    vScales_.resize(static_cast<std::size_t>(cfg_.layers * cfg_.capacity),
+                    1.0f);
+
+    // Views first (vectors sized once — the plans hold references into
+    // them, so no reallocation may follow), then plans.
+    kViews_.resize(static_cast<std::size_t>(planes));
+    vViews_.resize(static_cast<std::size_t>(planes));
+    for (std::int64_t i = 0; i < planes; ++i) {
+        kViews_[static_cast<std::size_t>(i)] = BitSerialMatrix::viewExternal(
+            kWords_.data() + i * kBlockWords_, cfg_.capacity, cfg_.dHead);
+        vViews_[static_cast<std::size_t>(i)] = BitSerialMatrix::viewExternal(
+            vWords_.data() + i * vBlockWords_, cfg_.dHead, cfg_.capacity);
+    }
+    scorePlans_.reserve(static_cast<std::size_t>(planes));
+    valuePlans_.reserve(static_cast<std::size_t>(planes));
+    for (std::int64_t i = 0; i < planes; ++i) {
+        scorePlans_.push_back(session.plan(
+            engine::PackedOperand::viewDense(
+                kViews_[static_cast<std::size_t>(i)]),
+            engine::ShapeHints{1}));
+        valuePlans_.push_back(session.plan(
+            engine::PackedOperand::viewDense(
+                vViews_[static_cast<std::size_t>(i)]),
+            engine::ShapeHints{1}));
+    }
+}
+
+std::int64_t
+KvCache::residentBytes() const
+{
+    return static_cast<std::int64_t>(
+        (kWords_.size() + vWords_.size()) * sizeof(std::uint64_t) +
+        (kScales_.size() + vScales_.size()) * sizeof(float));
+}
+
+void
+KvCache::append(std::int64_t layer, std::int64_t pos,
+                std::span<const std::int8_t> k, float kScale,
+                std::span<const std::int8_t> v, float vScale)
+{
+    BBS_ASSERT(layer >= 0 && layer < cfg_.layers, "layer out of range");
+    BBS_ASSERT(pos >= 0 && pos < cfg_.capacity, "KV cache overflow: pos ",
+               pos, " at capacity ", cfg_.capacity);
+    BBS_ASSERT(static_cast<std::int64_t>(k.size()) ==
+                       cfg_.heads * cfg_.dHead &&
+                   k.size() == v.size(),
+               "append rows must hold heads*dHead values");
+
+    for (std::int64_t h = 0; h < cfg_.heads; ++h) {
+        std::int64_t base = planeIndex(layer, h);
+        // K: the token's per-head k-vector is one packGroup — its eight
+        // plane words ARE plane row `pos`'s word 0 (dHead <= 64; the
+        // padded tail words stay zero).
+        PackedGroup pg = packGroup(
+            k.subspan(static_cast<std::size_t>(h * cfg_.dHead),
+                      static_cast<std::size_t>(cfg_.dHead)));
+        std::uint64_t *kBase = kWords_.data() + base * kBlockWords_;
+        for (int b = 0; b < kWeightBits; ++b)
+            kBase[(static_cast<std::int64_t>(b) * cfg_.capacity + pos) *
+                  kColWords_] = pg.planes[static_cast<std::size_t>(b)];
+
+        // V: set bit pos%64 of word pos/64 in each (bit, dim) row plane.
+        // Storage starts zero and tokens only ever OR bits in, so no
+        // read-modify cycle can disturb earlier tokens.
+        std::uint64_t *vBase = vWords_.data() + base * vBlockWords_;
+        std::int64_t word = pos >> 6;
+        std::uint64_t bit = 1ull << (pos & 63);
+        const std::int8_t *vRow =
+            v.data() + static_cast<std::size_t>(h * cfg_.dHead);
+        for (std::int64_t d = 0; d < cfg_.dHead; ++d) {
+            std::uint8_t enc = static_cast<std::uint8_t>(vRow[d]);
+            for (int b = 0; b < kWeightBits; ++b)
+                if ((enc >> b) & 1u)
+                    vBase[(static_cast<std::int64_t>(b) * cfg_.dHead + d) *
+                              vColWords_ +
+                          word] |= bit;
+        }
+    }
+    kScales_[static_cast<std::size_t>(layer * cfg_.capacity + pos)] = kScale;
+    vScales_[static_cast<std::size_t>(layer * cfg_.capacity + pos)] = vScale;
+}
+
+} // namespace bbs::llm

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Compressed-domain KV cache: per-(layer, head) key/value planes kept in
+ * the engine's exact `BitSerialMatrix` layout, appended to incrementally.
+ *
+ * Each decode step packs ONLY the new token's K/V rows into the existing
+ * bit planes — prior tokens are never repacked — and attention's
+ * score/value matmuls then run over the same AND+popcount kernels as the
+ * weight GEMMs, through `MatmulPlan::runRowBounded` bounded to the rows
+ * that hold tokens.
+ *
+ * Layouts (per layer, per head; all plane stores 64-byte aligned,
+ * zero-initialised, fixed capacity chosen at construction):
+ *
+ *  - **K store, token-major**: `[bit][capacity][colWords(dHead)]`, token t
+ *    in plane row t. dHead <= 64, so a token's whole k-vector packs via
+ *    one `packGroup` (8 plane words) and lands as 8 single-word writes —
+ *    word-identical to what `BitSerialMatrix::pack` of the full token
+ *    matrix would produce (the append fuzz test pins this). Scores are
+ *    q [1, dHead] x K [T, dHead] with T = tokens so far.
+ *  - **V store, dim-major**: `[bit][dHead][colWords(capacity)]`, token t
+ *    at column t. Appending token t sets bit t%64 of word t/64 in each of
+ *    the 8 x dHead row planes. The weighted-value product is then
+ *    c [1, capacity] x V [dHead, capacity] with c's columns beyond T
+ *    zero — zero activation bits AND away any column, so the fixed-width
+ *    GEMM over the full capacity is exact.
+ *
+ * The views are created once over fixed-capacity storage
+ * (`viewExternal` strides derive from the rows argument, so a view can
+ * never shrink or move); growth is an append plus a release-store of the
+ * committed length, never a repack or reallocation.
+ *
+ * Concurrency contract: one writer (the decode thread). Concurrent
+ * reader threads may consume the committed prefix after an acquire of
+ * `length()`: all K plane rows < length, and V plane words strictly below
+ * length/64 (the in-fill V word is writer-private until it fills — a
+ * word holds 64 tokens' bits, so readers bound column access to
+ * `length() & ~63`). The decode thread itself reads its own writes and
+ * has no such restriction.
+ */
+#ifndef BBS_LLM_KV_CACHE_HPP
+#define BBS_LLM_KV_CACHE_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "engine/session.hpp"
+#include "gemm/bit_serial_matrix.hpp"
+
+namespace bbs::llm {
+
+/** Shape of one sequence's cache. */
+struct KvCacheConfig
+{
+    std::int64_t layers = 0;
+    std::int64_t heads = 0;
+    std::int64_t dHead = 0;    ///< per-head width, 1..64
+    std::int64_t capacity = 0; ///< max tokens; rounded up to 64 inside
+};
+
+/**
+ * One sequence's K/V planes for every (layer, head), plus the
+ * `MatmulPlan`s that score against them. Non-movable once constructed:
+ * the plans hold views into the plane stores.
+ */
+class KvCache
+{
+  public:
+    /** Allocates the full-capacity plane stores (zeroed) and creates the
+     *  per-(layer, head) score/value plans through @p session. */
+    KvCache(const engine::Session &session, const KvCacheConfig &cfg);
+
+    KvCache(const KvCache &) = delete;
+    KvCache &operator=(const KvCache &) = delete;
+
+    std::int64_t layers() const { return cfg_.layers; }
+    std::int64_t heads() const { return cfg_.heads; }
+    std::int64_t dHead() const { return cfg_.dHead; }
+    std::int64_t capacity() const { return cfg_.capacity; }
+
+    /** Committed token count (acquire — pairs with commit's release). */
+    std::int64_t
+    length() const
+    {
+        return length_.load(std::memory_order_acquire);
+    }
+
+    /** Bytes resident in plane stores + scales (capacity, not length —
+     *  the stores are fully allocated up front). */
+    std::int64_t residentBytes() const;
+
+    /**
+     * Append token @p pos's K/V rows for one layer: @p k / @p v are the
+     * head-major int8 rows (heads * dHead values), @p kScale / @p vScale
+     * the row's dequantisation scales (one per layer-token, shared by
+     * every head). @p pos must be length() + (tokens appended this step
+     * so far) — the layer loop appends each layer at the same @p pos,
+     * then commit() publishes. Only the decode thread calls this.
+     */
+    void append(std::int64_t layer, std::int64_t pos,
+                std::span<const std::int8_t> k, float kScale,
+                std::span<const std::int8_t> v, float vScale);
+
+    /** Publish @p tokens committed tokens (release). */
+    void
+    commit(std::int64_t tokens)
+    {
+        length_.store(tokens, std::memory_order_release);
+    }
+
+    float
+    kScale(std::int64_t layer, std::int64_t t) const
+    {
+        return kScales_[static_cast<std::size_t>(layer * cfg_.capacity + t)];
+    }
+    float
+    vScale(std::int64_t layer, std::int64_t t) const
+    {
+        return vScales_[static_cast<std::size_t>(layer * cfg_.capacity + t)];
+    }
+
+    /**
+     * Attention scores: @p q is the packed [1, dHead] query operand;
+     * writes @p out [1, tokens] of integer dots against K rows
+     * 0..tokens-1. Runs the tiled bit-serial kernel row-bounded over the
+     * K view.
+     */
+    void
+    scores(std::int64_t layer, std::int64_t head,
+           const engine::PackedOperand &q, std::int64_t tokens,
+           Int32Tensor &out) const
+    {
+        scorePlan(layer, head).runRowBounded(q, tokens, out);
+    }
+
+    /**
+     * Weighted-value product: @p c is the packed [1, capacity] quantised
+     * probability row (columns at and beyond the token count MUST be
+     * zero); writes @p out [1, dHead].
+     */
+    void
+    values(std::int64_t layer, std::int64_t head,
+           const engine::PackedOperand &c, Int32Tensor &out) const
+    {
+        valuePlan(layer, head).runRowBounded(c, cfg_.dHead, out);
+    }
+
+    /** The K plane view [capacity, dHead] (fuzz tests compare its words
+     *  against a from-scratch pack). */
+    const BitSerialMatrix &
+    kView(std::int64_t layer, std::int64_t head) const
+    {
+        return kViews_[static_cast<std::size_t>(planeIndex(layer, head))];
+    }
+
+    /** The V plane view [dHead, capacity]. */
+    const BitSerialMatrix &
+    vView(std::int64_t layer, std::int64_t head) const
+    {
+        return vViews_[static_cast<std::size_t>(planeIndex(layer, head))];
+    }
+
+  private:
+    std::int64_t
+    planeIndex(std::int64_t layer, std::int64_t head) const
+    {
+        return layer * cfg_.heads + head;
+    }
+    const engine::MatmulPlan &
+    scorePlan(std::int64_t layer, std::int64_t head) const
+    {
+        return scorePlans_[static_cast<std::size_t>(
+            planeIndex(layer, head))];
+    }
+    const engine::MatmulPlan &
+    valuePlan(std::int64_t layer, std::int64_t head) const
+    {
+        return valuePlans_[static_cast<std::size_t>(
+            planeIndex(layer, head))];
+    }
+
+    KvCacheConfig cfg_;
+    std::int64_t kColWords_ = 0; ///< paddedColWords(dHead)
+    std::int64_t vColWords_ = 0; ///< paddedColWords(capacity)
+    std::int64_t kBlockWords_ = 0; ///< K words per (layer, head)
+    std::int64_t vBlockWords_ = 0; ///< V words per (layer, head)
+    AlignedVector<std::uint64_t> kWords_;
+    AlignedVector<std::uint64_t> vWords_;
+    std::vector<float> kScales_; ///< [layer * capacity + token]
+    std::vector<float> vScales_;
+    std::vector<BitSerialMatrix> kViews_; ///< [layer * heads + head]
+    std::vector<BitSerialMatrix> vViews_;
+    std::vector<engine::MatmulPlan> scorePlans_;
+    std::vector<engine::MatmulPlan> valuePlans_;
+    std::atomic<std::int64_t> length_{0};
+};
+
+} // namespace bbs::llm
+
+#endif // BBS_LLM_KV_CACHE_HPP

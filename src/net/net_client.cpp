@@ -152,6 +152,68 @@ NetClient::request(const std::string &model, std::vector<float> input,
     return resp;
 }
 
+bool
+NetClient::sendGenerate(const GenerateFrame &g)
+{
+    sendBuf_.clear();
+    encodeGenerate(g, sendBuf_);
+    return sendRaw(sendBuf_.data(), sendBuf_.size());
+}
+
+bool
+NetClient::recvStreamChunk(StreamChunkFrame &out)
+{
+    std::vector<std::uint8_t> body;
+    return recvFrame(FrameType::StreamChunk, body) &&
+           decodeStreamChunk(body, out);
+}
+
+bool
+NetClient::generate(
+    const std::string &model, std::span<const std::int32_t> prompt,
+    std::uint32_t maxNewTokens,
+    const std::function<void(const StreamChunkFrame &)> &onChunk,
+    std::uint64_t tag)
+{
+    GenerateFrame g;
+    g.tag = tag;
+    g.model = model;
+    g.maxNewTokens = maxNewTokens;
+    g.prompt.assign(prompt.begin(), prompt.end());
+    if (!sendGenerate(g))
+        return false;
+    for (;;) {
+        StreamChunkFrame chunk;
+        if (!recvStreamChunk(chunk) || chunk.tag != tag)
+            return false;
+        if (onChunk)
+            onChunk(chunk);
+        if (chunk.last)
+            return true;
+    }
+}
+
+std::optional<std::vector<std::int32_t>>
+NetClient::generateCollect(const std::string &model,
+                           std::span<const std::int32_t> prompt,
+                           std::uint32_t maxNewTokens, std::uint64_t tag)
+{
+    std::vector<std::int32_t> tokens;
+    bool failed = false;
+    bool ok = generate(
+        model, prompt, maxNewTokens,
+        [&](const StreamChunkFrame &chunk) {
+            if (chunk.status == 0)
+                tokens.push_back(chunk.token);
+            else
+                failed = true;
+        },
+        tag);
+    if (!ok || failed)
+        return std::nullopt;
+    return tokens;
+}
+
 std::optional<std::string>
 NetClient::stats()
 {

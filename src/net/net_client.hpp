@@ -16,7 +16,9 @@
 #define BBS_NET_NET_CLIENT_HPP
 
 #include <cstdint>
+#include <functional>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -54,6 +56,31 @@ class NetClient
                                          std::vector<float> input,
                                          std::int64_t deadlineUs = 0,
                                          std::uint64_t tag = 0);
+
+    /** Send one Generate frame (blocking until fully written). */
+    bool sendGenerate(const GenerateFrame &g);
+    /** Read one StreamChunk frame (blocking). */
+    bool recvStreamChunk(StreamChunkFrame &out);
+
+    /**
+     * Streaming generation: send a Generate, invoke @p onChunk for each
+     * StreamChunk until the last one. False on transport failure
+     * (callback already saw whatever arrived); true once a chunk with
+     * last set was delivered — inspect its status for the outcome.
+     */
+    bool generate(const std::string &model,
+                  std::span<const std::int32_t> prompt,
+                  std::uint32_t maxNewTokens,
+                  const std::function<void(const StreamChunkFrame &)>
+                      &onChunk,
+                  std::uint64_t tag = 0);
+
+    /** generate() collecting the Ok tokens; nullopt on transport
+     *  failure or a non-Ok terminal status. */
+    std::optional<std::vector<std::int32_t>>
+    generateCollect(const std::string &model,
+                    std::span<const std::int32_t> prompt,
+                    std::uint32_t maxNewTokens, std::uint64_t tag = 0);
 
     /** Fetch the Prometheus text exposition via a Stats frame. */
     std::optional<std::string> stats();

@@ -53,6 +53,8 @@ NetServer::NetServer(InferenceServer &server, NetServerConfig config)
                                        "Complete frames parsed")),
       responses_(server.metrics().counter("bbs_net_responses_out_total",
                                           "Response frames written")),
+      chunks_(server.metrics().counter("bbs_net_stream_chunks_out_total",
+                                       "StreamChunk frames written")),
       active_(server.metrics().gauge("bbs_net_connections_active",
                                      "Open connections"))
 {
@@ -66,6 +68,17 @@ NetServer::NetServer(InferenceServer &server, NetServerConfig config)
 NetServer::~NetServer()
 {
     stop();
+}
+
+void
+NetServer::attachGeneration(const std::string &model,
+                            serve::GenerationScheduler *scheduler)
+{
+    BBS_REQUIRE(listenFd_ < 0,
+                "attachGeneration must precede start(): the epoll "
+                "thread reads the generator table without a lock");
+    BBS_REQUIRE(scheduler != nullptr, "null generation scheduler");
+    generators_[model] = scheduler;
 }
 
 void
@@ -305,7 +318,12 @@ NetServer::handleFrame(Conn &c, std::span<const std::uint8_t> body)
             req.model, std::move(req.input), req.deadlineUs,
             [cq = cq_, fd = c.fd, gen = c.gen,
              tag = req.tag](InferenceResponse &&resp) {
-                cq->push(Completion{fd, gen, tag, std::move(resp)});
+                Completion comp;
+                comp.fd = fd;
+                comp.gen = gen;
+                comp.tag = tag;
+                comp.resp = std::move(resp);
+                cq->push(std::move(comp));
             });
         return true;
     }
@@ -313,8 +331,47 @@ NetServer::handleFrame(Conn &c, std::span<const std::uint8_t> body)
         encodeStatsText(server_.metricsText(), c.outBuf);
         return flushWrites(c);
     }
+    case FrameType::Generate: {
+        GenerateFrame gen;
+        if (!decodeGenerate(body, gen))
+            return false;
+        auto git = generators_.find(gen.model);
+        if (git == generators_.end()) {
+            StreamChunkFrame chunk;
+            chunk.tag = gen.tag;
+            chunk.status =
+                static_cast<std::uint8_t>(ServeStatus::UnknownModel);
+            chunk.last = true;
+            encodeStreamChunk(chunk, c.outBuf);
+            chunks_.inc();
+            return flushWrites(c);
+        }
+        // One callback per streamed token, each crossing back through
+        // the completion queue exactly like an inference response.
+        // Submit-time failures (BadInput/Overloaded/ShutDown) invoke
+        // the callback synchronously on this thread — also fine: the
+        // chunk just queues behind the eventfd like any other.
+        git->second->submit(
+            gen.prompt, static_cast<std::int64_t>(gen.maxNewTokens),
+            [cq = cq_, fd = c.fd, gen2 = c.gen,
+             tag = gen.tag](const serve::StreamToken &t) {
+                Completion comp;
+                comp.fd = fd;
+                comp.gen = gen2;
+                comp.tag = tag;
+                comp.stream = true;
+                comp.chunk.tag = tag;
+                comp.chunk.status = static_cast<std::uint8_t>(t.status);
+                comp.chunk.last = t.last;
+                comp.chunk.index = t.index;
+                comp.chunk.token = t.token;
+                cq->push(std::move(comp));
+            });
+        return true;
+    }
     case FrameType::Response:
     case FrameType::StatsText:
+    case FrameType::StreamChunk:
         return false; // server-to-client types arriving here = hostile
     }
     return false;
@@ -337,10 +394,16 @@ NetServer::drainCompletions()
         if (it == conns_.end() || it->second.gen != comp.gen)
             continue; // connection died first; drop the response
         Conn &c = it->second;
-        encodeResponse(comp.tag,
-                       static_cast<std::uint8_t>(comp.resp.status),
-                       comp.resp.predicted, comp.resp.logits, c.outBuf);
-        responses_.inc();
+        if (comp.stream) {
+            encodeStreamChunk(comp.chunk, c.outBuf);
+            chunks_.inc();
+        } else {
+            encodeResponse(comp.tag,
+                           static_cast<std::uint8_t>(comp.resp.status),
+                           comp.resp.predicted, comp.resp.logits,
+                           c.outBuf);
+            responses_.inc();
+        }
         if (!flushWrites(c))
             closeConn(comp.fd);
     }
@@ -422,6 +485,12 @@ std::uint64_t
 NetServer::responsesOut() const
 {
     return responses_.value();
+}
+
+std::uint64_t
+NetServer::streamChunksOut() const
+{
+    return chunks_.value();
 }
 
 std::size_t

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "net/protocol.hpp"
+#include "serve/generation.hpp"
 #include "serve/server.hpp"
 
 namespace bbs::net {
@@ -74,6 +75,16 @@ class NetServer
     NetServer(const NetServer &) = delete;
     NetServer &operator=(const NetServer &) = delete;
 
+    /**
+     * Expose a token-generation scheduler under @p model for Generate
+     * frames. Call before start(); @p scheduler must outlive this and
+     * should run its own worker (workers = 1) — the epoll thread only
+     * submits. Streamed tokens flow back through the same completion
+     * queue as inference responses, one StreamChunk frame per token.
+     */
+    void attachGeneration(const std::string &model,
+                          serve::GenerationScheduler *scheduler);
+
     /** Bind + listen + spawn the epoll thread. Returns with the socket
      *  accepting, so a caller may connect immediately. Throws
      *  std::runtime_error on bind/listen failure. */
@@ -95,6 +106,7 @@ class NetServer
     std::uint64_t protocolErrors() const;
     std::uint64_t framesIn() const;
     std::uint64_t responsesOut() const;
+    std::uint64_t streamChunksOut() const;
     std::size_t activeConnections() const;
 
   private:
@@ -110,13 +122,16 @@ class NetServer
         bool wantWrite = false; ///< EPOLLOUT armed
     };
 
-    /** One finished inference crossing back to the epoll thread. */
+    /** One finished inference — or one streamed generation token —
+     *  crossing back to the epoll thread. */
     struct Completion
     {
         int fd = -1;
         std::uint64_t gen = 0;
         std::uint64_t tag = 0;
+        bool stream = false; ///< true: encode `chunk`, not `resp`
         InferenceResponse resp;
+        StreamChunkFrame chunk;
     };
 
     /**
@@ -155,6 +170,8 @@ class NetServer
 
     InferenceServer &server_;
     NetServerConfig config_;
+    std::unordered_map<std::string, serve::GenerationScheduler *>
+        generators_; ///< set before start(), read-only after
 
     int listenFd_ = -1;
     int epollFd_ = -1;
@@ -176,6 +193,7 @@ class NetServer
     obs::Counter &protoErrors_;
     obs::Counter &frames_;
     obs::Counter &responses_;
+    obs::Counter &chunks_;
     obs::Gauge &active_;
 };
 

@@ -41,7 +41,9 @@ validType(std::uint8_t t)
     case FrameType::Request:
     case FrameType::Response:
     case FrameType::Stats:
-    case FrameType::StatsText: return true;
+    case FrameType::StatsText:
+    case FrameType::Generate:
+    case FrameType::StreamChunk: return true;
     }
     return false;
 }
@@ -164,6 +166,85 @@ encodeResponse(std::uint64_t tag, std::uint8_t status,
     const auto *raw =
         reinterpret_cast<const std::uint8_t *>(logits.data());
     out.insert(out.end(), raw, raw + logits.size() * sizeof(float));
+}
+
+bool
+decodeGenerate(std::span<const std::uint8_t> body, GenerateFrame &out)
+{
+    std::size_t pos = 0;
+    std::uint16_t modelLen = 0;
+    std::uint32_t tokenCount = 0;
+    if (!get(body, pos, out.tag) || !get(body, pos, modelLen))
+        return false;
+    if (modelLen > kMaxModelName || body.size() - pos < modelLen)
+        return false;
+    out.model.assign(reinterpret_cast<const char *>(body.data() + pos),
+                     modelLen);
+    pos += modelLen;
+    if (!get(body, pos, out.maxNewTokens) || !get(body, pos, tokenCount))
+        return false;
+    // Same hostile-length rule as Request: the count must account for
+    // every remaining body byte exactly.
+    if (body.size() - pos !=
+        std::size_t{tokenCount} * sizeof(std::int32_t))
+        return false;
+    out.prompt.resize(tokenCount);
+    if (tokenCount > 0)
+        std::memcpy(out.prompt.data(), body.data() + pos,
+                    out.prompt.size() * sizeof(std::int32_t));
+    return true;
+}
+
+bool
+decodeStreamChunk(std::span<const std::uint8_t> body, StreamChunkFrame &out)
+{
+    std::size_t pos = 0;
+    std::uint8_t last = 0;
+    if (!get(body, pos, out.tag) || !get(body, pos, out.status) ||
+        !get(body, pos, last) || !get(body, pos, out.index) ||
+        !get(body, pos, out.token))
+        return false;
+    out.last = last != 0;
+    return pos == body.size();
+}
+
+void
+encodeGenerate(const GenerateFrame &g, std::vector<std::uint8_t> &out)
+{
+    FrameHeader h;
+    h.type = FrameType::Generate;
+    h.bodyLen = static_cast<std::uint32_t>(
+        sizeof(std::uint64_t) + sizeof(std::uint16_t) + g.model.size() +
+        sizeof(std::uint32_t) + sizeof(std::uint32_t) +
+        g.prompt.size() * sizeof(std::int32_t));
+    out.reserve(out.size() + kHeaderBytes + h.bodyLen);
+    encodeHeader(h, out);
+    put(out, g.tag);
+    put(out, static_cast<std::uint16_t>(g.model.size()));
+    out.insert(out.end(), g.model.begin(), g.model.end());
+    put(out, g.maxNewTokens);
+    put(out, static_cast<std::uint32_t>(g.prompt.size()));
+    const auto *raw =
+        reinterpret_cast<const std::uint8_t *>(g.prompt.data());
+    out.insert(out.end(), raw,
+               raw + g.prompt.size() * sizeof(std::int32_t));
+}
+
+void
+encodeStreamChunk(const StreamChunkFrame &s, std::vector<std::uint8_t> &out)
+{
+    FrameHeader h;
+    h.type = FrameType::StreamChunk;
+    h.bodyLen = static_cast<std::uint32_t>(
+        sizeof(std::uint64_t) + 1 + 1 + sizeof(std::uint32_t) +
+        sizeof(std::int32_t));
+    out.reserve(out.size() + kHeaderBytes + h.bodyLen);
+    encodeHeader(h, out);
+    put(out, s.tag);
+    put(out, s.status);
+    put(out, static_cast<std::uint8_t>(s.last ? 1 : 0));
+    put(out, s.index);
+    put(out, s.token);
 }
 
 void

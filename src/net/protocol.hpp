@@ -35,6 +35,24 @@
  * FrameType::StatsText whose body is the raw Prometheus text exposition
  * (the PR 7 scrape surface, served over the same listener).
  *
+ * Generate body (FrameType::Generate):
+ *   u64 tag            client-chosen id, echoed in every chunk
+ *   u16 modelLen       model-name bytes that follow (<= kMaxModelName)
+ *   ..  model          raw bytes, NOT NUL-terminated
+ *   u32 maxNewTokens   continuation budget (0 = server default)
+ *   u32 tokenCount     prompt tokens that follow
+ *   ..  tokens         i32 LE token ids
+ *
+ * StreamChunk body (FrameType::StreamChunk) — the server answers one
+ * Generate with a SEQUENCE of these on the same connection, one per
+ * generated token, interleaved with whatever other frames the
+ * connection's pipelined requests produce (the tag demultiplexes):
+ *   u64 tag            echoed from the Generate
+ *   u8  status         ServeStatus as u8 (non-Ok only on the last chunk)
+ *   u8  last           1 = final chunk for this tag
+ *   u32 index          0-based position in the continuation
+ *   i32 token          generated token id (valid when status == Ok)
+ *
  * Decoders treat every length field as hostile: a header that fails
  * magic/version/reserved/bodyLen validation is a protocol error (the
  * server closes the connection), and body decoders bound every
@@ -68,6 +86,8 @@ enum class FrameType : std::uint8_t
     Response = 2,  ///< server -> client: the answer for one Request
     Stats = 3,     ///< client -> server: scrape request (empty body)
     StatsText = 4, ///< server -> client: Prometheus text exposition
+    Generate = 5,  ///< client -> server: one token-generation request
+    StreamChunk = 6, ///< server -> client: one streamed token
 };
 
 struct FrameHeader
@@ -94,6 +114,23 @@ struct ResponseFrame
     std::vector<float> logits;
 };
 
+struct GenerateFrame
+{
+    std::uint64_t tag = 0;
+    std::string model;
+    std::uint32_t maxNewTokens = 0; ///< 0 = server default
+    std::vector<std::int32_t> prompt;
+};
+
+struct StreamChunkFrame
+{
+    std::uint64_t tag = 0;
+    std::uint8_t status = 0; ///< ServeStatus as u8
+    bool last = false;
+    std::uint32_t index = 0;
+    std::int32_t token = 0;
+};
+
 /** Parse + validate a 12-byte header. @p raw must hold kHeaderBytes.
  *  False = protocol error (bad magic/version/reserved/oversize body). */
 bool decodeHeader(std::span<const std::uint8_t> raw, FrameHeader &out);
@@ -114,6 +151,20 @@ void encodeRequest(const RequestFrame &r, std::vector<std::uint8_t> &out);
 void encodeResponse(std::uint64_t tag, std::uint8_t status,
                     std::int32_t predicted, std::span<const float> logits,
                     std::vector<std::uint8_t> &out);
+
+/** Parse a Generate body. False on any bound violation. */
+bool decodeGenerate(std::span<const std::uint8_t> body, GenerateFrame &out);
+
+/** Parse a StreamChunk body. False unless exactly one chunk. */
+bool decodeStreamChunk(std::span<const std::uint8_t> body,
+                       StreamChunkFrame &out);
+
+/** Append a complete Generate frame (header + body) to @p out. */
+void encodeGenerate(const GenerateFrame &g, std::vector<std::uint8_t> &out);
+
+/** Append a complete StreamChunk frame to @p out. */
+void encodeStreamChunk(const StreamChunkFrame &s,
+                       std::vector<std::uint8_t> &out);
 
 /** Append a complete Stats (scrape) request frame. */
 void encodeStatsRequest(std::vector<std::uint8_t> &out);

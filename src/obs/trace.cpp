@@ -1,11 +1,34 @@
 #include "obs/trace.hpp"
 
+#include <cstdlib>
+
 #include "common/json_writer.hpp"
 #include "common/logging.hpp"
 
 namespace bbs::obs {
 
-TraceRing::TraceRing(std::size_t capacity) : spans_(capacity)
+namespace {
+
+/** BBS_TRACE_SAMPLE parsed defensively: absent, unparsable, or < 1 all
+ *  mean "keep every span" — a bad knob must never silence tracing. */
+std::uint64_t
+envSampleEvery()
+{
+    const char *env = std::getenv("BBS_TRACE_SAMPLE");
+    if (env == nullptr)
+        return 1;
+    char *end = nullptr;
+    long long v = std::strtoll(env, &end, 10);
+    if (end == env || *end != '\0' || v < 1)
+        return 1;
+    return static_cast<std::uint64_t>(v);
+}
+
+} // namespace
+
+TraceRing::TraceRing(std::size_t capacity, std::uint64_t sampleEvery)
+    : spans_(capacity),
+      sampleEvery_(sampleEvery > 0 ? sampleEvery : envSampleEvery())
 {
     BBS_ASSERT(capacity > 0, "trace ring needs at least one slot");
 }
@@ -14,6 +37,13 @@ void
 TraceRing::record(const TraceSpan &span)
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    // Keep the first of every sampleEvery_ offered spans: a dump taken
+    // at any moment then covers the full time range at 1/N density
+    // rather than an aligned burst.
+    if (offered_++ % sampleEvery_ != 0) {
+        ++sampledOut_;
+        return;
+    }
     spans_[written_ % spans_.size()] = span;
     ++written_;
 }
@@ -33,11 +63,20 @@ TraceRing::dropped() const
     return written_ < spans_.size() ? 0 : written_ - spans_.size();
 }
 
+std::uint64_t
+TraceRing::sampledOut() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sampledOut_;
+}
+
 void
 TraceRing::clear()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     written_ = 0;
+    offered_ = 0;
+    sampledOut_ = 0;
 }
 
 void
@@ -47,8 +86,10 @@ TraceRing::dumpJson(JsonWriter &w, const char *(*statusName)(int)) const
     // an ostream and must not stall writers.
     std::vector<TraceSpan> copy;
     std::uint64_t droppedCount = 0;
+    std::uint64_t sampledOutCount = 0;
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        sampledOutCount = sampledOut_;
         std::size_t held = written_ < spans_.size()
                                ? static_cast<std::size_t>(written_)
                                : spans_.size();
@@ -64,6 +105,8 @@ TraceRing::dumpJson(JsonWriter &w, const char *(*statusName)(int)) const
 
     w.beginObject();
     w.member("dropped", droppedCount);
+    w.member("sampled_out", sampledOutCount);
+    w.member("sample_every", sampleEvery_);
     w.key("spans");
     w.beginArray();
     for (const TraceSpan &s : copy) {

@@ -62,13 +62,24 @@ struct TraceSpan
 /**
  * Bounded ring of the most recent spans. `dropped()` counts spans that
  * were overwritten, so a dump can say how much history it covers.
+ *
+ * Sampling: at high request rates even a copy-under-mutex per request
+ * is worth shedding. `BBS_TRACE_SAMPLE=N` keeps 1-in-N spans (the
+ * first of every N offered; N <= 1 or unset keeps all). Spans shed by
+ * sampling are counted in `sampledOut()` — deliberately separate from
+ * `dropped()`, which counts recorded history lost to ring overwrite:
+ * one is a knob, the other is a capacity symptom.
  */
 class TraceRing
 {
   public:
-    explicit TraceRing(std::size_t capacity = 4096);
+    /** @p sampleEvery 0 = read BBS_TRACE_SAMPLE from the environment;
+     *  otherwise keep 1-in-@p sampleEvery spans. */
+    explicit TraceRing(std::size_t capacity = 4096,
+                       std::uint64_t sampleEvery = 0);
 
-    /** Copy @p span into the ring (no allocation; see file comment). */
+    /** Copy @p span into the ring (no allocation; see file comment) —
+     *  or shed it when sampling says so. */
     void record(const TraceSpan &span);
 
     std::size_t capacity() const { return spans_.size(); }
@@ -76,6 +87,10 @@ class TraceRing
     std::size_t size() const;
     /** Spans lost to overwrite since construction / clear(). */
     std::uint64_t dropped() const;
+    /** Spans shed by the sampling knob (never entered the ring). */
+    std::uint64_t sampledOut() const;
+    /** The effective 1-in-N sampling period (>= 1). */
+    std::uint64_t sampleEvery() const { return sampleEvery_; }
 
     void clear();
 
@@ -93,7 +108,10 @@ class TraceRing
   private:
     mutable std::mutex mutex_;
     std::vector<TraceSpan> spans_;
-    std::uint64_t written_ = 0; ///< total record() calls
+    std::uint64_t written_ = 0;    ///< spans actually recorded
+    std::uint64_t offered_ = 0;    ///< record() calls, pre-sampling
+    std::uint64_t sampledOut_ = 0; ///< shed by sampling
+    std::uint64_t sampleEvery_ = 1;
 };
 
 } // namespace bbs::obs

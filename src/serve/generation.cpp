@@ -1,0 +1,313 @@
+#include "serve/generation.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.hpp"
+
+namespace bbs::serve {
+
+namespace {
+
+obs::Registry &
+resolveRegistry(obs::Registry *registry)
+{
+    return registry != nullptr ? *registry : obs::Registry::global();
+}
+
+} // namespace
+
+GenerationScheduler::GenerationScheduler(const llm::TransformerModel &model,
+                                         GenerationConfig config,
+                                         obs::Registry *registry)
+    : model_(model), config_(config),
+      steps_(resolveRegistry(registry).counter(
+          "bbs_llm_steps_total", "generation scheduling steps executed")),
+      tokens_(resolveRegistry(registry).counter(
+          "bbs_llm_tokens_total", "tokens generated across all sequences")),
+      decodeRows_(resolveRegistry(registry).counter(
+          "bbs_llm_decode_rows_total", "decode rows batched into steps")),
+      prefillRows_(resolveRegistry(registry).counter(
+          "bbs_llm_prefill_rows_total", "prefill rows batched into steps")),
+      activeGauge_(resolveRegistry(registry).gauge(
+          "bbs_llm_active_sequences", "sequences currently generating")),
+      queued_(resolveRegistry(registry).gauge(
+          "bbs_llm_queued_sequences", "sequences awaiting admission")),
+      kvBytes_(resolveRegistry(registry).gauge(
+          "bbs_llm_kv_resident_bytes",
+          "bytes resident in active KV caches")),
+      stepLatencyUs_(resolveRegistry(registry).histogram(
+          "bbs_llm_step_latency_us", obs::Histogram::latencyBoundsUs(),
+          "wall time of one generation step"))
+{
+    BBS_REQUIRE(config_.maxStepRows >= 1 && config_.maxActiveSeqs >= 1 &&
+                    config_.prefillChunk >= 1 && config_.maxQueuedSeqs >= 1,
+                "degenerate GenerationConfig");
+    BBS_REQUIRE(config_.workers == 0 || config_.workers == 1,
+                "GenerationScheduler runs 0 or 1 worker threads, got ",
+                config_.workers);
+    activeSeqs_.reserve(static_cast<std::size_t>(config_.maxActiveSeqs));
+    std::size_t maxRows = static_cast<std::size_t>(
+        config_.maxStepRows + config_.maxActiveSeqs + config_.prefillChunk);
+    rows_.reserve(maxRows);
+    rowSeq_.reserve(maxRows);
+    emissions_.reserve(maxRows);
+    if (config_.workers == 1)
+        worker_ = std::thread([this] { workerLoop(); });
+}
+
+GenerationScheduler::~GenerationScheduler() { stop(); }
+
+std::uint64_t
+GenerationScheduler::submit(std::span<const std::int32_t> prompt,
+                            std::int64_t maxNewTokens, StreamFn onToken)
+{
+    BBS_REQUIRE(onToken != nullptr, "submit needs a stream callback");
+    std::uint64_t id = nextId_.fetch_add(1, std::memory_order_relaxed);
+    std::int64_t maxNew = maxNewTokens > 0 ? maxNewTokens
+                                           : config_.defaultMaxNewTokens;
+    auto fail = [&](ServeStatus status) {
+        StreamToken t;
+        t.id = id;
+        t.last = true;
+        t.status = status;
+        onToken(t);
+        return id;
+    };
+
+    const llm::TransformerConfig &cfg = model_.config();
+    if (prompt.empty() ||
+        static_cast<std::int64_t>(prompt.size()) + maxNew - 1 > cfg.maxSeq)
+        return fail(ServeStatus::BadInput);
+    for (std::int32_t t : prompt)
+        if (t < 0 || t >= cfg.vocab)
+            return fail(ServeStatus::BadInput);
+
+    auto seq = std::make_unique<Sequence>();
+    seq->id = id;
+    seq->prompt.assign(prompt.begin(), prompt.end());
+    seq->maxNew = maxNew;
+    seq->onToken = std::move(onToken);
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_) {
+            onToken = std::move(seq->onToken);
+            return fail(ServeStatus::ShutDown);
+        }
+        if (static_cast<std::int64_t>(pending_.size()) >=
+            config_.maxQueuedSeqs) {
+            onToken = std::move(seq->onToken);
+            return fail(ServeStatus::Overloaded);
+        }
+        pending_.push_back(std::move(seq));
+        queued_.set(static_cast<std::int64_t>(pending_.size()));
+    }
+    cv_.notify_one();
+    return id;
+}
+
+bool
+GenerationScheduler::stepOnce()
+{
+    using clock = std::chrono::steady_clock;
+    auto t0 = clock::now();
+
+    // Admissions: pull queued sequences into the active set. The KV
+    // cache (the sequence's only large allocation) is created here,
+    // sized for the whole generation — decode steps never allocate.
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (stopping_)
+            return false;
+        while (static_cast<std::int64_t>(activeSeqs_.size()) <
+                   config_.maxActiveSeqs &&
+               !pending_.empty()) {
+            std::unique_ptr<Sequence> seq = std::move(pending_.front());
+            pending_.pop_front();
+            lock.unlock();
+            seq->cache = model_.makeCache(
+                static_cast<std::int64_t>(seq->prompt.size()) +
+                seq->maxNew);
+            kvBytes_.add(seq->cache->residentBytes());
+            activeSeqs_.push_back(std::move(seq));
+            lock.lock();
+        }
+        queued_.set(static_cast<std::int64_t>(pending_.size()));
+    }
+    activeGauge_.set(static_cast<std::int64_t>(activeSeqs_.size()));
+    if (activeSeqs_.empty())
+        return false;
+
+    // Coalesce the step batch: one decode row per decoding sequence
+    // first (decode is never starved), then round-robin prefill chunks
+    // into the remaining budget — with a one-chunk floor so a wall of
+    // decoders cannot starve admission either.
+    rows_.clear();
+    rowSeq_.clear();
+    for (auto &seqPtr : activeSeqs_) {
+        Sequence &seq = *seqPtr;
+        if (!seq.decoding)
+            continue;
+        llm::StepRow row;
+        row.cache = seq.cache.get();
+        row.token = seq.nextInput;
+        row.pos = seq.cache->length();
+        row.wantLogits = true;
+        rows_.push_back(row);
+        rowSeq_.push_back(&seq);
+    }
+    std::int64_t decodeRows = static_cast<std::int64_t>(rows_.size());
+    std::int64_t prefillBudget =
+        std::max(config_.maxStepRows - decodeRows, std::int64_t{0});
+    std::int64_t nPrefill = 0;
+    for (auto &seqPtr : activeSeqs_)
+        if (!seqPtr->decoding)
+            ++nPrefill;
+    if (nPrefill > 0 && prefillBudget == 0)
+        prefillBudget = config_.prefillChunk; // the admission floor
+    std::int64_t nActive = static_cast<std::int64_t>(activeSeqs_.size());
+    for (std::int64_t scan = 0; scan < nActive && prefillBudget > 0;
+         ++scan) {
+        Sequence &seq =
+            *activeSeqs_[static_cast<std::size_t>((prefillCursor_ + scan) %
+                                                  nActive)];
+        if (seq.decoding)
+            continue;
+        std::int64_t promptLen =
+            static_cast<std::int64_t>(seq.prompt.size());
+        std::int64_t chunk = std::min(
+            {config_.prefillChunk, prefillBudget,
+             promptLen - seq.prefillPos});
+        for (std::int64_t i = 0; i < chunk; ++i) {
+            std::int64_t p = seq.prefillPos + i;
+            llm::StepRow row;
+            row.cache = seq.cache.get();
+            row.token = seq.prompt[static_cast<std::size_t>(p)];
+            row.pos = p;
+            row.wantLogits = p + 1 == promptLen;
+            rows_.push_back(row);
+            rowSeq_.push_back(&seq);
+        }
+        prefillBudget -= chunk;
+    }
+    prefillCursor_ = nActive > 0 ? (prefillCursor_ + 1) % nActive : 0;
+    std::int64_t prefillRows =
+        static_cast<std::int64_t>(rows_.size()) - decodeRows;
+    if (rows_.empty())
+        return false;
+
+    model_.forward({rows_.data(), rows_.size()}, ws_);
+
+    // Bookkeeping + emission staging (callbacks run after, lock-free).
+    emissions_.clear();
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+        llm::StepRow &row = rows_[i];
+        Sequence &seq = *rowSeq_[i];
+        bool isPrefill = !seq.decoding;
+        if (isPrefill)
+            ++seq.prefillPos;
+        if (!row.wantLogits)
+            continue;
+        // A logits row produced the sequence's next token: the last
+        // prompt row yields token 0, decode rows the ones after it.
+        seq.decoding = true;
+        std::int64_t idx = seq.produced++;
+        seq.nextInput = row.next;
+        bool last = seq.produced == seq.maxNew;
+        seq.done = last;
+        Emission e;
+        e.seq = &seq;
+        e.token.id = seq.id;
+        e.token.token = row.next;
+        e.token.index = static_cast<std::uint32_t>(idx);
+        e.token.last = last;
+        e.token.status = ServeStatus::Ok;
+        emissions_.push_back(e);
+    }
+
+    steps_.inc();
+    tokens_.inc(static_cast<std::uint64_t>(emissions_.size()));
+    decodeRows_.inc(static_cast<std::uint64_t>(decodeRows));
+    prefillRows_.inc(static_cast<std::uint64_t>(prefillRows));
+    stepLatencyUs_.observe(
+        std::chrono::duration<double, std::micro>(clock::now() - t0)
+            .count());
+
+    for (const Emission &e : emissions_)
+        e.seq->onToken(e.token);
+
+    // Release completed sequences (their caches) after the callbacks.
+    for (auto it = activeSeqs_.begin(); it != activeSeqs_.end();) {
+        if ((*it)->done) {
+            kvBytes_.add(-(*it)->cache->residentBytes());
+            it = activeSeqs_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    activeGauge_.set(static_cast<std::int64_t>(activeSeqs_.size()));
+    return true;
+}
+
+void
+GenerationScheduler::failSequence(Sequence &seq, ServeStatus status)
+{
+    if (seq.done || seq.onToken == nullptr)
+        return;
+    StreamToken t;
+    t.id = seq.id;
+    t.index = static_cast<std::uint32_t>(seq.produced);
+    t.last = true;
+    t.status = status;
+    seq.done = true;
+    seq.onToken(t);
+}
+
+void
+GenerationScheduler::workerLoop()
+{
+    while (true) {
+        bool did = stepOnce();
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (stopping_)
+                return;
+            if (!did)
+                cv_.wait(lock, [this] {
+                    return stopping_ || !pending_.empty();
+                });
+        }
+    }
+}
+
+void
+GenerationScheduler::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            return;
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    if (worker_.joinable())
+        worker_.join();
+    // Step thread is gone (or never existed): fail what's left.
+    std::deque<std::unique_ptr<Sequence>> pending;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        pending.swap(pending_);
+        queued_.set(0);
+    }
+    for (auto &seq : pending)
+        failSequence(*seq, ServeStatus::ShutDown);
+    for (auto &seq : activeSeqs_) {
+        kvBytes_.add(-seq->cache->residentBytes());
+        failSequence(*seq, ServeStatus::ShutDown);
+    }
+    activeSeqs_.clear();
+    activeGauge_.set(0);
+}
+
+} // namespace bbs::serve

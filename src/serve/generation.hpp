@@ -1,0 +1,171 @@
+/**
+ * @file
+ * GenerationScheduler — continuous-batching token generation over a
+ * TransformerModel.
+ *
+ * One request is a prompt plus a token budget: many *dependent* decode
+ * steps, unlike the one-shot requests InferenceServer batches. The
+ * scheduler keeps an active set of sequences and, each step, coalesces
+ * one decode row per decoding sequence into a single batched
+ * `forward()` call — so a model's matmuls run at the step-batch size
+ * even though every individual sequence produces one token at a time.
+ * Remaining step-row budget is filled with chunk-wise prefill: long
+ * prompts are consumed `prefillChunk` tokens per step, decode rows
+ * always come first (admission never starves decoders), and at least
+ * one prefill chunk rides every step when prompts are waiting (decoders
+ * never starve admission either).
+ *
+ * Tokens stream to the caller via a per-request callback as they are
+ * produced. Bit-identity: a sequence's token stream is byte-identical
+ * to `TransformerModel::generateReference` on the same prompt,
+ * regardless of what it was co-batched with — per-row numerics
+ * (transformer.hpp) plus the exact integer kernels make batch
+ * composition unobservable.
+ *
+ * Threading: `submit()` is safe from any thread. With `workers == 0`
+ * the owner drives `stepOnce()` manually (deterministic tests); with
+ * `workers == 1` a background thread steps whenever sequences are
+ * active. Callbacks run on the stepping thread with no scheduler lock
+ * held; a callback may call submit(), but must not call stepOnce().
+ *
+ * Steady-state decode steps allocate nothing: step buffers, the
+ * workspace and each sequence's KV cache are sized at admission, and
+ * completions only release memory.
+ */
+#ifndef BBS_SERVE_GENERATION_HPP
+#define BBS_SERVE_GENERATION_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "llm/transformer.hpp"
+#include "serve/request.hpp"
+
+namespace bbs::serve {
+
+/** Scheduler knobs. */
+struct GenerationConfig
+{
+    std::int64_t maxStepRows = 32;   ///< step-batch row budget
+    std::int64_t maxActiveSeqs = 16; ///< beyond this, admissions queue
+    std::int64_t prefillChunk = 16;  ///< prompt tokens per seq per step
+    std::int64_t maxQueuedSeqs = 256; ///< beyond this, Overloaded
+    std::int64_t defaultMaxNewTokens = 32; ///< when submit passes 0
+    int workers = 0; ///< 0 = manual stepOnce(); 1 = background thread
+};
+
+/** One streamed token (or the terminal failure) of a generation. */
+struct StreamToken
+{
+    std::uint64_t id = 0;    ///< request id (submit's return value)
+    std::int32_t token = 0;  ///< generated token; valid when status Ok
+    std::uint32_t index = 0; ///< 0-based position in the continuation
+    bool last = false;       ///< no further callbacks for this id
+    ServeStatus status = ServeStatus::Ok;
+};
+
+using StreamFn = std::function<void(const StreamToken &)>;
+
+class GenerationScheduler
+{
+  public:
+    GenerationScheduler(const llm::TransformerModel &model,
+                        GenerationConfig config = {},
+                        obs::Registry *registry = nullptr);
+    ~GenerationScheduler();
+
+    GenerationScheduler(const GenerationScheduler &) = delete;
+    GenerationScheduler &operator=(const GenerationScheduler &) = delete;
+
+    /**
+     * Enqueue a generation: @p maxNewTokens greedy tokens (0 = config
+     * default), streamed through @p onToken. Returns the request id.
+     * Invalid prompts, overload and shutdown fail synchronously: the
+     * callback fires once with the failure status and last = true
+     * before submit returns.
+     */
+    std::uint64_t submit(std::span<const std::int32_t> prompt,
+                         std::int64_t maxNewTokens, StreamFn onToken);
+
+    /**
+     * Run one scheduling step: admit queued sequences, coalesce the
+     * step batch, forward, stream the produced tokens. Returns false
+     * when there was nothing to do. Single-threaded: the owner (or the
+     * worker thread) is the only caller.
+     */
+    bool stepOnce();
+
+    /** Stop stepping; in-flight and queued sequences fail with
+     *  ShutDown. Idempotent; the destructor calls it. */
+    void stop();
+
+    std::int64_t activeSequences() const { return activeGauge_.value(); }
+    std::int64_t queuedSequences() const { return queued_.value(); }
+    std::uint64_t tokensGenerated() const { return tokens_.value(); }
+    std::int64_t kvResidentBytes() const { return kvBytes_.value(); }
+
+  private:
+    struct Sequence
+    {
+        std::uint64_t id = 0;
+        std::vector<std::int32_t> prompt;
+        std::int64_t prefillPos = 0; ///< prompt tokens consumed
+        std::int64_t maxNew = 0;
+        std::int64_t produced = 0;
+        std::int32_t nextInput = 0; ///< token feeding the next decode row
+        bool decoding = false;      ///< prefill complete
+        bool done = false;
+        std::unique_ptr<llm::KvCache> cache; ///< set at admission
+        StreamFn onToken;
+    };
+
+    void workerLoop();
+    void failSequence(Sequence &seq, ServeStatus status);
+
+    const llm::TransformerModel &model_;
+    GenerationConfig config_;
+
+    std::mutex mutex_; ///< guards pending_, stopping_ handshake
+    std::condition_variable cv_;
+    std::deque<std::unique_ptr<Sequence>> pending_;
+    bool stopping_ = false;
+    std::atomic<std::uint64_t> nextId_{1};
+
+    // Step-thread-owned state (never touched by submit()).
+    std::vector<std::unique_ptr<Sequence>> activeSeqs_;
+    std::vector<llm::StepRow> rows_;
+    std::vector<Sequence *> rowSeq_;
+    struct Emission
+    {
+        Sequence *seq;
+        StreamToken token;
+    };
+    std::vector<Emission> emissions_;
+    llm::TransformerModel::Workspace ws_;
+    std::int64_t prefillCursor_ = 0; ///< round-robin over prefilling seqs
+
+    // Metrics (stable refs into the registry).
+    obs::Counter &steps_;
+    obs::Counter &tokens_;
+    obs::Counter &decodeRows_;
+    obs::Counter &prefillRows_;
+    obs::Gauge &activeGauge_;
+    obs::Gauge &queued_;
+    obs::Gauge &kvBytes_;
+    obs::Histogram &stepLatencyUs_;
+
+    std::thread worker_;
+};
+
+} // namespace bbs::serve
+
+#endif // BBS_SERVE_GENERATION_HPP

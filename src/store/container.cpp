@@ -11,6 +11,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "common/bit_utils.hpp"
 #include "common/logging.hpp"
 #include "engine/session.hpp"
 
@@ -91,6 +92,9 @@ writeContainer(std::vector<PendingSection> &sections,
         dir[i].index = sections[i].index;
         dir[i].offset = cursor;
         dir[i].length = sections[i].length;
+        dir[i].reserved =
+            kDirHasCrc |
+            crc32(sections[i].data, sections[i].length);
         cursor = alignUp(cursor + sections[i].length, kContainerAlign);
     }
     header.fileBytes = cursor;
@@ -331,6 +335,15 @@ MappedContainer::tryOpen(const std::string &path,
         if (e.offset % align != 0)
             return fail("corrupt container: misaligned section offset ",
                         e.offset);
+        // Checksum-word encoding (cheap, structural — the CRCs
+        // themselves are only recomputed by verifyChecksums()): with
+        // kDirHasCrc set only the low 32 bits may be non-zero; with it
+        // clear the whole word must be zero.
+        if ((e.reserved & kDirHasCrc) != 0
+                ? (e.reserved >> 33) != 0
+                : e.reserved != 0)
+            return fail("corrupt container: malformed directory "
+                        "checksum word");
     }
 
     // No two extents may overlap: a directory aliasing one payload
@@ -535,7 +548,38 @@ MappedContainer::tryOpen(const std::string &path,
         c->layers_.push_back(layer);
     }
 
+    c->dir_ = std::move(dir);
     out = std::move(c);
+    return true;
+}
+
+bool
+MappedContainer::hasChecksums() const
+{
+    for (const DirEntry &e : dir_)
+        if ((e.reserved & kDirHasCrc) == 0)
+            return false;
+    return !dir_.empty();
+}
+
+bool
+MappedContainer::verifyChecksums(std::string *error) const
+{
+    for (std::size_t i = 0; i < dir_.size(); ++i) {
+        const DirEntry &e = dir_[i];
+        if ((e.reserved & kDirHasCrc) == 0)
+            continue; // pre-checksum container
+        std::uint32_t stored = static_cast<std::uint32_t>(e.reserved);
+        std::uint32_t actual = crc32(base_ + e.offset, e.length);
+        if (stored != actual) {
+            if (error != nullptr)
+                *error = bbs::detail::concatMessage(
+                    path_, ": section ", i, " (kind ", e.kind,
+                    ", index ", e.index, ") checksum mismatch: stored ",
+                    stored, ", payload hashes to ", actual);
+            return false;
+        }
+    }
     return true;
 }
 

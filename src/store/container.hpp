@@ -93,6 +93,11 @@ struct FileHeader
 };
 static_assert(sizeof(FileHeader) == 64, "header must stay 64 bytes");
 
+/** DirEntry::reserved bit marking that the low 32 bits hold a CRC-32
+ *  of the section payload. Writers since this flag existed always set
+ *  it; a clear flag (older containers) means "no checksum stored". */
+inline constexpr std::uint64_t kDirHasCrc = 1ull << 32;
+
 /** One directory extent, immediately after the header. */
 struct DirEntry
 {
@@ -100,6 +105,12 @@ struct DirEntry
     std::uint32_t index = 0;   ///< layer or operand ordinal
     std::uint64_t offset = 0;  ///< absolute, multiple of payloadAlign
     std::uint64_t length = 0;  ///< bytes
+    /** Checksum word: bit 32 (kDirHasCrc) says the low 32 bits are the
+     *  IEEE CRC-32 of the section payload; bits 33..63 must be zero.
+     *  With the flag clear the whole word must be zero (pre-checksum
+     *  containers). Open validates the ENCODING only; recomputing the
+     *  CRCs is the opt-in verifyChecksums() pass, so open cost stays
+     *  page-fault-bound. */
     std::uint64_t reserved = 0;
 };
 static_assert(sizeof(DirEntry) == 32, "directory entry must stay 32 bytes");
@@ -197,6 +208,22 @@ class MappedContainer
         return operands_[i].meanStoredBits;
     }
 
+    /** True when every directory entry carries a stored CRC (kDirHasCrc
+     *  set). Containers written before checksums existed report false
+     *  and verifyChecksums() skips their sections. */
+    bool hasChecksums() const;
+
+    /**
+     * Recompute each checksummed section's CRC-32 over the mapped
+     * payload and compare with the stored value. This is the one
+     * deliberate full-payload read in the store path: it faults in
+     * every section it checks, so it is opt-in (store-info --verify,
+     * StoreConfig::verifyChecksums) rather than part of tryOpen.
+     * Returns false (with a diagnostic in @p error when non-null) on
+     * the first mismatch.
+     */
+    bool verifyChecksums(std::string *error = nullptr) const;
+
   private:
     MappedContainer() = default;
 
@@ -209,6 +236,8 @@ class MappedContainer
     std::string path_;
     const std::uint8_t *base_ = nullptr;
     std::size_t bytes_ = 0;
+    /** Validated directory, kept for verifyChecksums(). */
+    std::vector<DirEntry> dir_;
     std::vector<OperandMetaSection> operands_;
     std::vector<Layer> layers_;
     /** View objects the aliasing shared_ptrs in mapOperand point at:

@@ -65,6 +65,7 @@ resolveRegistry(obs::Registry *r)
 ModelStore::ModelStore(StoreConfig config)
     : budget_(resolveBudget(config.budgetBytes)),
       willNeed_(config.willNeed),
+      verifyChecksums_(config.verifyChecksums),
       loads_(resolveRegistry(config.registry)
                  .counter("bbs_store_loads",
                           "Containers mapped by the model store")),
@@ -157,6 +158,10 @@ ModelStore::tryLoad(const std::string &path,
         if (error != nullptr)
             *error = bbs::detail::concatMessage(
                 path, " is an operand container, not a model");
+        return false;
+    }
+    if (verifyChecksums_ && !container->verifyChecksums(error)) {
+        loadFailures_.inc();
         return false;
     }
     if (willNeed_)

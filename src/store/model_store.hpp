@@ -56,6 +56,11 @@ struct StoreConfig
      *  payload ahead of first use (cold-start latency over lazy
      *  faulting). */
     bool willNeed = false;
+    /** Recompute every section's CRC-32 against the directory on first
+     *  map and reject the container on mismatch. Opt-in: it reads the
+     *  full payload, trading the lazy-fault open for end-to-end
+     *  corruption detection at load time. */
+    bool verifyChecksums = false;
     /** Metrics sink; nullptr = obs::Registry::global(). */
     obs::Registry *registry = nullptr;
 };
@@ -111,6 +116,7 @@ class ModelStore
     mutable std::mutex mutex_;
     std::uint64_t budget_ = 0;
     bool willNeed_ = false;
+    bool verifyChecksums_ = false;
     std::vector<Entry> entries_;
     std::uint64_t useClock_ = 0;
 

@@ -206,6 +206,7 @@ TEST(TuningCacheTest, SaveLoadRoundTripPreservesEntries)
     e.depthBlockWords = 256;
     e.tileRows = 1;
     e.tileCols = 2;
+    e.rowTile = 4; // non-default: pins the JSON field, not the fallback
     e.seconds = 3.25e-4;
     cache.entries.push_back(e);
     cache.entries.push_back(
@@ -227,6 +228,7 @@ TEST(TuningCacheTest, SaveLoadRoundTripPreservesEntries)
     EXPECT_EQ(loaded.entries[0].depthBlockWords, 256);
     EXPECT_EQ(loaded.entries[0].tileRows, 1);
     EXPECT_EQ(loaded.entries[0].tileCols, 2);
+    EXPECT_EQ(loaded.entries[0].rowTile, 4);
     EXPECT_NEAR(loaded.entries[0].seconds, 3.25e-4, 1e-9);
     EXPECT_EQ(loaded.entries[1].kind, PlanKind::TiledBitSerial);
     EXPECT_TRUE(loaded.hasKind(PlanKind::TiledBitSerial));

@@ -20,6 +20,8 @@
 #include "nn/layers.hpp"
 #include "nn/network.hpp"
 #include "obs/exposition.hpp"
+#include "llm/transformer.hpp"
+#include "serve/generation.hpp"
 #include "serve/server.hpp"
 
 namespace bbs {
@@ -457,6 +459,129 @@ TEST(NetServe, ConnectionSlotsAreBoundedAndRecycled)
         [&] { return fx.net->activeConnections() < 2; }));
     net::NetClient d = fx.connect();
     EXPECT_TRUE(d.request("clf", sample).has_value());
+}
+
+TEST(NetProtocol, GenerateAndStreamChunkFramesRoundTrip)
+{
+    net::GenerateFrame g;
+    g.tag = 0xabadcafe;
+    g.model = "llm";
+    g.maxNewTokens = 17;
+    g.prompt = {3, 1, 4, 1, 5, 9};
+
+    std::vector<std::uint8_t> wire;
+    net::encodeGenerate(g, wire);
+    net::FrameHeader h;
+    ASSERT_TRUE(net::decodeHeader({wire.data(), net::kHeaderBytes}, h));
+    EXPECT_EQ(h.type, net::FrameType::Generate);
+    ASSERT_EQ(wire.size(), net::kHeaderBytes + h.bodyLen);
+    net::GenerateFrame back;
+    ASSERT_TRUE(net::decodeGenerate(
+        {wire.data() + net::kHeaderBytes, h.bodyLen}, back));
+    EXPECT_EQ(back.tag, g.tag);
+    EXPECT_EQ(back.model, g.model);
+    EXPECT_EQ(back.maxNewTokens, g.maxNewTokens);
+    EXPECT_EQ(back.prompt, g.prompt);
+
+    // Hostile lengths: truncated token payload and an overlong name
+    // must both be rejected, never over-read.
+    net::GenerateFrame bad;
+    EXPECT_FALSE(net::decodeGenerate(
+        {wire.data() + net::kHeaderBytes, h.bodyLen - 1}, bad));
+    std::vector<std::uint8_t> tail(wire.begin() + net::kHeaderBytes,
+                                   wire.end());
+    tail[8] = 0xff; // modelLen low byte -> claims a huge name
+    tail[9] = 0xff;
+    EXPECT_FALSE(net::decodeGenerate(tail, bad));
+
+    net::StreamChunkFrame s;
+    s.tag = 0xabadcafe;
+    s.status = 0;
+    s.last = true;
+    s.index = 41;
+    s.token = -7;
+    wire.clear();
+    net::encodeStreamChunk(s, wire);
+    ASSERT_TRUE(net::decodeHeader({wire.data(), net::kHeaderBytes}, h));
+    EXPECT_EQ(h.type, net::FrameType::StreamChunk);
+    net::StreamChunkFrame sBack;
+    ASSERT_TRUE(net::decodeStreamChunk(
+        {wire.data() + net::kHeaderBytes, h.bodyLen}, sBack));
+    EXPECT_EQ(sBack.tag, s.tag);
+    EXPECT_EQ(sBack.status, s.status);
+    EXPECT_EQ(sBack.last, s.last);
+    EXPECT_EQ(sBack.index, s.index);
+    EXPECT_EQ(sBack.token, s.token);
+    EXPECT_FALSE(net::decodeStreamChunk(
+        {wire.data() + net::kHeaderBytes, h.bodyLen - 1}, sBack));
+}
+
+TEST(NetServe, GenerateStreamsByteExactTokens)
+{
+    llm::TransformerConfig mcfg;
+    mcfg.dModel = 64;
+    mcfg.nHeads = 2;
+    mcfg.dFf = 128;
+    mcfg.nLayers = 2;
+    mcfg.vocab = 96;
+    mcfg.maxSeq = 96;
+    mcfg.seed = 11;
+    llm::TransformerModel model(mcfg);
+    serve::GenerationConfig gcfg;
+    gcfg.workers = 1;
+    serve::GenerationScheduler sched(model, gcfg);
+
+    NetFixture fx;
+    // attachGeneration requires a not-yet-started server; rebuild the
+    // front-end with the generator wired in.
+    fx.net->stop();
+    fx.net = std::make_unique<net::NetServer>(*fx.server);
+    fx.net->attachGeneration("llm", &sched);
+    fx.net->start();
+
+    std::vector<std::int32_t> prompt{5, 40, 2, 17, 33, 8, 21};
+    auto expected = model.generateReference(prompt, 12);
+
+    net::NetClient c = fx.connect();
+    // Streamed tokens must be byte-exact vs in-process generation, with
+    // ordered indices and exactly one last chunk.
+    std::vector<std::int32_t> got;
+    std::uint32_t nextIndex = 0;
+    int lastSeen = 0;
+    ASSERT_TRUE(c.generate(
+        "llm", prompt, 12,
+        [&](const net::StreamChunkFrame &chunk) {
+            EXPECT_EQ(chunk.status, 0);
+            EXPECT_EQ(chunk.index, nextIndex++);
+            got.push_back(chunk.token);
+            lastSeen += chunk.last ? 1 : 0;
+        },
+        99));
+    EXPECT_EQ(got, expected);
+    EXPECT_EQ(lastSeen, 1);
+    EXPECT_EQ(fx.net->streamChunksOut(), 12u);
+
+    // The collected variant agrees.
+    auto collected = c.generateCollect("llm", prompt, 12, 100);
+    ASSERT_TRUE(collected.has_value());
+    EXPECT_EQ(*collected, expected);
+
+    // Unknown model answers a terminal UnknownModel chunk.
+    bool sawUnknown = false;
+    ASSERT_TRUE(c.generate(
+        "nope", prompt, 4,
+        [&](const net::StreamChunkFrame &chunk) {
+            EXPECT_TRUE(chunk.last);
+            sawUnknown =
+                chunk.status ==
+                static_cast<std::uint8_t>(ServeStatus::UnknownModel);
+        },
+        101));
+    EXPECT_TRUE(sawUnknown);
+
+    // A bad prompt (out-of-vocab token) fails with BadInput end to end.
+    std::vector<std::int32_t> bad{1, 2, 9999};
+    EXPECT_FALSE(c.generateCollect("llm", bad, 4, 102).has_value());
 }
 
 } // namespace

@@ -354,6 +354,53 @@ TEST(ObsTrace, RingKeepsMostRecentAndCountsDropped)
     EXPECT_EQ(ring.dropped(), 0u);
 }
 
+TEST(ObsTrace, SamplingShedsDeterministicallyAndCountsSeparately)
+{
+    // 1-in-3: spans 1, 4, 7, 10 survive (the first of every three).
+    obs::TraceRing ring(16, 3);
+    EXPECT_EQ(ring.sampleEvery(), 3u);
+    for (std::uint64_t i = 1; i <= 10; ++i) {
+        obs::TraceSpan s;
+        s.id = i;
+        s.setModel("m");
+        ring.record(s);
+    }
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_EQ(ring.sampledOut(), 6u);
+    EXPECT_EQ(ring.dropped(), 0u); // sampling shed is NOT ring overflow
+
+    std::ostringstream os;
+    ring.dumpJson(os, nullptr);
+    std::string text = os.str();
+    EXPECT_NE(text.find("\"sampled_out\": 6"), std::string::npos) << text;
+    EXPECT_NE(text.find("\"sample_every\": 3"), std::string::npos);
+    for (int kept : {1, 4, 7, 10})
+        EXPECT_NE(text.find("\"id\": " + std::to_string(kept)),
+                  std::string::npos)
+            << text;
+    EXPECT_EQ(text.find("\"id\": 2"), std::string::npos);
+
+    // Overflow and sampling count independently: a 2-slot ring at
+    // 1-in-2 offered 8 spans keeps {7}, drops {1, 3} from the ring,
+    // and sheds {2, 4, 6, 8}.
+    obs::TraceRing tiny(2, 2);
+    for (std::uint64_t i = 1; i <= 8; ++i) {
+        obs::TraceSpan s;
+        s.id = i;
+        tiny.record(s);
+    }
+    EXPECT_EQ(tiny.size(), 2u);
+    EXPECT_EQ(tiny.sampledOut(), 4u);
+    EXPECT_EQ(tiny.dropped(), 2u);
+
+    tiny.clear();
+    EXPECT_EQ(tiny.sampledOut(), 0u);
+
+    // The environment knob: an unset / invalid value keeps every span.
+    obs::TraceRing everything(4);
+    EXPECT_GE(everything.sampleEvery(), 1u);
+}
+
 TEST(ObsTrace, ModelNameTruncatesToFit)
 {
     obs::TraceSpan s;

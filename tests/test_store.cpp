@@ -376,6 +376,82 @@ TEST_F(StoreFuzzTest, RandomMutationsNeverCrash)
     }
 }
 
+TEST_F(StoreFuzzTest, ChecksumsCatchFlippedPayloadBits)
+{
+    // The structural open never reads dense payload bytes (that is the
+    // point: open stays page-fault-bound), so a flipped bit deep in a
+    // payload section sails through tryOpen — and must be caught by
+    // the opt-in CRC pass.
+    writeFile(path_, golden_);
+    std::shared_ptr<const MappedContainer> c;
+    ASSERT_TRUE(MappedContainer::tryOpen(path_, c));
+    EXPECT_TRUE(c->hasChecksums());
+    EXPECT_TRUE(c->verifyChecksums());
+
+    // Flip one bit in the middle of a Constants section: a payload the
+    // structural validation never inspects.
+    store::FileHeader header;
+    std::memcpy(&header, golden_.data(), sizeof(header));
+    store::DirEntry target = {};
+    for (std::uint32_t i = 0; i < header.entryCount; ++i) {
+        store::DirEntry e;
+        std::memcpy(&e,
+                    golden_.data() + sizeof(header) +
+                        i * sizeof(store::DirEntry),
+                    sizeof(e));
+        if (e.kind == static_cast<std::uint32_t>(
+                          store::SectionKind::Constants)) {
+            target = e;
+            break;
+        }
+    }
+    ASSERT_NE(target.offset, 0u);
+    ASSERT_NE(target.reserved & store::kDirHasCrc, 0u);
+    std::vector<std::uint8_t> corrupt = golden_;
+    corrupt[target.offset + target.length / 2] ^= 0x10;
+    writeFile(path_, corrupt);
+
+    std::shared_ptr<const MappedContainer> bad;
+    ASSERT_TRUE(MappedContainer::tryOpen(path_, bad))
+        << "structural open must not notice payload corruption";
+    std::string error;
+    EXPECT_FALSE(bad->verifyChecksums(&error));
+    EXPECT_NE(error.find("checksum mismatch"), std::string::npos)
+        << error;
+
+    // The store surfaces the same rejection when asked to verify —
+    // and stays lazy (accepting the corrupt file) when not.
+    obs::Registry metrics;
+    StoreConfig config;
+    config.registry = &metrics;
+    config.verifyChecksums = true;
+    ModelStore verifying(config);
+    std::shared_ptr<const store::MappedModel> model;
+    error.clear();
+    EXPECT_FALSE(verifying.tryLoad(path_, model, &error));
+    EXPECT_NE(error.find("checksum mismatch"), std::string::npos);
+    config.verifyChecksums = false;
+    ModelStore lazy(config);
+    EXPECT_TRUE(lazy.tryLoad(path_, model, &error)) << error;
+}
+
+TEST_F(StoreFuzzTest, ChecksumWordEncodingIsValidated)
+{
+    // The reserved word has exactly two legal shapes; anything else is
+    // rejected at open, cheaply, before any CRC is computed.
+    const std::size_t reservedAt = sizeof(store::FileHeader) + 24;
+    expectRejected(mutated(reservedAt + 5, {0x7a}),
+                   "non-zero bits above the CRC flag");
+    store::DirEntry first;
+    std::memcpy(&first, golden_.data() + sizeof(store::FileHeader),
+                sizeof(first));
+    ASSERT_NE(static_cast<std::uint32_t>(first.reserved), 0u)
+        << "test needs a non-zero stored CRC to exercise the "
+           "flag-clear-but-crc-set rejection";
+    expectRejected(mutated(reservedAt + 4, {0x00}),
+                   "CRC flag clear but low bits set");
+}
+
 // ------------------------------------------------- registry hot-swap
 
 TEST(ModelRegistryTest, SwapIsVersionedAndAtomicUnderLoad)
